@@ -1,0 +1,29 @@
+//! Regenerates every table and figure of the paper in one `cargo bench`
+//! pass (harness = false). Respects the same `ADAPT_*` environment knobs
+//! as the per-figure binaries; defaults keep the full sweep to a few
+//! minutes on a laptop.
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let models = adapt_bench::shared_models();
+    println!("models ready ({:.1} s)\n", t0.elapsed().as_secs_f64());
+    let spec = adapt_core::TrialSpec::from_env();
+    println!("trial spec: {spec:?}\n");
+
+    println!("{}", adapt_bench::run_train_report(&models));
+    println!("{}", adapt_bench::run_fig4(&models, spec));
+    println!("{}", adapt_bench::run_fig7(&models, spec));
+    println!("{}", adapt_bench::run_fig8(&models, spec));
+    println!("{}", adapt_bench::run_fig9(&models, spec));
+    println!("{}", adapt_bench::run_fig10(&models, spec));
+    println!("{}", adapt_bench::run_fig11(&models, spec));
+    println!("{}", adapt_bench::run_table12(&models, adapt_bench::timing_reps()));
+    println!("{}", adapt_bench::run_table3(&models));
+    println!("{}", adapt_bench::run_ablations(&models, spec));
+    println!("{}", adapt_bench::run_detection(spec));
+    println!("{}", adapt_bench::run_pileup(&models, spec));
+    println!("{}", adapt_bench::run_failure_injection(&models, spec));
+    println!("{}", adapt_bench::run_fpga_dse());
+    println!("{}", adapt_bench::run_quant_strategies(&models));
+    println!("total wall time: {:.1} s", t0.elapsed().as_secs_f64());
+}

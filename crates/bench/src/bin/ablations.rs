@@ -1,0 +1,6 @@
+//! Ablation study over the pipeline's design choices (see DESIGN.md).
+fn main() {
+    let models = adapt_bench::shared_models();
+    let spec = adapt_core::TrialSpec::from_env();
+    println!("{}", adapt_bench::run_ablations(&models, spec));
+}

@@ -1,0 +1,5 @@
+//! Burst-trigger (detection) study: efficiency vs fluence.
+fn main() {
+    let spec = adapt_core::TrialSpec::from_env();
+    println!("{}", adapt_bench::run_detection(spec));
+}

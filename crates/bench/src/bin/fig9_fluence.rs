@@ -1,0 +1,7 @@
+//! Regenerates the paper figure of the same number. Scale with
+//! `ADAPT_TRIALS` / `ADAPT_META_TRIALS` (see adapt-bench docs).
+fn main() {
+    let models = adapt_bench::shared_models();
+    let spec = adapt_core::TrialSpec::from_env();
+    println!("{}", adapt_bench::run_fig9(&models, spec));
+}

@@ -1,0 +1,4 @@
+//! FPGA design-space exploration: II/resource Pareto frontiers.
+fn main() {
+    println!("{}", adapt_bench::run_fpga_dse());
+}

@@ -1,0 +1,6 @@
+//! Extension experiment; see adapt-bench docs for the ADAPT_* knobs.
+fn main() {
+    let models = adapt_bench::shared_models();
+    let spec = adapt_core::TrialSpec::from_env();
+    println!("{}", adapt_bench::run_pileup(&models, spec));
+}

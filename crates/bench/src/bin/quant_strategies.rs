@@ -1,0 +1,5 @@
+//! Quantization-strategy comparison (PTQ/QAT, per-tensor/channel, INT8/4).
+fn main() {
+    let models = adapt_bench::shared_models();
+    println!("{}", adapt_bench::run_quant_strategies(&models));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the stage-timing tables (paper Tables I/II) on this host.
+//! Scale repetitions with `ADAPT_TIMING_REPS` (paper: 300).
+fn main() {
+    let models = adapt_bench::shared_models();
+    println!("{}", adapt_bench::run_table12(&models, adapt_bench::timing_reps()));
+}

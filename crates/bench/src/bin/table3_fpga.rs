@@ -1,0 +1,6 @@
+//! Regenerates the FPGA quantization table (paper Table III) from the
+//! synthesis model plus a bit-exact co-simulation of the INT8 kernel.
+fn main() {
+    let models = adapt_bench::shared_models();
+    println!("{}", adapt_bench::run_table3(&models));
+}

@@ -1,0 +1,6 @@
+//! Prints the training campaign report: validation losses, per-polar-bin
+//! thresholds, and background-classifier accuracy on fresh bursts.
+fn main() {
+    let models = adapt_bench::shared_models();
+    println!("{}", adapt_bench::run_train_report(&models));
+}

@@ -1,0 +1,103 @@
+//! A small, dependency-free flag parser: `--key value` pairs plus a
+//! leading subcommand.
+
+use std::collections::HashMap;
+
+/// Parsed command line: subcommand plus `--key value` options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first non-flag argument).
+    pub command: Option<String>,
+    options: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parse from an iterator of arguments (excluding the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut out = Args::default();
+        let mut it = args.into_iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{key} expects a value"))?;
+                if out.options.insert(key.to_string(), value).is_some() {
+                    return Err(format!("flag --{key} given twice"));
+                }
+            } else if out.command.is_none() {
+                out.command = Some(a);
+            } else {
+                return Err(format!("unexpected positional argument '{a}'"));
+            }
+        }
+        Ok(out)
+    }
+
+    /// A string option.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// A string option with a default.
+    pub fn get_or(&self, key: &str, default: &str) -> String {
+        self.get(key).unwrap_or(default).to_string()
+    }
+
+    /// A parsed numeric option with a default.
+    pub fn get_parse_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("flag --{key}: cannot parse '{v}'")),
+        }
+    }
+
+    /// Flags the caller never consumed (typo detection).
+    pub fn assert_known(&self, known: &[&str]) -> Result<(), String> {
+        for k in self.options.keys() {
+            if !known.contains(&k.as_str()) {
+                return Err(format!("unknown flag --{k}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Result<Args, String> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn subcommand_and_flags() {
+        let a = parse("localize --fluence 1.5 --angle 20").unwrap();
+        assert_eq!(a.command.as_deref(), Some("localize"));
+        assert_eq!(a.get("fluence"), Some("1.5"));
+        assert_eq!(a.get_parse_or("angle", 0.0).unwrap(), 20.0);
+        assert_eq!(a.get_parse_or("seed", 7u64).unwrap(), 7);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("run --flag").is_err(), "missing value");
+        assert!(parse("a b").is_err(), "double positional");
+        assert!(parse("x --k 1 --k 2").is_err(), "duplicate flag");
+    }
+
+    #[test]
+    fn unknown_flag_detection() {
+        let a = parse("sim --good 1 --bad 2").unwrap();
+        assert!(a.assert_known(&["good"]).is_err());
+        assert!(a.assert_known(&["good", "bad"]).is_ok());
+    }
+
+    #[test]
+    fn defaults() {
+        let a = parse("report").unwrap();
+        assert_eq!(a.get_or("models", "m.json"), "m.json");
+    }
+}

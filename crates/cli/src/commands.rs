@@ -1,0 +1,198 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use adapt_core::prelude::*;
+use adapt_core::trigger::{calibrate_background_rate, scan, TriggerConfig};
+use adapt_localize::{HemisphereGrid, SkyMap};
+use adapt_recon::Reconstructor;
+use adapt_sim::{BurstSimulation, ParticleOrigin};
+use std::path::Path;
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+adapt — the ADAPT gamma-ray telescope ML pipeline
+
+USAGE:
+    adapt <subcommand> [--flag value]...
+
+SUBCOMMANDS:
+    simulate   simulate one burst window and summarize events/rings
+               --fluence <MeV/cm^2=1.0> --angle <deg=0> --seed <u64=42>
+    train      train the networks and write them to disk
+               --scale <fast|default=fast> --out <path=models.json> --seed <u64=7>
+    localize   localize a simulated burst
+               --models <path=models.json> --fluence <=1.0> --angle <=0>
+               --seed <=42> --mode <ml|baseline|quantized=ml>
+    skymap     produce a credible-region summary of the posterior sky map
+               --models <path=models.json> --fluence <=1.0> --angle <=0>
+               --seed <=42> --credibility <=0.9> --pixels <=3000>
+    report     evaluate stored models on fresh bursts
+               --models <path=models.json>
+    help       print this text";
+
+fn load_models(path: &str) -> Result<TrainedModels, String> {
+    TrainedModels::load(Path::new(path))
+        .map_err(|e| format!("cannot load models from {path}: {e} (run `adapt train` first)"))
+}
+
+/// `adapt simulate`
+pub fn simulate(args: &Args) -> Result<(), String> {
+    args.assert_known(&["fluence", "angle", "seed"])?;
+    let fluence: f64 = args.get_parse_or("fluence", 1.0)?;
+    let angle: f64 = args.get_parse_or("angle", 0.0)?;
+    let seed: u64 = args.get_parse_or("seed", 42)?;
+    let sim = BurstSimulation::with_defaults(GrbConfig::new(fluence, angle));
+    let data = sim.simulate(seed);
+    let (grb, bkg) = data.counts_by_origin();
+    println!(
+        "burst window: fluence {fluence} MeV/cm^2, polar {angle} deg, seed {seed}\n\
+         incident photons: {} GRB, {} background\n\
+         measured events:  {} GRB, {} background",
+        data.n_grb_incident, data.n_background_incident, grb, bkg
+    );
+    let rings = Reconstructor::default().reconstruct_all(&data.events);
+    let grb_rings = rings
+        .iter()
+        .filter(|r| {
+            r.truth
+                .map(|t| t.origin == ParticleOrigin::Grb)
+                .unwrap_or(false)
+        })
+        .count();
+    println!(
+        "reconstructed rings: {} ({} GRB / {} background)",
+        rings.len(),
+        grb_rings,
+        rings.len() - grb_rings
+    );
+    // trigger check against a quick quiet-time calibration
+    let quiet = BurstSimulation::with_defaults(GrbConfig::new(1e-9, 0.0));
+    let rate = calibrate_background_rate(&quiet.simulate(seed ^ 0xBEEF).events, 1.0);
+    let trig = scan(&data.events, 1.0, rate, &TriggerConfig::default());
+    println!(
+        "trigger: {} (max significance {:.1} sigma at t = {:.3} s)",
+        if trig.detected { "DETECTED" } else { "no detection" },
+        trig.max_significance,
+        trig.trigger_time_s
+    );
+    Ok(())
+}
+
+/// `adapt train`
+pub fn train(args: &Args) -> Result<(), String> {
+    args.assert_known(&["scale", "out", "seed"])?;
+    let scale = args.get_or("scale", "fast");
+    let out = args.get_or("out", "models.json");
+    let seed: u64 = args.get_parse_or("seed", 7)?;
+    let config = match scale.as_str() {
+        "fast" => TrainingCampaignConfig::fast(),
+        "default" => TrainingCampaignConfig::default(),
+        other => return Err(format!("unknown scale '{other}' (fast|default)")),
+    };
+    println!("training ({scale} campaign, seed {seed})...");
+    let models = train_models(&config, seed);
+    println!(
+        "validation losses: background BCE {:.4}, dEta MSE {:.4}",
+        models.val_losses.0, models.val_losses.1
+    );
+    models
+        .save(Path::new(&out))
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("models written to {out}");
+    Ok(())
+}
+
+/// `adapt localize`
+pub fn localize(args: &Args) -> Result<(), String> {
+    args.assert_known(&["models", "fluence", "angle", "seed", "mode"])?;
+    let models = load_models(&args.get_or("models", "models.json"))?;
+    let fluence: f64 = args.get_parse_or("fluence", 1.0)?;
+    let angle: f64 = args.get_parse_or("angle", 0.0)?;
+    let seed: u64 = args.get_parse_or("seed", 42)?;
+    let mode = match args.get_or("mode", "ml").as_str() {
+        "ml" => PipelineMode::Ml,
+        "baseline" => PipelineMode::Baseline,
+        "quantized" => PipelineMode::MlQuantized,
+        other => return Err(format!("unknown mode '{other}' (ml|baseline|quantized)")),
+    };
+    let pipeline = Pipeline::new(&models);
+    let out = pipeline.run_trial(
+        mode,
+        &GrbConfig::new(fluence, angle),
+        PerturbationConfig::default(),
+        seed,
+    );
+    println!(
+        "{}: error {:.2} deg | {} rings in, {} surviving | total {:.1} ms",
+        mode.label(),
+        out.error_deg,
+        out.rings_in,
+        out.rings_surviving,
+        out.timings.total.as_secs_f64() * 1e3
+    );
+    Ok(())
+}
+
+/// `adapt skymap`
+pub fn skymap(args: &Args) -> Result<(), String> {
+    args.assert_known(&["models", "fluence", "angle", "seed", "credibility", "pixels"])?;
+    let models = load_models(&args.get_or("models", "models.json"))?;
+    let fluence: f64 = args.get_parse_or("fluence", 1.0)?;
+    let angle: f64 = args.get_parse_or("angle", 0.0)?;
+    let seed: u64 = args.get_parse_or("seed", 42)?;
+    let credibility: f64 = args.get_parse_or("credibility", 0.9)?;
+    let pixels: usize = args.get_parse_or("pixels", 3000)?;
+    if !(0.0..=1.0).contains(&credibility) {
+        return Err("credibility must be in [0, 1]".into());
+    }
+    let grb = GrbConfig::new(fluence, angle);
+    let pipeline = Pipeline::new(&models);
+    let (rings, _) = pipeline.simulate_rings(&grb, PerturbationConfig::default(), seed);
+    if rings.is_empty() {
+        return Err("no rings reconstructed from this burst".into());
+    }
+    let map = SkyMap::from_rings(&rings, HemisphereGrid::new(pixels), 3.0);
+    let mode_dir = map.mode();
+    println!(
+        "sky map over {} pixels from {} rings",
+        map.grid().len(),
+        rings.len()
+    );
+    println!(
+        "posterior mode: polar {:.1} deg, azimuth {:.1} deg (truth: polar {angle} deg, azimuth 0)",
+        adapt_math::angles::polar_angle_deg(mode_dir),
+        mode_dir.azimuth().to_degrees()
+    );
+    println!(
+        "{:.0}% credible region: {:.4} sr (disc-equivalent radius {:.2} deg)",
+        credibility * 100.0,
+        map.credible_region_sr(credibility),
+        map.credible_radius_deg(credibility)
+    );
+    Ok(())
+}
+
+/// `adapt report`
+pub fn report(args: &Args) -> Result<(), String> {
+    args.assert_known(&["models"])?;
+    let models = load_models(&args.get_or("models", "models.json"))?;
+    println!(
+        "validation losses: background BCE {:.4}, dEta MSE {:.4}",
+        models.val_losses.0, models.val_losses.1
+    );
+    print!("per-polar-bin thresholds:");
+    for t in models.thresholds.as_slice() {
+        print!(" {t:.2}");
+    }
+    println!();
+    for angle in [0.0, 40.0, 80.0] {
+        let acc = adapt_core::training::background_accuracy_at(&models, angle, 0xC11);
+        println!("background accuracy on fresh burst @ {angle:>2.0} deg: {acc:.3}");
+    }
+    println!(
+        "quantized model: {} bytes, {} MACs/inference",
+        models.quantized_background.model_bytes(),
+        models.quantized_background.total_macs()
+    );
+    Ok(())
+}

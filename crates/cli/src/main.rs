@@ -1,0 +1,41 @@
+//! `adapt` — command-line interface to the ADAPT ML reproduction.
+//!
+//! ```text
+//! adapt simulate --fluence 1.0 --angle 0 --seed 42
+//! adapt train    --scale fast --out models.json
+//! adapt localize --models models.json --fluence 1.0 --angle 20 --mode ml
+//! adapt skymap   --models models.json --fluence 2.0 --angle 30 --credibility 0.9
+//! adapt report   --models models.json
+//! ```
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let parsed = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", commands::USAGE);
+            std::process::exit(2);
+        }
+    };
+    let result = match parsed.command.as_deref() {
+        Some("simulate") => commands::simulate(&parsed),
+        Some("train") => commands::train(&parsed),
+        Some("localize") => commands::localize(&parsed),
+        Some("skymap") => commands::skymap(&parsed),
+        Some("report") => commands::report(&parsed),
+        Some("help") | None => {
+            println!("{}", commands::USAGE);
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand '{other}'")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,328 @@
+//! Containment experiments: the machinery behind every accuracy figure.
+//!
+//! The paper reports *68 % and 95 % containment* — the largest localization
+//! error in at most that fraction of trials — with error bars over ten
+//! meta-trials (Fig. 4). [`containment_experiment`] reproduces that
+//! protocol: `meta_trials × trials_per_meta` independent bursts, each
+//! simulated, reconstructed, and localized; containment radii computed per
+//! meta-trial; mean ± standard error across meta-trials reported.
+//!
+//! Trials are independent, so they fan out across cores with rayon; every
+//! trial derives its own RNG stream from the experiment seed, making runs
+//! bit-reproducible regardless of thread count.
+
+use crate::pipeline::{Pipeline, PipelineMode};
+use adapt_math::stats::{containment_radius, RunningStats};
+use adapt_sim::{GrbConfig, PerturbationConfig};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// How many trials to run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TrialSpec {
+    /// Trials per meta-trial (paper: 1000; scale via `ADAPT_TRIALS`).
+    pub trials_per_meta: usize,
+    /// Meta-trials for error bars (paper: 10).
+    pub meta_trials: usize,
+}
+
+impl Default for TrialSpec {
+    fn default() -> Self {
+        TrialSpec {
+            trials_per_meta: 40,
+            meta_trials: 3,
+        }
+    }
+}
+
+impl TrialSpec {
+    /// Read overrides from `ADAPT_TRIALS` / `ADAPT_META_TRIALS`
+    /// environment variables, falling back to the defaults — the knob for
+    /// scaling bench runs up toward the paper's 1000×10.
+    pub fn from_env() -> Self {
+        let mut spec = TrialSpec::default();
+        if let Ok(v) = std::env::var("ADAPT_TRIALS") {
+            if let Ok(n) = v.parse() {
+                spec.trials_per_meta = n;
+            }
+        }
+        if let Ok(v) = std::env::var("ADAPT_META_TRIALS") {
+            if let Ok(n) = v.parse() {
+                spec.meta_trials = n;
+            }
+        }
+        spec
+    }
+}
+
+/// Containment statistics with meta-trial error bars.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ContainmentStats {
+    /// Mean 68 % containment over meta-trials (degrees).
+    pub c68_mean: f64,
+    /// Standard error of the 68 % containment.
+    pub c68_err: f64,
+    /// Mean 95 % containment (degrees).
+    pub c95_mean: f64,
+    /// Standard error of the 95 % containment.
+    pub c95_err: f64,
+    /// Fraction of trials that produced any localization.
+    pub localized_fraction: f64,
+    /// Mean rings entering localization.
+    pub mean_rings_in: f64,
+    /// Mean rings surviving background rejection.
+    pub mean_rings_surviving: f64,
+}
+
+/// Run one containment experiment.
+pub fn containment_experiment(
+    pipeline: &Pipeline<'_>,
+    mode: PipelineMode,
+    grb: &GrbConfig,
+    perturbation: PerturbationConfig,
+    spec: TrialSpec,
+    seed: u64,
+) -> ContainmentStats {
+    let mut c68 = RunningStats::new();
+    let mut c95 = RunningStats::new();
+    let mut localized = 0usize;
+    let mut total = 0usize;
+    let mut rings_in = RunningStats::new();
+    let mut rings_surv = RunningStats::new();
+    for meta in 0..spec.meta_trials {
+        let outcomes: Vec<_> = (0..spec.trials_per_meta)
+            .into_par_iter()
+            .map(|t| {
+                let trial_seed = seed
+                    .wrapping_mul(0x9E37_79B9)
+                    .wrapping_add((meta * spec.trials_per_meta + t) as u64);
+                pipeline.run_trial(mode, grb, perturbation, trial_seed)
+            })
+            .collect();
+        let errors: Vec<f64> = outcomes.iter().map(|o| o.error_deg).collect();
+        c68.push(containment_radius(&errors, 0.68).unwrap());
+        c95.push(containment_radius(&errors, 0.95).unwrap());
+        for o in &outcomes {
+            if o.localized {
+                localized += 1;
+            }
+            total += 1;
+            rings_in.push(o.rings_in as f64);
+            rings_surv.push(o.rings_surviving as f64);
+        }
+    }
+    ContainmentStats {
+        c68_mean: c68.mean(),
+        c68_err: c68.std_error(),
+        c95_mean: c95.mean(),
+        c95_err: c95.std_error(),
+        localized_fraction: localized as f64 / total.max(1) as f64,
+        mean_rings_in: rings_in.mean(),
+        mean_rings_surviving: rings_surv.mean(),
+    }
+}
+
+/// One row of a figure: an x-value (angle, fluence, or noise level), the
+/// mode, and its containment stats.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FigureRow {
+    /// The figure's x-axis value.
+    pub x: f64,
+    /// Which pipeline variant.
+    pub mode_label: String,
+    /// The measured containment statistics.
+    pub stats: ContainmentStats,
+}
+
+/// Sweep polar angles for a set of modes (Figs. 7, 8, 11 shape).
+pub fn polar_sweep(
+    pipeline: &Pipeline<'_>,
+    modes: &[PipelineMode],
+    fluence: f64,
+    angles_deg: &[f64],
+    spec: TrialSpec,
+    seed: u64,
+) -> Vec<FigureRow> {
+    let mut rows = Vec::new();
+    for &angle in angles_deg {
+        let grb = GrbConfig::new(fluence, angle);
+        for &mode in modes {
+            let stats = containment_experiment(
+                pipeline,
+                mode,
+                &grb,
+                PerturbationConfig::default(),
+                spec,
+                seed ^ (angle as u64 * 131),
+            );
+            rows.push(FigureRow {
+                x: angle,
+                mode_label: mode.label().to_string(),
+                stats,
+            });
+        }
+    }
+    rows
+}
+
+/// Sweep fluences at normal incidence (Fig. 9 shape).
+pub fn fluence_sweep(
+    pipeline: &Pipeline<'_>,
+    modes: &[PipelineMode],
+    fluences: &[f64],
+    spec: TrialSpec,
+    seed: u64,
+) -> Vec<FigureRow> {
+    let mut rows = Vec::new();
+    for &fluence in fluences {
+        let grb = GrbConfig::new(fluence, 0.0);
+        for &mode in modes {
+            let stats = containment_experiment(
+                pipeline,
+                mode,
+                &grb,
+                PerturbationConfig::default(),
+                spec,
+                seed ^ ((fluence * 1000.0) as u64),
+            );
+            rows.push(FigureRow {
+                x: fluence,
+                mode_label: mode.label().to_string(),
+                stats,
+            });
+        }
+    }
+    rows
+}
+
+/// Sweep perturbation noise ε (Fig. 10 shape).
+pub fn noise_sweep(
+    pipeline: &Pipeline<'_>,
+    modes: &[PipelineMode],
+    fluence: f64,
+    epsilons: &[f64],
+    spec: TrialSpec,
+    seed: u64,
+) -> Vec<FigureRow> {
+    let grb = GrbConfig::new(fluence, 0.0);
+    let mut rows = Vec::new();
+    for &eps in epsilons {
+        let perturbation = PerturbationConfig {
+            epsilon_percent: eps,
+            dead_channel_fraction: 0.0,
+        };
+        for &mode in modes {
+            let stats = containment_experiment(
+                pipeline,
+                mode,
+                &grb,
+                perturbation,
+                spec,
+                seed ^ ((eps * 100.0) as u64 + 7),
+            );
+            rows.push(FigureRow {
+                x: eps,
+                mode_label: mode.label().to_string(),
+                stats,
+            });
+        }
+    }
+    rows
+}
+
+/// Render rows as an aligned text table (what the experiment binaries
+/// print; EXPERIMENTS.md embeds these).
+pub fn format_rows(x_label: &str, rows: &[FigureRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>10}  {:<28} {:>12} {:>12} {:>10} {:>10}\n",
+        x_label, "mode", "68% (deg)", "95% (deg)", "rings", "surviving"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:>10.2}  {:<28} {:>6.2}±{:<5.2} {:>6.2}±{:<5.2} {:>10.1} {:>10.1}\n",
+            r.x,
+            r.mode_label,
+            r.stats.c68_mean,
+            r.stats.c68_err,
+            r.stats.c95_mean,
+            r.stats.c95_err,
+            r.stats.mean_rings_in,
+            r.stats.mean_rings_surviving,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::{train_models, TrainingCampaignConfig};
+    use std::sync::OnceLock;
+
+    fn models() -> &'static crate::training::TrainedModels {
+        static MODELS: OnceLock<crate::training::TrainedModels> = OnceLock::new();
+        MODELS.get_or_init(|| train_models(&TrainingCampaignConfig::fast(), 23))
+    }
+
+    fn tiny_spec() -> TrialSpec {
+        TrialSpec {
+            trials_per_meta: 6,
+            meta_trials: 2,
+        }
+    }
+
+    #[test]
+    fn containment_runs_and_is_deterministic() {
+        let pipeline = Pipeline::new(models());
+        let grb = GrbConfig::new(2.0, 0.0);
+        let a = containment_experiment(
+            &pipeline,
+            PipelineMode::Baseline,
+            &grb,
+            PerturbationConfig::default(),
+            tiny_spec(),
+            42,
+        );
+        let b = containment_experiment(
+            &pipeline,
+            PipelineMode::Baseline,
+            &grb,
+            PerturbationConfig::default(),
+            tiny_spec(),
+            42,
+        );
+        assert_eq!(a.c68_mean, b.c68_mean);
+        assert_eq!(a.c95_mean, b.c95_mean);
+        assert!(a.c68_mean <= a.c95_mean + 1e-12);
+        assert!(a.localized_fraction > 0.5);
+    }
+
+    #[test]
+    fn polar_sweep_produces_rows_per_angle_and_mode() {
+        let pipeline = Pipeline::new(models());
+        let rows = polar_sweep(
+            &pipeline,
+            &[PipelineMode::Baseline, PipelineMode::Ml],
+            2.0,
+            &[0.0, 40.0],
+            tiny_spec(),
+            1,
+        );
+        assert_eq!(rows.len(), 4);
+        let table = format_rows("angle", &rows);
+        assert!(table.contains("With ML"));
+        assert!(table.lines().count() == 5);
+    }
+
+    #[test]
+    fn env_spec_parsing() {
+        std::env::set_var("ADAPT_TRIALS", "17");
+        std::env::set_var("ADAPT_META_TRIALS", "2");
+        let spec = TrialSpec::from_env();
+        assert_eq!(spec.trials_per_meta, 17);
+        assert_eq!(spec.meta_trials, 2);
+        std::env::remove_var("ADAPT_TRIALS");
+        std::env::remove_var("ADAPT_META_TRIALS");
+    }
+}

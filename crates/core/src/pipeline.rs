@@ -1,0 +1,368 @@
+//! The end-to-end pipeline: simulate a burst, reconstruct, localize —
+//! in any of the paper's evaluation variants.
+//!
+//! Variants map one-to-one onto the paper's experiment arms:
+//!
+//! * [`PipelineMode::Baseline`] — the prior (no-ML) pipeline;
+//! * [`PipelineMode::Ml`] — the Fig.-6 ML loop (FP32 networks);
+//! * [`PipelineMode::MlQuantized`] — INT8 background net + FP32 dEta
+//!   (paper Fig. 11);
+//! * [`PipelineMode::MlNoPolar`] — the no-polar-input ablation (Fig. 7);
+//! * [`PipelineMode::OracleNoBackground`] — truth-stripped background
+//!   (Fig. 4, middle bars);
+//! * [`PipelineMode::OracleTrueDeta`] — dη replaced by the true η error
+//!   (Fig. 4, right bars).
+
+use crate::training::TrainedModels;
+use adapt_math::angles::angular_separation;
+use adapt_localize::{BaselineLocalizer, MlLocalizer, MlPipelineConfig, StageTimings};
+use adapt_recon::{ComptonRing, Reconstructor};
+use adapt_sim::{
+    BackgroundConfig, BurstSimulation, DetectorConfig, GrbConfig, GrbSource, PerturbationConfig,
+};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::time::{Duration, Instant};
+
+/// The evaluation variant to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PipelineMode {
+    /// Prior pipeline: approximation + robust refinement, analytic dη,
+    /// no background rejection beyond likelihood gating.
+    Baseline,
+    /// Full ML pipeline (paper Fig. 6).
+    Ml,
+    /// ML pipeline with the INT8 background classifier.
+    MlQuantized,
+    /// ML pipeline with the 12-input (no polar angle) background net and a
+    /// flat 0.5 threshold.
+    MlNoPolar,
+    /// Oracle: all true background rings removed before the baseline runs.
+    OracleNoBackground,
+    /// Oracle: every ring's dη replaced by its true η error.
+    OracleTrueDeta,
+}
+
+impl PipelineMode {
+    /// Display label matching the paper's figure legends.
+    pub fn label(self) -> &'static str {
+        match self {
+            PipelineMode::Baseline => "No ML (prior pipeline)",
+            PipelineMode::Ml => "With ML",
+            PipelineMode::MlQuantized => "With ML (INT8 bkg)",
+            PipelineMode::MlNoPolar => "With ML (no polar input)",
+            PipelineMode::OracleNoBackground => "Oracle: background removed",
+            PipelineMode::OracleTrueDeta => "Oracle: true d-eta",
+        }
+    }
+}
+
+/// One trial's outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrialOutcome {
+    /// Localization error in degrees (180° when localization failed).
+    pub error_deg: f64,
+    /// Whether localization produced a direction at all.
+    pub localized: bool,
+    /// Rings entering localization.
+    pub rings_in: usize,
+    /// Rings surviving background rejection (ML modes; otherwise equals
+    /// `rings_in`).
+    pub rings_surviving: usize,
+    /// Per-stage timings.
+    pub timings: TrialTimings,
+}
+
+/// Wall-clock stage timings of one trial (paper Tables I/II rows).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TrialTimings {
+    /// Event reconstruction (events → rings).
+    pub reconstruction: Duration,
+    /// Localization setup (ring buffers, feature staging).
+    pub setup: Duration,
+    /// dEta network inference.
+    pub d_eta_inference: Duration,
+    /// Background network inference (all iterations).
+    pub background_inference: Duration,
+    /// Approximation + all refinement passes.
+    pub approx_refine: Duration,
+    /// Everything, end to end (excluding the physics simulation, which on
+    /// the instrument is the detector itself).
+    pub total: Duration,
+}
+
+/// The configured end-to-end pipeline.
+pub struct Pipeline<'a> {
+    models: &'a TrainedModels,
+    reconstructor: Reconstructor,
+    ml_config: MlPipelineConfig,
+    detector: DetectorConfig,
+    background: BackgroundConfig,
+}
+
+impl<'a> Pipeline<'a> {
+    /// Assemble with default detector/background configuration.
+    pub fn new(models: &'a TrainedModels) -> Self {
+        Pipeline {
+            models,
+            reconstructor: Reconstructor::default(),
+            ml_config: MlPipelineConfig::default(),
+            detector: DetectorConfig::default(),
+            background: BackgroundConfig::default(),
+        }
+    }
+
+    /// Override the ML loop configuration.
+    pub fn with_ml_config(mut self, config: MlPipelineConfig) -> Self {
+        self.ml_config = config;
+        self
+    }
+
+    /// The expected number of GRB photons geometrically intercepted for a
+    /// burst config — used in reports.
+    pub fn expected_grb_photons(&self, grb: &GrbConfig) -> f64 {
+        let geometry = adapt_sim::DetectorGeometry::new(&self.detector);
+        GrbSource::new(grb).expected_photons_on_detector(&geometry)
+    }
+
+    /// Simulate one burst and return its reconstructed rings (shared by
+    /// all modes of a paired comparison).
+    pub fn simulate_rings(
+        &self,
+        grb: &GrbConfig,
+        perturbation: PerturbationConfig,
+        seed: u64,
+    ) -> (Vec<ComptonRing>, Duration) {
+        let sim = BurstSimulation::new(
+            self.detector.clone(),
+            grb.clone(),
+            self.background.clone(),
+            perturbation,
+        );
+        let data = sim.simulate(seed);
+        let t = Instant::now();
+        let rings = self.reconstructor.reconstruct_all(&data.events);
+        (rings, t.elapsed())
+    }
+
+    /// As [`simulate_rings`](Self::simulate_rings) but with the pileup
+    /// model applied before reconstruction (the paper's future-work
+    /// scenario: events arriving within the detection latency merge).
+    /// Returns the rings, the reconstruction time, and the pileup stats.
+    pub fn simulate_rings_with_pileup(
+        &self,
+        grb: &GrbConfig,
+        perturbation: PerturbationConfig,
+        pileup: &adapt_sim::PileupConfig,
+        seed: u64,
+    ) -> (Vec<ComptonRing>, Duration, adapt_sim::PileupStats) {
+        let sim = BurstSimulation::new(
+            self.detector.clone(),
+            grb.clone(),
+            self.background.clone(),
+            perturbation,
+        );
+        let data = sim.simulate(seed);
+        let (events, stats) = adapt_sim::apply_pileup(data.events, pileup);
+        let t = Instant::now();
+        let rings = self.reconstructor.reconstruct_all(&events);
+        (rings, t.elapsed(), stats)
+    }
+
+    /// Localize pre-reconstructed rings under a mode. `seed` drives the
+    /// localization's internal sampling only.
+    pub fn localize_rings(
+        &self,
+        rings: &[ComptonRing],
+        mode: PipelineMode,
+        grb: &GrbConfig,
+        seed: u64,
+        reconstruction_time: Duration,
+    ) -> TrialOutcome {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x10C4_117E);
+        let source = GrbSource::new(grb).direction;
+        let t_total = Instant::now();
+
+        // setup: stage the ring buffers the localizer consumes
+        let t_setup = Instant::now();
+        let mut staged: Vec<ComptonRing> = match mode {
+            PipelineMode::OracleNoBackground => rings
+                .iter()
+                .filter(|r| !r.is_background_truth())
+                .cloned()
+                .collect(),
+            PipelineMode::OracleTrueDeta => rings
+                .iter()
+                .map(|r| {
+                    let d = r
+                        .truth
+                        .map(|t| t.true_eta_error(r.axis, r.eta).max(1e-4))
+                        .unwrap_or(r.d_eta);
+                    r.with_d_eta(d)
+                })
+                .collect(),
+            _ => rings.to_vec(),
+        };
+        staged.shrink_to_fit();
+        let setup = t_setup.elapsed();
+
+        let rings_in = staged.len();
+        let (direction, surviving, ml_timings) = match mode {
+            PipelineMode::Baseline
+            | PipelineMode::OracleNoBackground
+            | PipelineMode::OracleTrueDeta => {
+                let t = Instant::now();
+                let res = BaselineLocalizer::new(self.ml_config.localizer.clone())
+                    .localize(&staged, &mut rng);
+                let mut timings = StageTimings::default();
+                timings.approx_refine = t.elapsed();
+                (res.map(|r| r.direction), rings_in, timings)
+            }
+            PipelineMode::Ml => {
+                let ml = MlLocalizer::new(
+                    &self.models.background,
+                    &self.models.thresholds,
+                    &self.models.d_eta,
+                    self.ml_config.clone(),
+                );
+                match ml.localize(&staged, &mut rng) {
+                    Some(r) => (Some(r.direction), r.surviving_rings, r.timings),
+                    None => (None, rings_in, StageTimings::default()),
+                }
+            }
+            PipelineMode::MlQuantized => {
+                let ml = MlLocalizer::new(
+                    &self.models.quantized_background,
+                    &self.models.thresholds,
+                    &self.models.d_eta,
+                    self.ml_config.clone(),
+                );
+                match ml.localize(&staged, &mut rng) {
+                    Some(r) => (Some(r.direction), r.surviving_rings, r.timings),
+                    None => (None, rings_in, StageTimings::default()),
+                }
+            }
+            PipelineMode::MlNoPolar => {
+                let thresholds = adapt_nn::ThresholdTable::uniform(0.5);
+                let mut cfg = self.ml_config.clone();
+                cfg.use_polar_input = false;
+                let ml = MlLocalizer::new(
+                    &self.models.background_no_polar,
+                    &thresholds,
+                    &self.models.d_eta_no_polar,
+                    cfg,
+                );
+                match ml.localize(&staged, &mut rng) {
+                    Some(r) => (Some(r.direction), r.surviving_rings, r.timings),
+                    None => (None, rings_in, StageTimings::default()),
+                }
+            }
+        };
+
+        let total = t_total.elapsed() + reconstruction_time;
+        let (error_deg, localized) = match direction {
+            Some(d) => (angular_separation(d, source), true),
+            None => (180.0, false),
+        };
+        TrialOutcome {
+            error_deg,
+            localized,
+            rings_in,
+            rings_surviving: surviving,
+            timings: TrialTimings {
+                reconstruction: reconstruction_time,
+                setup,
+                d_eta_inference: ml_timings.d_eta_inference,
+                background_inference: ml_timings.background_inference,
+                approx_refine: ml_timings.approx_refine,
+                total,
+            },
+        }
+    }
+
+    /// Run one full trial (simulate → reconstruct → localize).
+    pub fn run_trial(
+        &self,
+        mode: PipelineMode,
+        grb: &GrbConfig,
+        perturbation: PerturbationConfig,
+        seed: u64,
+    ) -> TrialOutcome {
+        let (rings, recon_time) = self.simulate_rings(grb, perturbation, seed);
+        self.localize_rings(&rings, mode, grb, seed, recon_time)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::training::{train_models, TrainingCampaignConfig};
+    use std::sync::OnceLock;
+
+    fn models() -> &'static TrainedModels {
+        static MODELS: OnceLock<TrainedModels> = OnceLock::new();
+        MODELS.get_or_init(|| train_models(&TrainingCampaignConfig::fast(), 17))
+    }
+
+    #[test]
+    fn all_modes_produce_outcomes() {
+        let m = models();
+        let pipeline = Pipeline::new(m);
+        let grb = GrbConfig::new(2.0, 0.0);
+        for mode in [
+            PipelineMode::Baseline,
+            PipelineMode::Ml,
+            PipelineMode::MlQuantized,
+            PipelineMode::MlNoPolar,
+            PipelineMode::OracleNoBackground,
+            PipelineMode::OracleTrueDeta,
+        ] {
+            let out = pipeline.run_trial(mode, &grb, PerturbationConfig::default(), 5);
+            assert!(out.rings_in > 10, "{mode:?}: {} rings", out.rings_in);
+            assert!(out.error_deg >= 0.0 && out.error_deg <= 180.0);
+            assert!(out.timings.total >= out.timings.reconstruction);
+            if matches!(mode, PipelineMode::Ml | PipelineMode::MlQuantized) {
+                assert!(out.rings_surviving <= out.rings_in);
+            }
+        }
+    }
+
+    #[test]
+    fn bright_burst_localizes_well_in_all_informative_modes() {
+        let m = models();
+        let pipeline = Pipeline::new(m);
+        let grb = GrbConfig::new(4.0, 0.0);
+        for mode in [PipelineMode::OracleNoBackground, PipelineMode::Ml] {
+            let out = pipeline.run_trial(mode, &grb, PerturbationConfig::default(), 11);
+            assert!(
+                out.localized && out.error_deg < 20.0,
+                "{mode:?}: error {} deg",
+                out.error_deg
+            );
+        }
+    }
+
+    #[test]
+    fn shared_rings_make_paired_comparisons() {
+        let m = models();
+        let pipeline = Pipeline::new(m);
+        let grb = GrbConfig::new(1.5, 20.0);
+        let (rings, rt) = pipeline.simulate_rings(&grb, PerturbationConfig::default(), 3);
+        let a = pipeline.localize_rings(&rings, PipelineMode::Baseline, &grb, 3, rt);
+        let b = pipeline.localize_rings(&rings, PipelineMode::Ml, &grb, 3, rt);
+        assert_eq!(a.rings_in, b.rings_in);
+    }
+
+    #[test]
+    fn oracle_no_background_strips_truth_background() {
+        let m = models();
+        let pipeline = Pipeline::new(m);
+        let grb = GrbConfig::new(1.0, 0.0);
+        let (rings, rt) = pipeline.simulate_rings(&grb, PerturbationConfig::default(), 7);
+        let n_bkg = rings.iter().filter(|r| r.is_background_truth()).count();
+        assert!(n_bkg > 0);
+        let out = pipeline.localize_rings(&rings, PipelineMode::OracleNoBackground, &grb, 7, rt);
+        assert_eq!(out.rings_in, rings.len() - n_bkg);
+    }
+}

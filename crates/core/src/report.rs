@@ -1,0 +1,200 @@
+//! Structured experiment records: every figure/table run can be persisted
+//! as JSON alongside its human-readable table, so downstream analysis
+//! (plotting, regression tracking across code versions) never has to
+//! re-parse console output.
+
+use crate::experiments::{FigureRow, TrialSpec};
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::Path;
+
+/// A self-describing experiment record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// Experiment identifier ("fig8", "table12", ...).
+    pub id: String,
+    /// Free-text description.
+    pub description: String,
+    /// The trial specification used.
+    pub spec: TrialSpec,
+    /// Master seed of the run.
+    pub seed: u64,
+    /// The measured rows.
+    pub rows: Vec<FigureRow>,
+    /// Schema version for forward compatibility.
+    pub schema_version: u32,
+}
+
+/// Current record schema version.
+pub const SCHEMA_VERSION: u32 = 1;
+
+impl ExperimentRecord {
+    /// Assemble a record.
+    pub fn new(
+        id: impl Into<String>,
+        description: impl Into<String>,
+        spec: TrialSpec,
+        seed: u64,
+        rows: Vec<FigureRow>,
+    ) -> Self {
+        ExperimentRecord {
+            id: id.into(),
+            description: description.into(),
+            spec,
+            seed,
+            rows,
+            schema_version: SCHEMA_VERSION,
+        }
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("record serialization")
+    }
+
+    /// Parse from JSON, rejecting unknown future schema versions.
+    pub fn from_json(s: &str) -> Result<Self, String> {
+        let rec: ExperimentRecord =
+            serde_json::from_str(s).map_err(|e| format!("bad record JSON: {e}"))?;
+        if rec.schema_version > SCHEMA_VERSION {
+            return Err(format!(
+                "record schema v{} is newer than supported v{SCHEMA_VERSION}",
+                rec.schema_version
+            ));
+        }
+        Ok(rec)
+    }
+
+    /// Write to a file, creating parent directories.
+    pub fn write_to(&self, path: &Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut f = std::fs::File::create(path)?;
+        f.write_all(self.to_json().as_bytes())
+    }
+
+    /// Read from a file.
+    pub fn read_from(path: &Path) -> Result<Self, String> {
+        let s = std::fs::read_to_string(path).map_err(|e| format!("cannot read record: {e}"))?;
+        Self::from_json(&s)
+    }
+
+    /// The rows of one mode, for series extraction.
+    pub fn series(&self, mode_label: &str) -> Vec<&FigureRow> {
+        self.rows
+            .iter()
+            .filter(|r| r.mode_label == mode_label)
+            .collect()
+    }
+
+    /// Compare against a previous record of the same experiment: the list
+    /// of (x, mode, old c68, new c68) where the 68 % containment moved by
+    /// more than `tolerance_deg` — a regression-tracking primitive.
+    pub fn regressions_against(
+        &self,
+        baseline: &ExperimentRecord,
+        tolerance_deg: f64,
+    ) -> Vec<(f64, String, f64, f64)> {
+        let mut out = Vec::new();
+        for row in &self.rows {
+            if let Some(old) = baseline
+                .rows
+                .iter()
+                .find(|r| r.mode_label == row.mode_label && (r.x - row.x).abs() < 1e-9)
+            {
+                let delta = row.stats.c68_mean - old.stats.c68_mean;
+                if delta > tolerance_deg {
+                    out.push((
+                        row.x,
+                        row.mode_label.clone(),
+                        old.stats.c68_mean,
+                        row.stats.c68_mean,
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::ContainmentStats;
+
+    fn row(x: f64, label: &str, c68: f64) -> FigureRow {
+        FigureRow {
+            x,
+            mode_label: label.to_string(),
+            stats: ContainmentStats {
+                c68_mean: c68,
+                c68_err: 0.1,
+                c95_mean: c68 * 2.0,
+                c95_err: 0.2,
+                localized_fraction: 1.0,
+                mean_rings_in: 500.0,
+                mean_rings_surviving: 200.0,
+            },
+        }
+    }
+
+    fn record(c68_ml: f64) -> ExperimentRecord {
+        ExperimentRecord::new(
+            "fig8",
+            "test record",
+            TrialSpec {
+                trials_per_meta: 10,
+                meta_trials: 2,
+            },
+            42,
+            vec![row(0.0, "With ML", c68_ml), row(0.0, "No ML", 9.0)],
+        )
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let rec = record(3.0);
+        let back = ExperimentRecord::from_json(&rec.to_json()).unwrap();
+        assert_eq!(back.id, "fig8");
+        assert_eq!(back.rows.len(), 2);
+        assert_eq!(back.seed, 42);
+        assert!((back.rows[0].stats.c68_mean - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn future_schema_rejected() {
+        let mut rec = record(3.0);
+        rec.schema_version = SCHEMA_VERSION + 1;
+        assert!(ExperimentRecord::from_json(&rec.to_json()).is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let rec = record(3.0);
+        let path = std::env::temp_dir().join("adapt_record_test/fig8.json");
+        rec.write_to(&path).unwrap();
+        let back = ExperimentRecord::read_from(&path).unwrap();
+        assert_eq!(back.id, rec.id);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn series_filters_by_mode() {
+        let rec = record(3.0);
+        assert_eq!(rec.series("With ML").len(), 1);
+        assert_eq!(rec.series("No ML").len(), 1);
+        assert_eq!(rec.series("nope").len(), 0);
+    }
+
+    #[test]
+    fn regression_detection() {
+        let old = record(3.0);
+        let regressed = record(5.0);
+        let improved = record(2.0);
+        assert_eq!(regressed.regressions_against(&old, 1.0).len(), 1);
+        assert!(improved.regressions_against(&old, 1.0).is_empty());
+        // small move within tolerance
+        assert!(record(3.5).regressions_against(&old, 1.0).is_empty());
+    }
+}

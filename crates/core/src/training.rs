@@ -1,0 +1,409 @@
+//! Training-data campaign and model training (paper §III, "Model
+//! Training").
+//!
+//! The paper simulates 270 M GRB photons across nine polar angles (0°–80°
+//! in 10° steps) plus scaled background exposure, keeps the ~1 M rings that
+//! pass pre-localization filters, and trains on an 80/20/20 split. This
+//! module reproduces that procedure at a configurable (laptop-scale)
+//! photon budget: simulate per-angle bursts, reconstruct rings, label them
+//! from truth, train the two networks with the paper's hyperparameters,
+//! fit the per-polar-bin thresholds, and quantize the background network.
+//!
+//! Trained models are cached on disk as JSON so the experiment binaries
+//! don't retrain for every figure.
+
+use adapt_nn::mlp::BlockOrder;
+use adapt_nn::{
+    models, qat_finetune, three_way_split, Dataset, Matrix, Mlp, QuantizedMlp,
+    ThresholdTable, TrainConfig,
+};
+use adapt_recon::{ComptonRing, Reconstructor};
+use adapt_sim::{BackgroundConfig, BurstSimulation, DetectorConfig, GrbConfig, PerturbationConfig};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Configuration of the training campaign.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainingCampaignConfig {
+    /// GRB fluence simulated at each polar angle (MeV/cm²). Larger values
+    /// mean more GRB rings per angle.
+    pub grb_fluence_per_angle: f64,
+    /// Background particle fluence for the training exposure (boosted far
+    /// above the flight-time default so the label classes stay balanced,
+    /// as the paper does by simulating 1350× background batches).
+    pub background_fluence: f64,
+    /// The nine source polar angles (degrees).
+    pub polar_angles_deg: Vec<f64>,
+    /// Maximum training epochs (paper: 120; scale down for quick runs).
+    pub max_epochs: usize,
+    /// Floor for the dEta regression target |η error| before the log.
+    pub eta_error_floor: f64,
+}
+
+impl Default for TrainingCampaignConfig {
+    fn default() -> Self {
+        TrainingCampaignConfig {
+            grb_fluence_per_angle: 25.0,
+            background_fluence: 250.0,
+            polar_angles_deg: (0..9).map(|i| i as f64 * 10.0).collect(),
+            max_epochs: 60,
+            eta_error_floor: 1e-4,
+        }
+    }
+}
+
+impl TrainingCampaignConfig {
+    /// A fast configuration for tests: fewer photons, fewer epochs.
+    pub fn fast() -> Self {
+        TrainingCampaignConfig {
+            grb_fluence_per_angle: 2.0,
+            background_fluence: 20.0,
+            polar_angles_deg: vec![0.0, 30.0, 60.0],
+            max_epochs: 8,
+            eta_error_floor: 1e-4,
+        }
+    }
+}
+
+/// A labeled ring with its generation-time polar angle (the angle fed as
+/// the networks' thirteenth input during training).
+#[derive(Debug, Clone)]
+pub struct LabeledRing {
+    /// The reconstructed ring with truth attached.
+    pub ring: ComptonRing,
+    /// The true source polar angle of the *GRB* of that exposure —
+    /// background rings get the same exposure angle, mirroring flight
+    /// conditions where the loop feeds the current ŝ estimate to every
+    /// ring of the burst.
+    pub exposure_polar_deg: f64,
+}
+
+/// Simulate the training campaign and reconstruct all rings.
+pub fn generate_training_rings(config: &TrainingCampaignConfig, seed: u64) -> Vec<LabeledRing> {
+    let recon = Reconstructor::default();
+    config
+        .polar_angles_deg
+        .par_iter()
+        .enumerate()
+        .flat_map(|(i, &angle)| {
+            let grb = GrbConfig::new(config.grb_fluence_per_angle, angle);
+            let background = BackgroundConfig {
+                particle_fluence: config.background_fluence,
+                ..BackgroundConfig::default()
+            };
+            let sim = BurstSimulation::new(
+                DetectorConfig::default(),
+                grb,
+                background,
+                PerturbationConfig::default(),
+            );
+            let data = sim.simulate(seed.wrapping_add(i as u64 * 7919));
+            let rings = recon.reconstruct_all(&data.events);
+            rings
+                .into_iter()
+                .map(|ring| LabeledRing {
+                    ring,
+                    exposure_polar_deg: angle,
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// Build the background-classification dataset (label 1 = background).
+/// When `with_polar` is false the 12-feature variant is produced (Fig. 7
+/// ablation).
+pub fn background_dataset(rings: &[LabeledRing], with_polar: bool) -> Dataset {
+    let dim = if with_polar { 13 } else { 12 };
+    let mut xs = Vec::with_capacity(rings.len() * dim);
+    let mut ys = Vec::with_capacity(rings.len());
+    for lr in rings {
+        if with_polar {
+            xs.extend_from_slice(&lr.ring.features.to_model_input(lr.exposure_polar_deg));
+        } else {
+            xs.extend_from_slice(&lr.ring.features.to_static_array());
+        }
+        ys.push(if lr.ring.is_background_truth() { 1.0 } else { 0.0 });
+    }
+    Dataset::new(Matrix::from_vec(rings.len(), dim, xs), ys)
+}
+
+/// Build the dEta regression dataset: GRB rings only (the paper removes
+/// background rings from the dEta training set); target is
+/// `ln(max(|η error|, floor))`. `with_polar` selects the 13- or 12-wide
+/// input variant.
+pub fn d_eta_dataset(rings: &[LabeledRing], floor: f64, with_polar: bool) -> Dataset {
+    let dim = if with_polar { 13 } else { 12 };
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    let mut n = 0usize;
+    for lr in rings {
+        if lr.ring.is_background_truth() {
+            continue;
+        }
+        let Some(truth) = lr.ring.truth else { continue };
+        let err = truth.true_eta_error(lr.ring.axis, lr.ring.eta).max(floor);
+        if with_polar {
+            xs.extend_from_slice(&lr.ring.features.to_model_input(lr.exposure_polar_deg));
+        } else {
+            xs.extend_from_slice(&lr.ring.features.to_static_array());
+        }
+        ys.push(err.ln());
+        n += 1;
+    }
+    Dataset::new(Matrix::from_vec(n, dim, xs), ys)
+}
+
+/// Everything the ML pipeline needs at inference time.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainedModels {
+    /// Background classifier with the polar input (13-wide).
+    pub background: Mlp,
+    /// Background classifier without the polar input (12-wide ablation).
+    pub background_no_polar: Mlp,
+    /// Per-polar-bin thresholds for the 13-wide classifier.
+    pub thresholds: ThresholdTable,
+    /// dEta regressor (outputs ln dη).
+    pub d_eta: Mlp,
+    /// dEta regressor without the polar input (Fig. 7 ablation arm).
+    pub d_eta_no_polar: Mlp,
+    /// The float (FP32-role) parent of the quantized classifier: the
+    /// LinearFirst model after QAT fine-tuning. Fig.-11-style comparisons
+    /// of "INT8 vs FP32" are between `quantized_background` and this.
+    pub background_linear_first: Mlp,
+    /// INT8-quantized background classifier (QAT fine-tuned, fused).
+    pub quantized_background: QuantizedMlp,
+    /// Validation losses for the record: (background, dEta).
+    pub val_losses: (f64, f64),
+}
+
+/// Train all models from a ring campaign. Deterministic given `seed`.
+pub fn train_models(config: &TrainingCampaignConfig, seed: u64) -> TrainedModels {
+    let rings = generate_training_rings(config, seed);
+    assert!(
+        rings.len() > 200,
+        "training campaign produced only {} rings — raise the fluence",
+        rings.len()
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0xA11CE);
+
+    // ----- background network (with polar) -----
+    let bkg_data = background_dataset(&rings, true);
+    let (btrain, bval, btest) = three_way_split(&bkg_data, &mut rng);
+    let mut background = models::background_network(13, BlockOrder::BatchNormFirst, &mut rng);
+    let bcfg = TrainConfig {
+        max_epochs: config.max_epochs,
+        ..TrainConfig::background_paper()
+    };
+    // scaled batch: the paper's 4096 exceeds small campaign sizes
+    let bcfg = TrainConfig {
+        batch_size: bcfg.batch_size.min((btrain.len() / 4).max(32)),
+        learning_rate: 3e-3,
+        ..bcfg
+    };
+    let breport = adapt_nn::train(&mut background, &btrain, &bval, &bcfg, &mut rng);
+
+    // ----- thresholds on the training split -----
+    let logits = background.predict(&btrain.x);
+    let probs: Vec<f64> = (0..btrain.len())
+        .map(|i| adapt_nn::sigmoid(logits.get(i, 0)))
+        .collect();
+    let polar: Vec<f64> = (0..btrain.len())
+        .map(|i| btrain.x.get(i, 12))
+        .collect();
+    let thresholds = ThresholdTable::fit(&probs, &btrain.y, &polar);
+
+    // ----- background network without polar (Fig. 7 ablation) -----
+    let bkg_np_data = background_dataset(&rings, false);
+    let (nptrain, npval, _) = three_way_split(&bkg_np_data, &mut rng);
+    let mut background_no_polar =
+        models::background_network(12, BlockOrder::BatchNormFirst, &mut rng);
+    adapt_nn::train(&mut background_no_polar, &nptrain, &npval, &bcfg, &mut rng);
+
+    // ----- dEta network -----
+    let deta_data = d_eta_dataset(&rings, config.eta_error_floor, true);
+    let (dtrain, dval, _) = three_way_split(&deta_data, &mut rng);
+    let mut d_eta = models::d_eta_network(13, BlockOrder::BatchNormFirst, &mut rng);
+    let dcfg = TrainConfig {
+        max_epochs: config.max_epochs,
+        ..TrainConfig::d_eta_paper()
+    };
+    let dreport = adapt_nn::train(&mut d_eta, &dtrain, &dval, &dcfg, &mut rng);
+
+    // ----- dEta network without polar (Fig. 7 ablation arm) -----
+    let deta_np_data = d_eta_dataset(&rings, config.eta_error_floor, false);
+    let (dnp_train, dnp_val, _) = three_way_split(&deta_np_data, &mut rng);
+    let mut d_eta_no_polar = models::d_eta_network(12, BlockOrder::BatchNormFirst, &mut rng);
+    adapt_nn::train(&mut d_eta_no_polar, &dnp_train, &dnp_val, &dcfg, &mut rng);
+
+    // ----- quantized background network -----
+    // retrain in the fusion-friendly LinearFirst order (paper §V retrains
+    // with the swapped block order), then QAT fine-tune and quantize
+    let mut bkg_lf = models::background_network(13, BlockOrder::LinearFirst, &mut rng);
+    // prepend a normalizing input BatchNorm (folded forward into the first
+    // Linear at fusion time), keeping the raw 13-feature interface while
+    // restoring the trainability the BatchNormFirst order enjoys
+    bkg_lf
+        .layers_mut()
+        .insert(0, adapt_nn::Layer::BatchNorm(adapt_nn::BatchNorm1d::new(13)));
+    adapt_nn::train(&mut bkg_lf, &btrain, &bval, &bcfg, &mut rng);
+    let qat_cfg = TrainConfig {
+        learning_rate: bcfg.learning_rate * 0.1,
+        ..bcfg.clone()
+    };
+    qat_finetune(&mut bkg_lf, &btrain, &qat_cfg, 3, &mut rng);
+    let quantized_background = QuantizedMlp::quantize(&bkg_lf, &btrain.x);
+    let background_linear_first = bkg_lf;
+
+    // sanity: held-out accuracy recorded for the experiment log
+    let test_logits = background.predict(&btest.x);
+    let _test_acc = adapt_nn::accuracy(&test_logits, &btest.y, 0.5);
+
+    TrainedModels {
+        background,
+        background_no_polar,
+        thresholds,
+        d_eta,
+        d_eta_no_polar,
+        background_linear_first,
+        quantized_background,
+        val_losses: (breport.best_val_loss, dreport.best_val_loss),
+    }
+}
+
+impl TrainedModels {
+    /// Save as JSON.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let json = serde_json::to_string(self).expect("model serialization");
+        std::fs::write(path, json)
+    }
+
+    /// Load from JSON.
+    pub fn load(path: &Path) -> std::io::Result<Self> {
+        let json = std::fs::read_to_string(path)?;
+        serde_json::from_str(&json)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+
+    /// Load the cached models at `path`, or train (and cache) them.
+    pub fn load_or_train(
+        path: &Path,
+        config: &TrainingCampaignConfig,
+        seed: u64,
+    ) -> TrainedModels {
+        if let Ok(models) = Self::load(path) {
+            return models;
+        }
+        let models = train_models(config, seed);
+        // caching is best-effort: a read-only target dir is not fatal
+        let _ = models.save(path);
+        models
+    }
+}
+
+/// Diagnostic used by tests and EXPERIMENTS.md: balanced accuracy of the
+/// background net on freshly simulated rings at a given polar angle.
+pub fn background_accuracy_at(
+    models: &TrainedModels,
+    polar_deg: f64,
+    seed: u64,
+) -> f64 {
+    let sim = BurstSimulation::with_defaults(GrbConfig::new(2.0, polar_deg));
+    let data = sim.simulate(seed);
+    let rings = Reconstructor::default().reconstruct_all(&data.events);
+    if rings.is_empty() {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for r in &rings {
+        let x = r.features.to_model_input(polar_deg);
+        let p = adapt_nn::sigmoid(models.background.predict_one(&x));
+        let pred_bkg = models.thresholds.is_background(p, polar_deg);
+        if pred_bkg == r.is_background_truth() {
+            correct += 1;
+        }
+    }
+    correct as f64 / rings.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapt_math::angles::polar_angle_deg;
+
+    #[test]
+    fn campaign_produces_balanced_rings() {
+        let rings = generate_training_rings(&TrainingCampaignConfig::fast(), 1);
+        assert!(rings.len() > 300, "{} rings", rings.len());
+        let bkg = rings.iter().filter(|r| r.ring.is_background_truth()).count();
+        let frac = bkg as f64 / rings.len() as f64;
+        assert!(frac > 0.2 && frac < 0.8, "background fraction {frac}");
+    }
+
+    #[test]
+    fn datasets_have_consistent_shapes() {
+        let rings = generate_training_rings(&TrainingCampaignConfig::fast(), 2);
+        let bd = background_dataset(&rings, true);
+        assert_eq!(bd.dim(), 13);
+        assert_eq!(bd.len(), rings.len());
+        let bd12 = background_dataset(&rings, false);
+        assert_eq!(bd12.dim(), 12);
+        let dd = d_eta_dataset(&rings, 1e-4, true);
+        assert_eq!(dd.dim(), 13);
+        assert!(dd.len() < rings.len(), "dEta set excludes background");
+        assert!(dd.y.iter().all(|v| v.is_finite()));
+        assert_eq!(d_eta_dataset(&rings, 1e-4, false).dim(), 12);
+    }
+
+    #[test]
+    fn trained_background_beats_chance() {
+        let models = train_models(&TrainingCampaignConfig::fast(), 3);
+        // evaluate on a fresh burst
+        let acc = background_accuracy_at(&models, 0.0, 99);
+        assert!(acc > 0.6, "background accuracy {acc}");
+    }
+
+    #[test]
+    fn save_load_round_trip() {
+        let models = train_models(&TrainingCampaignConfig::fast(), 4);
+        let dir = std::env::temp_dir().join("adapt_models_test.json");
+        models.save(&dir).unwrap();
+        let loaded = TrainedModels::load(&dir).unwrap();
+        // same predictions
+        let x = vec![0.5; 13];
+        assert_eq!(
+            models.background.predict_one(&x),
+            loaded.background.predict_one(&x)
+        );
+        assert_eq!(
+            models.quantized_background.forward_one(&x),
+            loaded.quantized_background.forward_one(&x)
+        );
+        let _ = std::fs::remove_file(dir);
+    }
+
+    #[test]
+    fn polar_angles_match_paper_grid() {
+        let cfg = TrainingCampaignConfig::default();
+        assert_eq!(cfg.polar_angles_deg.len(), 9);
+        assert_eq!(cfg.polar_angles_deg[0], 0.0);
+        assert_eq!(cfg.polar_angles_deg[8], 80.0);
+    }
+
+    #[test]
+    fn exposure_polar_matches_truth_polar_for_grb() {
+        let rings = generate_training_rings(&TrainingCampaignConfig::fast(), 5);
+        for lr in rings.iter().filter(|r| !r.ring.is_background_truth()) {
+            let truth = lr.ring.truth.unwrap();
+            let true_polar = polar_angle_deg(truth.source_dir);
+            assert!(
+                (true_polar - lr.exposure_polar_deg).abs() < 1e-6,
+                "grb ring polar {true_polar} vs exposure {}",
+                lr.exposure_polar_deg
+            );
+        }
+    }
+}

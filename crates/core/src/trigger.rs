@@ -1,0 +1,192 @@
+//! The burst trigger: detecting that a GRB happened at all.
+//!
+//! APT/ADAPT "promptly detect energetic transient events … and rapidly
+//! communicate these events" (paper §I). Localization only runs once a
+//! burst trigger fires. This module implements the standard rate-trigger:
+//! slide windows of several widths over the event arrival times and fire
+//! when some window's count is significantly above the background-only
+//! Poisson expectation.
+
+use adapt_sim::Event;
+use serde::{Deserialize, Serialize};
+
+/// Trigger configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TriggerConfig {
+    /// Window widths to test (s). Multiple scales catch both spiky and
+    /// smooth light curves.
+    pub window_widths_s: Vec<f64>,
+    /// Step between window starts, as a fraction of the width.
+    pub step_fraction: f64,
+    /// Significance threshold in Gaussian sigmas.
+    pub threshold_sigma: f64,
+}
+
+impl Default for TriggerConfig {
+    fn default() -> Self {
+        TriggerConfig {
+            window_widths_s: vec![0.064, 0.256, 1.024],
+            step_fraction: 0.25,
+            threshold_sigma: 5.0,
+        }
+    }
+}
+
+/// The trigger's verdict on one exposure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TriggerResult {
+    /// Whether any window crossed the threshold.
+    pub detected: bool,
+    /// The largest significance observed (sigmas).
+    pub max_significance: f64,
+    /// Start time of the most significant window (s).
+    pub trigger_time_s: f64,
+    /// Width of the most significant window (s).
+    pub trigger_width_s: f64,
+}
+
+/// Scan `events` (arrival times within `[0, duration_s)`) against a known
+/// background-only rate (events per second).
+pub fn scan(
+    events: &[Event],
+    duration_s: f64,
+    background_rate_hz: f64,
+    config: &TriggerConfig,
+) -> TriggerResult {
+    assert!(duration_s > 0.0 && background_rate_hz >= 0.0);
+    let mut times: Vec<f64> = events.iter().map(|e| e.arrival_time).collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("non-finite arrival time"));
+
+    let mut best = TriggerResult {
+        detected: false,
+        max_significance: 0.0,
+        trigger_time_s: 0.0,
+        trigger_width_s: 0.0,
+    };
+    for &width in &config.window_widths_s {
+        let width = width.min(duration_s);
+        let step = (width * config.step_fraction).max(1e-6);
+        let expected = background_rate_hz * width;
+        if expected <= 0.0 {
+            continue;
+        }
+        let mut start = 0.0;
+        while start + width <= duration_s + 1e-12 {
+            let lo = times.partition_point(|&t| t < start);
+            let hi = times.partition_point(|&t| t < start + width);
+            let n = (hi - lo) as f64;
+            // Poisson significance with a Gaussian approximation; the
+            // sqrt floor keeps tiny windows from dividing by ~0
+            let sig = (n - expected) / expected.sqrt().max(1e-6);
+            if sig > best.max_significance {
+                best.max_significance = sig;
+                best.trigger_time_s = start;
+                best.trigger_width_s = width;
+            }
+            start += step;
+        }
+    }
+    best.detected = best.max_significance >= config.threshold_sigma;
+    best
+}
+
+/// Estimate the background-only event rate (events/s) from a source-free
+/// calibration exposure — in flight this comes from rolling averages of
+/// quiet time.
+pub fn calibrate_background_rate(events: &[Event], duration_s: f64) -> f64 {
+    assert!(duration_s > 0.0);
+    events.len() as f64 / duration_s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapt_sim::{BackgroundConfig, BurstSimulation, DetectorConfig, GrbConfig,
+        PerturbationConfig};
+
+    fn background_only_rate(seed: u64) -> f64 {
+        // a zero-fluence "burst": only background events
+        let sim = BurstSimulation::with_defaults(GrbConfig::new(1e-6, 0.0));
+        let data = sim.simulate(seed);
+        calibrate_background_rate(&data.events, 1.0)
+    }
+
+    #[test]
+    fn bright_burst_triggers() {
+        let rate = background_only_rate(1);
+        let sim = BurstSimulation::with_defaults(GrbConfig::new(1.0, 0.0));
+        let data = sim.simulate(2);
+        let result = scan(&data.events, 1.0, rate, &TriggerConfig::default());
+        assert!(
+            result.detected,
+            "1 MeV/cm^2 burst must trigger (max sig {:.1})",
+            result.max_significance
+        );
+        // the FRED pulse starts at 0.1 s: the trigger window should land
+        // near the pulse
+        assert!(
+            result.trigger_time_s < 0.6,
+            "trigger at {} s",
+            result.trigger_time_s
+        );
+    }
+
+    #[test]
+    fn background_only_does_not_trigger() {
+        let rate = background_only_rate(3);
+        let sim = BurstSimulation::with_defaults(GrbConfig::new(1e-6, 0.0));
+        let mut false_alarms = 0;
+        for seed in 10..20 {
+            let data = sim.simulate(seed);
+            let result = scan(&data.events, 1.0, rate, &TriggerConfig::default());
+            if result.detected {
+                false_alarms += 1;
+            }
+        }
+        assert!(false_alarms <= 1, "{false_alarms}/10 false alarms at 5 sigma");
+    }
+
+    #[test]
+    fn detection_efficiency_grows_with_fluence() {
+        let rate = background_only_rate(4);
+        let efficiency = |fluence: f64| {
+            let sim = BurstSimulation::with_defaults(GrbConfig::new(fluence, 0.0));
+            let mut hits = 0;
+            for seed in 0..8 {
+                let data = sim.simulate(100 + seed);
+                if scan(&data.events, 1.0, rate, &TriggerConfig::default()).detected {
+                    hits += 1;
+                }
+            }
+            hits as f64 / 8.0
+        };
+        let dim = efficiency(0.02);
+        let bright = efficiency(1.0);
+        assert!(bright > dim, "bright {bright} !> dim {dim}");
+        assert!((bright - 1.0).abs() < 1e-9, "bright bursts always detected");
+    }
+
+    #[test]
+    fn empty_event_list() {
+        let result = scan(&[], 1.0, 100.0, &TriggerConfig::default());
+        assert!(!result.detected);
+        assert!(result.max_significance <= 0.0);
+    }
+
+    #[test]
+    fn zero_background_rate_is_safe() {
+        let sim = BurstSimulation::new(
+            DetectorConfig::default(),
+            GrbConfig::new(0.5, 0.0),
+            BackgroundConfig {
+                particle_fluence: 0.0,
+                ..BackgroundConfig::default()
+            },
+            PerturbationConfig::default(),
+        );
+        let data = sim.simulate(5);
+        // rate 0: every window is skipped, no panic, no detection
+        let result = scan(&data.events, 1.0, 0.0, &TriggerConfig::default());
+        assert!(!result.detected);
+    }
+}

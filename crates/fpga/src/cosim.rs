@@ -1,0 +1,151 @@
+//! C/RTL co-simulation analog: the FPGA kernel must compute *exactly* the
+//! same integers as the software INT8 path.
+//!
+//! The paper validates its HLS kernel with a C++ testbench passing feature
+//! vectors over AXI and checking outputs. Here the "hardware" is the
+//! bit-exact integer kernel from `adapt_nn::quant`, wrapped with the
+//! synthesis schedule so a co-simulation yields both (a) output equality
+//! against the software reference and (b) the cycle count from the
+//! dataflow trace.
+//!
+//! Note the paper's kernel omits the final sigmoid: the sigmoid is
+//! bijective, so the decision threshold is applied to the raw logit
+//! instead. [`threshold_logit`] performs that transformation.
+
+use crate::dataflow::{simulate_batch, DataflowTrace};
+use crate::model::{synthesize, LayerShape, Precision, SynthesisConfig, SynthesisReport};
+use adapt_nn::QuantizedMlp;
+
+/// Map a probability threshold through the inverse sigmoid so it can be
+/// applied to the kernel's raw logit output (the paper's "prior threshold"
+/// trick that removes the sigmoid from hardware).
+pub fn threshold_logit(probability_threshold: f64) -> f64 {
+    let p = probability_threshold.clamp(1e-12, 1.0 - 1e-12);
+    (p / (1.0 - p)).ln()
+}
+
+/// The result of a co-simulation run.
+#[derive(Debug, Clone)]
+pub struct CosimResult {
+    /// Kernel outputs (dequantized logits), one per input.
+    pub outputs: Vec<f64>,
+    /// The dataflow timing trace.
+    pub trace: DataflowTrace,
+    /// The synthesis report used for timing.
+    pub report: SynthesisReport,
+}
+
+/// An FPGA kernel instance wrapping a quantized network.
+pub struct FpgaKernel<'a> {
+    net: &'a QuantizedMlp,
+    report: SynthesisReport,
+}
+
+impl<'a> FpgaKernel<'a> {
+    /// Build a kernel from a quantized network and synthesis tunables.
+    pub fn new(net: &'a QuantizedMlp, config: &SynthesisConfig) -> Self {
+        let shapes: Vec<LayerShape> = net
+            .layers
+            .iter()
+            .map(|l| LayerShape {
+                in_dim: l.in_dim,
+                out_dim: l.out_dim,
+            })
+            .collect();
+        let report = synthesize(&shapes, Precision::Int8, config);
+        FpgaKernel { net, report }
+    }
+
+    /// The synthesis report.
+    pub fn report(&self) -> &SynthesisReport {
+        &self.report
+    }
+
+    /// Co-simulate a batch of feature vectors: compute bit-exact outputs
+    /// and the cycle-level timing of streaming them through the pipeline.
+    pub fn cosimulate(&self, inputs: &[Vec<f64>]) -> CosimResult {
+        let outputs = inputs
+            .iter()
+            .map(|x| self.net.forward_one(x))
+            .collect();
+        let trace = simulate_batch(&self.report, inputs.len());
+        CosimResult {
+            outputs,
+            trace,
+            report: self.report.clone(),
+        }
+    }
+
+    /// Classify a batch on "hardware": logits compared against a
+    /// logit-space threshold (no sigmoid in the kernel).
+    pub fn classify(&self, inputs: &[Vec<f64>], probability_threshold: f64) -> Vec<bool> {
+        let t = threshold_logit(probability_threshold);
+        inputs
+            .iter()
+            .map(|x| self.net.forward_one(x) >= t)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapt_nn::mlp::BlockOrder;
+    use adapt_nn::{Matrix, Mlp, QuantizedMlp};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn quantized_net() -> (QuantizedMlp, Matrix) {
+        let mut rng = ChaCha8Rng::seed_from_u64(81);
+        let mut model = Mlp::new(13, &[32, 16], BlockOrder::LinearFirst, &mut rng);
+        let calib = Matrix::he_uniform(128, 13, &mut rng);
+        for _ in 0..10 {
+            model.forward(&calib, true);
+        }
+        (QuantizedMlp::quantize(&model, &calib), calib)
+    }
+
+    #[test]
+    fn kernel_outputs_bit_exact_vs_software() {
+        let (net, calib) = quantized_net();
+        let kernel = FpgaKernel::new(&net, &SynthesisConfig::default());
+        let inputs: Vec<Vec<f64>> = (0..20).map(|i| calib.row(i).to_vec()).collect();
+        let result = kernel.cosimulate(&inputs);
+        for (i, x) in inputs.iter().enumerate() {
+            let sw = net.forward_one(x);
+            assert_eq!(result.outputs[i], sw, "hardware/software divergence at {i}");
+        }
+    }
+
+    #[test]
+    fn timing_matches_closed_form() {
+        let (net, calib) = quantized_net();
+        let kernel = FpgaKernel::new(&net, &SynthesisConfig::default());
+        let inputs: Vec<Vec<f64>> = (0..100).map(|i| calib.row(i % 128).to_vec()).collect();
+        let result = kernel.cosimulate(&inputs);
+        let spacing = result.trace.steady_output_spacing().unwrap();
+        assert_eq!(spacing, kernel.report().ii_cycles);
+    }
+
+    #[test]
+    fn logit_threshold_is_inverse_sigmoid() {
+        for p in [0.1, 0.5, 0.73, 0.9] {
+            let t = threshold_logit(p);
+            let back = adapt_nn::sigmoid(t);
+            assert!((back - p).abs() < 1e-12, "p={p}");
+        }
+        assert_eq!(threshold_logit(0.5), 0.0);
+    }
+
+    #[test]
+    fn classification_consistent_with_probability_space() {
+        let (net, calib) = quantized_net();
+        let kernel = FpgaKernel::new(&net, &SynthesisConfig::default());
+        let inputs: Vec<Vec<f64>> = (0..50).map(|i| calib.row(i).to_vec()).collect();
+        let hw = kernel.classify(&inputs, 0.5);
+        for (i, x) in inputs.iter().enumerate() {
+            let p = adapt_nn::sigmoid(net.forward_one(x));
+            assert_eq!(hw[i], p >= 0.5, "mismatch at {i}");
+        }
+    }
+}

@@ -1,0 +1,112 @@
+//! Design-space exploration: the latency/resource trade-off curve of the
+//! fused kernel.
+//!
+//! HLS designs pick an unroll budget; the paper reports one point per
+//! precision ("optimized … to the extent possible"). This module sweeps
+//! the target initiation interval and reports the Pareto frontier of
+//! (throughput, DSP usage), plus the batch latency for the paper's
+//! 597-ring workload at each point — the groundwork for the paper's
+//! future-work exploration of other deployment configurations.
+
+use crate::model::{synthesize, LayerShape, Precision, SynthesisConfig, SynthesisReport};
+use serde::{Deserialize, Serialize};
+
+/// One explored design point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DesignPoint {
+    /// The target initiation interval requested (cycles).
+    pub target_ii: usize,
+    /// The synthesis result.
+    pub report: SynthesisReport,
+    /// Batch latency for the reference 597-ring workload at 10 ns (ms).
+    pub batch_ms_597: f64,
+}
+
+/// Sweep target IIs for one precision. Targets are log-spaced between
+/// `min_target` and `max_target`.
+pub fn sweep(
+    layers: &[LayerShape],
+    precision: Precision,
+    min_target: usize,
+    max_target: usize,
+    points: usize,
+) -> Vec<DesignPoint> {
+    assert!(min_target >= 1 && max_target >= min_target && points >= 2);
+    let lo = (min_target as f64).ln();
+    let hi = (max_target as f64).ln();
+    (0..points)
+        .map(|i| {
+            let t = (lo + (hi - lo) * i as f64 / (points - 1) as f64).exp().round() as usize;
+            let config = SynthesisConfig {
+                target_ii: t.max(1),
+                ..SynthesisConfig::default()
+            };
+            let report = synthesize(layers, precision, &config);
+            let batch_ms_597 = report.batch_latency_ms(597, 10.0);
+            DesignPoint {
+                target_ii: t,
+                report,
+                batch_ms_597,
+            }
+        })
+        .collect()
+}
+
+/// Filter a sweep down to its Pareto frontier in (II, DSP): points where
+/// no other point is at least as good on both axes and better on one.
+pub fn pareto_frontier(points: &[DesignPoint]) -> Vec<DesignPoint> {
+    let mut frontier: Vec<DesignPoint> = Vec::new();
+    for p in points {
+        let dominated = points.iter().any(|q| {
+            (q.report.ii_cycles < p.report.ii_cycles
+                && q.report.dsp_slices <= p.report.dsp_slices)
+                || (q.report.ii_cycles <= p.report.ii_cycles
+                    && q.report.dsp_slices < p.report.dsp_slices)
+        });
+        if !dominated {
+            frontier.push(p.clone());
+        }
+    }
+    frontier.sort_by_key(|p| p.report.ii_cycles);
+    frontier.dedup_by_key(|p| (p.report.ii_cycles, p.report.dsp_slices));
+    frontier
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::background_net_shapes;
+
+    #[test]
+    fn sweep_spans_the_tradeoff() {
+        let pts = sweep(&background_net_shapes(), Precision::Int8, 50, 2000, 8);
+        assert_eq!(pts.len(), 8);
+        // faster targets cost more DSPs
+        let fastest = pts.iter().min_by_key(|p| p.report.ii_cycles).unwrap();
+        let slowest = pts.iter().max_by_key(|p| p.report.ii_cycles).unwrap();
+        assert!(fastest.report.dsp_slices > slowest.report.dsp_slices);
+        assert!(fastest.batch_ms_597 < slowest.batch_ms_597);
+    }
+
+    #[test]
+    fn frontier_is_monotone() {
+        let pts = sweep(&background_net_shapes(), Precision::Int8, 50, 4000, 12);
+        let frontier = pareto_frontier(&pts);
+        assert!(!frontier.is_empty());
+        // along the frontier, lower II must cost more DSPs
+        for w in frontier.windows(2) {
+            assert!(w[0].report.ii_cycles <= w[1].report.ii_cycles);
+            assert!(w[0].report.dsp_slices >= w[1].report.dsp_slices);
+        }
+    }
+
+    #[test]
+    fn frontier_subset_of_sweep() {
+        let pts = sweep(&background_net_shapes(), Precision::Fp32, 100, 2000, 6);
+        let frontier = pareto_frontier(&pts);
+        assert!(frontier.len() <= pts.len());
+        for f in &frontier {
+            assert!(pts.iter().any(|p| p.report.ii_cycles == f.report.ii_cycles));
+        }
+    }
+}

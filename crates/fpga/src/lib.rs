@@ -1,0 +1,25 @@
+//! `adapt-fpga`: an HLS-style FPGA deployment model for the quantized
+//! background network — the substitute for the paper's Vitis HLS synthesis
+//! and C/RTL co-simulation (§V, Table III).
+//!
+//! * [`model`] — analytic synthesis: per-stage MAC-engine allocation
+//!   against a target initiation interval, pipeline depths, and
+//!   BRAM/DSP/FF/LUT estimates for INT8 vs FP32;
+//! * [`dataflow`] — a cycle-level discrete-event simulation of the stage
+//!   pipeline validating `n·II + (L − II)`;
+//! * [`cosim`] — bit-exact co-simulation of the INT8 kernel against the
+//!   software reference, with the sigmoid replaced by a logit-space
+//!   threshold as in the paper's kernel.
+
+pub mod cosim;
+pub mod dse;
+pub mod dataflow;
+pub mod model;
+
+pub use cosim::{threshold_logit, CosimResult, FpgaKernel};
+pub use dataflow::{simulate_batch, DataflowTrace};
+pub use dse::{pareto_frontier, sweep, DesignPoint};
+pub use model::{
+    background_net_shapes, synthesize, LayerShape, Precision, StageSchedule, SynthesisConfig,
+    SynthesisReport,
+};

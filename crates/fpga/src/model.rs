@@ -1,0 +1,382 @@
+//! An analytic HLS synthesis model for the fused MLP kernel (paper §V).
+//!
+//! The paper synthesizes the (layer-swapped, fused) background network with
+//! Vitis HLS and reports latency `L`, initiation interval `II`, and
+//! BRAM/DSP/FF/LUT utilization for INT8 and FP32 variants (Table III). We
+//! cannot run Vitis, so this module provides a first-order cost model with
+//! the same design structure:
+//!
+//! * one dataflow *stage* per fused layer, deeply pipelined;
+//! * each stage holds enough MAC engines to sustain a target kernel
+//!   initiation interval; FP32 engines suffer an accumulation-dependency
+//!   stall (floating-point adds cannot accumulate back-to-back), which is
+//!   the architectural source of the INT8 throughput win;
+//! * weights live in on-chip RAM: 18 Kib BRAM blocks, with FP32 arrays
+//!   requiring dual-port replication for the wider read bandwidth;
+//! * per-MAC resource constants reflect DSP packing (two INT8 MACs per
+//!   DSP48 vs ~5 DSPs per FP32 multiply-add).
+//!
+//! Absolute resource counts from a first-order model will not equal a real
+//! place-and-route report; the quantities the reproduction tracks are the
+//! *ratios* between INT8 and FP32 (≈2× latency, ≈1.75× throughput, ~10×
+//! BRAM, and strictly fewer DSP/FF/LUT), which the model preserves.
+//! See EXPERIMENTS.md.
+
+use serde::{Deserialize, Serialize};
+
+/// Numeric precision of a synthesized kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Precision {
+    /// 4-bit integer arithmetic (future-work quantization configuration).
+    Int4,
+    /// 8-bit integer (quantized) arithmetic.
+    Int8,
+    /// 32-bit IEEE floating point.
+    Fp32,
+}
+
+impl Precision {
+    /// Bits per weight.
+    pub fn weight_bits(self) -> usize {
+        match self {
+            Precision::Int4 => 4,
+            Precision::Int8 => 8,
+            Precision::Fp32 => 32,
+        }
+    }
+
+    /// DSP slices per concurrent multiply-accumulate engine.
+    pub fn dsp_per_mac(self) -> f64 {
+        match self {
+            Precision::Int4 => 0.25, // four INT4 MACs pack into one DSP48
+            Precision::Int8 => 0.5,  // two INT8 MACs pack into one DSP48
+            Precision::Fp32 => 5.0,  // fmul (3) + fadd (2)
+        }
+    }
+
+    /// Flip-flops per MAC engine (pipeline registers).
+    pub fn ff_per_mac(self) -> f64 {
+        match self {
+            Precision::Int4 => 35.0,
+            Precision::Int8 => 55.0,
+            Precision::Fp32 => 110.0,
+        }
+    }
+
+    /// LUTs per MAC engine. INT8 shifts some multiply work into fabric,
+    /// FP32 spends fabric on alignment/normalization: nearly a wash,
+    /// slightly favoring INT8 (paper: 776 k vs 817 k).
+    pub fn lut_per_mac(self) -> f64 {
+        match self {
+            Precision::Int4 => 90.0,
+            Precision::Int8 => 150.0,
+            Precision::Fp32 => 160.0,
+        }
+    }
+
+    /// Initiation-interval stretch from accumulation dependencies: an FP32
+    /// accumulator cannot absorb one product per cycle.
+    pub fn accumulation_stall(self) -> f64 {
+        match self {
+            Precision::Int4 | Precision::Int8 => 1.0,
+            Precision::Fp32 => 1.75,
+        }
+    }
+
+    /// Extra pipeline depth per stage (requantization for INT8; wide
+    /// floating-point operator latency for FP32).
+    pub fn stage_depth_overhead(self) -> usize {
+        match self {
+            Precision::Int4 => 5,
+            Precision::Int8 => 6,
+            Precision::Fp32 => 24,
+        }
+    }
+}
+
+/// Shape of one fused layer to synthesize.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LayerShape {
+    /// Input width.
+    pub in_dim: usize,
+    /// Output width.
+    pub out_dim: usize,
+}
+
+impl LayerShape {
+    /// Multiply-accumulate count.
+    pub fn macs(&self) -> usize {
+        self.in_dim * self.out_dim
+    }
+}
+
+/// Per-stage schedule produced by the model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StageSchedule {
+    /// The layer shape.
+    pub shape: LayerShape,
+    /// Concurrent MAC engines allocated.
+    pub mac_engines: usize,
+    /// Stage initiation interval (cycles between successive inputs).
+    pub ii: usize,
+    /// Stage pipeline depth (cycles from input to output).
+    pub depth: usize,
+}
+
+/// A synthesized kernel report — the analog of the Vitis synthesis summary
+/// behind paper Table III.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SynthesisReport {
+    /// Precision of the kernel.
+    pub precision: Precision,
+    /// Kernel latency in cycles (first input to first output).
+    pub latency_cycles: usize,
+    /// Kernel initiation interval in cycles.
+    pub ii_cycles: usize,
+    /// 18 Kib BRAM blocks.
+    pub bram_blocks: usize,
+    /// DSP slices.
+    pub dsp_slices: usize,
+    /// Flip-flops.
+    pub flip_flops: usize,
+    /// Lookup tables.
+    pub lookup_tables: usize,
+    /// Per-stage schedules.
+    pub stages: Vec<StageSchedule>,
+}
+
+impl SynthesisReport {
+    /// Total latency for `n` pipelined inputs: `n·II + (L − II)` (paper's
+    /// formula, after the HLPerf analysis the paper cites).
+    pub fn batch_latency_cycles(&self, n: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        n * self.ii_cycles + (self.latency_cycles - self.ii_cycles)
+    }
+
+    /// Batch latency in milliseconds at a given clock period (paper uses a
+    /// conservative 10 ns).
+    pub fn batch_latency_ms(&self, n: usize, clock_ns: f64) -> f64 {
+        self.batch_latency_cycles(n) as f64 * clock_ns * 1e-6
+    }
+
+    /// Throughput in inferences per second at a clock period.
+    pub fn throughput_per_sec(&self, clock_ns: f64) -> f64 {
+        1e9 / (self.ii_cycles as f64 * clock_ns)
+    }
+}
+
+/// Synthesis-model tunables.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SynthesisConfig {
+    /// Target kernel initiation interval in cycles. MAC engines are
+    /// allocated per stage to sustain it (mimicking HLS unroll pragmas
+    /// chosen against a resource budget). Default mirrors the paper's
+    /// achieved INT8 II.
+    pub target_ii: usize,
+    /// Fixed per-stage control overhead (FFs).
+    pub stage_ff_overhead: usize,
+    /// Fixed per-stage control overhead (LUTs).
+    pub stage_lut_overhead: usize,
+}
+
+impl Default for SynthesisConfig {
+    fn default() -> Self {
+        SynthesisConfig {
+            target_ii: 692,
+            stage_ff_overhead: 3_000,
+            stage_lut_overhead: 6_000,
+        }
+    }
+}
+
+/// Synthesize a kernel for the given fused layer shapes.
+pub fn synthesize(
+    layers: &[LayerShape],
+    precision: Precision,
+    config: &SynthesisConfig,
+) -> SynthesisReport {
+    assert!(!layers.is_empty(), "cannot synthesize an empty network");
+    let stall = precision.accumulation_stall();
+    let mut stages = Vec::with_capacity(layers.len());
+    let mut total_weight_bits = 0usize;
+    for &shape in layers {
+        let macs = shape.macs();
+        // The unroll budget is chosen to hit the target interval with
+        // ideal (integer) engines; the same engine count is kept for FP32,
+        // whose accumulation stall then stretches the achieved interval —
+        // the architectural source of the paper's 1.75x INT8 win.
+        let engines = ((macs as f64) / config.target_ii as f64).ceil().max(1.0) as usize;
+        let ii = ((macs as f64 * stall) / engines as f64).ceil() as usize;
+        let depth = (shape.in_dim.max(2) as f64).log2().ceil() as usize
+            + precision.stage_depth_overhead();
+        stages.push(StageSchedule {
+            shape,
+            mac_engines: engines,
+            ii,
+            depth,
+        });
+        total_weight_bits += macs * precision.weight_bits();
+    }
+    let ii_cycles = stages.iter().map(|s| s.ii).max().unwrap();
+    // dataflow fill: the kernel's first result appears after the slowest
+    // stage's II plus every stage's pipeline depth
+    let latency_cycles = ii_cycles + stages.iter().map(|s| s.depth).sum::<usize>();
+
+    const BRAM_BITS: usize = 18 * 1024;
+    let bram_raw = total_weight_bits.div_ceil(BRAM_BITS);
+    let bram_blocks = match precision {
+        Precision::Int4 | Precision::Int8 => bram_raw,
+        // dual-port replication for the wider FP32 read bandwidth
+        Precision::Fp32 => 2 * bram_raw,
+    };
+    let total_engines: usize = stages.iter().map(|s| s.mac_engines).sum();
+    let dsp_slices = (total_engines as f64 * precision.dsp_per_mac()).ceil() as usize;
+    let flip_flops = (total_engines as f64 * precision.ff_per_mac()) as usize
+        + stages.len() * config.stage_ff_overhead;
+    let lookup_tables = (total_engines as f64 * precision.lut_per_mac()) as usize
+        + stages.len() * config.stage_lut_overhead;
+
+    SynthesisReport {
+        precision,
+        latency_cycles,
+        ii_cycles,
+        bram_blocks,
+        dsp_slices,
+        flip_flops,
+        lookup_tables,
+        stages,
+    }
+}
+
+/// The background network's fused layer shapes with the polar input
+/// (13 → 256 → 128 → 64 → 1).
+pub fn background_net_shapes() -> Vec<LayerShape> {
+    [(13, 256), (256, 128), (128, 64), (64, 1)]
+        .into_iter()
+        .map(|(i, o)| LayerShape { in_dim: i, out_dim: o })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reports() -> (SynthesisReport, SynthesisReport) {
+        let shapes = background_net_shapes();
+        let cfg = SynthesisConfig::default();
+        (
+            synthesize(&shapes, Precision::Int8, &cfg),
+            synthesize(&shapes, Precision::Fp32, &cfg),
+        )
+    }
+
+    #[test]
+    fn int8_beats_fp32_everywhere_table3_direction() {
+        let (i8r, f32r) = reports();
+        assert!(i8r.latency_cycles < f32r.latency_cycles);
+        assert!(i8r.ii_cycles < f32r.ii_cycles);
+        assert!(i8r.bram_blocks < f32r.bram_blocks);
+        assert!(i8r.dsp_slices < f32r.dsp_slices);
+        assert!(i8r.flip_flops < f32r.flip_flops);
+        assert!(i8r.lookup_tables < f32r.lookup_tables);
+    }
+
+    #[test]
+    fn throughput_ratio_near_paper() {
+        let (i8r, f32r) = reports();
+        let ratio = f32r.ii_cycles as f64 / i8r.ii_cycles as f64;
+        // paper: 1209/692 ≈ 1.75
+        assert!(
+            (1.4..=2.2).contains(&ratio),
+            "II ratio {ratio} outside the paper's regime"
+        );
+    }
+
+    #[test]
+    fn bram_ratio_near_paper() {
+        let (i8r, f32r) = reports();
+        let ratio = f32r.bram_blocks as f64 / i8r.bram_blocks as f64;
+        // paper: 144/15 ≈ 9.6 (we model 8x bits + port replication)
+        assert!((6.0..=12.0).contains(&ratio), "BRAM ratio {ratio}");
+    }
+
+    #[test]
+    fn batch_latency_formula() {
+        let (i8r, _) = reports();
+        assert_eq!(i8r.batch_latency_cycles(0), 0);
+        assert_eq!(i8r.batch_latency_cycles(1), i8r.latency_cycles);
+        let n = 597; // the paper's mean first-iteration ring count
+        assert_eq!(
+            i8r.batch_latency_cycles(n),
+            n * i8r.ii_cycles + (i8r.latency_cycles - i8r.ii_cycles)
+        );
+        // at 10 ns this must land in single-digit milliseconds (paper: 4.13)
+        let ms = i8r.batch_latency_ms(n, 10.0);
+        assert!(ms > 1.0 && ms < 10.0, "INT8 batch latency {ms} ms");
+    }
+
+    #[test]
+    fn ii_respects_target() {
+        let (i8r, _) = reports();
+        let target = SynthesisConfig::default().target_ii;
+        assert!(i8r.ii_cycles <= target + 1, "II {} > target", i8r.ii_cycles);
+        // and the biggest layer dominates
+        let max_stage = i8r.stages.iter().map(|s| s.ii).max().unwrap();
+        assert_eq!(max_stage, i8r.ii_cycles);
+    }
+
+    #[test]
+    fn engines_scale_with_layer_size() {
+        let (i8r, _) = reports();
+        // layer 2 (256x128) has the most MACs and the most engines
+        let engines: Vec<usize> = i8r.stages.iter().map(|s| s.mac_engines).collect();
+        let macs: Vec<usize> = i8r.stages.iter().map(|s| s.shape.macs()).collect();
+        let idx_max = macs
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &m)| m)
+            .unwrap()
+            .0;
+        assert_eq!(
+            engines.iter().enumerate().max_by_key(|(_, &e)| e).unwrap().0,
+            idx_max
+        );
+    }
+
+    #[test]
+    fn tighter_target_costs_more_resources() {
+        let shapes = background_net_shapes();
+        let fast = synthesize(
+            &shapes,
+            Precision::Int8,
+            &SynthesisConfig {
+                target_ii: 100,
+                ..Default::default()
+            },
+        );
+        let slow = synthesize(&shapes, Precision::Int8, &SynthesisConfig::default());
+        assert!(fast.ii_cycles < slow.ii_cycles);
+        assert!(fast.dsp_slices > slow.dsp_slices);
+    }
+
+    #[test]
+    fn int4_cheaper_than_int8() {
+        let shapes = background_net_shapes();
+        let cfg = SynthesisConfig::default();
+        let i4 = synthesize(&shapes, Precision::Int4, &cfg);
+        let i8r = synthesize(&shapes, Precision::Int8, &cfg);
+        assert!(i4.bram_blocks <= i8r.bram_blocks);
+        assert!(i4.dsp_slices <= i8r.dsp_slices);
+        assert!(i4.lookup_tables < i8r.lookup_tables);
+        // same integer pipeline cadence
+        assert_eq!(i4.ii_cycles, i8r.ii_cycles);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_network_panics() {
+        synthesize(&[], Precision::Int8, &SynthesisConfig::default());
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests of the FPGA synthesis model and dataflow
+//! simulation.
+
+use adapt_fpga::{
+    pareto_frontier, simulate_batch, sweep, synthesize, LayerShape, Precision, SynthesisConfig,
+};
+use proptest::prelude::*;
+
+fn arb_shapes() -> impl Strategy<Value = Vec<LayerShape>> {
+    proptest::collection::vec(
+        (1usize..128, 1usize..128).prop_map(|(i, o)| LayerShape { in_dim: i, out_dim: o }),
+        1..6,
+    )
+}
+
+proptest! {
+    #[test]
+    fn ii_never_exceeds_latency(shapes in arb_shapes(), target in 10usize..2000) {
+        let cfg = SynthesisConfig { target_ii: target, ..SynthesisConfig::default() };
+        for precision in [Precision::Int4, Precision::Int8, Precision::Fp32] {
+            let r = synthesize(&shapes, precision, &cfg);
+            prop_assert!(r.ii_cycles <= r.latency_cycles);
+            prop_assert!(r.ii_cycles >= 1);
+            prop_assert!(r.dsp_slices >= 1);
+        }
+    }
+
+    #[test]
+    fn batch_latency_linear_in_n(shapes in arb_shapes(), n in 1usize..500) {
+        let r = synthesize(&shapes, Precision::Int8, &SynthesisConfig::default());
+        let l1 = r.batch_latency_cycles(n);
+        let l2 = r.batch_latency_cycles(n + 1);
+        prop_assert_eq!(l2 - l1, r.ii_cycles);
+        prop_assert_eq!(r.batch_latency_cycles(1), r.latency_cycles);
+    }
+
+    #[test]
+    fn fp32_never_beats_int8(shapes in arb_shapes(), target in 20usize..2000) {
+        let cfg = SynthesisConfig { target_ii: target, ..SynthesisConfig::default() };
+        let i8r = synthesize(&shapes, Precision::Int8, &cfg);
+        let f32r = synthesize(&shapes, Precision::Fp32, &cfg);
+        prop_assert!(i8r.ii_cycles <= f32r.ii_cycles);
+        prop_assert!(i8r.latency_cycles <= f32r.latency_cycles);
+        prop_assert!(i8r.bram_blocks <= f32r.bram_blocks);
+        prop_assert!(i8r.dsp_slices <= f32r.dsp_slices);
+    }
+
+    #[test]
+    fn weights_fit_reported_bram(shapes in arb_shapes()) {
+        let cfg = SynthesisConfig::default();
+        for precision in [Precision::Int4, Precision::Int8] {
+            let r = synthesize(&shapes, precision, &cfg);
+            let bits: usize = shapes.iter().map(|s| s.macs() * precision.weight_bits()).sum();
+            prop_assert!(r.bram_blocks * 18 * 1024 >= bits, "weights exceed BRAM");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn dataflow_simulation_consistent_with_closed_form(
+        shapes in arb_shapes(),
+        n in 2usize..60,
+    ) {
+        let r = synthesize(&shapes, Precision::Int8, &SynthesisConfig::default());
+        let trace = simulate_batch(&r, n);
+        prop_assert_eq!(trace.output_cycles.len(), n);
+        // outputs strictly ordered, steady-state spacing = II
+        prop_assert!(trace.output_cycles.windows(2).all(|w| w[0] < w[1]));
+        if n >= 3 {
+            prop_assert_eq!(trace.steady_output_spacing(), Some(r.ii_cycles));
+        }
+        // simulated total >= closed-form (closed form overlaps stage fills)
+        prop_assert!(trace.total_cycles() >= r.batch_latency_cycles(n) - r.latency_cycles);
+    }
+
+    #[test]
+    fn pareto_frontier_dominates_sweep(lo in 20usize..100, span in 5usize..40) {
+        let shapes = vec![
+            LayerShape { in_dim: 13, out_dim: 64 },
+            LayerShape { in_dim: 64, out_dim: 32 },
+            LayerShape { in_dim: 32, out_dim: 1 },
+        ];
+        let pts = sweep(&shapes, Precision::Int8, lo, lo * span, 8);
+        let frontier = pareto_frontier(&pts);
+        prop_assert!(!frontier.is_empty());
+        // every sweep point is weakly dominated by some frontier point
+        for p in &pts {
+            prop_assert!(frontier.iter().any(|f| f.report.ii_cycles <= p.report.ii_cycles
+                && f.report.dsp_slices <= p.report.dsp_slices));
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! The approximation stage (paper §II): pick a small random sample of
+//! rings, enumerate candidate directions lying on those rings' cones, and
+//! return the candidate maximizing the joint robust likelihood of the
+//! sample.
+
+use crate::likelihood::angular_z;
+use adapt_math::rotation::deflect;
+use adapt_math::vec3::UnitVec3;
+use adapt_recon::ComptonRing;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Tunables of the approximation stage.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ApproxConfig {
+    /// Number of rings sampled to build the candidate set and evaluate the
+    /// joint likelihood.
+    pub sample_rings: usize,
+    /// Candidate directions generated per sampled ring (azimuthal steps
+    /// around the cone).
+    pub candidates_per_ring: usize,
+    /// Robustness floor in sigmas for the joint likelihood.
+    pub floor_z: f64,
+    /// Effective dη floor used *during approximation only*: candidates are
+    /// spaced `2π / candidates_per_ring` apart around each cone, so scoring
+    /// them against the raw (often very tight) dη would reject every
+    /// discrete candidate. Inflating dη to at least this value makes the
+    /// coarse search see the true intersection; refinement then works at
+    /// full precision.
+    pub d_eta_floor: f64,
+    /// Restrict candidates to the upper hemisphere (Earth blocks ADAPT's
+    /// view from below).
+    pub upper_hemisphere_only: bool,
+}
+
+impl Default for ApproxConfig {
+    fn default() -> Self {
+        ApproxConfig {
+            sample_rings: 24,
+            candidates_per_ring: 64,
+            floor_z: 3.0,
+            d_eta_floor: 0.06,
+            upper_hemisphere_only: true,
+        }
+    }
+}
+
+/// Run the approximation stage. Returns the best candidate direction and
+/// its joint log-likelihood, or `None` when `rings` is empty.
+pub fn approximate<R: Rng + ?Sized>(
+    rings: &[ComptonRing],
+    config: &ApproxConfig,
+    rng: &mut R,
+) -> Option<(UnitVec3, f64)> {
+    if rings.is_empty() {
+        return None;
+    }
+    // candidate directions come from a small random sample of rings, but
+    // each candidate's joint likelihood is evaluated over *all* rings:
+    // with 2-3x background contamination, a sample-only score lets a
+    // candidate that grazes two background cones outbid the true source.
+    let mut indices: Vec<usize> = (0..rings.len()).collect();
+    indices.shuffle(rng);
+    indices.truncate(config.sample_rings.max(1));
+    let sample: Vec<ComptonRing> = indices.iter().map(|&i| rings[i].clone()).collect();
+
+    let mut best: Option<(UnitVec3, f64)> = None;
+    for ring in &sample {
+        let cone_theta = ring.eta.clamp(-1.0, 1.0).acos();
+        for k in 0..config.candidates_per_ring {
+            let phi = std::f64::consts::TAU * (k as f64 + rng.gen_range(0.0..1.0))
+                / config.candidates_per_ring as f64;
+            let candidate = deflect(ring.axis, cone_theta, phi);
+            if config.upper_hemisphere_only && candidate.as_vec().z < 0.0 {
+                continue;
+            }
+            let ll: f64 = rings
+                .iter()
+                .map(|r| {
+                    let z = angular_z(r, candidate, r.d_eta.max(config.d_eta_floor));
+                    (-0.5 * z * z).max(-0.5 * config.floor_z * config.floor_z)
+                })
+                .sum();
+            if best.map(|(_, b)| ll > b).unwrap_or(true) {
+                best = Some((candidate, ll));
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapt_math::angles::angular_separation;
+    use adapt_recon::RingFeatures;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(51)
+    }
+
+    /// Rings whose cones pass through `source`, with small eta jitter.
+    fn rings_through(source: UnitVec3, n: usize, jitter: f64, seed: u64) -> Vec<ComptonRing> {
+        let mut r = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let axis = adapt_math::sampling::isotropic_direction(&mut r);
+                let eta = axis.cos_angle_to(source)
+                    + jitter * adapt_math::sampling::standard_normal(&mut r);
+                ComptonRing {
+                    axis,
+                    eta: eta.clamp(-0.999, 0.999),
+                    d_eta: jitter.max(0.01),
+                    features: RingFeatures::zeroed(),
+                    truth: None,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn finds_direction_near_common_source() {
+        let source = UnitVec3::from_spherical(0.4, 1.0);
+        let rings = rings_through(source, 40, 0.01, 1);
+        let (s0, ll) = approximate(&rings, &ApproxConfig::default(), &mut rng()).unwrap();
+        assert!(
+            angular_separation(s0, source) < 10.0,
+            "approx off by {} deg (ll {ll})",
+            angular_separation(s0, source)
+        );
+    }
+
+    #[test]
+    fn empty_input_is_none() {
+        assert!(approximate(&[], &ApproxConfig::default(), &mut rng()).is_none());
+    }
+
+    #[test]
+    fn upper_hemisphere_restriction_respected() {
+        // rings through a *below-horizon* source: with the restriction on,
+        // every candidate keeps z >= 0
+        let source = UnitVec3::from_spherical(2.6, 0.0);
+        let rings = rings_through(source, 20, 0.01, 2);
+        let cfg = ApproxConfig::default();
+        if let Some((s0, _)) = approximate(&rings, &cfg, &mut rng()) {
+            assert!(s0.as_vec().z >= 0.0);
+        }
+        let mut cfg_free = cfg.clone();
+        cfg_free.upper_hemisphere_only = false;
+        let (s_free, _) = approximate(&rings, &cfg_free, &mut rng()).unwrap();
+        assert!(
+            angular_separation(s_free, source) < 12.0,
+            "unrestricted should find the true (southern) source"
+        );
+    }
+
+    #[test]
+    fn robust_to_background_contamination() {
+        let source = UnitVec3::from_spherical(0.3, -2.0);
+        let mut rings = rings_through(source, 30, 0.01, 3);
+        // add 30 random background rings
+        let mut r = ChaCha8Rng::seed_from_u64(4);
+        for _ in 0..30 {
+            rings.push(ComptonRing {
+                axis: adapt_math::sampling::isotropic_direction(&mut r),
+                eta: r.gen_range(-0.9..0.9),
+                d_eta: 0.02,
+                features: RingFeatures::zeroed(),
+                truth: None,
+            });
+        }
+        let mut cfg = ApproxConfig::default();
+        cfg.sample_rings = 30;
+        let (s0, _) = approximate(&rings, &cfg, &mut rng()).unwrap();
+        assert!(
+            angular_separation(s0, source) < 12.0,
+            "off by {}",
+            angular_separation(s0, source)
+        );
+    }
+
+    #[test]
+    fn deterministic_given_rng_seed() {
+        let source = UnitVec3::PLUS_Z;
+        let rings = rings_through(source, 25, 0.02, 5);
+        let a = approximate(&rings, &ApproxConfig::default(), &mut rng()).unwrap();
+        let b = approximate(&rings, &ApproxConfig::default(), &mut rng()).unwrap();
+        assert!((a.1 - b.1).abs() < 1e-12);
+        assert!(a.0.angle_to(b.0) < 1e-12);
+    }
+}

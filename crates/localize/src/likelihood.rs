@@ -1,0 +1,120 @@
+//! The probabilistic model of a Compton ring (paper §II, footnote 1):
+//! given a candidate source direction `s`, the ring's angular deviation
+//! follows a radially symmetric Gaussian of width `dθ = dη / sin θ`
+//! centered on the cone `acos(axis·s) = acos η`.
+//!
+//! A robust (outlier-floored) variant keeps background and mis-reconstructed
+//! rings from dominating the joint likelihood.
+
+use adapt_recon::ComptonRing;
+use adapt_math::vec3::UnitVec3;
+
+/// Floor on `sin θ` when converting dη to an angular width, protecting the
+/// nearly-degenerate forward/backward-scatter cones.
+const MIN_SIN_THETA: f64 = 0.05;
+
+/// Floor on dη itself (a zero claimed uncertainty would give one ring
+/// infinite weight).
+pub const MIN_D_ETA: f64 = 1e-4;
+
+/// The angular standardized residual of `source` w.r.t. a ring: the number
+/// of sigmas the candidate lies off the cone, in *angle* space.
+pub fn angular_z(ring: &ComptonRing, source: UnitVec3, d_eta: f64) -> f64 {
+    let theta_to_axis = ring.axis.angle_to(source);
+    let cone_theta = ring.eta.clamp(-1.0, 1.0).acos();
+    let sin_theta = cone_theta.sin().max(MIN_SIN_THETA);
+    let sigma_theta = d_eta.max(MIN_D_ETA) / sin_theta;
+    (theta_to_axis - cone_theta) / sigma_theta
+}
+
+/// Gaussian log-likelihood (up to the per-ring normalization constant) of
+/// `source` under one ring.
+pub fn ring_log_likelihood(ring: &ComptonRing, source: UnitVec3) -> f64 {
+    let z = angular_z(ring, source, ring.d_eta);
+    -0.5 * z * z
+}
+
+/// Robust log-likelihood: a Gaussian core with a constant tail floor, so a
+/// ring more than `floor_z` sigmas away contributes a fixed penalty instead
+/// of an unbounded one. This is what makes the joint likelihood resistant
+/// to background rings.
+pub fn robust_log_likelihood(ring: &ComptonRing, source: UnitVec3, floor_z: f64) -> f64 {
+    let z = angular_z(ring, source, ring.d_eta);
+    (-0.5 * z * z).max(-0.5 * floor_z * floor_z)
+}
+
+/// Joint robust log-likelihood of a candidate over a set of rings.
+pub fn joint_log_likelihood(rings: &[ComptonRing], source: UnitVec3, floor_z: f64) -> f64 {
+    rings
+        .iter()
+        .map(|r| robust_log_likelihood(r, source, floor_z))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapt_recon::RingFeatures;
+
+    fn ring(axis: UnitVec3, eta: f64, d_eta: f64) -> ComptonRing {
+        ComptonRing {
+            axis,
+            eta,
+            d_eta,
+            features: RingFeatures::zeroed(),
+            truth: None,
+        }
+    }
+
+    #[test]
+    fn on_cone_z_is_zero() {
+        let eta = 0.5; // 60 degree cone
+        let r = ring(UnitVec3::PLUS_Z, eta, 0.02);
+        let on = UnitVec3::from_spherical(eta.acos(), 2.0);
+        assert!(angular_z(&r, on, r.d_eta).abs() < 1e-9);
+        assert!(ring_log_likelihood(&r, on).abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_grows_with_angular_distance() {
+        let r = ring(UnitVec3::PLUS_Z, 0.5, 0.02);
+        let cone = 0.5f64.acos();
+        let near = UnitVec3::from_spherical(cone + 0.01, 0.0);
+        let far = UnitVec3::from_spherical(cone + 0.1, 0.0);
+        assert!(angular_z(&r, far, r.d_eta).abs() > angular_z(&r, near, r.d_eta).abs());
+    }
+
+    #[test]
+    fn sigma_theta_scales_inverse_sin() {
+        // same angular offset, same d_eta: a cone near the pole (eta->1)
+        // has larger angular sigma... but MIN_SIN_THETA caps the blowup
+        let r_mid = ring(UnitVec3::PLUS_Z, 0.0, 0.02); // 90 deg cone, sin=1
+        let off = 0.05;
+        let z_mid = angular_z(&r_mid, UnitVec3::from_spherical(90f64.to_radians() + off, 0.0), 0.02);
+        assert!((z_mid.abs() - off / 0.02).abs() < 1e-6);
+    }
+
+    #[test]
+    fn robust_floor_caps_penalty() {
+        let r = ring(UnitVec3::PLUS_Z, 0.5, 0.01);
+        let very_far = UnitVec3::from_spherical(3.0, 0.0);
+        let robust = robust_log_likelihood(&r, very_far, 3.0);
+        assert!((robust + 4.5).abs() < 1e-12, "floor at -0.5*3^2");
+        assert!(ring_log_likelihood(&r, very_far) < robust);
+    }
+
+    #[test]
+    fn joint_prefers_common_intersection() {
+        // three rings whose cones all pass through +z
+        let mk = |polar: f64, az: f64| {
+            let axis = UnitVec3::from_spherical(polar, az);
+            let eta = axis.cos_angle_to(UnitVec3::PLUS_Z);
+            ring(axis, eta, 0.02)
+        };
+        let rings = vec![mk(0.7, 0.0), mk(0.9, 2.0), mk(1.1, 4.0)];
+        let good = joint_log_likelihood(&rings, UnitVec3::PLUS_Z, 4.0);
+        let bad = joint_log_likelihood(&rings, UnitVec3::from_spherical(0.5, 1.0), 4.0);
+        assert!(good > bad);
+        assert!(good.abs() < 1e-9, "all rings exactly on the source");
+    }
+}

@@ -1,0 +1,270 @@
+//! Probability sky maps: the mission product behind the localization.
+//!
+//! Follow-up observatories consume not just a best-fit direction but a
+//! credible region ("90 % containment contour"). This module rasterizes
+//! the joint ring likelihood over the visible (upper) hemisphere on an
+//! equal-area grid and extracts credible-region areas — the quantity that
+//! determines whether a narrow-field telescope can tile the uncertainty.
+
+use crate::likelihood::robust_log_likelihood;
+use adapt_math::vec3::UnitVec3;
+use adapt_recon::ComptonRing;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// An equal-area pixelization of the upper hemisphere: rings of constant
+/// polar angle, each subdivided so every pixel subtends roughly the same
+/// solid angle (a simple Lambert-belt scheme).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HemisphereGrid {
+    /// Pixel centers.
+    centers: Vec<UnitVec3>,
+    /// Solid angle per pixel (steradians) — equal across pixels by
+    /// construction, stored for area computations.
+    pixel_solid_angle: f64,
+}
+
+impl HemisphereGrid {
+    /// Build a grid with approximately `target_pixels` pixels.
+    pub fn new(target_pixels: usize) -> Self {
+        assert!(target_pixels >= 4);
+        // belts of equal sin-theta spacing in cos(theta): equal area
+        let n_belts = ((target_pixels as f64 / 4.0).sqrt().round() as usize).max(2);
+        let mut centers = Vec::new();
+        for b in 0..n_belts {
+            // cos(theta) descends from 1 to 0 in equal steps: equal area
+            let cos_hi = 1.0 - b as f64 / n_belts as f64;
+            let cos_lo = 1.0 - (b + 1) as f64 / n_belts as f64;
+            let cos_mid = 0.5 * (cos_hi + cos_lo);
+            let theta = cos_mid.clamp(0.0, 1.0).acos();
+            // pixels in this belt proportional to its circumference
+            let n_pix = ((2.0 * std::f64::consts::PI * theta.sin() * n_belts as f64).ceil()
+                as usize)
+                .max(1);
+            for p in 0..n_pix {
+                let phi = std::f64::consts::TAU * (p as f64 + 0.5) / n_pix as f64;
+                centers.push(UnitVec3::from_spherical(theta, phi));
+            }
+        }
+        let pixel_solid_angle = 2.0 * std::f64::consts::PI / centers.len() as f64;
+        HemisphereGrid {
+            centers,
+            pixel_solid_angle,
+        }
+    }
+
+    /// Number of pixels.
+    pub fn len(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// True if the grid is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.centers.is_empty()
+    }
+
+    /// Pixel centers.
+    pub fn centers(&self) -> &[UnitVec3] {
+        &self.centers
+    }
+
+    /// Solid angle of one pixel (sr).
+    pub fn pixel_solid_angle(&self) -> f64 {
+        self.pixel_solid_angle
+    }
+}
+
+/// A posterior probability map over the upper hemisphere.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SkyMap {
+    grid: HemisphereGrid,
+    /// Normalized pixel probabilities (sum = 1).
+    probabilities: Vec<f64>,
+}
+
+impl SkyMap {
+    /// Rasterize the joint robust likelihood of `rings` over `grid`.
+    /// Log-likelihoods are stabilized by subtracting the maximum before
+    /// exponentiation.
+    pub fn from_rings(rings: &[ComptonRing], grid: HemisphereGrid, floor_z: f64) -> Self {
+        assert!(!rings.is_empty(), "cannot map an empty ring set");
+        let logls: Vec<f64> = grid
+            .centers
+            .par_iter()
+            .map(|&c| {
+                rings
+                    .iter()
+                    .map(|r| robust_log_likelihood(r, c, floor_z))
+                    .sum()
+            })
+            .collect();
+        let max = logls.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut probabilities: Vec<f64> = logls.iter().map(|&l| (l - max).exp()).collect();
+        let total: f64 = probabilities.iter().sum();
+        for p in probabilities.iter_mut() {
+            *p /= total;
+        }
+        SkyMap {
+            grid,
+            probabilities,
+        }
+    }
+
+    /// The underlying grid.
+    pub fn grid(&self) -> &HemisphereGrid {
+        &self.grid
+    }
+
+    /// Pixel probabilities (normalized).
+    pub fn probabilities(&self) -> &[f64] {
+        &self.probabilities
+    }
+
+    /// The maximum-probability direction.
+    pub fn mode(&self) -> UnitVec3 {
+        let idx = self
+            .probabilities
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("NaN probability"))
+            .map(|(i, _)| i)
+            .expect("non-empty map");
+        self.grid.centers[idx]
+    }
+
+    /// The solid angle (steradians) of the smallest pixel set containing
+    /// `credibility` of the posterior mass — the follow-up tiling area.
+    pub fn credible_region_sr(&self, credibility: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&credibility));
+        let mut sorted: Vec<f64> = self.probabilities.clone();
+        sorted.sort_by(|a, b| b.partial_cmp(a).expect("NaN probability"));
+        let mut mass = 0.0;
+        let mut pixels = 0usize;
+        for p in sorted {
+            mass += p;
+            pixels += 1;
+            if mass >= credibility {
+                break;
+            }
+        }
+        pixels as f64 * self.grid.pixel_solid_angle
+    }
+
+    /// Credible region expressed as the radius (degrees) of the disc with
+    /// the same solid angle — comparable to containment radii.
+    pub fn credible_radius_deg(&self, credibility: f64) -> f64 {
+        let sr = self.credible_region_sr(credibility);
+        // solid angle of a cone of half-angle a: 2*pi*(1-cos a)
+        let cos_a = (1.0 - sr / (2.0 * std::f64::consts::PI)).clamp(-1.0, 1.0);
+        cos_a.acos().to_degrees()
+    }
+
+    /// Posterior mass within `radius_deg` of a direction — the probability
+    /// that the source sits inside a follow-up telescope's field of view.
+    pub fn mass_within(&self, center: UnitVec3, radius_deg: f64) -> f64 {
+        let cos_r = radius_deg.to_radians().cos();
+        self.grid
+            .centers
+            .iter()
+            .zip(&self.probabilities)
+            .filter(|(c, _)| c.cos_angle_to(center) >= cos_r)
+            .map(|(_, &p)| p)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapt_math::angles::angular_separation;
+    use adapt_recon::RingFeatures;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rings_through(source: UnitVec3, n: usize, jitter: f64, seed: u64) -> Vec<ComptonRing> {
+        let mut r = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let axis = adapt_math::sampling::isotropic_direction(&mut r);
+                let eta = (axis.cos_angle_to(source)
+                    + jitter * adapt_math::sampling::standard_normal(&mut r))
+                .clamp(-0.999, 0.999);
+                ComptonRing {
+                    axis,
+                    eta,
+                    d_eta: jitter.max(0.01),
+                    features: RingFeatures::zeroed(),
+                    truth: None,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn grid_covers_hemisphere_equally() {
+        let grid = HemisphereGrid::new(1000);
+        assert!(grid.len() >= 500, "{} pixels", grid.len());
+        // all pixels above the horizon
+        assert!(grid.centers().iter().all(|c| c.as_vec().z >= -1e-12));
+        // total solid angle = 2 pi
+        let total = grid.len() as f64 * grid.pixel_solid_angle();
+        assert!((total - 2.0 * std::f64::consts::PI).abs() < 1e-9);
+    }
+
+    #[test]
+    fn map_peaks_at_the_source() {
+        let source = UnitVec3::from_spherical(0.5, 1.0);
+        let rings = rings_through(source, 60, 0.02, 1);
+        let map = SkyMap::from_rings(&rings, HemisphereGrid::new(3000), 3.0);
+        let mode = map.mode();
+        assert!(
+            angular_separation(mode, source) < 4.0,
+            "mode off by {} deg",
+            angular_separation(mode, source)
+        );
+    }
+
+    #[test]
+    fn credible_region_grows_with_credibility_and_uncertainty() {
+        let source = UnitVec3::from_spherical(0.3, -0.5);
+        let tight = SkyMap::from_rings(
+            &rings_through(source, 80, 0.01, 2),
+            HemisphereGrid::new(3000),
+            3.0,
+        );
+        let loose = SkyMap::from_rings(
+            &rings_through(source, 20, 0.08, 3),
+            HemisphereGrid::new(3000),
+            3.0,
+        );
+        assert!(tight.credible_region_sr(0.9) >= tight.credible_region_sr(0.5));
+        assert!(
+            loose.credible_region_sr(0.9) > tight.credible_region_sr(0.9),
+            "loose {} !> tight {}",
+            loose.credible_region_sr(0.9),
+            tight.credible_region_sr(0.9)
+        );
+        // radii are consistent transformations
+        assert!(tight.credible_radius_deg(0.9) > 0.0);
+    }
+
+    #[test]
+    fn probabilities_normalized_and_mass_within_covers() {
+        let source = UnitVec3::from_spherical(0.4, 2.0);
+        let rings = rings_through(source, 50, 0.02, 4);
+        let map = SkyMap::from_rings(&rings, HemisphereGrid::new(2000), 3.0);
+        let total: f64 = map.probabilities().iter().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // nearly all mass within 20 degrees of the source for tight rings
+        let near = map.mass_within(source, 20.0);
+        assert!(near > 0.8, "mass near source {near}");
+        // whole hemisphere = 1
+        assert!((map.mass_within(UnitVec3::PLUS_Z, 180.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_rings_panics() {
+        SkyMap::from_rings(&[], HemisphereGrid::new(100), 3.0);
+    }
+}

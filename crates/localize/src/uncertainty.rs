@@ -1,0 +1,220 @@
+//! On-board uncertainty quantification of the final source direction.
+//!
+//! Follow-up coordination needs not only ŝ but a per-burst error estimate
+//! *before* any ground truth exists. This module computes the Fisher
+//! information of the ring likelihood at the solution, restricted to the
+//! 2-D tangent plane at ŝ, and reports the 1σ error ellipse and circular-
+//! equivalent radius. A well-calibrated pipeline has its actual angular
+//! errors distributed consistently with these predictions — tested against
+//! simulation truth in the experiment harness.
+
+use crate::likelihood::{angular_z, MIN_D_ETA};
+use adapt_math::vec3::UnitVec3;
+use adapt_recon::ComptonRing;
+use serde::{Deserialize, Serialize};
+
+/// The 2-D Gaussian uncertainty of a direction estimate, expressed in the
+/// tangent plane at the estimate.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DirectionUncertainty {
+    /// 1σ length of the ellipse's major axis (degrees).
+    pub sigma_major_deg: f64,
+    /// 1σ length of the minor axis (degrees).
+    pub sigma_minor_deg: f64,
+    /// Position angle of the major axis in the tangent basis (radians).
+    pub position_angle_rad: f64,
+    /// Rings that contributed (inside the gate).
+    pub contributing_rings: usize,
+}
+
+impl DirectionUncertainty {
+    /// Circular-equivalent 1σ radius: the geometric mean of the axes.
+    pub fn sigma_circular_deg(&self) -> f64 {
+        (self.sigma_major_deg * self.sigma_minor_deg).sqrt()
+    }
+
+    /// Axis ratio (≥ 1): how elongated the constraint is. Rings from a
+    /// narrow range of axes give elongated ellipses.
+    pub fn elongation(&self) -> f64 {
+        if self.sigma_minor_deg <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.sigma_major_deg / self.sigma_minor_deg
+    }
+}
+
+/// Estimate the uncertainty of `direction` from the rings within
+/// `gate_z` standardized residuals (the same inlier notion refinement
+/// uses). Returns `None` with fewer than 3 contributing rings or a
+/// degenerate information matrix.
+pub fn estimate_uncertainty(
+    rings: &[ComptonRing],
+    direction: UnitVec3,
+    gate_z: f64,
+) -> Option<DirectionUncertainty> {
+    // tangent-plane basis at the estimate
+    let (u, v) = direction.orthonormal_basis();
+    // Fisher information of sum_i z_i^2/2 with z_i = (c_i·s − η_i)/dη_i:
+    // I = sum_i (g_i g_i^T) / dη_i², with g_i = (c_i·u, c_i·v) the
+    // gradient of c_i·s in the tangent plane.
+    let mut i_uu = 0.0;
+    let mut i_uv = 0.0;
+    let mut i_vv = 0.0;
+    let mut contributing = 0usize;
+    for ring in rings {
+        let z = angular_z(ring, direction, ring.d_eta);
+        if z.abs() > gate_z {
+            continue;
+        }
+        let d = ring.d_eta.max(MIN_D_ETA);
+        let w = 1.0 / (d * d);
+        let gu = ring.axis.dot(u.as_vec());
+        let gv = ring.axis.dot(v.as_vec());
+        i_uu += w * gu * gu;
+        i_uv += w * gu * gv;
+        i_vv += w * gv * gv;
+        contributing += 1;
+    }
+    if contributing < 3 {
+        return None;
+    }
+    // covariance = inverse of the 2x2 information matrix
+    let det = i_uu * i_vv - i_uv * i_uv;
+    if det <= 1e-30 {
+        return None;
+    }
+    let c_uu = i_vv / det;
+    let c_uv = -i_uv / det;
+    let c_vv = i_uu / det;
+    // eigen-decomposition of the symmetric 2x2 covariance
+    let trace = c_uu + c_vv;
+    let diff = c_uu - c_vv;
+    let disc = (diff * diff + 4.0 * c_uv * c_uv).sqrt();
+    let lambda1 = 0.5 * (trace + disc);
+    let lambda2 = 0.5 * (trace - disc);
+    if lambda1 <= 0.0 || lambda2 <= 0.0 {
+        return None;
+    }
+    let position_angle_rad = 0.5 * (2.0 * c_uv).atan2(diff);
+    Some(DirectionUncertainty {
+        sigma_major_deg: lambda1.sqrt().to_degrees(),
+        sigma_minor_deg: lambda2.sqrt().to_degrees(),
+        position_angle_rad,
+        contributing_rings: contributing,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapt_math::sampling::isotropic_direction;
+    use adapt_recon::RingFeatures;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rings_through(source: UnitVec3, n: usize, d_eta: f64, seed: u64) -> Vec<ComptonRing> {
+        let mut r = ChaCha8Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let axis = isotropic_direction(&mut r);
+                let eta = (axis.cos_angle_to(source)
+                    + d_eta * adapt_math::sampling::standard_normal(&mut r))
+                .clamp(-0.999, 0.999);
+                ComptonRing {
+                    axis,
+                    eta,
+                    d_eta,
+                    features: RingFeatures::zeroed(),
+                    truth: None,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn uncertainty_shrinks_with_more_rings() {
+        let s = UnitVec3::from_spherical(0.4, 0.9);
+        let few = estimate_uncertainty(&rings_through(s, 20, 0.02, 1), s, 3.0).unwrap();
+        let many = estimate_uncertainty(&rings_through(s, 200, 0.02, 2), s, 3.0).unwrap();
+        assert!(many.sigma_circular_deg() < few.sigma_circular_deg());
+        // sqrt(N) scaling within a factor of ~2
+        let ratio = few.sigma_circular_deg() / many.sigma_circular_deg();
+        assert!(ratio > 1.8 && ratio < 6.0, "scaling ratio {ratio}");
+    }
+
+    #[test]
+    fn uncertainty_scales_with_d_eta() {
+        let s = UnitVec3::from_spherical(0.7, -1.0);
+        let tight = estimate_uncertainty(&rings_through(s, 80, 0.01, 3), s, 3.0).unwrap();
+        let loose = estimate_uncertainty(&rings_through(s, 80, 0.05, 4), s, 3.0).unwrap();
+        assert!(loose.sigma_circular_deg() > 2.0 * tight.sigma_circular_deg());
+    }
+
+    #[test]
+    fn prediction_is_calibrated_against_monte_carlo() {
+        // the predicted sigma should match the scatter of actual
+        // least-squares solutions over many realizations
+        use crate::refine::{refine, RefineConfig};
+        use adapt_math::angles::angular_separation;
+        let s = UnitVec3::from_spherical(0.5, 0.3);
+        let mut errors = Vec::new();
+        let mut predicted = 0.0;
+        let n_trials = 40;
+        for t in 0..n_trials {
+            let rings = rings_through(s, 100, 0.02, 100 + t);
+            let res = refine(&rings, s, &RefineConfig::default()).unwrap();
+            errors.push(angular_separation(res.direction, s));
+            if t == 0 {
+                predicted = estimate_uncertainty(&rings, res.direction, 3.0)
+                    .unwrap()
+                    .sigma_circular_deg();
+            }
+        }
+        let mean_err = errors.iter().sum::<f64>() / errors.len() as f64;
+        // for a 2-D Gaussian the mean radial error is sigma*sqrt(pi/2)
+        let expected_mean = predicted * (std::f64::consts::PI / 2.0).sqrt();
+        assert!(
+            mean_err > 0.4 * expected_mean && mean_err < 2.5 * expected_mean,
+            "measured mean {mean_err} vs predicted {expected_mean}"
+        );
+    }
+
+    #[test]
+    fn elongated_geometry_detected() {
+        // rings whose axes cluster near one great circle constrain the
+        // perpendicular direction poorly
+        let s = UnitVec3::PLUS_Z;
+        let mut r = ChaCha8Rng::seed_from_u64(9);
+        let rings: Vec<ComptonRing> = (0..60)
+            .map(|_| {
+                use rand::Rng;
+                // axes confined near the x-z plane
+                let theta: f64 = r.gen_range(0.0..std::f64::consts::PI);
+                let wobble: f64 = r.gen_range(-0.05..0.05);
+                let axis = adapt_math::vec3::Vec3::new(
+                    theta.sin(),
+                    wobble,
+                    theta.cos(),
+                )
+                .normalized();
+                let eta = axis.cos_angle_to(s).clamp(-0.999, 0.999);
+                ComptonRing {
+                    axis,
+                    eta,
+                    d_eta: 0.02,
+                    features: RingFeatures::zeroed(),
+                    truth: None,
+                }
+            })
+            .collect();
+        let unc = estimate_uncertainty(&rings, s, 5.0).unwrap();
+        assert!(unc.elongation() > 1.5, "elongation {}", unc.elongation());
+    }
+
+    #[test]
+    fn too_few_rings_is_none() {
+        let s = UnitVec3::PLUS_Z;
+        assert!(estimate_uncertainty(&rings_through(s, 2, 0.02, 5), s, 3.0).is_none());
+        assert!(estimate_uncertainty(&[], s, 3.0).is_none());
+    }
+}

@@ -1,0 +1,89 @@
+//! Angular bookkeeping helpers.
+//!
+//! The experiment harness reports everything in degrees (matching the
+//! paper's figures), while the physics and likelihood code work in radians
+//! and cosines. These helpers keep the conversions in one place.
+
+use crate::vec3::UnitVec3;
+
+/// Degrees → radians.
+#[inline]
+pub fn deg_to_rad(deg: f64) -> f64 {
+    deg * std::f64::consts::PI / 180.0
+}
+
+/// Radians → degrees.
+#[inline]
+pub fn rad_to_deg(rad: f64) -> f64 {
+    rad * 180.0 / std::f64::consts::PI
+}
+
+/// Angular separation between two directions, in degrees — the paper's
+/// "localization error" metric between true and inferred source.
+#[inline]
+pub fn angular_separation(a: UnitVec3, b: UnitVec3) -> f64 {
+    rad_to_deg(a.angle_to(b))
+}
+
+/// Polar angle of a direction in degrees from the detector zenith (+z).
+/// A source directly overhead has polar angle 0°; one on the horizon, 90°.
+#[inline]
+pub fn polar_angle_deg(dir: UnitVec3) -> f64 {
+    rad_to_deg(dir.polar_angle())
+}
+
+/// The index of the ten-degree polar-angle bin containing `polar_deg`,
+/// clamped to `0..n_bins`. The paper bins thresholds per 10° of polar
+/// angle over `[0°, 90°)`.
+#[inline]
+pub fn polar_bin(polar_deg: f64, n_bins: usize) -> usize {
+    debug_assert!(n_bins > 0);
+    let idx = (polar_deg / 10.0).floor();
+    if idx < 0.0 {
+        0
+    } else {
+        (idx as usize).min(n_bins - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vec3::Vec3;
+
+    #[test]
+    fn conversions_round_trip() {
+        for d in [-180.0, -90.0, 0.0, 45.0, 180.0, 360.0] {
+            assert!((rad_to_deg(deg_to_rad(d)) - d).abs() < 1e-12);
+        }
+        assert!((deg_to_rad(180.0) - std::f64::consts::PI).abs() < 1e-15);
+    }
+
+    #[test]
+    fn separation_of_axes() {
+        let x = Vec3::X.normalized();
+        let y = Vec3::Y.normalized();
+        let z = Vec3::Z.normalized();
+        assert!((angular_separation(x, y) - 90.0).abs() < 1e-9);
+        assert!((angular_separation(x, x) - 0.0).abs() < 1e-9);
+        assert!((angular_separation(z, z.flipped()) - 180.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn polar_angle_of_known_directions() {
+        assert!((polar_angle_deg(UnitVec3::PLUS_Z) - 0.0).abs() < 1e-9);
+        assert!((polar_angle_deg(UnitVec3::PLUS_X) - 90.0).abs() < 1e-9);
+        let mid = UnitVec3::from_spherical(deg_to_rad(40.0), 1.0);
+        assert!((polar_angle_deg(mid) - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn polar_bin_edges() {
+        assert_eq!(polar_bin(0.0, 9), 0);
+        assert_eq!(polar_bin(9.99, 9), 0);
+        assert_eq!(polar_bin(10.0, 9), 1);
+        assert_eq!(polar_bin(85.0, 9), 8);
+        assert_eq!(polar_bin(95.0, 9), 8); // clamped
+        assert_eq!(polar_bin(-5.0, 9), 0); // clamped
+    }
+}

@@ -1,0 +1,335 @@
+//! Small dense linear algebra.
+//!
+//! The localizer's refinement step solves a weighted 3×3 normal-equations
+//! system per iteration; propagation of error needs Jacobian products; and
+//! the NN library's reference paths use the general solver in tests. All
+//! systems here are tiny, so the implementations favour clarity and
+//! robustness (partial pivoting) over blocking.
+
+use crate::vec3::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// A 3×3 matrix, row-major.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Mat3 {
+    pub m: [[f64; 3]; 3],
+}
+
+impl Mat3 {
+    /// All-zero matrix.
+    pub const ZERO: Mat3 = Mat3 { m: [[0.0; 3]; 3] };
+
+    /// Identity matrix.
+    pub const IDENTITY: Mat3 = Mat3 {
+        m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+    };
+
+    /// Build from rows.
+    pub fn from_rows(r0: Vec3, r1: Vec3, r2: Vec3) -> Mat3 {
+        Mat3 {
+            m: [
+                [r0.x, r0.y, r0.z],
+                [r1.x, r1.y, r1.z],
+                [r2.x, r2.y, r2.z],
+            ],
+        }
+    }
+
+    /// The symmetric outer product `w * v v^T` accumulated into `self`;
+    /// the building block of normal equations `A^T W A`.
+    pub fn add_scaled_outer(&mut self, v: Vec3, w: f64) {
+        let a = [v.x, v.y, v.z];
+        for i in 0..3 {
+            for j in 0..3 {
+                self.m[i][j] += w * a[i] * a[j];
+            }
+        }
+    }
+
+    /// Matrix–vector product.
+    pub fn mul_vec(&self, v: Vec3) -> Vec3 {
+        Vec3::new(
+            self.m[0][0] * v.x + self.m[0][1] * v.y + self.m[0][2] * v.z,
+            self.m[1][0] * v.x + self.m[1][1] * v.y + self.m[1][2] * v.z,
+            self.m[2][0] * v.x + self.m[2][1] * v.y + self.m[2][2] * v.z,
+        )
+    }
+
+    /// Determinant.
+    pub fn det(&self) -> f64 {
+        let m = &self.m;
+        m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+            - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+            + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0])
+    }
+
+    /// Add `lambda` to the diagonal (Tikhonov regularization).
+    pub fn add_diagonal(&mut self, lambda: f64) {
+        for i in 0..3 {
+            self.m[i][i] += lambda;
+        }
+    }
+}
+
+/// Solve `A x = b` for a 3×3 system by Gaussian elimination with partial
+/// pivoting. Returns `None` when the pivot underflows (singular system).
+pub fn solve3(a: &Mat3, b: Vec3) -> Option<Vec3> {
+    let mut aug = [
+        [a.m[0][0], a.m[0][1], a.m[0][2], b.x],
+        [a.m[1][0], a.m[1][1], a.m[1][2], b.y],
+        [a.m[2][0], a.m[2][1], a.m[2][2], b.z],
+    ];
+    for col in 0..3 {
+        // partial pivot
+        let mut pivot = col;
+        for row in (col + 1)..3 {
+            if aug[row][col].abs() > aug[pivot][col].abs() {
+                pivot = row;
+            }
+        }
+        if aug[pivot][col].abs() < 1e-300 {
+            return None;
+        }
+        aug.swap(col, pivot);
+        let p = aug[col][col];
+        for row in 0..3 {
+            if row == col {
+                continue;
+            }
+            let f = aug[row][col] / p;
+            for k in col..4 {
+                aug[row][k] -= f * aug[col][k];
+            }
+        }
+    }
+    let x = Vec3::new(
+        aug[0][3] / aug[0][0],
+        aug[1][3] / aug[1][1],
+        aug[2][3] / aug[2][2],
+    );
+    x.is_finite().then_some(x)
+}
+
+/// Solve a general dense `n×n` system in place by Gaussian elimination with
+/// partial pivoting. `a` is row-major with stride `n`; `b` has length `n`.
+/// Returns the solution, or `None` if the matrix is singular.
+///
+/// Used by tests and by the NN library's reference implementations; the hot
+/// paths only need [`solve3`].
+pub fn solve_dense(a: &[f64], b: &[f64], n: usize) -> Option<Vec<f64>> {
+    assert_eq!(a.len(), n * n, "matrix shape mismatch");
+    assert_eq!(b.len(), n, "rhs length mismatch");
+    let mut m = a.to_vec();
+    let mut rhs = b.to_vec();
+    for col in 0..n {
+        let mut pivot = col;
+        for row in (col + 1)..n {
+            if m[row * n + col].abs() > m[pivot * n + col].abs() {
+                pivot = row;
+            }
+        }
+        if m[pivot * n + col].abs() < 1e-300 {
+            return None;
+        }
+        if pivot != col {
+            for k in 0..n {
+                m.swap(col * n + k, pivot * n + k);
+            }
+            rhs.swap(col, pivot);
+        }
+        let p = m[col * n + col];
+        for row in 0..n {
+            if row == col {
+                continue;
+            }
+            let f = m[row * n + col] / p;
+            if f == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                m[row * n + k] -= f * m[col * n + k];
+            }
+            rhs[row] -= f * rhs[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for i in 0..n {
+        x[i] = rhs[i] / m[i * n + i];
+        if !x[i].is_finite() {
+            return None;
+        }
+    }
+    Some(x)
+}
+
+/// Accumulator for the weighted linear least-squares problem
+/// `min_x sum_i w_i (a_i · x - y_i)^2` over 3-vectors `a_i`, solved through
+/// the normal equations. This is precisely the "almost-linear least squares"
+/// at the heart of the paper's localization refinement: each Compton ring
+/// contributes a row `c_i · s ≈ η_i` with weight `1/dη_i²`.
+#[derive(Debug, Clone)]
+pub struct WeightedLsq3 {
+    ata: Mat3,
+    atb: Vec3,
+    weight_sum: f64,
+    count: usize,
+}
+
+impl Default for WeightedLsq3 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WeightedLsq3 {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        WeightedLsq3 {
+            ata: Mat3::ZERO,
+            atb: Vec3::ZERO,
+            weight_sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Clear without deallocating (the struct is `Copy`-sized anyway; this
+    /// mirrors the "workhorse collection" idiom for call-site clarity).
+    pub fn reset(&mut self) {
+        *self = WeightedLsq3::new();
+    }
+
+    /// Add one observation `a · x ≈ y` with weight `w ≥ 0`.
+    pub fn add(&mut self, a: Vec3, y: f64, w: f64) {
+        debug_assert!(w >= 0.0, "negative weight");
+        self.ata.add_scaled_outer(a, w);
+        self.atb += a * (w * y);
+        self.weight_sum += w;
+        self.count += 1;
+    }
+
+    /// Number of observations added.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Total weight added.
+    pub fn weight_sum(&self) -> f64 {
+        self.weight_sum
+    }
+
+    /// Solve the normal equations, with optional ridge `lambda` to keep the
+    /// system well-posed when rings are nearly coaxial.
+    pub fn solve(&self, lambda: f64) -> Option<Vec3> {
+        let mut ata = self.ata;
+        if lambda > 0.0 {
+            ata.add_diagonal(lambda * self.weight_sum.max(1e-12));
+        }
+        solve3(&ata, self.atb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve3_known_system() {
+        let a = Mat3::from_rows(
+            Vec3::new(2.0, 1.0, -1.0),
+            Vec3::new(-3.0, -1.0, 2.0),
+            Vec3::new(-2.0, 1.0, 2.0),
+        );
+        let b = Vec3::new(8.0, -11.0, -3.0);
+        let x = solve3(&a, b).unwrap();
+        assert!((x - Vec3::new(2.0, 3.0, -1.0)).norm() < 1e-10);
+    }
+
+    #[test]
+    fn solve3_singular_returns_none() {
+        let a = Mat3::from_rows(
+            Vec3::new(1.0, 2.0, 3.0),
+            Vec3::new(2.0, 4.0, 6.0),
+            Vec3::new(0.0, 1.0, 1.0),
+        );
+        assert!(solve3(&a, Vec3::new(1.0, 2.0, 3.0)).is_none());
+    }
+
+    #[test]
+    fn solve3_identity() {
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        assert_eq!(solve3(&Mat3::IDENTITY, b), Some(b));
+    }
+
+    #[test]
+    fn solve_dense_matches_solve3() {
+        let a = [2.0, 1.0, -1.0, -3.0, -1.0, 2.0, -2.0, 1.0, 2.0];
+        let b = [8.0, -11.0, -3.0];
+        let x = solve_dense(&a, &b, 3).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-10);
+        assert!((x[1] - 3.0).abs() < 1e-10);
+        assert!((x[2] + 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn solve_dense_1x1_and_singular() {
+        assert_eq!(solve_dense(&[4.0], &[8.0], 1).unwrap(), vec![2.0]);
+        assert!(solve_dense(&[0.0], &[1.0], 1).is_none());
+    }
+
+    #[test]
+    fn solve_dense_permuted_identity_needs_pivoting() {
+        // leading zero pivot forces a row swap
+        let a = [0.0, 1.0, 1.0, 0.0];
+        let b = [3.0, 7.0];
+        let x = solve_dense(&a, &b, 2).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_lsq_recovers_exact_solution() {
+        // rows sampled around a known x*, exact observations
+        let x_star = Vec3::new(0.3, -0.4, 0.8);
+        let mut lsq = WeightedLsq3::new();
+        let dirs = [
+            Vec3::new(1.0, 0.0, 0.1),
+            Vec3::new(0.0, 1.0, -0.2),
+            Vec3::new(0.5, 0.5, 1.0),
+            Vec3::new(-0.3, 0.8, 0.4),
+        ];
+        for (i, d) in dirs.iter().enumerate() {
+            lsq.add(*d, d.dot(x_star), 1.0 + i as f64);
+        }
+        let x = lsq.solve(0.0).unwrap();
+        assert!((x - x_star).norm() < 1e-10);
+        assert_eq!(lsq.count(), 4);
+    }
+
+    #[test]
+    fn weighted_lsq_weights_prefer_heavy_rows() {
+        // two inconsistent observations along the same axis: the solution
+        // lands at the weighted mean
+        let mut lsq = WeightedLsq3::new();
+        lsq.add(Vec3::X, 1.0, 3.0);
+        lsq.add(Vec3::X, 2.0, 1.0);
+        // regularize the unconstrained y, z directions
+        let x = lsq.solve(1e-9).unwrap();
+        assert!((x.x - 1.25).abs() < 1e-6, "got {}", x.x);
+    }
+
+    #[test]
+    fn weighted_lsq_underdetermined_without_ridge_is_none() {
+        let mut lsq = WeightedLsq3::new();
+        lsq.add(Vec3::X, 1.0, 1.0);
+        assert!(lsq.solve(0.0).is_none());
+        assert!(lsq.solve(1e-6).is_some());
+    }
+
+    #[test]
+    fn det_of_rotation_like() {
+        assert!((Mat3::IDENTITY.det() - 1.0).abs() < 1e-15);
+        let mut m = Mat3::IDENTITY;
+        m.m[0][0] = 2.0;
+        assert!((m.det() - 2.0).abs() < 1e-15);
+    }
+}

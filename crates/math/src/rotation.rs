@@ -1,0 +1,220 @@
+//! Proper rotations of 3-space.
+//!
+//! Localization and the Monte-Carlo transport both need frame changes: the
+//! transport scatters photons by a polar/azimuthal pair relative to the
+//! current travel direction, and the localizer parameterizes candidate
+//! source directions on a Compton ring by rotating around the ring axis.
+
+use crate::vec3::{UnitVec3, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// A 3×3 proper rotation matrix, stored row-major.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rotation {
+    rows: [Vec3; 3],
+}
+
+impl Rotation {
+    /// The identity rotation.
+    pub const IDENTITY: Rotation = Rotation {
+        rows: [
+            Vec3 { x: 1.0, y: 0.0, z: 0.0 },
+            Vec3 { x: 0.0, y: 1.0, z: 0.0 },
+            Vec3 { x: 0.0, y: 0.0, z: 1.0 },
+        ],
+    };
+
+    /// Rodrigues' formula: rotation by `angle` radians about `axis`
+    /// (right-hand rule).
+    pub fn about_axis(axis: UnitVec3, angle: f64) -> Rotation {
+        let (s, c) = angle.sin_cos();
+        let k = axis.as_vec();
+        let one_c = 1.0 - c;
+        // R = c I + s [k]_x + (1-c) k k^T
+        let row = |i: usize| {
+            let e = [k.x, k.y, k.z];
+            let kx = match i {
+                0 => Vec3::new(0.0, -k.z, k.y),
+                1 => Vec3::new(k.z, 0.0, -k.x),
+                _ => Vec3::new(-k.y, k.x, 0.0),
+            };
+            let ident = match i {
+                0 => Vec3::X,
+                1 => Vec3::Y,
+                _ => Vec3::Z,
+            };
+            ident * c + kx * s + k * (one_c * e[i])
+        };
+        Rotation { rows: [row(0), row(1), row(2)] }
+    }
+
+    /// The rotation taking `+z` to `dir` by the shortest arc. Any rotation
+    /// with this property differs only by a roll about `dir`; this one is
+    /// deterministic and continuous away from `dir = -z`.
+    pub fn z_to(dir: UnitVec3) -> Rotation {
+        let z = UnitVec3::PLUS_Z;
+        let c = z.cos_angle_to(dir);
+        if c > 1.0 - 1e-14 {
+            return Rotation::IDENTITY;
+        }
+        if c < -1.0 + 1e-14 {
+            // 180 degrees about x
+            return Rotation::about_axis(UnitVec3::PLUS_X, std::f64::consts::PI);
+        }
+        let axis = z.as_vec().cross(dir.as_vec()).normalized();
+        Rotation::about_axis(axis, c.acos())
+    }
+
+    /// Apply to a vector.
+    #[inline]
+    pub fn apply(&self, v: Vec3) -> Vec3 {
+        Vec3::new(self.rows[0].dot(v), self.rows[1].dot(v), self.rows[2].dot(v))
+    }
+
+    /// Apply to a unit vector; the result is renormalized to guard against
+    /// rounding drift in long transport chains.
+    #[inline]
+    pub fn apply_unit(&self, u: UnitVec3) -> UnitVec3 {
+        self.apply(u.as_vec()).normalized()
+    }
+
+    /// Matrix product `self * rhs` (apply `rhs` first).
+    pub fn compose(&self, rhs: &Rotation) -> Rotation {
+        let cols = rhs.transpose();
+        let row = |r: Vec3| Vec3::new(r.dot(cols.rows[0]), r.dot(cols.rows[1]), r.dot(cols.rows[2]));
+        Rotation { rows: [row(self.rows[0]), row(self.rows[1]), row(self.rows[2])] }
+    }
+
+    /// Transpose — for a rotation, also the inverse.
+    pub fn transpose(&self) -> Rotation {
+        let r = &self.rows;
+        Rotation {
+            rows: [
+                Vec3::new(r[0].x, r[1].x, r[2].x),
+                Vec3::new(r[0].y, r[1].y, r[2].y),
+                Vec3::new(r[0].z, r[1].z, r[2].z),
+            ],
+        }
+    }
+
+    /// The inverse rotation.
+    #[inline]
+    pub fn inverse(&self) -> Rotation {
+        self.transpose()
+    }
+
+    /// Maximum absolute deviation of `R^T R` from the identity — a
+    /// diagnostic of orthonormality used in tests.
+    pub fn orthonormality_error(&self) -> f64 {
+        let t = self.transpose();
+        let p = t.compose(self);
+        let mut err: f64 = 0.0;
+        let ident = Rotation::IDENTITY;
+        for i in 0..3 {
+            let d = p.rows[i] - ident.rows[i];
+            err = err.max(d.x.abs()).max(d.y.abs()).max(d.z.abs());
+        }
+        err
+    }
+}
+
+/// Rotate `dir` by polar angle `theta` and azimuth `phi` *relative to its
+/// own frame*: the result makes angle `theta` with `dir`, with `phi`
+/// selecting the position around the cone.
+///
+/// This is the core operation of Compton scattering in the transport code
+/// and of ring parameterization in the localizer.
+pub fn deflect(dir: UnitVec3, theta: f64, phi: f64) -> UnitVec3 {
+    let (u, v) = dir.orthonormal_basis();
+    let (st, ct) = theta.sin_cos();
+    let (sp, cp) = phi.sin_cos();
+    (dir.as_vec() * ct + u.as_vec() * (st * cp) + v.as_vec() * (st * sp)).normalized()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn identity_is_noop() {
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(Rotation::IDENTITY.apply(v), v);
+    }
+
+    #[test]
+    fn quarter_turn_about_z() {
+        let r = Rotation::about_axis(UnitVec3::PLUS_Z, FRAC_PI_2);
+        let out = r.apply(Vec3::X);
+        assert!((out - Vec3::Y).norm() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_preserves_norm_and_angles() {
+        let r = Rotation::about_axis(UnitVec3::from_spherical(1.0, 2.0), 0.8);
+        let a = Vec3::new(1.0, -2.0, 0.5);
+        let b = Vec3::new(0.3, 0.3, -1.0);
+        assert!((r.apply(a).norm() - a.norm()).abs() < 1e-12);
+        assert!((r.apply(a).dot(r.apply(b)) - a.dot(b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_to_maps_z_onto_target() {
+        for dir in [
+            UnitVec3::from_spherical(0.0, 0.0),
+            UnitVec3::from_spherical(0.3, 1.0),
+            UnitVec3::from_spherical(2.9, -2.0),
+            UnitVec3::from_spherical(PI, 0.0),
+        ] {
+            let r = Rotation::z_to(dir);
+            let mapped = r.apply_unit(UnitVec3::PLUS_Z);
+            assert!(
+                mapped.angle_to(dir) < 1e-7,
+                "z_to failed for {:?}: got {:?}",
+                dir,
+                mapped
+            );
+            assert!(r.orthonormality_error() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn compose_matches_sequential_application() {
+        let r1 = Rotation::about_axis(UnitVec3::PLUS_X, 0.4);
+        let r2 = Rotation::about_axis(UnitVec3::PLUS_Y, -1.1);
+        let v = Vec3::new(0.2, -0.7, 1.5);
+        let seq = r2.apply(r1.apply(v));
+        let comp = r2.compose(&r1).apply(v);
+        assert!((seq - comp).norm() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_undoes() {
+        let r = Rotation::about_axis(UnitVec3::from_spherical(0.5, -0.3), 1.7);
+        let v = Vec3::new(3.0, -1.0, 2.0);
+        assert!((r.inverse().apply(r.apply(v)) - v).norm() < 1e-12);
+    }
+
+    #[test]
+    fn deflect_angle_is_exact() {
+        let dir = UnitVec3::from_spherical(0.9, 0.1);
+        for &theta in &[0.0, 0.2, 1.0, 2.5, PI] {
+            for &phi in &[0.0, 1.0, 3.0, -2.0] {
+                let out = deflect(dir, theta, phi);
+                assert!(
+                    (out.angle_to(dir) - theta).abs() < 1e-9,
+                    "deflect({theta}, {phi})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn deflect_phi_sweeps_cone() {
+        let dir = UnitVec3::PLUS_Z;
+        let a = deflect(dir, 0.5, 0.0);
+        let b = deflect(dir, 0.5, PI);
+        // antipodal on the cone: the angle between them is 2*theta
+        assert!((a.angle_to(b) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,252 @@
+//! Random sampling helpers for the Monte-Carlo transport and workload
+//! generators.
+//!
+//! All routines take an `&mut impl Rng` so callers can thread seeded,
+//! reproducible generators (the experiment harness derives one independent
+//! stream per trial).
+
+use crate::vec3::UnitVec3;
+use rand::Rng;
+
+/// A direction drawn uniformly from the full sphere.
+pub fn isotropic_direction<R: Rng + ?Sized>(rng: &mut R) -> UnitVec3 {
+    let cos_theta: f64 = rng.gen_range(-1.0..=1.0);
+    let phi: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    UnitVec3::from_spherical(cos_theta.acos(), phi)
+}
+
+/// A direction drawn uniformly from the upper hemisphere (`z ≥ 0`).
+pub fn hemisphere_direction<R: Rng + ?Sized>(rng: &mut R) -> UnitVec3 {
+    let cos_theta: f64 = rng.gen_range(0.0..=1.0);
+    let phi: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    UnitVec3::from_spherical(cos_theta.acos(), phi)
+}
+
+/// A direction from the *lower* hemisphere biased toward the horizon, with
+/// density `∝ sin^k(θ)` in polar angle over `[90°, 180°)` for shape
+/// parameter `k ≥ 0` — a crude stand-in for the atmospheric albedo
+/// background, which peaks near the Earth's limb. Sampled by rejection.
+pub fn limb_biased_updirection<R: Rng + ?Sized>(rng: &mut R, k: f64) -> UnitVec3 {
+    debug_assert!(k >= 0.0);
+    loop {
+        let theta: f64 = rng.gen_range(std::f64::consts::FRAC_PI_2..std::f64::consts::PI);
+        let accept: f64 = rng.gen_range(0.0..1.0);
+        if accept <= theta.sin().powf(k) {
+            let phi: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+            return UnitVec3::from_spherical(theta, phi);
+        }
+    }
+}
+
+/// Sample `E` from a power law `dN/dE ∝ E^gamma` on `[e_min, e_max]`
+/// (gamma may be any real; gamma = -1 handled via the log form).
+///
+/// Power laws are the workhorse of both the GRB Band spectrum's high-energy
+/// wing (`β = -2.35` in the paper's setup) and the atmospheric background
+/// spectrum.
+pub fn power_law<R: Rng + ?Sized>(rng: &mut R, gamma: f64, e_min: f64, e_max: f64) -> f64 {
+    assert!(e_min > 0.0 && e_max > e_min, "invalid power-law support");
+    let u: f64 = rng.gen_range(0.0..1.0);
+    if (gamma + 1.0).abs() < 1e-12 {
+        // dN/dE ∝ 1/E: inverse-CDF is exponential in log-space
+        (e_min.ln() + u * (e_max.ln() - e_min.ln())).exp()
+    } else {
+        let g1 = gamma + 1.0;
+        let lo = e_min.powf(g1);
+        let hi = e_max.powf(g1);
+        (lo + u * (hi - lo)).powf(1.0 / g1)
+    }
+}
+
+/// Sample from an exponential with the given `mean` (inverse-CDF method).
+/// Used for free-path lengths in transport.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> f64 {
+    assert!(mean > 0.0);
+    let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    -mean * u.ln()
+}
+
+/// Sample from a Poisson distribution with rate `lambda`.
+///
+/// Knuth's product method for small rates; for `lambda > 30` a Gaussian
+/// approximation with continuity correction (adequate for event counts in
+/// the thousands, where the relative error is < 1e-3).
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(lambda >= 0.0);
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let limit = (-lambda).exp();
+        let mut product: f64 = rng.gen_range(0.0..1.0);
+        let mut count = 0u64;
+        while product > limit {
+            product *= rng.gen_range(0.0_f64..1.0);
+            count += 1;
+        }
+        count
+    } else {
+        let z: f64 = standard_normal(rng);
+        let x = lambda + lambda.sqrt() * z + 0.5;
+        if x < 0.0 {
+            0
+        } else {
+            x as u64
+        }
+    }
+}
+
+/// A standard normal variate by Marsaglia polar method.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u: f64 = rng.gen_range(-1.0..1.0);
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// A Gaussian variate with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, sd: f64) -> f64 {
+    mean + sd * standard_normal(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::RunningStats;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(0x5EED)
+    }
+
+    #[test]
+    fn isotropic_mean_is_near_zero() {
+        let mut r = rng();
+        let mut sx = RunningStats::new();
+        let mut sz = RunningStats::new();
+        for _ in 0..20_000 {
+            let d = isotropic_direction(&mut r).as_vec();
+            sx.push(d.x);
+            sz.push(d.z);
+        }
+        assert!(sx.mean().abs() < 0.02, "x mean {}", sx.mean());
+        assert!(sz.mean().abs() < 0.02, "z mean {}", sz.mean());
+        // var of each component of a uniform sphere direction = 1/3
+        assert!((sz.variance() - 1.0 / 3.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn hemisphere_stays_up() {
+        let mut r = rng();
+        for _ in 0..2000 {
+            assert!(hemisphere_direction(&mut r).as_vec().z >= 0.0);
+        }
+    }
+
+    #[test]
+    fn limb_biased_points_down() {
+        let mut r = rng();
+        let mut stats = RunningStats::new();
+        for _ in 0..5000 {
+            let d = limb_biased_updirection(&mut r, 4.0);
+            assert!(d.as_vec().z <= 1e-12);
+            stats.push(crate::angles::polar_angle_deg(d));
+        }
+        // with k=4 the mass concentrates near 90-130 degrees
+        assert!(stats.mean() > 95.0 && stats.mean() < 130.0, "{}", stats.mean());
+    }
+
+    #[test]
+    fn power_law_bounds_and_shape() {
+        let mut r = rng();
+        let mut below_1 = 0usize;
+        let n = 50_000;
+        for _ in 0..n {
+            let e = power_law(&mut r, -2.35, 0.03, 10.0);
+            assert!((0.03..=10.0).contains(&e));
+            if e < 1.0 {
+                below_1 += 1;
+            }
+        }
+        // analytic CDF at 1.0 for gamma=-2.35 on [0.03, 10]:
+        // F(1) = (0.03^-1.35 - 1^-1.35) / (0.03^-1.35 - 10^-1.35)
+        let g1 = -1.35_f64;
+        let f = |e: f64| e.powf(g1);
+        let cdf1 = (f(0.03) - f(1.0)) / (f(0.03) - f(10.0));
+        let got = below_1 as f64 / n as f64;
+        assert!((got - cdf1).abs() < 0.01, "got {got}, want {cdf1}");
+    }
+
+    #[test]
+    fn power_law_gamma_minus_one() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let e = power_law(&mut r, -1.0, 1.0, 100.0);
+            assert!((1.0..=100.0).contains(&e));
+        }
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng();
+        let mut s = RunningStats::new();
+        for _ in 0..50_000 {
+            s.push(exponential(&mut r, 2.5));
+        }
+        assert!((s.mean() - 2.5).abs() < 0.05, "{}", s.mean());
+    }
+
+    #[test]
+    fn poisson_small_and_large_rates() {
+        let mut r = rng();
+        for &lambda in &[0.5, 3.0, 12.0, 80.0, 500.0] {
+            let mut s = RunningStats::new();
+            for _ in 0..20_000 {
+                s.push(poisson(&mut r, lambda) as f64);
+            }
+            assert!(
+                (s.mean() - lambda).abs() < 4.0 * (lambda / 20_000.0).sqrt() + 0.55,
+                "lambda {lambda}: mean {}",
+                s.mean()
+            );
+            assert!(
+                (s.variance() - lambda).abs() < 0.15 * lambda + 0.5,
+                "lambda {lambda}: var {}",
+                s.variance()
+            );
+        }
+    }
+
+    #[test]
+    fn poisson_zero_rate() {
+        let mut r = rng();
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng();
+        let mut s = RunningStats::new();
+        for _ in 0..100_000 {
+            s.push(standard_normal(&mut r));
+        }
+        assert!(s.mean().abs() < 0.02);
+        assert!((s.variance() - 1.0).abs() < 0.03);
+    }
+
+    #[test]
+    fn normal_scales() {
+        let mut r = rng();
+        let mut s = RunningStats::new();
+        for _ in 0..50_000 {
+            s.push(normal(&mut r, 10.0, 3.0));
+        }
+        assert!((s.mean() - 10.0).abs() < 0.1);
+        assert!((s.std_dev() - 3.0).abs() < 0.1);
+    }
+}

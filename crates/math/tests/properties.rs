@@ -1,0 +1,162 @@
+//! Property-based tests of the math foundations.
+
+use adapt_math::angles::{deg_to_rad, rad_to_deg};
+use adapt_math::linalg::{solve3, solve_dense, Mat3, WeightedLsq3};
+use adapt_math::rotation::{deflect, Rotation};
+use adapt_math::special::{erf, erfc, normal_cdf, normal_quantile};
+use adapt_math::stats::{containment_radius, quantile, RunningStats};
+use adapt_math::vec3::{UnitVec3, Vec3};
+use proptest::prelude::*;
+
+fn arb_vec3() -> impl Strategy<Value = Vec3> {
+    (-100.0f64..100.0, -100.0f64..100.0, -100.0f64..100.0)
+        .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn arb_unit() -> impl Strategy<Value = UnitVec3> {
+    (0.0f64..std::f64::consts::PI, -3.2f64..3.2)
+        .prop_map(|(t, p)| UnitVec3::from_spherical(t, p))
+}
+
+proptest! {
+    #[test]
+    fn cross_product_orthogonal(a in arb_vec3(), b in arb_vec3()) {
+        let c = a.cross(b);
+        // orthogonality scaled by magnitudes to stay numerically fair
+        let scale = a.norm() * b.norm();
+        prop_assume!(scale > 1e-6);
+        prop_assert!(c.dot(a).abs() <= 1e-9 * scale * a.norm().max(1.0));
+        prop_assert!(c.dot(b).abs() <= 1e-9 * scale * b.norm().max(1.0));
+    }
+
+    #[test]
+    fn lagrange_identity(a in arb_vec3(), b in arb_vec3()) {
+        // |a x b|^2 + (a.b)^2 = |a|^2 |b|^2
+        let lhs = a.cross(b).norm_sq() + a.dot(b) * a.dot(b);
+        let rhs = a.norm_sq() * b.norm_sq();
+        prop_assert!((lhs - rhs).abs() <= 1e-9 * rhs.max(1.0));
+    }
+
+    #[test]
+    fn rotations_preserve_inner_products(
+        axis in arb_unit(),
+        angle in -6.3f64..6.3,
+        a in arb_vec3(),
+        b in arb_vec3(),
+    ) {
+        let r = Rotation::about_axis(axis, angle);
+        let da = r.apply(a);
+        let db = r.apply(b);
+        prop_assert!((da.dot(db) - a.dot(b)).abs() <= 1e-8 * (a.norm() * b.norm()).max(1.0));
+        prop_assert!(r.orthonormality_error() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_inverse_round_trip(axis in arb_unit(), angle in -6.3f64..6.3, v in arb_vec3()) {
+        let r = Rotation::about_axis(axis, angle);
+        let back = r.inverse().apply(r.apply(v));
+        prop_assert!((back - v).norm() <= 1e-9 * v.norm().max(1.0));
+    }
+
+    #[test]
+    fn deflect_preserves_cone_angle(dir in arb_unit(), theta in 0.0f64..3.14, phi in 0.0f64..6.28) {
+        let out = deflect(dir, theta, phi);
+        prop_assert!((out.angle_to(dir) - theta).abs() < 1e-8);
+        prop_assert!((out.as_vec().norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angle_conversions_inverse(d in -720.0f64..720.0) {
+        prop_assert!((rad_to_deg(deg_to_rad(d)) - d).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solve3_solves(m in proptest::array::uniform9(-10.0f64..10.0), b in proptest::array::uniform3(-10.0f64..10.0)) {
+        let a = Mat3 { m: [[m[0], m[1], m[2]], [m[3], m[4], m[5]], [m[6], m[7], m[8]]] };
+        let rhs = Vec3::new(b[0], b[1], b[2]);
+        prop_assume!(a.det().abs() > 1e-3);
+        let x = solve3(&a, rhs).expect("well-conditioned system");
+        let residual = a.mul_vec(x) - rhs;
+        prop_assert!(residual.norm() < 1e-6, "residual {}", residual.norm());
+    }
+
+    #[test]
+    fn solve_dense_matches_solve3(m in proptest::array::uniform9(-10.0f64..10.0), b in proptest::array::uniform3(-10.0f64..10.0)) {
+        let a3 = Mat3 { m: [[m[0], m[1], m[2]], [m[3], m[4], m[5]], [m[6], m[7], m[8]]] };
+        prop_assume!(a3.det().abs() > 1e-3);
+        let x3 = solve3(&a3, Vec3::new(b[0], b[1], b[2])).unwrap();
+        let xn = solve_dense(&m, &b, 3).unwrap();
+        prop_assert!((x3.x - xn[0]).abs() < 1e-6);
+        prop_assert!((x3.y - xn[1]).abs() < 1e-6);
+        prop_assert!((x3.z - xn[2]).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weighted_lsq_exact_recovery(
+        target in proptest::array::uniform3(-5.0f64..5.0),
+        dirs in proptest::collection::vec(arb_unit(), 4..20),
+    ) {
+        let x_star = Vec3::new(target[0], target[1], target[2]);
+        let mut lsq = WeightedLsq3::new();
+        for d in &dirs {
+            lsq.add(d.as_vec(), d.dot(x_star), 1.0);
+        }
+        if let Some(x) = lsq.solve(1e-12) {
+            // with >=4 generic directions the system is determined
+            let err = (x - x_star).norm();
+            prop_assert!(err < 1e-4 || dirs.len() < 6, "err {err} with {} dirs", dirs.len());
+        }
+    }
+
+    #[test]
+    fn quantile_within_range(mut values in proptest::collection::vec(-100.0f64..100.0, 1..200), q in 0.0f64..1.0) {
+        let qv = quantile(&values, q).unwrap();
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        prop_assert!(qv >= values[0] - 1e-12 && qv <= values[values.len() - 1] + 1e-12);
+    }
+
+    #[test]
+    fn containment_bounds_quantile(values in proptest::collection::vec(0.0f64..180.0, 1..200), f in 0.01f64..1.0) {
+        let c = containment_radius(&values, f).unwrap();
+        // containment radius is an order statistic of the sample
+        prop_assert!(values.iter().any(|&v| (v - c).abs() < 1e-12));
+        let frac_below = values.iter().filter(|&&v| v <= c).count() as f64 / values.len() as f64;
+        prop_assert!(frac_below >= f - 1e-9, "containment property violated");
+    }
+
+    #[test]
+    fn running_stats_merge_associative(
+        a in proptest::collection::vec(-50.0f64..50.0, 1..50),
+        b in proptest::collection::vec(-50.0f64..50.0, 1..50),
+        c in proptest::collection::vec(-50.0f64..50.0, 1..50),
+    ) {
+        let stats = |vs: &[f64]| {
+            let mut s = RunningStats::new();
+            s.extend(vs.iter().copied());
+            s
+        };
+        let mut left = stats(&a);
+        left.merge(&stats(&b));
+        left.merge(&stats(&c));
+        let mut right_inner = stats(&b);
+        right_inner.merge(&stats(&c));
+        let mut right = stats(&a);
+        right.merge(&right_inner);
+        prop_assert!((left.mean() - right.mean()).abs() < 1e-9);
+        prop_assert!((left.variance() - right.variance()).abs() < 1e-9);
+        prop_assert_eq!(left.count(), right.count());
+    }
+
+    #[test]
+    fn erf_is_odd_and_bounded(x in -6.0f64..6.0) {
+        prop_assert!((erf(x) + erf(-x)).abs() < 1e-9);
+        prop_assert!(erf(x).abs() <= 1.0);
+        prop_assert!((erf(x) + erfc(x) - 1.0).abs() < 3e-7);
+    }
+
+    #[test]
+    fn probit_inverts_cdf(p in 0.001f64..0.999) {
+        let x = normal_quantile(p);
+        prop_assert!((normal_cdf(x) - p).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,252 @@
+//! Adam optimizer and learning-rate schedules.
+//!
+//! The paper trains with SGD; Adam is provided as the natural alternative
+//! for the hyperparameter-search harness and for users retraining on
+//! their own campaigns, together with the step/cosine schedules a sweep
+//! would explore.
+
+use crate::mlp::Mlp;
+use serde::{Deserialize, Serialize};
+
+/// The Adam optimizer (Kingma & Ba 2015) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate α.
+    pub learning_rate: f64,
+    /// First-moment decay β₁.
+    pub beta1: f64,
+    /// Second-moment decay β₂.
+    pub beta2: f64,
+    /// Numerical stabilizer ε.
+    pub eps: f64,
+    /// L2 weight decay (decoupled, AdamW-style).
+    pub weight_decay: f64,
+    step_count: u64,
+    m: Vec<Vec<f64>>,
+    v: Vec<Vec<f64>>,
+}
+
+impl Adam {
+    /// Adam with the canonical defaults.
+    pub fn new(learning_rate: f64) -> Self {
+        Adam {
+            learning_rate,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            step_count: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+
+    /// Builder-style decoupled weight decay.
+    pub fn weight_decay(mut self, wd: f64) -> Self {
+        self.weight_decay = wd;
+        self
+    }
+
+    /// Apply one update using the gradients stored in the model.
+    pub fn step(&mut self, model: &mut Mlp) {
+        self.step_count += 1;
+        let t = self.step_count as f64;
+        let lr = self.learning_rate;
+        let (b1, b2, eps, wd) = (self.beta1, self.beta2, self.eps, self.weight_decay);
+        let bias1 = 1.0 - b1.powf(t);
+        let bias2 = 1.0 - b2.powf(t);
+        let m = &mut self.m;
+        let v = &mut self.v;
+        model.apply_gradients(&mut |group, params, grads| {
+            if m.len() <= group {
+                m.resize(group + 1, Vec::new());
+                v.resize(group + 1, Vec::new());
+            }
+            if m[group].len() != params.len() {
+                m[group] = vec![0.0; params.len()];
+                v[group] = vec![0.0; params.len()];
+            }
+            for i in 0..params.len() {
+                let g = grads[i];
+                m[group][i] = b1 * m[group][i] + (1.0 - b1) * g;
+                v[group][i] = b2 * v[group][i] + (1.0 - b2) * g * g;
+                let m_hat = m[group][i] / bias1;
+                let v_hat = v[group][i] / bias2;
+                params[i] -= lr * (m_hat / (v_hat.sqrt() + eps) + wd * params[i]);
+            }
+        });
+    }
+
+    /// Steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.step_count
+    }
+}
+
+/// A learning-rate schedule mapping epoch → multiplier of the base rate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum LrSchedule {
+    /// Constant rate.
+    Constant,
+    /// Multiply by `gamma` every `every` epochs.
+    Step {
+        /// Epoch interval between decays.
+        every: usize,
+        /// Multiplicative decay factor.
+        gamma: f64,
+    },
+    /// Cosine annealing from 1 down to `floor` over `total_epochs`.
+    Cosine {
+        /// Epochs over which to anneal.
+        total_epochs: usize,
+        /// Final multiplier.
+        floor: f64,
+    },
+}
+
+impl LrSchedule {
+    /// The multiplier at a given (0-based) epoch.
+    pub fn multiplier(&self, epoch: usize) -> f64 {
+        match *self {
+            LrSchedule::Constant => 1.0,
+            LrSchedule::Step { every, gamma } => gamma.powi((epoch / every.max(1)) as i32),
+            LrSchedule::Cosine {
+                total_epochs,
+                floor,
+            } => {
+                let t = (epoch as f64 / total_epochs.max(1) as f64).min(1.0);
+                floor + (1.0 - floor) * 0.5 * (1.0 + (std::f64::consts::PI * t).cos())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::mse;
+    use crate::mlp::{BlockOrder, Mlp};
+    use crate::tensor::Matrix;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn adam_fits_linear_function() {
+        let mut rng = ChaCha8Rng::seed_from_u64(33);
+        let mut model = Mlp::new(1, &[], BlockOrder::LinearFirst, &mut rng);
+        let xs: Vec<f64> = (0..64).map(|i| i as f64 / 32.0 - 1.0).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| -1.5 * x + 0.25).collect();
+        let x = Matrix::from_vec(64, 1, xs);
+        let mut opt = Adam::new(0.05);
+        let mut last = f64::INFINITY;
+        for _ in 0..300 {
+            let out = model.forward(&x, true);
+            let l = mse(&out, &ys);
+            model.backward(&l.grad);
+            opt.step(&mut model);
+            last = l.loss;
+        }
+        assert!(last < 1e-4, "loss {last}");
+        assert_eq!(opt.steps(), 300);
+    }
+
+    #[test]
+    fn adam_handles_badly_scaled_features_better_than_sgd() {
+        // one feature 1000x the other: Adam's per-parameter scaling wins
+        let make = || {
+            let mut rng = ChaCha8Rng::seed_from_u64(34);
+            Mlp::new(2, &[], BlockOrder::LinearFirst, &mut rng)
+        };
+        let n = 64;
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let a = i as f64 / n as f64 - 0.5;
+            let b = a * 1000.0;
+            xs.push(a);
+            xs.push(b);
+            ys.push(2.0 * a + 0.001 * b);
+        }
+        let x = Matrix::from_vec(n, 2, xs);
+        let run_adam = {
+            let mut model = make();
+            let mut opt = Adam::new(0.02);
+            let mut last = 0.0;
+            for _ in 0..200 {
+                let out = model.forward(&x, true);
+                let l = mse(&out, &ys);
+                model.backward(&l.grad);
+                opt.step(&mut model);
+                last = l.loss;
+            }
+            last
+        };
+        let run_sgd = {
+            let mut model = make();
+            // lr small enough not to diverge on the big feature
+            let mut opt = crate::optimizer::Sgd::new(1e-7);
+            let mut last = 0.0;
+            for _ in 0..200 {
+                let out = model.forward(&x, true);
+                let l = mse(&out, &ys);
+                model.backward(&l.grad);
+                opt.step(&mut model);
+                last = l.loss;
+            }
+            last
+        };
+        assert!(run_adam < run_sgd, "adam {run_adam} vs sgd {run_sgd}");
+    }
+
+    #[test]
+    fn weight_decay_pulls_toward_zero() {
+        let mut rng = ChaCha8Rng::seed_from_u64(35);
+        let mut model = Mlp::new(2, &[], BlockOrder::LinearFirst, &mut rng);
+        let x = Matrix::from_rows(&[vec![0.0, 0.0]]);
+        let mut opt = Adam::new(0.05).weight_decay(0.1);
+        let norm = |m: &mut Mlp| {
+            let mut n = 0.0;
+            m.apply_gradients(&mut |_, p, _| n += p.iter().map(|v| v * v).sum::<f64>());
+            n
+        };
+        // seed gradients once so apply_gradients visits groups
+        let out = model.forward(&x, true);
+        let l = mse(&out, &[out.get(0, 0)]);
+        model.backward(&l.grad);
+        let before = norm(&mut model);
+        for _ in 0..50 {
+            let out = model.forward(&x, true);
+            let l = mse(&out, &[out.get(0, 0)]);
+            model.backward(&l.grad);
+            opt.step(&mut model);
+        }
+        let after = norm(&mut model);
+        assert!(after < before, "{after} !< {before}");
+    }
+
+    #[test]
+    fn schedules() {
+        let c = LrSchedule::Constant;
+        assert_eq!(c.multiplier(0), 1.0);
+        assert_eq!(c.multiplier(100), 1.0);
+
+        let s = LrSchedule::Step { every: 10, gamma: 0.5 };
+        assert_eq!(s.multiplier(0), 1.0);
+        assert_eq!(s.multiplier(9), 1.0);
+        assert_eq!(s.multiplier(10), 0.5);
+        assert_eq!(s.multiplier(25), 0.25);
+
+        let cos = LrSchedule::Cosine { total_epochs: 100, floor: 0.1 };
+        assert!((cos.multiplier(0) - 1.0).abs() < 1e-12);
+        assert!((cos.multiplier(100) - 0.1).abs() < 1e-12);
+        let mid = cos.multiplier(50);
+        assert!(mid > 0.1 && mid < 1.0);
+        // monotone decreasing
+        let mut last = 1.01;
+        for e in 0..=100 {
+            let m = cos.multiplier(e);
+            assert!(m <= last + 1e-12);
+            last = m;
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! Datasets, splits, and standardization.
+//!
+//! The paper uses an 80/20 train/test split with the training portion
+//! further split 80/20 into train/validation — [`three_way_split`]
+//! reproduces that. Feature standardization is provided for completeness,
+//! though the paper's architecture leads with a BatchNorm that adapts to
+//! raw feature scales.
+
+use crate::tensor::Matrix;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A supervised dataset: features `[n × d]` and one target per row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Feature matrix.
+    pub x: Matrix,
+    /// Targets, one per row of `x`.
+    pub y: Vec<f64>,
+}
+
+impl Dataset {
+    /// Construct, checking shape.
+    pub fn new(x: Matrix, y: Vec<f64>) -> Self {
+        assert_eq!(x.rows(), y.len(), "feature/target length mismatch");
+        Dataset { x, y }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Feature width.
+    pub fn dim(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// Subset by row indices.
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            x: self.x.gather_rows(indices),
+            y: indices.iter().map(|&i| self.y[i]).collect(),
+        }
+    }
+
+    /// Fraction of positive (== 1.0) targets — class balance diagnostics.
+    pub fn positive_fraction(&self) -> f64 {
+        if self.y.is_empty() {
+            return 0.0;
+        }
+        self.y.iter().filter(|&&v| v >= 0.5).count() as f64 / self.y.len() as f64
+    }
+}
+
+/// Split indices `0..n` into two disjoint shuffled parts, the first with
+/// `fraction` of the data.
+pub fn split_indices<R: Rng + ?Sized>(
+    n: usize,
+    fraction: f64,
+    rng: &mut R,
+) -> (Vec<usize>, Vec<usize>) {
+    assert!((0.0..=1.0).contains(&fraction));
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.shuffle(rng);
+    let k = ((n as f64) * fraction).round() as usize;
+    let rest = idx.split_off(k.min(n));
+    (idx, rest)
+}
+
+/// The paper's 80/20 + 80/20 scheme: (train, validation, test).
+pub fn three_way_split<R: Rng + ?Sized>(
+    data: &Dataset,
+    rng: &mut R,
+) -> (Dataset, Dataset, Dataset) {
+    let (train_all, test) = split_indices(data.len(), 0.8, rng);
+    let (train, val) = {
+        let mut inner: Vec<usize> = train_all;
+        inner.shuffle(rng);
+        let k = (inner.len() as f64 * 0.8).round() as usize;
+        let val = inner.split_off(k.min(inner.len()));
+        (inner, val)
+    };
+    (data.subset(&train), data.subset(&val), data.subset(&test))
+}
+
+/// Per-feature affine standardizer fitted on training data.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Standardizer {
+    /// Feature means.
+    pub mean: Vec<f64>,
+    /// Feature standard deviations (floored to avoid division blowup).
+    pub std: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fit on a feature matrix.
+    pub fn fit(x: &Matrix) -> Self {
+        let mean = x.col_means();
+        let std = x
+            .col_variances(&mean)
+            .iter()
+            .map(|v| v.sqrt().max(1e-9))
+            .collect();
+        Standardizer { mean, std }
+    }
+
+    /// Apply in place.
+    pub fn transform(&self, x: &mut Matrix) {
+        assert_eq!(x.cols(), self.mean.len());
+        for r in 0..x.rows() {
+            let row = x.row_mut(r);
+            for c in 0..row.len() {
+                row[c] = (row[c] - self.mean[c]) / self.std[c];
+            }
+        }
+    }
+
+    /// Apply to a single feature vector in place.
+    pub fn transform_one(&self, features: &mut [f64]) {
+        assert_eq!(features.len(), self.mean.len());
+        for (c, f) in features.iter_mut().enumerate() {
+            *f = (*f - self.mean[c]) / self.std[c];
+        }
+    }
+}
+
+/// Yield shuffled minibatch index slices for one epoch.
+pub struct BatchIter {
+    order: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+}
+
+impl BatchIter {
+    /// Shuffled batches of `batch_size` over `n` examples.
+    pub fn new<R: Rng + ?Sized>(n: usize, batch_size: usize, rng: &mut R) -> Self {
+        assert!(batch_size > 0);
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(rng);
+        BatchIter {
+            order,
+            batch_size,
+            cursor: 0,
+        }
+    }
+}
+
+impl Iterator for BatchIter {
+    type Item = Vec<usize>;
+
+    fn next(&mut self) -> Option<Vec<usize>> {
+        if self.cursor >= self.order.len() {
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.order.len());
+        let batch = self.order[self.cursor..end].to_vec();
+        self.cursor = end;
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(12)
+    }
+
+    fn toy(n: usize) -> Dataset {
+        let x = Matrix::from_vec(n, 2, (0..2 * n).map(|i| i as f64).collect());
+        let y = (0..n).map(|i| (i % 2) as f64).collect();
+        Dataset::new(x, y)
+    }
+
+    #[test]
+    fn split_sizes_and_disjointness() {
+        let (a, b) = split_indices(100, 0.8, &mut rng());
+        assert_eq!(a.len(), 80);
+        assert_eq!(b.len(), 20);
+        let mut all: Vec<usize> = a.iter().chain(&b).cloned().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn three_way_matches_paper_fractions() {
+        let data = toy(1000);
+        let (train, val, test) = three_way_split(&data, &mut rng());
+        assert_eq!(test.len(), 200);
+        assert_eq!(train.len(), 640);
+        assert_eq!(val.len(), 160);
+        assert_eq!(train.len() + val.len() + test.len(), 1000);
+    }
+
+    #[test]
+    fn subset_preserves_pairing() {
+        let data = toy(10);
+        let sub = data.subset(&[3, 7]);
+        assert_eq!(sub.x.row(0), &[6.0, 7.0]);
+        assert_eq!(sub.y[0], 1.0);
+        assert_eq!(sub.x.row(1), &[14.0, 15.0]);
+        assert_eq!(sub.y[1], 1.0);
+    }
+
+    #[test]
+    fn standardizer_zero_mean_unit_std() {
+        let x = Matrix::from_rows(&[vec![1.0, 100.0], vec![3.0, 300.0], vec![5.0, 500.0]]);
+        let s = Standardizer::fit(&x);
+        let mut z = x.clone();
+        s.transform(&mut z);
+        let m = z.col_means();
+        let v = z.col_variances(&m);
+        for mm in m {
+            assert!(mm.abs() < 1e-9);
+        }
+        for vv in v {
+            assert!((vv - 1.0).abs() < 1e-9);
+        }
+        // single-vector path consistent
+        let mut one = vec![1.0, 100.0];
+        s.transform_one(&mut one);
+        assert!((one[0] - z.get(0, 0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_iter_covers_everything_once() {
+        let mut seen = vec![0usize; 17];
+        for batch in BatchIter::new(17, 5, &mut rng()) {
+            assert!(batch.len() <= 5);
+            for i in batch {
+                seen[i] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn positive_fraction() {
+        let data = toy(10);
+        assert!((data.positive_fraction() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,487 @@
+//! Layers: fully-connected, 1-D batch normalization, and ReLU, composed
+//! into the paper's block structure (Fig. 5).
+//!
+//! Each layer implements forward with activation caching and an explicit
+//! backward pass; the MLP in [`crate::mlp`] chains them. The design is a
+//! straight-line sequential network — exactly what the paper uses — rather
+//! than a general autograd graph, which keeps the hot inference path free
+//! of indirection.
+
+use crate::tensor::Matrix;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A fully-connected layer `y = x Wᵀ + b`, with `W: [out × in]`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Linear {
+    /// Weight matrix `[out × in]`.
+    pub weight: Matrix,
+    /// Bias vector `[out]`.
+    pub bias: Vec<f64>,
+    /// Gradient of the loss w.r.t. `weight`, accumulated by `backward`.
+    #[serde(skip)]
+    pub grad_weight: Option<Matrix>,
+    /// Gradient w.r.t. `bias`.
+    #[serde(skip)]
+    pub grad_bias: Option<Vec<f64>>,
+    /// Cached input from the last forward pass (training mode only).
+    #[serde(skip)]
+    cached_input: Option<Matrix>,
+}
+
+impl Linear {
+    /// He-initialized layer.
+    pub fn new<R: Rng + ?Sized>(in_dim: usize, out_dim: usize, rng: &mut R) -> Self {
+        Linear {
+            weight: Matrix::he_uniform(out_dim, in_dim, rng),
+            bias: vec![0.0; out_dim],
+            grad_weight: None,
+            grad_bias: None,
+            cached_input: None,
+        }
+    }
+
+    /// Assemble a layer from explicit weights and bias (BN folding,
+    /// deserialization of external checkpoints).
+    pub fn from_parts(weight: Matrix, bias: Vec<f64>) -> Self {
+        assert_eq!(weight.rows(), bias.len(), "weight/bias shape mismatch");
+        Linear {
+            weight,
+            bias,
+            grad_weight: None,
+            grad_bias: None,
+            cached_input: None,
+        }
+    }
+
+    /// Input width.
+    pub fn in_dim(&self) -> usize {
+        self.weight.cols()
+    }
+
+    /// Output width.
+    pub fn out_dim(&self) -> usize {
+        self.weight.rows()
+    }
+
+    /// Forward pass. When `training`, caches the input for backward.
+    pub fn forward(&mut self, x: &Matrix, training: bool) -> Matrix {
+        let mut y = x.matmul_transpose(&self.weight);
+        y.add_row_vector(&self.bias);
+        if training {
+            self.cached_input = Some(x.clone());
+        }
+        y
+    }
+
+    /// Immutable inference forward (no caching) — safe to share across
+    /// threads for parallel batch scoring.
+    pub fn forward_eval(&self, x: &Matrix) -> Matrix {
+        let mut y = x.matmul_transpose(&self.weight);
+        y.add_row_vector(&self.bias);
+        y
+    }
+
+    /// Backward pass: given `dL/dy`, accumulates parameter gradients and
+    /// returns `dL/dx`.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let x = self
+            .cached_input
+            .as_ref()
+            .expect("backward without cached forward");
+        // dW = dyᵀ · x  -> [out × in]
+        let grad_w = grad_out.transpose().matmul(x);
+        let mut grad_b = vec![0.0; self.out_dim()];
+        for r in 0..grad_out.rows() {
+            for (b, g) in grad_b.iter_mut().zip(grad_out.row(r)) {
+                *b += g;
+            }
+        }
+        // dx = dy · W -> [batch × in]
+        let grad_x = grad_out.matmul(&self.weight);
+        self.grad_weight = Some(grad_w);
+        self.grad_bias = Some(grad_b);
+        grad_x
+    }
+
+    /// Number of trainable parameters.
+    pub fn param_count(&self) -> usize {
+        self.weight.rows() * self.weight.cols() + self.bias.len()
+    }
+}
+
+/// 1-D batch normalization over the batch dimension.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BatchNorm1d {
+    /// Learned scale γ.
+    pub gamma: Vec<f64>,
+    /// Learned shift β.
+    pub beta: Vec<f64>,
+    /// Running mean used at inference.
+    pub running_mean: Vec<f64>,
+    /// Running variance used at inference.
+    pub running_var: Vec<f64>,
+    /// Exponential-moving-average momentum of the running stats.
+    pub momentum: f64,
+    /// Numerical stabilizer.
+    pub eps: f64,
+    /// Gradients.
+    #[serde(skip)]
+    pub grad_gamma: Option<Vec<f64>>,
+    /// Gradient w.r.t. β.
+    #[serde(skip)]
+    pub grad_beta: Option<Vec<f64>>,
+    #[serde(skip)]
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct BnCache {
+    x_hat: Matrix,
+    inv_std: Vec<f64>,
+}
+
+impl BatchNorm1d {
+    /// A fresh batch-norm of the given width.
+    pub fn new(dim: usize) -> Self {
+        BatchNorm1d {
+            gamma: vec![1.0; dim],
+            beta: vec![0.0; dim],
+            running_mean: vec![0.0; dim],
+            running_var: vec![1.0; dim],
+            momentum: 0.1,
+            eps: 1e-5,
+            grad_gamma: None,
+            grad_beta: None,
+            cache: None,
+        }
+    }
+
+    /// Feature width.
+    pub fn dim(&self) -> usize {
+        self.gamma.len()
+    }
+
+    /// Forward pass. In training mode uses batch statistics and updates the
+    /// running averages; in eval mode uses the running statistics.
+    pub fn forward(&mut self, x: &Matrix, training: bool) -> Matrix {
+        assert_eq!(x.cols(), self.dim(), "batch-norm width mismatch");
+        let (mean, var) = if training && x.rows() > 1 {
+            let mean = x.col_means();
+            let var = x.col_variances(&mean);
+            for ((rm, rv), (m, v)) in self
+                .running_mean
+                .iter_mut()
+                .zip(self.running_var.iter_mut())
+                .zip(mean.iter().zip(&var))
+            {
+                *rm = (1.0 - self.momentum) * *rm + self.momentum * m;
+                *rv = (1.0 - self.momentum) * *rv + self.momentum * v;
+            }
+            (mean, var)
+        } else {
+            (self.running_mean.clone(), self.running_var.clone())
+        };
+        let inv_std: Vec<f64> = var.iter().map(|v| 1.0 / (v + self.eps).sqrt()).collect();
+        let mut x_hat = x.clone();
+        for r in 0..x_hat.rows() {
+            let row = x_hat.row_mut(r);
+            for c in 0..row.len() {
+                row[c] = (row[c] - mean[c]) * inv_std[c];
+            }
+        }
+        let mut y = x_hat.clone();
+        for r in 0..y.rows() {
+            let row = y.row_mut(r);
+            for c in 0..row.len() {
+                row[c] = row[c] * self.gamma[c] + self.beta[c];
+            }
+        }
+        if training {
+            self.cache = Some(BnCache { x_hat, inv_std });
+        }
+        y
+    }
+
+    /// Immutable inference forward using the running statistics.
+    pub fn forward_eval(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.dim(), "batch-norm width mismatch");
+        let mut y = x.clone();
+        for r in 0..y.rows() {
+            let row = y.row_mut(r);
+            for c in 0..row.len() {
+                let inv_std = 1.0 / (self.running_var[c] + self.eps).sqrt();
+                row[c] = (row[c] - self.running_mean[c]) * inv_std * self.gamma[c] + self.beta[c];
+            }
+        }
+        y
+    }
+
+    /// Backward pass through the batch statistics.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let cache = self.cache.as_ref().expect("backward without forward");
+        let n = grad_out.rows() as f64;
+        let d = self.dim();
+        let mut sum_dy = vec![0.0; d];
+        let mut sum_dy_xhat = vec![0.0; d];
+        for r in 0..grad_out.rows() {
+            let dy = grad_out.row(r);
+            let xh = cache.x_hat.row(r);
+            for c in 0..d {
+                sum_dy[c] += dy[c];
+                sum_dy_xhat[c] += dy[c] * xh[c];
+            }
+        }
+        self.grad_gamma = Some(sum_dy_xhat.clone());
+        self.grad_beta = Some(sum_dy.clone());
+        let mut grad_x = Matrix::zeros(grad_out.rows(), d);
+        for r in 0..grad_out.rows() {
+            let dy = grad_out.row(r);
+            let xh = cache.x_hat.row(r);
+            let gx = grad_x.row_mut(r);
+            for c in 0..d {
+                gx[c] = (self.gamma[c] * cache.inv_std[c])
+                    * (dy[c] - sum_dy[c] / n - xh[c] * sum_dy_xhat[c] / n);
+            }
+        }
+        grad_x
+    }
+
+    /// Trainable parameter count.
+    pub fn param_count(&self) -> usize {
+        2 * self.dim()
+    }
+}
+
+/// ReLU activation.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Relu {
+    #[serde(skip)]
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Forward pass; caches the activation mask when training.
+    pub fn forward(&mut self, x: &Matrix, training: bool) -> Matrix {
+        let mut y = x.clone();
+        if training {
+            let mask = y.as_slice().iter().map(|&v| v > 0.0).collect();
+            self.mask = Some(mask);
+        }
+        y.map_inplace(|v| v.max(0.0));
+        y
+    }
+
+    /// Backward pass using the cached mask.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let mask = self.mask.as_ref().expect("backward without forward");
+        let mut g = grad_out.clone();
+        for (v, &keep) in g.as_mut_slice().iter_mut().zip(mask) {
+            if !keep {
+                *v = 0.0;
+            }
+        }
+        g
+    }
+}
+
+/// The numerically stable logistic sigmoid, applied at inference to the
+/// background network's logit.
+#[inline]
+pub fn sigmoid(x: f64) -> f64 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn linear_forward_known_values() {
+        let mut l = Linear::new(2, 2, &mut rng());
+        l.weight = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        l.bias = vec![0.5, -0.5];
+        let x = Matrix::from_rows(&[vec![1.0, 1.0]]);
+        let y = l.forward(&x, false);
+        assert_eq!(y.row(0), &[3.5, 6.5]);
+    }
+
+    #[test]
+    fn linear_gradcheck() {
+        // finite-difference check of dL/dW, dL/db, dL/dx for L = sum(y^2)/2
+        let mut l = Linear::new(3, 2, &mut rng());
+        let x = Matrix::from_rows(&[vec![0.5, -1.0, 2.0], vec![1.5, 0.3, -0.7]]);
+        let y = l.forward(&x, true);
+        let grad_y = y.clone(); // dL/dy = y for L = 0.5*sum(y^2)
+        let grad_x = l.backward(&grad_y);
+        let loss = |l: &mut Linear, x: &Matrix| -> f64 {
+            let y = l.forward(x, false);
+            0.5 * y.as_slice().iter().map(|v| v * v).sum::<f64>()
+        };
+        let h = 1e-6;
+        // weight grads
+        let gw = l.grad_weight.clone().unwrap();
+        for r in 0..2 {
+            for c in 0..3 {
+                let orig = l.weight.get(r, c);
+                l.weight.set(r, c, orig + h);
+                let lp = loss(&mut l, &x);
+                l.weight.set(r, c, orig - h);
+                let lm = loss(&mut l, &x);
+                l.weight.set(r, c, orig);
+                let num = (lp - lm) / (2.0 * h);
+                assert!(
+                    (num - gw.get(r, c)).abs() < 1e-5,
+                    "dW[{r}{c}]: num {num}, ana {}",
+                    gw.get(r, c)
+                );
+            }
+        }
+        // bias grads
+        let gb = l.grad_bias.clone().unwrap();
+        for i in 0..2 {
+            let orig = l.bias[i];
+            l.bias[i] = orig + h;
+            let lp = loss(&mut l, &x);
+            l.bias[i] = orig - h;
+            let lm = loss(&mut l, &x);
+            l.bias[i] = orig;
+            let num = (lp - lm) / (2.0 * h);
+            assert!((num - gb[i]).abs() < 1e-5);
+        }
+        // input grads
+        let mut x2 = x.clone();
+        for r in 0..2 {
+            for c in 0..3 {
+                let orig = x2.get(r, c);
+                x2.set(r, c, orig + h);
+                let lp = loss(&mut l, &x2);
+                x2.set(r, c, orig - h);
+                let lm = loss(&mut l, &x2);
+                x2.set(r, c, orig);
+                let num = (lp - lm) / (2.0 * h);
+                assert!((num - grad_x.get(r, c)).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn batchnorm_normalizes_batch() {
+        let mut bn = BatchNorm1d::new(2);
+        let x = Matrix::from_rows(&[vec![1.0, 10.0], vec![3.0, 30.0], vec![5.0, 50.0]]);
+        let y = bn.forward(&x, true);
+        let means = y.col_means();
+        let vars = y.col_variances(&means);
+        for m in means {
+            assert!(m.abs() < 1e-9);
+        }
+        for v in vars {
+            assert!((v - 1.0).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn batchnorm_eval_uses_running_stats() {
+        let mut bn = BatchNorm1d::new(1);
+        // train on many batches so running stats converge
+        let x = Matrix::from_rows(&[vec![4.0], vec![6.0]]); // mean 5, var 1
+        for _ in 0..200 {
+            bn.forward(&x, true);
+        }
+        let y = bn.forward(&Matrix::from_rows(&[vec![5.0]]), false);
+        assert!(y.get(0, 0).abs() < 0.05, "got {}", y.get(0, 0));
+    }
+
+    #[test]
+    fn batchnorm_gradcheck() {
+        let mut bn = BatchNorm1d::new(2);
+        bn.gamma = vec![1.3, 0.7];
+        bn.beta = vec![0.1, -0.2];
+        let x = Matrix::from_rows(&[
+            vec![0.5, -1.0],
+            vec![1.5, 0.3],
+            vec![-0.7, 2.0],
+            vec![0.1, 0.9],
+        ]);
+        let y = bn.forward(&x, true);
+        let grad_y = y.clone();
+        let grad_x = bn.backward(&grad_y);
+        let h = 1e-6;
+        let loss = |bn: &mut BatchNorm1d, x: &Matrix| -> f64 {
+            let y = bn.forward(x, true);
+            0.5 * y.as_slice().iter().map(|v| v * v).sum::<f64>()
+        };
+        let mut x2 = x.clone();
+        for r in 0..4 {
+            for c in 0..2 {
+                let orig = x2.get(r, c);
+                x2.set(r, c, orig + h);
+                let lp = loss(&mut bn, &x2);
+                x2.set(r, c, orig - h);
+                let lm = loss(&mut bn, &x2);
+                x2.set(r, c, orig);
+                let num = (lp - lm) / (2.0 * h);
+                assert!(
+                    (num - grad_x.get(r, c)).abs() < 1e-4,
+                    "dx[{r}{c}]: num {num} vs {}",
+                    grad_x.get(r, c)
+                );
+            }
+        }
+        // gamma/beta
+        let gg = bn.grad_gamma.clone().unwrap();
+        let gb = bn.grad_beta.clone().unwrap();
+        // re-run forward/backward to restore cache after loss() calls
+        let y = bn.forward(&x, true);
+        let _ = y;
+        for c in 0..2 {
+            let orig = bn.gamma[c];
+            bn.gamma[c] = orig + h;
+            let lp = loss(&mut bn, &x);
+            bn.gamma[c] = orig - h;
+            let lm = loss(&mut bn, &x);
+            bn.gamma[c] = orig;
+            let num = (lp - lm) / (2.0 * h);
+            assert!((num - gg[c]).abs() < 1e-4, "dgamma[{c}]");
+            let origb = bn.beta[c];
+            bn.beta[c] = origb + h;
+            let lp = loss(&mut bn, &x);
+            bn.beta[c] = origb - h;
+            let lm = loss(&mut bn, &x);
+            bn.beta[c] = origb;
+            let numb = (lp - lm) / (2.0 * h);
+            assert!((numb - gb[c]).abs() < 1e-4, "dbeta[{c}]");
+        }
+    }
+
+    #[test]
+    fn relu_forward_backward() {
+        let mut relu = Relu::default();
+        let x = Matrix::from_rows(&[vec![-1.0, 2.0, 0.0]]);
+        let y = relu.forward(&x, true);
+        assert_eq!(y.row(0), &[0.0, 2.0, 0.0]);
+        let g = relu.backward(&Matrix::from_rows(&[vec![5.0, 5.0, 5.0]]));
+        assert_eq!(g.row(0), &[0.0, 5.0, 0.0]);
+    }
+
+    #[test]
+    fn sigmoid_stable_and_correct() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!((sigmoid(2.0) - 0.880797).abs() < 1e-5);
+        assert!((sigmoid(-2.0) - 0.119203).abs() < 1e-5);
+        // no overflow at extremes
+        assert_eq!(sigmoid(1000.0), 1.0);
+        assert!(sigmoid(-1000.0).abs() < 1e-300);
+    }
+}

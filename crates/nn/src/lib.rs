@@ -1,0 +1,52 @@
+//! `adapt-nn`: a from-scratch dense neural-network library for the ADAPT
+//! reproduction — the substitute for the paper's PyTorch + WandB stack.
+//!
+//! Provides exactly what the paper's two models need, and nothing more:
+//!
+//! * [`tensor`] — a row-major `f64` matrix with rayon-parallel products;
+//! * [`layers`] — Linear, BatchNorm1d, ReLU with explicit backward passes;
+//! * [`mlp`] — the sequential block architecture of paper Fig. 5, in both
+//!   the original (BN→FC→ReLU) and quantization-friendly (FC→BN→ReLU)
+//!   block orders;
+//! * [`loss`] — BCE-with-logits and MSE;
+//! * [`optimizer`] — SGD with momentum;
+//! * [`mod@train`] — minibatch training with validation early stopping;
+//! * [`data`] — datasets, the paper's 80/20/20 splits, standardization;
+//! * [`models`] — the tuned background and dEta architectures;
+//! * [`threshold`] — per-polar-bin output thresholds;
+//! * [`search`] — random hyperparameter search (WandB-sweep stand-in);
+//! * [`quant`] — BN folding, INT8 affine quantization, QAT, and the
+//!   bit-exact integer kernel shared with the FPGA dataflow model.
+
+pub mod adam;
+pub mod data;
+pub mod importance;
+pub mod layers;
+pub mod loss;
+pub mod metrics;
+pub mod mlp;
+pub mod models;
+pub mod optimizer;
+pub mod quant;
+pub mod search;
+pub mod tensor;
+pub mod threshold;
+pub mod train;
+
+pub use adam::{Adam, LrSchedule};
+pub use data::{three_way_split, Dataset, Standardizer};
+pub use importance::{format_importances, permutation_importance, FeatureImportance};
+pub use layers::{sigmoid, BatchNorm1d, Linear, Relu};
+pub use loss::{accuracy, bce_with_logits, mse};
+pub use mlp::{BlockOrder, Layer, Mlp};
+pub use models::{background_network, d_eta_network, INPUT_NO_POLAR, INPUT_WITH_POLAR};
+pub use optimizer::Sgd;
+pub use metrics::{auc, calibration_bins, expected_calibration_error, roc_curve, Confusion};
+pub use quant::{
+    fold_batchnorm, qat_finetune, QuantParams, QuantScheme, QuantizedLayer, QuantizedMlp,
+    WeightBits,
+};
+pub use search::{random_search, Candidate, SearchResult, SearchSpace};
+pub use tensor::Matrix;
+pub use threshold::{ThresholdTable, N_POLAR_BINS};
+pub use train::{evaluate, train, Objective, TrainConfig, TrainReport};

@@ -1,0 +1,148 @@
+//! Loss functions: binary cross-entropy with logits (background network)
+//! and mean squared error (dEta network), matching the paper's training
+//! setup (§III, "Model Training").
+
+use crate::tensor::Matrix;
+
+/// A loss evaluated over a batch: the scalar value and the gradient with
+/// respect to the network's raw outputs.
+#[derive(Debug, Clone)]
+pub struct LossValue {
+    /// Mean loss over the batch.
+    pub loss: f64,
+    /// `dL/doutput`, shaped like the network output `[batch × 1]`.
+    pub grad: Matrix,
+}
+
+/// Numerically stable binary cross-entropy on logits:
+/// `L = max(z,0) − z·y + ln(1 + e^{−|z|})`, averaged over the batch.
+/// Targets are 0/1 (1 = background, by the crate's labeling convention).
+pub fn bce_with_logits(logits: &Matrix, targets: &[f64]) -> LossValue {
+    assert_eq!(logits.cols(), 1, "classifier emits one logit");
+    assert_eq!(logits.rows(), targets.len(), "batch size mismatch");
+    let n = targets.len().max(1) as f64;
+    let mut total = 0.0;
+    let mut grad = Matrix::zeros(logits.rows(), 1);
+    for (i, &y) in targets.iter().enumerate() {
+        debug_assert!((0.0..=1.0).contains(&y), "targets must be in [0,1]");
+        let z = logits.get(i, 0);
+        total += z.max(0.0) - z * y + (1.0 + (-z.abs()).exp()).ln();
+        let p = crate::layers::sigmoid(z);
+        grad.set(i, 0, (p - y) / n);
+    }
+    LossValue {
+        loss: total / n,
+        grad,
+    }
+}
+
+/// Mean squared error, `L = mean((o − y)²)`.
+pub fn mse(outputs: &Matrix, targets: &[f64]) -> LossValue {
+    assert_eq!(outputs.cols(), 1, "regressor emits one value");
+    assert_eq!(outputs.rows(), targets.len(), "batch size mismatch");
+    let n = targets.len().max(1) as f64;
+    let mut total = 0.0;
+    let mut grad = Matrix::zeros(outputs.rows(), 1);
+    for (i, &y) in targets.iter().enumerate() {
+        let d = outputs.get(i, 0) - y;
+        total += d * d;
+        grad.set(i, 0, 2.0 * d / n);
+    }
+    LossValue {
+        loss: total / n,
+        grad,
+    }
+}
+
+/// Classification accuracy of logits against 0/1 targets at a threshold on
+/// the *probability* (not the logit).
+pub fn accuracy(logits: &Matrix, targets: &[f64], threshold: f64) -> f64 {
+    assert_eq!(logits.rows(), targets.len());
+    if targets.is_empty() {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for (i, &y) in targets.iter().enumerate() {
+        let p = crate::layers::sigmoid(logits.get(i, 0));
+        let pred = if p >= threshold { 1.0 } else { 0.0 };
+        if (pred - y).abs() < 0.5 {
+            correct += 1;
+        }
+    }
+    correct as f64 / targets.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bce_matches_naive_formula() {
+        let logits = Matrix::from_rows(&[vec![0.7], vec![-1.2], vec![3.0]]);
+        let targets = [1.0, 0.0, 1.0];
+        let got = bce_with_logits(&logits, &targets);
+        // naive: -y ln p - (1-y) ln(1-p)
+        let mut want = 0.0;
+        for (i, &y) in targets.iter().enumerate() {
+            let p = crate::layers::sigmoid(logits.get(i, 0));
+            want += -y * p.ln() - (1.0 - y) * (1.0 - p).ln();
+        }
+        want /= 3.0;
+        assert!((got.loss - want).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bce_stable_at_extreme_logits() {
+        let logits = Matrix::from_rows(&[vec![500.0], vec![-500.0]]);
+        let v = bce_with_logits(&logits, &[1.0, 0.0]);
+        assert!(v.loss.abs() < 1e-9, "correct extreme predictions: ~0 loss");
+        let v2 = bce_with_logits(&logits, &[0.0, 1.0]);
+        assert!(v2.loss > 100.0 && v2.loss.is_finite());
+    }
+
+    #[test]
+    fn bce_gradient_is_p_minus_y_over_n() {
+        let logits = Matrix::from_rows(&[vec![0.0], vec![2.0]]);
+        let v = bce_with_logits(&logits, &[1.0, 0.0]);
+        assert!((v.grad.get(0, 0) - (0.5 - 1.0) / 2.0).abs() < 1e-12);
+        let p2 = crate::layers::sigmoid(2.0);
+        assert!((v.grad.get(1, 0) - (p2 - 0.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bce_gradcheck() {
+        let logits = Matrix::from_rows(&[vec![0.3], vec![-0.8], vec![1.5]]);
+        let targets = [1.0, 0.0, 0.0];
+        let v = bce_with_logits(&logits, &targets);
+        let h = 1e-6;
+        for i in 0..3 {
+            let mut lp = logits.clone();
+            lp.set(i, 0, lp.get(i, 0) + h);
+            let mut lm = logits.clone();
+            lm.set(i, 0, lm.get(i, 0) - h);
+            let num = (bce_with_logits(&lp, &targets).loss
+                - bce_with_logits(&lm, &targets).loss)
+                / (2.0 * h);
+            assert!((num - v.grad.get(i, 0)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn mse_value_and_gradient() {
+        let out = Matrix::from_rows(&[vec![2.0], vec![-1.0]]);
+        let v = mse(&out, &[1.0, 1.0]);
+        assert!((v.loss - (1.0 + 4.0) / 2.0).abs() < 1e-12);
+        assert!((v.grad.get(0, 0) - 2.0 * 1.0 / 2.0).abs() < 1e-12);
+        assert!((v.grad.get(1, 0) - 2.0 * -2.0 / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_thresholding() {
+        let logits = Matrix::from_rows(&[vec![2.0], vec![-2.0], vec![0.1]]);
+        let t = [1.0, 0.0, 0.0];
+        assert!((accuracy(&logits, &t, 0.5) - 2.0 / 3.0).abs() < 1e-12);
+        // raising the threshold flips the marginal prediction to 0
+        // (p(0.1) ≈ 0.525 < 0.6 while p(2.0) ≈ 0.881 stays above)
+        assert!((accuracy(&logits, &t, 0.6) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,260 @@
+//! Classifier evaluation metrics: confusion counts, ROC/AUC, and
+//! calibration — the quantities a WandB dashboard would have shown for the
+//! paper's background network.
+
+use serde::{Deserialize, Serialize};
+
+/// Binary confusion counts (positive = background, by this crate's
+/// labeling convention).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Confusion {
+    /// Background classified as background.
+    pub true_positive: usize,
+    /// GRB classified as background (signal lost).
+    pub false_positive: usize,
+    /// GRB classified as GRB.
+    pub true_negative: usize,
+    /// Background classified as GRB (contamination kept).
+    pub false_negative: usize,
+}
+
+impl Confusion {
+    /// Tally predictions at a probability threshold.
+    pub fn from_predictions(probs: &[f64], labels: &[f64], threshold: f64) -> Self {
+        assert_eq!(probs.len(), labels.len());
+        let mut c = Confusion::default();
+        for (&p, &y) in probs.iter().zip(labels) {
+            let pred_pos = p >= threshold;
+            let is_pos = y >= 0.5;
+            match (pred_pos, is_pos) {
+                (true, true) => c.true_positive += 1,
+                (true, false) => c.false_positive += 1,
+                (false, false) => c.true_negative += 1,
+                (false, true) => c.false_negative += 1,
+            }
+        }
+        c
+    }
+
+    /// Total examples.
+    pub fn total(&self) -> usize {
+        self.true_positive + self.false_positive + self.true_negative + self.false_negative
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        if self.total() == 0 {
+            return 0.0;
+        }
+        (self.true_positive + self.true_negative) as f64 / self.total() as f64
+    }
+
+    /// Recall on the positive (background) class — the background
+    /// rejection efficiency.
+    pub fn recall(&self) -> f64 {
+        let pos = self.true_positive + self.false_negative;
+        if pos == 0 {
+            return 0.0;
+        }
+        self.true_positive as f64 / pos as f64
+    }
+
+    /// Precision on the positive class.
+    pub fn precision(&self) -> f64 {
+        let pred_pos = self.true_positive + self.false_positive;
+        if pred_pos == 0 {
+            return 0.0;
+        }
+        self.true_positive as f64 / pred_pos as f64
+    }
+
+    /// Fraction of GRB rings incorrectly discarded — the signal cost the
+    /// localization pays for background rejection.
+    pub fn signal_loss(&self) -> f64 {
+        let neg = self.true_negative + self.false_positive;
+        if neg == 0 {
+            return 0.0;
+        }
+        self.false_positive as f64 / neg as f64
+    }
+
+    /// F1 score on the positive class.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.recall();
+        if p + r == 0.0 {
+            return 0.0;
+        }
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// One ROC point: (false-positive rate, true-positive rate).
+pub type RocPoint = (f64, f64);
+
+/// The ROC curve of a scored sample, as threshold sweeps from high to low.
+/// Points are ordered by increasing false-positive rate.
+pub fn roc_curve(probs: &[f64], labels: &[f64]) -> Vec<RocPoint> {
+    assert_eq!(probs.len(), labels.len());
+    let mut scored: Vec<(f64, bool)> = probs
+        .iter()
+        .zip(labels)
+        .map(|(&p, &y)| (p, y >= 0.5))
+        .collect();
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("NaN score"));
+    let n_pos = scored.iter().filter(|(_, y)| *y).count();
+    let n_neg = scored.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return vec![(0.0, 0.0), (1.0, 1.0)];
+    }
+    let mut curve = Vec::with_capacity(scored.len() + 2);
+    curve.push((0.0, 0.0));
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut i = 0;
+    while i < scored.len() {
+        // process ties together so the curve is threshold-consistent
+        let score = scored[i].0;
+        while i < scored.len() && scored[i].0 == score {
+            if scored[i].1 {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        curve.push((fp as f64 / n_neg as f64, tp as f64 / n_pos as f64));
+    }
+    curve
+}
+
+/// Area under the ROC curve by trapezoidal integration.
+pub fn auc(probs: &[f64], labels: &[f64]) -> f64 {
+    let curve = roc_curve(probs, labels);
+    let mut area = 0.0;
+    for w in curve.windows(2) {
+        let (x0, y0) = w[0];
+        let (x1, y1) = w[1];
+        area += (x1 - x0) * (y0 + y1) * 0.5;
+    }
+    area
+}
+
+/// Reliability diagram: bin predictions by claimed probability and report
+/// `(mean claimed, observed frequency, count)` per bin. Perfect
+/// calibration puts every point on the diagonal.
+pub fn calibration_bins(probs: &[f64], labels: &[f64], n_bins: usize) -> Vec<(f64, f64, usize)> {
+    assert_eq!(probs.len(), labels.len());
+    assert!(n_bins > 0);
+    let mut sums = vec![(0.0f64, 0.0f64, 0usize); n_bins];
+    for (&p, &y) in probs.iter().zip(labels) {
+        let b = ((p * n_bins as f64) as usize).min(n_bins - 1);
+        sums[b].0 += p;
+        sums[b].1 += y;
+        sums[b].2 += 1;
+    }
+    sums.into_iter()
+        .filter(|&(_, _, n)| n > 0)
+        .map(|(ps, ys, n)| (ps / n as f64, ys / n as f64, n))
+        .collect()
+}
+
+/// Expected calibration error: the count-weighted mean |claimed − observed|
+/// over the reliability bins.
+pub fn expected_calibration_error(probs: &[f64], labels: &[f64], n_bins: usize) -> f64 {
+    let bins = calibration_bins(probs, labels, n_bins);
+    let total: usize = bins.iter().map(|&(_, _, n)| n).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    bins.iter()
+        .map(|&(claimed, observed, n)| (claimed - observed).abs() * n as f64)
+        .sum::<f64>()
+        / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts() {
+        let probs = [0.9, 0.8, 0.3, 0.1];
+        let labels = [1.0, 0.0, 1.0, 0.0];
+        let c = Confusion::from_predictions(&probs, &labels, 0.5);
+        assert_eq!(c.true_positive, 1);
+        assert_eq!(c.false_positive, 1);
+        assert_eq!(c.false_negative, 1);
+        assert_eq!(c.true_negative, 1);
+        assert!((c.accuracy() - 0.5).abs() < 1e-12);
+        assert!((c.recall() - 0.5).abs() < 1e-12);
+        assert!((c.precision() - 0.5).abs() < 1e-12);
+        assert!((c.signal_loss() - 0.5).abs() < 1e-12);
+        assert!((c.f1() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_classifier_auc_one() {
+        let probs = [0.9, 0.8, 0.2, 0.1];
+        let labels = [1.0, 1.0, 0.0, 0.0];
+        assert!((auc(&probs, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_classifier_auc_half() {
+        // scores identical: one tie group, straight diagonal
+        let probs = [0.5; 100];
+        let labels: Vec<f64> = (0..100).map(|i| (i % 2) as f64).collect();
+        let a = auc(&probs, &labels);
+        assert!((a - 0.5).abs() < 1e-12, "auc {a}");
+    }
+
+    #[test]
+    fn inverted_classifier_auc_zero() {
+        let probs = [0.1, 0.2, 0.8, 0.9];
+        let labels = [1.0, 1.0, 0.0, 0.0];
+        assert!(auc(&probs, &labels) < 1e-12);
+    }
+
+    #[test]
+    fn roc_monotone() {
+        let probs = [0.9, 0.7, 0.6, 0.55, 0.3, 0.2];
+        let labels = [1.0, 0.0, 1.0, 0.0, 1.0, 0.0];
+        let curve = roc_curve(&probs, &labels);
+        assert!(curve.windows(2).all(|w| w[1].0 >= w[0].0 && w[1].1 >= w[0].1));
+        assert_eq!(curve.first(), Some(&(0.0, 0.0)));
+        assert_eq!(curve.last(), Some(&(1.0, 1.0)));
+    }
+
+    #[test]
+    fn degenerate_labels() {
+        let probs = [0.1, 0.9];
+        assert_eq!(roc_curve(&probs, &[1.0, 1.0]), vec![(0.0, 0.0), (1.0, 1.0)]);
+        assert!((auc(&probs, &[0.0, 0.0]) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calibration_of_perfectly_calibrated_sample() {
+        // claimed probability p, observed frequency p in each bin
+        let mut probs = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..10 {
+            let p = 0.05 + i as f64 * 0.1;
+            for j in 0..100 {
+                probs.push(p);
+                labels.push(if (j as f64) < p * 100.0 { 1.0 } else { 0.0 });
+            }
+        }
+        let ece = expected_calibration_error(&probs, &labels, 10);
+        assert!(ece < 0.015, "ECE {ece}");
+    }
+
+    #[test]
+    fn calibration_of_overconfident_sample() {
+        // always claims 0.99 but is right only half the time
+        let probs = [0.99; 200];
+        let labels: Vec<f64> = (0..200).map(|i| (i % 2) as f64).collect();
+        let ece = expected_calibration_error(&probs, &labels, 10);
+        assert!((ece - 0.49).abs() < 0.02, "ECE {ece}");
+    }
+}

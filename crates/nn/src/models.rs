@@ -1,0 +1,79 @@
+//! The paper's two tuned architectures (§III, "Model Training"):
+//!
+//! * **background network** — four FC layers, maximum width 256 in the
+//!   first FC layer with subsequent layers gradually decreasing;
+//! * **dEta network** — four FC layers, maximum width 16 in the middle
+//!   with shorter widths at the beginning and end; output is ln dη.
+//!
+//! Both take the 13-wide model input (12 ring features + polar-angle
+//! estimate) or the 12-wide variant for the no-polar ablation (Fig. 7).
+
+use crate::mlp::{BlockOrder, Mlp};
+use rand::Rng;
+
+/// Feature width with the polar-angle input appended.
+pub const INPUT_WITH_POLAR: usize = 13;
+
+/// Feature width without the polar-angle input (Fig. 7 ablation).
+pub const INPUT_NO_POLAR: usize = 12;
+
+/// The tuned background-classifier architecture. `input_dim` is 13, or 12
+/// for the no-polar ablation.
+pub fn background_network<R: Rng + ?Sized>(
+    input_dim: usize,
+    order: BlockOrder,
+    rng: &mut R,
+) -> Mlp {
+    // 4 FC layers total: 256 -> 128 -> 64 -> 1
+    Mlp::new(input_dim, &[256, 128, 64], order, rng)
+}
+
+/// The tuned dEta-regressor architecture (output = ln dη).
+pub fn d_eta_network<R: Rng + ?Sized>(input_dim: usize, order: BlockOrder, rng: &mut R) -> Mlp {
+    // 4 FC layers total, peak width 16 in the middle: 8 -> 16 -> 8 -> 1
+    Mlp::new(input_dim, &[8, 16, 8], order, rng)
+}
+
+/// A reduced background network for fast tests and examples; same shape
+/// family, smaller widths.
+pub fn background_network_small<R: Rng + ?Sized>(
+    input_dim: usize,
+    order: BlockOrder,
+    rng: &mut R,
+) -> Mlp {
+    Mlp::new(input_dim, &[32, 16, 8], order, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn background_shape_matches_paper() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let m = background_network(INPUT_WITH_POLAR, BlockOrder::BatchNormFirst, &mut rng);
+        assert_eq!(m.fc_widths(), &[13, 256, 128, 64, 1]);
+        // widths strictly decreasing after the first FC layer
+        let w = m.fc_widths();
+        assert!(w[1] == 256 && w[1] > w[2] && w[2] > w[3] && w[3] > w[4]);
+    }
+
+    #[test]
+    fn d_eta_peaks_in_middle() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let m = d_eta_network(INPUT_WITH_POLAR, BlockOrder::BatchNormFirst, &mut rng);
+        let w = m.fc_widths();
+        assert_eq!(w, &[13, 8, 16, 8, 1]);
+        let max = *w.iter().max().unwrap();
+        assert_eq!(max, 16);
+    }
+
+    #[test]
+    fn no_polar_variant_is_twelve_wide() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let m = background_network(INPUT_NO_POLAR, BlockOrder::BatchNormFirst, &mut rng);
+        assert_eq!(m.input_dim(), 12);
+    }
+}

@@ -1,0 +1,821 @@
+//! INT8 quantization of the background network (paper §V).
+//!
+//! Mirrors PyTorch's eager-mode quantization contract:
+//!
+//! * the model is (re)trained in the `LinearFirst` block order so each
+//!   Linear + BatchNorm + ReLU triple can be **fused**;
+//! * BatchNorm folds into the preceding Linear's weights and bias;
+//! * weights are quantized per-tensor *symmetrically* to `i8`;
+//! * activations are quantized per-tensor *affinely* to `i8` with
+//!   calibration-observed ranges;
+//! * inference accumulates in `i32` and requantizes between layers;
+//! * quantization-aware training (QAT) fine-tunes the float weights with
+//!   fake-quantization in the forward pass and straight-through gradients.
+//!
+//! The integer kernel here is the single source of truth for INT8
+//! arithmetic: the FPGA dataflow model in `adapt-fpga` simulates *this*
+//! computation.
+
+use crate::data::Dataset;
+use crate::layers::{BatchNorm1d, Linear};
+use crate::mlp::{BlockOrder, Layer, Mlp};
+use crate::optimizer::Sgd;
+use crate::tensor::Matrix;
+use crate::train::TrainConfig;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Affine quantization parameters mapping `f64` to `i8`.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct QuantParams {
+    /// Scale: one quantization step in real units.
+    pub scale: f64,
+    /// Zero point in quantized units.
+    pub zero_point: i32,
+}
+
+impl QuantParams {
+    /// Affine parameters covering `[min, max]` with the `i8` range.
+    pub fn from_range(min: f64, max: f64) -> Self {
+        let (min, max) = (min.min(0.0), max.max(0.0)); // always represent 0
+        let span = (max - min).max(1e-12);
+        let scale = span / 255.0;
+        let zero_point = (-128.0 - min / scale).round().clamp(-128.0, 127.0) as i32;
+        QuantParams { scale, zero_point }
+    }
+
+    /// Symmetric parameters for weights: zero point 0, range `±max_abs`.
+    pub fn symmetric(max_abs: f64) -> Self {
+        QuantParams {
+            scale: max_abs.max(1e-12) / 127.0,
+            zero_point: 0,
+        }
+    }
+
+    /// Quantize one value.
+    #[inline]
+    pub fn quantize(&self, x: f64) -> i8 {
+        ((x / self.scale).round() as i32 + self.zero_point).clamp(-128, 127) as i8
+    }
+
+    /// Dequantize one value.
+    #[inline]
+    pub fn dequantize(&self, q: i8) -> f64 {
+        (q as i32 - self.zero_point) as f64 * self.scale
+    }
+
+    /// Quantize-dequantize round trip (the fake-quant operator of QAT).
+    #[inline]
+    pub fn fake_quant(&self, x: f64) -> f64 {
+        self.dequantize(self.quantize(x))
+    }
+}
+
+/// Fold a BatchNorm into the Linear layer that precedes it, producing an
+/// equivalent Linear (inference-mode statistics).
+pub fn fold_batchnorm(linear: &Linear, bn: &BatchNorm1d) -> Linear {
+    assert_eq!(linear.out_dim(), bn.dim(), "fold shape mismatch");
+    let mut weight = linear.weight.clone();
+    let mut bias = linear.bias.clone();
+    for o in 0..linear.out_dim() {
+        let inv_std = 1.0 / (bn.running_var[o] + bn.eps).sqrt();
+        let g = bn.gamma[o] * inv_std;
+        for v in weight.row_mut(o) {
+            *v *= g;
+        }
+        bias[o] = g * (bias[o] - bn.running_mean[o]) + bn.beta[o];
+    }
+    Linear::from_parts(weight, bias)
+}
+
+/// Fold an *input-side* BatchNorm into the Linear that follows it:
+/// `W(BN(x)) + b = W' x + b'` with `W'[o][i] = W[o][i]·γᵢ/σᵢ` and
+/// `b'ₒ = bₒ + Σᵢ W[o][i]·(βᵢ − μᵢγᵢ/σᵢ)`. This lets the
+/// quantization-friendly model keep a normalizing front end (trainability)
+/// while the deployed kernel remains a pure fused-Linear pipeline.
+pub fn fold_input_batchnorm(bn: &BatchNorm1d, linear: &Linear) -> Linear {
+    assert_eq!(linear.in_dim(), bn.dim(), "input-fold shape mismatch");
+    let mut weight = linear.weight.clone();
+    let mut bias = linear.bias.clone();
+    let d = bn.dim();
+    let mut scale = vec![0.0; d];
+    let mut shift = vec![0.0; d];
+    for i in 0..d {
+        let inv_std = 1.0 / (bn.running_var[i] + bn.eps).sqrt();
+        scale[i] = bn.gamma[i] * inv_std;
+        shift[i] = bn.beta[i] - bn.running_mean[i] * scale[i];
+    }
+    for o in 0..linear.out_dim() {
+        let row = weight.row_mut(o);
+        let mut extra = 0.0;
+        for i in 0..d {
+            extra += row[i] * shift[i];
+            row[i] *= scale[i];
+        }
+        bias[o] += extra;
+    }
+    Linear::from_parts(weight, bias)
+}
+
+/// Weight quantization granularity (PyTorch's x86 backend defaults to
+/// per-channel for weights; per-tensor is the simpler baseline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum QuantScheme {
+    /// One symmetric scale for the whole weight tensor.
+    PerTensor,
+    /// One symmetric scale per output channel (weight row).
+    PerChannel,
+}
+
+/// Weight bit width. INT4 is the paper's future-work direction of
+/// "different configurations of quantization".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WeightBits {
+    /// 8-bit weights, range [-127, 127] symmetric.
+    Int8,
+    /// 4-bit weights, range [-7, 7] symmetric (stored in an i8 byte).
+    Int4,
+}
+
+impl WeightBits {
+    /// Largest representable magnitude.
+    pub fn qmax(self) -> i32 {
+        match self {
+            WeightBits::Int8 => 127,
+            WeightBits::Int4 => 7,
+        }
+    }
+
+    /// Bits per stored weight (for model-size accounting).
+    pub fn bits(self) -> usize {
+        match self {
+            WeightBits::Int8 => 8,
+            WeightBits::Int4 => 4,
+        }
+    }
+}
+
+/// One fused, quantized layer: `y = act( W x + b )` in integer arithmetic.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuantizedLayer {
+    /// Quantized weights, row-major `[out × in]`.
+    pub weight_q: Vec<i8>,
+    /// Output width.
+    pub out_dim: usize,
+    /// Input width.
+    pub in_dim: usize,
+    /// Per-output-row symmetric weight scales (per-tensor quantization
+    /// repeats one value).
+    pub weight_scales: Vec<f64>,
+    /// Weight bit width.
+    pub weight_bits: WeightBits,
+    /// Input activation quantization.
+    pub input_params: QuantParams,
+    /// Output activation quantization (post-activation).
+    pub output_params: QuantParams,
+    /// Float bias, folded; applied in the i32→requantize step as
+    /// `bias / (s_w · s_x)` rounded to i32 (PyTorch's bias handling).
+    pub bias_q: Vec<i32>,
+    /// Whether a ReLU is fused into this layer.
+    pub relu: bool,
+}
+
+impl QuantizedLayer {
+    /// Integer forward: `x_q` holds `in_dim` quantized activations; output
+    /// written to `out_q`.
+    pub fn forward_int8(&self, x_q: &[i8], out_q: &mut Vec<i8>) {
+        assert_eq!(x_q.len(), self.in_dim);
+        out_q.clear();
+        let zx = self.input_params.zero_point;
+        let sx = self.input_params.scale;
+        let sy = self.output_params.scale;
+        let zy = self.output_params.zero_point;
+        for o in 0..self.out_dim {
+            let row = &self.weight_q[o * self.in_dim..(o + 1) * self.in_dim];
+            let mut acc: i32 = self.bias_q[o];
+            for (w, x) in row.iter().zip(x_q) {
+                acc += (*w as i32) * (*x as i32 - zx);
+            }
+            // per-row requantization multiplier: s_w[o] * s_x / s_y
+            let m = self.weight_scales[o] * sx / sy;
+            let mut y = ((acc as f64) * m).round() as i32 + zy;
+            if self.relu {
+                y = y.max(zy); // ReLU in quantized space: clamp at real zero
+            }
+            out_q.push(y.clamp(-128, 127) as i8);
+        }
+    }
+
+    /// Float reference of the same fused computation (dequantized weights),
+    /// for accuracy comparisons and FPGA co-simulation checks.
+    pub fn forward_float_ref(&self, x: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(x.len(), self.in_dim);
+        out.clear();
+        let sx = self.input_params.scale;
+        for o in 0..self.out_dim {
+            let sw = self.weight_scales[o];
+            let row = &self.weight_q[o * self.in_dim..(o + 1) * self.in_dim];
+            let mut acc = self.bias_q[o] as f64 * sw * sx;
+            for (w, xv) in row.iter().zip(x) {
+                acc += (*w as f64) * sw * xv;
+            }
+            if self.relu {
+                acc = acc.max(0.0);
+            }
+            out.push(acc);
+        }
+    }
+
+    /// Multiply-accumulate count of this layer — the FPGA model's work
+    /// metric.
+    pub fn macs(&self) -> usize {
+        self.in_dim * self.out_dim
+    }
+}
+
+/// A fully quantized sequential network.
+///
+/// When the source model leads with an input BatchNorm, its affine
+/// transform is kept as a float *pre-normalization* stage (`x·scale +
+/// shift` per feature) applied before quantization: per-tensor input
+/// quantization would otherwise crush small-magnitude features (energies,
+/// sigmas) against large ones (positions). On hardware this is 13
+/// multiply-adds of input conditioning — negligible next to the MLP.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QuantizedMlp {
+    /// Fused layers in order.
+    pub layers: Vec<QuantizedLayer>,
+    /// Optional per-feature input normalization `(scale, shift)`.
+    pub input_norm: Option<(Vec<f64>, Vec<f64>)>,
+}
+
+/// Extract a leading input BatchNorm (one appearing before any Linear) as
+/// a per-feature affine `(scale, shift)`.
+fn leading_input_norm(model: &Mlp) -> Option<(Vec<f64>, Vec<f64>)> {
+    for layer in model.layers() {
+        match layer {
+            Layer::BatchNorm(bn) => {
+                let d = bn.dim();
+                let mut scale = vec![0.0; d];
+                let mut shift = vec![0.0; d];
+                for i in 0..d {
+                    let inv_std = 1.0 / (bn.running_var[i] + bn.eps).sqrt();
+                    scale[i] = bn.gamma[i] * inv_std;
+                    shift[i] = bn.beta[i] - bn.running_mean[i] * scale[i];
+                }
+                return Some((scale, shift));
+            }
+            Layer::Linear(_) => return None,
+            Layer::Relu(_) => continue,
+        }
+    }
+    None
+}
+
+/// Extract the fused float layers (Linear with BN folded, ReLU flag) from a
+/// `LinearFirst` model. The final Linear (logit head) has no BN/ReLU.
+fn fuse_blocks(model: &Mlp) -> Vec<(Linear, bool)> {
+    assert_eq!(
+        model.block_order(),
+        BlockOrder::LinearFirst,
+        "fusion requires the LinearFirst (quantization-friendly) order"
+    );
+    let layers = model.layers();
+    let mut fused: Vec<(Linear, bool)> = Vec::new();
+    let mut pending_input_bn: Option<&BatchNorm1d> = None;
+    let mut i = 0;
+    while i < layers.len() {
+        match &layers[i] {
+            Layer::Linear(lin) => {
+                // a BatchNorm seen *before* this Linear folds forward
+                let lin_folded = match pending_input_bn.take() {
+                    Some(bn) => fold_input_batchnorm(bn, lin),
+                    None => lin.clone(),
+                };
+                if let Some(Layer::BatchNorm(bn)) = layers.get(i + 1) {
+                    let has_relu = matches!(layers.get(i + 2), Some(Layer::Relu(_)));
+                    fused.push((fold_batchnorm(&lin_folded, bn), has_relu));
+                    i += if has_relu { 3 } else { 2 };
+                } else {
+                    fused.push((lin_folded, false));
+                    i += 1;
+                }
+            }
+            Layer::BatchNorm(bn) => {
+                pending_input_bn = Some(bn);
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    fused
+}
+
+impl QuantizedMlp {
+    /// Quantize a trained `LinearFirst` model, calibrating activation
+    /// ranges on `calibration` inputs (per-tensor INT8 — the paper's
+    /// configuration).
+    pub fn quantize(model: &Mlp, calibration: &Matrix) -> Self {
+        Self::quantize_with(model, calibration, QuantScheme::PerTensor, WeightBits::Int8)
+    }
+
+    /// Quantize with an explicit weight granularity and bit width.
+    pub fn quantize_with(
+        model: &Mlp,
+        calibration: &Matrix,
+        scheme: QuantScheme,
+        bits: WeightBits,
+    ) -> Self {
+        // a leading input BatchNorm stays float as a pre-normalization
+        // stage; fuse_blocks would otherwise fold it into the first Linear,
+        // leaving the quantizer a raw, badly-scaled input range
+        let input_norm = leading_input_norm(model);
+        let mut fused = fuse_blocks(model);
+        if input_norm.is_some() {
+            // fuse_blocks folded the leading BN forward; rebuild the first
+            // Linear without that fold by re-fusing a view of the model
+            // minus its leading BatchNorm
+            let mut trimmed = model.clone();
+            let idx = trimmed
+                .layers()
+                .iter()
+                .position(|l| matches!(l, Layer::BatchNorm(_)))
+                .expect("leading BN present");
+            trimmed.layers_mut().remove(idx);
+            fused = fuse_blocks(&trimmed);
+        }
+        assert!(!fused.is_empty(), "no linear layers to quantize");
+        let normalize = |row: &[f64]| -> Vec<f64> {
+            match &input_norm {
+                Some((scale, shift)) => row
+                    .iter()
+                    .zip(scale.iter().zip(shift))
+                    .map(|(&x, (&a, &b))| x * a + b)
+                    .collect(),
+                None => row.to_vec(),
+            }
+        };
+        // run calibration through the float fused network, recording
+        // per-boundary activation ranges
+        let n_bounds = fused.len() + 1; // input + after each layer
+        let mut mins = vec![f64::INFINITY; n_bounds];
+        let mut maxs = vec![f64::NEG_INFINITY; n_bounds];
+        for r in 0..calibration.rows() {
+            let mut cur: Vec<f64> = normalize(calibration.row(r));
+            observe(&cur, &mut mins[0], &mut maxs[0]);
+            for (k, (lin, relu)) in fused.iter().enumerate() {
+                cur = apply_float(lin, *relu, &cur);
+                observe(&cur, &mut mins[k + 1], &mut maxs[k + 1]);
+            }
+        }
+        let act_params: Vec<QuantParams> = mins
+            .iter()
+            .zip(&maxs)
+            .map(|(&lo, &hi)| QuantParams::from_range(lo, hi))
+            .collect();
+
+        let mut layers = Vec::with_capacity(fused.len());
+        for (k, (lin, relu)) in fused.iter().enumerate() {
+            let qmax = bits.qmax();
+            // per-row (or shared) symmetric weight scales
+            let row_max = |o: usize| {
+                lin.weight
+                    .row(o)
+                    .iter()
+                    .fold(0.0f64, |m, v| m.max(v.abs()))
+                    .max(1e-12)
+            };
+            let weight_scales: Vec<f64> = match scheme {
+                QuantScheme::PerChannel => {
+                    (0..lin.out_dim()).map(|o| row_max(o) / qmax as f64).collect()
+                }
+                QuantScheme::PerTensor => {
+                    let max_abs = (0..lin.out_dim()).map(row_max).fold(0.0f64, f64::max);
+                    vec![max_abs / qmax as f64; lin.out_dim()]
+                }
+            };
+            let mut weight_q = Vec::with_capacity(lin.out_dim() * lin.in_dim());
+            for o in 0..lin.out_dim() {
+                let s = weight_scales[o];
+                for &w in lin.weight.row(o) {
+                    weight_q.push(((w / s).round() as i32).clamp(-qmax, qmax) as i8);
+                }
+            }
+            let input_params = act_params[k];
+            let output_params = act_params[k + 1];
+            let bias_q: Vec<i32> = lin
+                .bias
+                .iter()
+                .enumerate()
+                .map(|(o, &b)| (b / (weight_scales[o] * input_params.scale)).round() as i32)
+                .collect();
+            layers.push(QuantizedLayer {
+                weight_q,
+                out_dim: lin.out_dim(),
+                in_dim: lin.in_dim(),
+                weight_scales,
+                weight_bits: bits,
+                input_params,
+                output_params,
+                bias_q,
+                relu: *relu,
+            });
+        }
+        QuantizedMlp { layers, input_norm }
+    }
+
+    /// Input feature width.
+    pub fn input_dim(&self) -> usize {
+        self.layers[0].in_dim
+    }
+
+    /// End-to-end INT8 inference for one feature vector; returns the
+    /// dequantized scalar output (a logit for the background net).
+    pub fn forward_one(&self, features: &[f64]) -> f64 {
+        let normalized: Vec<f64> = match &self.input_norm {
+            Some((scale, shift)) => features
+                .iter()
+                .zip(scale.iter().zip(shift))
+                .map(|(&x, (&a, &b))| x * a + b)
+                .collect(),
+            None => features.to_vec(),
+        };
+        let mut q: Vec<i8> = normalized
+            .iter()
+            .map(|&v| self.layers[0].input_params.quantize(v))
+            .collect();
+        let mut next: Vec<i8> = Vec::new();
+        for layer in &self.layers {
+            layer.forward_int8(&q, &mut next);
+            std::mem::swap(&mut q, &mut next);
+        }
+        let last = self.layers.last().unwrap();
+        last.output_params.dequantize(q[0])
+    }
+
+    /// Batch inference (row per example).
+    pub fn forward(&self, x: &Matrix) -> Vec<f64> {
+        (0..x.rows()).map(|r| self.forward_one(x.row(r))).collect()
+    }
+
+    /// Total multiply-accumulates per inference.
+    pub fn total_macs(&self) -> usize {
+        self.layers.iter().map(|l| l.macs()).sum()
+    }
+
+    /// Serialized model size in bytes (packed weights + biases as i32 +
+    /// per-layer params) — the "model size" quantization wins on.
+    pub fn model_bytes(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| {
+                l.weight_q.len() * l.weight_bits.bits() / 8
+                    + 4 * l.bias_q.len()
+                    + 8 * l.weight_scales.len()
+                    + 2 * 16
+            })
+            .sum::<usize>()
+            + self
+                .input_norm
+                .as_ref()
+                .map(|(s, _)| 16 * s.len())
+                .unwrap_or(0)
+    }
+}
+
+fn observe(vals: &[f64], lo: &mut f64, hi: &mut f64) {
+    for &v in vals {
+        *lo = lo.min(v);
+        *hi = hi.max(v);
+    }
+}
+
+fn apply_float(lin: &Linear, relu: bool, x: &[f64]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(lin.out_dim());
+    for o in 0..lin.out_dim() {
+        let mut acc = lin.bias[o];
+        for (w, xv) in lin.weight.row(o).iter().zip(x) {
+            acc += w * xv;
+        }
+        out.push(if relu { acc.max(0.0) } else { acc });
+    }
+    out
+}
+
+/// Quantization-aware fine-tuning: a few epochs of SGD where the forward
+/// pass sees fake-quantized weights (straight-through estimator). The
+/// latent float weights in `model` are updated in place.
+pub fn qat_finetune<R: Rng + ?Sized>(
+    model: &mut Mlp,
+    train_set: &Dataset,
+    config: &TrainConfig,
+    epochs: usize,
+    rng: &mut R,
+) {
+    assert_eq!(model.block_order(), BlockOrder::LinearFirst);
+    let mut opt = Sgd::with_momentum(config.learning_rate, config.momentum);
+    for _ in 0..epochs {
+        for batch in crate::data::BatchIter::new(train_set.len(), config.batch_size, rng) {
+            let xb = train_set.x.gather_rows(&batch);
+            let yb: Vec<f64> = batch.iter().map(|&i| train_set.y[i]).collect();
+            // snapshot latent weights, swap in fake-quantized copies
+            let latent = snapshot_linear_weights(model);
+            fake_quantize_linear_weights(model);
+            let out = model.forward(&xb, true);
+            let l = config.objective.evaluate(&out, &yb);
+            model.backward(&l.grad);
+            restore_linear_weights(model, latent);
+            // gradients computed at the quantized point, applied to latent
+            opt.step(model);
+        }
+    }
+}
+
+fn snapshot_linear_weights(model: &Mlp) -> Vec<(Matrix, Vec<f64>)> {
+    model
+        .layers()
+        .iter()
+        .filter_map(|l| match l {
+            Layer::Linear(lin) => Some((lin.weight.clone(), lin.bias.clone())),
+            _ => None,
+        })
+        .collect()
+}
+
+fn fake_quantize_linear_weights(model: &mut Mlp) {
+    for l in model.layers_mut() {
+        if let Layer::Linear(lin) = l {
+            let max_abs = lin
+                .weight
+                .as_slice()
+                .iter()
+                .fold(0.0f64, |m, v| m.max(v.abs()));
+            let qp = QuantParams::symmetric(max_abs);
+            for v in lin.weight.as_mut_slice() {
+                *v = qp.fake_quant(*v);
+            }
+        }
+    }
+}
+
+fn restore_linear_weights(model: &mut Mlp, latent: Vec<(Matrix, Vec<f64>)>) {
+    let mut it = latent.into_iter();
+    for l in model.layers_mut() {
+        if let Layer::Linear(lin) = l {
+            let (w, b) = it.next().expect("latent snapshot length");
+            lin.weight = w;
+            lin.bias = b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(31)
+    }
+
+    #[test]
+    fn quant_params_round_trip_error_bounded() {
+        let qp = QuantParams::from_range(-3.0, 5.0);
+        for i in 0..100 {
+            let x = -3.0 + 8.0 * (i as f64) / 99.0;
+            let err = (qp.fake_quant(x) - x).abs();
+            assert!(err <= qp.scale * 0.5 + 1e-12, "x={x}, err={err}");
+        }
+    }
+
+    #[test]
+    fn quant_params_represent_zero_exactly() {
+        for (lo, hi) in [(-3.0, 5.0), (0.0, 10.0), (-7.0, 0.0), (0.1, 2.0)] {
+            let qp = QuantParams::from_range(lo, hi);
+            assert_eq!(qp.fake_quant(0.0), 0.0, "range ({lo},{hi})");
+        }
+    }
+
+    #[test]
+    fn symmetric_weights_zero_point_zero() {
+        let qp = QuantParams::symmetric(2.54);
+        assert_eq!(qp.zero_point, 0);
+        assert_eq!(qp.quantize(2.54), 127);
+        assert_eq!(qp.quantize(-2.54), -127);
+    }
+
+    #[test]
+    fn bn_folding_preserves_inference() {
+        let mut r = rng();
+        let mut model = Mlp::new(4, &[6], BlockOrder::LinearFirst, &mut r);
+        // drive BN running stats away from the init
+        let data = Matrix::he_uniform(64, 4, &mut r);
+        for _ in 0..20 {
+            model.forward(&data, true);
+        }
+        let x = Matrix::from_rows(&[vec![0.3, -0.7, 1.1, 0.2]]);
+        let want = model.forward(&x, false).get(0, 0);
+        // fold and compute by hand
+        let fused = fuse_blocks(&model);
+        let mut cur: Vec<f64> = x.row(0).to_vec();
+        for (lin, relu) in &fused {
+            cur = apply_float(lin, *relu, &cur);
+        }
+        assert!((cur[0] - want).abs() < 1e-9, "folded {} vs model {want}", cur[0]);
+    }
+
+    #[test]
+    fn input_bn_folds_forward_exactly() {
+        let mut r = rng();
+        let mut model = Mlp::new(5, &[8], BlockOrder::LinearFirst, &mut r);
+        model
+            .layers_mut()
+            .insert(0, Layer::BatchNorm(BatchNorm1d::new(5)));
+        // drive all BN stats away from init with offset, scaled data
+        let mut data = Matrix::he_uniform(128, 5, &mut r);
+        for v in data.as_mut_slice() {
+            *v = *v * 7.0 + 3.0;
+        }
+        for _ in 0..50 {
+            model.forward(&data, true);
+        }
+        let x = Matrix::from_rows(&[vec![2.0, -5.0, 11.0, 0.5, 3.0]]);
+        let want = model.forward(&x, false).get(0, 0);
+        let fused = fuse_blocks(&model);
+        let mut cur: Vec<f64> = x.row(0).to_vec();
+        for (lin, relu) in &fused {
+            cur = apply_float(lin, *relu, &cur);
+        }
+        assert!(
+            (cur[0] - want).abs() < 1e-9,
+            "input-BN fold: fused {} vs model {want}",
+            cur[0]
+        );
+    }
+
+    #[test]
+    fn quantized_close_to_float() {
+        let mut r = rng();
+        let mut model = Mlp::new(5, &[16, 8], BlockOrder::LinearFirst, &mut r);
+        let calib = Matrix::he_uniform(256, 5, &mut r);
+        for _ in 0..30 {
+            model.forward(&calib, true);
+        }
+        let q = QuantizedMlp::quantize(&model, &calib);
+        // compare on fresh samples within the calibration distribution
+        let test = Matrix::he_uniform(64, 5, &mut r);
+        let float_out = model.forward(&test, false);
+        let mut max_err = 0.0f64;
+        let mut scale = 0.0f64;
+        for i in 0..64 {
+            let qo = q.forward_one(test.row(i));
+            max_err = max_err.max((qo - float_out.get(i, 0)).abs());
+            scale = scale.max(float_out.get(i, 0).abs());
+        }
+        assert!(
+            max_err < 0.1 * scale.max(1.0) + 0.05,
+            "max INT8 deviation {max_err} (scale {scale})"
+        );
+    }
+
+    #[test]
+    fn int8_kernel_matches_its_float_reference() {
+        // the integer path and its dequantized float reference must agree
+        // to within one quantization step per layer
+        let mut r = rng();
+        let mut model = Mlp::new(4, &[8], BlockOrder::LinearFirst, &mut r);
+        let calib = Matrix::he_uniform(128, 4, &mut r);
+        for _ in 0..10 {
+            model.forward(&calib, true);
+        }
+        let q = QuantizedMlp::quantize(&model, &calib);
+        for i in 0..32 {
+            let x: Vec<f64> = calib.row(i).to_vec();
+            let int_out = q.forward_one(&x);
+            // float ref through the same fused layers
+            let mut cur = x.clone();
+            let mut buf = Vec::new();
+            for layer in &q.layers {
+                layer.forward_float_ref(&cur, &mut buf);
+                std::mem::swap(&mut cur, &mut buf);
+            }
+            let tol = q.layers.iter().map(|l| l.output_params.scale).sum::<f64>() * 4.0;
+            assert!(
+                (int_out - cur[0]).abs() < tol.max(0.05),
+                "int {int_out} vs ref {} (tol {tol})",
+                cur[0]
+            );
+        }
+    }
+
+    #[test]
+    fn int8_inference_is_deterministic() {
+        let mut r = rng();
+        let mut model = models::background_network_small(13, BlockOrder::LinearFirst, &mut r);
+        let calib = Matrix::he_uniform(64, 13, &mut r);
+        model.forward(&calib, true);
+        let q = QuantizedMlp::quantize(&model, &calib);
+        let x: Vec<f64> = calib.row(0).to_vec();
+        assert_eq!(q.forward_one(&x), q.forward_one(&x));
+    }
+
+    #[test]
+    fn model_bytes_much_smaller_than_f32() {
+        let mut r = rng();
+        let mut model = models::background_network(13, BlockOrder::LinearFirst, &mut r);
+        let calib = Matrix::he_uniform(64, 13, &mut r);
+        model.forward(&calib, true);
+        let q = QuantizedMlp::quantize(&model, &calib);
+        let f32_bytes: usize = model.param_count() * 4;
+        assert!(
+            (q.model_bytes() as f64) < 0.5 * f32_bytes as f64,
+            "int8 {} vs f32 {}",
+            q.model_bytes(),
+            f32_bytes
+        );
+    }
+
+    #[test]
+    fn per_channel_at_least_as_accurate_as_per_tensor() {
+        let mut r = rng();
+        let mut model = Mlp::new(6, &[16, 8], BlockOrder::LinearFirst, &mut r);
+        let calib = Matrix::he_uniform(256, 6, &mut r);
+        for _ in 0..20 {
+            model.forward(&calib, true);
+        }
+        let pt = QuantizedMlp::quantize_with(&model, &calib, QuantScheme::PerTensor, WeightBits::Int8);
+        let pc = QuantizedMlp::quantize_with(&model, &calib, QuantScheme::PerChannel, WeightBits::Int8);
+        let float_out = model.forward(&calib, false);
+        let err = |q: &QuantizedMlp| {
+            (0..64)
+                .map(|i| (q.forward_one(calib.row(i)) - float_out.get(i, 0)).abs())
+                .sum::<f64>()
+        };
+        let e_pt = err(&pt);
+        let e_pc = err(&pc);
+        assert!(e_pc <= e_pt * 1.25, "per-channel {e_pc} vs per-tensor {e_pt}");
+    }
+
+    #[test]
+    fn int4_weights_within_range_and_model_smaller() {
+        let mut r = rng();
+        let mut model = Mlp::new(8, &[16], BlockOrder::LinearFirst, &mut r);
+        let calib = Matrix::he_uniform(128, 8, &mut r);
+        model.forward(&calib, true);
+        let q4 = QuantizedMlp::quantize_with(&model, &calib, QuantScheme::PerChannel, WeightBits::Int4);
+        for l in &q4.layers {
+            assert!(l.weight_q.iter().all(|&w| (-7..=7).contains(&w)));
+        }
+        let q8 = QuantizedMlp::quantize_with(&model, &calib, QuantScheme::PerChannel, WeightBits::Int8);
+        assert!(q4.model_bytes() < q8.model_bytes());
+        // int4 still roughly tracks the float model
+        let float_out = model.forward(&calib, false);
+        let mut worst = 0.0f64;
+        let mut scale = 0.0f64;
+        for i in 0..32 {
+            worst = worst.max((q4.forward_one(calib.row(i)) - float_out.get(i, 0)).abs());
+            scale = scale.max(float_out.get(i, 0).abs());
+        }
+        assert!(worst < 0.35 * scale.max(1.0) + 0.1, "int4 deviation {worst}");
+    }
+
+    #[test]
+    fn qat_keeps_model_trainable_and_quantizable() {
+        use crate::train::{Objective, TrainConfig};
+        let mut r = rng();
+        let mut model = Mlp::new(2, &[8], BlockOrder::LinearFirst, &mut r);
+        // blobs
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..200 {
+            let label = (i % 2) as f64;
+            let c = if label > 0.5 { 1.5 } else { -1.5 };
+            xs.push(c + adapt_math::sampling::standard_normal(&mut r) * 0.4);
+            xs.push(-c + adapt_math::sampling::standard_normal(&mut r) * 0.4);
+            ys.push(label);
+        }
+        let ds = Dataset::new(Matrix::from_vec(200, 2, xs), ys);
+        let cfg = TrainConfig {
+            max_epochs: 1,
+            batch_size: 32,
+            learning_rate: 0.05,
+            momentum: 0.9,
+            patience: 5,
+            objective: Objective::BinaryCrossEntropy,
+        };
+        qat_finetune(&mut model, &ds, &cfg, 20, &mut r);
+        let q = QuantizedMlp::quantize(&model, &ds.x);
+        // quantized classifier separates the blobs
+        let mut correct = 0;
+        for i in 0..ds.len() {
+            let logit = q.forward_one(ds.x.row(i));
+            let pred = if crate::layers::sigmoid(logit) >= 0.5 { 1.0 } else { 0.0 };
+            if (pred - ds.y[i]).abs() < 0.5 {
+                correct += 1;
+            }
+        }
+        assert!(correct > 180, "quantized accuracy {correct}/200");
+    }
+}

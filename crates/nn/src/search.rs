@@ -1,0 +1,203 @@
+//! Random hyperparameter search — the offline stand-in for the paper's
+//! Weights-and-Biases sweep over batch size, learning rate, and
+//! architectural variables (number of FC layers, maximum width, and
+//! relative per-layer widths).
+
+use crate::data::Dataset;
+use crate::mlp::{BlockOrder, Mlp};
+use crate::train::{train, Objective, TrainConfig};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The search space, mirroring the paper's sweep dimensions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SearchSpace {
+    /// Candidate batch sizes.
+    pub batch_sizes: Vec<usize>,
+    /// Log-uniform learning-rate range `(lo, hi)`.
+    pub learning_rate_range: (f64, f64),
+    /// Candidate numbers of FC layers (including the output layer).
+    pub n_fc_layers: Vec<usize>,
+    /// Candidate maximum widths.
+    pub max_widths: Vec<usize>,
+    /// Candidate per-layer width decay factors (width of layer k+1
+    /// relative to layer k).
+    pub width_decays: Vec<f64>,
+}
+
+impl SearchSpace {
+    /// A compact space suitable for the scaled-down reproduction.
+    pub fn small() -> Self {
+        SearchSpace {
+            batch_sizes: vec![64, 256, 1024],
+            learning_rate_range: (1e-4, 3e-2),
+            n_fc_layers: vec![3, 4],
+            max_widths: vec![16, 64, 256],
+            width_decays: vec![0.5, 1.0],
+        }
+    }
+}
+
+/// One sampled configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Candidate {
+    /// Batch size.
+    pub batch_size: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// Hidden widths (excludes the 1-wide output head).
+    pub hidden: Vec<usize>,
+}
+
+impl Candidate {
+    /// Draw one candidate from the space.
+    pub fn sample<R: Rng + ?Sized>(space: &SearchSpace, rng: &mut R) -> Self {
+        let batch_size = *space.batch_sizes.choose(rng).expect("empty batch sizes");
+        let (lo, hi) = space.learning_rate_range;
+        let learning_rate = (lo.ln() + rng.gen_range(0.0..1.0) * (hi.ln() - lo.ln())).exp();
+        let n_fc = *space.n_fc_layers.choose(rng).expect("empty layer counts");
+        let max_w = *space.max_widths.choose(rng).expect("empty widths");
+        let decay = *space.width_decays.choose(rng).expect("empty decays");
+        // n_fc layers total => n_fc - 1 hidden widths
+        let mut hidden = Vec::with_capacity(n_fc.saturating_sub(1));
+        let mut w = max_w as f64;
+        for _ in 0..n_fc.saturating_sub(1) {
+            hidden.push((w.round() as usize).max(2));
+            w *= decay;
+        }
+        Candidate {
+            batch_size,
+            learning_rate,
+            hidden,
+        }
+    }
+}
+
+/// The outcome of a search: each candidate with its validation loss, plus
+/// the winning trained model.
+#[derive(Debug)]
+pub struct SearchResult {
+    /// Scored candidates, best first.
+    pub trials: Vec<(Candidate, f64)>,
+    /// The model retrained with the best configuration.
+    pub best_model: Mlp,
+}
+
+/// Run a random search with `n_trials` samples. Each trial trains a fresh
+/// model with a shortened budget (`epochs_per_trial`), and the best
+/// configuration's model is returned.
+#[allow(clippy::too_many_arguments)]
+pub fn random_search<R: Rng + ?Sized>(
+    input_dim: usize,
+    objective: Objective,
+    space: &SearchSpace,
+    train_set: &Dataset,
+    val_set: &Dataset,
+    n_trials: usize,
+    epochs_per_trial: usize,
+    rng: &mut R,
+) -> SearchResult {
+    assert!(n_trials > 0);
+    let mut trials: Vec<(Candidate, f64)> = Vec::with_capacity(n_trials);
+    let mut best: Option<(f64, Mlp)> = None;
+    for _ in 0..n_trials {
+        let cand = Candidate::sample(space, rng);
+        let mut model = Mlp::new(input_dim, &cand.hidden, BlockOrder::BatchNormFirst, rng);
+        let cfg = TrainConfig {
+            max_epochs: epochs_per_trial,
+            batch_size: cand.batch_size,
+            learning_rate: cand.learning_rate,
+            momentum: 0.9,
+            patience: epochs_per_trial, // no early stop inside short trials
+            objective,
+        };
+        let report = train(&mut model, train_set, val_set, &cfg, rng);
+        let score = report.best_val_loss;
+        if best.as_ref().map(|(b, _)| score < *b).unwrap_or(true) {
+            best = Some((score, model));
+        }
+        trials.push((cand, score));
+    }
+    trials.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("NaN val loss"));
+    SearchResult {
+        trials,
+        best_model: best.expect("at least one trial").1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Matrix;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(41)
+    }
+
+    fn blobs(n: usize, seed: u64) -> Dataset {
+        let mut r = ChaCha8Rng::seed_from_u64(seed);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..n {
+            let label = (i % 2) as f64;
+            let c = if label > 0.5 { 1.0 } else { -1.0 };
+            xs.push(c + adapt_math::sampling::standard_normal(&mut r) * 0.5);
+            ys.push(label);
+        }
+        Dataset::new(Matrix::from_vec(n, 1, xs), ys)
+    }
+
+    #[test]
+    fn candidates_respect_space() {
+        let space = SearchSpace::small();
+        let mut r = rng();
+        for _ in 0..50 {
+            let c = Candidate::sample(&space, &mut r);
+            assert!(space.batch_sizes.contains(&c.batch_size));
+            let (lo, hi) = space.learning_rate_range;
+            assert!(c.learning_rate >= lo && c.learning_rate <= hi);
+            assert!(!c.hidden.is_empty());
+            assert!(c.hidden[0] <= 256);
+            // widths non-increasing (decay <= 1)
+            assert!(c.hidden.windows(2).all(|w| w[1] <= w[0]));
+        }
+    }
+
+    #[test]
+    fn search_returns_sorted_trials_and_working_model() {
+        let train_set = blobs(300, 1);
+        let val_set = blobs(100, 2);
+        let space = SearchSpace {
+            batch_sizes: vec![32],
+            learning_rate_range: (1e-3, 1e-1),
+            n_fc_layers: vec![2, 3],
+            max_widths: vec![8],
+            width_decays: vec![1.0],
+        };
+        let mut r = rng();
+        let result = random_search(
+            1,
+            Objective::BinaryCrossEntropy,
+            &space,
+            &train_set,
+            &val_set,
+            4,
+            8,
+            &mut r,
+        );
+        assert_eq!(result.trials.len(), 4);
+        assert!(result
+            .trials
+            .windows(2)
+            .all(|w| w[0].1 <= w[1].1), "sorted by val loss");
+        // winner should do clearly better than chance on this easy task
+        assert!(result.trials[0].1 < 0.6, "best val loss {}", result.trials[0].1);
+        let mut model = result.best_model;
+        let out = model.forward(&val_set.x, false);
+        let acc = crate::loss::accuracy(&out, &val_set.y, 0.5);
+        assert!(acc > 0.8, "accuracy {acc}");
+    }
+}

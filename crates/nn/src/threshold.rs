@@ -1,0 +1,133 @@
+//! Per-polar-bin output thresholds for the background classifier.
+//!
+//! Paper §III: "we divided the range of input polar angles into ten-degree
+//! bins and chose an output threshold for each bin that minimized training
+//! loss; the threshold is then selected dynamically at inference time based
+//! on the input polar angle."
+
+use adapt_math::angles::polar_bin;
+use serde::{Deserialize, Serialize};
+
+/// Number of ten-degree bins over `[0°, 90°)`.
+pub const N_POLAR_BINS: usize = 9;
+
+/// A per-polar-bin probability threshold table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ThresholdTable {
+    thresholds: Vec<f64>,
+}
+
+impl ThresholdTable {
+    /// A flat table (all bins share `t`).
+    pub fn uniform(t: f64) -> Self {
+        ThresholdTable {
+            thresholds: vec![t; N_POLAR_BINS],
+        }
+    }
+
+    /// The threshold for a given polar angle in degrees.
+    pub fn threshold_for(&self, polar_deg: f64) -> f64 {
+        self.thresholds[polar_bin(polar_deg, N_POLAR_BINS)]
+    }
+
+    /// Raw table access.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.thresholds
+    }
+
+    /// Fit the table: for each bin, scan candidate thresholds and keep the
+    /// one minimizing 0-1 loss on the training predictions.
+    ///
+    /// * `probs` — classifier probabilities (post-sigmoid);
+    /// * `labels` — 1.0 for background, 0.0 for GRB;
+    /// * `polar_deg` — the polar-angle input used for each example.
+    pub fn fit(probs: &[f64], labels: &[f64], polar_deg: &[f64]) -> Self {
+        assert_eq!(probs.len(), labels.len());
+        assert_eq!(probs.len(), polar_deg.len());
+        let mut table = vec![0.5; N_POLAR_BINS];
+        // candidate grid: fine enough to matter, coarse enough to be fast
+        let candidates: Vec<f64> = (1..100).map(|i| i as f64 / 100.0).collect();
+        for bin in 0..N_POLAR_BINS {
+            let idx: Vec<usize> = (0..probs.len())
+                .filter(|&i| polar_bin(polar_deg[i], N_POLAR_BINS) == bin)
+                .collect();
+            if idx.is_empty() {
+                continue; // keep default 0.5 for unseen bins
+            }
+            let mut best_t = 0.5;
+            let mut best_err = usize::MAX;
+            for &t in &candidates {
+                let err = idx
+                    .iter()
+                    .filter(|&&i| {
+                        let pred = if probs[i] >= t { 1.0 } else { 0.0 };
+                        (pred - labels[i]).abs() > 0.5
+                    })
+                    .count();
+                if err < best_err {
+                    best_err = err;
+                    best_t = t;
+                }
+            }
+            table[bin] = best_t;
+        }
+        ThresholdTable { thresholds: table }
+    }
+
+    /// Classify a probability at the given polar angle: `true` means
+    /// background (reject the ring).
+    pub fn is_background(&self, prob: f64, polar_deg: f64) -> bool {
+        prob >= self.threshold_for(polar_deg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_table() {
+        let t = ThresholdTable::uniform(0.7);
+        assert_eq!(t.threshold_for(5.0), 0.7);
+        assert_eq!(t.threshold_for(85.0), 0.7);
+        assert!(t.is_background(0.71, 44.0));
+        assert!(!t.is_background(0.69, 44.0));
+    }
+
+    #[test]
+    fn fit_finds_separating_threshold_per_bin() {
+        // bin 0 (0-10 deg): background clustered at p>0.8;
+        // bin 4 (40-50 deg): background clustered at p>0.3.
+        let mut probs = Vec::new();
+        let mut labels = Vec::new();
+        let mut polar = Vec::new();
+        for i in 0..200 {
+            let frac = i as f64 / 200.0;
+            // bin 0
+            probs.push(if i % 2 == 0 { 0.9 - 0.05 * frac } else { 0.2 + 0.1 * frac });
+            labels.push(if i % 2 == 0 { 1.0 } else { 0.0 });
+            polar.push(5.0);
+            // bin 4
+            probs.push(if i % 2 == 0 { 0.45 + 0.1 * frac } else { 0.05 + 0.1 * frac });
+            labels.push(if i % 2 == 0 { 1.0 } else { 0.0 });
+            polar.push(45.0);
+        }
+        let table = ThresholdTable::fit(&probs, &labels, &polar);
+        let t0 = table.threshold_for(5.0);
+        let t4 = table.threshold_for(45.0);
+        // thresholds land between the clusters of each bin
+        assert!(t0 >= 0.30 && t0 <= 0.86, "bin0 threshold {t0}");
+        assert!(t4 >= 0.15 && t4 <= 0.45, "bin4 threshold {t4}");
+        // perfect separation in both bins
+        for i in 0..probs.len() {
+            let want_bkg = labels[i] > 0.5;
+            assert_eq!(table.is_background(probs[i], polar[i]), want_bkg, "i={i}");
+        }
+    }
+
+    #[test]
+    fn unseen_bins_default_to_half() {
+        let table = ThresholdTable::fit(&[0.9, 0.1], &[1.0, 0.0], &[5.0, 5.0]);
+        assert_eq!(table.threshold_for(85.0), 0.5);
+    }
+}

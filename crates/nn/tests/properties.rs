@@ -1,0 +1,149 @@
+//! Property-based tests of the neural-network library.
+
+use adapt_nn::mlp::BlockOrder;
+use adapt_nn::{
+    auc, bce_with_logits, mse, Matrix, Mlp, QuantParams, QuantScheme, QuantizedMlp, Sgd,
+    WeightBits,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #[test]
+    fn matmul_distributes_over_addition(
+        seed in 0u64..500,
+        rows in 1usize..8,
+        inner in 1usize..8,
+        cols in 1usize..8,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = Matrix::he_uniform(rows, inner, &mut rng);
+        let b = Matrix::he_uniform(cols, inner, &mut rng);
+        let c = Matrix::he_uniform(cols, inner, &mut rng);
+        // a·(b+c)ᵀ = a·bᵀ + a·cᵀ
+        let mut bc = b.clone();
+        for (v, w) in bc.as_mut_slice().iter_mut().zip(c.as_slice()) {
+            *v += w;
+        }
+        let lhs = a.matmul_transpose(&bc);
+        let rhs1 = a.matmul_transpose(&b);
+        let rhs2 = a.matmul_transpose(&c);
+        for i in 0..rows {
+            for j in 0..cols {
+                prop_assert!((lhs.get(i, j) - rhs1.get(i, j) - rhs2.get(i, j)).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_reverses_matmul(seed in 0u64..500, n in 1usize..7, m in 1usize..7, k in 1usize..7) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = Matrix::he_uniform(n, k, &mut rng);
+        let b = Matrix::he_uniform(k, m, &mut rng);
+        // (a b)ᵀ = bᵀ aᵀ
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn bce_nonnegative_and_grad_bounded(logit in -50.0f64..50.0, y in 0.0f64..1.0) {
+        let out = Matrix::from_vec(1, 1, vec![logit]);
+        let l = bce_with_logits(&out, &[y]);
+        prop_assert!(l.loss >= -1e-12);
+        // gradient of BCE w.r.t. logit is (p - y): bounded by 1
+        prop_assert!(l.grad.get(0, 0).abs() <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn mse_zero_iff_exact(target in -10.0f64..10.0) {
+        let out = Matrix::from_vec(1, 1, vec![target]);
+        let l = mse(&out, &[target]);
+        prop_assert!(l.loss.abs() < 1e-15);
+        prop_assert!(l.grad.get(0, 0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn quant_round_trip_error_bounded(lo in -50.0f64..-0.01, hi in 0.01f64..50.0, t in 0.0f64..1.0) {
+        let qp = QuantParams::from_range(lo, hi);
+        let x = lo + t * (hi - lo);
+        prop_assert!((qp.fake_quant(x) - x).abs() <= qp.scale * 0.5 + 1e-9);
+        // idempotent: quantizing a quantized value is exact
+        let q1 = qp.fake_quant(x);
+        prop_assert!((qp.fake_quant(q1) - q1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_invariant_under_monotone_transform(
+        seed in 0u64..200,
+        n in 6usize..40,
+    ) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        use rand::Rng;
+        let probs: Vec<f64> = (0..n).map(|_| rng.gen_range(0.01..0.99)).collect();
+        let labels: Vec<f64> = (0..n).map(|i| (i % 2) as f64).collect();
+        let a1 = auc(&probs, &labels);
+        // logit transform is monotone: AUC unchanged
+        let transformed: Vec<f64> = probs.iter().map(|&p| (p / (1.0 - p)).ln()).collect();
+        let a2 = auc(&transformed, &labels);
+        prop_assert!((a1 - a2).abs() < 1e-9, "{a1} vs {a2}");
+        prop_assert!((0.0..=1.0).contains(&a1));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn forward_is_deterministic_and_finite(seed in 0u64..100, width in 2usize..32) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut model = Mlp::new(5, &[width, width / 2 + 1], BlockOrder::BatchNormFirst, &mut rng);
+        let x = Matrix::he_uniform(16, 5, &mut rng);
+        model.forward(&x, true); // initialize running stats
+        let a = model.predict(&x);
+        let b = model.predict(&x);
+        for (u, v) in a.as_slice().iter().zip(b.as_slice()) {
+            prop_assert_eq!(u, v);
+            prop_assert!(u.is_finite());
+        }
+    }
+
+    #[test]
+    fn sgd_step_reduces_loss_locally(seed in 0u64..100) {
+        // one small step along the gradient must not increase a smooth loss
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut model = Mlp::new(3, &[6], BlockOrder::LinearFirst, &mut rng);
+        let x = Matrix::he_uniform(32, 3, &mut rng);
+        let y: Vec<f64> = (0..32).map(|i| (i % 2) as f64).collect();
+        let out = model.forward(&x, true);
+        let before = bce_with_logits(&out, &y);
+        model.backward(&before.grad);
+        let mut opt = Sgd::new(1e-3);
+        opt.step(&mut model);
+        let after = bce_with_logits(&model.forward(&x, true), &y);
+        prop_assert!(after.loss <= before.loss + 1e-6,
+            "loss rose from {} to {}", before.loss, after.loss);
+    }
+
+    #[test]
+    fn quantized_network_bounded_outputs(seed in 0u64..50, scheme_pc in proptest::bool::ANY) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut model = Mlp::new(4, &[8], BlockOrder::LinearFirst, &mut rng);
+        let calib = Matrix::he_uniform(64, 4, &mut rng);
+        model.forward(&calib, true);
+        let scheme = if scheme_pc { QuantScheme::PerChannel } else { QuantScheme::PerTensor };
+        let q = QuantizedMlp::quantize_with(&model, &calib, scheme, WeightBits::Int8);
+        // outputs on calibration-like data stay within the dequantized range
+        let out_range = q.layers.last().unwrap().output_params;
+        let max_repr = out_range.dequantize(127).max(out_range.dequantize(-128));
+        let min_repr = out_range.dequantize(127).min(out_range.dequantize(-128));
+        for i in 0..16 {
+            let o = q.forward_one(calib.row(i));
+            prop_assert!(o.is_finite());
+            prop_assert!(o >= min_repr - 1e-9 && o <= max_repr + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Propagation-of-error estimation of dη (Boggs & Jean 2000 style).
+//!
+//! Given the reconstructed ring's energies and the front-end's reported
+//! measurement uncertainties, first-order propagation gives
+//!
+//! ```text
+//! η  = 1 − mec²·(1/E₂ − 1/E)          E  = total energy
+//! ∂η/∂E  = mec²·(1/E² ... )            E₂ = E − E₁ (post-scatter energy)
+//! dη² = (∂η/∂E)²σ_E² + (∂η/∂E₁)²σ_E₁² + (sinθ·σ_axis)²
+//! ```
+//!
+//! where the last term folds the ring-axis direction uncertainty (from hit
+//! position errors over the lever arm) into an equivalent η width.
+//!
+//! This estimate is *deliberately incomplete* in the same ways the paper
+//! reports for the real pipeline: it knows nothing about mis-sequencing,
+//! same-cell hit merging, position quantization bias, or escaped energy, so
+//! the true error in η is frequently much larger than dη claims. The dEta
+//! network's entire job is to learn that gap.
+
+use adapt_math::ELECTRON_REST_MEV;
+use adapt_sim::MeasuredHit;
+
+/// Inputs to the propagation, extracted from a sequenced event.
+#[derive(Debug, Clone, Copy)]
+pub struct EtaErrorInputs {
+    /// Total measured energy (MeV).
+    pub total_energy: f64,
+    /// First-hit deposit (MeV).
+    pub e1: f64,
+    /// Reported sigma of the total energy (MeV).
+    pub sigma_total: f64,
+    /// Reported sigma of the first-hit deposit (MeV).
+    pub sigma_e1: f64,
+    /// Reconstructed scattering cosine η.
+    pub eta: f64,
+    /// Angular 1-sigma uncertainty of the ring axis (radians).
+    pub sigma_axis: f64,
+}
+
+/// First-order propagated dη. Always strictly positive.
+pub fn propagate_d_eta(inp: &EtaErrorInputs) -> f64 {
+    let k = ELECTRON_REST_MEV;
+    let e = inp.total_energy;
+    let e2 = (e - inp.e1).max(1e-9);
+    // η = 1 − k(1/E₂ − 1/E), with E₂ = E − E₁:
+    //   ∂η/∂E  = k·(1/E₂²·∂E₂/∂E − ... ) = k(1/E² ... )
+    // Writing it out: ∂η/∂E  = −k·(−1/E₂² + 1/E²)·... careful sign-free:
+    //   ∂η/∂E  = k/E₂² − k/E²   (since ∂E₂/∂E = 1)
+    //   ∂η/∂E₁ = −k/E₂²          (since ∂E₂/∂E₁ = −1)
+    let d_eta_de = k / (e2 * e2) - k / (e * e);
+    let d_eta_de1 = -k / (e2 * e2);
+    let sin_theta = (1.0 - inp.eta.clamp(-1.0, 1.0).powi(2)).max(0.0).sqrt();
+    let var = (d_eta_de * inp.sigma_total).powi(2)
+        + (d_eta_de1 * inp.sigma_e1).powi(2)
+        + (sin_theta * inp.sigma_axis).powi(2);
+    var.sqrt().max(1e-6)
+}
+
+/// The ring axis' angular uncertainty from the two hit-position errors over
+/// the lever arm: `σ_axis ≈ sqrt(σ⊥₁² + σ⊥₂²) / L`.
+///
+/// The transverse position error of each hit is approximated isotropically
+/// by the RMS of its per-axis sigmas.
+pub fn axis_angular_sigma(first: &MeasuredHit, second: &MeasuredHit) -> f64 {
+    let lever = first.position.distance(second.position).max(1e-6);
+    let rms = |h: &MeasuredHit| {
+        let s = h.sigma_position;
+        ((s.x * s.x + s.y * s.y + s.z * s.z) / 3.0).sqrt()
+    };
+    let s1 = rms(first);
+    let s2 = rms(second);
+    ((s1 * s1 + s2 * s2).sqrt() / lever).min(std::f64::consts::FRAC_PI_2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapt_math::vec3::Vec3;
+    use adapt_sim::physics::compton_cos_theta;
+
+    fn inputs(e: f64, e1: f64, st: f64, s1: f64, sa: f64) -> EtaErrorInputs {
+        let eta = compton_cos_theta(e, e - e1);
+        EtaErrorInputs {
+            total_energy: e,
+            e1,
+            sigma_total: st,
+            sigma_e1: s1,
+            eta,
+            sigma_axis: sa,
+        }
+    }
+
+    #[test]
+    fn d_eta_positive_and_scales_with_sigmas() {
+        let base = propagate_d_eta(&inputs(1.0, 0.3, 0.03, 0.02, 0.02));
+        assert!(base > 0.0);
+        let doubled = propagate_d_eta(&inputs(1.0, 0.3, 0.06, 0.04, 0.04));
+        assert!((doubled / base - 2.0).abs() < 1e-9, "linear in sigmas");
+    }
+
+    #[test]
+    fn matches_finite_difference() {
+        // compare analytic derivative terms to numerical differentiation
+        let e = 0.9;
+        let e1 = 0.25;
+        let h = 1e-6;
+        let eta_of = |e: f64, e1: f64| compton_cos_theta(e, e - e1);
+        let de = (eta_of(e + h, e1) - eta_of(e - h, e1)) / (2.0 * h);
+        let de1 = (eta_of(e, e1 + h) - eta_of(e, e1 - h)) / (2.0 * h);
+        let sigma_t = 0.03;
+        let sigma_1 = 0.02;
+        let want = ((de * sigma_t).powi(2) + (de1 * sigma_1).powi(2)).sqrt();
+        let got = propagate_d_eta(&inputs(e, e1, sigma_t, sigma_1, 0.0));
+        assert!((got - want).abs() < 1e-6, "got {got}, want {want}");
+    }
+
+    #[test]
+    fn axis_term_vanishes_at_forward_scatter() {
+        // eta = 1 (sin theta = 0): axis uncertainty does not move the cone
+        let mut i = inputs(1.0, 1e-9, 0.0, 0.0, 0.5);
+        i.eta = 1.0;
+        let d = propagate_d_eta(&i);
+        assert!(d < 1e-5, "got {d}");
+    }
+
+    #[test]
+    fn axis_sigma_shrinks_with_lever_arm() {
+        let hit = |z: f64| MeasuredHit {
+            position: Vec3::new(0.0, 0.0, z),
+            energy: 0.3,
+            sigma_position: Vec3::new(0.09, 0.09, 0.43),
+            sigma_energy: 0.02,
+            layer: 0,
+        };
+        let short = axis_angular_sigma(&hit(0.0), &hit(2.0));
+        let long = axis_angular_sigma(&hit(0.0), &hit(8.0));
+        assert!(long < short);
+        assert!((short / long - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn axis_sigma_capped() {
+        let hit = |z: f64| MeasuredHit {
+            position: Vec3::new(0.0, 0.0, z),
+            energy: 0.3,
+            sigma_position: Vec3::new(5.0, 5.0, 5.0),
+            sigma_energy: 0.02,
+            layer: 0,
+        };
+        let s = axis_angular_sigma(&hit(0.0), &hit(0.001));
+        assert!(s <= std::f64::consts::FRAC_PI_2 + 1e-12);
+    }
+
+    #[test]
+    fn small_e2_inflates_uncertainty() {
+        // nearly all energy in the first hit: eta derivative blows up
+        let tight = propagate_d_eta(&inputs(1.0, 0.2, 0.02, 0.02, 0.0));
+        let loose = propagate_d_eta(&inputs(1.0, 0.9, 0.02, 0.02, 0.0));
+        assert!(loose > 5.0 * tight, "tight {tight}, loose {loose}");
+    }
+}

@@ -1,0 +1,139 @@
+//! The model input features (paper §III, "Input Features").
+//!
+//! Twelve features per ring: total deposited energy; the four parameters
+//! (x, y, z, E) of each of the first and second hits; and the reported
+//! uncertainties of the three energy measurements (total plus the two
+//! deposits). A thirteenth input, the estimated source polar angle, is
+//! appended at inference time because it depends on the localizer's current
+//! direction estimate (paper Fig. 6).
+
+use adapt_sim::MeasuredHit;
+use serde::{Deserialize, Serialize};
+
+/// Number of static features (before the polar-angle input).
+pub const N_STATIC_FEATURES: usize = 12;
+
+/// Total model input width including the polar-angle estimate.
+pub const N_FEATURES_WITH_POLAR: usize = 13;
+
+/// The twelve per-ring features, in a fixed order shared by training and
+/// inference.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RingFeatures {
+    /// Total energy deposited by the event (MeV).
+    pub total_energy: f64,
+    /// First hit: x, y, z (cm) and deposited energy (MeV).
+    pub hit1: [f64; 4],
+    /// Second hit: x, y, z (cm) and deposited energy (MeV).
+    pub hit2: [f64; 4],
+    /// Reported 1-sigma uncertainty of the total energy (MeV).
+    pub sigma_total_energy: f64,
+    /// Reported uncertainty of the first hit's deposit (MeV).
+    pub sigma_e1: f64,
+    /// Reported uncertainty of the second hit's deposit (MeV).
+    pub sigma_e2: f64,
+}
+
+impl RingFeatures {
+    /// Build from the sequenced first/second hits and event totals.
+    pub fn from_hits(
+        first: &MeasuredHit,
+        second: &MeasuredHit,
+        total_energy: f64,
+        sigma_total_energy: f64,
+    ) -> Self {
+        RingFeatures {
+            total_energy,
+            hit1: [
+                first.position.x,
+                first.position.y,
+                first.position.z,
+                first.energy,
+            ],
+            hit2: [
+                second.position.x,
+                second.position.y,
+                second.position.z,
+                second.energy,
+            ],
+            sigma_total_energy,
+            sigma_e1: first.sigma_energy,
+            sigma_e2: second.sigma_energy,
+        }
+    }
+
+    /// An all-zero feature block (tests, padding).
+    pub fn zeroed() -> Self {
+        RingFeatures {
+            total_energy: 0.0,
+            hit1: [0.0; 4],
+            hit2: [0.0; 4],
+            sigma_total_energy: 0.0,
+            sigma_e1: 0.0,
+            sigma_e2: 0.0,
+        }
+    }
+
+    /// The twelve static features as a fixed-order array.
+    pub fn to_static_array(&self) -> [f64; N_STATIC_FEATURES] {
+        [
+            self.total_energy,
+            self.hit1[0],
+            self.hit1[1],
+            self.hit1[2],
+            self.hit1[3],
+            self.hit2[0],
+            self.hit2[1],
+            self.hit2[2],
+            self.hit2[3],
+            self.sigma_total_energy,
+            self.sigma_e1,
+            self.sigma_e2,
+        ]
+    }
+
+    /// The full thirteen-wide model input: static features plus the
+    /// current polar-angle estimate in degrees.
+    pub fn to_model_input(&self, polar_angle_deg: f64) -> [f64; N_FEATURES_WITH_POLAR] {
+        let s = self.to_static_array();
+        [
+            s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7], s[8], s[9], s[10], s[11],
+            polar_angle_deg,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapt_math::vec3::Vec3;
+
+    fn hit(x: f64, e: f64, se: f64) -> MeasuredHit {
+        MeasuredHit {
+            position: Vec3::new(x, 2.0 * x, -x),
+            energy: e,
+            sigma_position: Vec3::new(0.1, 0.1, 0.4),
+            sigma_energy: se,
+            layer: 0,
+        }
+    }
+
+    #[test]
+    fn feature_order_is_stable() {
+        let f = RingFeatures::from_hits(&hit(1.0, 0.3, 0.01), &hit(2.0, 0.5, 0.02), 0.8, 0.03);
+        let a = f.to_static_array();
+        assert_eq!(a[0], 0.8);
+        assert_eq!(a[1..5], [1.0, 2.0, -1.0, 0.3]);
+        assert_eq!(a[5..9], [2.0, 4.0, -2.0, 0.5]);
+        assert_eq!(a[9..12], [0.03, 0.01, 0.02]);
+    }
+
+    #[test]
+    fn model_input_appends_polar() {
+        let f = RingFeatures::zeroed();
+        let x = f.to_model_input(42.5);
+        assert_eq!(x.len(), N_FEATURES_WITH_POLAR);
+        assert_eq!(x[12], 42.5);
+        assert!(x[..12].iter().all(|&v| v == 0.0));
+    }
+}

@@ -1,0 +1,142 @@
+//! The Compton ring: the per-photon constraint consumed by localization.
+//!
+//! A reconstructed event constrains its source to a cone (a *ring* on the
+//! sky) around the axis `c` through the first two hits: `c · s = η`, where
+//! `η` is the scattering-angle cosine inferred from the energy deposits and
+//! `dη` parameterizes a radially symmetric Gaussian around the ring
+//! (paper Fig. 2 and footnote 1).
+
+use crate::features::RingFeatures;
+use adapt_math::vec3::UnitVec3;
+use adapt_sim::ParticleOrigin;
+use serde::{Deserialize, Serialize};
+
+/// Truth metadata attached to simulated rings (labels for training and
+/// oracle experiments; never read by the pipeline itself).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RingTruth {
+    /// Whether the parent particle was background.
+    pub origin: ParticleOrigin,
+    /// The true source direction of the parent particle.
+    pub source_dir: UnitVec3,
+    /// The true scattering-angle cosine of the first interaction, when the
+    /// true history had one (`None` e.g. for mis-sequenced topologies).
+    pub true_eta: Option<f64>,
+}
+
+impl RingTruth {
+    /// The actual error in the reconstructed η: `|η_reconstructed − c·s|`,
+    /// where `c·s` is the cosine the ring *should* have reported for the
+    /// true source. This is the regression target of the dEta network.
+    pub fn true_eta_error(&self, axis: UnitVec3, eta: f64) -> f64 {
+        let ideal = axis.cos_angle_to(self.source_dir);
+        (eta - ideal).abs()
+    }
+}
+
+/// A reconstructed Compton ring.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ComptonRing {
+    /// Unit vector from the second hit through the first, extended toward
+    /// the sky: the cone axis. The source satisfies `axis · s ≈ eta`.
+    pub axis: UnitVec3,
+    /// Reconstructed cosine of the Compton scattering angle.
+    pub eta: f64,
+    /// The *analytic* (propagation-of-error) estimate of the 1-sigma
+    /// uncertainty in `eta`. The dEta network learns to replace this.
+    pub d_eta: f64,
+    /// The twelve input features the paper feeds to both networks.
+    pub features: RingFeatures,
+    /// Simulation truth (absent for real flight data).
+    pub truth: Option<RingTruth>,
+}
+
+impl ComptonRing {
+    /// Cosine residual of a candidate source direction: `axis·s − eta`.
+    #[inline]
+    pub fn residual(&self, source: UnitVec3) -> f64 {
+        self.axis.cos_angle_to(source) - self.eta
+    }
+
+    /// Residual standardized by a given uncertainty (usually `d_eta` or a
+    /// network-corrected value).
+    #[inline]
+    pub fn standardized_residual(&self, source: UnitVec3, d_eta: f64) -> f64 {
+        self.residual(source) / d_eta.max(1e-9)
+    }
+
+    /// A copy with `d_eta` replaced (the dEta-network update).
+    pub fn with_d_eta(&self, d_eta: f64) -> ComptonRing {
+        ComptonRing {
+            d_eta,
+            ..self.clone()
+        }
+    }
+
+    /// True if the parent particle was a background particle. `false` when
+    /// truth is unavailable.
+    pub fn is_background_truth(&self) -> bool {
+        self.truth
+            .map(|t| t.origin.is_background())
+            .unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::RingFeatures;
+    use adapt_math::vec3::Vec3;
+
+    fn ring(axis: UnitVec3, eta: f64, d_eta: f64) -> ComptonRing {
+        ComptonRing {
+            axis,
+            eta,
+            d_eta,
+            features: RingFeatures::zeroed(),
+            truth: None,
+        }
+    }
+
+    #[test]
+    fn residual_zero_on_cone() {
+        // axis = +z, eta = cos(30deg): a source 30 degrees off axis is on
+        // the cone.
+        let eta = (30f64).to_radians().cos();
+        let r = ring(UnitVec3::PLUS_Z, eta, 0.01);
+        let on_cone = UnitVec3::from_spherical((30f64).to_radians(), 1.234);
+        assert!(r.residual(on_cone).abs() < 1e-12);
+        let off = UnitVec3::from_spherical((45f64).to_radians(), 0.0);
+        assert!(r.residual(off).abs() > 0.05);
+    }
+
+    #[test]
+    fn standardized_residual_scales() {
+        let r = ring(UnitVec3::PLUS_Z, 0.5, 0.1);
+        let s = UnitVec3::PLUS_Z; // residual = 1 - 0.5 = 0.5
+        assert!((r.standardized_residual(s, 0.1) - 5.0).abs() < 1e-9);
+        assert!((r.with_d_eta(0.25).standardized_residual(s, 0.25) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn true_eta_error_is_cosine_gap() {
+        let truth = RingTruth {
+            origin: ParticleOrigin::Grb,
+            source_dir: UnitVec3::PLUS_Z,
+            true_eta: Some(0.9),
+        };
+        // axis 60 deg from source: ideal eta = 0.5
+        let axis = Vec3::new(3f64.sqrt() / 2.0, 0.0, 0.5).normalized();
+        let err = truth.true_eta_error(axis, 0.7);
+        assert!((err - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn with_d_eta_preserves_rest() {
+        let r = ring(UnitVec3::PLUS_X, 0.3, 0.05);
+        let r2 = r.with_d_eta(0.2);
+        assert_eq!(r2.eta, 0.3);
+        assert_eq!(r2.d_eta, 0.2);
+        assert!(r2.axis.cos_angle_to(UnitVec3::PLUS_X) > 0.999999);
+    }
+}

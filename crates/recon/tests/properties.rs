@@ -1,0 +1,117 @@
+//! Property-based tests of the reconstruction stage.
+
+use adapt_math::rotation::deflect;
+use adapt_math::vec3::{UnitVec3, Vec3};
+use adapt_recon::{sequence_hits, ComptonRing, ReconConfig, Reconstructor, RingFeatures};
+use adapt_sim::physics::scattered_energy;
+use adapt_sim::{Event, MeasuredHit, ParticleOrigin, TrueEvent};
+use proptest::prelude::*;
+
+fn hit(pos: Vec3, e: f64) -> MeasuredHit {
+    MeasuredHit {
+        position: pos,
+        energy: e,
+        sigma_position: Vec3::new(0.09, 0.09, 0.43),
+        sigma_energy: 0.02,
+        layer: 0,
+    }
+}
+
+/// A kinematically exact 3-hit chain with configurable geometry.
+fn exact_chain(e0: f64, theta1_deg: f64, theta2_deg: f64, phi: f64) -> Vec<MeasuredHit> {
+    let travel0 = UnitVec3::PLUS_Z.flipped();
+    let p0 = Vec3::ZERO;
+    let ct1 = theta1_deg.to_radians().cos();
+    let e1 = scattered_energy(e0, ct1);
+    let d0 = e0 - e1;
+    let travel1 = deflect(travel0, theta1_deg.to_radians(), phi);
+    let p1 = p0 + travel1.as_vec() * 3.0;
+    let ct2 = theta2_deg.to_radians().cos();
+    let e2 = scattered_energy(e1, ct2);
+    let d1 = e1 - e2;
+    let travel2 = deflect(travel1, theta2_deg.to_radians(), phi + 1.1);
+    let p2 = p1 + travel2.as_vec() * 2.5;
+    vec![hit(p0, d0), hit(p1, d1), hit(p2, e2)]
+}
+
+proptest! {
+    #[test]
+    fn exact_chains_sequence_correctly(
+        e0 in 0.4f64..5.0,
+        theta1 in 15.0f64..120.0,
+        theta2 in 15.0f64..120.0,
+        phi in 0.0f64..6.28,
+        perm in 0usize..6,
+    ) {
+        let hits = exact_chain(e0, theta1, theta2, phi);
+        prop_assume!(hits.iter().all(|h| h.energy > 0.01));
+        // present the hits in an arbitrary order
+        let orders = [[0, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]];
+        let order = orders[perm];
+        let shuffled: Vec<MeasuredHit> = order.iter().map(|&i| hits[i]).collect();
+        let seq = sequence_hits(&shuffled, 0.1).expect("exact chain must sequence");
+        // the recovered first hit must be the true first hit
+        prop_assert_eq!(order[seq.order[0]], 0, "first hit misidentified");
+        prop_assert!(seq.redundancy_score < 1e-9);
+    }
+
+    #[test]
+    fn ring_residual_antisymmetric(
+        polar in 0.0f64..3.0,
+        az in 0.0f64..6.0,
+        eta in -0.9f64..0.9,
+    ) {
+        let ring = ComptonRing {
+            axis: UnitVec3::from_spherical(polar, az),
+            eta,
+            d_eta: 0.02,
+            features: RingFeatures::zeroed(),
+            truth: None,
+        };
+        // residual at a direction on the cone is 0; flipping axis negates eta
+        let on_cone = deflect(ring.axis, eta.acos(), 2.0);
+        prop_assert!(ring.residual(on_cone).abs() < 1e-9);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn reconstruct_never_panics_on_arbitrary_events(
+        n_hits in 0usize..8,
+        seed in 0u64..500,
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let hits: Vec<MeasuredHit> = (0..n_hits)
+            .map(|_| {
+                hit(
+                    Vec3::new(
+                        rng.gen_range(-20.0..20.0),
+                        rng.gen_range(-20.0..20.0),
+                        [6.0, 2.0, -2.0, -6.0][rng.gen_range(0..4)],
+                    ),
+                    rng.gen_range(0.001..3.0),
+                )
+            })
+            .collect();
+        let event = Event {
+            hits,
+            truth: TrueEvent {
+                origin: ParticleOrigin::Grb,
+                source_dir: UnitVec3::PLUS_Z,
+                incident_energy: 1.0,
+                hits: vec![],
+                true_eta: None,
+            },
+            arrival_time: 0.0,
+        };
+        // must never panic; on success the ring must be physical
+        if let Ok(ring) = Reconstructor::new(ReconConfig::default()).reconstruct(&event) {
+            prop_assert!((-1.0..=1.0).contains(&ring.eta));
+            prop_assert!(ring.d_eta > 0.0 && ring.d_eta.is_finite());
+            prop_assert!(ring.features.to_static_array().iter().all(|v| v.is_finite()));
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Event data model: true interactions, measured hits, and the truth
+//! bookkeeping needed to build training labels.
+//!
+//! Terminology follows the paper (§II-B): a single gamma-ray photon gives
+//! rise to an *event*, which is the list of its interactions (*hits*) in the
+//! detector. Each hit carries a 3-D position and a deposited energy; the
+//! measured variants additionally carry the detector's *reported*
+//! uncertainties, which are exactly the quantities propagation-of-error
+//! consumes (and mis-trusts).
+
+use adapt_math::vec3::{UnitVec3, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// The origin of a simulated particle, i.e. the classification label the
+/// background network is trained to recover.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ParticleOrigin {
+    /// A photon from the gamma-ray burst under study.
+    Grb,
+    /// An atmospheric/diffuse background particle.
+    Background,
+}
+
+impl ParticleOrigin {
+    /// True if this is a background particle.
+    pub fn is_background(self) -> bool {
+        matches!(self, ParticleOrigin::Background)
+    }
+}
+
+/// A single true interaction of the photon inside a scintillator tile.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct TrueHit {
+    /// Interaction position in detector coordinates (cm).
+    pub position: Vec3,
+    /// Energy deposited at this interaction (MeV).
+    pub energy: f64,
+    /// Index of the detector layer containing the interaction.
+    pub layer: usize,
+    /// Kind of interaction that produced the deposit.
+    pub kind: InteractionKind,
+}
+
+/// Physical process at a hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InteractionKind {
+    /// Compton scattering: partial energy deposit, photon continues.
+    Compton,
+    /// Photoelectric absorption: the photon's full remaining energy is
+    /// deposited and the history ends.
+    Photoabsorption,
+    /// Pair production: the photon converts; the pair's kinetic energy
+    /// deposits locally and two 511 keV annihilation photons continue.
+    PairProduction,
+}
+
+/// The full truth record of one simulated photon.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrueEvent {
+    /// Where the particle came from (GRB vs background).
+    pub origin: ParticleOrigin,
+    /// Unit vector pointing from the detector *toward the source* (the
+    /// photon travels along `-source_dir`).
+    pub source_dir: UnitVec3,
+    /// Energy of the photon before entering the detector (MeV).
+    pub incident_energy: f64,
+    /// Interactions in true chronological order.
+    pub hits: Vec<TrueHit>,
+    /// True cosine of the first Compton scattering angle, when the history
+    /// begins with a Compton scatter followed by at least one more hit.
+    pub true_eta: Option<f64>,
+}
+
+impl TrueEvent {
+    /// Total energy deposited in the detector.
+    pub fn deposited_energy(&self) -> f64 {
+        self.hits.iter().map(|h| h.energy).sum()
+    }
+
+    /// True if the photon deposited its entire incident energy
+    /// (fully contained history).
+    pub fn fully_contained(&self) -> bool {
+        (self.deposited_energy() - self.incident_energy).abs() < 1e-9
+    }
+}
+
+/// A hit as reported by the detector front-end: quantized, smeared, and
+/// accompanied by the front-end's *claimed* 1-sigma uncertainties.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MeasuredHit {
+    /// Measured position (cm).
+    pub position: Vec3,
+    /// Measured deposited energy (MeV).
+    pub energy: f64,
+    /// Reported per-axis position uncertainty (cm).
+    pub sigma_position: Vec3,
+    /// Reported energy uncertainty (MeV).
+    pub sigma_energy: f64,
+    /// Layer index (known exactly from which tile fired).
+    pub layer: usize,
+}
+
+/// A complete measured event with its truth attached (truth is used only
+/// for labels and for oracle experiments, never by the pipeline itself).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Event {
+    /// Hits ordered by true interaction time. The reconstruction stage must
+    /// *not* rely on this ordering (real hardware does not know it); the
+    /// sequencer re-derives an ordering from kinematics.
+    pub hits: Vec<MeasuredHit>,
+    /// Simulation truth for labeling.
+    pub truth: TrueEvent,
+    /// Arrival time within the exposure window (s). Drives the burst
+    /// trigger and the pileup study.
+    pub arrival_time: f64,
+}
+
+impl Event {
+    /// Total measured deposited energy.
+    pub fn total_energy(&self) -> f64 {
+        self.hits.iter().map(|h| h.energy).sum()
+    }
+
+    /// Quadrature sum of the reported per-hit energy uncertainties — the
+    /// reported uncertainty of [`Event::total_energy`].
+    pub fn total_energy_sigma(&self) -> f64 {
+        self.hits
+            .iter()
+            .map(|h| h.sigma_energy * h.sigma_energy)
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hit(e: f64) -> TrueHit {
+        TrueHit {
+            position: Vec3::ZERO,
+            energy: e,
+            layer: 0,
+            kind: InteractionKind::Compton,
+        }
+    }
+
+    #[test]
+    fn deposited_energy_sums_hits() {
+        let ev = TrueEvent {
+            origin: ParticleOrigin::Grb,
+            source_dir: UnitVec3::PLUS_Z,
+            incident_energy: 1.0,
+            hits: vec![hit(0.4), hit(0.6)],
+            true_eta: Some(0.5),
+        };
+        assert!((ev.deposited_energy() - 1.0).abs() < 1e-12);
+        assert!(ev.fully_contained());
+    }
+
+    #[test]
+    fn escape_is_not_contained() {
+        let ev = TrueEvent {
+            origin: ParticleOrigin::Background,
+            source_dir: UnitVec3::PLUS_Z,
+            incident_energy: 1.0,
+            hits: vec![hit(0.4)],
+            true_eta: None,
+        };
+        assert!(!ev.fully_contained());
+        assert!(ev.origin.is_background());
+    }
+
+    #[test]
+    fn measured_totals() {
+        let mh = |e: f64, s: f64| MeasuredHit {
+            position: Vec3::ZERO,
+            energy: e,
+            sigma_position: Vec3::new(0.1, 0.1, 0.4),
+            sigma_energy: s,
+            layer: 0,
+        };
+        let ev = Event {
+            arrival_time: 0.0,
+            hits: vec![mh(0.3, 0.03), mh(0.7, 0.04)],
+            truth: TrueEvent {
+                origin: ParticleOrigin::Grb,
+                source_dir: UnitVec3::PLUS_Z,
+                incident_energy: 1.0,
+                hits: vec![],
+                true_eta: None,
+            },
+        };
+        assert!((ev.total_energy() - 1.0).abs() < 1e-12);
+        let want = (0.03f64 * 0.03 + 0.04 * 0.04).sqrt();
+        assert!((ev.total_energy_sigma() - want).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,174 @@
+//! Balloon flight profile: altitude-dependent background intensity.
+//!
+//! ADAPT flies on a high-altitude balloon; the atmospheric MeV background
+//! depends on the residual atmospheric depth above the instrument, which
+//! varies as the balloon ascends and drifts. This module models that
+//! dependence so long-exposure studies (trigger false-alarm rates,
+//! background calibration drift) see a realistic, slowly varying rate
+//! rather than a constant.
+
+use serde::{Deserialize, Serialize};
+
+/// Reference atmospheric scale height (km).
+const SCALE_HEIGHT_KM: f64 = 7.2;
+
+/// Sea-level atmospheric depth (g/cm²).
+const SEA_LEVEL_DEPTH: f64 = 1033.0;
+
+/// Convert altitude (km) to residual atmospheric depth (g/cm²) with an
+/// isothermal-atmosphere approximation.
+pub fn depth_at_altitude(altitude_km: f64) -> f64 {
+    SEA_LEVEL_DEPTH * (-altitude_km / SCALE_HEIGHT_KM).exp()
+}
+
+/// The background-intensity model: secondary gamma-ray production peaks at
+/// the Pfotzer maximum (~100 g/cm², ~16 km) and falls off both deeper in
+/// the atmosphere and toward float altitude, where a residual flattens out
+/// (cosmic diffuse + instrument activation).
+pub fn background_scale_at_depth(depth_g_cm2: f64) -> f64 {
+    const PFOTZER_DEPTH: f64 = 100.0;
+    const RESIDUAL: f64 = 0.35;
+    let x = depth_g_cm2.max(0.0) / PFOTZER_DEPTH;
+    // unimodal in x with maximum 1 at x = 1, tending to RESIDUAL as x -> 0
+    let peak = x * (1.0 - x).exp() / (1.0f64 * (0.0f64).exp());
+    RESIDUAL + (1.0 - RESIDUAL) * peak.clamp(0.0, 1.0)
+}
+
+/// One phase of a flight.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlightPhase {
+    /// Phase duration (hours).
+    pub duration_h: f64,
+    /// Altitude at the start of the phase (km).
+    pub start_altitude_km: f64,
+    /// Altitude at the end of the phase (km).
+    pub end_altitude_km: f64,
+}
+
+/// A piecewise-linear altitude profile.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FlightProfile {
+    phases: Vec<FlightPhase>,
+}
+
+impl FlightProfile {
+    /// Build from phases (must be non-empty).
+    pub fn new(phases: Vec<FlightPhase>) -> Self {
+        assert!(!phases.is_empty(), "flight needs at least one phase");
+        assert!(phases.iter().all(|p| p.duration_h > 0.0));
+        FlightProfile { phases }
+    }
+
+    /// A representative Antarctic long-duration flight: 3 h ascent to
+    /// 38 km, then float with a slow diurnal altitude oscillation
+    /// (approximated by alternating drift phases).
+    pub fn antarctic_ldb() -> Self {
+        FlightProfile::new(vec![
+            FlightPhase {
+                duration_h: 3.0,
+                start_altitude_km: 0.0,
+                end_altitude_km: 38.0,
+            },
+            FlightPhase {
+                duration_h: 12.0,
+                start_altitude_km: 38.0,
+                end_altitude_km: 36.0,
+            },
+            FlightPhase {
+                duration_h: 12.0,
+                start_altitude_km: 36.0,
+                end_altitude_km: 38.0,
+            },
+        ])
+    }
+
+    /// Total flight duration (hours).
+    pub fn duration_h(&self) -> f64 {
+        self.phases.iter().map(|p| p.duration_h).sum()
+    }
+
+    /// Altitude at mission-elapsed time `t_h` (hours), clamped to the
+    /// profile's ends.
+    pub fn altitude_at(&self, t_h: f64) -> f64 {
+        let mut t = t_h.max(0.0);
+        for p in &self.phases {
+            if t <= p.duration_h {
+                let frac = t / p.duration_h;
+                return p.start_altitude_km + frac * (p.end_altitude_km - p.start_altitude_km);
+            }
+            t -= p.duration_h;
+        }
+        self.phases.last().map(|p| p.end_altitude_km).unwrap_or(0.0)
+    }
+
+    /// The background-fluence multiplier at mission time `t_h`, relative
+    /// to the nominal float-altitude value: scale the flight-time default
+    /// `BackgroundConfig::particle_fluence` by this.
+    pub fn background_multiplier_at(&self, t_h: f64) -> f64 {
+        let here = background_scale_at_depth(depth_at_altitude(self.altitude_at(t_h)));
+        let float_alt = self.phases.last().map(|p| p.end_altitude_km).unwrap_or(38.0);
+        let at_float = background_scale_at_depth(depth_at_altitude(float_alt));
+        here / at_float
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_decreases_with_altitude() {
+        assert!((depth_at_altitude(0.0) - SEA_LEVEL_DEPTH).abs() < 1e-9);
+        let mut last = f64::INFINITY;
+        for km in [0.0, 5.0, 16.0, 25.0, 38.0] {
+            let d = depth_at_altitude(km);
+            assert!(d < last && d > 0.0);
+            last = d;
+        }
+        // ~38 km float: a few g/cm^2
+        let float_depth = depth_at_altitude(38.0);
+        assert!(float_depth > 1.0 && float_depth < 15.0, "{float_depth}");
+    }
+
+    #[test]
+    fn pfotzer_maximum_exists() {
+        let at_peak = background_scale_at_depth(100.0);
+        assert!((at_peak - 1.0).abs() < 1e-9, "normalized to 1 at the peak");
+        assert!(background_scale_at_depth(400.0) < at_peak);
+        assert!(background_scale_at_depth(5.0) < at_peak);
+        // residual floor at zero depth
+        assert!(background_scale_at_depth(0.0) >= 0.35 - 1e-9);
+    }
+
+    #[test]
+    fn profile_interpolates_linearly() {
+        let p = FlightProfile::antarctic_ldb();
+        assert!((p.duration_h() - 27.0).abs() < 1e-12);
+        assert!((p.altitude_at(0.0) - 0.0).abs() < 1e-12);
+        assert!((p.altitude_at(1.5) - 19.0).abs() < 1e-9, "mid-ascent");
+        assert!((p.altitude_at(3.0) - 38.0).abs() < 1e-9);
+        assert!((p.altitude_at(9.0) - 37.0).abs() < 1e-9, "drift down");
+        // clamped past the end
+        assert!((p.altitude_at(1000.0) - 38.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ascent_crosses_the_background_peak() {
+        // during ascent the multiplier rises above the float level then
+        // settles back near 1
+        let p = FlightProfile::antarctic_ldb();
+        let at_pfotzer_alt = p.background_multiplier_at(1.3); // ~16.5 km
+        let at_float = p.background_multiplier_at(20.0);
+        assert!(
+            at_pfotzer_alt > 1.5,
+            "Pfotzer crossing multiplier {at_pfotzer_alt}"
+        );
+        assert!((at_float - 1.0).abs() < 0.2, "float multiplier {at_float}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_profile_panics() {
+        FlightProfile::new(vec![]);
+    }
+}

@@ -1,0 +1,289 @@
+//! Detector geometry: a stack of square scintillator slabs.
+//!
+//! The transport code needs two queries: (1) which material segments a ray
+//! crosses, in order, and (2) the projected area of the detector normal to
+//! an arrival direction, which converts particle fluence into an expected
+//! incident count.
+
+use crate::config::DetectorConfig;
+use adapt_math::vec3::{UnitVec3, Vec3};
+
+/// Geometric model of the layered detector.
+#[derive(Debug, Clone)]
+pub struct DetectorGeometry {
+    half_width: f64,
+    half_thickness: f64,
+    layer_centers_z: Vec<f64>,
+    /// z of the top of the highest slab.
+    z_top: f64,
+    /// z of the bottom of the lowest slab.
+    z_bottom: f64,
+}
+
+/// One contiguous stretch of scintillator along a ray, as parameter
+/// interval `[t_enter, t_exit]` with the layer index.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MaterialSegment {
+    pub t_enter: f64,
+    pub t_exit: f64,
+    pub layer: usize,
+}
+
+impl MaterialSegment {
+    /// Length of scintillator crossed in this segment.
+    pub fn path_length(&self) -> f64 {
+        self.t_exit - self.t_enter
+    }
+}
+
+impl DetectorGeometry {
+    /// Build from a detector configuration.
+    pub fn new(config: &DetectorConfig) -> Self {
+        assert!(!config.layer_centers_z.is_empty(), "need at least one layer");
+        let half_thickness = config.layer_thickness / 2.0;
+        let z_top = config
+            .layer_centers_z
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
+            + half_thickness;
+        let z_bottom = config
+            .layer_centers_z
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
+            - half_thickness;
+        DetectorGeometry {
+            half_width: config.half_width,
+            half_thickness,
+            layer_centers_z: config.layer_centers_z.clone(),
+            z_top,
+            z_bottom,
+        }
+    }
+
+    /// Half-extent in x/y.
+    pub fn half_width(&self) -> f64 {
+        self.half_width
+    }
+
+    /// Top and bottom z of the full stack's bounding box.
+    pub fn z_extent(&self) -> (f64, f64) {
+        (self.z_bottom, self.z_top)
+    }
+
+    /// Radius of a sphere centered at the origin that encloses the whole
+    /// stack — used to aim incident rays.
+    pub fn bounding_radius(&self) -> f64 {
+        let z = self.z_top.abs().max(self.z_bottom.abs());
+        (2.0 * self.half_width * self.half_width + z * z).sqrt()
+    }
+
+    /// Is `p` inside the scintillator of some layer? Returns the layer.
+    pub fn layer_containing(&self, p: Vec3) -> Option<usize> {
+        if p.x.abs() > self.half_width || p.y.abs() > self.half_width {
+            return None;
+        }
+        self.layer_centers_z
+            .iter()
+            .position(|&zc| (p.z - zc).abs() <= self.half_thickness)
+    }
+
+    /// The interval of ray parameter `t` (for `p = origin + t * dir`)
+    /// inside the x/y footprint of the tiles, or `None` if the ray misses.
+    fn footprint_interval(&self, origin: Vec3, dir: Vec3) -> Option<(f64, f64)> {
+        let mut t0 = f64::NEG_INFINITY;
+        let mut t1 = f64::INFINITY;
+        for (o, d) in [(origin.x, dir.x), (origin.y, dir.y)] {
+            if d.abs() < 1e-300 {
+                if o.abs() > self.half_width {
+                    return None;
+                }
+            } else {
+                let ta = (-self.half_width - o) / d;
+                let tb = (self.half_width - o) / d;
+                let (lo, hi) = if ta < tb { (ta, tb) } else { (tb, ta) };
+                t0 = t0.max(lo);
+                t1 = t1.min(hi);
+            }
+        }
+        (t0 < t1).then_some((t0, t1))
+    }
+
+    /// All scintillator segments crossed by the ray `origin + t*dir` for
+    /// `t > t_min`, ordered by increasing `t`.
+    pub fn material_segments(
+        &self,
+        origin: Vec3,
+        dir: UnitVec3,
+        t_min: f64,
+        out: &mut Vec<MaterialSegment>,
+    ) {
+        out.clear();
+        let d = dir.as_vec();
+        let Some((fx0, fx1)) = self.footprint_interval(origin, d) else {
+            return;
+        };
+        if d.z.abs() < 1e-12 {
+            // horizontal ray: inside at most one layer for the whole span
+            if let Some(layer) = self
+                .layer_centers_z
+                .iter()
+                .position(|&zc| (origin.z - zc).abs() <= self.half_thickness)
+            {
+                let lo = fx0.max(t_min);
+                if lo < fx1 {
+                    out.push(MaterialSegment {
+                        t_enter: lo,
+                        t_exit: fx1,
+                        layer,
+                    });
+                }
+            }
+            return;
+        }
+        for (layer, &zc) in self.layer_centers_z.iter().enumerate() {
+            let ta = (zc - self.half_thickness - origin.z) / d.z;
+            let tb = (zc + self.half_thickness - origin.z) / d.z;
+            let (lo, hi) = if ta < tb { (ta, tb) } else { (tb, ta) };
+            let lo = lo.max(fx0).max(t_min);
+            let hi = hi.min(fx1);
+            if lo < hi {
+                out.push(MaterialSegment {
+                    t_enter: lo,
+                    t_exit: hi,
+                    layer,
+                });
+            }
+        }
+        out.sort_by(|a, b| a.t_enter.partial_cmp(&b.t_enter).unwrap());
+    }
+
+    /// The area of the detector stack's silhouette as seen from direction
+    /// `dir` (cm²): for a convex stack of coaxial slabs this is the
+    /// projected bounding box of the stack, which slightly overestimates
+    /// (includes the inter-layer gaps); rays through gaps simply fail to
+    /// interact, so the overestimate is corrected by transport itself.
+    pub fn projected_area(&self, dir: UnitVec3) -> f64 {
+        let d = dir.as_vec();
+        let w = 2.0 * self.half_width;
+        let h = self.z_top - self.z_bottom;
+        // box faces: two w×w (normal z), two w×h (normal x), two w×h (normal y)
+        w * w * d.z.abs() + w * h * d.x.abs() + w * h * d.y.abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DetectorConfig;
+    use adapt_math::angles::deg_to_rad;
+
+    fn geom() -> DetectorGeometry {
+        DetectorGeometry::new(&DetectorConfig::default())
+    }
+
+    #[test]
+    fn vertical_ray_crosses_all_layers() {
+        let g = geom();
+        let mut segs = Vec::new();
+        g.material_segments(
+            Vec3::new(0.0, 0.0, 50.0),
+            UnitVec3::from_spherical(std::f64::consts::PI, 0.0), // straight down
+            0.0,
+            &mut segs,
+        );
+        assert_eq!(segs.len(), 4);
+        for (i, s) in segs.iter().enumerate() {
+            assert_eq!(s.layer, i, "top layer first for a downward ray");
+            assert!((s.path_length() - 1.5).abs() < 1e-9);
+        }
+        // ordered
+        assert!(segs.windows(2).all(|w| w[0].t_exit <= w[1].t_enter + 1e-12));
+    }
+
+    #[test]
+    fn oblique_ray_longer_paths() {
+        let g = geom();
+        let mut segs = Vec::new();
+        let theta = deg_to_rad(180.0 - 40.0); // downward, 40 deg off vertical
+        g.material_segments(
+            Vec3::new(0.0, 0.0, 10.0),
+            UnitVec3::from_spherical(theta, 0.3),
+            0.0,
+            &mut segs,
+        );
+        assert!(!segs.is_empty());
+        let expect = 1.5 / deg_to_rad(40.0).cos();
+        assert!((segs[0].path_length() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn miss_returns_empty() {
+        let g = geom();
+        let mut segs = Vec::new();
+        g.material_segments(
+            Vec3::new(100.0, 0.0, 50.0),
+            UnitVec3::from_spherical(std::f64::consts::PI, 0.0),
+            0.0,
+            &mut segs,
+        );
+        assert!(segs.is_empty());
+    }
+
+    #[test]
+    fn horizontal_ray_single_layer() {
+        let g = geom();
+        let mut segs = Vec::new();
+        // through the center of layer 1 (z = 2.0)
+        g.material_segments(
+            Vec3::new(-100.0, 0.0, 2.0),
+            UnitVec3::PLUS_X,
+            0.0,
+            &mut segs,
+        );
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].layer, 1);
+        assert!((segs[0].path_length() - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn t_min_truncates() {
+        let g = geom();
+        let mut segs = Vec::new();
+        let origin = Vec3::new(0.0, 0.0, 6.0); // center of top layer
+        g.material_segments(origin, UnitVec3::from_spherical(std::f64::consts::PI, 0.0), 0.0, &mut segs);
+        // starting inside layer 0: first segment starts at t=0 (clamped)
+        assert_eq!(segs[0].layer, 0);
+        assert!((segs[0].t_enter - 0.0).abs() < 1e-12);
+        assert!((segs[0].path_length() - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn layer_containing_works() {
+        let g = geom();
+        assert_eq!(g.layer_containing(Vec3::new(0.0, 0.0, 6.0)), Some(0));
+        assert_eq!(g.layer_containing(Vec3::new(0.0, 0.0, -6.7)), Some(3));
+        assert_eq!(g.layer_containing(Vec3::new(0.0, 0.0, 0.0)), None);
+        assert_eq!(g.layer_containing(Vec3::new(30.0, 0.0, 6.0)), None);
+    }
+
+    #[test]
+    fn projected_area_normal_is_footprint() {
+        let g = geom();
+        let a = g.projected_area(UnitVec3::PLUS_Z);
+        assert!((a - 1600.0).abs() < 1e-9);
+        // side view: width x stack height
+        let side = g.projected_area(UnitVec3::PLUS_X);
+        assert!((side - 40.0 * 13.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bounding_radius_encloses() {
+        let g = geom();
+        let r = g.bounding_radius();
+        assert!(r >= 20.0 * 2f64.sqrt());
+        let (zb, zt) = g.z_extent();
+        assert!(r >= zt.abs() && r >= zb.abs());
+    }
+}

@@ -1,0 +1,303 @@
+//! Photon interaction physics: Klein–Nishina Compton scattering and a
+//! photoelectric absorption model.
+//!
+//! Cross sections are expressed as linear attenuation coefficients
+//! (1/cm) in the scintillator. Compton scattering uses the exact
+//! Klein–Nishina total cross section and rejection sampling of the
+//! differential cross section; photoelectric absorption uses the standard
+//! `E^-3` scaling pinned to the material's Compton/photoelectric crossover
+//! energy (≈0.3 MeV for CsI); pair production follows the Bethe–Heitler
+//! logarithmic rise above its 1.022 MeV threshold, pinned to contribute
+//! half of the Compton attenuation at 10 MeV (the CsI-like regime).
+
+use adapt_math::ELECTRON_REST_MEV;
+use rand::Rng;
+
+/// Thomson cross section (cm² per electron).
+pub const SIGMA_THOMSON: f64 = 6.652_458_7e-25;
+
+/// The exact Klein–Nishina total cross section per electron (cm²) at
+/// photon energy `e_mev`.
+pub fn klein_nishina_total(e_mev: f64) -> f64 {
+    assert!(e_mev > 0.0, "photon energy must be positive");
+    let k = e_mev / ELECTRON_REST_MEV;
+    if k < 1e-6 {
+        // Thomson limit with first-order correction sigma ≈ sigma_T (1 - 2k)
+        return SIGMA_THOMSON * (1.0 - 2.0 * k);
+    }
+    let k2 = k * k;
+    let one_2k = 1.0 + 2.0 * k;
+    let ln_term = one_2k.ln();
+    let part1 = (1.0 + k) / (k2 * k) * (2.0 * k * (1.0 + k) / one_2k - ln_term);
+    let part2 = ln_term / (2.0 * k);
+    let part3 = (1.0 + 3.0 * k) / (one_2k * one_2k);
+    0.75 * SIGMA_THOMSON * (part1 + part2 - part3)
+}
+
+/// Threshold for electron-positron pair production (MeV): twice the
+/// electron rest mass.
+pub const PAIR_THRESHOLD_MEV: f64 = 2.0 * ELECTRON_REST_MEV;
+
+/// Interaction coefficients of the scintillator at a given photon energy.
+#[derive(Debug, Clone, Copy)]
+pub struct Attenuation {
+    /// Compton linear attenuation coefficient (1/cm).
+    pub mu_compton: f64,
+    /// Photoelectric linear attenuation coefficient (1/cm).
+    pub mu_photo: f64,
+    /// Pair-production linear attenuation coefficient (1/cm); zero below
+    /// the 1.022 MeV threshold.
+    pub mu_pair: f64,
+}
+
+impl Attenuation {
+    /// Total linear attenuation (1/cm).
+    pub fn mu_total(&self) -> f64 {
+        self.mu_compton + self.mu_photo + self.mu_pair
+    }
+
+    /// Mean free path (cm).
+    pub fn mean_free_path(&self) -> f64 {
+        1.0 / self.mu_total()
+    }
+
+    /// Probability that an interaction is Compton scattering.
+    pub fn compton_fraction(&self) -> f64 {
+        self.mu_compton / self.mu_total()
+    }
+
+    /// Probability that an interaction is pair production.
+    pub fn pair_fraction(&self) -> f64 {
+        self.mu_pair / self.mu_total()
+    }
+}
+
+/// Material model precomputing what transport needs.
+#[derive(Debug, Clone)]
+pub struct Material {
+    electron_density: f64,
+    /// Photoelectric normalization: `mu_pe(E) = pe_norm * E^-3`.
+    pe_norm: f64,
+    /// Pair-production normalization:
+    /// `mu_pp(E) = pair_norm * ln(E / 1.022 MeV)` above threshold —
+    /// the standard logarithmic rise of the Bethe–Heitler cross section.
+    pair_norm: f64,
+}
+
+impl Material {
+    /// Build from electron density (1/cm³) and the energy (MeV) at which
+    /// photoelectric and Compton attenuation are equal. Pair production is
+    /// pinned so that at 10 MeV it contributes half of the Compton
+    /// attenuation (the CsI-like regime).
+    pub fn new(electron_density: f64, pe_crossover_energy: f64) -> Self {
+        assert!(electron_density > 0.0 && pe_crossover_energy > 0.0);
+        let mu_c_at_cross = electron_density * klein_nishina_total(pe_crossover_energy);
+        let pe_norm = mu_c_at_cross * pe_crossover_energy.powi(3);
+        let mu_c_at_10 = electron_density * klein_nishina_total(10.0);
+        let pair_norm = 0.5 * mu_c_at_10 / (10.0 / PAIR_THRESHOLD_MEV).ln();
+        Material {
+            electron_density,
+            pe_norm,
+            pair_norm,
+        }
+    }
+
+    /// Attenuation coefficients at `e_mev`.
+    pub fn attenuation(&self, e_mev: f64) -> Attenuation {
+        let mu_pair = if e_mev > PAIR_THRESHOLD_MEV {
+            self.pair_norm * (e_mev / PAIR_THRESHOLD_MEV).ln()
+        } else {
+            0.0
+        };
+        Attenuation {
+            mu_compton: self.electron_density * klein_nishina_total(e_mev),
+            mu_photo: self.pe_norm / (e_mev * e_mev * e_mev),
+            mu_pair,
+        }
+    }
+}
+
+/// The outcome of a sampled Compton scatter.
+#[derive(Debug, Clone, Copy)]
+pub struct ComptonScatter {
+    /// Cosine of the scattering angle.
+    pub cos_theta: f64,
+    /// Photon energy after the scatter (MeV).
+    pub scattered_energy: f64,
+    /// Energy transferred to the electron, i.e. deposited locally (MeV).
+    pub deposited_energy: f64,
+}
+
+/// The Compton relation: scattered photon energy at angle cosine `c`
+/// for incident energy `e`.
+pub fn scattered_energy(e: f64, cos_theta: f64) -> f64 {
+    e / (1.0 + (e / ELECTRON_REST_MEV) * (1.0 - cos_theta))
+}
+
+/// The inverse relation used by reconstruction: the scattering-angle cosine
+/// implied by incident energy `e` and scattered energy `e_prime`:
+/// `cos θ = 1 − mec²(1/e' − 1/e)`.
+pub fn compton_cos_theta(e: f64, e_prime: f64) -> f64 {
+    1.0 - ELECTRON_REST_MEV * (1.0 / e_prime - 1.0 / e)
+}
+
+/// Sample a Compton scattering angle from the Klein–Nishina differential
+/// cross section by rejection on `f(cosθ) = r³ + r − r² sin²θ ≤ 2`,
+/// where `r = E'/E`.
+pub fn sample_compton<R: Rng + ?Sized>(rng: &mut R, e_mev: f64) -> ComptonScatter {
+    debug_assert!(e_mev > 0.0);
+    loop {
+        let cos_theta: f64 = rng.gen_range(-1.0..=1.0);
+        let e_prime = scattered_energy(e_mev, cos_theta);
+        let r = e_prime / e_mev;
+        let sin2 = 1.0 - cos_theta * cos_theta;
+        let f = r * r * (r + 1.0 / r - sin2);
+        if rng.gen_range(0.0..2.0) <= f {
+            return ComptonScatter {
+                cos_theta,
+                scattered_energy: e_prime,
+                deposited_energy: e_mev - e_prime,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand_chacha::ChaCha8Rng {
+        rand_chacha::ChaCha8Rng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn kn_thomson_limit() {
+        let s = klein_nishina_total(1e-9);
+        assert!((s / SIGMA_THOMSON - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kn_reference_values() {
+        // sigma_KN(0.511 MeV) / sigma_T ≈ 0.4326 (k = 1 reference value)
+        let ratio = klein_nishina_total(ELECTRON_REST_MEV) / SIGMA_THOMSON;
+        assert!((ratio - 0.4326).abs() < 2e-3, "got {ratio}");
+        // monotone decreasing in energy
+        let mut last = f64::INFINITY;
+        for e in [0.03, 0.1, 0.3, 1.0, 3.0, 10.0] {
+            let s = klein_nishina_total(e);
+            assert!(s < last && s > 0.0);
+            last = s;
+        }
+    }
+
+    #[test]
+    fn compton_relation_round_trip() {
+        for e in [0.05, 0.3, 1.0, 5.0] {
+            for ct in [-1.0, -0.3, 0.0, 0.7, 1.0] {
+                let ep = scattered_energy(e, ct);
+                assert!(ep > 0.0 && ep <= e + 1e-15);
+                let back = compton_cos_theta(e, ep);
+                assert!((back - ct).abs() < 1e-10, "e={e}, ct={ct}");
+            }
+        }
+    }
+
+    #[test]
+    fn forward_scatter_loses_no_energy() {
+        assert!((scattered_energy(1.0, 1.0) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn backscatter_energy_bound() {
+        // backscatter peak: E' -> mec^2/2 as E -> inf
+        let ep = scattered_energy(100.0, -1.0);
+        assert!(ep < ELECTRON_REST_MEV / 2.0 * 1.01);
+    }
+
+    #[test]
+    fn material_crossover_pins_equality() {
+        let m = Material::new(1.13e24, 0.30);
+        let a = m.attenuation(0.30);
+        assert!((a.mu_compton - a.mu_photo).abs() / a.mu_compton < 1e-12);
+        // photoelectric dominates below, Compton above
+        assert!(m.attenuation(0.05).mu_photo > m.attenuation(0.05).mu_compton);
+        assert!(m.attenuation(1.0).mu_compton > m.attenuation(1.0).mu_photo);
+    }
+
+    #[test]
+    fn attenuation_magnitudes_physical() {
+        // CsI-like: total attenuation at 1 MeV should be ~0.2-0.4 /cm
+        let m = Material::new(1.13e24, 0.30);
+        let mu = m.attenuation(1.0).mu_total();
+        assert!(mu > 0.1 && mu < 0.6, "mu(1 MeV) = {mu}");
+        let mfp = m.attenuation(1.0).mean_free_path();
+        assert!((mfp - 1.0 / mu).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampled_scatters_match_kinematics() {
+        let mut r = rng();
+        for _ in 0..2000 {
+            let e = 0.662;
+            let s = sample_compton(&mut r, e);
+            assert!((-1.0..=1.0).contains(&s.cos_theta));
+            assert!((s.scattered_energy + s.deposited_energy - e).abs() < 1e-12);
+            let expect = scattered_energy(e, s.cos_theta);
+            assert!((s.scattered_energy - expect).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn high_energy_scatters_forward_peaked() {
+        let mut r = rng();
+        let mut fwd = 0;
+        let n = 5000;
+        for _ in 0..n {
+            if sample_compton(&mut r, 5.0).cos_theta > 0.5 {
+                fwd += 1;
+            }
+        }
+        // at 5 MeV the KN distribution is strongly forward peaked
+        assert!(fwd as f64 / n as f64 > 0.6, "fwd fraction {}", fwd as f64 / n as f64);
+    }
+
+    #[test]
+    fn pair_production_threshold_and_growth() {
+        let m = Material::new(1.13e24, 0.30);
+        assert_eq!(m.attenuation(0.5).mu_pair, 0.0);
+        assert_eq!(m.attenuation(PAIR_THRESHOLD_MEV).mu_pair, 0.0);
+        let a2 = m.attenuation(2.0).mu_pair;
+        let a5 = m.attenuation(5.0).mu_pair;
+        let a10 = m.attenuation(10.0).mu_pair;
+        assert!(a2 > 0.0 && a5 > a2 && a10 > a5, "monotone rise");
+        // pinned ratio at 10 MeV
+        assert!((a10 / m.attenuation(10.0).mu_compton - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let m = Material::new(1.13e24, 0.30);
+        for e in [0.05, 0.3, 1.0, 3.0, 9.0] {
+            let a = m.attenuation(e);
+            let photo_frac = a.mu_photo / a.mu_total();
+            let total = a.compton_fraction() + a.pair_fraction() + photo_frac;
+            assert!((total - 1.0).abs() < 1e-12, "e={e}");
+        }
+    }
+
+    #[test]
+    fn low_energy_scatters_nearly_symmetric() {
+        let mut r = rng();
+        let mut fwd = 0;
+        let n = 10_000;
+        for _ in 0..n {
+            if sample_compton(&mut r, 0.01).cos_theta > 0.0 {
+                fwd += 1;
+            }
+        }
+        // Thomson limit is symmetric in cos
+        let frac = fwd as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.03, "fwd fraction {frac}");
+    }
+}

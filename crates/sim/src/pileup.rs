@@ -1,0 +1,217 @@
+//! Event pileup: multiple particles arriving within the detector's
+//! coincidence window are read out as a single, merged event.
+//!
+//! This is the paper's first named future-work item ("multiple events that
+//! arrive simultaneously to within the detection latency of the
+//! instrument"). A merged event combines the hits of its constituents —
+//! usually producing a kinematically inconsistent topology that either
+//! fails reconstruction (losing signal) or yields a badly wrong ring
+//! (adding a hostile outlier).
+
+use crate::event::Event;
+use serde::{Deserialize, Serialize};
+
+/// Pileup model parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PileupConfig {
+    /// Coincidence window (s): events closer in time than this merge.
+    /// The default corresponds to a few-microsecond scintillator/readout
+    /// integration time.
+    pub coincidence_window_s: f64,
+}
+
+impl Default for PileupConfig {
+    fn default() -> Self {
+        PileupConfig {
+            coincidence_window_s: 5e-6,
+        }
+    }
+}
+
+/// Statistics of one pileup pass.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PileupStats {
+    /// Events entering the merge.
+    pub events_in: usize,
+    /// Events after merging.
+    pub events_out: usize,
+    /// Merged groups containing more than one constituent.
+    pub merged_groups: usize,
+    /// The largest group size observed.
+    pub largest_group: usize,
+}
+
+impl PileupStats {
+    /// Fraction of input events that ended up in a merged group.
+    pub fn pileup_fraction(&self) -> f64 {
+        if self.events_in == 0 {
+            return 0.0;
+        }
+        let merged_members = self.events_in - (self.events_out - self.merged_groups);
+        merged_members as f64 / self.events_in as f64
+    }
+}
+
+/// Apply the pileup model: sort by arrival time, merge chains of events
+/// whose consecutive gaps are below the window.
+///
+/// A merged event keeps the earliest arrival time, concatenates all hits,
+/// and inherits the truth record of its *highest-energy* constituent (the
+/// label a calibration pipeline would most plausibly assign); its
+/// `true_eta` is cleared because the merged topology no longer corresponds
+/// to a single scattering history.
+pub fn apply_pileup(mut events: Vec<Event>, config: &PileupConfig) -> (Vec<Event>, PileupStats) {
+    let events_in = events.len();
+    events.sort_by(|a, b| {
+        a.arrival_time
+            .partial_cmp(&b.arrival_time)
+            .expect("non-finite arrival time")
+    });
+    let mut out: Vec<Event> = Vec::with_capacity(events.len());
+    let mut merged_groups = 0usize;
+    let mut largest_group = if events.is_empty() { 0 } else { 1 };
+    let mut group: Vec<Event> = Vec::new();
+    let flush = |group: &mut Vec<Event>, out: &mut Vec<Event>, merged: &mut usize, largest: &mut usize| {
+        if group.is_empty() {
+            return;
+        }
+        *largest = (*largest).max(group.len());
+        if group.len() == 1 {
+            out.push(group.pop().unwrap());
+            return;
+        }
+        *merged += 1;
+        // highest-energy constituent donates the truth record
+        let lead = group
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| {
+                a.total_energy()
+                    .partial_cmp(&b.total_energy())
+                    .expect("non-finite energy")
+            })
+            .map(|(i, _)| i)
+            .unwrap();
+        let mut truth = group[lead].truth.clone();
+        truth.true_eta = None;
+        let arrival_time = group[0].arrival_time;
+        let mut hits = Vec::new();
+        for ev in group.drain(..) {
+            hits.extend(ev.hits);
+        }
+        out.push(Event {
+            hits,
+            truth,
+            arrival_time,
+        });
+    };
+
+    for ev in events {
+        match group.last() {
+            Some(last) if ev.arrival_time - last.arrival_time <= config.coincidence_window_s => {
+                group.push(ev);
+            }
+            _ => {
+                flush(&mut group, &mut out, &mut merged_groups, &mut largest_group);
+                group.push(ev);
+            }
+        }
+    }
+    flush(&mut group, &mut out, &mut merged_groups, &mut largest_group);
+
+    let stats = PileupStats {
+        events_in,
+        events_out: out.len(),
+        merged_groups,
+        largest_group,
+    };
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{MeasuredHit, ParticleOrigin, TrueEvent};
+    use adapt_math::vec3::{UnitVec3, Vec3};
+
+    fn event_at(t: f64, energy: f64) -> Event {
+        Event {
+            hits: vec![MeasuredHit {
+                position: Vec3::new(t * 100.0, 0.0, 6.0),
+                energy,
+                sigma_position: Vec3::new(0.1, 0.1, 0.4),
+                sigma_energy: 0.02,
+                layer: 0,
+            }],
+            truth: TrueEvent {
+                origin: ParticleOrigin::Grb,
+                source_dir: UnitVec3::PLUS_Z,
+                incident_energy: energy,
+                hits: vec![],
+                true_eta: Some(0.5),
+            },
+            arrival_time: t,
+        }
+    }
+
+    #[test]
+    fn distant_events_unmerged() {
+        let events = vec![event_at(0.1, 0.5), event_at(0.5, 0.6), event_at(0.9, 0.7)];
+        let (out, stats) = apply_pileup(events, &PileupConfig::default());
+        assert_eq!(out.len(), 3);
+        assert_eq!(stats.merged_groups, 0);
+        assert_eq!(stats.pileup_fraction(), 0.0);
+    }
+
+    #[test]
+    fn coincident_events_merge_hits() {
+        let events = vec![
+            event_at(0.100_000, 0.5),
+            event_at(0.100_002, 0.9), // 2 us later: inside the window
+            event_at(0.5, 0.3),
+        ];
+        let (out, stats) = apply_pileup(events, &PileupConfig::default());
+        assert_eq!(out.len(), 2);
+        assert_eq!(stats.merged_groups, 1);
+        assert_eq!(stats.largest_group, 2);
+        let merged = out
+            .iter()
+            .find(|e| e.hits.len() == 2)
+            .expect("merged event present");
+        // truth from the higher-energy constituent; eta cleared
+        assert!((merged.truth.incident_energy - 0.9).abs() < 1e-12);
+        assert!(merged.truth.true_eta.is_none());
+        assert!((merged.arrival_time - 0.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chain_merging_is_transitive() {
+        // three events each 3 us apart: consecutive gaps inside the 5 us
+        // window chain into one group
+        let events = vec![
+            event_at(0.200_000, 0.2),
+            event_at(0.200_003, 0.3),
+            event_at(0.200_006, 0.4),
+        ];
+        let (out, stats) = apply_pileup(events, &PileupConfig::default());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].hits.len(), 3);
+        assert_eq!(stats.largest_group, 3);
+        assert!((stats.pileup_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (out, stats) = apply_pileup(Vec::new(), &PileupConfig::default());
+        assert!(out.is_empty());
+        assert_eq!(stats.events_in, 0);
+        assert_eq!(stats.pileup_fraction(), 0.0);
+    }
+
+    #[test]
+    fn output_sorted_by_time() {
+        let events = vec![event_at(0.9, 0.1), event_at(0.1, 0.2), event_at(0.5, 0.3)];
+        let (out, _) = apply_pileup(events, &PileupConfig::default());
+        assert!(out.windows(2).all(|w| w[0].arrival_time <= w[1].arrival_time));
+    }
+}

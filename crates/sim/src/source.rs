@@ -1,0 +1,293 @@
+//! Source models: the GRB's Band-function spectrum and the atmospheric
+//! background population.
+//!
+//! Spectra are represented by a tabulated inverse CDF on a log-energy grid,
+//! which makes sampling branch-free and lets the same machinery serve the
+//! Band function, pure power laws, and any future empirical spectrum.
+
+use crate::config::{BackgroundConfig, GrbConfig, GrbSpectrum};
+use crate::geometry::DetectorGeometry;
+use adapt_math::angles::deg_to_rad;
+use adapt_math::sampling::limb_biased_updirection;
+use adapt_math::vec3::UnitVec3;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Number of grid points for tabulated spectra. 2048 log-spaced points keep
+/// interpolation error far below the detector's energy resolution.
+const SPECTRUM_GRID: usize = 2048;
+
+/// A photon-number spectrum `dN/dE` tabulated for inverse-CDF sampling.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TabulatedSpectrum {
+    /// Log-spaced energy grid (MeV).
+    energies: Vec<f64>,
+    /// Cumulative distribution at each grid point, normalized to 1.
+    cdf: Vec<f64>,
+    /// Mean photon energy (MeV), for fluence → photon-count conversion.
+    mean_energy: f64,
+}
+
+impl TabulatedSpectrum {
+    /// Tabulate an arbitrary non-negative density on `[e_min, e_max]`.
+    pub fn from_density(e_min: f64, e_max: f64, density: impl Fn(f64) -> f64) -> Self {
+        assert!(e_min > 0.0 && e_max > e_min, "invalid spectrum support");
+        let n = SPECTRUM_GRID;
+        let log_min = e_min.ln();
+        let step = (e_max.ln() - log_min) / (n - 1) as f64;
+        let energies: Vec<f64> = (0..n).map(|i| (log_min + i as f64 * step).exp()).collect();
+        let mut cdf = vec![0.0; n];
+        let mut e_weighted = 0.0;
+        for i in 1..n {
+            let e0 = energies[i - 1];
+            let e1 = energies[i];
+            let f0 = density(e0).max(0.0);
+            let f1 = density(e1).max(0.0);
+            let seg = 0.5 * (f0 + f1) * (e1 - e0);
+            cdf[i] = cdf[i - 1] + seg;
+            e_weighted += 0.5 * (f0 * e0 + f1 * e1) * (e1 - e0);
+        }
+        let total = cdf[n - 1];
+        assert!(total > 0.0, "spectrum density integrates to zero");
+        for c in cdf.iter_mut() {
+            *c /= total;
+        }
+        TabulatedSpectrum {
+            energies,
+            cdf,
+            mean_energy: e_weighted / total,
+        }
+    }
+
+    /// The Band function (Band et al. 1993): a smoothly broken power law
+    /// with low-energy index `alpha`, high-energy index `beta`, and peak
+    /// energy `e_peak` of the `E² dN/dE` spectrum.
+    pub fn band(spec: &GrbSpectrum) -> Self {
+        let GrbSpectrum {
+            alpha,
+            beta,
+            e_peak,
+            e_min,
+            e_max,
+        } = *spec;
+        assert!(alpha > beta, "Band function requires alpha > beta");
+        let e_c = (alpha - beta) * e_peak / (2.0 + alpha);
+        let scale = (e_c.powf(alpha - beta)) * (-(alpha - beta)).exp();
+        Self::from_density(e_min, e_max, move |e| {
+            if e < e_c {
+                e.powf(alpha) * (-(2.0 + alpha) * e / e_peak).exp()
+            } else {
+                scale * e.powf(beta)
+            }
+        })
+    }
+
+    /// A pure power law `dN/dE ∝ E^index`.
+    pub fn power_law(index: f64, e_min: f64, e_max: f64) -> Self {
+        Self::from_density(e_min, e_max, move |e| e.powf(index))
+    }
+
+    /// Draw one photon energy (MeV).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(0.0..1.0);
+        let idx = self.cdf.partition_point(|&c| c < u);
+        if idx == 0 {
+            return self.energies[0];
+        }
+        let (c0, c1) = (self.cdf[idx - 1], self.cdf[idx]);
+        let frac = if c1 > c0 { (u - c0) / (c1 - c0) } else { 0.0 };
+        self.energies[idx - 1] + frac * (self.energies[idx] - self.energies[idx - 1])
+    }
+
+    /// Mean photon energy (MeV).
+    pub fn mean_energy(&self) -> f64 {
+        self.mean_energy
+    }
+
+    /// Support of the tabulation.
+    pub fn support(&self) -> (f64, f64) {
+        (self.energies[0], *self.energies.last().unwrap())
+    }
+}
+
+/// The GRB as a sampling-ready source: a fixed direction and a spectrum.
+#[derive(Debug, Clone)]
+pub struct GrbSource {
+    /// Unit vector pointing from the detector toward the source.
+    pub direction: UnitVec3,
+    /// Sampling-ready spectrum.
+    pub spectrum: TabulatedSpectrum,
+    /// Time-integrated energy fluence (MeV/cm²).
+    pub fluence: f64,
+}
+
+impl GrbSource {
+    /// Build from a configuration.
+    pub fn new(config: &GrbConfig) -> Self {
+        GrbSource {
+            direction: UnitVec3::from_spherical(
+                deg_to_rad(config.polar_angle_deg),
+                deg_to_rad(config.azimuth_deg),
+            ),
+            spectrum: TabulatedSpectrum::band(&config.spectrum),
+            fluence: config.fluence,
+        }
+    }
+
+    /// Expected number of photons crossing the aiming disc of radius
+    /// `disc_radius` (cm) oriented normal to the arrival direction.
+    ///
+    /// The photon fluence is `energy fluence / mean photon energy`; the
+    /// aiming disc encloses the detector's silhouette, and photons that
+    /// miss the scintillator simply produce no hits.
+    pub fn expected_photons_on_disc(&self, disc_radius: f64) -> f64 {
+        let photon_fluence = self.fluence / self.spectrum.mean_energy();
+        photon_fluence * std::f64::consts::PI * disc_radius * disc_radius
+    }
+
+    /// Expected number of photons geometrically intercepted by the
+    /// detector's silhouette — the physically meaningful incident count.
+    pub fn expected_photons_on_detector(&self, geometry: &DetectorGeometry) -> f64 {
+        let photon_fluence = self.fluence / self.spectrum.mean_energy();
+        photon_fluence * geometry.projected_area(self.direction)
+    }
+}
+
+/// The diffuse background as a sampling-ready source.
+#[derive(Debug, Clone)]
+pub struct BackgroundSource {
+    spectrum: TabulatedSpectrum,
+    limb_bias: f64,
+    particle_fluence: f64,
+}
+
+impl BackgroundSource {
+    /// Build from a configuration.
+    pub fn new(config: &BackgroundConfig) -> Self {
+        BackgroundSource {
+            spectrum: TabulatedSpectrum::power_law(
+                config.spectral_index,
+                config.e_min,
+                config.e_max,
+            ),
+            limb_bias: config.limb_bias,
+            particle_fluence: config.particle_fluence,
+        }
+    }
+
+    /// Draw a background particle: (direction *toward* its apparent origin,
+    /// energy). Background arrives from below-horizon directions, so the
+    /// apparent-origin direction points into the lower hemisphere.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> (UnitVec3, f64) {
+        let origin_dir = limb_biased_updirection(rng, self.limb_bias);
+        (origin_dir, self.spectrum.sample(rng))
+    }
+
+    /// Expected number of background particles crossing an aiming disc of
+    /// radius `disc_radius` during the exposure window.
+    pub fn expected_particles_on_disc(&self, disc_radius: f64) -> f64 {
+        self.particle_fluence * std::f64::consts::PI * disc_radius * disc_radius
+    }
+
+    /// The background spectrum.
+    pub fn spectrum(&self) -> &TabulatedSpectrum {
+        &self.spectrum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DetectorConfig;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn band_samples_in_support() {
+        let spec = TabulatedSpectrum::band(&GrbSpectrum::default());
+        let mut r = rng();
+        let (lo, hi) = spec.support();
+        for _ in 0..5000 {
+            let e = spec.sample(&mut r);
+            assert!(e >= lo - 1e-12 && e <= hi + 1e-12);
+        }
+    }
+
+    #[test]
+    fn band_mean_energy_reasonable() {
+        let spec = TabulatedSpectrum::band(&GrbSpectrum::default());
+        // soft spectrum on [0.03, 10] MeV: mean well below 1 MeV
+        let m = spec.mean_energy();
+        assert!(m > 0.05 && m < 1.0, "mean energy {m}");
+    }
+
+    #[test]
+    fn power_law_matches_analytic_cdf() {
+        let spec = TabulatedSpectrum::power_law(-2.0, 0.1, 10.0);
+        let mut r = rng();
+        let n = 40_000;
+        let mut below = 0usize;
+        for _ in 0..n {
+            if spec.sample(&mut r) < 1.0 {
+                below += 1;
+            }
+        }
+        // analytic CDF at 1.0 for E^-2 on [0.1, 10]: (10 - 1)/(10 - 0.1) ≈ 0.9091
+        let got = below as f64 / n as f64;
+        assert!((got - 0.9091).abs() < 0.01, "got {got}");
+    }
+
+    #[test]
+    fn sample_mean_matches_tabulated_mean() {
+        let spec = TabulatedSpectrum::power_law(-1.5, 0.05, 5.0);
+        let mut r = rng();
+        let mut sum = 0.0;
+        let n = 100_000;
+        for _ in 0..n {
+            sum += spec.sample(&mut r);
+        }
+        let got = sum / n as f64;
+        assert!(
+            (got - spec.mean_energy()).abs() / spec.mean_energy() < 0.02,
+            "sampled {got} vs tabulated {}",
+            spec.mean_energy()
+        );
+    }
+
+    #[test]
+    fn grb_source_direction_from_angles() {
+        let g = GrbSource::new(&GrbConfig::new(1.0, 0.0));
+        assert!(g.direction.angle_to(UnitVec3::PLUS_Z) < 1e-12);
+        let g40 = GrbSource::new(&GrbConfig::new(1.0, 40.0));
+        assert!((adapt_math::angles::polar_angle_deg(g40.direction) - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn expected_counts_scale_with_fluence() {
+        let geom = DetectorGeometry::new(&DetectorConfig::default());
+        let g1 = GrbSource::new(&GrbConfig::new(1.0, 0.0));
+        let g2 = GrbSource::new(&GrbConfig::new(2.0, 0.0));
+        let r = geom.bounding_radius();
+        assert!(
+            (g2.expected_photons_on_disc(r) / g1.expected_photons_on_disc(r) - 2.0).abs() < 1e-9
+        );
+        assert!(g1.expected_photons_on_detector(&geom) > 0.0);
+        // disc encloses silhouette
+        assert!(g1.expected_photons_on_disc(r) >= g1.expected_photons_on_detector(&geom));
+    }
+
+    #[test]
+    fn background_arrives_from_below() {
+        let b = BackgroundSource::new(&BackgroundConfig::default());
+        let mut r = rng();
+        for _ in 0..500 {
+            let (dir, e) = b.sample(&mut r);
+            assert!(dir.as_vec().z <= 1e-12, "background origin below horizon");
+            assert!(e >= 0.030 && e <= 10.0);
+        }
+    }
+}

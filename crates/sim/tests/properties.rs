@@ -1,0 +1,147 @@
+//! Property-based tests of the simulator's physical invariants.
+
+use adapt_math::vec3::UnitVec3;
+use adapt_sim::physics::{
+    compton_cos_theta, klein_nishina_total, sample_compton, scattered_energy, Material,
+    PAIR_THRESHOLD_MEV,
+};
+use adapt_sim::{
+    apply_pileup, BurstSimulation, DetectorConfig, DetectorGeometry, GrbConfig, LightCurve,
+    ParticleOrigin, PileupConfig, TabulatedSpectrum, Transport,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+proptest! {
+    #[test]
+    fn scattered_energy_monotone_in_angle(e in 0.05f64..10.0, c1 in -1.0f64..1.0, c2 in -1.0f64..1.0) {
+        // larger cos(theta) (more forward) keeps more energy
+        let (lo, hi) = if c1 < c2 { (c1, c2) } else { (c2, c1) };
+        prop_assert!(scattered_energy(e, lo) <= scattered_energy(e, hi) + 1e-15);
+    }
+
+    #[test]
+    fn compton_inverse_consistent(e in 0.05f64..10.0, c in -1.0f64..1.0) {
+        let ep = scattered_energy(e, c);
+        prop_assert!((compton_cos_theta(e, ep) - c).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kn_cross_section_positive_decreasing(e1 in 0.01f64..5.0, factor in 1.1f64..10.0) {
+        let s1 = klein_nishina_total(e1);
+        let s2 = klein_nishina_total(e1 * factor);
+        prop_assert!(s1 > 0.0 && s2 > 0.0);
+        prop_assert!(s2 < s1);
+    }
+
+    #[test]
+    fn attenuation_components_positive(e in 0.03f64..10.0) {
+        let m = Material::new(1.13e24, 0.30);
+        let a = m.attenuation(e);
+        prop_assert!(a.mu_compton > 0.0);
+        prop_assert!(a.mu_photo > 0.0);
+        prop_assert!(a.mu_pair >= 0.0);
+        if e <= PAIR_THRESHOLD_MEV {
+            prop_assert_eq!(a.mu_pair, 0.0);
+        }
+        prop_assert!(a.mean_free_path() > 0.0);
+        prop_assert!((0.0..=1.0).contains(&a.compton_fraction()));
+    }
+
+    #[test]
+    fn sampled_scatter_conserves_energy(e in 0.05f64..10.0, seed in 0u64..1000) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let s = sample_compton(&mut rng, e);
+        prop_assert!((s.scattered_energy + s.deposited_energy - e).abs() < 1e-12);
+        prop_assert!((-1.0..=1.0).contains(&s.cos_theta));
+    }
+
+    #[test]
+    fn spectrum_samples_in_support(
+        index in -3.0f64..-0.5,
+        e_min in 0.03f64..0.1,
+        span in 2.0f64..100.0,
+        seed in 0u64..100,
+    ) {
+        let e_max = e_min * span;
+        let spec = TabulatedSpectrum::power_law(index, e_min, e_max);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let e = spec.sample(&mut rng);
+            prop_assert!(e >= e_min - 1e-9 && e <= e_max + 1e-9);
+        }
+        let m = spec.mean_energy();
+        prop_assert!(m > e_min && m < e_max);
+    }
+
+    #[test]
+    fn light_curves_sample_in_window(start in 0.0f64..0.5, tau in 0.01f64..2.0, seed in 0u64..100) {
+        let lc = LightCurve::Fred { start, tau };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let t = lc.sample(&mut rng, 1.0);
+            prop_assert!(t >= start - 1e-12 && t < 1.0 + 1e-9, "t = {t}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn transport_hits_stay_inside_material(polar in 0.0f64..75.0, e in 0.1f64..8.0, seed in 0u64..300) {
+        let cfg = DetectorConfig::default();
+        let geometry = DetectorGeometry::new(&cfg);
+        let transport = Transport::new(
+            geometry,
+            Material::new(cfg.electron_density, cfg.pe_crossover_energy),
+            cfg.transport_cutoff,
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let source = UnitVec3::from_spherical(polar.to_radians(), 1.3);
+        let travel = source.flipped();
+        for _ in 0..30 {
+            let entry = transport.sample_entry_point(&mut rng, travel);
+            if let Some(ev) = transport.trace(&mut rng, entry, travel, e, ParticleOrigin::Grb, source) {
+                prop_assert!(ev.deposited_energy() <= e + 1e-9);
+                for h in &ev.hits {
+                    prop_assert!(transport.geometry().layer_containing(h.position).is_some(),
+                        "hit outside scintillator at {:?}", h.position);
+                    prop_assert!(h.energy > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pileup_conserves_hits_and_counts(window_us in 1.0f64..500.0, fluence in 0.2f64..1.0, seed in 0u64..50) {
+        let sim = BurstSimulation::with_defaults(GrbConfig::new(fluence, 0.0));
+        let data = sim.simulate(seed);
+        let n_hits_before: usize = data.events.iter().map(|e| e.hits.len()).sum();
+        let n_before = data.events.len();
+        let (merged, stats) = apply_pileup(
+            data.events,
+            &PileupConfig { coincidence_window_s: window_us * 1e-6 },
+        );
+        let n_hits_after: usize = merged.iter().map(|e| e.hits.len()).sum();
+        prop_assert_eq!(n_hits_before, n_hits_after, "merging must not lose hits");
+        prop_assert_eq!(stats.events_in, n_before);
+        prop_assert_eq!(stats.events_out, merged.len());
+        prop_assert!(merged.len() <= n_before);
+        // arrival times sorted
+        prop_assert!(merged.windows(2).all(|w| w[0].arrival_time <= w[1].arrival_time));
+    }
+
+    #[test]
+    fn burst_simulation_reproducible(fluence in 0.2f64..1.5, polar in 0.0f64..70.0, seed in 0u64..100) {
+        let sim = BurstSimulation::with_defaults(GrbConfig::new(fluence, polar));
+        let a = sim.simulate(seed);
+        let b = sim.simulate(seed);
+        prop_assert_eq!(a.events.len(), b.events.len());
+        for (x, y) in a.events.iter().zip(&b.events) {
+            prop_assert!((x.total_energy() - y.total_energy()).abs() < 1e-12);
+            prop_assert!((x.arrival_time - y.arrival_time).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests of cross-crate invariants, driven by proptest.
+
+use adapt_math::angles::angular_separation;
+use adapt_math::rotation::deflect;
+use adapt_math::vec3::UnitVec3;
+use adapt_nn::QuantParams;
+use adapt_recon::{ComptonRing, Reconstructor, RingFeatures};
+use adapt_sim::physics::{compton_cos_theta, scattered_energy};
+use adapt_sim::{BurstSimulation, GrbConfig, ParticleOrigin};
+use proptest::prelude::*;
+
+proptest! {
+    /// Compton kinematics: the forward relation and its reconstruction
+    /// inverse agree for any physical (energy, angle) pair.
+    #[test]
+    fn compton_round_trip(e in 0.05f64..10.0, ct in -1.0f64..1.0) {
+        let e_prime = scattered_energy(e, ct);
+        prop_assert!(e_prime > 0.0 && e_prime <= e + 1e-12);
+        let back = compton_cos_theta(e, e_prime);
+        prop_assert!((back - ct).abs() < 1e-9);
+    }
+
+    /// A ring built from exact geometry contains its source: if the axis
+    /// makes angle acos(eta) with the source, the residual vanishes.
+    #[test]
+    fn exact_ring_contains_source(
+        polar in 0.0f64..3.0,
+        az in -3.0f64..3.0,
+        cone in 0.05f64..3.0,
+        roll in 0.0f64..6.28,
+    ) {
+        let source = UnitVec3::from_spherical(polar, az);
+        // pick an axis on the cone of half-angle `cone` around the source
+        let axis = deflect(source, cone, roll);
+        let ring = ComptonRing {
+            axis,
+            eta: cone.cos(),
+            d_eta: 0.01,
+            features: RingFeatures::zeroed(),
+            truth: None,
+        };
+        prop_assert!(ring.residual(source).abs() < 1e-9);
+    }
+
+    /// Quantize/dequantize error is bounded by half a step for in-range
+    /// values, for arbitrary ranges containing zero.
+    #[test]
+    fn quantization_error_bounded(lo in -100.0f64..-0.001, hi in 0.001f64..100.0, t in 0.0f64..1.0) {
+        let qp = QuantParams::from_range(lo, hi);
+        let x = lo + t * (hi - lo);
+        let err = (qp.fake_quant(x) - x).abs();
+        prop_assert!(err <= qp.scale * 0.5 + 1e-9, "err {err} vs scale {}", qp.scale);
+    }
+
+    /// Angular separation is a metric-ish: symmetric, zero iff equal
+    /// directions, bounded by 180.
+    #[test]
+    fn angular_separation_properties(
+        p1 in 0.0f64..3.14, a1 in -3.0f64..3.0,
+        p2 in 0.0f64..3.14, a2 in -3.0f64..3.0,
+    ) {
+        let u = UnitVec3::from_spherical(p1, a1);
+        let v = UnitVec3::from_spherical(p2, a2);
+        let d = angular_separation(u, v);
+        prop_assert!((0.0..=180.0 + 1e-9).contains(&d));
+        prop_assert!((d - angular_separation(v, u)).abs() < 1e-9);
+        // self-separation: acos(1 - eps) ~ sqrt(2 eps), so allow ~1e-5 deg
+        prop_assert!(angular_separation(u, u) < 1e-5);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Transport + response + reconstruction never emits an unphysical
+    /// ring: eta in [-1,1], positive d_eta, finite features, hits inside
+    /// the detector's energy window — for any burst geometry.
+    #[test]
+    fn reconstruction_outputs_physical_rings(
+        polar in 0.0f64..80.0,
+        fluence in 0.5f64..2.0,
+        seed in 0u64..1000,
+    ) {
+        let sim = BurstSimulation::with_defaults(GrbConfig::new(fluence, polar));
+        let data = sim.simulate(seed);
+        let rings = Reconstructor::default().reconstruct_all(&data.events);
+        for r in &rings {
+            prop_assert!((-1.0..=1.0).contains(&r.eta));
+            prop_assert!(r.d_eta > 0.0 && r.d_eta.is_finite());
+            let f = r.features.to_static_array();
+            prop_assert!(f.iter().all(|v| v.is_finite()));
+            prop_assert!(r.features.total_energy >= 0.06 - 1e-12);
+            prop_assert!(r.truth.is_some());
+        }
+    }
+
+    /// Energy bookkeeping: every simulated event deposits at most its
+    /// incident energy (true hits), regardless of origin and geometry.
+    #[test]
+    fn transport_conserves_energy(polar in 0.0f64..80.0, seed in 0u64..500) {
+        let sim = BurstSimulation::with_defaults(GrbConfig::new(0.5, polar));
+        let data = sim.simulate(seed);
+        for ev in &data.events {
+            let t = &ev.truth;
+            prop_assert!(t.deposited_energy() <= t.incident_energy + 1e-9);
+            match t.origin {
+                ParticleOrigin::Grb => {
+                    // GRB photons travel along -source_dir: first hit must
+                    // be consistent with a from-above arrival at low polar
+                }
+                ParticleOrigin::Background => {
+                    prop_assert!(t.source_dir.as_vec().z <= 1e-9);
+                }
+            }
+        }
+    }
+}
