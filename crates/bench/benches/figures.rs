@@ -17,7 +17,10 @@ fn main() {
     println!("{}", adapt_bench::run_fig9(&models, spec));
     println!("{}", adapt_bench::run_fig10(&models, spec));
     println!("{}", adapt_bench::run_fig11(&models, spec));
-    println!("{}", adapt_bench::run_table12(&models, adapt_bench::timing_reps()));
+    println!(
+        "{}",
+        adapt_bench::run_table12(&models, adapt_bench::timing_reps())
+    );
     println!("{}", adapt_bench::run_table3(&models));
     println!("{}", adapt_bench::run_ablations(&models, spec));
     println!("{}", adapt_bench::run_detection(spec));

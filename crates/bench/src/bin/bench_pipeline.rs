@@ -1,0 +1,179 @@
+//! Measures the localization hot-loop optimizations on this host and
+//! writes `BENCH_pipeline.json` (checked into the repo root):
+//!
+//! * batched background-net inference — layer-walking `Mlp::predict`
+//!   vs the BN-folded `CompiledMlp::forward_batch` plan (256 rings);
+//! * sky-map rasterization — flat `SkyMap::from_rings` sweep vs the
+//!   coarse-to-fine `SkyMap::from_rings_adaptive` (12k pixels, 600
+//!   rings), with a credible-region parity check;
+//! * end-to-end `Pipeline::run_trial` latency in ML mode, which now
+//!   reuses one `InferenceWorkspace` per thread across trials.
+//!
+//! Scale repetitions with `ADAPT_TIMING_REPS`; the output path can be
+//! overridden with `ADAPT_BENCH_OUT`.
+
+use adapt_core::prelude::*;
+use adapt_localize::{HemisphereGrid, SkyMap};
+use adapt_math::sampling::{isotropic_direction, standard_normal};
+use adapt_math::vec3::UnitVec3;
+use adapt_nn::mlp::BlockOrder;
+use adapt_nn::{models, CompiledMlp, InferenceScratch, Matrix};
+use adapt_recon::{ComptonRing, RingFeatures};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct InferenceReport {
+    mlp_predict_us: f64,
+    compiled_forward_batch_us: f64,
+    speedup: f64,
+    max_abs_logit_diff: f64,
+}
+
+#[derive(Serialize)]
+struct SkymapReport {
+    flat_sweep_ms: f64,
+    coarse_to_fine_ms: f64,
+    speedup: f64,
+    credible_region_90_sr_flat: f64,
+    credible_region_90_sr_adaptive: f64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    description: String,
+    repetitions: usize,
+    background_net_inference_256_rings: InferenceReport,
+    skymap_12k_pixels_600_rings: SkymapReport,
+    pipeline_trial_ml_ms: f64,
+}
+
+/// Median wall-clock seconds of `f` over `reps` timed repetitions
+/// (after 3 warm-up calls).
+fn median_secs<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    for _ in 0..3 {
+        black_box(f());
+    }
+    let mut samples: Vec<f64> = (0..reps.max(5))
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(f());
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples[samples.len() / 2]
+}
+
+fn synthetic_rings(n: usize, seed: u64) -> Vec<ComptonRing> {
+    let source = UnitVec3::from_spherical(0.5, 1.0);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let axis = isotropic_direction(&mut rng);
+            let eta =
+                (axis.cos_angle_to(source) + 0.02 * standard_normal(&mut rng)).clamp(-0.999, 0.999);
+            ComptonRing {
+                axis,
+                eta,
+                d_eta: 0.02,
+                features: RingFeatures::zeroed(),
+                truth: None,
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let reps = adapt_bench::timing_reps();
+
+    // -- batched background-net inference: Mlp::predict vs CompiledMlp --
+    let mut rng = ChaCha8Rng::seed_from_u64(40);
+    let mut net = models::background_network(13, BlockOrder::BatchNormFirst, &mut rng);
+    let calib = Matrix::he_uniform(256, 13, &mut rng);
+    net.forward(&calib, true); // realistic BN running statistics
+    let plan = CompiledMlp::compile(&net);
+    let batch = Matrix::he_uniform(256, 13, &mut rng);
+
+    let predict_s = median_secs(reps, || net.predict(&batch));
+    let mut scratch = InferenceScratch::new();
+    let compiled_s = median_secs(reps, || plan.forward_batch(&batch, &mut scratch)[0]);
+    let reference = net.predict(&batch);
+    let max_abs_diff = plan
+        .forward_batch(&batch, &mut scratch)
+        .iter()
+        .zip(reference.as_slice())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+
+    // -- sky-map rasterization: flat sweep vs coarse-to-fine --
+    let rings = synthetic_rings(600, 42);
+    let grid = HemisphereGrid::new(12_000);
+    let flat_s = median_secs(reps.min(20), || {
+        SkyMap::from_rings(&rings, grid.clone(), 3.0)
+    });
+    let adaptive_s = median_secs(reps.min(20), || {
+        SkyMap::from_rings_adaptive(&rings, grid.clone(), 3.0)
+    });
+    let flat_map = SkyMap::from_rings(&rings, grid.clone(), 3.0);
+    let adaptive_map = SkyMap::from_rings_adaptive(&rings, grid.clone(), 3.0);
+    let cr90_flat = flat_map.credible_region_sr(0.9);
+    let cr90_adaptive = adaptive_map.credible_region_sr(0.9);
+
+    // -- end-to-end ML trial (workspace reused across trials) --
+    let models = adapt_bench::shared_models();
+    let pipeline = Pipeline::new(&models);
+    let grb = GrbConfig::new(1.0, 0.0);
+    let trial_s = median_secs(reps.min(20), || {
+        pipeline.run_trial(
+            PipelineMode::Ml,
+            &grb,
+            PerturbationConfig::default(),
+            0xB127,
+        )
+    });
+
+    let out = BenchReport {
+        description: "localization hot-loop benchmarks; regenerate with \
+                      `cargo run --release -p adapt-bench --bin bench_pipeline`"
+            .into(),
+        repetitions: reps,
+        background_net_inference_256_rings: InferenceReport {
+            mlp_predict_us: predict_s * 1e6,
+            compiled_forward_batch_us: compiled_s * 1e6,
+            speedup: predict_s / compiled_s,
+            max_abs_logit_diff: max_abs_diff,
+        },
+        skymap_12k_pixels_600_rings: SkymapReport {
+            flat_sweep_ms: flat_s * 1e3,
+            coarse_to_fine_ms: adaptive_s * 1e3,
+            speedup: flat_s / adaptive_s,
+            credible_region_90_sr_flat: cr90_flat,
+            credible_region_90_sr_adaptive: cr90_adaptive,
+        },
+        pipeline_trial_ml_ms: trial_s * 1e3,
+    };
+    let path = std::env::var("ADAPT_BENCH_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".into());
+    let pretty = serde_json::to_string_pretty(&out).expect("serialize benchmark report");
+    std::fs::write(&path, pretty + "\n").expect("write benchmark report");
+    println!("wrote {path}");
+    println!(
+        "inference: predict {:.1} us vs compiled {:.1} us ({:.2}x, max |dlogit| {:.2e})",
+        predict_s * 1e6,
+        compiled_s * 1e6,
+        predict_s / compiled_s,
+        max_abs_diff
+    );
+    println!(
+        "skymap:    flat {:.2} ms vs coarse-to-fine {:.2} ms ({:.2}x, CR90 {:.4} vs {:.4} sr)",
+        flat_s * 1e3,
+        adaptive_s * 1e3,
+        flat_s / adaptive_s,
+        cr90_flat,
+        cr90_adaptive
+    );
+    println!("pipeline:  ML trial median {:.1} ms", trial_s * 1e3);
+}

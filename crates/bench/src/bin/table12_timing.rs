@@ -2,5 +2,8 @@
 //! Scale repetitions with `ADAPT_TIMING_REPS` (paper: 300).
 fn main() {
     let models = adapt_bench::shared_models();
-    println!("{}", adapt_bench::run_table12(&models, adapt_bench::timing_reps()));
+    println!(
+        "{}",
+        adapt_bench::run_table12(&models, adapt_bench::timing_reps())
+    );
 }

@@ -15,9 +15,9 @@
 //! Trained models are cached at `target/adapt-models.json` (override with
 //! `ADAPT_MODEL_CACHE`); delete the file to retrain.
 
+use adapt_core::containment_experiment;
 use adapt_core::prelude::*;
 use adapt_core::{fluence_sweep, format_rows, measure_stages, noise_sweep, polar_sweep};
-use adapt_core::containment_experiment;
 use adapt_fpga::{background_net_shapes, synthesize, FpgaKernel, Precision, SynthesisConfig};
 use std::path::PathBuf;
 
@@ -222,7 +222,11 @@ pub fn run_table3(models: &TrainedModels) -> String {
             int8.ii_cycles as f64,
             fp32.ii_cycles as f64,
         ),
-        ("BRAM Blocks", int8.bram_blocks as f64, fp32.bram_blocks as f64),
+        (
+            "BRAM Blocks",
+            int8.bram_blocks as f64,
+            fp32.bram_blocks as f64,
+        ),
         ("DSP Slices", int8.dsp_slices as f64, fp32.dsp_slices as f64),
         ("Flip-Flops", int8.flip_flops as f64, fp32.flip_flops as f64),
         (
@@ -320,7 +324,10 @@ pub fn run_ablations(models: &TrainedModels, spec: TrialSpec) -> String {
         ));
     };
 
-    run("paper defaults (Replace, 5 iter)", MlPipelineConfig::default());
+    run(
+        "paper defaults (Replace, 5 iter)",
+        MlPipelineConfig::default(),
+    );
     run(
         "dEta policy: Inflate (only widen)",
         MlPipelineConfig {
@@ -460,9 +467,8 @@ pub fn run_pileup(models: &TrainedModels, spec: TrialSpec) -> String {
 pub fn run_failure_injection(models: &TrainedModels, spec: TrialSpec) -> String {
     let pipeline = Pipeline::new(models);
     let grb = GrbConfig::new(1.0, 0.0);
-    let mut out = String::from(
-        "Failure injection: dead fiber cells at 1 MeV/cm^2 (ML pipeline)\n\n",
-    );
+    let mut out =
+        String::from("Failure injection: dead fiber cells at 1 MeV/cm^2 (ML pipeline)\n\n");
     out.push_str(&format!(
         "{:>12} {:>14} {:>14} {:>10}\n",
         "dead frac", "68% (deg)", "95% (deg)", "rings"
@@ -481,8 +487,7 @@ pub fn run_failure_injection(models: &TrainedModels, spec: TrialSpec) -> String 
         );
         out.push_str(&format!(
             "{:>12.2} {:>7.2}±{:<5.2} {:>7.2}±{:<5.2} {:>10.1}\n",
-            dead, stats.c68_mean, stats.c68_err, stats.c95_mean, stats.c95_err,
-            stats.mean_rings_in
+            dead, stats.c68_mean, stats.c68_err, stats.c95_mean, stats.c95_err, stats.mean_rings_in
         ));
     }
     out
@@ -493,9 +498,7 @@ pub fn run_failure_injection(models: &TrainedModels, spec: TrialSpec) -> String 
 pub fn run_fpga_dse() -> String {
     use adapt_fpga::{pareto_frontier, sweep};
     let shapes = background_net_shapes();
-    let mut out = String::from(
-        "FPGA design-space exploration (background net, 10 ns clock)\n",
-    );
+    let mut out = String::from("FPGA design-space exploration (background net, 10 ns clock)\n");
     for precision in [Precision::Int4, Precision::Int8, Precision::Fp32] {
         out.push_str(&format!(
             "\n{:?} Pareto frontier (II vs DSP):\n{:>10} {:>10} {:>10} {:>14}\n",
@@ -560,10 +563,22 @@ pub fn run_quant_strategies(models: &TrainedModels) -> String {
         "bytes"
     );
     for (label, scheme, bits) in [
-        ("per-tensor INT8 (paper config)", QuantScheme::PerTensor, WeightBits::Int8),
-        ("per-channel INT8", QuantScheme::PerChannel, WeightBits::Int8),
+        (
+            "per-tensor INT8 (paper config)",
+            QuantScheme::PerTensor,
+            WeightBits::Int8,
+        ),
+        (
+            "per-channel INT8",
+            QuantScheme::PerChannel,
+            WeightBits::Int8,
+        ),
         ("per-tensor INT4", QuantScheme::PerTensor, WeightBits::Int4),
-        ("per-channel INT4", QuantScheme::PerChannel, WeightBits::Int4),
+        (
+            "per-channel INT4",
+            QuantScheme::PerChannel,
+            WeightBits::Int4,
+        ),
     ] {
         let q = QuantizedMlp::quantize_with(parent, &calib, scheme, bits);
         out.push_str(&format!(

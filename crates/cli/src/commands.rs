@@ -71,7 +71,11 @@ pub fn simulate(args: &Args) -> Result<(), String> {
     let trig = scan(&data.events, 1.0, rate, &TriggerConfig::default());
     println!(
         "trigger: {} (max significance {:.1} sigma at t = {:.3} s)",
-        if trig.detected { "DETECTED" } else { "no detection" },
+        if trig.detected {
+            "DETECTED"
+        } else {
+            "no detection"
+        },
         trig.max_significance,
         trig.trigger_time_s
     );
@@ -135,7 +139,14 @@ pub fn localize(args: &Args) -> Result<(), String> {
 
 /// `adapt skymap`
 pub fn skymap(args: &Args) -> Result<(), String> {
-    args.assert_known(&["models", "fluence", "angle", "seed", "credibility", "pixels"])?;
+    args.assert_known(&[
+        "models",
+        "fluence",
+        "angle",
+        "seed",
+        "credibility",
+        "pixels",
+    ])?;
     let models = load_models(&args.get_or("models", "models.json"))?;
     let fluence: f64 = args.get_parse_or("fluence", 1.0)?;
     let angle: f64 = args.get_parse_or("angle", 0.0)?;
@@ -151,7 +162,7 @@ pub fn skymap(args: &Args) -> Result<(), String> {
     if rings.is_empty() {
         return Err("no rings reconstructed from this burst".into());
     }
-    let map = SkyMap::from_rings(&rings, HemisphereGrid::new(pixels), 3.0);
+    let map = SkyMap::from_rings_adaptive(&rings, HemisphereGrid::new(pixels), 3.0);
     let mode_dir = map.mode();
     println!(
         "sky map over {} pixels from {} rings",

@@ -37,17 +37,17 @@ pub mod training;
 pub mod trigger;
 
 pub use experiments::{
-    containment_experiment, fluence_sweep, format_rows, noise_sweep, polar_sweep,
-    ContainmentStats, FigureRow, TrialSpec,
+    containment_experiment, fluence_sweep, format_rows, noise_sweep, polar_sweep, ContainmentStats,
+    FigureRow, TrialSpec,
 };
 pub use pipeline::{Pipeline, PipelineMode, TrialOutcome, TrialTimings};
 pub use report::{ExperimentRecord, SCHEMA_VERSION};
 pub use timing::{measure_stages, StageRow, TimingTable};
-pub use trigger::{calibrate_background_rate, scan, TriggerConfig, TriggerResult};
 pub use training::{
     background_dataset, d_eta_dataset, generate_training_rings, train_models, LabeledRing,
     TrainedModels, TrainingCampaignConfig,
 };
+pub use trigger::{calibrate_background_rate, scan, TriggerConfig, TriggerResult};
 
 /// Everything a downstream user typically needs in one import.
 pub mod prelude {

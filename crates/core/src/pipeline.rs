@@ -14,8 +14,11 @@
 //!   (Fig. 4, right bars).
 
 use crate::training::TrainedModels;
+use adapt_localize::{
+    BaselineLocalizer, InferenceWorkspace, MlLocalizer, MlPipelineConfig, StageTimings,
+};
 use adapt_math::angles::angular_separation;
-use adapt_localize::{BaselineLocalizer, MlLocalizer, MlPipelineConfig, StageTimings};
+use adapt_nn::CompiledMlp;
 use adapt_recon::{ComptonRing, Reconstructor};
 use adapt_sim::{
     BackgroundConfig, BurstSimulation, DetectorConfig, GrbConfig, GrbSource, PerturbationConfig,
@@ -23,6 +26,7 @@ use adapt_sim::{
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::time::{Duration, Instant};
 
 /// The evaluation variant to run.
@@ -92,9 +96,21 @@ pub struct TrialTimings {
     pub total: Duration,
 }
 
+thread_local! {
+    /// Per-thread inference workspace: trial drivers fan trials out over
+    /// worker threads, and each thread's network buffers warm up once and
+    /// are reused by every subsequent trial it runs.
+    static WORKSPACE: RefCell<InferenceWorkspace> = RefCell::new(InferenceWorkspace::new());
+}
+
 /// The configured end-to-end pipeline.
 pub struct Pipeline<'a> {
     models: &'a TrainedModels,
+    /// The FP32 background nets compiled once into BN-folded flat-buffer
+    /// plans; every trial's `MlLocalizer` borrows these instead of
+    /// re-deriving the inference path from the layer list.
+    compiled_background: CompiledMlp,
+    compiled_background_no_polar: CompiledMlp,
     reconstructor: Reconstructor,
     ml_config: MlPipelineConfig,
     detector: DetectorConfig,
@@ -106,6 +122,8 @@ impl<'a> Pipeline<'a> {
     pub fn new(models: &'a TrainedModels) -> Self {
         Pipeline {
             models,
+            compiled_background: CompiledMlp::compile(&models.background),
+            compiled_background_no_polar: CompiledMlp::compile(&models.background_no_polar),
             reconstructor: Reconstructor::default(),
             ml_config: MlPipelineConfig::default(),
             detector: DetectorConfig::default(),
@@ -215,18 +233,20 @@ impl<'a> Pipeline<'a> {
                 let t = Instant::now();
                 let res = BaselineLocalizer::new(self.ml_config.localizer.clone())
                     .localize(&staged, &mut rng);
-                let mut timings = StageTimings::default();
-                timings.approx_refine = t.elapsed();
+                let timings = StageTimings {
+                    approx_refine: t.elapsed(),
+                    ..Default::default()
+                };
                 (res.map(|r| r.direction), rings_in, timings)
             }
             PipelineMode::Ml => {
                 let ml = MlLocalizer::new(
-                    &self.models.background,
+                    &self.compiled_background,
                     &self.models.thresholds,
                     &self.models.d_eta,
                     self.ml_config.clone(),
                 );
-                match ml.localize(&staged, &mut rng) {
+                match Self::localize_reusing_workspace(&ml, &staged, &mut rng) {
                     Some(r) => (Some(r.direction), r.surviving_rings, r.timings),
                     None => (None, rings_in, StageTimings::default()),
                 }
@@ -238,7 +258,7 @@ impl<'a> Pipeline<'a> {
                     &self.models.d_eta,
                     self.ml_config.clone(),
                 );
-                match ml.localize(&staged, &mut rng) {
+                match Self::localize_reusing_workspace(&ml, &staged, &mut rng) {
                     Some(r) => (Some(r.direction), r.surviving_rings, r.timings),
                     None => (None, rings_in, StageTimings::default()),
                 }
@@ -248,12 +268,12 @@ impl<'a> Pipeline<'a> {
                 let mut cfg = self.ml_config.clone();
                 cfg.use_polar_input = false;
                 let ml = MlLocalizer::new(
-                    &self.models.background_no_polar,
+                    &self.compiled_background_no_polar,
                     &thresholds,
                     &self.models.d_eta_no_polar,
                     cfg,
                 );
-                match ml.localize(&staged, &mut rng) {
+                match Self::localize_reusing_workspace(&ml, &staged, &mut rng) {
                     Some(r) => (Some(r.direction), r.surviving_rings, r.timings),
                     None => (None, rings_in, StageTimings::default()),
                 }
@@ -279,6 +299,16 @@ impl<'a> Pipeline<'a> {
                 total,
             },
         }
+    }
+
+    /// Localize through this thread's persistent workspace, so repeated
+    /// trials share warm network buffers.
+    fn localize_reusing_workspace(
+        ml: &MlLocalizer<'_>,
+        rings: &[ComptonRing],
+        rng: &mut ChaCha8Rng,
+    ) -> Option<adapt_localize::MlLocalizeResult> {
+        WORKSPACE.with(|ws| ml.localize_with(rings, rng, &mut ws.borrow_mut()))
     }
 
     /// Run one full trial (simulate → reconstruct → localize).

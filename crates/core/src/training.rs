@@ -14,8 +14,8 @@
 
 use adapt_nn::mlp::BlockOrder;
 use adapt_nn::{
-    models, qat_finetune, three_way_split, Dataset, Matrix, Mlp, QuantizedMlp,
-    ThresholdTable, TrainConfig,
+    models, qat_finetune, three_way_split, Dataset, Matrix, Mlp, QuantizedMlp, ThresholdTable,
+    TrainConfig,
 };
 use adapt_recon::{ComptonRing, Reconstructor};
 use adapt_sim::{BackgroundConfig, BurstSimulation, DetectorConfig, GrbConfig, PerturbationConfig};
@@ -126,7 +126,11 @@ pub fn background_dataset(rings: &[LabeledRing], with_polar: bool) -> Dataset {
         } else {
             xs.extend_from_slice(&lr.ring.features.to_static_array());
         }
-        ys.push(if lr.ring.is_background_truth() { 1.0 } else { 0.0 });
+        ys.push(if lr.ring.is_background_truth() {
+            1.0
+        } else {
+            0.0
+        });
     }
     Dataset::new(Matrix::from_vec(rings.len(), dim, xs), ys)
 }
@@ -211,9 +215,7 @@ pub fn train_models(config: &TrainingCampaignConfig, seed: u64) -> TrainedModels
     let probs: Vec<f64> = (0..btrain.len())
         .map(|i| adapt_nn::sigmoid(logits.get(i, 0)))
         .collect();
-    let polar: Vec<f64> = (0..btrain.len())
-        .map(|i| btrain.x.get(i, 12))
-        .collect();
+    let polar: Vec<f64> = (0..btrain.len()).map(|i| btrain.x.get(i, 12)).collect();
     let thresholds = ThresholdTable::fit(&probs, &btrain.y, &polar);
 
     // ----- background network without polar (Fig. 7 ablation) -----
@@ -246,9 +248,10 @@ pub fn train_models(config: &TrainingCampaignConfig, seed: u64) -> TrainedModels
     // prepend a normalizing input BatchNorm (folded forward into the first
     // Linear at fusion time), keeping the raw 13-feature interface while
     // restoring the trainability the BatchNormFirst order enjoys
-    bkg_lf
-        .layers_mut()
-        .insert(0, adapt_nn::Layer::BatchNorm(adapt_nn::BatchNorm1d::new(13)));
+    bkg_lf.layers_mut().insert(
+        0,
+        adapt_nn::Layer::BatchNorm(adapt_nn::BatchNorm1d::new(13)),
+    );
     adapt_nn::train(&mut bkg_lf, &btrain, &bval, &bcfg, &mut rng);
     let qat_cfg = TrainConfig {
         learning_rate: bcfg.learning_rate * 0.1,
@@ -289,11 +292,7 @@ impl TrainedModels {
     }
 
     /// Load the cached models at `path`, or train (and cache) them.
-    pub fn load_or_train(
-        path: &Path,
-        config: &TrainingCampaignConfig,
-        seed: u64,
-    ) -> TrainedModels {
+    pub fn load_or_train(path: &Path, config: &TrainingCampaignConfig, seed: u64) -> TrainedModels {
         if let Ok(models) = Self::load(path) {
             return models;
         }
@@ -306,11 +305,7 @@ impl TrainedModels {
 
 /// Diagnostic used by tests and EXPERIMENTS.md: balanced accuracy of the
 /// background net on freshly simulated rings at a given polar angle.
-pub fn background_accuracy_at(
-    models: &TrainedModels,
-    polar_deg: f64,
-    seed: u64,
-) -> f64 {
+pub fn background_accuracy_at(models: &TrainedModels, polar_deg: f64, seed: u64) -> f64 {
     let sim = BurstSimulation::with_defaults(GrbConfig::new(2.0, polar_deg));
     let data = sim.simulate(seed);
     let rings = Reconstructor::default().reconstruct_all(&data.events);
@@ -338,7 +333,10 @@ mod tests {
     fn campaign_produces_balanced_rings() {
         let rings = generate_training_rings(&TrainingCampaignConfig::fast(), 1);
         assert!(rings.len() > 300, "{} rings", rings.len());
-        let bkg = rings.iter().filter(|r| r.ring.is_background_truth()).count();
+        let bkg = rings
+            .iter()
+            .filter(|r| r.ring.is_background_truth())
+            .count();
         let frac = bkg as f64 / rings.len() as f64;
         assert!(frac > 0.2 && frac < 0.8, "background fraction {frac}");
     }

@@ -101,8 +101,9 @@ pub fn calibrate_background_rate(events: &[Event], duration_s: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use adapt_sim::{BackgroundConfig, BurstSimulation, DetectorConfig, GrbConfig,
-        PerturbationConfig};
+    use adapt_sim::{
+        BackgroundConfig, BurstSimulation, DetectorConfig, GrbConfig, PerturbationConfig,
+    };
 
     fn background_only_rate(seed: u64) -> f64 {
         // a zero-fluence "burst": only background events
@@ -143,7 +144,10 @@ mod tests {
                 false_alarms += 1;
             }
         }
-        assert!(false_alarms <= 1, "{false_alarms}/10 false alarms at 5 sigma");
+        assert!(
+            false_alarms <= 1,
+            "{false_alarms}/10 false alarms at 5 sigma"
+        );
     }
 
     #[test]

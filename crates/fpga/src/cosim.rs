@@ -64,10 +64,7 @@ impl<'a> FpgaKernel<'a> {
     /// Co-simulate a batch of feature vectors: compute bit-exact outputs
     /// and the cycle-level timing of streaming them through the pipeline.
     pub fn cosimulate(&self, inputs: &[Vec<f64>]) -> CosimResult {
-        let outputs = inputs
-            .iter()
-            .map(|x| self.net.forward_one(x))
-            .collect();
+        let outputs = inputs.iter().map(|x| self.net.forward_one(x)).collect();
         let trace = simulate_batch(&self.report, inputs.len());
         CosimResult {
             outputs,

@@ -144,10 +144,7 @@ mod tests {
     fn outputs_in_order_and_monotone() {
         let r = report();
         let trace = simulate_batch(&r, 20);
-        assert!(trace
-            .output_cycles
-            .windows(2)
-            .all(|w| w[0] < w[1]));
+        assert!(trace.output_cycles.windows(2).all(|w| w[0] < w[1]));
         assert_eq!(trace.input_cycles.len(), 20);
     }
 

@@ -36,7 +36,9 @@ pub fn sweep(
     let hi = (max_target as f64).ln();
     (0..points)
         .map(|i| {
-            let t = (lo + (hi - lo) * i as f64 / (points - 1) as f64).exp().round() as usize;
+            let t = (lo + (hi - lo) * i as f64 / (points - 1) as f64)
+                .exp()
+                .round() as usize;
             let config = SynthesisConfig {
                 target_ii: t.max(1),
                 ..SynthesisConfig::default()
@@ -58,8 +60,7 @@ pub fn pareto_frontier(points: &[DesignPoint]) -> Vec<DesignPoint> {
     let mut frontier: Vec<DesignPoint> = Vec::new();
     for p in points {
         let dominated = points.iter().any(|q| {
-            (q.report.ii_cycles < p.report.ii_cycles
-                && q.report.dsp_slices <= p.report.dsp_slices)
+            (q.report.ii_cycles < p.report.ii_cycles && q.report.dsp_slices <= p.report.dsp_slices)
                 || (q.report.ii_cycles <= p.report.ii_cycles
                     && q.report.dsp_slices < p.report.dsp_slices)
         });

@@ -12,8 +12,8 @@
 //!   threshold as in the paper's kernel.
 
 pub mod cosim;
-pub mod dse;
 pub mod dataflow;
+pub mod dse;
 pub mod model;
 
 pub use cosim::{threshold_logit, CosimResult, FpgaKernel};

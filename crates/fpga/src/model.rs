@@ -209,8 +209,8 @@ pub fn synthesize(
         // the architectural source of the paper's 1.75x INT8 win.
         let engines = ((macs as f64) / config.target_ii as f64).ceil().max(1.0) as usize;
         let ii = ((macs as f64 * stall) / engines as f64).ceil() as usize;
-        let depth = (shape.in_dim.max(2) as f64).log2().ceil() as usize
-            + precision.stage_depth_overhead();
+        let depth =
+            (shape.in_dim.max(2) as f64).log2().ceil() as usize + precision.stage_depth_overhead();
         stages.push(StageSchedule {
             shape,
             mac_engines: engines,
@@ -255,7 +255,10 @@ pub fn synthesize(
 pub fn background_net_shapes() -> Vec<LayerShape> {
     [(13, 256), (256, 128), (128, 64), (64, 1)]
         .into_iter()
-        .map(|(i, o)| LayerShape { in_dim: i, out_dim: o })
+        .map(|(i, o)| LayerShape {
+            in_dim: i,
+            out_dim: o,
+        })
         .collect()
 }
 
@@ -333,14 +336,14 @@ mod tests {
         // layer 2 (256x128) has the most MACs and the most engines
         let engines: Vec<usize> = i8r.stages.iter().map(|s| s.mac_engines).collect();
         let macs: Vec<usize> = i8r.stages.iter().map(|s| s.shape.macs()).collect();
-        let idx_max = macs
-            .iter()
-            .enumerate()
-            .max_by_key(|(_, &m)| m)
-            .unwrap()
-            .0;
+        let idx_max = macs.iter().enumerate().max_by_key(|(_, &m)| m).unwrap().0;
         assert_eq!(
-            engines.iter().enumerate().max_by_key(|(_, &e)| e).unwrap().0,
+            engines
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, &e)| e)
+                .unwrap()
+                .0,
             idx_max
         );
     }

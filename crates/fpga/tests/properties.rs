@@ -8,7 +8,10 @@ use proptest::prelude::*;
 
 fn arb_shapes() -> impl Strategy<Value = Vec<LayerShape>> {
     proptest::collection::vec(
-        (1usize..128, 1usize..128).prop_map(|(i, o)| LayerShape { in_dim: i, out_dim: o }),
+        (1usize..128, 1usize..128).prop_map(|(i, o)| LayerShape {
+            in_dim: i,
+            out_dim: o,
+        }),
         1..6,
     )
 }

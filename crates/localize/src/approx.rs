@@ -172,8 +172,10 @@ mod tests {
                 truth: None,
             });
         }
-        let mut cfg = ApproxConfig::default();
-        cfg.sample_rings = 30;
+        let cfg = ApproxConfig {
+            sample_rings: 30,
+            ..Default::default()
+        };
         let (s0, _) = approximate(&rings, &cfg, &mut rng()).unwrap();
         assert!(
             angular_separation(s0, source) < 12.0,

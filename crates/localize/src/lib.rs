@@ -21,9 +21,12 @@ pub mod skymap;
 pub mod uncertainty;
 
 pub use approx::{approximate, ApproxConfig};
-pub use likelihood::{angular_z, joint_log_likelihood, ring_log_likelihood};
+pub use likelihood::{angular_z, cone_geometry, joint_log_likelihood, ring_log_likelihood};
 pub use localizer::{BaselineLocalizer, LocalizeResult, LocalizerConfig};
-pub use ml::{BackgroundModel, DEtaUpdate, MlLocalizeResult, MlLocalizer, MlPipelineConfig, StageTimings};
+pub use ml::{
+    BackgroundModel, DEtaUpdate, InferenceWorkspace, MlLocalizeResult, MlLocalizer,
+    MlPipelineConfig, StageTimings,
+};
 pub use refine::{refine, RefineConfig, RefineResult};
 pub use skymap::{HemisphereGrid, SkyMap};
 pub use uncertainty::{estimate_uncertainty, DirectionUncertainty};

@@ -6,8 +6,8 @@
 //! A robust (outlier-floored) variant keeps background and mis-reconstructed
 //! rings from dominating the joint likelihood.
 
-use adapt_recon::ComptonRing;
 use adapt_math::vec3::UnitVec3;
+use adapt_recon::ComptonRing;
 
 /// Floor on `sin θ` when converting dη to an angular width, protecting the
 /// nearly-degenerate forward/backward-scatter cones.
@@ -17,13 +17,20 @@ const MIN_SIN_THETA: f64 = 0.05;
 /// infinite weight).
 pub const MIN_D_ETA: f64 = 1e-4;
 
+/// A ring's cone opening angle and its angular sigma — the geometry every
+/// candidate direction shares, precomputable once per ring when the same
+/// ring set is scored against many candidates (skymap rasterization).
+pub fn cone_geometry(ring: &ComptonRing, d_eta: f64) -> (f64, f64) {
+    let cone_theta = ring.eta.clamp(-1.0, 1.0).acos();
+    let sin_theta = cone_theta.sin().max(MIN_SIN_THETA);
+    (cone_theta, d_eta.max(MIN_D_ETA) / sin_theta)
+}
+
 /// The angular standardized residual of `source` w.r.t. a ring: the number
 /// of sigmas the candidate lies off the cone, in *angle* space.
 pub fn angular_z(ring: &ComptonRing, source: UnitVec3, d_eta: f64) -> f64 {
     let theta_to_axis = ring.axis.angle_to(source);
-    let cone_theta = ring.eta.clamp(-1.0, 1.0).acos();
-    let sin_theta = cone_theta.sin().max(MIN_SIN_THETA);
-    let sigma_theta = d_eta.max(MIN_D_ETA) / sin_theta;
+    let (cone_theta, sigma_theta) = cone_geometry(ring, d_eta);
     (theta_to_axis - cone_theta) / sigma_theta
 }
 
@@ -90,7 +97,11 @@ mod tests {
         // has larger angular sigma... but MIN_SIN_THETA caps the blowup
         let r_mid = ring(UnitVec3::PLUS_Z, 0.0, 0.02); // 90 deg cone, sin=1
         let off = 0.05;
-        let z_mid = angular_z(&r_mid, UnitVec3::from_spherical(90f64.to_radians() + off, 0.0), 0.02);
+        let z_mid = angular_z(
+            &r_mid,
+            UnitVec3::from_spherical(90f64.to_radians() + off, 0.0),
+            0.02,
+        );
         assert!((z_mid.abs() - off / 0.02).abs() < 1e-6);
     }
 

@@ -59,11 +59,7 @@ impl BaselineLocalizer {
 
     /// Refine only, from a provided initial estimate (used by the ML loop,
     /// which re-enters refinement after updating dη).
-    pub fn refine_from(
-        &self,
-        rings: &[ComptonRing],
-        initial: UnitVec3,
-    ) -> Option<RefineResult> {
+    pub fn refine_from(&self, rings: &[ComptonRing], initial: UnitVec3) -> Option<RefineResult> {
         refine(rings, initial, &self.config.refine)
     }
 }

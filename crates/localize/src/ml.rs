@@ -17,7 +17,7 @@
 use crate::localizer::{BaselineLocalizer, LocalizerConfig};
 use adapt_math::angles::{deg_to_rad, polar_angle_deg};
 use adapt_math::vec3::UnitVec3;
-use adapt_nn::{sigmoid, Matrix, Mlp, QuantizedMlp, ThresholdTable};
+use adapt_nn::{sigmoid, CompiledMlp, InferenceScratch, Matrix, Mlp, QuantizedMlp, ThresholdTable};
 use adapt_recon::{ComptonRing, N_FEATURES_WITH_POLAR};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -92,11 +92,22 @@ pub struct MlLocalizeResult {
     pub timings: StageTimings,
 }
 
-/// Anything that can score rings as background: the FP32 network, the
-/// INT8-quantized network (paper Fig. 11), or a test double.
+/// Anything that can score rings as background: the FP32 network, its
+/// compiled inference plan, the INT8-quantized network (paper Fig. 11),
+/// or a test double.
 pub trait BackgroundModel: Sync {
     /// Raw logits, one per input row.
     fn logits(&self, x: &Matrix) -> Vec<f64>;
+
+    /// Raw logits written into a caller-owned buffer through a reusable
+    /// scratch arena. The default delegates to [`logits`](Self::logits);
+    /// implementations with a compiled plan override this to stay
+    /// allocation-free after warm-up.
+    fn logits_into(&self, x: &Matrix, scratch: &mut InferenceScratch, out: &mut Vec<f64>) {
+        let _ = scratch;
+        out.clear();
+        out.extend(self.logits(x));
+    }
 }
 
 impl BackgroundModel for Mlp {
@@ -106,24 +117,56 @@ impl BackgroundModel for Mlp {
     }
 }
 
+impl BackgroundModel for CompiledMlp {
+    fn logits(&self, x: &Matrix) -> Vec<f64> {
+        self.predict(x).as_slice().to_vec()
+    }
+
+    fn logits_into(&self, x: &Matrix, scratch: &mut InferenceScratch, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(self.forward_batch(x, scratch));
+    }
+}
+
 impl BackgroundModel for QuantizedMlp {
     fn logits(&self, x: &Matrix) -> Vec<f64> {
         self.forward(x)
     }
 }
 
+/// Reusable buffers for one localization stream: the staged model-input
+/// matrix, the network scratch arena, and the logit vector. After the
+/// first (largest) burst every later `localize_with` call runs the ML
+/// stages without allocating.
+#[derive(Debug, Default)]
+pub struct InferenceWorkspace {
+    inputs: Matrix,
+    nn: InferenceScratch,
+    logits: Vec<f64>,
+}
+
+impl InferenceWorkspace {
+    /// An empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// The ML localizer. Holds the trained networks by reference so one set of
-/// weights can serve many parallel trials.
+/// weights can serve many parallel trials; the dEta network (and any
+/// background model that exposes a plan) is compiled once per localizer
+/// into a BN-folded flat-buffer plan the hot loop runs allocation-free.
 pub struct MlLocalizer<'a> {
     background_net: &'a dyn BackgroundModel,
     thresholds: &'a ThresholdTable,
-    d_eta_net: &'a Mlp,
+    compiled_d_eta: CompiledMlp,
     config: MlPipelineConfig,
     baseline: BaselineLocalizer,
 }
 
 impl<'a> MlLocalizer<'a> {
-    /// Assemble from trained components.
+    /// Assemble from trained components. Compiles the dEta network's
+    /// inference plan up front.
     pub fn new(
         background_net: &'a dyn BackgroundModel,
         thresholds: &'a ThresholdTable,
@@ -134,45 +177,76 @@ impl<'a> MlLocalizer<'a> {
         MlLocalizer {
             background_net,
             thresholds,
-            d_eta_net,
+            compiled_d_eta: CompiledMlp::compile(d_eta_net),
             config,
             baseline,
         }
     }
 
-    /// Build the model input matrix for a set of rings at a given polar
-    /// estimate.
-    fn model_inputs(&self, rings: &[ComptonRing], polar_deg: f64) -> Matrix {
+    /// Stage the model input matrix for a set of rings at a given polar
+    /// estimate into a reusable buffer (no allocation once the buffer has
+    /// reached the burst's ring count).
+    fn stage_inputs(&self, rings: &[ComptonRing], polar_deg: f64, x: &mut Matrix) {
         if self.config.use_polar_input {
-            let mut data = Vec::with_capacity(rings.len() * N_FEATURES_WITH_POLAR);
-            for r in rings {
-                data.extend_from_slice(&r.features.to_model_input(polar_deg));
+            x.resize(rings.len(), N_FEATURES_WITH_POLAR);
+            for (i, r) in rings.iter().enumerate() {
+                x.row_mut(i)
+                    .copy_from_slice(&r.features.to_model_input(polar_deg));
             }
-            Matrix::from_vec(rings.len(), N_FEATURES_WITH_POLAR, data)
         } else {
-            let mut data = Vec::with_capacity(rings.len() * 12);
-            for r in rings {
-                data.extend_from_slice(&r.features.to_static_array());
+            x.resize(rings.len(), 12);
+            for (i, r) in rings.iter().enumerate() {
+                x.row_mut(i).copy_from_slice(&r.features.to_static_array());
             }
-            Matrix::from_vec(rings.len(), 12, data)
         }
     }
 
     /// Background probabilities for each ring at the given polar estimate.
     pub fn background_probabilities(&self, rings: &[ComptonRing], polar_deg: f64) -> Vec<f64> {
-        if rings.is_empty() {
-            return Vec::new();
-        }
-        let x = self.model_inputs(rings, polar_deg);
-        let logits = self.background_net.logits(&x);
-        logits.into_iter().map(sigmoid).collect()
+        let mut ws = InferenceWorkspace::new();
+        self.background_logits(rings, polar_deg, &mut ws);
+        ws.logits.iter().map(|&l| sigmoid(l)).collect()
     }
 
-    /// Run the full Fig.-6 loop.
+    /// Score rings with the background net into `ws.logits`.
+    fn background_logits(
+        &self,
+        rings: &[ComptonRing],
+        polar_deg: f64,
+        ws: &mut InferenceWorkspace,
+    ) {
+        if rings.is_empty() {
+            ws.logits.clear();
+            return;
+        }
+        self.stage_inputs(rings, polar_deg, &mut ws.inputs);
+        // split-borrow: logits buffer out, inputs + scratch in
+        let InferenceWorkspace { inputs, nn, logits } = ws;
+        self.background_net.logits_into(inputs, nn, logits);
+    }
+
+    /// Run the full Fig.-6 loop with a private, throwaway workspace.
+    /// Batch drivers that localize many bursts should hold one
+    /// [`InferenceWorkspace`] and call
+    /// [`localize_with`](Self::localize_with) instead.
     pub fn localize<R: Rng + ?Sized>(
         &self,
         rings: &[ComptonRing],
         rng: &mut R,
+    ) -> Option<MlLocalizeResult> {
+        let mut ws = InferenceWorkspace::new();
+        self.localize_with(rings, rng, &mut ws)
+    }
+
+    /// Run the full Fig.-6 loop through a caller-owned workspace: all
+    /// network stages (every background-rejection iteration plus the dEta
+    /// pass) run batched over the surviving rings and allocation-free
+    /// once the workspace is warm.
+    pub fn localize_with<R: Rng + ?Sized>(
+        &self,
+        rings: &[ComptonRing],
+        rng: &mut R,
+        ws: &mut InferenceWorkspace,
     ) -> Option<MlLocalizeResult> {
         let mut timings = StageTimings::default();
 
@@ -190,11 +264,11 @@ impl<'a> MlLocalizer<'a> {
             let polar = polar_angle_deg(s_hat);
 
             let t_bkg = Instant::now();
-            let probs = self.background_probabilities(&kept, polar);
+            self.background_logits(&kept, polar, ws);
             let next: Vec<ComptonRing> = kept
                 .iter()
-                .zip(&probs)
-                .filter(|(_, &p)| !self.thresholds.is_background(p, polar))
+                .zip(&ws.logits)
+                .filter(|(_, &l)| !self.thresholds.is_background(sigmoid(l), polar))
                 .map(|(r, _)| r.clone())
                 .collect();
             timings.background_inference += t_bkg.elapsed();
@@ -225,12 +299,12 @@ impl<'a> MlLocalizer<'a> {
         let updated: Vec<ComptonRing> = match self.config.d_eta_update {
             DEtaUpdate::Off => kept.clone(),
             policy => {
-                let x = self.model_inputs(&kept, polar);
-                let ln_d_eta = self.d_eta_net.predict(&x);
+                self.stage_inputs(&kept, polar, &mut ws.inputs);
+                let ln_d_eta = self.compiled_d_eta.forward_batch(&ws.inputs, &mut ws.nn);
                 kept.iter()
-                    .enumerate()
-                    .map(|(i, r)| {
-                        let predicted = ln_d_eta.get(i, 0).exp().clamp(1e-4, 2.0);
+                    .zip(ln_d_eta)
+                    .map(|(r, &ln_d)| {
+                        let predicted = ln_d.exp().clamp(1e-4, 2.0);
                         let d = match policy {
                             DEtaUpdate::Replace => predicted,
                             DEtaUpdate::Inflate => predicted.max(r.d_eta),
@@ -360,7 +434,6 @@ mod tests {
         rings
     }
 
-
     #[test]
     fn loop_rejects_background_and_localizes() {
         let (bkg, thresholds, deta) = oracle_parts();
@@ -408,6 +481,47 @@ mod tests {
         let (bkg, thresholds, deta) = oracle_parts();
         let ml = MlLocalizer::new(&bkg, &thresholds, &deta, MlPipelineConfig::default());
         assert!(ml.localize(&[], &mut rng()).is_none());
+    }
+
+    #[test]
+    fn compiled_background_matches_mlp_path() {
+        let (bkg, thresholds, deta) = oracle_parts();
+        let source = UnitVec3::from_spherical(0.5, 0.7);
+        let rings = make_rings(source, 60, 150, 8);
+        let cfg = MlPipelineConfig::default();
+        let via_mlp = MlLocalizer::new(&bkg, &thresholds, &deta, cfg.clone());
+        let compiled = adapt_nn::CompiledMlp::compile(&bkg);
+        let via_plan = MlLocalizer::new(&compiled, &thresholds, &deta, cfg);
+        let a = via_mlp.localize(&rings, &mut rng()).unwrap();
+        let b = via_plan.localize(&rings, &mut rng()).unwrap();
+        // the compiled plan re-associates floating-point sums, which the
+        // iterative refinement amplifies to ~1e-6 degrees; classification
+        // decisions must still agree exactly on this well-separated problem
+        assert_eq!(a.surviving_rings, b.surviving_rings);
+        assert_eq!(a.ml_iterations, b.ml_iterations);
+        assert!(
+            angular_separation(a.direction, b.direction) < 1e-3,
+            "directions diverged by {} deg",
+            angular_separation(a.direction, b.direction)
+        );
+    }
+
+    #[test]
+    fn workspace_reuse_is_transparent() {
+        let (bkg, thresholds, deta) = oracle_parts();
+        let compiled = adapt_nn::CompiledMlp::compile(&bkg);
+        let ml = MlLocalizer::new(&compiled, &thresholds, &deta, MlPipelineConfig::default());
+        let source = UnitVec3::from_spherical(0.4, -1.1);
+        let mut ws = InferenceWorkspace::new();
+        // localize bursts of shrinking then growing size through ONE
+        // workspace; each must match a fresh-workspace run bit for bit
+        for (n_src, n_bkg, seed) in [(80, 120, 21), (20, 30, 22), (60, 90, 23)] {
+            let rings = make_rings(source, n_src, n_bkg, seed);
+            let reused = ml.localize_with(&rings, &mut rng(), &mut ws).unwrap();
+            let fresh = ml.localize(&rings, &mut rng()).unwrap();
+            assert_eq!(reused.surviving_rings, fresh.surviving_rings);
+            assert!(angular_separation(reused.direction, fresh.direction) < 1e-12);
+        }
     }
 
     #[test]

@@ -76,8 +76,8 @@ pub fn refine(
     let mut lsq = WeightedLsq3::new();
     let mut inliers = 0usize;
     for iteration in 0..config.max_iterations {
-        let gate = (config.gate_z_initial * config.gate_decay.powi(iteration as i32))
-            .max(config.gate_z);
+        let gate =
+            (config.gate_z_initial * config.gate_decay.powi(iteration as i32)).max(config.gate_z);
         lsq.reset();
         inliers = 0;
         for ring in rings {
@@ -124,12 +124,7 @@ mod tests {
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
-    fn rings_through(
-        source: UnitVec3,
-        n: usize,
-        jitter: f64,
-        seed: u64,
-    ) -> Vec<ComptonRing> {
+    fn rings_through(source: UnitVec3, n: usize, jitter: f64, seed: u64) -> Vec<ComptonRing> {
         let mut r = ChaCha8Rng::seed_from_u64(seed);
         (0..n)
             .map(|_| {
@@ -210,8 +205,10 @@ mod tests {
         let rings = rings_through(source, 30, 0.002, 6);
         // start 90 degrees away with a tight gate: nothing passes
         let start = UnitVec3::PLUS_X;
-        let mut cfg = RefineConfig::default();
-        cfg.gate_z = 0.5;
+        let cfg = RefineConfig {
+            gate_z: 0.5,
+            ..Default::default()
+        };
         let res = refine(&rings, start, &cfg);
         // either None (no inliers) or converged somewhere; must not panic
         if let Some(r) = res {
@@ -223,9 +220,11 @@ mod tests {
     fn iteration_count_bounded() {
         let source = UnitVec3::PLUS_Z;
         let rings = rings_through(source, 40, 0.05, 7);
-        let mut cfg = RefineConfig::default();
-        cfg.max_iterations = 2;
-        cfg.tol = 0.0; // never converge by tolerance
+        let cfg = RefineConfig {
+            max_iterations: 2,
+            tol: 0.0, // never converge by tolerance
+            ..Default::default()
+        };
         let res = refine(&rings, UnitVec3::from_spherical(0.2, 0.0), &cfg).unwrap();
         assert_eq!(res.iterations, 2);
         assert!(!res.converged);

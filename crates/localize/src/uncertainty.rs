@@ -191,12 +191,8 @@ mod tests {
                 // axes confined near the x-z plane
                 let theta: f64 = r.gen_range(0.0..std::f64::consts::PI);
                 let wobble: f64 = r.gen_range(-0.05..0.05);
-                let axis = adapt_math::vec3::Vec3::new(
-                    theta.sin(),
-                    wobble,
-                    theta.cos(),
-                )
-                .normalized();
+                let axis =
+                    adapt_math::vec3::Vec3::new(theta.sin(), wobble, theta.cos()).normalized();
                 let eta = axis.cos_angle_to(s).clamp(-0.999, 0.999);
                 ComptonRing {
                     axis,

@@ -117,6 +117,38 @@ proptest! {
     }
 
     #[test]
+    fn adaptive_skymap_matches_brute_force(
+        polar in 0.1f64..1.2,
+        az in -3.0f64..3.0,
+        n in 30usize..90,
+        seed in 0u64..100,
+    ) {
+        // The coarse-to-fine rasterization must reproduce the flat
+        // sweep's credible regions: any discrepancy is bounded by one
+        // pixel's solid angle (a boundary pixel landing on the other
+        // side of the probability cut).
+        let source = UnitVec3::from_spherical(polar, az);
+        let rings = rings_through(source, n, 0.02, seed);
+        let grid = HemisphereGrid::new(10_000);
+        let px_sr = grid.pixel_solid_angle();
+        let brute = SkyMap::from_rings(&rings, grid.clone(), 3.0);
+        let adaptive = SkyMap::from_rings_adaptive(&rings, grid, 3.0);
+        for credibility in [0.5, 0.9, 0.99] {
+            let a = brute.credible_region_sr(credibility);
+            let b = adaptive.credible_region_sr(credibility);
+            prop_assert!(
+                (a - b).abs() <= px_sr + 1e-12,
+                "CR{credibility}: brute {a} sr vs adaptive {b} sr (pixel {px_sr} sr)"
+            );
+        }
+        prop_assert!(
+            angular_separation(brute.mode(), adaptive.mode()) < 1.0,
+            "modes diverge: {} deg",
+            angular_separation(brute.mode(), adaptive.mode())
+        );
+    }
+
+    #[test]
     fn uncertainty_estimate_positive_and_finite(
         polar in 0.1f64..1.3,
         n in 20usize..150,

@@ -27,11 +27,7 @@ impl Mat3 {
     /// Build from rows.
     pub fn from_rows(r0: Vec3, r1: Vec3, r2: Vec3) -> Mat3 {
         Mat3 {
-            m: [
-                [r0.x, r0.y, r0.z],
-                [r1.x, r1.y, r1.z],
-                [r2.x, r2.y, r2.z],
-            ],
+            m: [[r0.x, r0.y, r0.z], [r1.x, r1.y, r1.z], [r2.x, r2.y, r2.z]],
         }
     }
 
@@ -97,8 +93,9 @@ pub fn solve3(a: &Mat3, b: Vec3) -> Option<Vec3> {
                 continue;
             }
             let f = aug[row][col] / p;
-            for k in col..4 {
-                aug[row][k] -= f * aug[col][k];
+            let pivot_row = aug[col];
+            for (v, pv) in aug[row][col..].iter_mut().zip(&pivot_row[col..]) {
+                *v -= f * pv;
             }
         }
     }

@@ -18,9 +18,21 @@ impl Rotation {
     /// The identity rotation.
     pub const IDENTITY: Rotation = Rotation {
         rows: [
-            Vec3 { x: 1.0, y: 0.0, z: 0.0 },
-            Vec3 { x: 0.0, y: 1.0, z: 0.0 },
-            Vec3 { x: 0.0, y: 0.0, z: 1.0 },
+            Vec3 {
+                x: 1.0,
+                y: 0.0,
+                z: 0.0,
+            },
+            Vec3 {
+                x: 0.0,
+                y: 1.0,
+                z: 0.0,
+            },
+            Vec3 {
+                x: 0.0,
+                y: 0.0,
+                z: 1.0,
+            },
         ],
     };
 
@@ -45,7 +57,9 @@ impl Rotation {
             };
             ident * c + kx * s + k * (one_c * e[i])
         };
-        Rotation { rows: [row(0), row(1), row(2)] }
+        Rotation {
+            rows: [row(0), row(1), row(2)],
+        }
     }
 
     /// The rotation taking `+z` to `dir` by the shortest arc. Any rotation
@@ -68,7 +82,11 @@ impl Rotation {
     /// Apply to a vector.
     #[inline]
     pub fn apply(&self, v: Vec3) -> Vec3 {
-        Vec3::new(self.rows[0].dot(v), self.rows[1].dot(v), self.rows[2].dot(v))
+        Vec3::new(
+            self.rows[0].dot(v),
+            self.rows[1].dot(v),
+            self.rows[2].dot(v),
+        )
     }
 
     /// Apply to a unit vector; the result is renormalized to guard against
@@ -81,8 +99,16 @@ impl Rotation {
     /// Matrix product `self * rhs` (apply `rhs` first).
     pub fn compose(&self, rhs: &Rotation) -> Rotation {
         let cols = rhs.transpose();
-        let row = |r: Vec3| Vec3::new(r.dot(cols.rows[0]), r.dot(cols.rows[1]), r.dot(cols.rows[2]));
-        Rotation { rows: [row(self.rows[0]), row(self.rows[1]), row(self.rows[2])] }
+        let row = |r: Vec3| {
+            Vec3::new(
+                r.dot(cols.rows[0]),
+                r.dot(cols.rows[1]),
+                r.dot(cols.rows[2]),
+            )
+        };
+        Rotation {
+            rows: [row(self.rows[0]), row(self.rows[1]), row(self.rows[2])],
+        }
     }
 
     /// Transpose — for a rotation, also the inverse.

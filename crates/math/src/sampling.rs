@@ -158,7 +158,11 @@ mod tests {
             stats.push(crate::angles::polar_angle_deg(d));
         }
         // with k=4 the mass concentrates near 90-130 degrees
-        assert!(stats.mean() > 95.0 && stats.mean() < 130.0, "{}", stats.mean());
+        assert!(
+            stats.mean() > 95.0 && stats.mean() < 130.0,
+            "{}",
+            stats.mean()
+        );
     }
 
     #[test]

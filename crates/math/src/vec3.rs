@@ -16,10 +16,26 @@ pub struct Vec3 {
 }
 
 impl Vec3 {
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
-    pub const X: Vec3 = Vec3 { x: 1.0, y: 0.0, z: 0.0 };
-    pub const Y: Vec3 = Vec3 { x: 0.0, y: 1.0, z: 0.0 };
-    pub const Z: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 1.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
+    pub const X: Vec3 = Vec3 {
+        x: 1.0,
+        y: 0.0,
+        z: 0.0,
+    };
+    pub const Y: Vec3 = Vec3 {
+        x: 0.0,
+        y: 1.0,
+        z: 0.0,
+    };
+    pub const Z: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 1.0,
+    };
 
     #[inline]
     pub const fn new(x: f64, y: f64, z: f64) -> Self {
@@ -182,11 +198,23 @@ pub struct UnitVec3(Vec3);
 
 impl UnitVec3 {
     /// The +z axis, the detector zenith in ADAPT's frame.
-    pub const PLUS_Z: UnitVec3 = UnitVec3(Vec3 { x: 0.0, y: 0.0, z: 1.0 });
+    pub const PLUS_Z: UnitVec3 = UnitVec3(Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 1.0,
+    });
     /// The +x axis.
-    pub const PLUS_X: UnitVec3 = UnitVec3(Vec3 { x: 1.0, y: 0.0, z: 0.0 });
+    pub const PLUS_X: UnitVec3 = UnitVec3(Vec3 {
+        x: 1.0,
+        y: 0.0,
+        z: 0.0,
+    });
     /// The +y axis.
-    pub const PLUS_Y: UnitVec3 = UnitVec3(Vec3 { x: 0.0, y: 1.0, z: 0.0 });
+    pub const PLUS_Y: UnitVec3 = UnitVec3(Vec3 {
+        x: 0.0,
+        y: 1.0,
+        z: 0.0,
+    });
 
     /// From polar angle `theta` (radians from +z) and azimuth `phi`
     /// (radians from +x toward +y).

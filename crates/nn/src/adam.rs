@@ -230,13 +230,19 @@ mod tests {
         assert_eq!(c.multiplier(0), 1.0);
         assert_eq!(c.multiplier(100), 1.0);
 
-        let s = LrSchedule::Step { every: 10, gamma: 0.5 };
+        let s = LrSchedule::Step {
+            every: 10,
+            gamma: 0.5,
+        };
         assert_eq!(s.multiplier(0), 1.0);
         assert_eq!(s.multiplier(9), 1.0);
         assert_eq!(s.multiplier(10), 0.5);
         assert_eq!(s.multiplier(25), 0.25);
 
-        let cos = LrSchedule::Cosine { total_epochs: 100, floor: 0.1 };
+        let cos = LrSchedule::Cosine {
+            total_epochs: 100,
+            floor: 0.1,
+        };
         assert!((cos.multiplier(0) - 1.0).abs() < 1e-12);
         assert!((cos.multiplier(100) - 0.1).abs() < 1e-12);
         let mid = cos.multiplier(50);

@@ -116,8 +116,8 @@ impl Standardizer {
         assert_eq!(x.cols(), self.mean.len());
         for r in 0..x.rows() {
             let row = x.row_mut(r);
-            for c in 0..row.len() {
-                row[c] = (row[c] - self.mean[c]) / self.std[c];
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = (*v - self.mean[c]) / self.std[c];
             }
         }
     }
@@ -234,7 +234,7 @@ mod tests {
 
     #[test]
     fn batch_iter_covers_everything_once() {
-        let mut seen = vec![0usize; 17];
+        let mut seen = [0usize; 17];
         for batch in BatchIter::new(17, 5, &mut rng()) {
             assert!(batch.len() <= 5);
             for i in batch {

@@ -85,14 +85,8 @@ pub fn format_importances(importances: &[FeatureImportance]) -> String {
     sorted.sort_by(|a, b| b.accuracy_drop.partial_cmp(&a.accuracy_drop).expect("NaN"));
     let mut out = String::from("feature importances (accuracy drop when permuted):\n");
     for imp in &sorted {
-        let name = FEATURE_NAMES
-            .get(imp.feature)
-            .copied()
-            .unwrap_or("feature");
-        out.push_str(&format!(
-            "  {:<16} {:+.4}\n",
-            name, imp.accuracy_drop
-        ));
+        let name = FEATURE_NAMES.get(imp.feature).copied().unwrap_or("feature");
+        out.push_str(&format!("  {:<16} {:+.4}\n", name, imp.accuracy_drop));
     }
     out
 }
@@ -137,8 +131,7 @@ mod tests {
             objective: Objective::BinaryCrossEntropy,
         };
         train(&mut model, &train_set, &train_set, &cfg, &mut rng);
-        let imps =
-            permutation_importance(&model, &test_set.x, &test_set.y, 0.5, 3, &mut rng);
+        let imps = permutation_importance(&model, &test_set.x, &test_set.y, 0.5, 3, &mut rng);
         assert_eq!(imps.len(), 3);
         // feature 0 must dominate
         assert!(
@@ -155,9 +148,18 @@ mod tests {
     #[test]
     fn formatting_sorts_descending() {
         let imps = vec![
-            FeatureImportance { feature: 0, accuracy_drop: 0.01 },
-            FeatureImportance { feature: 4, accuracy_drop: 0.30 },
-            FeatureImportance { feature: 12, accuracy_drop: 0.10 },
+            FeatureImportance {
+                feature: 0,
+                accuracy_drop: 0.01,
+            },
+            FeatureImportance {
+                feature: 4,
+                accuracy_drop: 0.30,
+            },
+            FeatureImportance {
+                feature: 12,
+                accuracy_drop: 0.10,
+            },
         ];
         let text = format_importances(&imps);
         let pos_e1 = text.find("hit1 energy").unwrap();

@@ -193,8 +193,8 @@ impl BatchNorm1d {
         let mut y = x_hat.clone();
         for r in 0..y.rows() {
             let row = y.row_mut(r);
-            for c in 0..row.len() {
-                row[c] = row[c] * self.gamma[c] + self.beta[c];
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = *v * self.gamma[c] + self.beta[c];
             }
         }
         if training {
@@ -209,9 +209,9 @@ impl BatchNorm1d {
         let mut y = x.clone();
         for r in 0..y.rows() {
             let row = y.row_mut(r);
-            for c in 0..row.len() {
+            for (c, v) in row.iter_mut().enumerate() {
                 let inv_std = 1.0 / (self.running_var[c] + self.eps).sqrt();
-                row[c] = (row[c] - self.running_mean[c]) * inv_std * self.gamma[c] + self.beta[c];
+                *v = (*v - self.running_mean[c]) * inv_std * self.gamma[c] + self.beta[c];
             }
         }
         y
@@ -350,7 +350,7 @@ mod tests {
         }
         // bias grads
         let gb = l.grad_bias.clone().unwrap();
-        for i in 0..2 {
+        for (i, &g) in gb.iter().enumerate().take(2) {
             let orig = l.bias[i];
             l.bias[i] = orig + h;
             let lp = loss(&mut l, &x);
@@ -358,7 +358,7 @@ mod tests {
             let lm = loss(&mut l, &x);
             l.bias[i] = orig;
             let num = (lp - lm) / (2.0 * h);
-            assert!((num - gb[i]).abs() < 1e-5);
+            assert!((num - g).abs() < 1e-5);
         }
         // input grads
         let mut x2 = x.clone();

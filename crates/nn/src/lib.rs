@@ -16,9 +16,13 @@
 //! * [`threshold`] — per-polar-bin output thresholds;
 //! * [`search`] — random hyperparameter search (WandB-sweep stand-in);
 //! * [`quant`] — BN folding, INT8 affine quantization, QAT, and the
-//!   bit-exact integer kernel shared with the FPGA dataflow model.
+//!   bit-exact integer kernel shared with the FPGA dataflow model;
+//! * [`compiled`] — BN-folded, flat-buffer inference plans with a
+//!   reusable scratch arena: the allocation-free hot path the localizer
+//!   runs per iteration.
 
 pub mod adam;
+pub mod compiled;
 pub mod data;
 pub mod importance;
 pub mod layers;
@@ -34,14 +38,15 @@ pub mod threshold;
 pub mod train;
 
 pub use adam::{Adam, LrSchedule};
+pub use compiled::{CompiledMlp, InferenceScratch};
 pub use data::{three_way_split, Dataset, Standardizer};
 pub use importance::{format_importances, permutation_importance, FeatureImportance};
 pub use layers::{sigmoid, BatchNorm1d, Linear, Relu};
 pub use loss::{accuracy, bce_with_logits, mse};
+pub use metrics::{auc, calibration_bins, expected_calibration_error, roc_curve, Confusion};
 pub use mlp::{BlockOrder, Layer, Mlp};
 pub use models::{background_network, d_eta_network, INPUT_NO_POLAR, INPUT_WITH_POLAR};
 pub use optimizer::Sgd;
-pub use metrics::{auc, calibration_bins, expected_calibration_error, roc_curve, Confusion};
 pub use quant::{
     fold_batchnorm, qat_finetune, QuantParams, QuantScheme, QuantizedLayer, QuantizedMlp,
     WeightBits,

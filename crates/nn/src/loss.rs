@@ -120,8 +120,7 @@ mod tests {
             lp.set(i, 0, lp.get(i, 0) + h);
             let mut lm = logits.clone();
             lm.set(i, 0, lm.get(i, 0) - h);
-            let num = (bce_with_logits(&lp, &targets).loss
-                - bce_with_logits(&lm, &targets).loss)
+            let num = (bce_with_logits(&lp, &targets).loss - bce_with_logits(&lm, &targets).loss)
                 / (2.0 * h);
             assert!((num - v.grad.get(i, 0)).abs() < 1e-6);
         }

@@ -221,7 +221,9 @@ mod tests {
         let probs = [0.9, 0.7, 0.6, 0.55, 0.3, 0.2];
         let labels = [1.0, 0.0, 1.0, 0.0, 1.0, 0.0];
         let curve = roc_curve(&probs, &labels);
-        assert!(curve.windows(2).all(|w| w[1].0 >= w[0].0 && w[1].1 >= w[0].1));
+        assert!(curve
+            .windows(2)
+            .all(|w| w[1].0 >= w[0].0 && w[1].1 >= w[0].1));
         assert_eq!(curve.first(), Some(&(0.0, 0.0)));
         assert_eq!(curve.last(), Some(&(1.0, 1.0)));
     }

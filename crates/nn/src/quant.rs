@@ -77,13 +77,13 @@ pub fn fold_batchnorm(linear: &Linear, bn: &BatchNorm1d) -> Linear {
     assert_eq!(linear.out_dim(), bn.dim(), "fold shape mismatch");
     let mut weight = linear.weight.clone();
     let mut bias = linear.bias.clone();
-    for o in 0..linear.out_dim() {
+    for (o, b) in bias.iter_mut().enumerate() {
         let inv_std = 1.0 / (bn.running_var[o] + bn.eps).sqrt();
         let g = bn.gamma[o] * inv_std;
         for v in weight.row_mut(o) {
             *v *= g;
         }
-        bias[o] = g * (bias[o] - bn.running_mean[o]) + bn.beta[o];
+        *b = g * (*b - bn.running_mean[o]) + bn.beta[o];
     }
     Linear::from_parts(weight, bias)
 }
@@ -105,14 +105,14 @@ pub fn fold_input_batchnorm(bn: &BatchNorm1d, linear: &Linear) -> Linear {
         scale[i] = bn.gamma[i] * inv_std;
         shift[i] = bn.beta[i] - bn.running_mean[i] * scale[i];
     }
-    for o in 0..linear.out_dim() {
+    for (o, b) in bias.iter_mut().enumerate() {
         let row = weight.row_mut(o);
         let mut extra = 0.0;
         for i in 0..d {
             extra += row[i] * shift[i];
             row[i] *= scale[i];
         }
-        bias[o] += extra;
+        *b += extra;
     }
     Linear::from_parts(weight, bias)
 }
@@ -386,17 +386,16 @@ impl QuantizedMlp {
                     .max(1e-12)
             };
             let weight_scales: Vec<f64> = match scheme {
-                QuantScheme::PerChannel => {
-                    (0..lin.out_dim()).map(|o| row_max(o) / qmax as f64).collect()
-                }
+                QuantScheme::PerChannel => (0..lin.out_dim())
+                    .map(|o| row_max(o) / qmax as f64)
+                    .collect(),
                 QuantScheme::PerTensor => {
                     let max_abs = (0..lin.out_dim()).map(row_max).fold(0.0f64, f64::max);
                     vec![max_abs / qmax as f64; lin.out_dim()]
                 }
             };
             let mut weight_q = Vec::with_capacity(lin.out_dim() * lin.in_dim());
-            for o in 0..lin.out_dim() {
-                let s = weight_scales[o];
+            for (o, &s) in weight_scales.iter().enumerate() {
                 for &w in lin.weight.row(o) {
                     weight_q.push(((w / s).round() as i32).clamp(-qmax, qmax) as i8);
                 }
@@ -623,7 +622,11 @@ mod tests {
         for (lin, relu) in &fused {
             cur = apply_float(lin, *relu, &cur);
         }
-        assert!((cur[0] - want).abs() < 1e-9, "folded {} vs model {want}", cur[0]);
+        assert!(
+            (cur[0] - want).abs() < 1e-9,
+            "folded {} vs model {want}",
+            cur[0]
+        );
     }
 
     #[test]
@@ -745,8 +748,10 @@ mod tests {
         for _ in 0..20 {
             model.forward(&calib, true);
         }
-        let pt = QuantizedMlp::quantize_with(&model, &calib, QuantScheme::PerTensor, WeightBits::Int8);
-        let pc = QuantizedMlp::quantize_with(&model, &calib, QuantScheme::PerChannel, WeightBits::Int8);
+        let pt =
+            QuantizedMlp::quantize_with(&model, &calib, QuantScheme::PerTensor, WeightBits::Int8);
+        let pc =
+            QuantizedMlp::quantize_with(&model, &calib, QuantScheme::PerChannel, WeightBits::Int8);
         let float_out = model.forward(&calib, false);
         let err = |q: &QuantizedMlp| {
             (0..64)
@@ -755,7 +760,10 @@ mod tests {
         };
         let e_pt = err(&pt);
         let e_pc = err(&pc);
-        assert!(e_pc <= e_pt * 1.25, "per-channel {e_pc} vs per-tensor {e_pt}");
+        assert!(
+            e_pc <= e_pt * 1.25,
+            "per-channel {e_pc} vs per-tensor {e_pt}"
+        );
     }
 
     #[test]
@@ -764,11 +772,13 @@ mod tests {
         let mut model = Mlp::new(8, &[16], BlockOrder::LinearFirst, &mut r);
         let calib = Matrix::he_uniform(128, 8, &mut r);
         model.forward(&calib, true);
-        let q4 = QuantizedMlp::quantize_with(&model, &calib, QuantScheme::PerChannel, WeightBits::Int4);
+        let q4 =
+            QuantizedMlp::quantize_with(&model, &calib, QuantScheme::PerChannel, WeightBits::Int4);
         for l in &q4.layers {
             assert!(l.weight_q.iter().all(|&w| (-7..=7).contains(&w)));
         }
-        let q8 = QuantizedMlp::quantize_with(&model, &calib, QuantScheme::PerChannel, WeightBits::Int8);
+        let q8 =
+            QuantizedMlp::quantize_with(&model, &calib, QuantScheme::PerChannel, WeightBits::Int8);
         assert!(q4.model_bytes() < q8.model_bytes());
         // int4 still roughly tracks the float model
         let float_out = model.forward(&calib, false);
@@ -778,7 +788,10 @@ mod tests {
             worst = worst.max((q4.forward_one(calib.row(i)) - float_out.get(i, 0)).abs());
             scale = scale.max(float_out.get(i, 0).abs());
         }
-        assert!(worst < 0.35 * scale.max(1.0) + 0.1, "int4 deviation {worst}");
+        assert!(
+            worst < 0.35 * scale.max(1.0) + 0.1,
+            "int4 deviation {worst}"
+        );
     }
 
     #[test]
@@ -811,7 +824,11 @@ mod tests {
         let mut correct = 0;
         for i in 0..ds.len() {
             let logit = q.forward_one(ds.x.row(i));
-            let pred = if crate::layers::sigmoid(logit) >= 0.5 { 1.0 } else { 0.0 };
+            let pred = if crate::layers::sigmoid(logit) >= 0.5 {
+                1.0
+            } else {
+                0.0
+            };
             if (pred - ds.y[i]).abs() < 0.5 {
                 correct += 1;
             }

@@ -189,12 +189,16 @@ mod tests {
             &mut r,
         );
         assert_eq!(result.trials.len(), 4);
-        assert!(result
-            .trials
-            .windows(2)
-            .all(|w| w[0].1 <= w[1].1), "sorted by val loss");
+        assert!(
+            result.trials.windows(2).all(|w| w[0].1 <= w[1].1),
+            "sorted by val loss"
+        );
         // winner should do clearly better than chance on this easy task
-        assert!(result.trials[0].1 < 0.6, "best val loss {}", result.trials[0].1);
+        assert!(
+            result.trials[0].1 < 0.6,
+            "best val loss {}",
+            result.trials[0].1
+        );
         let mut model = result.best_model;
         let out = model.forward(&val_set.x, false);
         let acc = crate::loss::accuracy(&out, &val_set.y, 0.5);

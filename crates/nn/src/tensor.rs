@@ -11,10 +11,21 @@ use serde::{Deserialize, Serialize};
 
 /// Minimum number of scalar multiply-accumulates before a matmul goes
 /// parallel. Below this, rayon overhead dominates.
-const PAR_FLOP_THRESHOLD: usize = 64 * 1024;
+///
+/// Re-measured with `cargo bench --bench inference_plan` era kernels
+/// (Xeon @ 2.7 GHz): the scalar kernel sustains ~0.7 ns/MAC and the
+/// vendored rayon pays ~23 us of thread spawn+join per extra worker on
+/// every call (it has no persistent pool). Splitting across two workers
+/// saves half the sequential time, so the break-even batch is
+/// ~2 * 23 us / 0.7 ns = ~64k MACs — the old threshold forked exactly at
+/// break-even and won nothing. 256k MACs (~180 us sequential) keeps a
+/// ~4x margin over the fork cost; on a single-core host rayon runs
+/// inline and the threshold is moot.
+const PAR_FLOP_THRESHOLD: usize = 256 * 1024;
 
-/// A dense row-major matrix.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// A dense row-major matrix. The `Default` is the empty `0 × 0` matrix
+/// (a staging buffer before its first `resize`).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -46,7 +57,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// He-uniform initialization for a weight matrix with `cols` fan-in.
@@ -104,6 +119,17 @@ impl Matrix {
     #[inline]
     pub fn as_mut_slice(&mut self) -> &mut [f64] {
         &mut self.data
+    }
+
+    /// Reshape in place to `rows × cols`, keeping the backing buffer's
+    /// capacity: a matrix that has held its largest batch is reshaped to
+    /// any smaller batch without touching the allocator (the staging
+    /// buffer contract of the inference hot loop). Contents after a
+    /// resize are unspecified — callers overwrite every row.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
     }
 
     /// `self · rhsᵀ` where `rhs` is `[n × cols]`: the shape used by a

@@ -47,7 +47,7 @@ impl ThresholdTable {
         let mut table = vec![0.5; N_POLAR_BINS];
         // candidate grid: fine enough to matter, coarse enough to be fast
         let candidates: Vec<f64> = (1..100).map(|i| i as f64 / 100.0).collect();
-        for bin in 0..N_POLAR_BINS {
+        for (bin, slot) in table.iter_mut().enumerate() {
             let idx: Vec<usize> = (0..probs.len())
                 .filter(|&i| polar_bin(polar_deg[i], N_POLAR_BINS) == bin)
                 .collect();
@@ -69,7 +69,7 @@ impl ThresholdTable {
                     best_t = t;
                 }
             }
-            table[bin] = best_t;
+            *slot = best_t;
         }
         ThresholdTable { thresholds: table }
     }
@@ -104,11 +104,19 @@ mod tests {
         for i in 0..200 {
             let frac = i as f64 / 200.0;
             // bin 0
-            probs.push(if i % 2 == 0 { 0.9 - 0.05 * frac } else { 0.2 + 0.1 * frac });
+            probs.push(if i % 2 == 0 {
+                0.9 - 0.05 * frac
+            } else {
+                0.2 + 0.1 * frac
+            });
             labels.push(if i % 2 == 0 { 1.0 } else { 0.0 });
             polar.push(5.0);
             // bin 4
-            probs.push(if i % 2 == 0 { 0.45 + 0.1 * frac } else { 0.05 + 0.1 * frac });
+            probs.push(if i % 2 == 0 {
+                0.45 + 0.1 * frac
+            } else {
+                0.05 + 0.1 * frac
+            });
             labels.push(if i % 2 == 0 { 1.0 } else { 0.0 });
             polar.push(45.0);
         }
@@ -116,8 +124,8 @@ mod tests {
         let t0 = table.threshold_for(5.0);
         let t4 = table.threshold_for(45.0);
         // thresholds land between the clusters of each bin
-        assert!(t0 >= 0.30 && t0 <= 0.86, "bin0 threshold {t0}");
-        assert!(t4 >= 0.15 && t4 <= 0.45, "bin4 threshold {t4}");
+        assert!((0.30..=0.86).contains(&t0), "bin0 threshold {t0}");
+        assert!((0.15..=0.45).contains(&t4), "bin4 threshold {t4}");
         // perfect separation in both bins
         for i in 0..probs.len() {
             let want_bkg = labels[i] > 0.5;

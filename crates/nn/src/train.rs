@@ -201,7 +201,11 @@ mod tests {
             objective: Objective::BinaryCrossEntropy,
         };
         let report = train(&mut model, &train_set, &val_set, &config, &mut rng);
-        assert!(report.best_val_loss < 0.2, "val loss {}", report.best_val_loss);
+        assert!(
+            report.best_val_loss < 0.2,
+            "val loss {}",
+            report.best_val_loss
+        );
         // accuracy on fresh data
         let test = blobs(200, 3);
         let out = model.forward(&test.x, false);
@@ -246,7 +250,11 @@ mod tests {
         let mut train_set = blobs(200, 6);
         let mut r2 = ChaCha8Rng::seed_from_u64(7);
         for y in train_set.y.iter_mut() {
-            *y = if r2.gen_range(0.0..1.0) > 0.5 { 1.0 } else { 0.0 };
+            *y = if r2.gen_range(0.0..1.0) > 0.5 {
+                1.0
+            } else {
+                0.0
+            };
         }
         let val_set = blobs(50, 8);
         let mut model = Mlp::new(2, &[4], BlockOrder::BatchNormFirst, &mut rng);

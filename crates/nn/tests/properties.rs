@@ -2,8 +2,8 @@
 
 use adapt_nn::mlp::BlockOrder;
 use adapt_nn::{
-    auc, bce_with_logits, mse, Matrix, Mlp, QuantParams, QuantScheme, QuantizedMlp, Sgd,
-    WeightBits,
+    auc, bce_with_logits, mse, CompiledMlp, InferenceScratch, Matrix, Mlp, QuantParams,
+    QuantScheme, QuantizedMlp, Sgd, WeightBits,
 };
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -126,6 +126,38 @@ proptest! {
         let after = bce_with_logits(&model.forward(&x, true), &y);
         prop_assert!(after.loss <= before.loss + 1e-6,
             "loss rose from {} to {}", before.loss, after.loss);
+    }
+
+    #[test]
+    fn compiled_plan_matches_mlp_predict(
+        seed in 0u64..200,
+        input_dim in 1usize..16,
+        w1 in 1usize..24,
+        w2 in 1usize..16,
+        batch in 1usize..40,
+        order_bn_first in proptest::bool::ANY,
+    ) {
+        // BatchNorm folding + the register-tiled kernel must reproduce
+        // the layer-walking forward pass to float precision on arbitrary
+        // shapes, batch sizes, and both block orders.
+        let order = if order_bn_first {
+            BlockOrder::BatchNormFirst
+        } else {
+            BlockOrder::LinearFirst
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut model = Mlp::new(input_dim, &[w1, w2], order, &mut rng);
+        let calib = Matrix::he_uniform(32.max(batch), input_dim, &mut rng);
+        model.forward(&calib, true); // non-trivial BN running statistics
+        let plan = CompiledMlp::compile(&model);
+        let x = Matrix::he_uniform(batch, input_dim, &mut rng);
+        let reference = model.predict(&x);
+        let mut scratch = InferenceScratch::new();
+        let compiled = plan.forward_batch(&x, &mut scratch);
+        prop_assert_eq!(compiled.len(), batch);
+        for (c, r) in compiled.iter().zip(reference.as_slice()) {
+            prop_assert!((c - r).abs() < 1e-9, "compiled {c} vs predict {r}");
+        }
     }
 
     #[test]

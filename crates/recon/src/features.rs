@@ -97,7 +97,18 @@ impl RingFeatures {
     pub fn to_model_input(&self, polar_angle_deg: f64) -> [f64; N_FEATURES_WITH_POLAR] {
         let s = self.to_static_array();
         [
-            s[0], s[1], s[2], s[3], s[4], s[5], s[6], s[7], s[8], s[9], s[10], s[11],
+            s[0],
+            s[1],
+            s[2],
+            s[3],
+            s[4],
+            s[5],
+            s[6],
+            s[7],
+            s[8],
+            s[9],
+            s[10],
+            s[11],
             polar_angle_deg,
         ]
     }

@@ -260,8 +260,10 @@ mod tests {
 
     #[test]
     fn energy_window_rejects() {
-        let mut cfg = ReconConfig::default();
-        cfg.min_total_energy = 100.0; // absurd: everything fails
+        let cfg = ReconConfig {
+            min_total_energy: 100.0, // absurd: everything fails
+            ..Default::default()
+        };
         let sim = BurstSimulation::with_defaults(GrbConfig::new(1.0, 0.0));
         let data = sim.simulate(9);
         let rings = Reconstructor::new(cfg).reconstruct_all(&data.events);

@@ -328,6 +328,9 @@ mod tests {
                 }
             }
         }
-        assert!(correct > n * 7 / 10, "only {correct}/{n} sequenced correctly");
+        assert!(
+            correct > n * 7 / 10,
+            "only {correct}/{n} sequenced correctly"
+        );
     }
 }

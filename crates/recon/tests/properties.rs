@@ -40,7 +40,7 @@ proptest! {
         e0 in 0.4f64..5.0,
         theta1 in 15.0f64..120.0,
         theta2 in 15.0f64..120.0,
-        phi in 0.0f64..6.28,
+        phi in 0.0f64..6.2,
         perm in 0usize..6,
     ) {
         let hits = exact_chain(e0, theta1, theta2, phi);

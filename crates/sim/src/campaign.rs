@@ -229,12 +229,7 @@ mod tests {
         let b = sim.simulate(2);
         // event counts are Poisson: overwhelmingly likely to differ in
         // content; compare a robust digest
-        let digest = |d: &BurstData| {
-            d.events
-                .iter()
-                .map(|e| e.total_energy())
-                .sum::<f64>()
-        };
+        let digest = |d: &BurstData| d.events.iter().map(|e| e.total_energy()).sum::<f64>();
         assert_ne!(digest(&a), digest(&b));
     }
 

@@ -201,7 +201,10 @@ mod tests {
     fn default_detector_has_four_layers() {
         let d = DetectorConfig::default();
         assert_eq!(d.n_layers(), 4);
-        assert!(d.layer_centers_z.windows(2).all(|w| w[0] > w[1]), "top first");
+        assert!(
+            d.layer_centers_z.windows(2).all(|w| w[0] > w[1]),
+            "top first"
+        );
     }
 
     #[test]

@@ -106,7 +106,11 @@ impl FlightProfile {
     /// `BackgroundConfig::particle_fluence` by this.
     pub fn background_multiplier_at(&self, t_h: f64) -> f64 {
         let here = background_scale_at_depth(depth_at_altitude(self.altitude_at(t_h)));
-        let float_alt = self.phases.last().map(|p| p.end_altitude_km).unwrap_or(38.0);
+        let float_alt = self
+            .phases
+            .last()
+            .map(|p| p.end_altitude_km)
+            .unwrap_or(38.0);
         let at_float = background_scale_at_depth(depth_at_altitude(float_alt));
         here / at_float
     }

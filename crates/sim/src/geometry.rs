@@ -39,7 +39,10 @@ impl MaterialSegment {
 impl DetectorGeometry {
     /// Build from a detector configuration.
     pub fn new(config: &DetectorConfig) -> Self {
-        assert!(!config.layer_centers_z.is_empty(), "need at least one layer");
+        assert!(
+            !config.layer_centers_z.is_empty(),
+            "need at least one layer"
+        );
         let half_thickness = config.layer_thickness / 2.0;
         let z_top = config
             .layer_centers_z
@@ -252,7 +255,12 @@ mod tests {
         let g = geom();
         let mut segs = Vec::new();
         let origin = Vec3::new(0.0, 0.0, 6.0); // center of top layer
-        g.material_segments(origin, UnitVec3::from_spherical(std::f64::consts::PI, 0.0), 0.0, &mut segs);
+        g.material_segments(
+            origin,
+            UnitVec3::from_spherical(std::f64::consts::PI, 0.0),
+            0.0,
+            &mut segs,
+        );
         // starting inside layer 0: first segment starts at t=0 (clamped)
         assert_eq!(segs[0].layer, 0);
         assert!((segs[0].t_enter - 0.0).abs() < 1e-12);

@@ -46,9 +46,7 @@ pub mod time;
 pub mod transport;
 
 pub use campaign::{BurstData, BurstSimulation};
-pub use config::{
-    BackgroundConfig, DetectorConfig, GrbConfig, GrbSpectrum, PerturbationConfig,
-};
+pub use config::{BackgroundConfig, DetectorConfig, GrbConfig, GrbSpectrum, PerturbationConfig};
 pub use event::{Event, InteractionKind, MeasuredHit, ParticleOrigin, TrueEvent, TrueHit};
 pub use flight::{FlightPhase, FlightProfile};
 pub use geometry::DetectorGeometry;

@@ -259,7 +259,11 @@ mod tests {
             }
         }
         // at 5 MeV the KN distribution is strongly forward peaked
-        assert!(fwd as f64 / n as f64 > 0.6, "fwd fraction {}", fwd as f64 / n as f64);
+        assert!(
+            fwd as f64 / n as f64 > 0.6,
+            "fwd fraction {}",
+            fwd as f64 / n as f64
+        );
     }
 
     #[test]

@@ -71,40 +71,41 @@ pub fn apply_pileup(mut events: Vec<Event>, config: &PileupConfig) -> (Vec<Event
     let mut merged_groups = 0usize;
     let mut largest_group = if events.is_empty() { 0 } else { 1 };
     let mut group: Vec<Event> = Vec::new();
-    let flush = |group: &mut Vec<Event>, out: &mut Vec<Event>, merged: &mut usize, largest: &mut usize| {
-        if group.is_empty() {
-            return;
-        }
-        *largest = (*largest).max(group.len());
-        if group.len() == 1 {
-            out.push(group.pop().unwrap());
-            return;
-        }
-        *merged += 1;
-        // highest-energy constituent donates the truth record
-        let lead = group
-            .iter()
-            .enumerate()
-            .max_by(|(_, a), (_, b)| {
-                a.total_energy()
-                    .partial_cmp(&b.total_energy())
-                    .expect("non-finite energy")
-            })
-            .map(|(i, _)| i)
-            .unwrap();
-        let mut truth = group[lead].truth.clone();
-        truth.true_eta = None;
-        let arrival_time = group[0].arrival_time;
-        let mut hits = Vec::new();
-        for ev in group.drain(..) {
-            hits.extend(ev.hits);
-        }
-        out.push(Event {
-            hits,
-            truth,
-            arrival_time,
-        });
-    };
+    let flush =
+        |group: &mut Vec<Event>, out: &mut Vec<Event>, merged: &mut usize, largest: &mut usize| {
+            if group.is_empty() {
+                return;
+            }
+            *largest = (*largest).max(group.len());
+            if group.len() == 1 {
+                out.push(group.pop().unwrap());
+                return;
+            }
+            *merged += 1;
+            // highest-energy constituent donates the truth record
+            let lead = group
+                .iter()
+                .enumerate()
+                .max_by(|(_, a), (_, b)| {
+                    a.total_energy()
+                        .partial_cmp(&b.total_energy())
+                        .expect("non-finite energy")
+                })
+                .map(|(i, _)| i)
+                .unwrap();
+            let mut truth = group[lead].truth.clone();
+            truth.true_eta = None;
+            let arrival_time = group[0].arrival_time;
+            let mut hits = Vec::new();
+            for ev in group.drain(..) {
+                hits.extend(ev.hits);
+            }
+            out.push(Event {
+                hits,
+                truth,
+                arrival_time,
+            });
+        };
 
     for ev in events {
         match group.last() {
@@ -212,6 +213,8 @@ mod tests {
     fn output_sorted_by_time() {
         let events = vec![event_at(0.9, 0.1), event_at(0.1, 0.2), event_at(0.5, 0.3)];
         let (out, _) = apply_pileup(events, &PileupConfig::default());
-        assert!(out.windows(2).all(|w| w[0].arrival_time <= w[1].arrival_time));
+        assert!(out
+            .windows(2)
+            .all(|w| w[0].arrival_time <= w[1].arrival_time));
     }
 }

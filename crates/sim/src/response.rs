@@ -211,7 +211,7 @@ mod tests {
         let resp = DetectorResponse::new(DetectorConfig::default());
         let mut r = rng();
         let ev = resp
-            .measure(&mut r, &truth_with(vec![hit_at(1.07, -3.14, 0, 0.5)]))
+            .measure(&mut r, &truth_with(vec![hit_at(1.07, -3.1, 0, 0.5)]))
             .unwrap();
         let h = &ev.hits[0];
         let pitch = 0.3;

@@ -287,7 +287,7 @@ mod tests {
         for _ in 0..500 {
             let (dir, e) = b.sample(&mut r);
             assert!(dir.as_vec().z <= 1e-12, "background origin below horizon");
-            assert!(e >= 0.030 && e <= 10.0);
+            assert!((0.030..=10.0).contains(&e));
         }
     }
 }

@@ -11,8 +11,8 @@ use crate::geometry::{DetectorGeometry, MaterialSegment};
 use crate::physics::{sample_compton, Material, PAIR_THRESHOLD_MEV};
 use adapt_math::rotation::deflect;
 use adapt_math::sampling::{exponential, isotropic_direction};
-use adapt_math::ELECTRON_REST_MEV;
 use adapt_math::vec3::{UnitVec3, Vec3};
+use adapt_math::ELECTRON_REST_MEV;
 use rand::Rng;
 
 /// Upper bound on interactions per photon — physical histories end long
@@ -78,7 +78,8 @@ impl Transport {
                 let free_path = exponential(rng, att.mean_free_path());
                 // Walk material segments along the current ray until the
                 // free path is consumed or the stack is exited.
-                self.geometry.material_segments(pos, dir, 1e-9, &mut segments);
+                self.geometry
+                    .material_segments(pos, dir, 1e-9, &mut segments);
                 let mut remaining = free_path;
                 let mut interaction: Option<(Vec3, usize)> = None;
                 for seg in &segments {
@@ -172,11 +173,7 @@ impl Transport {
     /// Pick a uniformly random entry point on the aiming disc perpendicular
     /// to `travel_dir`, positioned outside the detector so the ray sweeps
     /// the full stack.
-    pub fn sample_entry_point<R: Rng + ?Sized>(
-        &self,
-        rng: &mut R,
-        travel_dir: UnitVec3,
-    ) -> Vec3 {
+    pub fn sample_entry_point<R: Rng + ?Sized>(&self, rng: &mut R, travel_dir: UnitVec3) -> Vec3 {
         let radius = self.geometry.bounding_radius();
         let (u, v) = travel_dir.orthonormal_basis();
         // uniform on disc
@@ -216,8 +213,14 @@ mod tests {
         let mut n_events = 0;
         for _ in 0..2000 {
             let entry = t.sample_entry_point(&mut r, down);
-            if let Some(ev) = t.trace(&mut r, entry, down, 1.0, ParticleOrigin::Grb, UnitVec3::PLUS_Z)
-            {
+            if let Some(ev) = t.trace(
+                &mut r,
+                entry,
+                down,
+                1.0,
+                ParticleOrigin::Grb,
+                UnitVec3::PLUS_Z,
+            ) {
                 n_events += 1;
                 let dep = ev.deposited_energy();
                 assert!(dep > 0.0 && dep <= 1.0 + 1e-9, "deposited {dep}");
@@ -242,9 +245,14 @@ mod tests {
         let mut checked = 0;
         for _ in 0..4000 {
             let entry = t.sample_entry_point(&mut r, down);
-            let Some(ev) =
-                t.trace(&mut r, entry, down, 0.8, ParticleOrigin::Grb, UnitVec3::PLUS_Z)
-            else {
+            let Some(ev) = t.trace(
+                &mut r,
+                entry,
+                down,
+                0.8,
+                ParticleOrigin::Grb,
+                UnitVec3::PLUS_Z,
+            ) else {
                 continue;
             };
             if ev.hits.len() < 2 {
@@ -293,9 +301,14 @@ mod tests {
         let mut multi = 0;
         for _ in 0..1500 {
             let entry = t.sample_entry_point(&mut r, down);
-            if let Some(ev) =
-                t.trace(&mut r, entry, down, 0.05, ParticleOrigin::Grb, UnitVec3::PLUS_Z)
-            {
+            if let Some(ev) = t.trace(
+                &mut r,
+                entry,
+                down,
+                0.05,
+                ParticleOrigin::Grb,
+                UnitVec3::PLUS_Z,
+            ) {
                 if ev.hits.len() == 1 {
                     single += 1;
                 } else {
@@ -315,9 +328,14 @@ mod tests {
         let mut total = 0;
         for _ in 0..3000 {
             let entry = t.sample_entry_point(&mut r, down);
-            if let Some(ev) =
-                t.trace(&mut r, entry, down, 8.0, ParticleOrigin::Grb, UnitVec3::PLUS_Z)
-            {
+            if let Some(ev) = t.trace(
+                &mut r,
+                entry,
+                down,
+                8.0,
+                ParticleOrigin::Grb,
+                UnitVec3::PLUS_Z,
+            ) {
                 total += 1;
                 if ev
                     .hits
@@ -348,9 +366,14 @@ mod tests {
         let down = UnitVec3::PLUS_Z.flipped();
         for _ in 0..800 {
             let entry = t.sample_entry_point(&mut r, down);
-            if let Some(ev) =
-                t.trace(&mut r, entry, down, 0.9, ParticleOrigin::Grb, UnitVec3::PLUS_Z)
-            {
+            if let Some(ev) = t.trace(
+                &mut r,
+                entry,
+                down,
+                0.9,
+                ParticleOrigin::Grb,
+                UnitVec3::PLUS_Z,
+            ) {
                 assert!(ev
                     .hits
                     .iter()
@@ -379,9 +402,14 @@ mod tests {
             let mut total = 0.0;
             for _ in 0..200 {
                 let entry = t.sample_entry_point(&mut r, down);
-                if let Some(ev) =
-                    t.trace(&mut r, entry, down, 1.0, ParticleOrigin::Grb, UnitVec3::PLUS_Z)
-                {
+                if let Some(ev) = t.trace(
+                    &mut r,
+                    entry,
+                    down,
+                    1.0,
+                    ParticleOrigin::Grb,
+                    UnitVec3::PLUS_Z,
+                ) {
                     total += ev.deposited_energy();
                 }
             }

@@ -60,7 +60,8 @@ fn main() {
         }
         // the alert a real mission would downlink includes an on-board
         // error estimate alongside the direction
-        let (rings, _) = pipeline.simulate_rings(&grb, PerturbationConfig::default(), 1000 + i as u64);
+        let (rings, _) =
+            pipeline.simulate_rings(&grb, PerturbationConfig::default(), 1000 + i as u64);
         let source = adapt_sim::GrbSource::new(&grb).direction;
         let onboard_sigma = estimate_uncertainty(&rings, source, 3.0)
             .map(|u| u.sigma_circular_deg())

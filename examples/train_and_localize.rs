@@ -16,7 +16,10 @@ fn main() {
     // --- campaign ---
     println!("simulating the training campaign...");
     let rings = generate_training_rings(&config, 11);
-    let n_bkg = rings.iter().filter(|r| r.ring.is_background_truth()).count();
+    let n_bkg = rings
+        .iter()
+        .filter(|r| r.ring.is_background_truth())
+        .count();
     println!(
         "  {} reconstructed rings ({} GRB / {} background)",
         rings.len(),
@@ -33,7 +36,11 @@ fn main() {
         bkg_data.dim(),
         bkg_data.positive_fraction()
     );
-    println!("  dEta dataset: {} x {} (GRB rings only)", deta_data.len(), deta_data.dim());
+    println!(
+        "  dEta dataset: {} x {} (GRB rings only)",
+        deta_data.len(),
+        deta_data.dim()
+    );
 
     // --- training ---
     println!("training (paper hyperparameters, scaled epochs)...");
@@ -58,7 +65,12 @@ fn main() {
     let pipeline = Pipeline::new(&models);
     for angle in [0.0, 30.0, 60.0] {
         let grb = GrbConfig::new(1.5, angle);
-        let base = pipeline.run_trial(PipelineMode::Baseline, &grb, PerturbationConfig::default(), 101);
+        let base = pipeline.run_trial(
+            PipelineMode::Baseline,
+            &grb,
+            PerturbationConfig::default(),
+            101,
+        );
         let ml = pipeline.run_trial(PipelineMode::Ml, &grb, PerturbationConfig::default(), 101);
         println!(
             "  polar {:>2.0} deg: baseline {:>6.2} deg, ML {:>6.2} deg ({} -> {} rings)",
@@ -74,7 +86,11 @@ fn main() {
     );
     let grb_rings = sample
         .iter()
-        .filter(|r| r.truth.map(|t| t.origin == ParticleOrigin::Grb).unwrap_or(false))
+        .filter(|r| {
+            r.truth
+                .map(|t| t.origin == ParticleOrigin::Grb)
+                .unwrap_or(false)
+        })
         .count();
     println!(
         "\na flight-like 1 MeV/cm^2 burst window: {} rings ({} GRB / {} background)",

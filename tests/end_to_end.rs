@@ -137,7 +137,8 @@ fn quantized_classifier_agrees_with_fp32_most_of_the_time() {
 fn fpga_kernel_bit_exact_on_real_rings() {
     let m = models();
     let pipeline = Pipeline::new(m);
-    let (rings, _) = pipeline.simulate_rings(&Grb::new(1.0, 0.0), PerturbationConfig::default(), 13);
+    let (rings, _) =
+        pipeline.simulate_rings(&Grb::new(1.0, 0.0), PerturbationConfig::default(), 13);
     let kernel = FpgaKernel::new(&m.quantized_background, &SynthesisConfig::default());
     let inputs: Vec<Vec<f64>> = rings
         .iter()
@@ -182,7 +183,10 @@ fn perturbation_degrades_gracefully() {
         &pipeline,
         PipelineMode::Ml,
         &grb,
-        PerturbationConfig { epsilon_percent: 0.0, dead_channel_fraction: 0.0 },
+        PerturbationConfig {
+            epsilon_percent: 0.0,
+            dead_channel_fraction: 0.0,
+        },
         spec,
         3,
     );

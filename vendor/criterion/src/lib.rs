@@ -1,0 +1,231 @@
+//! Minimal, self-contained stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of the criterion API its benches use:
+//! [`Criterion::bench_function`], [`Bencher::iter`]/[`iter_batched`],
+//! [`Criterion::benchmark_group`] with `sample_size`/`finish`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Methodology (simplified from upstream): each benchmark is calibrated
+//! by doubling iteration counts until a sample takes ≥ 5 ms, then
+//! `samples` timed samples run at a fixed iteration count and the
+//! median, min, and mean per-iteration times are reported. There is no
+//! outlier analysis or HTML report. `ADAPT_BENCH_SECS` scales the
+//! per-benchmark time budget (default 1 s).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` should treat its setup output. All variants
+/// behave identically here (setup always runs outside the timed span).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    PerIteration,
+    SmallInput,
+    LargeInput,
+}
+
+/// Timing accumulator handed to the benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `iters` back-to-back calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` only, re-running `setup` outside the clock.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Benchmark driver and result printer.
+pub struct Criterion {
+    measure_secs: f64,
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let measure_secs = std::env::var("ADAPT_BENCH_SECS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1.0);
+        Criterion {
+            measure_secs,
+            samples: 20,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.samples;
+        self.run(name, samples, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            parent: self,
+            name: name.to_string(),
+            samples: None,
+        }
+    }
+
+    fn run<F>(&mut self, name: &str, samples: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // calibration: find an iteration count whose sample is ≥ 5 ms
+        let mut iters: u64 = 1;
+        let per_iter;
+        loop {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            let t = b.elapsed.as_secs_f64();
+            if t >= 5e-3 || iters >= 1 << 30 {
+                per_iter = (t / iters as f64).max(1e-12);
+                break;
+            }
+            iters *= 2;
+        }
+        let budget_per_sample = self.measure_secs / samples as f64;
+        let iters = ((budget_per_sample / per_iter) as u64).clamp(1, 1 << 32);
+        let mut times: Vec<f64> = (0..samples)
+            .map(|_| {
+                let mut b = Bencher {
+                    iters,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut b);
+                b.elapsed.as_secs_f64() / iters as f64
+            })
+            .collect();
+        times.sort_by(|a, b| a.total_cmp(b));
+        let median = times[times.len() / 2];
+        let min = times[0];
+        let mean = times.iter().sum::<f64>() / times.len() as f64;
+        println!(
+            "{name:<44} median {:>12}  min {:>12}  mean {:>12}  ({samples} samples x {iters} iters)",
+            fmt_time(median),
+            fmt_time(min),
+            fmt_time(mean),
+        );
+    }
+}
+
+/// Sub-scope of benchmarks sharing a name prefix and sample override.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    samples: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = Some(n.max(2));
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{name}", self.name);
+        let samples = self.samples.unwrap_or(self.parent.samples);
+        self.parent.run(&full, samples, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs < 1e-6 {
+        format!("{:.2} ns", secs * 1e9)
+    } else if secs < 1e-3 {
+        format!("{:.2} µs", secs * 1e6)
+    } else if secs < 1.0 {
+        format!("{:.2} ms", secs * 1e3)
+    } else {
+        format!("{:.2} s", secs)
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` forwards harness flags like `--bench`;
+            // this runner has no options to parse.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_time_scales() {
+        assert!(fmt_time(3.2e-9).ends_with("ns"));
+        assert!(fmt_time(4.5e-6).ends_with("µs"));
+        // 7.8e-3 s = 7.8 ms; 7.8e-4 s is still in the µs decade
+        assert!(fmt_time(7.8e-4).ends_with("µs"));
+        assert!(fmt_time(7.8e-3).ends_with("ms"));
+        assert!(fmt_time(2.0).ends_with('s'));
+    }
+
+    #[test]
+    fn bench_runs_and_reports() {
+        std::env::set_var("ADAPT_BENCH_SECS", "0.02");
+        let mut c = Criterion::default();
+        let mut count = 0u64;
+        c.bench_function("noop", |b| b.iter(|| count += 1));
+        assert!(count > 0);
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_function("batched", |b| {
+            b.iter_batched(|| 21u64, |x| x * 2, BatchSize::PerIteration)
+        });
+        g.finish();
+    }
+}

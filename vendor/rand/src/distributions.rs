@@ -1,0 +1,160 @@
+//! The standard distribution and uniform range sampling.
+
+use crate::{Rng, RngCore};
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draw one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// The "natural" distribution of a type: uniform bits for integers,
+/// uniform `[0, 1)` for floats, fair coin for `bool`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Standard;
+
+/// Uniform `f64` in `[0, 1)` with 53 bits of precision.
+#[inline]
+pub fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        unit_f64(rng)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Distribution<u32> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Distribution<u64> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Distribution<usize> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+pub mod uniform {
+    //! Uniform sampling from ranges, mirroring `rand::distributions::uniform`.
+
+    use super::unit_f64;
+    use crate::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types that can be sampled uniformly from a range.
+    pub trait SampleUniform: PartialOrd + Copy {
+        /// Uniform draw from `[lo, hi)`.
+        fn sample_half_open<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+        /// Uniform draw from `[lo, hi]`.
+        fn sample_inclusive<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    }
+
+    /// Range shapes accepted by `Rng::gen_range`.
+    pub trait SampleRange<T: SampleUniform> {
+        /// Draw one sample from the range.
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+            assert!(self.start < self.end, "gen_range: empty range");
+            T::sample_half_open(self.start, self.end, rng)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+            let (lo, hi) = self.into_inner();
+            assert!(lo <= hi, "gen_range: empty inclusive range");
+            T::sample_inclusive(lo, hi, rng)
+        }
+    }
+
+    impl SampleUniform for f64 {
+        fn sample_half_open<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+            // scale-and-shift; clamp guards the open upper bound against
+            // round-up at the extreme of the unit draw
+            let v = lo + (hi - lo) * unit_f64(rng);
+            if v >= hi {
+                lo.max(hi - (hi - lo) * f64::EPSILON)
+            } else {
+                v
+            }
+        }
+        fn sample_inclusive<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+            lo + (hi - lo) * ((rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64))
+        }
+    }
+
+    impl SampleUniform for f32 {
+        fn sample_half_open<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+            let v = lo + (hi - lo) * (unit_f64(rng) as f32);
+            if v >= hi {
+                lo.max(hi - (hi - lo) * f32::EPSILON)
+            } else {
+                v
+            }
+        }
+        fn sample_inclusive<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+            lo + (hi - lo) * (unit_f64(rng) as f32)
+        }
+    }
+
+    /// Unbiased integer draw from `[0, span)` by rejection of the biased
+    /// tail (Lemire-style threshold).
+    #[inline]
+    fn uniform_u64_below<R: Rng + ?Sized>(span: u64, rng: &mut R) -> u64 {
+        debug_assert!(span > 0);
+        let zone = u64::MAX - u64::MAX.wrapping_rem(span);
+        loop {
+            let v = rng.next_u64();
+            if v < zone || zone == 0 {
+                return v % span;
+            }
+        }
+    }
+
+    macro_rules! impl_uniform_int {
+        ($($t:ty => $wide:ty),* $(,)?) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                    let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                    (lo as $wide).wrapping_add(uniform_u64_below(span, rng) as $wide) as $t
+                }
+                fn sample_inclusive<R: Rng + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                    let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    (lo as $wide).wrapping_add(uniform_u64_below(span + 1, rng) as $wide) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_uniform_int!(
+        u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+        i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+    );
+}

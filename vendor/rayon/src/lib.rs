@@ -1,0 +1,464 @@
+//! Minimal, self-contained stand-in for the `rayon` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of the rayon API it actually uses: `par_iter`,
+//! `into_par_iter` on integer ranges, `par_chunks`/`par_chunks_mut` with
+//! `zip(...).for_each(...)`, and the `map`/`filter_map`/`flat_map`/
+//! `enumerate`/`collect`/`for_each` adapters.
+//!
+//! Parallelism model: work splits into one contiguous part per available
+//! core and runs on short-lived `std::thread::scope` threads — there is
+//! no persistent pool and no work stealing. Per-call overhead is a few
+//! tens of microseconds (thread spawn + join), which is MUCH higher than
+//! real rayon's pool dispatch; callers gating parallelism on a work-size
+//! threshold (see `PAR_FLOP_THRESHOLD` in `crates/nn`) must calibrate
+//! against this implementation, not upstream rayon.
+//!
+//! Closures must be `Clone` (each part carries its own copy); every
+//! non-`move` closure over `Copy`/reference captures qualifies, which
+//! covers all call sites in this workspace.
+
+use std::ops::Range;
+
+pub mod prelude {
+    pub use super::{IntoParallelIterator, ParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+/// Number of worker parts to aim for: one per available core.
+fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run each part's sequential iterator on its own scoped thread,
+/// returning the per-part results in input order. Panics in a part
+/// propagate to the caller, matching rayon.
+fn run_parts<P>(parts: Vec<P>) -> Vec<Vec<P::Item>>
+where
+    P: IntoIterator + Send,
+    P::Item: Send,
+{
+    if parts.len() <= 1 {
+        return parts.into_iter().map(|p| p.into_iter().collect()).collect();
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|p| s.spawn(move || p.into_iter().collect::<Vec<_>>()))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    })
+}
+
+/// Balanced split of `len` items into at most `n` contiguous spans.
+fn spans(len: usize, n: usize) -> Vec<Range<usize>> {
+    let n = n.clamp(1, len.max(1));
+    let base = len / n;
+    let extra = len % n;
+    let mut out = Vec::with_capacity(n);
+    let mut start = 0;
+    for i in 0..n {
+        let sz = base + usize::from(i < extra);
+        out.push(start..start + sz);
+        start += sz;
+    }
+    out
+}
+
+/// Sink for `collect()`.
+pub trait FromParallelIterator<T> {
+    fn from_parts(parts: Vec<Vec<T>>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_parts(parts: Vec<Vec<T>>) -> Self {
+        let total = parts.iter().map(Vec::len).sum();
+        let mut out = Vec::with_capacity(total);
+        for p in parts {
+            out.extend(p);
+        }
+        out
+    }
+}
+
+/// A lazily-composed parallel computation. Terminal operations split the
+/// work into per-core sequential iterators and fan them out.
+pub trait ParallelIterator: Sized {
+    type Item: Send;
+    /// Per-part sequential iterator; parts are contiguous and in order.
+    type SeqPart: Iterator<Item = Self::Item> + Send;
+
+    /// Split into at most `n` in-order parts.
+    fn split_into(self, n: usize) -> Vec<Self::SeqPart>;
+
+    fn map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> U + Clone + Send,
+    {
+        Map { base: self, f }
+    }
+
+    fn filter_map<U, F>(self, f: F) -> FilterMap<Self, F>
+    where
+        U: Send,
+        F: Fn(Self::Item) -> Option<U> + Clone + Send,
+    {
+        FilterMap { base: self, f }
+    }
+
+    fn flat_map<U, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        U: IntoIterator,
+        U::Item: Send,
+        F: Fn(Self::Item) -> U + Clone + Send,
+    {
+        FlatMap { base: self, f }
+    }
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Clone + Send,
+    {
+        let parts = self.split_into(num_threads());
+        if parts.len() <= 1 {
+            for p in parts {
+                p.into_iter().for_each(&f);
+            }
+            return;
+        }
+        std::thread::scope(|s| {
+            let handles: Vec<_> = parts
+                .into_iter()
+                .map(|p| {
+                    let f = f.clone();
+                    s.spawn(move || p.into_iter().for_each(f))
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("parallel worker panicked");
+            }
+        });
+    }
+
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_parts(run_parts(self.split_into(num_threads())))
+    }
+}
+
+// ---------------------------------------------------------------------
+// adapters
+
+pub struct Map<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, U, F> ParallelIterator for Map<P, F>
+where
+    P: ParallelIterator,
+    U: Send,
+    F: Fn(P::Item) -> U + Clone + Send,
+{
+    type Item = U;
+    type SeqPart = std::iter::Map<P::SeqPart, F>;
+
+    fn split_into(self, n: usize) -> Vec<Self::SeqPart> {
+        let f = self.f;
+        self.base
+            .split_into(n)
+            .into_iter()
+            .map(|p| p.map(f.clone()))
+            .collect()
+    }
+}
+
+pub struct FilterMap<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, U, F> ParallelIterator for FilterMap<P, F>
+where
+    P: ParallelIterator,
+    U: Send,
+    F: Fn(P::Item) -> Option<U> + Clone + Send,
+{
+    type Item = U;
+    type SeqPart = std::iter::FilterMap<P::SeqPart, F>;
+
+    fn split_into(self, n: usize) -> Vec<Self::SeqPart> {
+        let f = self.f;
+        self.base
+            .split_into(n)
+            .into_iter()
+            .map(|p| p.filter_map(f.clone()))
+            .collect()
+    }
+}
+
+pub struct FlatMap<P, F> {
+    base: P,
+    f: F,
+}
+
+impl<P, U, F> ParallelIterator for FlatMap<P, F>
+where
+    P: ParallelIterator,
+    U: IntoIterator,
+    U::IntoIter: Send,
+    U::Item: Send,
+    F: Fn(P::Item) -> U + Clone + Send,
+{
+    type Item = U::Item;
+    type SeqPart = std::iter::FlatMap<P::SeqPart, U, F>;
+
+    fn split_into(self, n: usize) -> Vec<Self::SeqPart> {
+        let f = self.f;
+        self.base
+            .split_into(n)
+            .into_iter()
+            .map(|p| p.flat_map(f.clone()))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// base producers: ranges
+
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+pub struct ParRange<T> {
+    range: Range<T>,
+}
+
+macro_rules! impl_par_range {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+            type Iter = ParRange<$t>;
+            fn into_par_iter(self) -> ParRange<$t> {
+                ParRange { range: self }
+            }
+        }
+
+        impl ParallelIterator for ParRange<$t> {
+            type Item = $t;
+            type SeqPart = Range<$t>;
+
+            fn split_into(self, n: usize) -> Vec<Range<$t>> {
+                let lo = self.range.start;
+                let len = (self.range.end.saturating_sub(lo)) as usize;
+                spans(len, n)
+                    .into_iter()
+                    .map(|s| (lo + s.start as $t)..(lo + s.end as $t))
+                    .collect()
+            }
+        }
+    )*};
+}
+
+impl_par_range!(u32, u64, usize);
+
+// ---------------------------------------------------------------------
+// base producers: slices
+
+pub struct ParIter<'a, T> {
+    data: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Indexed pairs `(i, &item)` with globally consistent indices.
+    pub fn enumerate(self) -> ParEnumerate<'a, T> {
+        ParEnumerate { data: self.data }
+    }
+}
+
+impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+    type SeqPart = std::slice::Iter<'a, T>;
+
+    fn split_into(self, n: usize) -> Vec<Self::SeqPart> {
+        spans(self.data.len(), n)
+            .into_iter()
+            .map(|s| self.data[s].iter())
+            .collect()
+    }
+}
+
+pub struct ParEnumerate<'a, T> {
+    data: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParEnumerate<'a, T> {
+    type Item = (usize, &'a T);
+    type SeqPart = std::iter::Zip<Range<usize>, std::slice::Iter<'a, T>>;
+
+    fn split_into(self, n: usize) -> Vec<Self::SeqPart> {
+        spans(self.data.len(), n)
+            .into_iter()
+            .map(|s| (s.start..s.end).zip(self.data[s].iter()))
+            .collect()
+    }
+}
+
+/// Borrowing parallel access to slices (and anything derefing to one).
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> ParIter<'_, T>;
+    fn par_chunks(&self, size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { data: self }
+    }
+    fn par_chunks(&self, size: usize) -> ParChunks<'_, T> {
+        assert!(size > 0, "par_chunks: zero chunk size");
+        ParChunks { data: self, size }
+    }
+}
+
+pub trait ParallelSliceMut<T: Send> {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "par_chunks_mut: zero chunk size");
+        ParChunksMut { data: self, size }
+    }
+}
+
+pub struct ParChunks<'a, T> {
+    data: &'a [T],
+    size: usize,
+}
+
+pub struct ParChunksMut<'a, T> {
+    data: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pair mutable chunks with immutable chunks of another slice — the
+    /// shape `matmul` uses (one output row per input row).
+    pub fn zip<'b, U: Sync>(self, other: ParChunks<'b, U>) -> ZipChunks<'a, 'b, T, U> {
+        ZipChunks { a: self, b: other }
+    }
+}
+
+pub struct ZipChunks<'a, 'b, T, U> {
+    a: ParChunksMut<'a, T>,
+    b: ParChunks<'b, U>,
+}
+
+impl<'a, 'b, T: Send, U: Sync> ZipChunks<'a, 'b, T, U> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((&mut [T], &[U])) + Sync,
+    {
+        let pairs: Vec<(&mut [T], &[U])> = self
+            .a
+            .data
+            .chunks_mut(self.a.size)
+            .zip(self.b.data.chunks(self.b.size))
+            .collect();
+        let n = num_threads();
+        if n <= 1 || pairs.len() <= 1 {
+            for pair in pairs {
+                f(pair);
+            }
+            return;
+        }
+        // contiguous groups of pairs, one scoped thread each
+        let mut groups: Vec<Vec<(&mut [T], &[U])>> = Vec::new();
+        let mut rest = pairs;
+        for span in spans(rest.len(), n).into_iter().rev() {
+            groups.push(rest.split_off(span.start));
+        }
+        std::thread::scope(|s| {
+            let f = &f;
+            let handles: Vec<_> = groups
+                .into_iter()
+                .map(|g| {
+                    s.spawn(move || {
+                        for pair in g {
+                            f(pair);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("parallel worker panicked");
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn range_map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000usize).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_filter_map_matches_sequential() {
+        let v: Vec<u64> = (0..500u64)
+            .into_par_iter()
+            .filter_map(|i| if i % 3 == 0 { Some(i * i) } else { None })
+            .collect();
+        let w: Vec<u64> = (0..500u64)
+            .filter_map(|i| if i % 3 == 0 { Some(i * i) } else { None })
+            .collect();
+        assert_eq!(v, w);
+    }
+
+    #[test]
+    fn slice_enumerate_flat_map() {
+        let data = [10usize, 20, 30];
+        let v: Vec<usize> = data
+            .par_iter()
+            .enumerate()
+            .flat_map(|(i, &x)| vec![i, x])
+            .collect();
+        assert_eq!(v, vec![0, 10, 1, 20, 2, 30]);
+    }
+
+    #[test]
+    fn zip_chunks_for_each_touches_every_row() {
+        let src: Vec<f64> = (0..96).map(|i| i as f64).collect();
+        let mut dst = vec![0.0f64; 64];
+        dst.par_chunks_mut(4)
+            .zip(src.par_chunks(6))
+            .for_each(|(out, inp)| {
+                out[0] = inp.iter().sum();
+            });
+        for (row, chunk) in dst.chunks(4).zip(src.chunks(6)) {
+            assert_eq!(row[0], chunk.iter().sum::<f64>());
+        }
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let v: Vec<usize> = (0..0usize).into_par_iter().map(|i| i).collect();
+        assert!(v.is_empty());
+        let e: [f64; 0] = [];
+        let v: Vec<f64> = e.par_iter().map(|&x| x).collect();
+        assert!(v.is_empty());
+    }
+}

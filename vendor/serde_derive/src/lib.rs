@@ -1,0 +1,425 @@
+//! Derive macros for the vendored `serde`.
+//!
+//! Parses the item's token stream directly (no `syn`/`quote` — the build
+//! is offline) and emits `impl serde::Serialize` / `impl
+//! serde::Deserialize` blocks as source text. Supports the shapes this
+//! workspace uses: named structs, tuple/newtype structs, enums with
+//! unit / newtype / tuple / struct variants, and the `#[serde(skip)]`
+//! field attribute (omitted on serialize, `Default::default()` on
+//! deserialize). Generic types are intentionally unsupported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+type Toks = Peekable<proc_macro::token_stream::IntoIter>;
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        n_fields: usize,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Consume consecutive outer attributes; report whether any was
+/// `#[serde(skip)]`.
+fn skip_attrs(toks: &mut Toks) -> bool {
+    let mut skip = false;
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                match toks.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        skip |= attr_is_serde_skip(g.stream());
+                    }
+                    other => panic!("expected [...] after #, got {other:?}"),
+                }
+            }
+            _ => return skip,
+        }
+    }
+}
+
+fn attr_is_serde_skip(stream: TokenStream) -> bool {
+    let mut it = stream.into_iter();
+    match (it.next(), it.next()) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+/// Consume an optional `pub` / `pub(...)` visibility.
+fn skip_vis(toks: &mut Toks) {
+    if matches!(toks.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        toks.next();
+        if matches!(toks.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            toks.next();
+        }
+    }
+}
+
+/// Consume type tokens up to a `,` at angle-bracket depth 0. Tuples and
+/// arrays are single groups, so only `<`/`>` need depth tracking.
+fn skip_type(toks: &mut Toks) {
+    let mut depth = 0i32;
+    while let Some(t) = toks.peek() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => return,
+            _ => {}
+        }
+        toks.next();
+    }
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut toks: Toks = stream.into_iter().peekable();
+    let mut n = 0;
+    loop {
+        skip_attrs(&mut toks);
+        skip_vis(&mut toks);
+        if toks.peek().is_none() {
+            return n;
+        }
+        n += 1;
+        skip_type(&mut toks);
+        toks.next(); // the comma, if any
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let mut toks: Toks = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let skip = skip_attrs(&mut toks);
+        skip_vis(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => return fields,
+            other => panic!("expected field name, got {other:?}"),
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_type(&mut toks);
+        toks.next(); // the comma, if any
+        fields.push(Field { name, skip });
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut toks: Toks = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => return variants,
+            other => panic!("expected variant name, got {other:?}"),
+        };
+        let kind = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                toks.next();
+                VariantKind::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                toks.next();
+                VariantKind::Struct(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            toks.next();
+        }
+        variants.push(Variant { name, kind });
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks: Toks = input.into_iter().peekable();
+    skip_attrs(&mut toks);
+    skip_vis(&mut toks);
+    let kw = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected struct/enum, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("expected type name, got {other:?}"),
+    };
+    if matches!(toks.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic type `{name}`");
+    }
+    match (kw.as_str(), toks.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            }
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Item::TupleStruct {
+                name,
+                n_fields: count_tuple_fields(g.stream()),
+            }
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => Item::Enum {
+            name,
+            variants: parse_variants(g.stream()),
+        },
+        (kw, other) => panic!("unsupported item shape: {kw} {name} {other:?}"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// codegen
+
+fn gen_obj_push(out: &mut String, fields: &[Field], access: &dyn Fn(&str) -> String) {
+    out.push_str("let mut obj: Vec<(String, ::serde::Value)> = Vec::new();\n");
+    for f in fields.iter().filter(|f| !f.skip) {
+        out.push_str(&format!(
+            "obj.push((\"{n}\".to_string(), ::serde::Serialize::to_value({a})));\n",
+            n = f.name,
+            a = access(&f.name),
+        ));
+    }
+    out.push_str("::serde::Value::Obj(obj)\n");
+}
+
+fn gen_named_build(ty: &str, path: &str, fields: &[Field], src: &str) -> String {
+    let mut out = format!("{path} {{\n");
+    for f in fields {
+        if f.skip {
+            out.push_str(&format!(
+                "{}: ::core::default::Default::default(),\n",
+                f.name
+            ));
+        } else {
+            out.push_str(&format!(
+                "{n}: ::serde::Deserialize::from_value({src}.get(\"{n}\")\
+                 .ok_or_else(|| ::serde::Error::missing_field(\"{ty}\", \"{n}\"))?)?,\n",
+                n = f.name,
+            ));
+        }
+    }
+    out.push('}');
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let mut body = String::new();
+    let name = match item {
+        Item::NamedStruct { name, fields } => {
+            gen_obj_push(&mut body, fields, &|f| format!("&self.{f}"));
+            name
+        }
+        Item::TupleStruct { name, n_fields: 1 } => {
+            body.push_str("::serde::Serialize::to_value(&self.0)\n");
+            name
+        }
+        Item::TupleStruct { name, n_fields } => {
+            let items: Vec<String> = (0..*n_fields)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            body.push_str(&format!(
+                "::serde::Value::Arr(vec![{}])\n",
+                items.join(", ")
+            ));
+            name
+        }
+        Item::Enum { name, variants } => {
+            body.push_str("match self {\n");
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => body.push_str(&format!(
+                        "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(x0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Arr(vec![{}])", items.join(", "))
+                        };
+                        body.push_str(&format!(
+                            "{name}::{vn}({}) => ::serde::Value::Obj(vec![(\"{vn}\".to_string(), {inner})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                if f.skip {
+                                    format!("{}: _", f.name)
+                                } else {
+                                    f.name.clone()
+                                }
+                            })
+                            .collect();
+                        let mut inner = String::new();
+                        gen_obj_push(&mut inner, fields, &|f| f.to_string());
+                        body.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => ::serde::Value::Obj(vec![(\"{vn}\".to_string(), {{ {inner} }})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            body.push_str("}\n");
+            name
+        }
+    };
+    format!(
+        "#[automatically_derived]\n#[allow(warnings, clippy::all)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let mut body = String::new();
+    let name = match item {
+        Item::NamedStruct { name, fields } => {
+            body.push_str(
+                "if v.as_obj().is_none() { return Err(::serde::Error::expected(\"object\", v)); }\n",
+            );
+            body.push_str(&format!(
+                "Ok({})\n",
+                gen_named_build(name, name, fields, "v")
+            ));
+            name
+        }
+        Item::TupleStruct { name, n_fields: 1 } => {
+            body.push_str(&format!(
+                "Ok({name}(::serde::Deserialize::from_value(v)?))\n"
+            ));
+            name
+        }
+        Item::TupleStruct { name, n_fields } => {
+            body.push_str(&format!(
+                "let items = v.as_arr().ok_or_else(|| ::serde::Error::expected(\"array\", v))?;\n\
+                 if items.len() != {n_fields} {{\n\
+                 return Err(::serde::Error::custom(format!(\"expected {n_fields} elements, got {{}}\", items.len())));\n\
+                 }}\n"
+            ));
+            let items: Vec<String> = (0..*n_fields)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            body.push_str(&format!("Ok({name}({}))\n", items.join(", ")));
+            name
+        }
+        Item::Enum { name, variants } => {
+            // string form: unit variants
+            body.push_str("if let Some(s) = v.as_str() {\nreturn match s {\n");
+            for v in variants {
+                if matches!(v.kind, VariantKind::Unit) {
+                    body.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n", vn = v.name));
+                }
+            }
+            body.push_str(&format!(
+                "other => Err(::serde::Error::custom(format!(\"unknown variant `{{other}}` of {name}\"))),\n}};\n}}\n"
+            ));
+            // single-key object form: data-carrying variants
+            body.push_str(
+                "if let Some(obj) = v.as_obj() {\nif obj.len() == 1 {\n\
+                 let (key, inner) = (&obj[0].0, &obj[0].1);\nreturn match key.as_str() {\n",
+            );
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => body.push_str(&format!("\"{vn}\" => Ok({name}::{vn}),\n")),
+                    VariantKind::Tuple(1) => body.push_str(&format!(
+                        "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        body.push_str(&format!(
+                            "\"{vn}\" => {{\n\
+                             let items = inner.as_arr().ok_or_else(|| ::serde::Error::expected(\"array\", inner))?;\n\
+                             if items.len() != {n} {{ return Err(::serde::Error::custom(\"wrong tuple arity\".to_string())); }}\n\
+                             Ok({name}::{vn}({}))\n}},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        body.push_str(&format!(
+                            "\"{vn}\" => Ok({}),\n",
+                            gen_named_build(name, &format!("{name}::{vn}"), fields, "inner")
+                        ));
+                    }
+                }
+            }
+            body.push_str(&format!(
+                "other => Err(::serde::Error::custom(format!(\"unknown variant `{{other}}` of {name}\"))),\n}};\n}}\n}}\n"
+            ));
+            body.push_str(&format!(
+                "Err(::serde::Error::expected(\"enum {name}\", v))\n"
+            ));
+            name
+        }
+    };
+    format!(
+        "#[automatically_derived]\n#[allow(warnings, clippy::all)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
