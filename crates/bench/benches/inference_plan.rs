@@ -4,6 +4,10 @@
 //!   folded, flat weight buffer, reusable scratch, register-tiled kernel)
 //!   against the layer-walking `Mlp::predict` on a paper-scale batch of
 //!   rings;
+//! * **compiled fixed-point INT8 plans** — `CompiledQuantMlp::forward_batch`
+//!   (flat i8 weights, per-row `(multiplier, shift)` requantization,
+//!   zero-alloc scratch) against the per-sample scalar reference
+//!   `QuantizedMlp::forward_one_reference` on the same batch;
 //! * **coarse-to-fine sky maps** — `SkyMap::from_rings_adaptive` against
 //!   the flat `SkyMap::from_rings` sweep on a ≥10k-pixel grid.
 //!
@@ -15,7 +19,7 @@ use adapt_localize::{HemisphereGrid, SkyMap};
 use adapt_math::sampling::{isotropic_direction, standard_normal};
 use adapt_math::vec3::UnitVec3;
 use adapt_nn::mlp::BlockOrder;
-use adapt_nn::{models, CompiledMlp, InferenceScratch, Matrix, Mlp};
+use adapt_nn::{models, CompiledMlp, InferenceScratch, Matrix, Mlp, QuantScratch, QuantizedMlp};
 use adapt_recon::{ComptonRing, RingFeatures};
 use criterion::{criterion_group, criterion_main, Criterion};
 use rand::SeedableRng;
@@ -41,6 +45,37 @@ fn bench_compiled_inference(c: &mut Criterion) {
     group.bench_function("mlp_predict", |b| b.iter(|| black_box(net.predict(&batch))));
     group.bench_function("compiled_forward_batch", |b| {
         let mut scratch = InferenceScratch::new();
+        b.iter(|| {
+            let out = plan.forward_batch(&batch, &mut scratch);
+            black_box(out[0])
+        })
+    });
+    group.finish();
+}
+
+fn bench_int8_inference(c: &mut Criterion) {
+    // quantization requires the LinearFirst (quantization-friendly) order
+    let net = trained_background_net(BlockOrder::LinearFirst);
+    let mut rng = ChaCha8Rng::seed_from_u64(40);
+    let calib = Matrix::he_uniform(256, 13, &mut rng);
+    let qnet = QuantizedMlp::quantize(&net, &calib);
+    let plan = qnet.plan();
+    let mut rng = ChaCha8Rng::seed_from_u64(41);
+    let batch = Matrix::he_uniform(256, 13, &mut rng);
+    let rows: Vec<Vec<f64>> = (0..256).map(|i| batch.row(i).to_vec()).collect();
+
+    let mut group = c.benchmark_group("int8_background_net_256_rings");
+    group.bench_function("per_sample_reference", |b| {
+        b.iter(|| {
+            black_box(
+                rows.iter()
+                    .map(|r| qnet.forward_one_reference(r))
+                    .sum::<f64>(),
+            )
+        })
+    });
+    group.bench_function("compiled_forward_batch", |b| {
+        let mut scratch = QuantScratch::new();
         b.iter(|| {
             let out = plan.forward_batch(&batch, &mut scratch);
             black_box(out[0])
@@ -83,5 +118,10 @@ fn bench_skymap(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_compiled_inference, bench_skymap);
+criterion_group!(
+    benches,
+    bench_compiled_inference,
+    bench_int8_inference,
+    bench_skymap
+);
 criterion_main!(benches);

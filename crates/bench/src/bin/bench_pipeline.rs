@@ -3,6 +3,12 @@
 //!
 //! * batched background-net inference — layer-walking `Mlp::predict`
 //!   vs the BN-folded `CompiledMlp::forward_batch` plan (256 rings);
+//! * batched INT8 inference — the per-sample scalar reference
+//!   (`QuantizedMlp::forward_one_reference`, the old `forward_int8`
+//!   loop) vs the compiled fixed-point plan's
+//!   `CompiledQuantMlp::forward_batch` (256 rings), plus the max logit
+//!   divergence against the float plan and the background-accuracy
+//!   delta on a fresh burst;
 //! * sky-map rasterization — flat `SkyMap::from_rings` sweep vs the
 //!   coarse-to-fine `SkyMap::from_rings_adaptive` (12k pixels, 600
 //!   rings), with a credible-region parity check;
@@ -17,7 +23,7 @@ use adapt_localize::{HemisphereGrid, SkyMap};
 use adapt_math::sampling::{isotropic_direction, standard_normal};
 use adapt_math::vec3::UnitVec3;
 use adapt_nn::mlp::BlockOrder;
-use adapt_nn::{models, CompiledMlp, InferenceScratch, Matrix};
+use adapt_nn::{models, sigmoid, CompiledMlp, InferenceScratch, Matrix, QuantScratch};
 use adapt_recon::{ComptonRing, RingFeatures};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -34,6 +40,17 @@ struct InferenceReport {
 }
 
 #[derive(Serialize)]
+struct QuantInferenceReport {
+    per_sample_reference_us: f64,
+    compiled_forward_batch_us: f64,
+    speedup: f64,
+    max_abs_logit_diff_vs_float: f64,
+    background_accuracy_float: f64,
+    background_accuracy_int8: f64,
+    background_accuracy_delta: f64,
+}
+
+#[derive(Serialize)]
 struct SkymapReport {
     flat_sweep_ms: f64,
     coarse_to_fine_ms: f64,
@@ -47,6 +64,7 @@ struct BenchReport {
     description: String,
     repetitions: usize,
     background_net_inference_256_rings: InferenceReport,
+    int8_background_net_inference_256_rings: QuantInferenceReport,
     skymap_12k_pixels_600_rings: SkymapReport,
     pipeline_trial_ml_ms: f64,
 }
@@ -109,6 +127,69 @@ fn main() {
         .map(|(a, b)| (a - b).abs())
         .fold(0.0f64, f64::max);
 
+    // -- int8 inference: per-sample scalar reference vs compiled plan --
+    let models = adapt_bench::shared_models();
+    let pipeline = Pipeline::new(&models);
+    let qnet = &models.quantized_background;
+    let polar_deg = 40.0;
+    let (bench_rings, _) = pipeline.simulate_rings(
+        &GrbConfig::new(2.0, polar_deg),
+        PerturbationConfig::default(),
+        0xFEED,
+    );
+    assert!(!bench_rings.is_empty(), "burst produced no rings");
+    // 256 feature rows drawn from the real reconstructed-ring
+    // distribution (cycled if the burst yielded fewer)
+    let feature_rows: Vec<Vec<f64>> = (0..256)
+        .map(|i| {
+            bench_rings[i % bench_rings.len()]
+                .features
+                .to_model_input(polar_deg)
+                .to_vec()
+        })
+        .collect();
+    let feat = Matrix::from_rows(&feature_rows);
+
+    let per_sample_s = median_secs(reps, || {
+        feature_rows
+            .iter()
+            .map(|r| qnet.forward_one_reference(r))
+            .sum::<f64>()
+    });
+    let qplan = qnet.plan();
+    let mut qscratch = QuantScratch::new();
+    let batched_s = median_secs(reps, || qplan.forward_batch(&feat, &mut qscratch)[0]);
+
+    // `quantized_background` is quantized from the QAT-fine-tuned
+    // LinearFirst parent, so that parent is the FP32 side of the
+    // divergence / accuracy comparison (as in the Fig.-11 experiments)
+    let float_plan = CompiledMlp::compile(&models.background_linear_first);
+    let float_logits = float_plan.forward_batch(&feat, &mut scratch).to_vec();
+    let int8_logits = qplan.forward_batch(&feat, &mut qscratch).to_vec();
+    let max_int8_float_diff = int8_logits
+        .iter()
+        .zip(&float_logits)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+
+    // background-classification accuracy on the fresh burst, both backends
+    let mut correct_float = 0usize;
+    let mut correct_int8 = 0usize;
+    for r in &bench_rings {
+        let x = r.features.to_model_input(polar_deg);
+        let truth = r.is_background_truth();
+        let p_float = sigmoid(models.background_linear_first.predict_one(&x));
+        let p_int8 = sigmoid(qnet.forward_one(&x));
+        if models.thresholds.is_background(p_float, polar_deg) == truth {
+            correct_float += 1;
+        }
+        if models.thresholds.is_background(p_int8, polar_deg) == truth {
+            correct_int8 += 1;
+        }
+    }
+    let acc_float = correct_float as f64 / bench_rings.len() as f64;
+    let acc_int8 = correct_int8 as f64 / bench_rings.len() as f64;
+
     // -- sky-map rasterization: flat sweep vs coarse-to-fine --
     let rings = synthetic_rings(600, 42);
     let grid = HemisphereGrid::new(12_000);
@@ -124,8 +205,6 @@ fn main() {
     let cr90_adaptive = adaptive_map.credible_region_sr(0.9);
 
     // -- end-to-end ML trial (workspace reused across trials) --
-    let models = adapt_bench::shared_models();
-    let pipeline = Pipeline::new(&models);
     let grb = GrbConfig::new(1.0, 0.0);
     let trial_s = median_secs(reps.min(20), || {
         pipeline.run_trial(
@@ -147,6 +226,15 @@ fn main() {
             speedup: predict_s / compiled_s,
             max_abs_logit_diff: max_abs_diff,
         },
+        int8_background_net_inference_256_rings: QuantInferenceReport {
+            per_sample_reference_us: per_sample_s * 1e6,
+            compiled_forward_batch_us: batched_s * 1e6,
+            speedup: per_sample_s / batched_s,
+            max_abs_logit_diff_vs_float: max_int8_float_diff,
+            background_accuracy_float: acc_float,
+            background_accuracy_int8: acc_int8,
+            background_accuracy_delta: acc_int8 - acc_float,
+        },
         skymap_12k_pixels_600_rings: SkymapReport {
             flat_sweep_ms: flat_s * 1e3,
             coarse_to_fine_ms: adaptive_s * 1e3,
@@ -166,6 +254,15 @@ fn main() {
         compiled_s * 1e6,
         predict_s / compiled_s,
         max_abs_diff
+    );
+    println!(
+        "int8:      per-sample {:.1} us vs batched plan {:.1} us ({:.2}x, max |dlogit| vs float {:.2e}, acc {:.3} -> {:.3})",
+        per_sample_s * 1e6,
+        batched_s * 1e6,
+        per_sample_s / batched_s,
+        max_int8_float_diff,
+        acc_float,
+        acc_int8
     );
     println!(
         "skymap:    flat {:.2} ms vs coarse-to-fine {:.2} ms ({:.2}x, CR90 {:.4} vs {:.4} sr)",

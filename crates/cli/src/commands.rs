@@ -23,6 +23,7 @@ SUBCOMMANDS:
     localize   localize a simulated burst
                --models <path=models.json> --fluence <=1.0> --angle <=0>
                --seed <=42> --mode <ml|baseline|quantized=ml>
+               --backend <float|int8=float> (background-net arithmetic for --mode ml)
     skymap     produce a credible-region summary of the posterior sky map
                --models <path=models.json> --fluence <=1.0> --angle <=0>
                --seed <=42> --credibility <=0.9> --pixels <=3000>
@@ -108,7 +109,7 @@ pub fn train(args: &Args) -> Result<(), String> {
 
 /// `adapt localize`
 pub fn localize(args: &Args) -> Result<(), String> {
-    args.assert_known(&["models", "fluence", "angle", "seed", "mode"])?;
+    args.assert_known(&["models", "fluence", "angle", "seed", "mode", "backend"])?;
     let models = load_models(&args.get_or("models", "models.json"))?;
     let fluence: f64 = args.get_parse_or("fluence", 1.0)?;
     let angle: f64 = args.get_parse_or("angle", 0.0)?;
@@ -119,15 +120,22 @@ pub fn localize(args: &Args) -> Result<(), String> {
         "quantized" => PipelineMode::MlQuantized,
         other => return Err(format!("unknown mode '{other}' (ml|baseline|quantized)")),
     };
-    let pipeline = Pipeline::new(&models);
+    let backend_flag = args.get_or("backend", "float");
+    let backend = adapt_localize::InferenceBackend::parse(&backend_flag)
+        .ok_or_else(|| format!("unknown backend '{backend_flag}' (float|int8)"))?;
+    let pipeline = Pipeline::new(&models).with_backend(backend);
     let out = pipeline.run_trial(
         mode,
         &GrbConfig::new(fluence, angle),
         PerturbationConfig::default(),
         seed,
     );
+    let backend_tag = match mode {
+        PipelineMode::Ml => format!(" [{backend} backend]"),
+        _ => String::new(),
+    };
     println!(
-        "{}: error {:.2} deg | {} rings in, {} surviving | total {:.1} ms",
+        "{}{backend_tag}: error {:.2} deg | {} rings in, {} surviving | total {:.1} ms",
         mode.label(),
         out.error_deg,
         out.rings_in,

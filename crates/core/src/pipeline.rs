@@ -15,7 +15,8 @@
 
 use crate::training::TrainedModels;
 use adapt_localize::{
-    BaselineLocalizer, InferenceWorkspace, MlLocalizer, MlPipelineConfig, StageTimings,
+    BackgroundModel, BaselineLocalizer, InferenceBackend, InferenceWorkspace, MlLocalizer,
+    MlPipelineConfig, StageTimings,
 };
 use adapt_math::angles::angular_separation;
 use adapt_nn::CompiledMlp;
@@ -113,6 +114,7 @@ pub struct Pipeline<'a> {
     compiled_background_no_polar: CompiledMlp,
     reconstructor: Reconstructor,
     ml_config: MlPipelineConfig,
+    backend: InferenceBackend,
     detector: DetectorConfig,
     background: BackgroundConfig,
 }
@@ -126,6 +128,7 @@ impl<'a> Pipeline<'a> {
             compiled_background_no_polar: CompiledMlp::compile(&models.background_no_polar),
             reconstructor: Reconstructor::default(),
             ml_config: MlPipelineConfig::default(),
+            backend: InferenceBackend::default(),
             detector: DetectorConfig::default(),
             background: BackgroundConfig::default(),
         }
@@ -134,6 +137,16 @@ impl<'a> Pipeline<'a> {
     /// Override the ML loop configuration.
     pub fn with_ml_config(mut self, config: MlPipelineConfig) -> Self {
         self.ml_config = config;
+        self
+    }
+
+    /// Select the background-network arithmetic for [`PipelineMode::Ml`]:
+    /// the compiled FP32 plan (default) or the compiled fixed-point INT8
+    /// plan. The no-polar ablation always runs FP32 (no quantized
+    /// 12-input net is trained), and [`PipelineMode::MlQuantized`] is
+    /// INT8 by definition.
+    pub fn with_backend(mut self, backend: InferenceBackend) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -240,8 +253,12 @@ impl<'a> Pipeline<'a> {
                 (res.map(|r| r.direction), rings_in, timings)
             }
             PipelineMode::Ml => {
+                let bkg: &dyn BackgroundModel = match self.backend {
+                    InferenceBackend::Float => &self.compiled_background,
+                    InferenceBackend::Int8 => self.models.quantized_background.plan(),
+                };
                 let ml = MlLocalizer::new(
-                    &self.compiled_background,
+                    bkg,
                     &self.models.thresholds,
                     &self.models.d_eta,
                     self.ml_config.clone(),
@@ -371,6 +388,21 @@ mod tests {
                 out.error_deg
             );
         }
+    }
+
+    #[test]
+    fn int8_backend_matches_quantized_mode() {
+        // PipelineMode::Ml with the INT8 backend and PipelineMode::MlQuantized
+        // both execute the same compiled fixed-point plan — outcomes agree
+        let m = models();
+        let grb = GrbConfig::new(2.0, 0.0);
+        let float_pipe = Pipeline::new(m);
+        let int8_pipe = Pipeline::new(m).with_backend(InferenceBackend::Int8);
+        let (rings, rt) = float_pipe.simulate_rings(&grb, PerturbationConfig::default(), 5);
+        let via_backend = int8_pipe.localize_rings(&rings, PipelineMode::Ml, &grb, 5, rt);
+        let via_mode = float_pipe.localize_rings(&rings, PipelineMode::MlQuantized, &grb, 5, rt);
+        assert_eq!(via_backend.error_deg, via_mode.error_deg);
+        assert_eq!(via_backend.rings_surviving, via_mode.rings_surviving);
     }
 
     #[test]

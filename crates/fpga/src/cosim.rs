@@ -3,7 +3,9 @@
 //!
 //! The paper validates its HLS kernel with a C++ testbench passing feature
 //! vectors over AXI and checking outputs. Here the "hardware" is the
-//! bit-exact integer kernel from `adapt_nn::quant`, wrapped with the
+//! compiled fixed-point plan from `adapt_nn::quant_plan` — the same
+//! integer-only arithmetic (per-row `(multiplier, shift)` requantization,
+//! round-to-nearest-even) an HLS kernel synthesizes — wrapped with the
 //! synthesis schedule so a co-simulation yields both (a) output equality
 //! against the software reference and (b) the cycle count from the
 //! dataflow trace.
@@ -14,7 +16,8 @@
 
 use crate::dataflow::{simulate_batch, DataflowTrace};
 use crate::model::{synthesize, LayerShape, Precision, SynthesisConfig, SynthesisReport};
-use adapt_nn::QuantizedMlp;
+use adapt_nn::{CompiledQuantMlp, QuantScratch, QuantizedMlp};
+use std::cell::RefCell;
 
 /// Map a probability threshold through the inverse sigmoid so it can be
 /// applied to the kernel's raw logit output (the paper's "prior threshold"
@@ -35,14 +38,20 @@ pub struct CosimResult {
     pub report: SynthesisReport,
 }
 
-/// An FPGA kernel instance wrapping a quantized network.
+/// An FPGA kernel instance wrapping a quantized network's compiled
+/// fixed-point plan — the single arithmetic contract shared with CPU
+/// inference. A stream of rings arrives one vector at a time on the
+/// instrument, so the kernel executes the plan's scalar path through a
+/// per-kernel scratch (no allocation per input).
 pub struct FpgaKernel<'a> {
-    net: &'a QuantizedMlp,
+    plan: &'a CompiledQuantMlp,
+    scratch: RefCell<QuantScratch>,
     report: SynthesisReport,
 }
 
 impl<'a> FpgaKernel<'a> {
     /// Build a kernel from a quantized network and synthesis tunables.
+    /// Consumes the network's cached compiled plan.
     pub fn new(net: &'a QuantizedMlp, config: &SynthesisConfig) -> Self {
         let shapes: Vec<LayerShape> = net
             .layers
@@ -53,7 +62,11 @@ impl<'a> FpgaKernel<'a> {
             })
             .collect();
         let report = synthesize(&shapes, Precision::Int8, config);
-        FpgaKernel { net, report }
+        FpgaKernel {
+            plan: net.plan(),
+            scratch: RefCell::new(QuantScratch::new()),
+            report,
+        }
     }
 
     /// The synthesis report.
@@ -61,10 +74,19 @@ impl<'a> FpgaKernel<'a> {
         &self.report
     }
 
+    /// The compiled fixed-point plan this kernel executes.
+    pub fn plan(&self) -> &CompiledQuantMlp {
+        self.plan
+    }
+
     /// Co-simulate a batch of feature vectors: compute bit-exact outputs
     /// and the cycle-level timing of streaming them through the pipeline.
     pub fn cosimulate(&self, inputs: &[Vec<f64>]) -> CosimResult {
-        let outputs = inputs.iter().map(|x| self.net.forward_one(x)).collect();
+        let mut scratch = self.scratch.borrow_mut();
+        let outputs = inputs
+            .iter()
+            .map(|x| self.plan.forward_one(x, &mut scratch))
+            .collect();
         let trace = simulate_batch(&self.report, inputs.len());
         CosimResult {
             outputs,
@@ -77,9 +99,10 @@ impl<'a> FpgaKernel<'a> {
     /// logit-space threshold (no sigmoid in the kernel).
     pub fn classify(&self, inputs: &[Vec<f64>], probability_threshold: f64) -> Vec<bool> {
         let t = threshold_logit(probability_threshold);
+        let mut scratch = self.scratch.borrow_mut();
         inputs
             .iter()
-            .map(|x| self.net.forward_one(x) >= t)
+            .map(|x| self.plan.forward_one(x, &mut scratch) >= t)
             .collect()
     }
 }
@@ -112,6 +135,20 @@ mod tests {
             let sw = net.forward_one(x);
             assert_eq!(result.outputs[i], sw, "hardware/software divergence at {i}");
         }
+    }
+
+    #[test]
+    fn kernel_outputs_bit_exact_vs_batched_plan() {
+        // the kernel streams vectors one at a time; the ground batched
+        // path must produce the same integers (one arithmetic contract)
+        let (net, calib) = quantized_net();
+        let kernel = FpgaKernel::new(&net, &SynthesisConfig::default());
+        let inputs: Vec<Vec<f64>> = (0..40).map(|i| calib.row(i).to_vec()).collect();
+        let result = kernel.cosimulate(&inputs);
+        let x = Matrix::from_rows(&inputs);
+        let mut scratch = adapt_nn::QuantScratch::new();
+        let batched = net.plan().forward_batch(&x, &mut scratch);
+        assert_eq!(result.outputs, batched);
     }
 
     #[test]

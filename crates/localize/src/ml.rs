@@ -17,7 +17,10 @@
 use crate::localizer::{BaselineLocalizer, LocalizerConfig};
 use adapt_math::angles::{deg_to_rad, polar_angle_deg};
 use adapt_math::vec3::UnitVec3;
-use adapt_nn::{sigmoid, CompiledMlp, InferenceScratch, Matrix, Mlp, QuantizedMlp, ThresholdTable};
+use adapt_nn::{
+    sigmoid, CompiledMlp, CompiledQuantMlp, InferenceScratch, Matrix, Mlp, QuantScratch,
+    QuantizedMlp, ThresholdTable,
+};
 use adapt_recon::{ComptonRing, N_FEATURES_WITH_POLAR};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -92,6 +95,38 @@ pub struct MlLocalizeResult {
     pub timings: StageTimings,
 }
 
+/// Which arithmetic the background network runs on: the compiled FP32
+/// plan, or the compiled fixed-point INT8 plan (the paper's deployment
+/// configuration, shared bit-exactly with the FPGA cosim).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum InferenceBackend {
+    /// Full-precision f64 inference via `CompiledMlp`.
+    #[default]
+    Float,
+    /// Fixed-point INT8 inference via `CompiledQuantMlp`.
+    Int8,
+}
+
+impl InferenceBackend {
+    /// Parse a CLI flag value (`float` / `fp32` or `int8` / `quantized`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "float" | "fp32" | "f64" => Some(InferenceBackend::Float),
+            "int8" | "quantized" | "quant" => Some(InferenceBackend::Int8),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for InferenceBackend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            InferenceBackend::Float => "float",
+            InferenceBackend::Int8 => "int8",
+        })
+    }
+}
+
 /// Anything that can score rings as background: the FP32 network, its
 /// compiled inference plan, the INT8-quantized network (paper Fig. 11),
 /// or a test double.
@@ -131,6 +166,22 @@ impl BackgroundModel for CompiledMlp {
 impl BackgroundModel for QuantizedMlp {
     fn logits(&self, x: &Matrix) -> Vec<f64> {
         self.forward(x)
+    }
+
+    fn logits_into(&self, x: &Matrix, scratch: &mut InferenceScratch, out: &mut Vec<f64>) {
+        // run the cached fixed-point plan through the shared scratch
+        self.plan().logits_into(x, scratch, out);
+    }
+}
+
+impl BackgroundModel for CompiledQuantMlp {
+    fn logits(&self, x: &Matrix) -> Vec<f64> {
+        self.forward_batch(x, &mut QuantScratch::new()).to_vec()
+    }
+
+    fn logits_into(&self, x: &Matrix, scratch: &mut InferenceScratch, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(self.forward_batch(x, &mut scratch.quant));
     }
 }
 
@@ -522,6 +573,73 @@ mod tests {
             assert_eq!(reused.surviving_rings, fresh.surviving_rings);
             assert!(angular_separation(reused.direction, fresh.direction) < 1e-12);
         }
+    }
+
+    #[test]
+    fn backend_flag_parses() {
+        assert_eq!(
+            InferenceBackend::parse("float"),
+            Some(InferenceBackend::Float)
+        );
+        assert_eq!(
+            InferenceBackend::parse("int8"),
+            Some(InferenceBackend::Int8)
+        );
+        assert_eq!(
+            InferenceBackend::parse("quantized"),
+            Some(InferenceBackend::Int8)
+        );
+        assert_eq!(InferenceBackend::parse("int7"), None);
+        assert_eq!(InferenceBackend::default(), InferenceBackend::Float);
+    }
+
+    #[test]
+    fn quantized_backend_matches_its_compiled_plan_bit_for_bit() {
+        let (_, thresholds, deta) = oracle_parts();
+        let mut r = rng();
+        // quantization requires the LinearFirst block order; train a
+        // small oracle in that order on the same feature-0 rule
+        let mut bkg = Mlp::new(13, &[8], BlockOrder::LinearFirst, &mut r);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..600 {
+            let label = (i % 2) as f64;
+            let mut row = vec![0.0; 13];
+            row[0] = label;
+            row[12] = (i % 90) as f64;
+            xs.extend_from_slice(&row);
+            ys.push(label);
+        }
+        let ds = adapt_nn::Dataset::new(Matrix::from_vec(600, 13, xs), ys);
+        let cfg_train = adapt_nn::TrainConfig {
+            max_epochs: 60,
+            batch_size: 64,
+            learning_rate: 0.1,
+            momentum: 0.9,
+            patience: 60,
+            objective: adapt_nn::Objective::BinaryCrossEntropy,
+        };
+        adapt_nn::train(&mut bkg, &ds, &ds, &cfg_train, &mut r);
+        let calib = Matrix::he_uniform(256, 13, &mut r);
+        let quant = QuantizedMlp::quantize(&bkg, &calib);
+        let plan = adapt_nn::CompiledQuantMlp::compile(&quant);
+        let source = UnitVec3::from_spherical(0.5, 0.7);
+        let rings = make_rings(source, 60, 150, 8);
+        let cfg = MlPipelineConfig::default();
+        // QuantizedMlp (OnceLock-cached plan) and an explicitly compiled
+        // plan are the same integer arithmetic — localizations agree
+        // exactly, including every classification decision
+        let via_net = MlLocalizer::new(&quant, &thresholds, &deta, cfg.clone());
+        let via_plan = MlLocalizer::new(&plan, &thresholds, &deta, cfg);
+        let a = via_net.localize(&rings, &mut rng()).unwrap();
+        let b = via_plan.localize(&rings, &mut rng()).unwrap();
+        assert_eq!(a.surviving_rings, b.surviving_rings);
+        assert_eq!(a.ml_iterations, b.ml_iterations);
+        // compare raw components: angular_separation of even identical
+        // unit vectors reports ~1e-6 deg (acos near 1.0)
+        assert_eq!(a.direction.as_vec().x, b.direction.as_vec().x);
+        assert_eq!(a.direction.as_vec().y, b.direction.as_vec().y);
+        assert_eq!(a.direction.as_vec().z, b.direction.as_vec().z);
     }
 
     #[test]

@@ -21,9 +21,9 @@
 //! exact up to floating-point re-association and is locked down by unit
 //! and property tests.
 
-use crate::layers::Linear;
-use crate::mlp::{Layer, Mlp};
-use crate::quant::{fold_batchnorm, fold_input_batchnorm};
+use crate::fold::fuse_stages;
+use crate::mlp::Mlp;
+use crate::quant_plan::QuantScratch;
 use crate::tensor::Matrix;
 
 /// One fused stage of the plan: a Linear (BN already folded in) with an
@@ -63,6 +63,10 @@ pub struct InferenceScratch {
     a: Vec<f64>,
     b: Vec<f64>,
     out: Vec<f64>,
+    /// Companion arena for the fixed-point INT8 plan
+    /// ([`crate::quant_plan::CompiledQuantMlp`]), so call sites that
+    /// switch between float and quantized backends thread one scratch.
+    pub quant: QuantScratch,
 }
 
 impl InferenceScratch {
@@ -89,42 +93,7 @@ impl CompiledMlp {
     /// BatchNorm statistics); later training of the source `Mlp` does not
     /// update the plan — recompile instead.
     pub fn compile(mlp: &Mlp) -> Self {
-        let layers = mlp.layers();
-        let mut fused: Vec<(Linear, bool)> = Vec::new();
-        let mut i = 0;
-        while i < layers.len() {
-            let lin = match &layers[i] {
-                // BN → Linear (BatchNormFirst blocks and their output
-                // head): fold the normalization into the Linear's input
-                // side.
-                Layer::BatchNorm(bn) => {
-                    let Some(Layer::Linear(lin)) = layers.get(i + 1) else {
-                        panic!("dangling BatchNorm at layer {i}: not followed by Linear");
-                    };
-                    i += 2;
-                    fold_input_batchnorm(bn, lin)
-                }
-                Layer::Linear(lin) => {
-                    i += 1;
-                    lin.clone()
-                }
-                Layer::Relu(_) => panic!("ReLU at layer {i} without a preceding Linear"),
-            };
-            // Linear → BN (LinearFirst blocks): fold into the output side.
-            let lin = if let Some(Layer::BatchNorm(bn)) = layers.get(i) {
-                i += 1;
-                fold_batchnorm(&lin, bn)
-            } else {
-                lin
-            };
-            let relu = matches!(layers.get(i), Some(Layer::Relu(_)));
-            if relu {
-                i += 1;
-            }
-            fused.push((lin, relu));
-        }
-        assert!(!fused.is_empty(), "cannot compile an empty network");
-
+        let fused = fuse_stages(mlp);
         let mut buf = Vec::new();
         let mut stages = Vec::with_capacity(fused.len());
         let mut max_width = mlp.input_dim();

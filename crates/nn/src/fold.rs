@@ -1,0 +1,181 @@
+//! BatchNorm folding and Linear/BN/ReLU fusion — the single shared
+//! implementation behind both inference compilers.
+//!
+//! [`crate::compiled`] (the float plan) and [`crate::quant`] (the INT8
+//! quantizer and its compiled plan) both reduce a trained [`Mlp`] to a
+//! chain of fused `Linear [+ ReLU]` stages with every BatchNorm's affine
+//! transform absorbed into an adjacent Linear. Keeping one fold
+//! implementation here guarantees the float and quantized pipelines agree
+//! on what "the fused network" means — a divergence would silently skew
+//! every INT8-vs-FP32 accuracy comparison.
+
+use crate::layers::{BatchNorm1d, Linear};
+use crate::mlp::{Layer, Mlp};
+
+/// The inference-mode affine transform of a BatchNorm as per-feature
+/// `(scale, shift)`: `BN(x)ᵢ = xᵢ·scaleᵢ + shiftᵢ`.
+pub fn bn_scale_shift(bn: &BatchNorm1d) -> (Vec<f64>, Vec<f64>) {
+    let d = bn.dim();
+    let mut scale = vec![0.0; d];
+    let mut shift = vec![0.0; d];
+    for i in 0..d {
+        let inv_std = 1.0 / (bn.running_var[i] + bn.eps).sqrt();
+        scale[i] = bn.gamma[i] * inv_std;
+        shift[i] = bn.beta[i] - bn.running_mean[i] * scale[i];
+    }
+    (scale, shift)
+}
+
+/// Fold a BatchNorm into the Linear layer that precedes it, producing an
+/// equivalent Linear (inference-mode statistics).
+pub fn fold_batchnorm(linear: &Linear, bn: &BatchNorm1d) -> Linear {
+    assert_eq!(linear.out_dim(), bn.dim(), "fold shape mismatch");
+    let mut weight = linear.weight.clone();
+    let mut bias = linear.bias.clone();
+    for (o, b) in bias.iter_mut().enumerate() {
+        let inv_std = 1.0 / (bn.running_var[o] + bn.eps).sqrt();
+        let g = bn.gamma[o] * inv_std;
+        for v in weight.row_mut(o) {
+            *v *= g;
+        }
+        *b = g * (*b - bn.running_mean[o]) + bn.beta[o];
+    }
+    Linear::from_parts(weight, bias)
+}
+
+/// Fold an *input-side* BatchNorm into the Linear that follows it:
+/// `W(BN(x)) + b = W' x + b'` with `W'[o][i] = W[o][i]·γᵢ/σᵢ` and
+/// `b'ₒ = bₒ + Σᵢ W[o][i]·(βᵢ − μᵢγᵢ/σᵢ)`. This lets the
+/// quantization-friendly model keep a normalizing front end (trainability)
+/// while the deployed kernel remains a pure fused-Linear pipeline.
+pub fn fold_input_batchnorm(bn: &BatchNorm1d, linear: &Linear) -> Linear {
+    assert_eq!(linear.in_dim(), bn.dim(), "input-fold shape mismatch");
+    let mut weight = linear.weight.clone();
+    let mut bias = linear.bias.clone();
+    let (scale, shift) = bn_scale_shift(bn);
+    for (o, b) in bias.iter_mut().enumerate() {
+        let row = weight.row_mut(o);
+        let mut extra = 0.0;
+        for (i, (&a, &s)) in scale.iter().zip(&shift).enumerate() {
+            extra += row[i] * s;
+            row[i] *= a;
+        }
+        *b += extra;
+    }
+    Linear::from_parts(weight, bias)
+}
+
+/// Reduce a network to fused `(Linear, has_relu)` stages, folding every
+/// BatchNorm into the adjacent Linear — input-side for a BN *before* a
+/// Linear (BatchNormFirst blocks, leading BNs), output-side for a BN
+/// *after* one (LinearFirst blocks). Handles both [`crate::mlp::BlockOrder`]s.
+///
+/// Panics on a dangling BatchNorm (not adjacent to any Linear) or a ReLU
+/// without a preceding Linear.
+pub fn fuse_stages(mlp: &Mlp) -> Vec<(Linear, bool)> {
+    let layers = mlp.layers();
+    let mut fused: Vec<(Linear, bool)> = Vec::new();
+    let mut i = 0;
+    while i < layers.len() {
+        let lin = match &layers[i] {
+            // BN → Linear: fold the normalization into the input side.
+            Layer::BatchNorm(bn) => {
+                let Some(Layer::Linear(lin)) = layers.get(i + 1) else {
+                    panic!("dangling BatchNorm at layer {i}: not followed by Linear");
+                };
+                i += 2;
+                fold_input_batchnorm(bn, lin)
+            }
+            Layer::Linear(lin) => {
+                i += 1;
+                lin.clone()
+            }
+            Layer::Relu(_) => panic!("ReLU at layer {i} without a preceding Linear"),
+        };
+        // Linear → BN: fold into the output side.
+        let lin = if let Some(Layer::BatchNorm(bn)) = layers.get(i) {
+            i += 1;
+            fold_batchnorm(&lin, bn)
+        } else {
+            lin
+        };
+        let relu = matches!(layers.get(i), Some(Layer::Relu(_)));
+        if relu {
+            i += 1;
+        }
+        fused.push((lin, relu));
+    }
+    assert!(!fused.is_empty(), "cannot fuse an empty network");
+    fused
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlp::BlockOrder;
+    use crate::tensor::Matrix;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn apply_fused(fused: &[(Linear, bool)], x: &[f64]) -> Vec<f64> {
+        let mut cur = x.to_vec();
+        for (lin, relu) in fused {
+            let mut out = Vec::with_capacity(lin.out_dim());
+            for o in 0..lin.out_dim() {
+                let mut acc = lin.bias[o];
+                for (w, xv) in lin.weight.row(o).iter().zip(&cur) {
+                    acc += w * xv;
+                }
+                out.push(if *relu { acc.max(0.0) } else { acc });
+            }
+            cur = out;
+        }
+        cur
+    }
+
+    #[test]
+    fn fuse_stages_preserves_inference_both_orders() {
+        for (seed, order) in [
+            (9u64, BlockOrder::BatchNormFirst),
+            (10, BlockOrder::LinearFirst),
+        ] {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            let mut model = Mlp::new(6, &[10, 5], order, &mut rng);
+            let data = Matrix::he_uniform(64, 6, &mut rng);
+            for _ in 0..15 {
+                model.forward(&data, true);
+            }
+            let fused = fuse_stages(&model);
+            assert_eq!(fused.len(), 3, "{order:?}");
+            let x = Matrix::he_uniform(4, 6, &mut rng);
+            let want = model.predict(&x);
+            for r in 0..x.rows() {
+                let got = apply_fused(&fused, x.row(r));
+                assert!(
+                    (got[0] - want.get(r, 0)).abs() < 1e-9,
+                    "{order:?}: fused {} vs predict {}",
+                    got[0],
+                    want.get(r, 0)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bn_scale_shift_matches_batchnorm_eval() {
+        let mut bn = BatchNorm1d::new(3);
+        bn.running_mean = vec![0.5, -1.0, 2.0];
+        bn.running_var = vec![4.0, 0.25, 1.0];
+        bn.gamma = vec![2.0, 1.0, -1.5];
+        bn.beta = vec![0.0, 3.0, 1.0];
+        let (scale, shift) = bn_scale_shift(&bn);
+        let x = [1.0, 2.0, -0.5];
+        for i in 0..3 {
+            let want = (x[i] - bn.running_mean[i]) / (bn.running_var[i] + bn.eps).sqrt()
+                * bn.gamma[i]
+                + bn.beta[i];
+            let got = x[i] * scale[i] + shift[i];
+            assert!((got - want).abs() < 1e-12, "feature {i}");
+        }
+    }
+}

@@ -15,15 +15,21 @@
 //! * [`models`] — the tuned background and dEta architectures;
 //! * [`threshold`] — per-polar-bin output thresholds;
 //! * [`search`] — random hyperparameter search (WandB-sweep stand-in);
-//! * [`quant`] — BN folding, INT8 affine quantization, QAT, and the
-//!   bit-exact integer kernel shared with the FPGA dataflow model;
-//! * [`compiled`] — BN-folded, flat-buffer inference plans with a
+//! * [`fold`] — the shared BatchNorm folding / Linear-ReLU fusion used by
+//!   both inference compilers;
+//! * [`quant`] — INT8 affine quantization, QAT, and the reference integer
+//!   kernel;
+//! * [`compiled`] — BN-folded, flat-buffer float inference plans with a
 //!   reusable scratch arena: the allocation-free hot path the localizer
-//!   runs per iteration.
+//!   runs per iteration;
+//! * [`quant_plan`] — the fixed-point INT8 counterpart: batched,
+//!   zero-alloc, pure integer arithmetic, shared bit-exactly with the
+//!   FPGA dataflow model.
 
 pub mod adam;
 pub mod compiled;
 pub mod data;
+pub mod fold;
 pub mod importance;
 pub mod layers;
 pub mod loss;
@@ -32,6 +38,7 @@ pub mod mlp;
 pub mod models;
 pub mod optimizer;
 pub mod quant;
+pub mod quant_plan;
 pub mod search;
 pub mod tensor;
 pub mod threshold;
@@ -51,6 +58,7 @@ pub use quant::{
     fold_batchnorm, qat_finetune, QuantParams, QuantScheme, QuantizedLayer, QuantizedMlp,
     WeightBits,
 };
+pub use quant_plan::{CompiledQuantMlp, QuantScratch, Requant};
 pub use search::{random_search, Candidate, SearchResult, SearchSpace};
 pub use tensor::Matrix;
 pub use threshold::{ThresholdTable, N_POLAR_BINS};

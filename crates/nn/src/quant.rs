@@ -17,13 +17,20 @@
 //! computation.
 
 use crate::data::Dataset;
-use crate::layers::{BatchNorm1d, Linear};
 use crate::mlp::{BlockOrder, Layer, Mlp};
 use crate::optimizer::Sgd;
+use crate::quant_plan::{CompiledQuantMlp, QuantScratch};
 use crate::tensor::Matrix;
 use crate::train::TrainConfig;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::sync::OnceLock;
+
+// The BN folds historically lived here; they are shared with the float
+// compiler now, but this remains their public path.
+pub use crate::fold::{fold_batchnorm, fold_input_batchnorm};
+use crate::layers::Linear;
 
 /// Affine quantization parameters mapping `f64` to `i8`.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -69,52 +76,6 @@ impl QuantParams {
     pub fn fake_quant(&self, x: f64) -> f64 {
         self.dequantize(self.quantize(x))
     }
-}
-
-/// Fold a BatchNorm into the Linear layer that precedes it, producing an
-/// equivalent Linear (inference-mode statistics).
-pub fn fold_batchnorm(linear: &Linear, bn: &BatchNorm1d) -> Linear {
-    assert_eq!(linear.out_dim(), bn.dim(), "fold shape mismatch");
-    let mut weight = linear.weight.clone();
-    let mut bias = linear.bias.clone();
-    for (o, b) in bias.iter_mut().enumerate() {
-        let inv_std = 1.0 / (bn.running_var[o] + bn.eps).sqrt();
-        let g = bn.gamma[o] * inv_std;
-        for v in weight.row_mut(o) {
-            *v *= g;
-        }
-        *b = g * (*b - bn.running_mean[o]) + bn.beta[o];
-    }
-    Linear::from_parts(weight, bias)
-}
-
-/// Fold an *input-side* BatchNorm into the Linear that follows it:
-/// `W(BN(x)) + b = W' x + b'` with `W'[o][i] = W[o][i]·γᵢ/σᵢ` and
-/// `b'ₒ = bₒ + Σᵢ W[o][i]·(βᵢ − μᵢγᵢ/σᵢ)`. This lets the
-/// quantization-friendly model keep a normalizing front end (trainability)
-/// while the deployed kernel remains a pure fused-Linear pipeline.
-pub fn fold_input_batchnorm(bn: &BatchNorm1d, linear: &Linear) -> Linear {
-    assert_eq!(linear.in_dim(), bn.dim(), "input-fold shape mismatch");
-    let mut weight = linear.weight.clone();
-    let mut bias = linear.bias.clone();
-    let d = bn.dim();
-    let mut scale = vec![0.0; d];
-    let mut shift = vec![0.0; d];
-    for i in 0..d {
-        let inv_std = 1.0 / (bn.running_var[i] + bn.eps).sqrt();
-        scale[i] = bn.gamma[i] * inv_std;
-        shift[i] = bn.beta[i] - bn.running_mean[i] * scale[i];
-    }
-    for (o, b) in bias.iter_mut().enumerate() {
-        let row = weight.row_mut(o);
-        let mut extra = 0.0;
-        for i in 0..d {
-            extra += row[i] * shift[i];
-            row[i] *= scale[i];
-        }
-        *b += extra;
-    }
-    Linear::from_parts(weight, bias)
 }
 
 /// Weight quantization granularity (PyTorch's x86 backend defaults to
@@ -181,16 +142,20 @@ pub struct QuantizedLayer {
 }
 
 impl QuantizedLayer {
-    /// Integer forward: `x_q` holds `in_dim` quantized activations; output
-    /// written to `out_q`.
-    pub fn forward_int8(&self, x_q: &[i8], out_q: &mut Vec<i8>) {
+    /// Integer forward with the f64-multiplier requantization — the
+    /// *specification* kernel. `x_q` holds `in_dim` quantized activations;
+    /// the `out_dim` outputs are written into the caller's `out_q` slice
+    /// (no allocation; callers own and reuse the buffer). The deployed
+    /// hot path is the fixed-point [`crate::quant_plan::CompiledQuantMlp`],
+    /// which is property-tested against this reference.
+    pub fn forward_int8(&self, x_q: &[i8], out_q: &mut [i8]) {
         assert_eq!(x_q.len(), self.in_dim);
-        out_q.clear();
+        assert_eq!(out_q.len(), self.out_dim);
         let zx = self.input_params.zero_point;
         let sx = self.input_params.scale;
         let sy = self.output_params.scale;
         let zy = self.output_params.zero_point;
-        for o in 0..self.out_dim {
+        for (o, out) in out_q.iter_mut().enumerate() {
             let row = &self.weight_q[o * self.in_dim..(o + 1) * self.in_dim];
             let mut acc: i32 = self.bias_q[o];
             for (w, x) in row.iter().zip(x_q) {
@@ -202,17 +167,18 @@ impl QuantizedLayer {
             if self.relu {
                 y = y.max(zy); // ReLU in quantized space: clamp at real zero
             }
-            out_q.push(y.clamp(-128, 127) as i8);
+            *out = y.clamp(-128, 127) as i8;
         }
     }
 
     /// Float reference of the same fused computation (dequantized weights),
-    /// for accuracy comparisons and FPGA co-simulation checks.
-    pub fn forward_float_ref(&self, x: &[f64], out: &mut Vec<f64>) {
+    /// for accuracy comparisons and FPGA co-simulation checks. Writes the
+    /// `out_dim` outputs into the caller's slice.
+    pub fn forward_float_ref(&self, x: &[f64], out: &mut [f64]) {
         assert_eq!(x.len(), self.in_dim);
-        out.clear();
+        assert_eq!(out.len(), self.out_dim);
         let sx = self.input_params.scale;
-        for o in 0..self.out_dim {
+        for (o, out) in out.iter_mut().enumerate() {
             let sw = self.weight_scales[o];
             let row = &self.weight_q[o * self.in_dim..(o + 1) * self.in_dim];
             let mut acc = self.bias_q[o] as f64 * sw * sx;
@@ -222,7 +188,7 @@ impl QuantizedLayer {
             if self.relu {
                 acc = acc.max(0.0);
             }
-            out.push(acc);
+            *out = acc;
         }
     }
 
@@ -247,6 +213,10 @@ pub struct QuantizedMlp {
     pub layers: Vec<QuantizedLayer>,
     /// Optional per-feature input normalization `(scale, shift)`.
     pub input_norm: Option<(Vec<f64>, Vec<f64>)>,
+    /// Lazily compiled fixed-point plan backing the forward methods.
+    /// Rebuilt on demand after clone/deserialize (not persisted).
+    #[serde(skip, default)]
+    plan: OnceLock<CompiledQuantMlp>,
 }
 
 /// Extract a leading input BatchNorm (one appearing before any Linear) as
@@ -254,17 +224,7 @@ pub struct QuantizedMlp {
 fn leading_input_norm(model: &Mlp) -> Option<(Vec<f64>, Vec<f64>)> {
     for layer in model.layers() {
         match layer {
-            Layer::BatchNorm(bn) => {
-                let d = bn.dim();
-                let mut scale = vec![0.0; d];
-                let mut shift = vec![0.0; d];
-                for i in 0..d {
-                    let inv_std = 1.0 / (bn.running_var[i] + bn.eps).sqrt();
-                    scale[i] = bn.gamma[i] * inv_std;
-                    shift[i] = bn.beta[i] - bn.running_mean[i] * scale[i];
-                }
-                return Some((scale, shift));
-            }
+            Layer::BatchNorm(bn) => return Some(crate::fold::bn_scale_shift(bn)),
             Layer::Linear(_) => return None,
             Layer::Relu(_) => continue,
         }
@@ -280,35 +240,7 @@ fn fuse_blocks(model: &Mlp) -> Vec<(Linear, bool)> {
         BlockOrder::LinearFirst,
         "fusion requires the LinearFirst (quantization-friendly) order"
     );
-    let layers = model.layers();
-    let mut fused: Vec<(Linear, bool)> = Vec::new();
-    let mut pending_input_bn: Option<&BatchNorm1d> = None;
-    let mut i = 0;
-    while i < layers.len() {
-        match &layers[i] {
-            Layer::Linear(lin) => {
-                // a BatchNorm seen *before* this Linear folds forward
-                let lin_folded = match pending_input_bn.take() {
-                    Some(bn) => fold_input_batchnorm(bn, lin),
-                    None => lin.clone(),
-                };
-                if let Some(Layer::BatchNorm(bn)) = layers.get(i + 1) {
-                    let has_relu = matches!(layers.get(i + 2), Some(Layer::Relu(_)));
-                    fused.push((fold_batchnorm(&lin_folded, bn), has_relu));
-                    i += if has_relu { 3 } else { 2 };
-                } else {
-                    fused.push((lin_folded, false));
-                    i += 1;
-                }
-            }
-            Layer::BatchNorm(bn) => {
-                pending_input_bn = Some(bn);
-                i += 1;
-            }
-            _ => i += 1,
-        }
-    }
-    fused
+    crate::fold::fuse_stages(model)
 }
 
 impl QuantizedMlp {
@@ -420,7 +352,11 @@ impl QuantizedMlp {
                 relu: *relu,
             });
         }
-        QuantizedMlp { layers, input_norm }
+        QuantizedMlp {
+            layers,
+            input_norm,
+            plan: OnceLock::new(),
+        }
     }
 
     /// Input feature width.
@@ -428,9 +364,38 @@ impl QuantizedMlp {
         self.layers[0].in_dim
     }
 
+    /// The compiled fixed-point inference plan for this network, built on
+    /// first use and cached. This plan *is* the deployed arithmetic: the
+    /// forward methods below and the FPGA cosim all execute it.
+    pub fn plan(&self) -> &CompiledQuantMlp {
+        self.plan.get_or_init(|| CompiledQuantMlp::compile(self))
+    }
+
     /// End-to-end INT8 inference for one feature vector; returns the
     /// dequantized scalar output (a logit for the background net).
+    /// Executes the compiled fixed-point plan through a thread-local
+    /// scratch — allocation-free after warm-up.
     pub fn forward_one(&self, features: &[f64]) -> f64 {
+        thread_local! {
+            static SCRATCH: RefCell<QuantScratch> = RefCell::new(QuantScratch::new());
+        }
+        SCRATCH.with(|s| self.plan().forward_one(features, &mut s.borrow_mut()))
+    }
+
+    /// Batch inference (row per example), through the compiled plan.
+    pub fn forward(&self, x: &Matrix) -> Vec<f64> {
+        thread_local! {
+            static SCRATCH: RefCell<QuantScratch> = RefCell::new(QuantScratch::new());
+        }
+        SCRATCH.with(|s| self.plan().forward_batch(x, &mut s.borrow_mut()).to_vec())
+    }
+
+    /// Reference forward pass through the scalar specification kernel
+    /// ([`QuantizedLayer::forward_int8`], f64-multiplier requantization).
+    /// This is what `forward_one` computed before the compiled plan
+    /// existed; it is kept as the comparison baseline for property tests
+    /// and benchmarks.
+    pub fn forward_one_reference(&self, features: &[f64]) -> f64 {
         let normalized: Vec<f64> = match &self.input_norm {
             Some((scale, shift)) => features
                 .iter()
@@ -443,18 +408,13 @@ impl QuantizedMlp {
             .iter()
             .map(|&v| self.layers[0].input_params.quantize(v))
             .collect();
-        let mut next: Vec<i8> = Vec::new();
         for layer in &self.layers {
+            let mut next = vec![0i8; layer.out_dim];
             layer.forward_int8(&q, &mut next);
-            std::mem::swap(&mut q, &mut next);
+            q = next;
         }
         let last = self.layers.last().unwrap();
         last.output_params.dequantize(q[0])
-    }
-
-    /// Batch inference (row per example).
-    pub fn forward(&self, x: &Matrix) -> Vec<f64> {
-        (0..x.rows()).map(|r| self.forward_one(x.row(r))).collect()
     }
 
     /// Total multiply-accumulates per inference.
@@ -571,6 +531,7 @@ fn restore_linear_weights(model: &mut Mlp, latent: Vec<(Matrix, Vec<f64>)>) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::layers::BatchNorm1d;
     use crate::models;
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
@@ -699,10 +660,10 @@ mod tests {
             let int_out = q.forward_one(&x);
             // float ref through the same fused layers
             let mut cur = x.clone();
-            let mut buf = Vec::new();
             for layer in &q.layers {
+                let mut buf = vec![0.0; layer.out_dim];
                 layer.forward_float_ref(&cur, &mut buf);
-                std::mem::swap(&mut cur, &mut buf);
+                cur = buf;
             }
             let tol = q.layers.iter().map(|l| l.output_params.scale).sum::<f64>() * 4.0;
             assert!(

@@ -9,8 +9,9 @@ use rand::Rng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-/// Minimum number of scalar multiply-accumulates before a matmul goes
-/// parallel. Below this, rayon overhead dominates.
+/// Minimum number of scalar multiply-accumulates before a kernel goes
+/// parallel. Below this, rayon overhead dominates. Shared by the matmuls
+/// here and the compiled inference plans (float and INT8).
 ///
 /// Re-measured with `cargo bench --bench inference_plan` era kernels
 /// (Xeon @ 2.7 GHz): the scalar kernel sustains ~0.7 ns/MAC and the
@@ -21,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// break-even and won nothing. 256k MACs (~180 us sequential) keeps a
 /// ~4x margin over the fork cost; on a single-core host rayon runs
 /// inline and the threshold is moot.
-const PAR_FLOP_THRESHOLD: usize = 256 * 1024;
+pub const PAR_FLOP_THRESHOLD: usize = 256 * 1024;
 
 /// A dense row-major matrix. The `Default` is the empty `0 × 0` matrix
 /// (a staging buffer before its first `resize`).

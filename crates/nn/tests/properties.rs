@@ -2,8 +2,8 @@
 
 use adapt_nn::mlp::BlockOrder;
 use adapt_nn::{
-    auc, bce_with_logits, mse, CompiledMlp, InferenceScratch, Matrix, Mlp, QuantParams,
-    QuantScheme, QuantizedMlp, Sgd, WeightBits,
+    auc, bce_with_logits, mse, CompiledMlp, CompiledQuantMlp, InferenceScratch, Matrix, Mlp,
+    QuantParams, QuantScheme, QuantScratch, QuantizedMlp, Requant, Sgd, WeightBits,
 };
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -74,6 +74,39 @@ proptest! {
         // idempotent: quantizing a quantized value is exact
         let q1 = qp.fake_quant(x);
         prop_assert!((qp.fake_quant(q1) - q1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fixed_point_requant_matches_f64_multiplier_path(
+        seed in 0u64..400,
+        log_m in -20.0f64..4.0,
+    ) {
+        // across random layer-scale products m = s_w·s_x/s_y, the integer
+        // (multiplier, shift) pair must reproduce round(acc·m) for every
+        // accumulator that lands in (or clamps to) the representable i8
+        // output range. The fixed-point mantissa carries 31 bits of m, so
+        // away from exact .5 ties (measure-zero for random real scales)
+        // the two paths agree exactly.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        use rand::Rng;
+        let m = rng.gen_range(0.5f64..1.0) * log_m.exp2();
+        let rq = Requant::from_multiplier(m);
+        // sweep accumulators that cover every representable i8 output
+        for target in -130i64..130 {
+            let acc = (target as f64 / m).round() as i64;
+            if acc.abs() > i32::MAX as i64 {
+                continue;
+            }
+            for delta in [-1i64, 0, 1] {
+                let acc = (acc + delta).clamp(i32::MIN as i64, i32::MAX as i64) as i32;
+                let fixed = rq.apply(acc);
+                let float = ((acc as f64) * m).round() as i32;
+                prop_assert_eq!(
+                    fixed, float,
+                    "m={}, acc={}: fixed {} vs float {}", m, acc, fixed, float
+                );
+            }
+        }
     }
 
     #[test]
@@ -157,6 +190,63 @@ proptest! {
         prop_assert_eq!(compiled.len(), batch);
         for (c, r) in compiled.iter().zip(reference.as_slice()) {
             prop_assert!((c - r).abs() < 1e-9, "compiled {c} vs predict {r}");
+        }
+    }
+
+    #[test]
+    fn compiled_quant_plan_bit_identical_to_forward_one(
+        seed in 0u64..150,
+        input_dim in 2usize..16,
+        w1 in 1usize..24,
+        w2 in 1usize..16,
+        batch in 1usize..48,
+        scheme_pc in proptest::bool::ANY,
+    ) {
+        // batched fixed-point forwards must equal the per-sample path bit
+        // for bit on arbitrary shapes, batch sizes, and weight schemes
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut model = Mlp::new(input_dim, &[w1, w2], BlockOrder::LinearFirst, &mut rng);
+        let calib = Matrix::he_uniform(32.max(batch), input_dim, &mut rng);
+        for _ in 0..3 {
+            model.forward(&calib, true);
+        }
+        let scheme = if scheme_pc { QuantScheme::PerChannel } else { QuantScheme::PerTensor };
+        let q = QuantizedMlp::quantize_with(&model, &calib, scheme, WeightBits::Int8);
+        let plan = CompiledQuantMlp::compile(&q);
+        let x = Matrix::he_uniform(batch, input_dim, &mut rng);
+        let mut scratch = QuantScratch::new();
+        let batched = plan.forward_batch(&x, &mut scratch);
+        prop_assert_eq!(batched.len(), batch);
+        for (r, &b) in batched.iter().enumerate() {
+            let one = q.forward_one(x.row(r));
+            prop_assert_eq!(b, one, "row {} of {}", r, batch);
+        }
+    }
+
+    #[test]
+    fn compiled_quant_plan_tracks_scalar_reference(
+        seed in 0u64..100,
+        input_dim in 2usize..12,
+        width in 2usize..20,
+    ) {
+        // the plan's RNE fixed-point requantization and the reference
+        // kernel's f64-multiplier rounding may disagree only at exact
+        // rounding ties — at most one quantization step at the output
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut model = Mlp::new(input_dim, &[width], BlockOrder::LinearFirst, &mut rng);
+        let calib = Matrix::he_uniform(48, input_dim, &mut rng);
+        for _ in 0..3 {
+            model.forward(&calib, true);
+        }
+        let q = QuantizedMlp::quantize(&model, &calib);
+        let out_scale = q.layers.last().unwrap().output_params.scale;
+        for r in 0..16 {
+            let plan_out = q.forward_one(calib.row(r));
+            let ref_out = q.forward_one_reference(calib.row(r));
+            prop_assert!(
+                (plan_out - ref_out).abs() <= out_scale * (q.layers.len() as f64) + 1e-12,
+                "plan {} vs reference {} (scale {})", plan_out, ref_out, out_scale
+            );
         }
     }
 
