@@ -59,14 +59,35 @@ struct SkymapReport {
     credible_region_90_sr_adaptive: f64,
 }
 
+/// Report schema version. Bump when the report's shape changes; the
+/// writer refuses to clobber a file written by a *newer* schema so a
+/// stale binary cannot silently downgrade checked-in results.
+const BENCH_SCHEMA: u64 = 2;
+
 #[derive(Serialize)]
 struct BenchReport {
+    schema: u64,
     description: String,
     repetitions: usize,
     background_net_inference_256_rings: InferenceReport,
     int8_background_net_inference_256_rings: QuantInferenceReport,
     skymap_12k_pixels_600_rings: SkymapReport,
     pipeline_trial_ml_ms: f64,
+    /// Per-stage latency percentiles (paper Tables I/II protocol) from
+    /// the telemetry histograms.
+    stage_timing: adapt_core::TimingTable,
+}
+
+/// The `"schema"` field of an existing report file, if any. Files from
+/// before the field existed count as schema 1.
+fn existing_schema(path: &str) -> Option<u64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let v: serde::Value = serde_json::from_str(&text).ok()?;
+    Some(match v.get("schema") {
+        Some(serde::Value::UInt(n)) => *n,
+        Some(serde::Value::Int(n)) => (*n).max(0) as u64,
+        _ => 1,
+    })
 }
 
 /// Median wall-clock seconds of `f` over `reps` timed repetitions
@@ -215,7 +236,11 @@ fn main() {
         )
     });
 
+    // -- per-stage percentiles over the same protocol as Tables I/II --
+    let stage_timing = adapt_core::measure_stages(&pipeline, reps.min(20), 0x712);
+
     let out = BenchReport {
+        schema: BENCH_SCHEMA,
         description: "localization hot-loop benchmarks; regenerate with \
                       `cargo run --release -p adapt-bench --bin bench_pipeline`"
             .into(),
@@ -243,11 +268,19 @@ fn main() {
             credible_region_90_sr_adaptive: cr90_adaptive,
         },
         pipeline_trial_ml_ms: trial_s * 1e3,
+        stage_timing,
     };
     let path = std::env::var("ADAPT_BENCH_OUT").unwrap_or_else(|_| "BENCH_pipeline.json".into());
+    if let Some(found) = existing_schema(&path) {
+        assert!(
+            found <= BENCH_SCHEMA,
+            "{path} was written by schema {found} but this binary writes schema \
+             {BENCH_SCHEMA}; rebuild from the current tree instead of overwriting"
+        );
+    }
     let pretty = serde_json::to_string_pretty(&out).expect("serialize benchmark report");
     std::fs::write(&path, pretty + "\n").expect("write benchmark report");
-    println!("wrote {path}");
+    println!("wrote {path} (schema {BENCH_SCHEMA})");
     println!(
         "inference: predict {:.1} us vs compiled {:.1} us ({:.2}x, max |dlogit| {:.2e})",
         predict_s * 1e6,

@@ -1,9 +1,12 @@
 //! Regenerates the stage-timing tables (paper Tables I/II) on this host.
-//! Scale repetitions with `ADAPT_TIMING_REPS` (paper: 300).
+//! Scale repetitions with `ADAPT_TIMING_REPS` (paper: 300). Pass
+//! `--paper` for the paper's original two-column (mean + range) layout;
+//! the default rendering adds p50/p99 columns from the stage histograms.
 fn main() {
+    let paper_layout = std::env::args().any(|a| a == "--paper");
     let models = adapt_bench::shared_models();
     println!(
         "{}",
-        adapt_bench::run_table12(&models, adapt_bench::timing_reps())
+        adapt_bench::run_table12_with(&models, adapt_bench::timing_reps(), paper_layout)
     );
 }

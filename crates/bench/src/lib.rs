@@ -181,8 +181,14 @@ pub fn run_fig11(models: &TrainedModels, spec: TrialSpec) -> String {
     )
 }
 
-/// Tables I/II: per-stage latency on this host.
+/// Tables I/II: per-stage latency on this host (percentile columns).
 pub fn run_table12(models: &TrainedModels, repetitions: usize) -> String {
+    run_table12_with(models, repetitions, false)
+}
+
+/// As [`run_table12`]; `paper_layout` selects the paper's original
+/// two-column (mean + range) rendering instead of the percentile table.
+pub fn run_table12_with(models: &TrainedModels, repetitions: usize, paper_layout: bool) -> String {
     let pipeline = Pipeline::new(models);
     let table = measure_stages(&pipeline, repetitions, 0x712);
     format!(
@@ -190,7 +196,11 @@ pub fn run_table12(models: &TrainedModels, repetitions: usize) -> String {
          (paper: RPi 3B+ total 834 ms [730-1116]; Atom total 220.7 ms\n\
           [204-246]; NN inference a modest share of the total)\n\n{}",
         repetitions,
-        table.format()
+        if paper_layout {
+            table.format_paper()
+        } else {
+            table.format()
+        }
     )
 }
 

@@ -22,14 +22,42 @@ SUBCOMMANDS:
                --scale <fast|default=fast> --out <path=models.json> --seed <u64=7>
     localize   localize a simulated burst
                --models <path=models.json> --fluence <=1.0> --angle <=0>
-               --seed <=42> --mode <ml|baseline|quantized=ml>
+               --seed <=42> --reps <trials per mode=1>
+               --mode <ml|baseline|quantized|no-polar|oracle-no-background|
+                       oracle-true-deta|all=ml>
                --backend <float|int8=float> (background-net arithmetic for --mode ml)
+               --telemetry <path> (capture a flight-recorder NDJSON file)
+    telemetry-report
+               validate an NDJSON capture and render its percentile table
+               --input <path=telemetry.ndjson>
     skymap     produce a credible-region summary of the posterior sky map
                --models <path=models.json> --fluence <=1.0> --angle <=0>
                --seed <=42> --credibility <=0.9> --pixels <=3000>
     report     evaluate stored models on fresh bursts
                --models <path=models.json>
     help       print this text";
+
+/// Stable machine name for a mode (NDJSON `mode` field; also the
+/// `--mode` flag value).
+fn mode_name(mode: PipelineMode) -> &'static str {
+    match mode {
+        PipelineMode::Baseline => "baseline",
+        PipelineMode::Ml => "ml",
+        PipelineMode::MlQuantized => "quantized",
+        PipelineMode::MlNoPolar => "no-polar",
+        PipelineMode::OracleNoBackground => "oracle-no-background",
+        PipelineMode::OracleTrueDeta => "oracle-true-deta",
+    }
+}
+
+const ALL_MODES: [PipelineMode; 6] = [
+    PipelineMode::Baseline,
+    PipelineMode::Ml,
+    PipelineMode::MlQuantized,
+    PipelineMode::MlNoPolar,
+    PipelineMode::OracleNoBackground,
+    PipelineMode::OracleTrueDeta,
+];
 
 fn load_models(path: &str) -> Result<TrainedModels, String> {
     TrainedModels::load(Path::new(path))
@@ -109,39 +137,141 @@ pub fn train(args: &Args) -> Result<(), String> {
 
 /// `adapt localize`
 pub fn localize(args: &Args) -> Result<(), String> {
-    args.assert_known(&["models", "fluence", "angle", "seed", "mode", "backend"])?;
+    args.assert_known(&[
+        "models",
+        "fluence",
+        "angle",
+        "seed",
+        "mode",
+        "backend",
+        "telemetry",
+        "reps",
+    ])?;
     let models = load_models(&args.get_or("models", "models.json"))?;
     let fluence: f64 = args.get_parse_or("fluence", 1.0)?;
     let angle: f64 = args.get_parse_or("angle", 0.0)?;
     let seed: u64 = args.get_parse_or("seed", 42)?;
-    let mode = match args.get_or("mode", "ml").as_str() {
-        "ml" => PipelineMode::Ml,
-        "baseline" => PipelineMode::Baseline,
-        "quantized" => PipelineMode::MlQuantized,
-        other => return Err(format!("unknown mode '{other}' (ml|baseline|quantized)")),
+    let reps: u64 = args.get_parse_or("reps", 1)?;
+    if reps == 0 {
+        return Err("--reps must be >= 1".into());
+    }
+    let mode_flag = args.get_or("mode", "ml");
+    let modes: Vec<PipelineMode> = if mode_flag == "all" {
+        ALL_MODES.to_vec()
+    } else {
+        vec![ALL_MODES
+            .into_iter()
+            .find(|&m| mode_name(m) == mode_flag)
+            .ok_or_else(|| {
+                format!(
+                    "unknown mode '{mode_flag}' \
+                     (ml|baseline|quantized|no-polar|oracle-no-background|oracle-true-deta|all)"
+                )
+            })?]
     };
     let backend_flag = args.get_or("backend", "float");
     let backend = adapt_localize::InferenceBackend::parse(&backend_flag)
         .ok_or_else(|| format!("unknown backend '{backend_flag}' (float|int8)"))?;
-    let pipeline = Pipeline::new(&models).with_backend(backend);
-    let out = pipeline.run_trial(
-        mode,
-        &GrbConfig::new(fluence, angle),
-        PerturbationConfig::default(),
-        seed,
-    );
-    let backend_tag = match mode {
-        PipelineMode::Ml => format!(" [{backend} backend]"),
-        _ => String::new(),
-    };
+    let telemetry_path = args.get("telemetry");
+
+    let recorder = adapt_telemetry::FlightRecorder::new();
+    let mut pipeline = Pipeline::new(&models).with_backend(backend);
+    if telemetry_path.is_some() {
+        pipeline = pipeline.with_recorder(&recorder);
+    }
+    let grb = GrbConfig::new(fluence, angle);
+    for &mode in &modes {
+        for rep in 0..reps {
+            let trial_seed = seed.wrapping_add(rep);
+            recorder.begin_trial(mode_name(mode), trial_seed);
+            let out = pipeline.run_trial(mode, &grb, PerturbationConfig::default(), trial_seed);
+            recorder.push_trial(adapt_telemetry::TrialRecord {
+                mode: mode_name(mode).to_string(),
+                seed: trial_seed,
+                error_deg: out.error_deg,
+                rings_in: out.rings_in,
+                rings_surviving: out.rings_surviving,
+                degenerate_rings: out.degenerate_rings,
+                total_ms: out.timings.total.as_secs_f64() * 1e3,
+            });
+            let backend_tag = match mode {
+                PipelineMode::Ml => format!(" [{backend} backend]"),
+                _ => String::new(),
+            };
+            println!(
+                "{}{backend_tag}: error {:.2} deg | {} rings in, {} surviving, \
+                 {} degenerate | total {:.1} ms",
+                mode.label(),
+                out.error_deg,
+                out.rings_in,
+                out.rings_surviving,
+                out.degenerate_rings,
+                out.timings.total.as_secs_f64() * 1e3
+            );
+        }
+    }
+
+    if let Some(path) = telemetry_path {
+        let text = adapt_telemetry::export(&recorder, reps as usize);
+        adapt_telemetry::validate_ndjson(&text)
+            .map_err(|e| format!("internal error: capture fails its own schema: {e}"))?;
+        std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!(
+            "telemetry: {} lines written to {path} (schema {})",
+            text.lines().count(),
+            adapt_telemetry::NDJSON_SCHEMA
+        );
+    }
+    Ok(())
+}
+
+/// `adapt telemetry-report`
+pub fn telemetry_report(args: &Args) -> Result<(), String> {
+    args.assert_known(&["input"])?;
+    let path = args.get_or("input", "telemetry.ndjson");
+    let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let summary = adapt_telemetry::validate_ndjson(&text)
+        .map_err(|e| format!("{path} failed schema validation: {e}"))?;
+
     println!(
-        "{}{backend_tag}: error {:.2} deg | {} rings in, {} surviving | total {:.1} ms",
-        mode.label(),
-        out.error_deg,
-        out.rings_in,
-        out.rings_surviving,
-        out.timings.total.as_secs_f64() * 1e3
+        "telemetry capture {path}: schema {}, {} repetitions/mode, {} trials ({})",
+        summary.schema,
+        summary.repetitions,
+        summary.n_trials,
+        if summary.modes.is_empty() {
+            "no modes".to_string()
+        } else {
+            summary.modes.join(", ")
+        }
     );
+    println!();
+    println!(
+        "{:<22} {:>7} {:>10} {:>10} {:>10} {:>10} {:>14}",
+        "Stage", "Count", "Mean (ms)", "p50 (ms)", "p90 (ms)", "p99 (ms)", "Range (ms)"
+    );
+    for (name, s) in &summary.stages {
+        let label = adapt_telemetry::Stage::parse(name)
+            .map(|st| st.table_label())
+            .unwrap_or(name.as_str());
+        println!(
+            "{:<22} {:>7} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>6.1}-{:<7.1}",
+            label, s.count, s.mean_ms, s.p50_ms, s.p90_ms, s.p99_ms, s.min_ms, s.max_ms
+        );
+    }
+    if !summary.counters.is_empty() {
+        println!();
+        for (name, value) in &summary.counters {
+            println!("{name:<22} {value}");
+        }
+    }
+    if summary.n_loop_summaries > 0 {
+        println!();
+        println!(
+            "loop introspection: {} iteration records, {} summaries, \
+             mean |d-eta correction| {:.4}",
+            summary.n_loop_iterations, summary.n_loop_summaries, summary.mean_abs_d_eta_correction
+        );
+    }
     Ok(())
 }
 

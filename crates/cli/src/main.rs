@@ -26,6 +26,7 @@ fn main() {
         Some("simulate") => commands::simulate(&parsed),
         Some("train") => commands::train(&parsed),
         Some("localize") => commands::localize(&parsed),
+        Some("telemetry-report") => commands::telemetry_report(&parsed),
         Some("skymap") => commands::skymap(&parsed),
         Some("report") => commands::report(&parsed),
         Some("help") | None => {

@@ -20,10 +20,11 @@ use adapt_localize::{
 };
 use adapt_math::angles::angular_separation;
 use adapt_nn::CompiledMlp;
-use adapt_recon::{ComptonRing, Reconstructor};
+use adapt_recon::{ComptonRing, ReconCounts, Reconstructor};
 use adapt_sim::{
     BackgroundConfig, BurstSimulation, DetectorConfig, GrbConfig, GrbSource, PerturbationConfig,
 };
+use adapt_telemetry::{Counter, Recorder, Stage};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -75,6 +76,10 @@ pub struct TrialOutcome {
     /// Rings surviving background rejection (ML modes; otherwise equals
     /// `rings_in`).
     pub rings_surviving: usize,
+    /// Events rejected during reconstruction for non-physical geometry or
+    /// energy (only populated by [`Pipeline::run_trial`]; zero when
+    /// localizing pre-reconstructed rings).
+    pub degenerate_rings: usize,
     /// Per-stage timings.
     pub timings: TrialTimings,
 }
@@ -117,6 +122,7 @@ pub struct Pipeline<'a> {
     backend: InferenceBackend,
     detector: DetectorConfig,
     background: BackgroundConfig,
+    recorder: &'a dyn Recorder,
 }
 
 impl<'a> Pipeline<'a> {
@@ -131,12 +137,23 @@ impl<'a> Pipeline<'a> {
             backend: InferenceBackend::default(),
             detector: DetectorConfig::default(),
             background: BackgroundConfig::default(),
+            recorder: adapt_telemetry::noop(),
         }
     }
 
     /// Override the ML loop configuration.
     pub fn with_ml_config(mut self, config: MlPipelineConfig) -> Self {
         self.ml_config = config;
+        self
+    }
+
+    /// Attach a telemetry recorder (e.g. an
+    /// [`adapt_telemetry::FlightRecorder`]): stage durations, pipeline
+    /// counters, and the ML loop's per-iteration records are reported to
+    /// it. The default is the no-op recorder, which keeps the hot path
+    /// free of telemetry cost.
+    pub fn with_recorder(mut self, recorder: &'a dyn Recorder) -> Self {
+        self.recorder = recorder;
         self
     }
 
@@ -165,6 +182,20 @@ impl<'a> Pipeline<'a> {
         perturbation: PerturbationConfig,
         seed: u64,
     ) -> (Vec<ComptonRing>, Duration) {
+        let (rings, recon_time, _) = self.simulate_rings_counted(grb, perturbation, seed);
+        (rings, recon_time)
+    }
+
+    /// As [`simulate_rings`](Self::simulate_rings), additionally returning
+    /// the reconstruction acceptance bookkeeping (attempted / degenerate /
+    /// other-rejected counts). Degenerate events are also reported to the
+    /// attached recorder.
+    pub fn simulate_rings_counted(
+        &self,
+        grb: &GrbConfig,
+        perturbation: PerturbationConfig,
+        seed: u64,
+    ) -> (Vec<ComptonRing>, Duration, ReconCounts) {
         let sim = BurstSimulation::new(
             self.detector.clone(),
             grb.clone(),
@@ -173,8 +204,10 @@ impl<'a> Pipeline<'a> {
         );
         let data = sim.simulate(seed);
         let t = Instant::now();
-        let rings = self.reconstructor.reconstruct_all(&data.events);
-        (rings, t.elapsed())
+        let (rings, counts) = self
+            .reconstructor
+            .reconstruct_all_counted(&data.events, self.recorder);
+        (rings, t.elapsed(), counts)
     }
 
     /// As [`simulate_rings`](Self::simulate_rings) but with the pileup
@@ -262,7 +295,8 @@ impl<'a> Pipeline<'a> {
                     &self.models.thresholds,
                     &self.models.d_eta,
                     self.ml_config.clone(),
-                );
+                )
+                .with_recorder(self.recorder);
                 match Self::localize_reusing_workspace(&ml, &staged, &mut rng) {
                     Some(r) => (Some(r.direction), r.surviving_rings, r.timings),
                     None => (None, rings_in, StageTimings::default()),
@@ -274,7 +308,8 @@ impl<'a> Pipeline<'a> {
                     &self.models.thresholds,
                     &self.models.d_eta,
                     self.ml_config.clone(),
-                );
+                )
+                .with_recorder(self.recorder);
                 match Self::localize_reusing_workspace(&ml, &staged, &mut rng) {
                     Some(r) => (Some(r.direction), r.surviving_rings, r.timings),
                     None => (None, rings_in, StageTimings::default()),
@@ -289,7 +324,8 @@ impl<'a> Pipeline<'a> {
                     &thresholds,
                     &self.models.d_eta_no_polar,
                     cfg,
-                );
+                )
+                .with_recorder(self.recorder);
                 match Self::localize_reusing_workspace(&ml, &staged, &mut rng) {
                     Some(r) => (Some(r.direction), r.surviving_rings, r.timings),
                     None => (None, rings_in, StageTimings::default()),
@@ -302,11 +338,36 @@ impl<'a> Pipeline<'a> {
             Some(d) => (angular_separation(d, source), true),
             None => (180.0, false),
         };
+
+        // flight-recorder stage rows; the NN stages only exist in the ML
+        // modes, so recording them elsewhere would pollute the histograms
+        // with structural zeros
+        self.recorder
+            .duration(Stage::Reconstruction, reconstruction_time);
+        self.recorder.duration(Stage::Setup, setup);
+        self.recorder
+            .duration(Stage::ApproxRefine, ml_timings.approx_refine);
+        self.recorder.duration(Stage::Total, total);
+        if matches!(
+            mode,
+            PipelineMode::Ml | PipelineMode::MlQuantized | PipelineMode::MlNoPolar
+        ) {
+            self.recorder
+                .duration(Stage::DEtaInference, ml_timings.d_eta_inference);
+            self.recorder
+                .duration(Stage::BackgroundInference, ml_timings.background_inference);
+        }
+        self.recorder.add(Counter::TrialsRun, 1);
+        self.recorder.add(Counter::RingsIn, rings_in as u64);
+        self.recorder
+            .add(Counter::RingsRejected, (rings_in - surviving) as u64);
+
         TrialOutcome {
             error_deg,
             localized,
             rings_in,
             rings_surviving: surviving,
+            degenerate_rings: 0,
             timings: TrialTimings {
                 reconstruction: reconstruction_time,
                 setup,
@@ -336,8 +397,10 @@ impl<'a> Pipeline<'a> {
         perturbation: PerturbationConfig,
         seed: u64,
     ) -> TrialOutcome {
-        let (rings, recon_time) = self.simulate_rings(grb, perturbation, seed);
-        self.localize_rings(&rings, mode, grb, seed, recon_time)
+        let (rings, recon_time, counts) = self.simulate_rings_counted(grb, perturbation, seed);
+        let mut out = self.localize_rings(&rings, mode, grb, seed, recon_time);
+        out.degenerate_rings = counts.degenerate_rings;
+        out
     }
 }
 

@@ -7,10 +7,16 @@
 //! numbers differ with the hardware, but the *structure* (NN inference a
 //! modest share; five full iterations well under a second) is the claim
 //! under reproduction.
+//!
+//! Each stage accumulates into an [`adapt_telemetry::LatencyHistogram`],
+//! so the table reports percentiles (p50/p99) alongside the paper's
+//! mean/range columns, and min/max are the histogram's exact extremes
+//! rather than a separately-tracked pair that can drift out of sync with
+//! the distribution.
 
 use crate::pipeline::{Pipeline, PipelineMode};
-use adapt_math::stats::RunningStats;
 use adapt_sim::{GrbConfig, PerturbationConfig};
+use adapt_telemetry::LatencyHistogram;
 use serde::{Deserialize, Serialize};
 
 /// Aggregated timing for one pipeline stage.
@@ -20,6 +26,10 @@ pub struct StageRow {
     pub stage: String,
     /// Mean time (ms).
     pub mean_ms: f64,
+    /// Median time (ms).
+    pub p50_ms: f64,
+    /// 99th-percentile time (ms).
+    pub p99_ms: f64,
     /// Smallest observed time (ms).
     pub min_ms: f64,
     /// Largest observed time (ms).
@@ -36,8 +46,25 @@ pub struct TimingTable {
 }
 
 impl TimingTable {
-    /// Render in the paper's two-column format.
+    /// Render with the percentile columns.
     pub fn format(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<22} {:>14} {:>10} {:>10} {:>16}\n",
+            "Stage", "Mean Time (ms)", "p50 (ms)", "p99 (ms)", "Range (ms)"
+        ));
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<22} {:>14.1} {:>10.1} {:>10.1} {:>8.0}-{:<7.0}\n",
+                r.stage, r.mean_ms, r.p50_ms, r.p99_ms, r.min_ms, r.max_ms
+            ));
+        }
+        out
+    }
+
+    /// Render in the paper's original two-column format (mean + range),
+    /// matching Tables I/II for side-by-side comparison.
+    pub fn format_paper(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
             "{:<22} {:>14} {:>16}\n",
@@ -57,15 +84,7 @@ impl TimingTable {
 /// 1 MeV/cm² normally-incident burst (paper protocol: 300 repetitions).
 pub fn measure_stages(pipeline: &Pipeline<'_>, repetitions: usize, seed: u64) -> TimingTable {
     let grb = GrbConfig::new(1.0, 0.0);
-    let mut recon = RunningStats::new();
-    let mut setup = RunningStats::new();
-    let mut d_eta = RunningStats::new();
-    let mut bkg = RunningStats::new();
-    let mut approx_refine = RunningStats::new();
-    let mut total = RunningStats::new();
-    // pre-simulate the burst once per repetition (the detector produces
-    // events in flight; simulation time is not a pipeline stage), but
-    // reconstruction is timed inside run_trial
+    let hists: Vec<LatencyHistogram> = (0..6).map(|_| LatencyHistogram::new()).collect();
     for rep in 0..repetitions {
         let out = pipeline.run_trial(
             PipelineMode::Ml,
@@ -73,28 +92,32 @@ pub fn measure_stages(pipeline: &Pipeline<'_>, repetitions: usize, seed: u64) ->
             PerturbationConfig::default(),
             seed.wrapping_add(rep as u64),
         );
-        let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
-        recon.push(ms(out.timings.reconstruction));
-        setup.push(ms(out.timings.setup));
-        d_eta.push(ms(out.timings.d_eta_inference));
-        bkg.push(ms(out.timings.background_inference));
-        approx_refine.push(ms(out.timings.approx_refine));
-        total.push(ms(out.timings.total));
+        hists[0].record(out.timings.reconstruction);
+        hists[1].record(out.timings.setup);
+        hists[2].record(out.timings.d_eta_inference);
+        hists[3].record(out.timings.background_inference);
+        hists[4].record(out.timings.approx_refine);
+        hists[5].record(out.timings.total);
     }
-    let row = |stage: &str, s: &RunningStats| StageRow {
-        stage: stage.to_string(),
-        mean_ms: s.mean(),
-        min_ms: s.min(),
-        max_ms: s.max(),
+    let row = |stage: &str, h: &LatencyHistogram| {
+        let s = h.snapshot();
+        StageRow {
+            stage: stage.to_string(),
+            mean_ms: s.mean_ms,
+            p50_ms: s.p50_ms,
+            p99_ms: s.p99_ms,
+            min_ms: s.min_ms,
+            max_ms: s.max_ms,
+        }
     };
     TimingTable {
         rows: vec![
-            row("Reconstruction", &recon),
-            row("Localization Setup", &setup),
-            row("DEta NN Inference", &d_eta),
-            row("Bkg NN Inference", &bkg),
-            row("Approx + Refine", &approx_refine),
-            row("Total (Max 5 iter)", &total),
+            row("Reconstruction", &hists[0]),
+            row("Localization Setup", &hists[1]),
+            row("DEta NN Inference", &hists[2]),
+            row("Bkg NN Inference", &hists[3]),
+            row("Approx + Refine", &hists[4]),
+            row("Total (Max 5 iter)", &hists[5]),
         ],
         repetitions,
     }
@@ -131,11 +154,20 @@ mod tests {
             assert!(r.mean_ms >= 0.0);
             assert!(r.min_ms <= r.mean_ms + 1e-9);
             assert!(r.max_ms >= r.mean_ms - 1e-9);
+            // percentiles are ordered and bracketed by the exact extremes
+            assert!(r.min_ms <= r.p50_ms + 1e-9, "{}: min > p50", r.stage);
+            assert!(r.p50_ms <= r.p99_ms + 1e-9, "{}: p50 > p99", r.stage);
+            assert!(r.p99_ms <= r.max_ms + 1e-9, "{}: p99 > max", r.stage);
         }
         // total dominates every component
         let total = table.rows.last().unwrap().mean_ms;
         assert!(total >= table.rows[0].mean_ms);
         let text = table.format();
         assert!(text.contains("Bkg NN Inference"));
+        assert!(text.contains("p99 (ms)"));
+        // the paper rendering keeps the original two-column layout
+        let paper = table.format_paper();
+        assert!(paper.contains("Range (ms)"));
+        assert!(!paper.contains("p99"));
     }
 }

@@ -22,6 +22,7 @@ use adapt_nn::{
     QuantizedMlp, ThresholdTable,
 };
 use adapt_recon::{ComptonRing, N_FEATURES_WITH_POLAR};
+use adapt_telemetry::{Counter, LoopIterationRecord, LoopSummaryRecord, Recorder, SCORE_BINS};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
@@ -213,6 +214,7 @@ pub struct MlLocalizer<'a> {
     compiled_d_eta: CompiledMlp,
     config: MlPipelineConfig,
     baseline: BaselineLocalizer,
+    recorder: &'a dyn Recorder,
 }
 
 impl<'a> MlLocalizer<'a> {
@@ -231,7 +233,18 @@ impl<'a> MlLocalizer<'a> {
             compiled_d_eta: CompiledMlp::compile(d_eta_net),
             config,
             baseline,
+            recorder: adapt_telemetry::noop(),
         }
+    }
+
+    /// Attach a telemetry recorder: each background-rejection iteration
+    /// emits a [`LoopIterationRecord`] (rings kept/dropped, background
+    /// score histogram, angular step) and each localization a
+    /// [`LoopSummaryRecord`] (iterations, convergence, mean |dη
+    /// correction|).
+    pub fn with_recorder(mut self, recorder: &'a dyn Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// Stage the model input matrix for a set of rings at a given polar
@@ -310,6 +323,7 @@ impl<'a> MlLocalizer<'a> {
         let mut kept: Vec<ComptonRing> = rings.to_vec();
         let mut iterations = 0usize;
         let mut converged = false;
+        let telemetry_live = self.recorder.is_enabled();
         for _ in 0..self.config.max_ml_iterations {
             iterations += 1;
             let polar = polar_angle_deg(s_hat);
@@ -324,29 +338,60 @@ impl<'a> MlLocalizer<'a> {
                 .collect();
             timings.background_inference += t_bkg.elapsed();
 
+            // background-score histogram, only when a recorder is live
+            // (the extra sigmoids are pure telemetry cost)
+            let score_hist = if telemetry_live {
+                let mut hist = [0u32; SCORE_BINS];
+                for &l in ws.logits.iter() {
+                    let bin = ((sigmoid(l) * SCORE_BINS as f64) as usize).min(SCORE_BINS - 1);
+                    hist[bin] += 1;
+                }
+                hist
+            } else {
+                [0u32; SCORE_BINS]
+            };
+            let emit_iteration = |rings_kept: usize, step_deg: f64| {
+                if telemetry_live {
+                    self.recorder.loop_iteration(&LoopIterationRecord {
+                        iteration: iterations,
+                        rings_in: kept.len(),
+                        rings_kept,
+                        score_hist,
+                        step_deg,
+                    });
+                }
+            };
+
             // if rejection nuked the set, keep the previous estimate
             if next.len() < self.config.localizer.refine.min_rings {
+                emit_iteration(next.len(), f64::NAN);
                 break;
             }
-            kept = next;
 
             let t_loc = Instant::now();
-            let Some(refined) = self.baseline.refine_from(&kept, s_hat) else {
-                timings.approx_refine += t_loc.elapsed();
+            let refined = self.baseline.refine_from(&next, s_hat);
+            timings.approx_refine += t_loc.elapsed();
+            let Some(refined) = refined else {
+                emit_iteration(next.len(), f64::NAN);
+                kept = next;
                 break;
             };
-            timings.approx_refine += t_loc.elapsed();
             let delta_deg = adapt_math::angles::rad_to_deg(s_hat.angle_to(refined.direction));
+            emit_iteration(next.len(), delta_deg);
+            kept = next;
             s_hat = refined.direction;
             if delta_deg < self.config.convergence_tol_deg {
                 converged = true;
                 break;
             }
         }
+        self.recorder
+            .add(Counter::LoopIterations, iterations as u64);
 
         // dEta update on survivors, then the final refinement
         let polar = polar_angle_deg(s_hat);
         let t_deta = Instant::now();
+        let mut abs_d_eta_correction = 0.0f64;
         let updated: Vec<ComptonRing> = match self.config.d_eta_update {
             DEtaUpdate::Off => kept.clone(),
             policy => {
@@ -361,12 +406,25 @@ impl<'a> MlLocalizer<'a> {
                             DEtaUpdate::Inflate => predicted.max(r.d_eta),
                             DEtaUpdate::Off => unreachable!(),
                         };
+                        abs_d_eta_correction += (d - r.d_eta).abs();
                         r.with_d_eta(d)
                     })
                     .collect()
             }
         };
         timings.d_eta_inference += t_deta.elapsed();
+        if telemetry_live {
+            self.recorder.loop_summary(&LoopSummaryRecord {
+                iterations,
+                converged,
+                surviving_rings: updated.len(),
+                mean_abs_d_eta_correction: if updated.is_empty() {
+                    0.0
+                } else {
+                    abs_d_eta_correction / updated.len() as f64
+                },
+            });
+        }
 
         let t_final = Instant::now();
         let final_refine = self.baseline.refine_from(&updated, s_hat);

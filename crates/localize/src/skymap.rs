@@ -246,6 +246,28 @@ impl SkyMap {
     /// shrinks as the ring count — and hence the posterior concentration
     /// — grows.
     pub fn from_rings_adaptive(rings: &[ComptonRing], grid: HemisphereGrid, floor_z: f64) -> Self {
+        Self::from_rings_adaptive_recorded(rings, grid, floor_z, adapt_telemetry::noop())
+    }
+
+    /// [`SkyMap::from_rings_adaptive`] with the rasterization wall time
+    /// reported to `recorder` under [`adapt_telemetry::Stage::SkymapRasterize`].
+    pub fn from_rings_adaptive_recorded(
+        rings: &[ComptonRing],
+        grid: HemisphereGrid,
+        floor_z: f64,
+        recorder: &dyn adapt_telemetry::Recorder,
+    ) -> Self {
+        let t0 = std::time::Instant::now();
+        let map = Self::from_rings_adaptive_inner(rings, grid, floor_z);
+        recorder.duration(adapt_telemetry::Stage::SkymapRasterize, t0.elapsed());
+        map
+    }
+
+    fn from_rings_adaptive_inner(
+        rings: &[ComptonRing],
+        grid: HemisphereGrid,
+        floor_z: f64,
+    ) -> Self {
         assert!(!rings.is_empty(), "cannot map an empty ring set");
         if grid.len() < MIN_ADAPTIVE_PIXELS {
             return Self::from_rings(rings, grid, floor_z);

@@ -28,6 +28,6 @@ pub mod ring;
 pub mod sequence;
 
 pub use features::{RingFeatures, N_FEATURES_WITH_POLAR, N_STATIC_FEATURES};
-pub use reconstruct::{ReconConfig, ReconError, Reconstructor};
+pub use reconstruct::{ReconConfig, ReconCounts, ReconError, Reconstructor};
 pub use ring::{ComptonRing, RingTruth};
 pub use sequence::{sequence_hits, SequenceError, Sequencing};

@@ -71,6 +71,26 @@ impl From<SequenceError> for ReconError {
     }
 }
 
+/// Per-batch reconstruction bookkeeping: how many events survived, and
+/// why the rest were discarded. `degenerate` counts the physically
+/// nonsensical rejections (non-physical η, or energy deposits below the
+/// acceptance window — including zero-energy events) separately from
+/// ordinary selection cuts; the paper's trigger diagnostics treat those
+/// as a detector-health signal rather than a rate fluctuation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReconCounts {
+    /// Events offered to the reconstructor.
+    pub attempted: usize,
+    /// Rings successfully built.
+    pub reconstructed: usize,
+    /// Events rejected as degenerate: non-physical η or zero/sub-window
+    /// energy deposits.
+    pub degenerate_rings: usize,
+    /// Events rejected by every other cut (sequencing, redundancy, axis
+    /// length, over-range energy).
+    pub rejected_other: usize,
+}
+
 /// The reconstruction stage.
 #[derive(Debug, Clone, Default)]
 pub struct Reconstructor {
@@ -141,10 +161,55 @@ impl Reconstructor {
 
     /// Reconstruct a batch, keeping only successes.
     pub fn reconstruct_all(&self, events: &[Event]) -> Vec<ComptonRing> {
-        events
+        self.reconstruct_all_counted(events, adapt_telemetry::noop())
+            .0
+    }
+
+    /// As [`reconstruct_all`](Self::reconstruct_all), also tallying why
+    /// events were discarded and bumping the recorder's
+    /// `degenerate_rings` counter.
+    pub fn reconstruct_all_counted(
+        &self,
+        events: &[Event],
+        recorder: &dyn adapt_telemetry::Recorder,
+    ) -> (Vec<ComptonRing>, ReconCounts) {
+        let mut counts = ReconCounts {
+            attempted: events.len(),
+            ..Default::default()
+        };
+        let rings: Vec<ComptonRing> = events
             .iter()
-            .filter_map(|e| self.reconstruct(e).ok())
-            .collect()
+            .filter_map(|e| match self.reconstruct(e) {
+                Ok(ring) => Some(ring),
+                Err(err) => {
+                    if self.is_degenerate(e, err) {
+                        counts.degenerate_rings += 1;
+                    } else {
+                        counts.rejected_other += 1;
+                    }
+                    None
+                }
+            })
+            .collect();
+        counts.reconstructed = rings.len();
+        if counts.degenerate_rings > 0 {
+            recorder.add(
+                adapt_telemetry::Counter::DegenerateRings,
+                counts.degenerate_rings as u64,
+            );
+        }
+        (rings, counts)
+    }
+
+    /// Whether a rejection is *degenerate*: a non-physical ring cosine,
+    /// or an energy deposit at/below the acceptance floor (zero-energy
+    /// events included). Over-range energies are ordinary cuts.
+    fn is_degenerate(&self, event: &Event, err: ReconError) -> bool {
+        match err {
+            ReconError::InvalidEta => true,
+            ReconError::EnergyOutOfRange => event.total_energy() < self.config.min_total_energy,
+            _ => false,
+        }
     }
 }
 
@@ -268,6 +333,44 @@ mod tests {
         let data = sim.simulate(9);
         let rings = Reconstructor::new(cfg).reconstruct_all(&data.events);
         assert!(rings.is_empty());
+    }
+
+    #[test]
+    fn counted_reconstruction_matches_plain_and_classifies_rejects() {
+        let sim = BurstSimulation::with_defaults(GrbConfig::new(2.0, 0.0));
+        let data = sim.simulate(33);
+        let recon = Reconstructor::default();
+        let plain = recon.reconstruct_all(&data.events);
+        let recorder = adapt_telemetry::FlightRecorder::new();
+        let (counted, counts) = recon.reconstruct_all_counted(&data.events, &recorder);
+        assert_eq!(plain.len(), counted.len());
+        assert_eq!(counts.attempted, data.events.len());
+        assert_eq!(counts.reconstructed, counted.len());
+        assert_eq!(
+            counts.attempted,
+            counts.reconstructed + counts.degenerate_rings + counts.rejected_other
+        );
+        assert_eq!(
+            recorder.counter(adapt_telemetry::Counter::DegenerateRings),
+            counts.degenerate_rings as u64
+        );
+        // a real burst always sheds some events below the energy floor
+        assert!(counts.degenerate_rings > 0, "{counts:?}");
+    }
+
+    #[test]
+    fn absurd_energy_floor_makes_every_reject_degenerate() {
+        let cfg = ReconConfig {
+            min_total_energy: 100.0,
+            ..Default::default()
+        };
+        let sim = BurstSimulation::with_defaults(GrbConfig::new(1.0, 0.0));
+        let data = sim.simulate(9);
+        let (rings, counts) =
+            Reconstructor::new(cfg).reconstruct_all_counted(&data.events, adapt_telemetry::noop());
+        assert!(rings.is_empty());
+        assert_eq!(counts.degenerate_rings, counts.attempted);
+        assert_eq!(counts.rejected_other, 0);
     }
 
     #[test]

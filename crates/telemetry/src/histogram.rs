@@ -1,0 +1,325 @@
+//! A lock-free, fixed-bucket latency histogram.
+//!
+//! Buckets are logarithmic with 2^[`SUB_BITS`] linear sub-buckets per
+//! octave (the HdrHistogram layout): every nanosecond value maps to a
+//! bucket whose width is at most 1/8 of its lower edge, so any reported
+//! quantile is within +12.5 % (plus one integer nanosecond) of the true
+//! order statistic. Recording is a single atomic increment per sample —
+//! safe to share across threads by reference, with no locks anywhere —
+//! and two histograms can be merged bucket-wise, which makes per-thread
+//! recording followed by a reduction exactly equivalent to recording
+//! into one shared histogram.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Linear sub-bucket bits per octave (8 sub-buckets).
+pub const SUB_BITS: u32 = 3;
+
+/// Total bucket count: covers the full `u64` nanosecond range exactly.
+/// The top index is `((63 - SUB_BITS + 1) << SUB_BITS) | (2^SUB_BITS - 1)`.
+pub const N_BUCKETS: usize = (64 - SUB_BITS as usize + 1) << SUB_BITS as usize;
+
+/// Bucket index of a nanosecond value (values `>= 1`; 0 records as 1 ns).
+#[inline]
+pub fn bucket_index(ns: u64) -> usize {
+    let v = ns.max(1);
+    let octave = 63 - v.leading_zeros(); // floor(log2 v)
+    if octave < SUB_BITS {
+        v as usize // small values are exact
+    } else {
+        let sub = (v >> (octave - SUB_BITS)) & ((1 << SUB_BITS) - 1);
+        ((((octave - SUB_BITS + 1) as u64) << SUB_BITS) | sub) as usize
+    }
+}
+
+/// Inclusive lower edge of bucket `i` (ns).
+pub fn bucket_lo(i: usize) -> u64 {
+    if i < (1 << SUB_BITS) {
+        i as u64
+    } else {
+        let octave = (i >> SUB_BITS) as u32 + SUB_BITS - 1;
+        let sub = (i & ((1 << SUB_BITS) - 1)) as u64;
+        ((1 << SUB_BITS) + sub) << (octave - SUB_BITS)
+    }
+}
+
+/// Exclusive upper edge of bucket `i` (ns); the reported quantile value.
+pub fn bucket_hi(i: usize) -> u64 {
+    if i < (1 << SUB_BITS) {
+        i as u64 + 1
+    } else {
+        let octave = (i >> SUB_BITS) as u32 + SUB_BITS - 1;
+        bucket_lo(i).saturating_add(1 << (octave - SUB_BITS))
+    }
+}
+
+/// The lock-free log2 latency histogram.
+///
+/// All methods take `&self`; share it across threads by reference (or in
+/// an `Arc`) and merge per-thread instances afterwards — the result is
+/// identical either way.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clone for LatencyHistogram {
+    fn clone(&self) -> Self {
+        let out = Self::new();
+        out.merge(self);
+        out
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram (~4 KiB of buckets).
+    pub fn new() -> Self {
+        LatencyHistogram {
+            buckets: (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one duration.
+    #[inline]
+    pub fn record(&self, d: Duration) {
+        self.record_ns(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Record one nanosecond value.
+    #[inline]
+    pub fn record_ns(&self, ns: u64) {
+        let ns = ns.max(1);
+        self.buckets[bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Fold another histogram into this one (bucket-wise addition).
+    pub fn merge(&self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter().zip(other.buckets.iter()) {
+            let n = b.load(Ordering::Relaxed);
+            if n > 0 {
+                a.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum_ns
+            .fetch_add(other.sum_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min_ns
+            .fetch_min(other.min_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max_ns
+            .fetch_max(other.max_ns.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Exact mean (ns); 0 when empty.
+    pub fn mean_ns(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum_ns.load(Ordering::Relaxed) as f64 / n as f64
+        }
+    }
+
+    /// Exact smallest recorded value (ns); `u64::MAX` when empty.
+    pub fn min_ns(&self) -> u64 {
+        self.min_ns.load(Ordering::Relaxed)
+    }
+
+    /// Exact largest recorded value (ns); 0 when empty.
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (ns), as the upper edge of the bucket holding the
+    /// order statistic at rank `ceil(q·n)` — i.e. the same order-statistic
+    /// convention as the paper's containment radii. Never underestimates
+    /// the true order statistic, and overestimates it by at most one
+    /// bucket width (`≤ 12.5 %` + 1 ns). Returns 0 when empty.
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile fraction out of range");
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            cum += b.load(Ordering::Relaxed);
+            if cum >= rank {
+                // never report past the exact recorded maximum
+                return bucket_hi(i).min(self.max_ns());
+            }
+        }
+        self.max_ns()
+    }
+
+    /// A plain-data summary in milliseconds, for tables and export.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        let n = self.count();
+        HistogramSnapshot {
+            count: n,
+            mean_ms: self.mean_ns() / 1e6,
+            p50_ms: ms(self.quantile_ns(0.50)),
+            p90_ms: ms(self.quantile_ns(0.90)),
+            p99_ms: ms(self.quantile_ns(0.99)),
+            min_ms: if n == 0 { 0.0 } else { ms(self.min_ns()) },
+            max_ms: ms(self.max_ns()),
+        }
+    }
+}
+
+/// Plain-data percentile summary of one histogram (milliseconds).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Samples recorded.
+    pub count: u64,
+    /// Exact arithmetic mean.
+    pub mean_ms: f64,
+    /// Median (bucket upper edge).
+    pub p50_ms: f64,
+    /// 90th percentile.
+    pub p90_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+    /// Exact minimum.
+    pub min_ms: f64,
+    /// Exact maximum.
+    pub max_ms: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_edges_are_contiguous_and_contain_their_values() {
+        let mut prev_hi = 0;
+        for i in 0..N_BUCKETS {
+            let lo = bucket_lo(i);
+            let hi = bucket_hi(i);
+            assert_eq!(lo, prev_hi, "bucket {i} not contiguous");
+            assert!(hi > lo || i == N_BUCKETS - 1, "bucket {i} empty range");
+            prev_hi = hi;
+        }
+        for v in [1u64, 2, 7, 8, 9, 15, 16, 100, 1_000_000, u64::MAX / 2] {
+            let i = bucket_index(v);
+            assert!(bucket_lo(i) <= v, "v={v} below bucket {i}");
+            assert!(
+                v < bucket_hi(i) || bucket_hi(i) == u64::MAX,
+                "v={v} past bucket {i}"
+            );
+        }
+        assert_eq!(bucket_index(u64::MAX), N_BUCKETS - 1);
+    }
+
+    #[test]
+    fn relative_bucket_width_is_bounded() {
+        for i in (1 << SUB_BITS)..N_BUCKETS {
+            let lo = bucket_lo(i);
+            let w = bucket_hi(i).saturating_sub(lo);
+            assert!(
+                (w as f64) <= lo as f64 / (1 << SUB_BITS) as f64 + 1.0,
+                "bucket {i}: width {w} vs lo {lo}"
+            );
+        }
+    }
+
+    #[test]
+    fn quantiles_track_order_statistics() {
+        let h = LatencyHistogram::new();
+        for v in 1..=1000u64 {
+            h.record_ns(v * 1000); // 1 us .. 1 ms
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile_ns(0.5);
+        let true_p50 = 500_000;
+        assert!(p50 >= true_p50 && p50 as f64 <= true_p50 as f64 * 1.126);
+        assert_eq!(h.quantile_ns(1.0), 1_000_000);
+        assert_eq!(h.min_ns(), 1000);
+        assert_eq!(h.max_ns(), 1_000_000);
+        assert!((h.mean_ns() - 500_500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_duration_counts_as_one_ns() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile_ns(0.5), 1);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        let whole = LatencyHistogram::new();
+        for v in 0..500u64 {
+            let ns = (v * 7919) % 100_000 + 1;
+            whole.record_ns(ns);
+            if v % 2 == 0 {
+                a.record_ns(ns)
+            } else {
+                b.record_ns(ns)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.min_ns(), whole.min_ns());
+        assert_eq!(a.max_ns(), whole.max_ns());
+        for q in [0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile_ns(q), whole.quantile_ns(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_benign() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_ns(0.5), 0);
+        let s = h.snapshot();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean_ms, 0.0);
+    }
+
+    #[test]
+    fn threads_share_one_histogram() {
+        let h = LatencyHistogram::new();
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let h = &h;
+                s.spawn(move || {
+                    for v in 0..1000u64 {
+                        h.record_ns(t * 1000 + v + 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 4000);
+        assert_eq!(h.min_ns(), 1);
+    }
+}

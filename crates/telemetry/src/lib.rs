@@ -1,0 +1,38 @@
+//! `adapt-telemetry`: the flight recorder behind the pipeline's
+//! latency and convergence claims.
+//!
+//! The paper's operational claims are latency claims (Tables I/II time
+//! every pipeline stage on flight-class CPUs; the Fig.-6 loop must
+//! converge within a deadline), so the reproduction carries a telemetry
+//! layer able to answer *why* a trial was slow and *how* the iterative
+//! loop behaved:
+//!
+//! * [`LatencyHistogram`] — a lock-free, fixed-bucket log2 histogram
+//!   (8 linear sub-buckets per octave → quantile error ≤ 12.5 %),
+//!   mergeable across threads, with exact mean/min/max;
+//! * [`Recorder`] — the span/counter trait instrumented code talks to;
+//!   [`NoopRecorder`] (the default everywhere) makes disabled telemetry
+//!   cost one empty virtual call per stage;
+//! * [`FlightRecorder`] — the enabled implementation: per-stage
+//!   histograms, atomic counters, and loop-introspection records
+//!   (rings kept/dropped, background-score histograms, dη correction
+//!   magnitudes, per-iteration angular steps);
+//! * [`ndjson`] — NDJSON export plus the schema validator consumed by
+//!   `adapt telemetry-report` and the CI telemetry gate.
+//!
+//! Overhead budget: recording one span is a bucket-index computation and
+//! five relaxed atomic ops (~10 ns); a disabled recorder is one virtual
+//! call with an empty body. Neither path allocates. Loop-introspection
+//! records take a mutex, but only once per rejection iteration (≤ 5 per
+//! localization), far off the per-ring hot path.
+
+pub mod histogram;
+pub mod ndjson;
+pub mod recorder;
+
+pub use histogram::{HistogramSnapshot, LatencyHistogram};
+pub use ndjson::{export, validate as validate_ndjson, NdjsonSummary, NDJSON_SCHEMA};
+pub use recorder::{
+    noop, Counter, FlightRecorder, LoopEvent, LoopIterationRecord, LoopSummaryRecord, NoopRecorder,
+    Recorder, Stage, TrialRecord, SCORE_BINS,
+};

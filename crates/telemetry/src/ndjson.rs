@@ -1,0 +1,464 @@
+//! NDJSON export of a [`FlightRecorder`] and the matching schema
+//! validator.
+//!
+//! One JSON object per line. Line types (`"type"` field):
+//!
+//! * `meta` — first line: `schema`, `tool`, `repetitions`;
+//! * `trial` — one per recorded trial: mode, seed, outcome, latency;
+//! * `loop_iteration` — one per background-rejection iteration: rings
+//!   in/kept, background-score histogram, angular step;
+//! * `loop_summary` — one per ML localization: iterations, convergence,
+//!   mean |dη correction|;
+//! * `stage` — one per instrumented stage with samples: count, mean,
+//!   p50/p90/p99, min/max (ms);
+//! * `counter` — one per non-zero counter.
+//!
+//! [`validate`] checks structure and field types line by line and
+//! returns a [`NdjsonSummary`] the `telemetry-report` renderer (and the
+//! CI schema gate) consume.
+
+use crate::histogram::HistogramSnapshot;
+use crate::recorder::{Counter, FlightRecorder, LoopEvent, Stage};
+use serde::Value;
+
+/// Current NDJSON schema version (the `meta` line's `schema` field).
+pub const NDJSON_SCHEMA: u32 = 1;
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn line(v: &Value) -> String {
+    serde_json::to_string(v).expect("NDJSON serialization is infallible")
+}
+
+/// Render a recorder as NDJSON text (trailing newline included).
+pub fn export(recorder: &FlightRecorder, repetitions: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&line(&obj(vec![
+        ("type", Value::Str("meta".into())),
+        ("schema", Value::UInt(NDJSON_SCHEMA as u64)),
+        ("tool", Value::Str("adapt-telemetry".into())),
+        ("repetitions", Value::UInt(repetitions as u64)),
+    ])));
+    out.push('\n');
+
+    for t in recorder.trial_records() {
+        out.push_str(&line(&obj(vec![
+            ("type", Value::Str("trial".into())),
+            ("mode", Value::Str(t.mode.clone())),
+            ("seed", Value::UInt(t.seed)),
+            ("error_deg", Value::Float(t.error_deg)),
+            ("rings_in", Value::UInt(t.rings_in as u64)),
+            ("rings_surviving", Value::UInt(t.rings_surviving as u64)),
+            ("degenerate_rings", Value::UInt(t.degenerate_rings as u64)),
+            ("total_ms", Value::Float(t.total_ms)),
+        ])));
+        out.push('\n');
+    }
+
+    for ev in recorder.loop_events() {
+        let v = match &ev {
+            LoopEvent::Iteration { mode, seed, record } => obj(vec![
+                ("type", Value::Str("loop_iteration".into())),
+                ("mode", Value::Str(mode.clone())),
+                ("seed", Value::UInt(*seed)),
+                ("iteration", Value::UInt(record.iteration as u64)),
+                ("rings_in", Value::UInt(record.rings_in as u64)),
+                ("rings_kept", Value::UInt(record.rings_kept as u64)),
+                (
+                    "score_hist",
+                    Value::Arr(
+                        record
+                            .score_hist
+                            .iter()
+                            .map(|&c| Value::UInt(c as u64))
+                            .collect(),
+                    ),
+                ),
+                // NaN (no refine step this iteration) serializes as null
+                ("step_deg", Value::Float(record.step_deg)),
+            ]),
+            LoopEvent::Summary { mode, seed, record } => obj(vec![
+                ("type", Value::Str("loop_summary".into())),
+                ("mode", Value::Str(mode.clone())),
+                ("seed", Value::UInt(*seed)),
+                ("iterations", Value::UInt(record.iterations as u64)),
+                ("converged", Value::Bool(record.converged)),
+                (
+                    "surviving_rings",
+                    Value::UInt(record.surviving_rings as u64),
+                ),
+                (
+                    "mean_abs_d_eta_correction",
+                    Value::Float(record.mean_abs_d_eta_correction),
+                ),
+            ]),
+        };
+        out.push_str(&line(&v));
+        out.push('\n');
+    }
+
+    for stage in Stage::ALL {
+        let s = recorder.stage_snapshot(stage);
+        if s.count == 0 {
+            continue;
+        }
+        out.push_str(&line(&obj(vec![
+            ("type", Value::Str("stage".into())),
+            ("stage", Value::Str(stage.name().into())),
+            ("count", Value::UInt(s.count)),
+            ("mean_ms", Value::Float(s.mean_ms)),
+            ("p50_ms", Value::Float(s.p50_ms)),
+            ("p90_ms", Value::Float(s.p90_ms)),
+            ("p99_ms", Value::Float(s.p99_ms)),
+            ("min_ms", Value::Float(s.min_ms)),
+            ("max_ms", Value::Float(s.max_ms)),
+        ])));
+        out.push('\n');
+    }
+
+    for counter in Counter::ALL {
+        let v = recorder.counter(counter);
+        if v == 0 {
+            continue;
+        }
+        out.push_str(&line(&obj(vec![
+            ("type", Value::Str("counter".into())),
+            ("name", Value::Str(counter.name().into())),
+            ("value", Value::UInt(v)),
+        ])));
+        out.push('\n');
+    }
+    out
+}
+
+/// What a validated NDJSON capture contains, ready for rendering.
+#[derive(Debug, Clone, Default)]
+pub struct NdjsonSummary {
+    /// Schema version from the `meta` line.
+    pub schema: u64,
+    /// Repetitions from the `meta` line.
+    pub repetitions: u64,
+    /// Stage rows in export order: `(machine name, snapshot)`.
+    pub stages: Vec<(String, HistogramSnapshot)>,
+    /// Counter rows: `(name, value)`.
+    pub counters: Vec<(String, u64)>,
+    /// Trial count.
+    pub n_trials: usize,
+    /// Loop-iteration record count.
+    pub n_loop_iterations: usize,
+    /// Loop-summary record count.
+    pub n_loop_summaries: usize,
+    /// Distinct modes seen on trial lines, in first-seen order.
+    pub modes: Vec<String>,
+    /// Mean of `mean_abs_d_eta_correction` over loop summaries.
+    pub mean_abs_d_eta_correction: f64,
+}
+
+fn need<'a>(v: &'a Value, key: &str, lineno: usize) -> Result<&'a Value, String> {
+    v.get(key)
+        .ok_or_else(|| format!("line {lineno}: missing field `{key}`"))
+}
+
+fn need_num(v: &Value, key: &str, lineno: usize) -> Result<f64, String> {
+    match need(v, key, lineno)? {
+        Value::Int(n) => Ok(*n as f64),
+        Value::UInt(n) => Ok(*n as f64),
+        Value::Float(x) => Ok(*x),
+        other => Err(format!(
+            "line {lineno}: field `{key}` must be a number, got {other:?}"
+        )),
+    }
+}
+
+fn need_uint(v: &Value, key: &str, lineno: usize) -> Result<u64, String> {
+    match need(v, key, lineno)? {
+        Value::UInt(n) => Ok(*n),
+        Value::Int(n) if *n >= 0 => Ok(*n as u64),
+        other => Err(format!(
+            "line {lineno}: field `{key}` must be a non-negative integer, got {other:?}"
+        )),
+    }
+}
+
+fn need_str(v: &Value, key: &str, lineno: usize) -> Result<String, String> {
+    need(v, key, lineno)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("line {lineno}: field `{key}` must be a string"))
+}
+
+/// Validate NDJSON text against the schema. Returns a summary on
+/// success, a line-located error message on the first violation.
+pub fn validate(text: &str) -> Result<NdjsonSummary, String> {
+    let mut summary = NdjsonSummary::default();
+    let mut saw_meta = false;
+    let mut d_eta_sum = 0.0;
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let v: Value =
+            serde_json::from_str(raw).map_err(|e| format!("line {lineno}: invalid JSON: {e}"))?;
+        if v.as_obj().is_none() {
+            return Err(format!("line {lineno}: expected a JSON object"));
+        }
+        let ty = need_str(&v, "type", lineno)?;
+        if !saw_meta {
+            if ty != "meta" {
+                return Err(format!(
+                    "line {lineno}: first line must be `meta`, got `{ty}`"
+                ));
+            }
+            summary.schema = need_uint(&v, "schema", lineno)?;
+            if summary.schema == 0 || summary.schema > NDJSON_SCHEMA as u64 {
+                return Err(format!(
+                    "line {lineno}: unsupported schema {} (this build reads <= {NDJSON_SCHEMA})",
+                    summary.schema
+                ));
+            }
+            summary.repetitions = need_uint(&v, "repetitions", lineno)?;
+            saw_meta = true;
+            continue;
+        }
+        match ty.as_str() {
+            "meta" => return Err(format!("line {lineno}: duplicate `meta` line")),
+            "trial" => {
+                let mode = need_str(&v, "mode", lineno)?;
+                need_uint(&v, "seed", lineno)?;
+                let err = need_num(&v, "error_deg", lineno)?;
+                if !(0.0..=180.0).contains(&err) {
+                    return Err(format!("line {lineno}: error_deg {err} outside [0, 180]"));
+                }
+                let rings_in = need_uint(&v, "rings_in", lineno)?;
+                let surviving = need_uint(&v, "rings_surviving", lineno)?;
+                if surviving > rings_in {
+                    return Err(format!(
+                        "line {lineno}: rings_surviving {surviving} > rings_in {rings_in}"
+                    ));
+                }
+                need_uint(&v, "degenerate_rings", lineno)?;
+                need_num(&v, "total_ms", lineno)?;
+                if !summary.modes.contains(&mode) {
+                    summary.modes.push(mode);
+                }
+                summary.n_trials += 1;
+            }
+            "loop_iteration" => {
+                need_str(&v, "mode", lineno)?;
+                need_uint(&v, "seed", lineno)?;
+                let iter = need_uint(&v, "iteration", lineno)?;
+                if iter == 0 {
+                    return Err(format!("line {lineno}: iteration must be >= 1"));
+                }
+                let rings_in = need_uint(&v, "rings_in", lineno)?;
+                let kept = need_uint(&v, "rings_kept", lineno)?;
+                if kept > rings_in {
+                    return Err(format!(
+                        "line {lineno}: rings_kept {kept} > rings_in {rings_in}"
+                    ));
+                }
+                let hist = need(&v, "score_hist", lineno)?
+                    .as_arr()
+                    .ok_or_else(|| format!("line {lineno}: score_hist must be an array"))?;
+                if hist.len() != crate::recorder::SCORE_BINS {
+                    return Err(format!(
+                        "line {lineno}: score_hist has {} bins, expected {}",
+                        hist.len(),
+                        crate::recorder::SCORE_BINS
+                    ));
+                }
+                let total: u64 = hist
+                    .iter()
+                    .map(|b| match b {
+                        Value::UInt(n) => Ok(*n),
+                        Value::Int(n) if *n >= 0 => Ok(*n as u64),
+                        _ => Err(format!("line {lineno}: score_hist bins must be counts")),
+                    })
+                    .sum::<Result<u64, String>>()?;
+                if total != rings_in {
+                    return Err(format!(
+                        "line {lineno}: score_hist totals {total}, expected rings_in {rings_in}"
+                    ));
+                }
+                // step_deg must be present; null (no refine step) is legal
+                match need(&v, "step_deg", lineno)? {
+                    Value::Null | Value::Float(_) | Value::Int(_) | Value::UInt(_) => {}
+                    _ => return Err(format!("line {lineno}: step_deg must be a number or null")),
+                }
+                summary.n_loop_iterations += 1;
+            }
+            "loop_summary" => {
+                need_str(&v, "mode", lineno)?;
+                need_uint(&v, "seed", lineno)?;
+                need_uint(&v, "iterations", lineno)?;
+                match need(&v, "converged", lineno)? {
+                    Value::Bool(_) => {}
+                    _ => return Err(format!("line {lineno}: converged must be a bool")),
+                }
+                need_uint(&v, "surviving_rings", lineno)?;
+                d_eta_sum += need_num(&v, "mean_abs_d_eta_correction", lineno)?;
+                summary.n_loop_summaries += 1;
+            }
+            "stage" => {
+                let name = need_str(&v, "stage", lineno)?;
+                if Stage::parse(&name).is_none() {
+                    return Err(format!("line {lineno}: unknown stage `{name}`"));
+                }
+                let snap = HistogramSnapshot {
+                    count: need_uint(&v, "count", lineno)?,
+                    mean_ms: need_num(&v, "mean_ms", lineno)?,
+                    p50_ms: need_num(&v, "p50_ms", lineno)?,
+                    p90_ms: need_num(&v, "p90_ms", lineno)?,
+                    p99_ms: need_num(&v, "p99_ms", lineno)?,
+                    min_ms: need_num(&v, "min_ms", lineno)?,
+                    max_ms: need_num(&v, "max_ms", lineno)?,
+                };
+                if snap.count == 0 {
+                    return Err(format!("line {lineno}: stage `{name}` has count 0"));
+                }
+                if !(snap.min_ms <= snap.p50_ms
+                    && snap.p50_ms <= snap.p90_ms
+                    && snap.p90_ms <= snap.p99_ms
+                    && snap.p99_ms <= snap.max_ms + 1e-9)
+                {
+                    return Err(format!(
+                        "line {lineno}: stage `{name}` percentiles not monotone: {snap:?}"
+                    ));
+                }
+                summary.stages.push((name, snap));
+            }
+            "counter" => {
+                let name = need_str(&v, "name", lineno)?;
+                if !Counter::ALL.iter().any(|c| c.name() == name) {
+                    return Err(format!("line {lineno}: unknown counter `{name}`"));
+                }
+                let value = need_uint(&v, "value", lineno)?;
+                summary.counters.push((name, value));
+            }
+            other => return Err(format!("line {lineno}: unknown line type `{other}`")),
+        }
+    }
+    if !saw_meta {
+        return Err("empty capture: no `meta` line".into());
+    }
+    if summary.n_loop_summaries > 0 {
+        summary.mean_abs_d_eta_correction = d_eta_sum / summary.n_loop_summaries as f64;
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{
+        LoopIterationRecord, LoopSummaryRecord, Recorder, TrialRecord, SCORE_BINS,
+    };
+    use std::time::Duration;
+
+    fn sample_recorder() -> FlightRecorder {
+        let r = FlightRecorder::new();
+        r.begin_trial("ml", 42);
+        r.duration(Stage::Reconstruction, Duration::from_micros(900));
+        r.duration(Stage::Setup, Duration::from_micros(12));
+        r.duration(Stage::BackgroundInference, Duration::from_micros(300));
+        r.duration(Stage::DEtaInference, Duration::from_micros(150));
+        r.duration(Stage::ApproxRefine, Duration::from_millis(3));
+        r.duration(Stage::Total, Duration::from_millis(5));
+        r.add(Counter::TrialsRun, 1);
+        r.add(Counter::RingsIn, 200);
+        r.add(Counter::RingsRejected, 60);
+        let mut hist = [0u32; SCORE_BINS];
+        hist[0] = 140;
+        hist[9] = 60;
+        r.loop_iteration(&LoopIterationRecord {
+            iteration: 1,
+            rings_in: 200,
+            rings_kept: 140,
+            score_hist: hist,
+            step_deg: 1.5,
+        });
+        r.loop_summary(&LoopSummaryRecord {
+            iterations: 1,
+            converged: true,
+            surviving_rings: 140,
+            mean_abs_d_eta_correction: 0.013,
+        });
+        r.push_trial(TrialRecord {
+            mode: "ml".into(),
+            seed: 42,
+            error_deg: 3.2,
+            rings_in: 200,
+            rings_surviving: 140,
+            degenerate_rings: 7,
+            total_ms: 5.0,
+        });
+        r
+    }
+
+    #[test]
+    fn export_validates_round_trip() {
+        let r = sample_recorder();
+        let text = export(&r, 3);
+        let summary = validate(&text).expect("export must validate");
+        assert_eq!(summary.schema, NDJSON_SCHEMA as u64);
+        assert_eq!(summary.repetitions, 3);
+        assert_eq!(summary.n_trials, 1);
+        assert_eq!(summary.n_loop_iterations, 1);
+        assert_eq!(summary.n_loop_summaries, 1);
+        assert_eq!(summary.modes, vec!["ml".to_string()]);
+        assert_eq!(summary.stages.len(), 6); // all but skymap recorded
+        assert!(summary
+            .stages
+            .iter()
+            .any(|(n, s)| n == "total" && s.count == 1));
+        assert!(summary
+            .counters
+            .iter()
+            .any(|(n, v)| n == "rings_in" && *v == 200));
+        assert!((summary.mean_abs_d_eta_correction - 0.013).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_step_serializes_as_null_and_validates() {
+        let r = FlightRecorder::new();
+        r.begin_trial("ml", 1);
+        let mut hist = [0u32; SCORE_BINS];
+        hist[3] = 4;
+        r.loop_iteration(&LoopIterationRecord {
+            iteration: 1,
+            rings_in: 4,
+            rings_kept: 4,
+            score_hist: hist,
+            step_deg: f64::NAN,
+        });
+        let text = export(&r, 1);
+        assert!(text.contains("\"step_deg\":null"), "{text}");
+        validate(&text).expect("null step must validate");
+    }
+
+    #[test]
+    fn validation_rejects_bad_captures() {
+        assert!(validate("").is_err(), "empty");
+        assert!(validate("{\"type\":\"trial\"}").is_err(), "no meta first");
+        assert!(
+            validate("{\"type\":\"meta\",\"schema\":99,\"repetitions\":1}").is_err(),
+            "future schema"
+        );
+        let meta = format!("{{\"type\":\"meta\",\"schema\":{NDJSON_SCHEMA},\"repetitions\":1}}");
+        assert!(validate(&meta).is_ok(), "meta alone is a valid capture");
+        let bad_stage = format!(
+            "{meta}\n{{\"type\":\"stage\",\"stage\":\"warp\",\"count\":1,\"mean_ms\":1,\
+             \"p50_ms\":1,\"p90_ms\":1,\"p99_ms\":1,\"min_ms\":1,\"max_ms\":1}}"
+        );
+        assert!(validate(&bad_stage).is_err(), "unknown stage");
+        let bad_counts = format!(
+            "{meta}\n{{\"type\":\"trial\",\"mode\":\"ml\",\"seed\":1,\"error_deg\":2.0,\
+             \"rings_in\":5,\"rings_surviving\":9,\"degenerate_rings\":0,\"total_ms\":1.0}}"
+        );
+        assert!(validate(&bad_counts).is_err(), "surviving > in");
+        assert!(validate("not json").is_err(), "garbage");
+    }
+}

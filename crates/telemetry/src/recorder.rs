@@ -1,0 +1,463 @@
+//! The span/counter recording API and the in-memory flight recorder.
+//!
+//! Instrumented code takes a `&dyn Recorder`; the default
+//! [`NoopRecorder`] makes every call a no-inline-barrier empty body, so
+//! instrumentation costs ~nothing when telemetry is disabled. The
+//! [`FlightRecorder`] implementation routes stage durations into
+//! lock-free [`LatencyHistogram`]s, counters into atomics, and loop
+//! introspection records into an append-only event log (a mutex on the
+//! cold, once-per-iteration path only).
+
+use crate::histogram::{HistogramSnapshot, LatencyHistogram};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Pipeline stages with latency histograms (paper Tables I/II rows plus
+/// the sky-map rasterizer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Event reconstruction (events → rings).
+    Reconstruction,
+    /// Localization setup (ring staging).
+    Setup,
+    /// dEta network inference.
+    DEtaInference,
+    /// Background network inference (all loop iterations).
+    BackgroundInference,
+    /// Approximation + all refinement solves.
+    ApproxRefine,
+    /// End-to-end trial (excluding physics simulation).
+    Total,
+    /// Posterior sky-map rasterization.
+    SkymapRasterize,
+}
+
+impl Stage {
+    /// Every stage, in table order.
+    pub const ALL: [Stage; 7] = [
+        Stage::Reconstruction,
+        Stage::Setup,
+        Stage::DEtaInference,
+        Stage::BackgroundInference,
+        Stage::ApproxRefine,
+        Stage::Total,
+        Stage::SkymapRasterize,
+    ];
+
+    /// Stable machine name (NDJSON field value).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Reconstruction => "reconstruction",
+            Stage::Setup => "setup",
+            Stage::DEtaInference => "d_eta_inference",
+            Stage::BackgroundInference => "background_inference",
+            Stage::ApproxRefine => "approx_refine",
+            Stage::Total => "total",
+            Stage::SkymapRasterize => "skymap_rasterize",
+        }
+    }
+
+    /// Row label in the paper's Table-I format.
+    pub fn table_label(self) -> &'static str {
+        match self {
+            Stage::Reconstruction => "Reconstruction",
+            Stage::Setup => "Localization Setup",
+            Stage::DEtaInference => "DEta NN Inference",
+            Stage::BackgroundInference => "Bkg NN Inference",
+            Stage::ApproxRefine => "Approx + Refine",
+            Stage::Total => "Total (Max 5 iter)",
+            Stage::SkymapRasterize => "Skymap Rasterize",
+        }
+    }
+
+    /// Parse a machine name back into a stage.
+    pub fn parse(s: &str) -> Option<Stage> {
+        Stage::ALL.into_iter().find(|st| st.name() == s)
+    }
+}
+
+/// Monotonic event counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Counter {
+    /// Trials recorded.
+    TrialsRun,
+    /// Rings entering localization, summed over trials.
+    RingsIn,
+    /// Rings dropped by background rejection, summed over trials.
+    RingsRejected,
+    /// Background-rejection loop iterations executed.
+    LoopIterations,
+    /// Events discarded in reconstruction for non-physical η or
+    /// zero-energy deposits.
+    DegenerateRings,
+}
+
+impl Counter {
+    /// Every counter, in export order.
+    pub const ALL: [Counter; 5] = [
+        Counter::TrialsRun,
+        Counter::RingsIn,
+        Counter::RingsRejected,
+        Counter::LoopIterations,
+        Counter::DegenerateRings,
+    ];
+
+    /// Stable machine name (NDJSON field value).
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::TrialsRun => "trials_run",
+            Counter::RingsIn => "rings_in",
+            Counter::RingsRejected => "rings_rejected",
+            Counter::LoopIterations => "loop_iterations",
+            Counter::DegenerateRings => "degenerate_rings",
+        }
+    }
+}
+
+/// Number of probability bins in the per-iteration background-score
+/// histogram (uniform over `[0, 1]`).
+pub const SCORE_BINS: usize = 10;
+
+/// One background-rejection iteration of the Fig.-6 loop.
+#[derive(Debug, Clone)]
+pub struct LoopIterationRecord {
+    /// 1-based iteration index within this localization.
+    pub iteration: usize,
+    /// Rings entering the iteration.
+    pub rings_in: usize,
+    /// Rings surviving this iteration's rejection.
+    pub rings_kept: usize,
+    /// Histogram of background scores (sigmoid probabilities) over the
+    /// rings entering the iteration, [`SCORE_BINS`] uniform bins.
+    pub score_hist: [u32; SCORE_BINS],
+    /// Angular movement of the estimate ŝ this iteration (degrees); NaN
+    /// when the iteration broke before re-refining (serialized as null).
+    pub step_deg: f64,
+}
+
+/// End-of-loop summary of one localization.
+#[derive(Debug, Clone)]
+pub struct LoopSummaryRecord {
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Whether ŝ converged below tolerance before the iteration cap.
+    pub converged: bool,
+    /// Rings surviving into the final refinement.
+    pub surviving_rings: usize,
+    /// Mean |dη_network − dη_analytic| over surviving rings (0 when the
+    /// dEta update is disabled).
+    pub mean_abs_d_eta_correction: f64,
+}
+
+/// The recording interface instrumented code talks to. Every method has
+/// an empty default body, so a no-op recorder costs one virtual call per
+/// span — negligible against the microseconds-to-milliseconds stages it
+/// wraps.
+pub trait Recorder: Sync {
+    /// Whether recording is live. Instrumented code may consult this
+    /// before computing anything *extra* for telemetry (e.g. score
+    /// histograms); plain `duration`/`add` calls are cheap enough to
+    /// make unconditionally. Defaults to `false` (disabled).
+    fn is_enabled(&self) -> bool {
+        false
+    }
+
+    /// Record one stage duration.
+    fn duration(&self, stage: Stage, d: Duration) {
+        let _ = (stage, d);
+    }
+
+    /// Bump a counter.
+    fn add(&self, counter: Counter, n: u64) {
+        let _ = (counter, n);
+    }
+
+    /// Record one background-rejection iteration.
+    fn loop_iteration(&self, record: &LoopIterationRecord) {
+        let _ = record;
+    }
+
+    /// Record the end-of-loop summary.
+    fn loop_summary(&self, record: &LoopSummaryRecord) {
+        let _ = record;
+    }
+}
+
+/// The disabled recorder: every hook is a no-op.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+/// The shared disabled recorder instrumented types default to.
+pub fn noop() -> &'static NoopRecorder {
+    static NOOP: NoopRecorder = NoopRecorder;
+    &NOOP
+}
+
+/// One completed trial, as recorded by a driver (not part of the hot-path
+/// [`Recorder`] trait — drivers push it once per trial).
+#[derive(Debug, Clone)]
+pub struct TrialRecord {
+    /// Pipeline mode machine name (e.g. `ml`, `baseline`).
+    pub mode: String,
+    /// Trial seed.
+    pub seed: u64,
+    /// Localization error (degrees).
+    pub error_deg: f64,
+    /// Rings entering localization.
+    pub rings_in: usize,
+    /// Rings surviving background rejection.
+    pub rings_surviving: usize,
+    /// Events discarded in reconstruction as degenerate.
+    pub degenerate_rings: usize,
+    /// End-to-end latency (ms).
+    pub total_ms: f64,
+}
+
+/// A loop event tagged with the trial context active when it was emitted.
+#[derive(Debug, Clone)]
+pub enum LoopEvent {
+    /// One rejection iteration.
+    Iteration {
+        /// Mode machine name of the enclosing trial.
+        mode: String,
+        /// Seed of the enclosing trial.
+        seed: u64,
+        /// The iteration record.
+        record: LoopIterationRecord,
+    },
+    /// One end-of-loop summary.
+    Summary {
+        /// Mode machine name of the enclosing trial.
+        mode: String,
+        /// Seed of the enclosing trial.
+        seed: u64,
+        /// The summary record.
+        record: LoopSummaryRecord,
+    },
+}
+
+/// The in-memory flight recorder: per-stage lock-free histograms, atomic
+/// counters, and an event log of loop introspection records and trials.
+#[derive(Debug, Default)]
+pub struct FlightRecorder {
+    stages: [LatencyHistogram; Stage::ALL.len()],
+    counters: [AtomicU64; Counter::ALL.len()],
+    events: Mutex<Vec<LoopEvent>>,
+    trials: Mutex<Vec<TrialRecord>>,
+    context: Mutex<(String, u64)>,
+}
+
+impl FlightRecorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the trial context (mode, seed) attached to subsequent loop
+    /// events. Drivers call this once before each trial.
+    pub fn begin_trial(&self, mode: &str, seed: u64) {
+        let mut ctx = self.context.lock().unwrap();
+        *ctx = (mode.to_string(), seed);
+    }
+
+    /// Append one completed trial record.
+    pub fn push_trial(&self, record: TrialRecord) {
+        self.trials.lock().unwrap().push(record);
+    }
+
+    /// The histogram backing a stage.
+    pub fn stage_histogram(&self, stage: Stage) -> &LatencyHistogram {
+        &self.stages[Self::stage_slot(stage)]
+    }
+
+    /// A percentile snapshot of a stage.
+    pub fn stage_snapshot(&self, stage: Stage) -> HistogramSnapshot {
+        self.stage_histogram(stage).snapshot()
+    }
+
+    /// Current value of a counter.
+    pub fn counter(&self, counter: Counter) -> u64 {
+        self.counters[Self::counter_slot(counter)].load(Ordering::Relaxed)
+    }
+
+    /// The loop-event log (iteration + summary records, in emission order).
+    pub fn loop_events(&self) -> Vec<LoopEvent> {
+        self.events.lock().unwrap().clone()
+    }
+
+    /// The trial log.
+    pub fn trial_records(&self) -> Vec<TrialRecord> {
+        self.trials.lock().unwrap().clone()
+    }
+
+    /// Fold another recorder's histograms, counters, and event logs into
+    /// this one (per-thread recording → reduction).
+    pub fn merge(&self, other: &FlightRecorder) {
+        for (a, b) in self.stages.iter().zip(other.stages.iter()) {
+            a.merge(b);
+        }
+        for (a, b) in self.counters.iter().zip(other.counters.iter()) {
+            a.fetch_add(b.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+        self.events
+            .lock()
+            .unwrap()
+            .extend(other.events.lock().unwrap().iter().cloned());
+        self.trials
+            .lock()
+            .unwrap()
+            .extend(other.trials.lock().unwrap().iter().cloned());
+    }
+
+    fn stage_slot(stage: Stage) -> usize {
+        Stage::ALL.iter().position(|&s| s == stage).unwrap()
+    }
+
+    fn counter_slot(counter: Counter) -> usize {
+        Counter::ALL.iter().position(|&c| c == counter).unwrap()
+    }
+
+    fn current_context(&self) -> (String, u64) {
+        self.context.lock().unwrap().clone()
+    }
+}
+
+impl Recorder for FlightRecorder {
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    fn duration(&self, stage: Stage, d: Duration) {
+        self.stage_histogram(stage).record(d);
+    }
+
+    fn add(&self, counter: Counter, n: u64) {
+        self.counters[Self::counter_slot(counter)].fetch_add(n, Ordering::Relaxed);
+    }
+
+    fn loop_iteration(&self, record: &LoopIterationRecord) {
+        let (mode, seed) = self.current_context();
+        self.events.lock().unwrap().push(LoopEvent::Iteration {
+            mode,
+            seed,
+            record: record.clone(),
+        });
+    }
+
+    fn loop_summary(&self, record: &LoopSummaryRecord) {
+        let (mode, seed) = self.current_context();
+        self.events.lock().unwrap().push(LoopEvent::Summary {
+            mode,
+            seed,
+            record: record.clone(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_recorder_accepts_everything() {
+        let r = NoopRecorder;
+        r.duration(Stage::Total, Duration::from_millis(1));
+        r.add(Counter::RingsIn, 5);
+        r.loop_iteration(&LoopIterationRecord {
+            iteration: 1,
+            rings_in: 10,
+            rings_kept: 8,
+            score_hist: [0; SCORE_BINS],
+            step_deg: 0.1,
+        });
+        r.loop_summary(&LoopSummaryRecord {
+            iterations: 1,
+            converged: true,
+            surviving_rings: 8,
+            mean_abs_d_eta_correction: 0.0,
+        });
+    }
+
+    #[test]
+    fn flight_recorder_routes_by_stage_and_counter() {
+        let r = FlightRecorder::new();
+        r.duration(Stage::Reconstruction, Duration::from_micros(100));
+        r.duration(Stage::Reconstruction, Duration::from_micros(200));
+        r.duration(Stage::Total, Duration::from_millis(5));
+        r.add(Counter::RingsIn, 100);
+        r.add(Counter::RingsIn, 50);
+        assert_eq!(r.stage_histogram(Stage::Reconstruction).count(), 2);
+        assert_eq!(r.stage_histogram(Stage::Total).count(), 1);
+        assert_eq!(r.stage_histogram(Stage::Setup).count(), 0);
+        assert_eq!(r.counter(Counter::RingsIn), 150);
+        assert_eq!(r.counter(Counter::RingsRejected), 0);
+    }
+
+    #[test]
+    fn loop_events_carry_trial_context() {
+        let r = FlightRecorder::new();
+        r.begin_trial("ml", 42);
+        r.loop_iteration(&LoopIterationRecord {
+            iteration: 1,
+            rings_in: 20,
+            rings_kept: 15,
+            score_hist: [0; SCORE_BINS],
+            step_deg: 1.0,
+        });
+        r.begin_trial("quantized", 43);
+        r.loop_summary(&LoopSummaryRecord {
+            iterations: 3,
+            converged: false,
+            surviving_rings: 15,
+            mean_abs_d_eta_correction: 0.01,
+        });
+        let ev = r.loop_events();
+        assert_eq!(ev.len(), 2);
+        match &ev[0] {
+            LoopEvent::Iteration { mode, seed, record } => {
+                assert_eq!(mode, "ml");
+                assert_eq!(*seed, 42);
+                assert_eq!(record.rings_kept, 15);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &ev[1] {
+            LoopEvent::Summary { mode, seed, .. } => {
+                assert_eq!(mode, "quantized");
+                assert_eq!(*seed, 43);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn merge_folds_everything() {
+        let a = FlightRecorder::new();
+        let b = FlightRecorder::new();
+        a.duration(Stage::Setup, Duration::from_micros(10));
+        b.duration(Stage::Setup, Duration::from_micros(30));
+        b.add(Counter::TrialsRun, 2);
+        b.begin_trial("ml", 1);
+        b.loop_summary(&LoopSummaryRecord {
+            iterations: 2,
+            converged: true,
+            surviving_rings: 4,
+            mean_abs_d_eta_correction: 0.0,
+        });
+        a.merge(&b);
+        assert_eq!(a.stage_histogram(Stage::Setup).count(), 2);
+        assert_eq!(a.counter(Counter::TrialsRun), 2);
+        assert_eq!(a.loop_events().len(), 1);
+    }
+
+    #[test]
+    fn stage_names_round_trip() {
+        for s in Stage::ALL {
+            assert_eq!(Stage::parse(s.name()), Some(s));
+        }
+        assert_eq!(Stage::parse("warp_drive"), None);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property-based tests of the flight-recorder histogram: merged
+//! per-thread recordings must report exactly the quantiles of a
+//! single-threaded recording, and every reported quantile must be
+//! within one bucket width of the true order statistic.
+
+use adapt_telemetry::histogram::{bucket_hi, bucket_index, bucket_lo, SUB_BITS};
+use adapt_telemetry::LatencyHistogram;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// The true order statistic the histogram's quantile approximates: the
+/// value at rank `ceil(q·n)` of the sorted sample.
+fn order_statistic(values: &[u64], q: f64) -> u64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #[test]
+    fn merged_shards_equal_single_threaded(
+        values in vec(1u64..10_000_000_000, 1..400),
+        shards in 2usize..6,
+    ) {
+        let whole = LatencyHistogram::new();
+        let parts: Vec<LatencyHistogram> =
+            (0..shards).map(|_| LatencyHistogram::new()).collect();
+        for (i, &v) in values.iter().enumerate() {
+            whole.record_ns(v);
+            parts[i % shards].record_ns(v);
+        }
+        let merged = LatencyHistogram::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        prop_assert_eq!(merged.count(), whole.count());
+        prop_assert_eq!(merged.min_ns(), whole.min_ns());
+        prop_assert_eq!(merged.max_ns(), whole.max_ns());
+        prop_assert!((merged.mean_ns() - whole.mean_ns()).abs() <= 1e-6 * whole.mean_ns());
+        for q in [0.0, 0.1, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(merged.quantile_ns(q), whole.quantile_ns(q));
+        }
+    }
+
+    #[test]
+    fn quantile_error_bounded_by_bucket_width(
+        values in vec(1u64..10_000_000_000, 1..400),
+        q in 0.0f64..1.0,
+    ) {
+        let h = LatencyHistogram::new();
+        for &v in &values {
+            h.record_ns(v);
+        }
+        let reported = h.quantile_ns(q);
+        let truth = order_statistic(&values, q);
+        // the reported quantile is the upper edge of the bucket holding
+        // the order statistic (clamped to the recorded max): it never
+        // underestimates, and overestimates by at most the bucket width
+        prop_assert!(reported >= truth,
+            "reported {} < true {}", reported, truth);
+        let bucket = bucket_index(truth);
+        let width = bucket_hi(bucket) - bucket_lo(bucket);
+        prop_assert!(reported - truth <= width,
+            "reported {} vs true {}: off by more than bucket width {}",
+            reported, truth, width);
+        // and the relative form of the same bound: ≤ 1/8 + 1 ns
+        let max_err = truth / (1 << SUB_BITS) as u64 + 1;
+        prop_assert!(reported - truth <= max_err);
+    }
+
+    #[test]
+    fn every_value_lands_in_its_bucket(v in 1u64..u64::MAX) {
+        let i = bucket_index(v);
+        prop_assert!(bucket_lo(i) <= v);
+        prop_assert!(v < bucket_hi(i) || bucket_hi(i) == u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_monotone_in_q(values in vec(1u64..1_000_000_000, 1..200)) {
+        let h = LatencyHistogram::new();
+        for &v in &values {
+            h.record_ns(v);
+        }
+        let mut last = 0u64;
+        for i in 0..=20 {
+            let q = i as f64 / 20.0;
+            let cur = h.quantile_ns(q);
+            prop_assert!(cur >= last, "quantile not monotone at q={}", q);
+            last = cur;
+        }
+        prop_assert_eq!(h.quantile_ns(1.0), *values.iter().max().unwrap());
+    }
+}
