@@ -1,33 +1,51 @@
-//! A small, dependency-free flag parser: `--key value` pairs plus a
-//! leading subcommand.
+//! A small, dependency-free flag parser: `--key value` pairs, declared
+//! boolean switches (`--track`), positional arguments, and a leading
+//! subcommand.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
-/// Parsed command line: subcommand plus `--key value` options.
+/// Parsed command line: subcommand, positionals, `--key value` options,
+/// and boolean switches.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     /// The subcommand (first non-flag argument).
     pub command: Option<String>,
+    positionals: Vec<String>,
     options: HashMap<String, String>,
+    switches: HashSet<String>,
 }
 
 impl Args {
     /// Parse from an iterator of arguments (excluding the program name).
-    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+    /// Every `--flag` consumes the following argument as its value,
+    /// except flags named in `switches`, which are boolean: `--track`
+    /// sets the switch without consuming a value. Everything after the
+    /// subcommand that is not a flag becomes a positional argument
+    /// (`adapt runs diff <a> <b>`).
+    pub fn parse_with_switches<I: IntoIterator<Item = String>>(
+        args: I,
+        switches: &[&str],
+    ) -> Result<Self, String> {
         let mut out = Args::default();
-        let mut it = args.into_iter().peekable();
+        let mut it = args.into_iter();
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
-                let value = it
-                    .next()
-                    .ok_or_else(|| format!("flag --{key} expects a value"))?;
-                if out.options.insert(key.to_string(), value).is_some() {
-                    return Err(format!("flag --{key} given twice"));
+                if switches.contains(&key) {
+                    if !out.switches.insert(key.to_string()) {
+                        return Err(format!("flag --{key} given twice"));
+                    }
+                } else {
+                    let value = it
+                        .next()
+                        .ok_or_else(|| format!("flag --{key} expects a value"))?;
+                    if out.options.insert(key.to_string(), value).is_some() {
+                        return Err(format!("flag --{key} given twice"));
+                    }
                 }
             } else if out.command.is_none() {
                 out.command = Some(a);
             } else {
-                return Err(format!("unexpected positional argument '{a}'"));
+                out.positionals.push(a);
             }
         }
         Ok(out)
@@ -53,14 +71,32 @@ impl Args {
         }
     }
 
+    /// Whether a boolean switch was given.
+    pub fn switch(&self, key: &str) -> bool {
+        self.switches.contains(key)
+    }
+
+    /// The `i`-th positional argument after the subcommand.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(String::as_str)
+    }
+
     /// Flags the caller never consumed (typo detection).
     pub fn assert_known(&self, known: &[&str]) -> Result<(), String> {
-        for k in self.options.keys() {
+        for k in self.options.keys().chain(self.switches.iter()) {
             if !known.contains(&k.as_str()) {
                 return Err(format!("unknown flag --{k}"));
             }
         }
         Ok(())
+    }
+
+    /// Reject stray positionals for subcommands that take none.
+    pub fn assert_no_positionals(&self) -> Result<(), String> {
+        match self.positionals.first() {
+            Some(p) => Err(format!("unexpected positional argument '{p}'")),
+            None => Ok(()),
+        }
     }
 }
 
@@ -69,7 +105,11 @@ mod tests {
     use super::*;
 
     fn parse(s: &str) -> Result<Args, String> {
-        Args::parse(s.split_whitespace().map(String::from))
+        parse_sw(s, &[])
+    }
+
+    fn parse_sw(s: &str, switches: &[&str]) -> Result<Args, String> {
+        Args::parse_with_switches(s.split_whitespace().map(String::from), switches)
     }
 
     #[test]
@@ -84,8 +124,30 @@ mod tests {
     #[test]
     fn errors() {
         assert!(parse("run --flag").is_err(), "missing value");
-        assert!(parse("a b").is_err(), "double positional");
         assert!(parse("x --k 1 --k 2").is_err(), "duplicate flag");
+        assert!(parse_sw("x --t --t", &["t"]).is_err(), "duplicate switch");
+    }
+
+    #[test]
+    fn switches_take_no_value() {
+        let a = parse_sw("train --track --seed 9", &["track"]).unwrap();
+        assert!(a.switch("track"));
+        assert!(!a.switch("verbose"));
+        assert_eq!(a.get_parse_or("seed", 0u64).unwrap(), 9);
+        // without the declaration the same flag wants a value
+        assert!(parse("train --track").is_err());
+    }
+
+    #[test]
+    fn positionals_follow_the_subcommand() {
+        let a = parse("runs diff run-a run-b").unwrap();
+        assert_eq!(a.command.as_deref(), Some("runs"));
+        assert_eq!(a.positional(0), Some("diff"));
+        assert_eq!(a.positional(1), Some("run-a"));
+        assert_eq!(a.positional(2), Some("run-b"));
+        assert_eq!(a.positional(3), None);
+        assert!(a.assert_no_positionals().is_err());
+        assert!(parse("report").unwrap().assert_no_positionals().is_ok());
     }
 
     #[test]
@@ -93,6 +155,9 @@ mod tests {
         let a = parse("sim --good 1 --bad 2").unwrap();
         assert!(a.assert_known(&["good"]).is_err());
         assert!(a.assert_known(&["good", "bad"]).is_ok());
+        let b = parse_sw("sim --quiet", &["quiet"]).unwrap();
+        assert!(b.assert_known(&[]).is_err());
+        assert!(b.assert_known(&["quiet"]).is_ok());
     }
 
     #[test]

@@ -20,13 +20,16 @@ SUBCOMMANDS:
                --fluence <MeV/cm^2=1.0> --angle <deg=0> --seed <u64=42>
     train      train the networks and write them to disk
                --scale <fast|default=fast> --out <path=models.json> --seed <u64=7>
+               --track (stream a tracked run: per-epoch NDJSON + manifest)
+               --runs-dir <path=artifacts/runs> (tracked-run root)
     localize   localize a simulated burst
                --models <path=models.json> --fluence <=1.0> --angle <=0>
                --seed <=42> --reps <trials per mode=1>
                --mode <ml|baseline|quantized|no-polar|oracle-no-background|
                        oracle-true-deta|all=ml>
                --backend <float|int8=float> (background-net arithmetic for --mode ml)
-               --telemetry <path> (capture a flight-recorder NDJSON file)
+               --telemetry <path> (capture a flight-recorder NDJSON file,
+               including feature-drift PSI counters for ML modes)
     telemetry-report
                validate an NDJSON capture and render its percentile table
                --input <path=telemetry.ndjson>
@@ -35,6 +38,11 @@ SUBCOMMANDS:
                --seed <=42> --credibility <=0.9> --pixels <=3000>
     report     evaluate stored models on fresh bursts
                --models <path=models.json>
+    runs       inspect tracked training runs
+               list            all runs under the runs root
+               show <run-id>   manifest + stream summary of one run
+               diff <a> <b>    config and metric deltas between two runs
+               --runs-dir <path=artifacts/runs>
     help       print this text";
 
 /// Stable machine name for a mode (NDJSON `mode` field; also the
@@ -67,6 +75,7 @@ fn load_models(path: &str) -> Result<TrainedModels, String> {
 /// `adapt simulate`
 pub fn simulate(args: &Args) -> Result<(), String> {
     args.assert_known(&["fluence", "angle", "seed"])?;
+    args.assert_no_positionals()?;
     let fluence: f64 = args.get_parse_or("fluence", 1.0)?;
     let angle: f64 = args.get_parse_or("angle", 0.0)?;
     let seed: u64 = args.get_parse_or("seed", 42)?;
@@ -113,21 +122,51 @@ pub fn simulate(args: &Args) -> Result<(), String> {
 
 /// `adapt train`
 pub fn train(args: &Args) -> Result<(), String> {
-    args.assert_known(&["scale", "out", "seed"])?;
+    args.assert_known(&["scale", "out", "seed", "track", "runs-dir"])?;
+    args.assert_no_positionals()?;
     let scale = args.get_or("scale", "fast");
     let out = args.get_or("out", "models.json");
     let seed: u64 = args.get_parse_or("seed", 7)?;
+    let runs_dir = args.get_or("runs-dir", "artifacts/runs");
     let config = match scale.as_str() {
         "fast" => TrainingCampaignConfig::fast(),
         "default" => TrainingCampaignConfig::default(),
         other => return Err(format!("unknown scale '{other}' (fast|default)")),
     };
+    let tracker = if args.switch("track") {
+        let t = adapt_telemetry::RunTracker::create(Path::new(&runs_dir), "train", seed)
+            .map_err(|e| format!("cannot create run directory under {runs_dir}: {e}"))?;
+        println!("tracking run {} under {runs_dir}", t.run_id());
+        Some(t)
+    } else {
+        None
+    };
     println!("training ({scale} campaign, seed {seed})...");
-    let models = train_models(&config, seed);
+    let models = adapt_core::train_models_tracked(&config, seed, tracker.as_ref());
     println!(
         "validation losses: background BCE {:.4}, dEta MSE {:.4}",
         models.val_losses.0, models.val_losses.1
     );
+    if let Some(t) = &tracker {
+        if let Some(reason) = t.abort_reason() {
+            return Err(format!(
+                "training aborted by run watchdog: {reason} \
+                 (stream preserved in {})",
+                t.dir().display()
+            ));
+        }
+        let text = std::fs::read_to_string(t.dir().join("epochs.ndjson"))
+            .map_err(|e| format!("cannot read back run stream: {e}"))?;
+        let summary = adapt_telemetry::validate_run(&text)
+            .map_err(|e| format!("internal error: run stream fails its own schema: {e}"))?;
+        println!(
+            "run {}: {} models, {} epoch records, manifest written to {}",
+            t.run_id(),
+            summary.models.len(),
+            summary.n_epochs,
+            t.dir().join("manifest.json").display()
+        );
+    }
     models
         .save(Path::new(&out))
         .map_err(|e| format!("cannot write {out}: {e}"))?;
@@ -147,6 +186,7 @@ pub fn localize(args: &Args) -> Result<(), String> {
         "telemetry",
         "reps",
     ])?;
+    args.assert_no_positionals()?;
     let models = load_models(&args.get_or("models", "models.json"))?;
     let fluence: f64 = args.get_parse_or("fluence", 1.0)?;
     let angle: f64 = args.get_parse_or("angle", 0.0)?;
@@ -175,9 +215,12 @@ pub fn localize(args: &Args) -> Result<(), String> {
     let telemetry_path = args.get("telemetry");
 
     let recorder = adapt_telemetry::FlightRecorder::new();
+    let drift_monitor = adapt_telemetry::DriftMonitor::new(models.drift_reference.clone());
     let mut pipeline = Pipeline::new(&models).with_backend(backend);
     if telemetry_path.is_some() {
-        pipeline = pipeline.with_recorder(&recorder);
+        pipeline = pipeline
+            .with_recorder(&recorder)
+            .with_drift_monitor(&drift_monitor);
     }
     let grb = GrbConfig::new(fluence, angle);
     for &mode in &modes {
@@ -212,6 +255,24 @@ pub fn localize(args: &Args) -> Result<(), String> {
     }
 
     if let Some(path) = telemetry_path {
+        if let Some(drift) = pipeline.record_drift() {
+            if drift.rows_observed > 0 {
+                println!(
+                    "feature drift: mean PSI {:.3}, max {:.3}, {} of {} features flagged \
+                     over {} rows{}",
+                    drift.mean_psi,
+                    drift.max_psi,
+                    drift.features_flagged,
+                    drift.per_feature_psi.len(),
+                    drift.rows_observed,
+                    if drift.features_flagged > 0 {
+                        " — WARNING: inference features have drifted from the training reference"
+                    } else {
+                        ""
+                    }
+                );
+            }
+        }
         let text = adapt_telemetry::export(&recorder, reps as usize);
         adapt_telemetry::validate_ndjson(&text)
             .map_err(|e| format!("internal error: capture fails its own schema: {e}"))?;
@@ -228,6 +289,7 @@ pub fn localize(args: &Args) -> Result<(), String> {
 /// `adapt telemetry-report`
 pub fn telemetry_report(args: &Args) -> Result<(), String> {
     args.assert_known(&["input"])?;
+    args.assert_no_positionals()?;
     let path = args.get_or("input", "telemetry.ndjson");
     let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let summary = adapt_telemetry::validate_ndjson(&text)
@@ -263,6 +325,29 @@ pub fn telemetry_report(args: &Args) -> Result<(), String> {
         for (name, value) in &summary.counters {
             println!("{name:<22} {value}");
         }
+        let counter = |key: &str| {
+            summary
+                .counters
+                .iter()
+                .find(|(name, _)| name == key)
+                .map(|&(_, value)| value)
+        };
+        if let Some(rows) = counter("drift_rows").filter(|&r| r > 0) {
+            let psi = counter("drift_mean_psi_milli").unwrap_or(0) as f64 / 1000.0;
+            let flagged = counter("drift_features_flagged").unwrap_or(0);
+            println!();
+            println!(
+                "feature drift vs training reference: mean PSI {psi:.3} over {rows} rows{}",
+                if flagged > 0 {
+                    format!(
+                        " — WARNING: {flagged} feature(s) above the {} PSI flag threshold",
+                        adapt_telemetry::PSI_FLAG
+                    )
+                } else {
+                    " (in distribution)".to_string()
+                }
+            );
+        }
     }
     if summary.n_loop_summaries > 0 {
         println!();
@@ -285,6 +370,7 @@ pub fn skymap(args: &Args) -> Result<(), String> {
         "credibility",
         "pixels",
     ])?;
+    args.assert_no_positionals()?;
     let models = load_models(&args.get_or("models", "models.json"))?;
     let fluence: f64 = args.get_parse_or("fluence", 1.0)?;
     let angle: f64 = args.get_parse_or("angle", 0.0)?;
@@ -321,9 +407,106 @@ pub fn skymap(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `adapt runs` — list/show/diff tracked training runs.
+pub fn runs(args: &Args) -> Result<(), String> {
+    args.assert_known(&["runs-dir"])?;
+    let root = args.get_or("runs-dir", "artifacts/runs");
+    match args.positional(0) {
+        Some("list") | None => runs_list(Path::new(&root)),
+        Some("show") => {
+            let id = args
+                .positional(1)
+                .ok_or("usage: adapt runs show <run-id>")?;
+            runs_show(Path::new(&root), id)
+        }
+        Some("diff") => {
+            let (a, b) = match (args.positional(1), args.positional(2)) {
+                (Some(a), Some(b)) => (a, b),
+                _ => return Err("usage: adapt runs diff <run-id-a> <run-id-b>".into()),
+            };
+            runs_diff(Path::new(&root), a, b)
+        }
+        Some(other) => Err(format!("unknown runs action '{other}' (list|show|diff)")),
+    }
+}
+
+fn runs_list(root: &Path) -> Result<(), String> {
+    let manifests = adapt_telemetry::list_runs(root);
+    if manifests.is_empty() {
+        println!("no tracked runs under {}", root.display());
+        return Ok(());
+    }
+    println!(
+        "{:<34} {:<8} {:<10} {:>7} {:>14} {:>10}",
+        "Run", "Kind", "Outcome", "Epochs", "Best val loss", "Wall (ms)"
+    );
+    for m in &manifests {
+        println!(
+            "{:<34} {:<8} {:<10} {:>7} {:>14.5} {:>10.0}",
+            m.run_id,
+            m.kind,
+            if m.completed() {
+                "completed"
+            } else {
+                "aborted"
+            },
+            m.epochs,
+            m.best_val_loss,
+            m.wall_ms
+        );
+    }
+    Ok(())
+}
+
+fn runs_show(root: &Path, id: &str) -> Result<(), String> {
+    let dir = root.join(id);
+    let manifest = adapt_telemetry::load_manifest(&dir)
+        .map_err(|e| format!("cannot load run '{id}' from {}: {e}", root.display()))?;
+    println!("run {} ({})", manifest.run_id, manifest.kind);
+    println!("  outcome:             {}", manifest.outcome);
+    println!("  data seed:           {}", manifest.data_seed);
+    println!("  epochs:              {}", manifest.epochs);
+    println!("  best val loss:       {:.6}", manifest.best_val_loss);
+    println!("  wall time:           {:.0} ms", manifest.wall_ms);
+    println!("  feature schema hash: {}", manifest.feature_schema_hash);
+    println!("  weight checksum:     {}", manifest.weight_checksum);
+    println!(
+        "  host:                {} / {} ({} threads)",
+        manifest.host.os, manifest.host.arch, manifest.host.threads
+    );
+    println!("  config:              {}", manifest.config);
+    let text = std::fs::read_to_string(dir.join("epochs.ndjson"))
+        .map_err(|e| format!("cannot read run stream: {e}"))?;
+    let summary = adapt_telemetry::validate_run(&text)
+        .map_err(|e| format!("run stream fails schema validation: {e}"))?;
+    println!(
+        "  stream:              {} epoch records across {} model(s), {} search trial(s)",
+        summary.n_epochs,
+        summary.models.len(),
+        summary.n_search_trials
+    );
+    for (model, loss) in summary.models.iter().zip(&summary.final_val_losses) {
+        println!("    {model}: final val loss {loss:.6}");
+    }
+    if let Some(reason) = &summary.aborted {
+        println!("  aborted:             {reason}");
+    }
+    Ok(())
+}
+
+fn runs_diff(root: &Path, a: &str, b: &str) -> Result<(), String> {
+    let ma = adapt_telemetry::load_manifest(&root.join(a))
+        .map_err(|e| format!("cannot load run '{a}': {e}"))?;
+    let mb = adapt_telemetry::load_manifest(&root.join(b))
+        .map_err(|e| format!("cannot load run '{b}': {e}"))?;
+    print!("{}", adapt_telemetry::diff_manifests(&ma, &mb));
+    Ok(())
+}
+
 /// `adapt report`
 pub fn report(args: &Args) -> Result<(), String> {
     args.assert_known(&["models"])?;
+    args.assert_no_positionals()?;
     let models = load_models(&args.get_or("models", "models.json"))?;
     println!(
         "validation losses: background BCE {:.4}, dEta MSE {:.4}",

@@ -2,10 +2,11 @@
 //!
 //! ```text
 //! adapt simulate --fluence 1.0 --angle 0 --seed 42
-//! adapt train    --scale fast --out models.json
+//! adapt train    --scale fast --out models.json --track
 //! adapt localize --models models.json --fluence 1.0 --angle 20 --mode ml
 //! adapt skymap   --models models.json --fluence 2.0 --angle 30 --credibility 0.9
 //! adapt report   --models models.json
+//! adapt runs     list
 //! ```
 
 mod args;
@@ -13,8 +14,11 @@ mod commands;
 
 use args::Args;
 
+/// Flags that are boolean switches (take no value).
+const SWITCHES: &[&str] = &["track"];
+
 fn main() {
-    let parsed = match Args::parse(std::env::args().skip(1)) {
+    let parsed = match Args::parse_with_switches(std::env::args().skip(1), SWITCHES) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}\n");
@@ -29,6 +33,7 @@ fn main() {
         Some("telemetry-report") => commands::telemetry_report(&parsed),
         Some("skymap") => commands::skymap(&parsed),
         Some("report") => commands::report(&parsed),
+        Some("runs") => commands::runs(&parsed),
         Some("help") | None => {
             println!("{}", commands::USAGE);
             Ok(())

@@ -1,0 +1,110 @@
+//! End-to-end tests of the `adapt` binary's exit-code contract: corrupt
+//! telemetry captures must fail loudly (nonzero exit), and the tracked-run
+//! inspection subcommands must round-trip a run written by the tracker.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn adapt(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_adapt"))
+        .args(args)
+        .output()
+        .expect("spawn adapt binary")
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("adapt_cli_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn telemetry_report_rejects_corrupt_capture_with_nonzero_exit() {
+    let dir = temp_dir("corrupt");
+    let path = dir.join("capture.ndjson");
+    // truncated mid-line: a capture a crashed writer might leave behind
+    std::fs::write(&path, "{\"type\":\"meta\",\"schema\":1,\"repetiti").unwrap();
+    let out = adapt(&["telemetry-report", "--input", path.to_str().unwrap()]);
+    assert!(
+        !out.status.success(),
+        "corrupt capture must exit nonzero, got {:?}",
+        out.status
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("failed schema validation"),
+        "stderr should name the validation failure, got: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn telemetry_report_rejects_missing_file_with_nonzero_exit() {
+    let out = adapt(&["telemetry-report", "--input", "/nonexistent/capture.ndjson"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn runs_subcommands_round_trip_a_tracked_run() {
+    let root = temp_dir("runs");
+    // fabricate two runs through the real tracker
+    for (id, seed) in [("train-0001-a", 1u64), ("train-0002-b", 2u64)] {
+        let tracker = adapt_telemetry::RunTracker::create_named(&root, "train", seed, id).unwrap();
+        tracker.begin_model("background");
+        tracker.log_epoch(&adapt_telemetry::EpochRecord {
+            epoch: 0,
+            train_loss: 0.5,
+            val_loss: 0.4 + seed as f64 * 0.01,
+            metric: 0.4,
+            grad_norm: 1.0,
+            learning_rate: 1e-3,
+            wall_ms: 5.0,
+        });
+        tracker
+            .finish(adapt_telemetry::ManifestDraft {
+                config: format!("{{\"seed\":{seed}}}"),
+                data_seed: seed,
+                ..Default::default()
+            })
+            .unwrap();
+    }
+    let root_s = root.to_str().unwrap();
+
+    let list = adapt(&["runs", "list", "--runs-dir", root_s]);
+    assert!(list.status.success());
+    let stdout = String::from_utf8_lossy(&list.stdout);
+    assert!(stdout.contains("train-0001-a") && stdout.contains("train-0002-b"));
+
+    let show = adapt(&["runs", "show", "train-0001-a", "--runs-dir", root_s]);
+    assert!(show.status.success());
+    let stdout = String::from_utf8_lossy(&show.stdout);
+    assert!(stdout.contains("completed"), "show output: {stdout}");
+    assert!(stdout.contains("background"), "show output: {stdout}");
+
+    let diff = adapt(&[
+        "runs",
+        "diff",
+        "train-0001-a",
+        "train-0002-b",
+        "--runs-dir",
+        root_s,
+    ]);
+    assert!(diff.status.success());
+    let stdout = String::from_utf8_lossy(&diff.stdout);
+    assert!(
+        stdout.contains("data_seed"),
+        "diff should report the seed delta: {stdout}"
+    );
+
+    let missing = adapt(&["runs", "show", "no-such-run", "--runs-dir", root_s]);
+    assert!(!missing.status.success());
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn unknown_subcommand_exits_nonzero() {
+    let out = adapt(&["frobnicate"]);
+    assert!(!out.status.success());
+}

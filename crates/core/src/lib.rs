@@ -44,8 +44,9 @@ pub use pipeline::{Pipeline, PipelineMode, TrialOutcome, TrialTimings};
 pub use report::{ExperimentRecord, SCHEMA_VERSION};
 pub use timing::{measure_stages, StageRow, TimingTable};
 pub use training::{
-    background_dataset, d_eta_dataset, generate_training_rings, train_models, LabeledRing,
-    TrainedModels, TrainingCampaignConfig,
+    background_dataset, d_eta_dataset, feature_schema_hash, generate_training_rings, train_models,
+    train_models_tracked, LabeledRing, ModelLoadError, ModelProvenance, TrainedModels,
+    TrainingCampaignConfig, FEATURE_SCHEMA, MODELS_SCHEMA,
 };
 pub use trigger::{calibrate_background_rate, scan, TriggerConfig, TriggerResult};
 

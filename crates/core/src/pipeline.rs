@@ -24,7 +24,7 @@ use adapt_recon::{ComptonRing, ReconCounts, Reconstructor};
 use adapt_sim::{
     BackgroundConfig, BurstSimulation, DetectorConfig, GrbConfig, GrbSource, PerturbationConfig,
 };
-use adapt_telemetry::{Counter, Recorder, Stage};
+use adapt_telemetry::{Counter, DriftMonitor, DriftReport, Recorder, Stage};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -123,6 +123,7 @@ pub struct Pipeline<'a> {
     detector: DetectorConfig,
     background: BackgroundConfig,
     recorder: &'a dyn Recorder,
+    drift: Option<&'a DriftMonitor>,
 }
 
 impl<'a> Pipeline<'a> {
@@ -138,6 +139,7 @@ impl<'a> Pipeline<'a> {
             detector: DetectorConfig::default(),
             background: BackgroundConfig::default(),
             recorder: adapt_telemetry::noop(),
+            drift: None,
         }
     }
 
@@ -155,6 +157,38 @@ impl<'a> Pipeline<'a> {
     pub fn with_recorder(mut self, recorder: &'a dyn Recorder) -> Self {
         self.recorder = recorder;
         self
+    }
+
+    /// Attach an in-flight drift monitor (usually built over the training
+    /// campaign's [`DriftReference`](adapt_telemetry::DriftReference),
+    /// persisted in [`TrainedModels::drift_reference`]). Each ML-mode
+    /// trial feeds its staged feature rows into the monitor's histograms;
+    /// call [`record_drift`](Self::record_drift) after a run to compute
+    /// PSI divergence and surface it through the recorder's counters.
+    pub fn with_drift_monitor(mut self, monitor: &'a DriftMonitor) -> Self {
+        self.drift = Some(monitor);
+        self
+    }
+
+    /// Compute the drift monitor's PSI report over everything observed so
+    /// far and push it into the attached recorder's counters
+    /// (`drift_rows`, `drift_mean_psi_milli`, `drift_features_flagged`).
+    /// Call once per run — counters are cumulative, so calling after each
+    /// trial would double-count. Returns `None` when no monitor is
+    /// attached.
+    pub fn record_drift(&self) -> Option<DriftReport> {
+        let monitor = self.drift?;
+        let report = monitor.report();
+        self.recorder.add(Counter::DriftRows, report.rows_observed);
+        self.recorder.add(
+            Counter::DriftMeanPsiMilli,
+            (report.mean_psi * 1000.0).round().max(0.0) as u64,
+        );
+        self.recorder.add(
+            Counter::DriftFeaturesFlagged,
+            report.features_flagged as u64,
+        );
+        Some(report)
     }
 
     /// Select the background-network arithmetic for [`PipelineMode::Ml`]:
@@ -290,26 +324,32 @@ impl<'a> Pipeline<'a> {
                     InferenceBackend::Float => &self.compiled_background,
                     InferenceBackend::Int8 => self.models.quantized_background.plan(),
                 };
-                let ml = MlLocalizer::new(
+                let mut ml = MlLocalizer::new(
                     bkg,
                     &self.models.thresholds,
                     &self.models.d_eta,
                     self.ml_config.clone(),
                 )
                 .with_recorder(self.recorder);
+                if let Some(monitor) = self.drift {
+                    ml = ml.with_drift_monitor(monitor);
+                }
                 match Self::localize_reusing_workspace(&ml, &staged, &mut rng) {
                     Some(r) => (Some(r.direction), r.surviving_rings, r.timings),
                     None => (None, rings_in, StageTimings::default()),
                 }
             }
             PipelineMode::MlQuantized => {
-                let ml = MlLocalizer::new(
+                let mut ml = MlLocalizer::new(
                     &self.models.quantized_background,
                     &self.models.thresholds,
                     &self.models.d_eta,
                     self.ml_config.clone(),
                 )
                 .with_recorder(self.recorder);
+                if let Some(monitor) = self.drift {
+                    ml = ml.with_drift_monitor(monitor);
+                }
                 match Self::localize_reusing_workspace(&ml, &staged, &mut rng) {
                     Some(r) => (Some(r.direction), r.surviving_rings, r.timings),
                     None => (None, rings_in, StageTimings::default()),
@@ -319,13 +359,16 @@ impl<'a> Pipeline<'a> {
                 let thresholds = adapt_nn::ThresholdTable::uniform(0.5);
                 let mut cfg = self.ml_config.clone();
                 cfg.use_polar_input = false;
-                let ml = MlLocalizer::new(
+                let mut ml = MlLocalizer::new(
                     &self.compiled_background_no_polar,
                     &thresholds,
                     &self.models.d_eta_no_polar,
                     cfg,
                 )
                 .with_recorder(self.recorder);
+                if let Some(monitor) = self.drift {
+                    ml = ml.with_drift_monitor(monitor);
+                }
                 match Self::localize_reusing_workspace(&ml, &staged, &mut rng) {
                     Some(r) => (Some(r.direction), r.surviving_rings, r.timings),
                     None => (None, rings_in, StageTimings::default()),
@@ -408,6 +451,7 @@ impl<'a> Pipeline<'a> {
 mod tests {
     use super::*;
     use crate::training::{train_models, TrainingCampaignConfig};
+    use adapt_telemetry::PSI_FLAG;
     use std::sync::OnceLock;
 
     fn models() -> &'static TrainedModels {
@@ -477,6 +521,71 @@ mod tests {
         let a = pipeline.localize_rings(&rings, PipelineMode::Baseline, &grb, 3, rt);
         let b = pipeline.localize_rings(&rings, PipelineMode::Ml, &grb, 3, rt);
         assert_eq!(a.rings_in, b.rings_in);
+    }
+
+    #[test]
+    fn drift_monitor_sees_ml_trial_features_and_flags_the_polar_shift() {
+        let m = models();
+        let monitor = DriftMonitor::new(m.drift_reference.clone());
+        let pipeline = Pipeline::new(m).with_drift_monitor(&monitor);
+        let grb = GrbConfig::new(2.0, 0.0);
+        let out = pipeline.run_trial(PipelineMode::Ml, &grb, PerturbationConfig::default(), 5);
+        // the first background-rejection pass stages every incoming ring,
+        // and only that pass feeds the monitor
+        assert_eq!(monitor.rows_observed(), out.rings_in as u64);
+        let report = pipeline.record_drift().expect("monitor attached");
+        assert_eq!(report.per_feature_psi.len(), 13);
+        assert!(report.per_feature_psi.iter().all(|p| p.is_finite()));
+        // the training reference spans polar angles {0, 30, 60} deg but a
+        // single burst sits at one angle, so the polar-angle feature (the
+        // last model input) is a genuine concentrated shift the monitor
+        // must flag
+        let polar_psi = *report.per_feature_psi.last().unwrap();
+        assert!(
+            polar_psi > PSI_FLAG,
+            "single-angle burst not flagged on the polar feature: PSI {polar_psi}"
+        );
+        assert!(report.features_flagged >= 1);
+        assert!(report.max_psi >= report.mean_psi && report.mean_psi >= 0.0);
+    }
+
+    #[test]
+    fn drift_counters_reach_the_recorder() {
+        let m = models();
+        let monitor = DriftMonitor::new(m.drift_reference.clone());
+        let recorder = adapt_telemetry::FlightRecorder::new();
+        let pipeline = Pipeline::new(m)
+            .with_recorder(&recorder)
+            .with_drift_monitor(&monitor);
+        let grb = GrbConfig::new(2.0, 0.0);
+        pipeline.run_trial(PipelineMode::Ml, &grb, PerturbationConfig::default(), 9);
+        let report = pipeline.record_drift().expect("monitor attached");
+        // the counters mirror the report exactly: rows, milli-PSI, flags
+        assert_eq!(recorder.counter(Counter::DriftRows), report.rows_observed);
+        assert!(report.rows_observed > 0);
+        assert_eq!(
+            recorder.counter(Counter::DriftMeanPsiMilli),
+            (report.mean_psi * 1000.0).round().max(0.0) as u64
+        );
+        assert_eq!(
+            recorder.counter(Counter::DriftFeaturesFlagged),
+            report.features_flagged as u64
+        );
+    }
+
+    #[test]
+    fn baseline_mode_feeds_no_drift_rows() {
+        let m = models();
+        let monitor = DriftMonitor::new(m.drift_reference.clone());
+        let pipeline = Pipeline::new(m).with_drift_monitor(&monitor);
+        let grb = GrbConfig::new(2.0, 0.0);
+        pipeline.run_trial(
+            PipelineMode::Baseline,
+            &grb,
+            PerturbationConfig::default(),
+            5,
+        );
+        assert_eq!(monitor.rows_observed(), 0);
     }
 
     #[test]

@@ -15,15 +15,34 @@
 use adapt_nn::mlp::BlockOrder;
 use adapt_nn::{
     models, qat_finetune, three_way_split, Dataset, Matrix, Mlp, QuantizedMlp, ThresholdTable,
-    TrainConfig,
+    TrainConfig, TrainReport,
 };
 use adapt_recon::{ComptonRing, Reconstructor};
 use adapt_sim::{BackgroundConfig, BurstSimulation, DetectorConfig, GrbConfig, PerturbationConfig};
+use adapt_telemetry::{fnv1a_hex, DriftReference, ManifestDraft, RunTracker};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
+
+/// Schema version of the serialized [`TrainedModels`] artifact. Version
+/// 2 added the `schema` field itself, run provenance, and the drift
+/// reference; version-1 caches (no `schema` field) are rejected as a
+/// schema mismatch and retrained.
+pub const MODELS_SCHEMA: u32 = 2;
+
+/// Canonical order of the 13-wide staged model input
+/// (`RingFeatures::to_model_input`). Hashed into manifests and model
+/// artifacts so a feature-order change is detectable as provenance
+/// drift rather than silent mis-prediction.
+pub const FEATURE_SCHEMA: &str = "total_energy,hit1_x,hit1_y,hit1_z,hit1_e,\
+     hit2_x,hit2_y,hit2_z,hit2_e,sigma_total_energy,sigma_e1,sigma_e2,polar_angle_deg";
+
+/// FNV-1a hash of [`FEATURE_SCHEMA`].
+pub fn feature_schema_hash() -> String {
+    fnv1a_hex(FEATURE_SCHEMA.as_bytes())
+}
 
 /// Configuration of the training campaign.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -161,9 +180,68 @@ pub fn d_eta_dataset(rings: &[LabeledRing], floor: f64, with_polar: bool) -> Dat
     Dataset::new(Matrix::from_vec(n, dim, xs), ys)
 }
 
+/// Where a [`TrainedModels`] artifact came from: the tracked run that
+/// produced it, by id and hash. Embedded in the saved JSON so a cached
+/// model is always traceable back to its run directory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelProvenance {
+    /// Id of the run (`artifacts/runs/<run_id>/`).
+    pub run_id: String,
+    /// FNV-1a hash of the run's serialized manifest.
+    pub manifest_hash: String,
+    /// FNV-1a hash of [`FEATURE_SCHEMA`] at training time.
+    pub feature_schema_hash: String,
+    /// FNV-1a checksum over the serialized network weights.
+    pub weight_checksum: String,
+    /// Data-campaign seed.
+    pub data_seed: u64,
+}
+
+/// Why a cached [`TrainedModels`] artifact was rejected.
+#[derive(Debug)]
+pub enum ModelLoadError {
+    /// No cache exists at the path.
+    NotFound(std::path::PathBuf),
+    /// The file exists but could not be read.
+    Io(std::io::Error),
+    /// The file is not valid JSON or is missing required fields.
+    Corrupt(String),
+    /// The artifact was written by a different schema version.
+    SchemaMismatch {
+        /// Version found in the file (0 = legacy pre-versioned artifact).
+        found: u32,
+        /// Version this build writes and reads.
+        expected: u32,
+    },
+}
+
+impl std::fmt::Display for ModelLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelLoadError::NotFound(p) => write!(f, "no cached models at {}", p.display()),
+            ModelLoadError::Io(e) => write!(f, "I/O error reading cached models: {e}"),
+            ModelLoadError::Corrupt(e) => write!(f, "cached models are corrupt: {e}"),
+            ModelLoadError::SchemaMismatch { found, expected } => write!(
+                f,
+                "cached models have schema version {found} but this build expects {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ModelLoadError {}
+
 /// Everything the ML pipeline needs at inference time.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TrainedModels {
+    /// Artifact schema version ([`MODELS_SCHEMA`]).
+    pub schema: u32,
+    /// Provenance of the run that trained these weights (`None` for
+    /// untracked runs).
+    pub provenance: Option<ModelProvenance>,
+    /// Reference feature statistics of the 13-wide background training
+    /// set — the training-time half of the drift monitor.
+    pub drift_reference: DriftReference,
     /// Background classifier with the polar input (13-wide).
     pub background: Mlp,
     /// Background classifier without the polar input (12-wide ablation).
@@ -186,6 +264,40 @@ pub struct TrainedModels {
 
 /// Train all models from a ring campaign. Deterministic given `seed`.
 pub fn train_models(config: &TrainingCampaignConfig, seed: u64) -> TrainedModels {
+    train_models_tracked(config, seed, None)
+}
+
+/// Train one model, streaming its epochs into the tracker when present.
+fn train_one(
+    name: &str,
+    tracker: Option<&RunTracker>,
+    model: &mut Mlp,
+    train_set: &Dataset,
+    val_set: &Dataset,
+    cfg: &TrainConfig,
+    rng: &mut ChaCha8Rng,
+) -> TrainReport {
+    match tracker {
+        Some(t) => {
+            t.begin_model(name);
+            let mut hook = t;
+            adapt_nn::train_with_hook(model, train_set, val_set, cfg, rng, &mut hook)
+        }
+        None => adapt_nn::train(model, train_set, val_set, cfg, rng),
+    }
+}
+
+/// [`train_models`] with run tracking: every model's epochs stream into
+/// the tracker (watchdogs included — an aborted model keeps its best
+/// pre-abort checkpoint and the abort reason lands in the manifest), and
+/// the finished artifact embeds [`ModelProvenance`] pointing back at the
+/// run. The same RNG schedule is used with and without a tracker, so a
+/// tracked run reproduces the untracked weights bit-for-bit.
+pub fn train_models_tracked(
+    config: &TrainingCampaignConfig,
+    seed: u64,
+    tracker: Option<&RunTracker>,
+) -> TrainedModels {
     let rings = generate_training_rings(config, seed);
     assert!(
         rings.len() > 200,
@@ -196,6 +308,9 @@ pub fn train_models(config: &TrainingCampaignConfig, seed: u64) -> TrainedModels
 
     // ----- background network (with polar) -----
     let bkg_data = background_dataset(&rings, true);
+    // the drift reference is fitted on the full 13-wide staged dataset,
+    // matching what MlLocalizer stages at inference time
+    let drift_reference = DriftReference::fit(bkg_data.x.as_slice(), bkg_data.len(), 13);
     let (btrain, bval, btest) = three_way_split(&bkg_data, &mut rng);
     let mut background = models::background_network(13, BlockOrder::BatchNormFirst, &mut rng);
     let bcfg = TrainConfig {
@@ -208,7 +323,15 @@ pub fn train_models(config: &TrainingCampaignConfig, seed: u64) -> TrainedModels
         learning_rate: 3e-3,
         ..bcfg
     };
-    let breport = adapt_nn::train(&mut background, &btrain, &bval, &bcfg, &mut rng);
+    let breport = train_one(
+        "background",
+        tracker,
+        &mut background,
+        &btrain,
+        &bval,
+        &bcfg,
+        &mut rng,
+    );
 
     // ----- thresholds on the training split -----
     let logits = background.predict(&btrain.x);
@@ -223,7 +346,15 @@ pub fn train_models(config: &TrainingCampaignConfig, seed: u64) -> TrainedModels
     let (nptrain, npval, _) = three_way_split(&bkg_np_data, &mut rng);
     let mut background_no_polar =
         models::background_network(12, BlockOrder::BatchNormFirst, &mut rng);
-    adapt_nn::train(&mut background_no_polar, &nptrain, &npval, &bcfg, &mut rng);
+    train_one(
+        "background_no_polar",
+        tracker,
+        &mut background_no_polar,
+        &nptrain,
+        &npval,
+        &bcfg,
+        &mut rng,
+    );
 
     // ----- dEta network -----
     let deta_data = d_eta_dataset(&rings, config.eta_error_floor, true);
@@ -233,13 +364,23 @@ pub fn train_models(config: &TrainingCampaignConfig, seed: u64) -> TrainedModels
         max_epochs: config.max_epochs,
         ..TrainConfig::d_eta_paper()
     };
-    let dreport = adapt_nn::train(&mut d_eta, &dtrain, &dval, &dcfg, &mut rng);
+    let dreport = train_one(
+        "d_eta", tracker, &mut d_eta, &dtrain, &dval, &dcfg, &mut rng,
+    );
 
     // ----- dEta network without polar (Fig. 7 ablation arm) -----
     let deta_np_data = d_eta_dataset(&rings, config.eta_error_floor, false);
     let (dnp_train, dnp_val, _) = three_way_split(&deta_np_data, &mut rng);
     let mut d_eta_no_polar = models::d_eta_network(12, BlockOrder::BatchNormFirst, &mut rng);
-    adapt_nn::train(&mut d_eta_no_polar, &dnp_train, &dnp_val, &dcfg, &mut rng);
+    train_one(
+        "d_eta_no_polar",
+        tracker,
+        &mut d_eta_no_polar,
+        &dnp_train,
+        &dnp_val,
+        &dcfg,
+        &mut rng,
+    );
 
     // ----- quantized background network -----
     // retrain in the fusion-friendly LinearFirst order (paper §V retrains
@@ -252,7 +393,15 @@ pub fn train_models(config: &TrainingCampaignConfig, seed: u64) -> TrainedModels
         0,
         adapt_nn::Layer::BatchNorm(adapt_nn::BatchNorm1d::new(13)),
     );
-    adapt_nn::train(&mut bkg_lf, &btrain, &bval, &bcfg, &mut rng);
+    train_one(
+        "background_linear_first",
+        tracker,
+        &mut bkg_lf,
+        &btrain,
+        &bval,
+        &bcfg,
+        &mut rng,
+    );
     let qat_cfg = TrainConfig {
         learning_rate: bcfg.learning_rate * 0.1,
         ..bcfg.clone()
@@ -265,7 +414,36 @@ pub fn train_models(config: &TrainingCampaignConfig, seed: u64) -> TrainedModels
     let test_logits = background.predict(&btest.x);
     let _test_acc = adapt_nn::accuracy(&test_logits, &btest.y, 0.5);
 
+    // checksum over every trained network's serialized weights
+    let mut weight_bytes = String::new();
+    weight_bytes.push_str(&background.to_json());
+    weight_bytes.push_str(&background_no_polar.to_json());
+    weight_bytes.push_str(&d_eta.to_json());
+    weight_bytes.push_str(&d_eta_no_polar.to_json());
+    weight_bytes.push_str(&background_linear_first.to_json());
+    let weight_checksum = fnv1a_hex(weight_bytes.as_bytes());
+
+    let provenance = tracker.map(|t| {
+        let draft = ManifestDraft {
+            config: serde_json::to_string(config).expect("campaign config serialization"),
+            data_seed: seed,
+            feature_schema_hash: feature_schema_hash(),
+            weight_checksum: weight_checksum.clone(),
+        };
+        let (manifest, manifest_hash) = t.finish(draft).expect("manifest write");
+        ModelProvenance {
+            run_id: manifest.run_id,
+            manifest_hash,
+            feature_schema_hash: feature_schema_hash(),
+            weight_checksum: weight_checksum.clone(),
+            data_seed: seed,
+        }
+    });
+
     TrainedModels {
+        schema: MODELS_SCHEMA,
+        provenance,
+        drift_reference,
         background,
         background_no_polar,
         thresholds,
@@ -278,23 +456,73 @@ pub fn train_models(config: &TrainingCampaignConfig, seed: u64) -> TrainedModels
 }
 
 impl TrainedModels {
-    /// Save as JSON.
+    /// Save as JSON (atomic: temp file + rename, so a crash mid-save
+    /// never leaves a torn cache).
     pub fn save(&self, path: &Path) -> std::io::Result<()> {
         let json = serde_json::to_string(self).expect("model serialization");
-        std::fs::write(path, json)
+        adapt_telemetry::write_atomic(path, &json)
     }
 
-    /// Load from JSON.
-    pub fn load(path: &Path) -> std::io::Result<Self> {
-        let json = std::fs::read_to_string(path)?;
-        serde_json::from_str(&json)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    /// Load from JSON, classifying every failure: missing file, I/O
+    /// error, schema mismatch (including legacy pre-versioned caches),
+    /// or corrupt contents.
+    pub fn load(path: &Path) -> Result<Self, ModelLoadError> {
+        let json = match std::fs::read_to_string(path) {
+            Ok(json) => json,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return Err(ModelLoadError::NotFound(path.to_path_buf()))
+            }
+            Err(e) => return Err(ModelLoadError::Io(e)),
+        };
+        // structural parse first, so schema mismatches are reported as
+        // such rather than as a missing-field deserialization error
+        let value: serde::Value =
+            serde_json::from_str(&json).map_err(|e| ModelLoadError::Corrupt(e.to_string()))?;
+        let found = match value.get("schema") {
+            Some(serde::Value::UInt(n)) => *n as u32,
+            Some(serde::Value::Int(n)) if *n >= 0 => *n as u32,
+            // pre-PR-4 caches carry no schema field at all
+            _ => 0,
+        };
+        if found != MODELS_SCHEMA {
+            return Err(ModelLoadError::SchemaMismatch {
+                found,
+                expected: MODELS_SCHEMA,
+            });
+        }
+        serde_json::from_str(&json).map_err(|e| ModelLoadError::Corrupt(e.to_string()))
     }
 
-    /// Load the cached models at `path`, or train (and cache) them.
+    /// Load the cached models at `path`, or train (and cache) them. A
+    /// rejected cache logs *why* it was rejected (schema mismatch vs I/O
+    /// vs corrupt) before retraining; a loaded cache reports which
+    /// tracked run it came from.
     pub fn load_or_train(path: &Path, config: &TrainingCampaignConfig, seed: u64) -> TrainedModels {
-        if let Ok(models) = Self::load(path) {
-            return models;
+        match Self::load(path) {
+            Ok(models) => {
+                match &models.provenance {
+                    Some(p) => eprintln!(
+                        "loaded cached models from {} (run {}, seed {:#x})",
+                        path.display(),
+                        p.run_id,
+                        p.data_seed
+                    ),
+                    None => eprintln!(
+                        "loaded cached models from {} (untracked run)",
+                        path.display()
+                    ),
+                }
+                return models;
+            }
+            Err(ModelLoadError::NotFound(_)) => {
+                eprintln!("no cached models at {}; training", path.display());
+            }
+            Err(e) => {
+                eprintln!(
+                    "rejecting cached models at {}: {e}; retraining",
+                    path.display()
+                );
+            }
         }
         let models = train_models(config, seed);
         // caching is best-effort: a read-only target dir is not fatal
@@ -381,6 +609,81 @@ mod tests {
             loaded.quantized_background.forward_one(&x)
         );
         let _ = std::fs::remove_file(dir);
+    }
+
+    #[test]
+    fn load_classifies_rejection_reasons() {
+        let dir = std::env::temp_dir().join(format!("adapt_load_cls_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        // missing file
+        match TrainedModels::load(&dir.join("absent.json")) {
+            Err(ModelLoadError::NotFound(_)) => {}
+            other => panic!("expected NotFound, got {other:?}"),
+        }
+        // garbage contents
+        let garbage = dir.join("garbage.json");
+        std::fs::write(&garbage, "not json at all").unwrap();
+        match TrainedModels::load(&garbage) {
+            Err(ModelLoadError::Corrupt(_)) => {}
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+        // legacy cache without a schema field
+        let legacy = dir.join("legacy.json");
+        std::fs::write(&legacy, "{\"background\":{}}").unwrap();
+        match TrainedModels::load(&legacy) {
+            Err(ModelLoadError::SchemaMismatch { found: 0, expected }) => {
+                assert_eq!(expected, MODELS_SCHEMA)
+            }
+            other => panic!("expected legacy SchemaMismatch, got {other:?}"),
+        }
+        // future schema
+        let future = dir.join("future.json");
+        std::fs::write(&future, "{\"schema\":99}").unwrap();
+        match TrainedModels::load(&future) {
+            Err(ModelLoadError::SchemaMismatch { found: 99, .. }) => {}
+            other => panic!("expected future SchemaMismatch, got {other:?}"),
+        }
+        // right schema, truncated body
+        let truncated = dir.join("truncated.json");
+        std::fs::write(&truncated, format!("{{\"schema\":{MODELS_SCHEMA}}}")).unwrap();
+        match TrainedModels::load(&truncated) {
+            Err(ModelLoadError::Corrupt(_)) => {}
+            other => panic!("expected Corrupt on missing fields, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn tracked_training_produces_provenance_and_valid_run() {
+        let root = std::env::temp_dir().join(format!("adapt_runs_core_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let tracker =
+            RunTracker::create_named(&root, "train", 6, "train-0006-test").expect("run dir");
+        let models = train_models_tracked(&TrainingCampaignConfig::fast(), 6, Some(&tracker));
+
+        let p = models.provenance.as_ref().expect("tracked run provenance");
+        assert_eq!(p.run_id, "train-0006-test");
+        assert_eq!(p.data_seed, 6);
+        assert_eq!(p.feature_schema_hash, feature_schema_hash());
+
+        // the epoch stream validates and covers all five trained networks
+        let text = std::fs::read_to_string(tracker.dir().join("epochs.ndjson")).unwrap();
+        let summary = adapt_telemetry::validate_run(&text).expect("run stream validates");
+        assert_eq!(summary.models.len(), 5, "models: {:?}", summary.models);
+        assert!(summary.n_epochs >= 5);
+
+        // the manifest round-trips and matches the embedded provenance
+        let manifest = adapt_telemetry::load_manifest(tracker.dir()).unwrap();
+        assert_eq!(manifest.run_id, p.run_id);
+        assert_eq!(manifest.weight_checksum, p.weight_checksum);
+        assert_eq!(manifest.feature_schema_hash, p.feature_schema_hash);
+        assert!(manifest.epochs >= 5);
+
+        // drift reference covers the 13-wide staged input
+        assert_eq!(models.drift_reference.n_features(), 13);
+        assert!(models.drift_reference.n_rows > 200);
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -22,7 +22,9 @@ use adapt_nn::{
     QuantizedMlp, ThresholdTable,
 };
 use adapt_recon::{ComptonRing, N_FEATURES_WITH_POLAR};
-use adapt_telemetry::{Counter, LoopIterationRecord, LoopSummaryRecord, Recorder, SCORE_BINS};
+use adapt_telemetry::{
+    Counter, DriftMonitor, LoopIterationRecord, LoopSummaryRecord, Recorder, SCORE_BINS,
+};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::time::{Duration, Instant};
@@ -215,6 +217,7 @@ pub struct MlLocalizer<'a> {
     config: MlPipelineConfig,
     baseline: BaselineLocalizer,
     recorder: &'a dyn Recorder,
+    drift: Option<&'a DriftMonitor>,
 }
 
 impl<'a> MlLocalizer<'a> {
@@ -234,6 +237,7 @@ impl<'a> MlLocalizer<'a> {
             config,
             baseline,
             recorder: adapt_telemetry::noop(),
+            drift: None,
         }
     }
 
@@ -244,6 +248,17 @@ impl<'a> MlLocalizer<'a> {
     /// correction|).
     pub fn with_recorder(mut self, recorder: &'a dyn Recorder) -> Self {
         self.recorder = recorder;
+        self
+    }
+
+    /// Attach a drift monitor: the staged feature rows of each
+    /// localization's first background pass are accumulated into the
+    /// monitor's histograms, so the observed inference-time distribution
+    /// can be PSI-scored against the training reference. Rows whose
+    /// width does not match the monitor's reference (the 12-wide
+    /// no-polar ablation against a 13-wide reference) are ignored.
+    pub fn with_drift_monitor(mut self, monitor: &'a DriftMonitor) -> Self {
+        self.drift = Some(monitor);
         self
     }
 
@@ -337,6 +352,18 @@ impl<'a> MlLocalizer<'a> {
                 .map(|(r, _)| r.clone())
                 .collect();
             timings.background_inference += t_bkg.elapsed();
+
+            // feed the staged rows of the FIRST pass into the drift
+            // monitor — later iterations re-score a survivor subset of
+            // the same burst and would double-count it. Outside the
+            // timed section: monitoring cost must not skew Tables I/II.
+            if iterations == 1 {
+                if let Some(monitor) = self.drift {
+                    for i in 0..ws.inputs.rows() {
+                        monitor.observe_row(ws.inputs.row(i));
+                    }
+                }
+            }
 
             // background-score histogram, only when a recorder is live
             // (the extra sigmoids are pure telemetry cost)
@@ -631,6 +658,35 @@ mod tests {
             assert_eq!(reused.surviving_rings, fresh.surviving_rings);
             assert!(angular_separation(reused.direction, fresh.direction) < 1e-12);
         }
+    }
+
+    #[test]
+    fn drift_monitor_counts_first_pass_rows_once() {
+        let (bkg, thresholds, deta) = oracle_parts();
+        let source = UnitVec3::from_spherical(0.5, 0.7);
+        let rings = make_rings(source, 60, 150, 8);
+        // reference fitted on the same feature layout the localizer stages
+        let rows: Vec<f64> = rings
+            .iter()
+            .flat_map(|r| r.features.to_model_input(45.0))
+            .collect();
+        let reference = adapt_telemetry::DriftReference::fit(&rows, rings.len(), 13);
+        let monitor = DriftMonitor::new(reference);
+        // zero tolerance: the loop never declares convergence, so every
+        // allowed rejection iteration re-scores the survivors
+        let cfg = MlPipelineConfig {
+            convergence_tol_deg: 0.0,
+            ..Default::default()
+        };
+        let ml = MlLocalizer::new(&bkg, &thresholds, &deta, cfg).with_drift_monitor(&monitor);
+        let res = ml.localize(&rings, &mut rng()).unwrap();
+        // several rejection iterations ran, but only the first pass (which
+        // stages every incoming ring) feeds the monitor
+        assert!(res.ml_iterations >= 2, "iterations {}", res.ml_iterations);
+        assert_eq!(monitor.rows_observed(), rings.len() as u64);
+        let report = monitor.report();
+        assert_eq!(report.per_feature_psi.len(), 13);
+        assert!(report.per_feature_psi.iter().all(|p| p.is_finite()));
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //!   block orders;
 //! * [`loss`] — BCE-with-logits and MSE;
 //! * [`optimizer`] — SGD with momentum;
-//! * [`mod@train`] — minibatch training with validation early stopping;
+//! * [`mod@train`] — minibatch training with validation early stopping,
+//!   observable per-epoch through the `TrainHook` trait (the telemetry
+//!   `RunTracker` plugs in here);
 //! * [`data`] — datasets, the paper's 80/20/20 splits, standardization;
 //! * [`models`] — the tuned background and dEta architectures;
 //! * [`threshold`] — per-polar-bin output thresholds;
@@ -59,7 +61,10 @@ pub use quant::{
     WeightBits,
 };
 pub use quant_plan::{CompiledQuantMlp, QuantScratch, Requant};
-pub use search::{random_search, Candidate, SearchResult, SearchSpace};
+pub use search::{random_search, random_search_tracked, Candidate, SearchResult, SearchSpace};
 pub use tensor::Matrix;
 pub use threshold::{ThresholdTable, N_POLAR_BINS};
-pub use train::{evaluate, train, Objective, TrainConfig, TrainReport};
+pub use train::{
+    evaluate, train, train_with_hook, HookAction, NoopHook, Objective, TrainConfig, TrainHook,
+    TrainReport,
+};

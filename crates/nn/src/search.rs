@@ -6,6 +6,7 @@
 use crate::data::Dataset;
 use crate::mlp::{BlockOrder, Mlp};
 use crate::train::{train, Objective, TrainConfig};
+use adapt_telemetry::RunTracker;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -98,10 +99,39 @@ pub fn random_search<R: Rng + ?Sized>(
     epochs_per_trial: usize,
     rng: &mut R,
 ) -> SearchResult {
+    random_search_tracked(
+        input_dim,
+        objective,
+        space,
+        train_set,
+        val_set,
+        n_trials,
+        epochs_per_trial,
+        rng,
+        None,
+    )
+}
+
+/// [`random_search`] with run tracking: each trial streams one
+/// `search_trial` record (sampled config + validation loss) into the
+/// tracker, and the tracker's `finish` writes the sorted leaderboard —
+/// the search no longer returns silently.
+#[allow(clippy::too_many_arguments)]
+pub fn random_search_tracked<R: Rng + ?Sized>(
+    input_dim: usize,
+    objective: Objective,
+    space: &SearchSpace,
+    train_set: &Dataset,
+    val_set: &Dataset,
+    n_trials: usize,
+    epochs_per_trial: usize,
+    rng: &mut R,
+    tracker: Option<&RunTracker>,
+) -> SearchResult {
     assert!(n_trials > 0);
     let mut trials: Vec<(Candidate, f64)> = Vec::with_capacity(n_trials);
     let mut best: Option<(f64, Mlp)> = None;
-    for _ in 0..n_trials {
+    for trial_index in 0..n_trials {
         let cand = Candidate::sample(space, rng);
         let mut model = Mlp::new(input_dim, &cand.hidden, BlockOrder::BatchNormFirst, rng);
         let cfg = TrainConfig {
@@ -114,6 +144,11 @@ pub fn random_search<R: Rng + ?Sized>(
         };
         let report = train(&mut model, train_set, val_set, &cfg, rng);
         let score = report.best_val_loss;
+        if let Some(t) = tracker {
+            let config_json =
+                serde_json::to_string(&cand).expect("candidate serialization is infallible");
+            t.log_search_trial(trial_index, &config_json, score);
+        }
         if best.as_ref().map(|(b, _)| score < *b).unwrap_or(true) {
             best = Some((score, model));
         }
@@ -203,5 +238,44 @@ mod tests {
         let out = model.forward(&val_set.x, false);
         let acc = crate::loss::accuracy(&out, &val_set.y, 0.5);
         assert!(acc > 0.8, "accuracy {acc}");
+    }
+
+    #[test]
+    fn tracked_search_streams_trials_and_leaderboard() {
+        let root = std::env::temp_dir().join(format!("adapt_search_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let tracker =
+            adapt_telemetry::RunTracker::create_named(&root, "search", 2, "search-0002-t").unwrap();
+        let train_set = blobs(200, 3);
+        let val_set = blobs(60, 4);
+        let space = SearchSpace {
+            batch_sizes: vec![32],
+            learning_rate_range: (1e-3, 1e-1),
+            n_fc_layers: vec![2],
+            max_widths: vec![8],
+            width_decays: vec![1.0],
+        };
+        let mut r = rng();
+        let result = random_search_tracked(
+            1,
+            Objective::BinaryCrossEntropy,
+            &space,
+            &train_set,
+            &val_set,
+            3,
+            4,
+            &mut r,
+            Some(&tracker),
+        );
+        let (_, _) = tracker
+            .finish(adapt_telemetry::ManifestDraft::default())
+            .unwrap();
+        let text = std::fs::read_to_string(tracker.dir().join("epochs.ndjson")).unwrap();
+        let summary = adapt_telemetry::validate_run(&text).expect("tracked search validates");
+        assert_eq!(summary.n_search_trials, 3);
+        assert!(tracker.dir().join("leaderboard.json").exists());
+        // streamed records cover every returned trial
+        assert_eq!(result.trials.len(), 3);
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

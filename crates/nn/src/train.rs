@@ -1,13 +1,22 @@
 //! The training loop: minibatched SGD with validation-based early stopping
 //! (paper §III: "up to 120 epochs with early stopping if validation loss
 //! ceased to improve").
+//!
+//! Training is observable through [`TrainHook`]: [`train_with_hook`]
+//! streams one [`EpochRecord`] per epoch (losses, gradient norm,
+//! learning rate, wall time) to the hook, which can abort the run — the
+//! telemetry [`RunTracker`](adapt_telemetry::RunTracker) implements the
+//! hook and adds NaN/divergence watchdogs. [`train`] is the plain entry
+//! point with a no-op hook.
 
 use crate::data::{BatchIter, Dataset};
 use crate::loss::{bce_with_logits, mse, LossValue};
 use crate::mlp::Mlp;
 use crate::optimizer::Sgd;
+use adapt_telemetry::{EpochRecord, RunTracker};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
 
 /// Which loss a training run optimizes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -95,6 +104,58 @@ pub struct TrainReport {
     pub best_epoch: usize,
     /// Whether early stopping fired before `max_epochs`.
     pub stopped_early: bool,
+    /// Why a [`TrainHook`] aborted the run, when one did. The model still
+    /// carries the best checkpoint seen before the abort.
+    #[serde(skip)]
+    pub aborted: Option<String>,
+}
+
+/// What a [`TrainHook`] wants done after seeing an epoch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HookAction {
+    /// Keep training.
+    Continue,
+    /// Stop now, for the given reason (recorded in
+    /// [`TrainReport::aborted`]).
+    Abort(String),
+}
+
+/// Observer of a training run: receives one [`EpochRecord`] per epoch
+/// and may abort. Implemented by the telemetry `RunTracker`; the default
+/// methods make a no-op hook trivial.
+pub trait TrainHook {
+    /// Whether the hook wants records at all. When `false`, the loop
+    /// skips the extra gradient-norm computation entirely.
+    fn is_active(&self) -> bool {
+        false
+    }
+
+    /// Observe one epoch.
+    fn on_epoch(&mut self, record: &EpochRecord) -> HookAction {
+        let _ = record;
+        HookAction::Continue
+    }
+}
+
+/// The disabled hook [`train`] uses.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NoopHook;
+
+impl TrainHook for NoopHook {}
+
+/// A [`RunTracker`] observes training directly: each epoch is streamed
+/// into the run's NDJSON and its watchdogs decide whether to abort.
+impl TrainHook for &RunTracker {
+    fn is_active(&self) -> bool {
+        true
+    }
+
+    fn on_epoch(&mut self, record: &EpochRecord) -> HookAction {
+        match self.log_epoch(record) {
+            Some(reason) => HookAction::Abort(reason),
+            None => HookAction::Continue,
+        }
+    }
 }
 
 /// Train `model` in place. The model with the best validation loss is
@@ -106,8 +167,24 @@ pub fn train<R: Rng + ?Sized>(
     config: &TrainConfig,
     rng: &mut R,
 ) -> TrainReport {
+    train_with_hook(model, train_set, val_set, config, rng, &mut NoopHook)
+}
+
+/// [`train`] with an observing [`TrainHook`]. When the hook is active,
+/// each epoch additionally computes the mean L2 gradient norm over its
+/// batches and measures wall time; a hook abort stops training with the
+/// best checkpoint restored and the reason in [`TrainReport::aborted`].
+pub fn train_with_hook<R: Rng + ?Sized, H: TrainHook>(
+    model: &mut Mlp,
+    train_set: &Dataset,
+    val_set: &Dataset,
+    config: &TrainConfig,
+    rng: &mut R,
+    hook: &mut H,
+) -> TrainReport {
     assert!(!train_set.is_empty(), "empty training set");
     assert!(!val_set.is_empty(), "empty validation set");
+    let hook_active = hook.is_active();
     let mut opt = Sgd::with_momentum(config.learning_rate, config.momentum);
     let mut history = Vec::new();
     let mut best_val = f64::INFINITY;
@@ -115,9 +192,12 @@ pub fn train<R: Rng + ?Sized>(
     let mut best_weights = model.to_json();
     let mut since_best = 0usize;
     let mut stopped_early = false;
+    let mut aborted = None;
 
     for epoch in 0..config.max_epochs {
+        let epoch_start = Instant::now();
         let mut loss_sum = 0.0;
+        let mut grad_norm_sum = 0.0;
         let mut batches = 0usize;
         for batch in BatchIter::new(train_set.len(), config.batch_size, rng) {
             let xb = train_set.x.gather_rows(&batch);
@@ -125,16 +205,39 @@ pub fn train<R: Rng + ?Sized>(
             let out = model.forward(&xb, true);
             let l = config.objective.evaluate(&out, &yb);
             model.backward(&l.grad);
+            if hook_active {
+                let mut sq = 0.0;
+                model.apply_gradients(&mut |_, _, grads| {
+                    sq += grads.iter().map(|g| g * g).sum::<f64>();
+                });
+                grad_norm_sum += sq.sqrt();
+            }
             opt.step(model);
             loss_sum += l.loss;
             batches += 1;
         }
         let val_loss = evaluate(model, val_set, config.objective);
+        let train_loss = loss_sum / batches.max(1) as f64;
         history.push(EpochStats {
             epoch,
-            train_loss: loss_sum / batches.max(1) as f64,
+            train_loss,
             val_loss,
         });
+        if hook_active {
+            let record = EpochRecord {
+                epoch,
+                train_loss,
+                val_loss,
+                metric: val_loss,
+                grad_norm: grad_norm_sum / batches.max(1) as f64,
+                learning_rate: config.learning_rate,
+                wall_ms: epoch_start.elapsed().as_secs_f64() * 1e3,
+            };
+            if let HookAction::Abort(reason) = hook.on_epoch(&record) {
+                aborted = Some(reason);
+                break;
+            }
+        }
         if val_loss < best_val {
             best_val = val_loss;
             best_epoch = epoch;
@@ -154,6 +257,7 @@ pub fn train<R: Rng + ?Sized>(
         best_val_loss: best_val,
         best_epoch,
         stopped_early,
+        aborted,
     }
 }
 
@@ -269,6 +373,134 @@ mod tests {
         let report = train(&mut model, &train_set, &val_set, &config, &mut rng);
         assert!(report.stopped_early);
         assert!(report.history.len() < 120);
+    }
+
+    /// A hook that records epochs and aborts at a chosen one.
+    struct CountingHook {
+        seen: Vec<EpochRecord>,
+        abort_at: Option<usize>,
+    }
+
+    impl TrainHook for CountingHook {
+        fn is_active(&self) -> bool {
+            true
+        }
+        fn on_epoch(&mut self, record: &EpochRecord) -> HookAction {
+            self.seen.push(record.clone());
+            if Some(record.epoch) == self.abort_at {
+                HookAction::Abort("test abort".into())
+            } else {
+                HookAction::Continue
+            }
+        }
+    }
+
+    #[test]
+    fn hook_sees_every_epoch_with_gradient_norms() {
+        let mut rng = ChaCha8Rng::seed_from_u64(30);
+        let train_set = blobs(200, 11);
+        let val_set = blobs(50, 12);
+        let mut model = Mlp::new(2, &[8], BlockOrder::BatchNormFirst, &mut rng);
+        let config = TrainConfig {
+            max_epochs: 5,
+            batch_size: 32,
+            learning_rate: 0.05,
+            momentum: 0.9,
+            patience: 5,
+            objective: Objective::BinaryCrossEntropy,
+        };
+        let mut hook = CountingHook {
+            seen: Vec::new(),
+            abort_at: None,
+        };
+        let report = train_with_hook(
+            &mut model, &train_set, &val_set, &config, &mut rng, &mut hook,
+        );
+        assert!(report.aborted.is_none());
+        assert_eq!(hook.seen.len(), report.history.len());
+        for (r, h) in hook.seen.iter().zip(report.history.iter()) {
+            assert_eq!(r.epoch, h.epoch);
+            assert!((r.val_loss - h.val_loss).abs() < 1e-12);
+            assert!(r.grad_norm > 0.0, "gradient norm must be computed");
+            assert!((r.learning_rate - 0.05).abs() < 1e-15);
+            assert!(r.wall_ms >= 0.0);
+        }
+    }
+
+    #[test]
+    fn hook_abort_stops_training_and_is_reported() {
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let train_set = blobs(200, 13);
+        let val_set = blobs(50, 14);
+        let mut model = Mlp::new(2, &[8], BlockOrder::BatchNormFirst, &mut rng);
+        let config = TrainConfig {
+            max_epochs: 50,
+            batch_size: 32,
+            learning_rate: 0.05,
+            momentum: 0.9,
+            patience: 50,
+            objective: Objective::BinaryCrossEntropy,
+        };
+        let mut hook = CountingHook {
+            seen: Vec::new(),
+            abort_at: Some(2),
+        };
+        let report = train_with_hook(
+            &mut model, &train_set, &val_set, &config, &mut rng, &mut hook,
+        );
+        assert_eq!(report.aborted.as_deref(), Some("test abort"));
+        assert_eq!(report.history.len(), 3); // epochs 0, 1, 2
+                                             // the restored checkpoint comes from before the abort
+        let val_now = evaluate(&mut model, &val_set, Objective::BinaryCrossEntropy);
+        assert!(
+            (val_now - report.best_val_loss).abs() < 1e-9,
+            "restored {val_now} vs best {}",
+            report.best_val_loss
+        );
+    }
+
+    #[test]
+    fn run_tracker_watchdog_aborts_divergent_training() {
+        // An absurd learning rate on a regression task makes the loss
+        // explode within a few epochs; the tracker's watchdogs must stop
+        // the run and record a reason instead of training to max_epochs.
+        let root = std::env::temp_dir().join(format!("adapt_nn_diverge_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let tracker =
+            adapt_telemetry::RunTracker::create_named(&root, "train", 1, "train-0001-t").unwrap();
+        tracker.begin_model("diverging");
+        let mut rng = ChaCha8Rng::seed_from_u64(32);
+        let make = |n: usize, seed: u64| {
+            let mut r = ChaCha8Rng::seed_from_u64(seed);
+            let xs: Vec<f64> = (0..n)
+                .map(|_| adapt_math::sampling::standard_normal(&mut r) * 10.0)
+                .collect();
+            let ys: Vec<f64> = xs.iter().map(|x| x * x).collect();
+            Dataset::new(Matrix::from_vec(n, 1, xs), ys)
+        };
+        let train_set = make(300, 15);
+        let val_set = make(80, 16);
+        let mut model = Mlp::new(1, &[16], BlockOrder::LinearFirst, &mut rng);
+        let config = TrainConfig {
+            max_epochs: 120,
+            batch_size: 32,
+            learning_rate: 50.0, // guaranteed blow-up
+            momentum: 0.9,
+            patience: 120,
+            objective: Objective::MeanSquaredError,
+        };
+        let mut hook = &tracker;
+        let report = train_with_hook(
+            &mut model, &train_set, &val_set, &config, &mut rng, &mut hook,
+        );
+        let reason = report.aborted.expect("watchdog must abort");
+        assert!(
+            reason.contains("non-finite") || reason.contains("divergence"),
+            "unexpected reason: {reason}"
+        );
+        assert!(report.history.len() < 120, "must stop early");
+        assert_eq!(tracker.abort_reason().as_deref(), Some(reason.as_str()));
+        let _ = std::fs::remove_dir_all(&root);
     }
 
     #[test]

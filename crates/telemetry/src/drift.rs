@@ -1,0 +1,365 @@
+//! In-flight feature-drift monitoring.
+//!
+//! The background and dEta networks were trained on one simulated
+//! feature distribution; aboard an instrument the distribution the
+//! models actually see can shift (albedo background mix, detector
+//! degradation, spectral population changes). Related GRB-localization
+//! work stresses that trust in an onboard model depends on monitoring
+//! its *input* distribution, so the pipeline carries one:
+//!
+//! * at training time, [`DriftReference`] captures per-feature
+//!   mean/variance (Welford) plus a fixed-bin histogram of each staged
+//!   feature, and is persisted next to the weights;
+//! * at inference time, a [`DriftMonitor`] built from that reference
+//!   accumulates observed rows into matching histograms (atomics — the
+//!   monitor is `Sync` and shared behind `&`);
+//! * [`DriftMonitor::report`] scores reference vs observed with PSI
+//!   (Population Stability Index) per feature; the standard reading is
+//!   `< 0.1` stable, `0.1–0.2` moderate shift, `> 0.2` action required.
+//!
+//! The scores surface through the existing [`Recorder`](crate::Recorder)
+//! counters (`drift_rows`, `drift_mean_psi_milli`,
+//! `drift_features_flagged`) and `adapt telemetry-report`.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Interior histogram bins per feature (plus one underflow and one
+/// overflow bin on each side).
+pub const DRIFT_BINS: usize = 10;
+
+/// PSI above which a feature counts as drifted (the standard 0.2
+/// "significant shift, action required" threshold).
+pub const PSI_FLAG: f64 = 0.2;
+
+/// Drift-reference schema version.
+pub const DRIFT_SCHEMA: u32 = 1;
+
+/// Reference statistics for one feature, fitted on the training set.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FeatureReference {
+    /// Training-set mean.
+    pub mean: f64,
+    /// Training-set variance (population).
+    pub var: f64,
+    /// Lower edge of the binned range (mean − 4σ).
+    pub lo: f64,
+    /// Upper edge of the binned range (mean + 4σ).
+    pub hi: f64,
+    /// Histogram counts: `[underflow, DRIFT_BINS interior bins, overflow]`.
+    pub counts: Vec<u64>,
+}
+
+impl FeatureReference {
+    fn bin(&self, x: f64) -> usize {
+        if !x.is_finite() || x < self.lo {
+            return 0;
+        }
+        if x >= self.hi {
+            return DRIFT_BINS + 1;
+        }
+        let width = (self.hi - self.lo) / DRIFT_BINS as f64;
+        1 + (((x - self.lo) / width) as usize).min(DRIFT_BINS - 1)
+    }
+}
+
+/// Per-feature reference statistics persisted with a trained model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DriftReference {
+    /// Schema version ([`DRIFT_SCHEMA`]).
+    pub schema: u32,
+    /// Rows the reference was fitted on.
+    pub n_rows: u64,
+    /// One entry per staged feature, in feature order.
+    pub features: Vec<FeatureReference>,
+}
+
+impl DriftReference {
+    /// Fit a reference on row-major training data (`n_rows x n_cols`).
+    /// Two passes: Welford moments first, then histograms over
+    /// mean ± 4σ.
+    pub fn fit(row_major: &[f64], n_rows: usize, n_cols: usize) -> DriftReference {
+        assert_eq!(row_major.len(), n_rows * n_cols, "row-major shape mismatch");
+        // pass 1: Welford per column
+        let mut mean = vec![0.0f64; n_cols];
+        let mut m2 = vec![0.0f64; n_cols];
+        for (i, row) in row_major.chunks_exact(n_cols).enumerate() {
+            let n = (i + 1) as f64;
+            for (c, &x) in row.iter().enumerate() {
+                let d = x - mean[c];
+                mean[c] += d / n;
+                m2[c] += d * (x - mean[c]);
+            }
+        }
+        let mut features: Vec<FeatureReference> = (0..n_cols)
+            .map(|c| {
+                let var = if n_rows > 0 {
+                    m2[c] / n_rows as f64
+                } else {
+                    0.0
+                };
+                let sd = var.sqrt();
+                // degenerate (constant) features still get a nonzero-width
+                // range so every reference bin layout is usable
+                let half = if sd > 0.0 { 4.0 * sd } else { 0.5 };
+                FeatureReference {
+                    mean: mean[c],
+                    var,
+                    lo: mean[c] - half,
+                    hi: mean[c] + half,
+                    counts: vec![0; DRIFT_BINS + 2],
+                }
+            })
+            .collect();
+        // pass 2: histograms
+        for row in row_major.chunks_exact(n_cols) {
+            for (c, &x) in row.iter().enumerate() {
+                let b = features[c].bin(x);
+                features[c].counts[b] += 1;
+            }
+        }
+        DriftReference {
+            schema: DRIFT_SCHEMA,
+            n_rows: n_rows as u64,
+            features,
+        }
+    }
+
+    /// Number of features the reference covers.
+    pub fn n_features(&self) -> usize {
+        self.features.len()
+    }
+}
+
+/// What one drift evaluation found.
+#[derive(Debug, Clone)]
+pub struct DriftReport {
+    /// PSI per feature, in feature order.
+    pub per_feature_psi: Vec<f64>,
+    /// Mean PSI across features.
+    pub mean_psi: f64,
+    /// Worst single-feature PSI.
+    pub max_psi: f64,
+    /// Features with PSI above [`PSI_FLAG`].
+    pub features_flagged: usize,
+    /// Rows observed at inference time.
+    pub rows_observed: u64,
+}
+
+/// The inference-side accumulator: observed-feature histograms matching
+/// a [`DriftReference`]'s bin layout. All counts are atomics, so one
+/// monitor can sit behind a shared reference inside `MlLocalizer` while
+/// trials run in parallel.
+pub struct DriftMonitor {
+    reference: DriftReference,
+    observed: Vec<AtomicU64>,
+    rows: AtomicU64,
+}
+
+impl DriftMonitor {
+    /// A monitor with empty observed histograms.
+    pub fn new(reference: DriftReference) -> DriftMonitor {
+        let n = reference.features.len() * (DRIFT_BINS + 2);
+        DriftMonitor {
+            reference,
+            observed: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            rows: AtomicU64::new(0),
+        }
+    }
+
+    /// The reference this monitor scores against.
+    pub fn reference(&self) -> &DriftReference {
+        &self.reference
+    }
+
+    /// Accumulate one observed feature row. Rows whose width does not
+    /// match the reference (e.g. the 12-feature no-polar stage feeding a
+    /// 13-feature reference) are ignored rather than mis-binned.
+    pub fn observe_row(&self, row: &[f64]) {
+        if row.len() != self.reference.features.len() {
+            return;
+        }
+        for (c, &x) in row.iter().enumerate() {
+            let b = self.reference.features[c].bin(x);
+            self.observed[c * (DRIFT_BINS + 2) + b].fetch_add(1, Ordering::Relaxed);
+        }
+        self.rows.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Rows observed so far.
+    pub fn rows_observed(&self) -> u64 {
+        self.rows.load(Ordering::Relaxed)
+    }
+
+    /// Score observed vs reference distributions with per-feature PSI.
+    ///
+    /// `PSI = Σ_bins (p_obs − p_ref) · ln(p_obs / p_ref)`, with both
+    /// distributions Laplace-smoothed so empty bins do not blow up the
+    /// logarithm. With no observed rows every PSI is 0.
+    pub fn report(&self) -> DriftReport {
+        let k = DRIFT_BINS + 2;
+        let rows = self.rows_observed();
+        let mut per_feature_psi = Vec::with_capacity(self.reference.features.len());
+        for (c, feat) in self.reference.features.iter().enumerate() {
+            if rows == 0 || self.reference.n_rows == 0 {
+                per_feature_psi.push(0.0);
+                continue;
+            }
+            let obs: Vec<u64> = (0..k)
+                .map(|b| self.observed[c * k + b].load(Ordering::Relaxed))
+                .collect();
+            let ref_total: f64 = feat.counts.iter().sum::<u64>() as f64;
+            let obs_total: f64 = obs.iter().sum::<u64>() as f64;
+            let eps = 0.5; // Laplace smoothing, half a count per bin
+            let mut psi = 0.0;
+            for (&n_ref, &n_obs) in feat.counts.iter().zip(&obs) {
+                let p_ref = (n_ref as f64 + eps) / (ref_total + eps * k as f64);
+                let p_obs = (n_obs as f64 + eps) / (obs_total + eps * k as f64);
+                psi += (p_obs - p_ref) * (p_obs / p_ref).ln();
+            }
+            per_feature_psi.push(psi);
+        }
+        let n = per_feature_psi.len().max(1) as f64;
+        let mean_psi = per_feature_psi.iter().sum::<f64>() / n;
+        let max_psi = per_feature_psi.iter().cloned().fold(0.0, f64::max);
+        let features_flagged = per_feature_psi.iter().filter(|&&p| p > PSI_FLAG).count();
+        DriftReport {
+            per_feature_psi,
+            mean_psi,
+            max_psi,
+            features_flagged,
+            rows_observed: rows,
+        }
+    }
+}
+
+impl std::fmt::Debug for DriftMonitor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DriftMonitor")
+            .field("n_features", &self.reference.features.len())
+            .field("rows_observed", &self.rows_observed())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-normal sampler (sum of 12 uniforms − 6).
+    fn normal_rows(n_rows: usize, n_cols: usize, mean: f64, sd: f64, seed: u64) -> Vec<f64> {
+        let mut state = seed.max(1);
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n_rows * n_cols)
+            .map(|_| {
+                let z: f64 = (0..12).map(|_| next()).sum::<f64>() - 6.0;
+                mean + sd * z
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fit_recovers_moments_and_counts() {
+        let data = normal_rows(4000, 3, 2.0, 0.5, 7);
+        let r = DriftReference::fit(&data, 4000, 3);
+        assert_eq!(r.n_features(), 3);
+        assert_eq!(r.n_rows, 4000);
+        for f in &r.features {
+            assert!((f.mean - 2.0).abs() < 0.05, "mean {}", f.mean);
+            assert!((f.var.sqrt() - 0.5).abs() < 0.05, "sd {}", f.var.sqrt());
+            assert_eq!(f.counts.iter().sum::<u64>(), 4000);
+            // ±4σ captures essentially everything
+            assert!(f.counts[0] + f.counts[DRIFT_BINS + 1] < 10);
+        }
+    }
+
+    #[test]
+    fn in_distribution_psi_is_near_zero() {
+        let train = normal_rows(4000, 13, 0.0, 1.0, 11);
+        let reference = DriftReference::fit(&train, 4000, 13);
+        let monitor = DriftMonitor::new(reference);
+        for row in normal_rows(2000, 13, 0.0, 1.0, 999).chunks_exact(13) {
+            monitor.observe_row(row);
+        }
+        let report = monitor.report();
+        assert_eq!(report.rows_observed, 2000);
+        assert!(
+            report.mean_psi < 0.05,
+            "in-distribution PSI should be ~0, got {}",
+            report.mean_psi
+        );
+        assert_eq!(report.features_flagged, 0);
+    }
+
+    #[test]
+    fn shifted_distribution_psi_is_large() {
+        let train = normal_rows(4000, 13, 0.0, 1.0, 11);
+        let reference = DriftReference::fit(&train, 4000, 13);
+        let monitor = DriftMonitor::new(reference);
+        // mean shift of 1.5σ — a clear distribution change
+        for row in normal_rows(2000, 13, 1.5, 1.0, 999).chunks_exact(13) {
+            monitor.observe_row(row);
+        }
+        let report = monitor.report();
+        assert!(
+            report.mean_psi > PSI_FLAG,
+            "shifted PSI should exceed {PSI_FLAG}, got {}",
+            report.mean_psi
+        );
+        assert_eq!(report.features_flagged, 13);
+        assert!(report.max_psi >= report.mean_psi);
+    }
+
+    #[test]
+    fn mismatched_row_width_is_ignored() {
+        let train = normal_rows(100, 13, 0.0, 1.0, 3);
+        let monitor = DriftMonitor::new(DriftReference::fit(&train, 100, 13));
+        monitor.observe_row(&[0.0; 12]); // no-polar stage width
+        assert_eq!(monitor.rows_observed(), 0);
+        monitor.observe_row(&[0.0; 13]);
+        assert_eq!(monitor.rows_observed(), 1);
+    }
+
+    #[test]
+    fn empty_monitor_reports_zero() {
+        let train = normal_rows(100, 4, 0.0, 1.0, 3);
+        let monitor = DriftMonitor::new(DriftReference::fit(&train, 100, 4));
+        let report = monitor.report();
+        assert_eq!(report.mean_psi, 0.0);
+        assert_eq!(report.features_flagged, 0);
+        assert_eq!(report.rows_observed, 0);
+    }
+
+    #[test]
+    fn reference_round_trips_through_json() {
+        let train = normal_rows(500, 5, 1.0, 2.0, 19);
+        let r = DriftReference::fit(&train, 500, 5);
+        let text = serde_json::to_string(&r).unwrap();
+        let back: DriftReference = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.n_rows, r.n_rows);
+        assert_eq!(back.features.len(), r.features.len());
+        assert_eq!(back.features[2].counts, r.features[2].counts);
+        assert!((back.features[0].mean - r.features[0].mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn nan_and_out_of_range_values_land_in_outlier_bins() {
+        let f = FeatureReference {
+            mean: 0.0,
+            var: 1.0,
+            lo: -4.0,
+            hi: 4.0,
+            counts: vec![0; DRIFT_BINS + 2],
+        };
+        assert_eq!(f.bin(f64::NAN), 0);
+        assert_eq!(f.bin(-100.0), 0);
+        assert_eq!(f.bin(100.0), DRIFT_BINS + 1);
+        assert_eq!(f.bin(4.0), DRIFT_BINS + 1); // hi edge is exclusive
+        assert!(f.bin(0.0) >= 1 && f.bin(0.0) <= DRIFT_BINS);
+    }
+}

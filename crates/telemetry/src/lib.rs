@@ -18,7 +18,15 @@
 //!   (rings kept/dropped, background-score histograms, dη correction
 //!   magnitudes, per-iteration angular steps);
 //! * [`ndjson`] — NDJSON export plus the schema validator consumed by
-//!   `adapt telemetry-report` and the CI telemetry gate.
+//!   `adapt telemetry-report` and the CI telemetry gate;
+//! * [`run`] — the training-side WandB substitute: [`RunTracker`]
+//!   streams per-epoch NDJSON into `artifacts/runs/<run-id>/`, NaN/inf
+//!   and divergence watchdogs abort bad runs with a recorded reason, and
+//!   an atomic [`RunManifest`] carries provenance (config, data seed,
+//!   feature-schema hash, weight checksum, host);
+//! * [`drift`] — training-time [`DriftReference`] statistics plus the
+//!   inference-side [`DriftMonitor`] whose PSI scores surface through
+//!   the drift counters and `telemetry-report`.
 //!
 //! Overhead budget: recording one span is a bucket-index computation and
 //! five relaxed atomic ops (~10 ns); a disabled recorder is one virtual
@@ -26,13 +34,21 @@
 //! records take a mutex, but only once per rejection iteration (≤ 5 per
 //! localization), far off the per-ring hot path.
 
+pub mod drift;
 pub mod histogram;
 pub mod ndjson;
 pub mod recorder;
+pub mod run;
 
+pub use drift::{DriftMonitor, DriftReference, DriftReport, DRIFT_BINS, PSI_FLAG};
 pub use histogram::{HistogramSnapshot, LatencyHistogram};
 pub use ndjson::{export, validate as validate_ndjson, NdjsonSummary, NDJSON_SCHEMA};
 pub use recorder::{
     noop, Counter, FlightRecorder, LoopEvent, LoopIterationRecord, LoopSummaryRecord, NoopRecorder,
     Recorder, Stage, TrialRecord, SCORE_BINS,
+};
+pub use run::{
+    diff_manifests, fnv1a_hex, list_runs, load_manifest, validate_run, write_atomic, AbortReason,
+    EpochRecord, HostInfo, ManifestDraft, RunManifest, RunSummary, RunTracker, Watchdog,
+    WatchdogConfig, RUN_SCHEMA,
 };

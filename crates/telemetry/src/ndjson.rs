@@ -22,7 +22,10 @@ use crate::recorder::{Counter, FlightRecorder, LoopEvent, Stage};
 use serde::Value;
 
 /// Current NDJSON schema version (the `meta` line's `schema` field).
-pub const NDJSON_SCHEMA: u32 = 1;
+/// Version 2 added the drift counters (`drift_rows`,
+/// `drift_mean_psi_milli`, `drift_features_flagged`); version-1 captures
+/// still validate.
+pub const NDJSON_SCHEMA: u32 = 2;
 
 fn obj(pairs: Vec<(&str, Value)>) -> Value {
     Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())

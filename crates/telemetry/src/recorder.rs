@@ -91,16 +91,26 @@ pub enum Counter {
     /// Events discarded in reconstruction for non-physical η or
     /// zero-energy deposits.
     DegenerateRings,
+    /// Feature rows fed into the drift monitor.
+    DriftRows,
+    /// Mean PSI across monitored features, in milli-units (PSI 0.213 →
+    /// 213) — counters are integers, and milli-PSI keeps three decimals.
+    DriftMeanPsiMilli,
+    /// Features whose PSI exceeded the 0.2 "significant shift" flag.
+    DriftFeaturesFlagged,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 5] = [
+    pub const ALL: [Counter; 8] = [
         Counter::TrialsRun,
         Counter::RingsIn,
         Counter::RingsRejected,
         Counter::LoopIterations,
         Counter::DegenerateRings,
+        Counter::DriftRows,
+        Counter::DriftMeanPsiMilli,
+        Counter::DriftFeaturesFlagged,
     ];
 
     /// Stable machine name (NDJSON field value).
@@ -111,6 +121,9 @@ impl Counter {
             Counter::RingsRejected => "rings_rejected",
             Counter::LoopIterations => "loop_iterations",
             Counter::DegenerateRings => "degenerate_rings",
+            Counter::DriftRows => "drift_rows",
+            Counter::DriftMeanPsiMilli => "drift_mean_psi_milli",
+            Counter::DriftFeaturesFlagged => "drift_features_flagged",
         }
     }
 }

@@ -4,9 +4,47 @@
 //! within one bucket width of the true order statistic.
 
 use adapt_telemetry::histogram::{bucket_hi, bucket_index, bucket_lo, SUB_BITS};
-use adapt_telemetry::LatencyHistogram;
+use adapt_telemetry::{Counter, FlightRecorder, LatencyHistogram, Recorder, Stage, TrialRecord};
 use proptest::collection::vec;
 use proptest::prelude::*;
+use std::time::Duration;
+
+/// A small but fully-populated capture: one trial with stage durations
+/// and counters, exported through the real writer.
+fn sample_capture() -> String {
+    let r = FlightRecorder::new();
+    r.begin_trial("ml", 1);
+    r.duration(Stage::Total, Duration::from_millis(3));
+    r.duration(Stage::Reconstruction, Duration::from_millis(1));
+    r.add(Counter::TrialsRun, 1);
+    r.add(Counter::RingsIn, 12);
+    r.push_trial(TrialRecord {
+        mode: "ml".into(),
+        seed: 1,
+        error_deg: 2.0,
+        rings_in: 12,
+        rings_surviving: 9,
+        degenerate_rings: 0,
+        total_ms: 3.0,
+    });
+    adapt_telemetry::export(&r, 1)
+}
+
+/// A minimal valid tracked-run stream with `epochs` strictly increasing.
+fn sample_run_stream(epochs: &[u64]) -> String {
+    let mut text = String::from(
+        "{\"type\":\"meta\",\"schema\":1,\"tool\":\"adapt-run-tracker\",\
+         \"run_id\":\"r\",\"kind\":\"train\",\"data_seed\":1}\n",
+    );
+    for &e in epochs {
+        text.push_str(&format!(
+            "{{\"type\":\"epoch\",\"model\":\"background\",\"epoch\":{e},\
+             \"train_loss\":0.5,\"val_loss\":0.4,\"metric\":0.4,\
+             \"grad_norm\":1.0,\"learning_rate\":0.001,\"wall_ms\":5.0}}\n"
+        ));
+    }
+    text
+}
 
 /// The true order statistic the histogram's quantile approximates: the
 /// value at rank `ceil(q·n)` of the sorted sample.
@@ -74,6 +112,118 @@ proptest! {
         let i = bucket_index(v);
         prop_assert!(bucket_lo(i) <= v);
         prop_assert!(v < bucket_hi(i) || bucket_hi(i) == u64::MAX);
+    }
+
+    #[test]
+    fn merge_is_commutative(
+        a in vec(1u64..1_000_000_000, 0..200),
+        b in vec(1u64..1_000_000_000, 0..200),
+    ) {
+        let ha = LatencyHistogram::new();
+        let hb = LatencyHistogram::new();
+        for &v in &a { ha.record_ns(v); }
+        for &v in &b { hb.record_ns(v); }
+        let ab = LatencyHistogram::new();
+        ab.merge(&ha);
+        ab.merge(&hb);
+        let ba = LatencyHistogram::new();
+        ba.merge(&hb);
+        ba.merge(&ha);
+        prop_assert_eq!(ab.count(), ba.count());
+        prop_assert_eq!(ab.min_ns(), ba.min_ns());
+        prop_assert_eq!(ab.max_ns(), ba.max_ns());
+        prop_assert!((ab.mean_ns() - ba.mean_ns()).abs() <= 1e-9 * ab.mean_ns().max(1.0));
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(ab.quantile_ns(q), ba.quantile_ns(q));
+        }
+    }
+
+    #[test]
+    fn merge_preserves_count_and_mean(
+        a in vec(1u64..1_000_000_000, 1..200),
+        b in vec(1u64..1_000_000_000, 1..200),
+    ) {
+        let ha = LatencyHistogram::new();
+        let hb = LatencyHistogram::new();
+        for &v in &a { ha.record_ns(v); }
+        for &v in &b { hb.record_ns(v); }
+        let merged = LatencyHistogram::new();
+        merged.merge(&ha);
+        merged.merge(&hb);
+        prop_assert_eq!(merged.count(), (a.len() + b.len()) as u64);
+        let expected_mean = (ha.mean_ns() * a.len() as f64 + hb.mean_ns() * b.len() as f64)
+            / (a.len() + b.len()) as f64;
+        prop_assert!((merged.mean_ns() - expected_mean).abs() <= 1e-6 * expected_mean,
+            "merged mean {} vs weighted mean {}", merged.mean_ns(), expected_mean);
+    }
+
+    #[test]
+    fn truncated_capture_line_is_rejected(cut_fraction in 0.01f64..0.999) {
+        let text = sample_capture();
+        // cut strictly inside a line: the trailing fragment is a strict
+        // prefix of a JSON object and can never parse
+        let mut cut = ((text.len() as f64) * cut_fraction) as usize;
+        while cut > 0 && !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        prop_assume!(cut > 0 && cut < text.len());
+        // a cut at a line boundary (or right at a line's closing brace)
+        // leaves only complete records; anywhere else the tail is a
+        // strict prefix of a JSON object and can never parse
+        prop_assume!(!text[..cut].ends_with('\n') && !text[..cut].ends_with('}'));
+        let truncated = &text[..cut];
+        prop_assert!(adapt_telemetry::validate_ndjson(truncated).is_err(),
+            "truncated capture validated at cut {}", cut);
+    }
+
+    #[test]
+    fn unknown_capture_schema_is_rejected(bump in 1u64..1000) {
+        let text = sample_capture();
+        let from = format!("\"schema\":{}", adapt_telemetry::NDJSON_SCHEMA);
+        let to = format!("\"schema\":{}", adapt_telemetry::NDJSON_SCHEMA as u64 + bump);
+        let future = text.replacen(&from, &to, 1);
+        prop_assert!(future != text, "schema marker not found in capture");
+        let err = adapt_telemetry::validate_ndjson(&future).unwrap_err();
+        prop_assert!(err.contains("schema"), "error should name the schema: {}", err);
+    }
+
+    #[test]
+    fn unknown_run_schema_is_rejected(bump in 1u64..1000) {
+        let text = sample_run_stream(&[0, 1, 2]);
+        let from = "\"schema\":1".to_string();
+        let to = format!("\"schema\":{}", adapt_telemetry::RUN_SCHEMA as u64 + bump);
+        let future = text.replacen(&from, &to, 1);
+        let err = adapt_telemetry::validate_run(&future).unwrap_err();
+        prop_assert!(err.contains("schema"), "error should name the schema: {}", err);
+    }
+
+    #[test]
+    fn out_of_order_epochs_are_rejected(
+        n in 3usize..12,
+        swap in 0usize..10,
+    ) {
+        let mut epochs: Vec<u64> = (0..n as u64).collect();
+        let i = swap % (n - 1);
+        epochs.swap(i, i + 1); // adjacent swap breaks strict monotonicity
+        let text = sample_run_stream(&epochs);
+        prop_assert!(adapt_telemetry::validate_run(&text).is_err(),
+            "epoch order {:?} validated", epochs);
+        // and the sorted stream is accepted
+        epochs.swap(i, i + 1);
+        let text = sample_run_stream(&epochs);
+        prop_assert!(adapt_telemetry::validate_run(&text).is_ok());
+    }
+
+    #[test]
+    fn truncated_run_stream_is_rejected(cut_fraction in 0.01f64..0.999) {
+        let text = sample_run_stream(&[0, 1, 2, 3]);
+        let mut cut = ((text.len() as f64) * cut_fraction) as usize;
+        while cut > 0 && !text.is_char_boundary(cut) {
+            cut -= 1;
+        }
+        prop_assume!(cut > 0 && cut < text.len());
+        prop_assume!(!text[..cut].ends_with('\n') && !text[..cut].ends_with('}'));
+        prop_assert!(adapt_telemetry::validate_run(&text[..cut]).is_err());
     }
 
     #[test]

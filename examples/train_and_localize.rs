@@ -42,13 +42,26 @@ fn main() {
         deta_data.dim()
     );
 
-    // --- training ---
+    // --- training, tracked like the paper's WandB runs ---
     println!("training (paper hyperparameters, scaled epochs)...");
-    let models = train_models(&config, 11);
+    let runs_root = std::env::temp_dir().join("adapt_example_runs");
+    let tracker = adapt_telemetry::RunTracker::create(&runs_root, "example", 11)
+        .expect("create run directory");
+    let models = adapt_core::train_models_tracked(&config, 11, Some(&tracker));
     println!(
         "  val losses: background BCE {:.4}, dEta MSE {:.4}",
         models.val_losses.0, models.val_losses.1
     );
+    if let Some(p) = &models.provenance {
+        println!(
+            "  tracked run {} (manifest hash {}, feature schema {})",
+            p.run_id, p.manifest_hash, p.feature_schema_hash
+        );
+        println!(
+            "  epoch stream: {}",
+            tracker.dir().join("epochs.ndjson").display()
+        );
+    }
     print!("  per-polar-bin thresholds:");
     for t in models.thresholds.as_slice() {
         print!(" {:.2}", t);
