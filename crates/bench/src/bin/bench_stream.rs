@@ -1,0 +1,127 @@
+//! Streaming flight-runtime benchmark: sustained ingest throughput and
+//! end-to-end alert latency under load.
+//!
+//! Replays a 15-simulated-minute float segment of the checkout profile
+//! at 4x nominal background with three injected bursts through
+//! `adapt_onboard::FlightRuntime`, and writes `BENCH_stream.json`
+//! (checked into the repo root): sustained events/sec, alert count,
+//! p50/p99 alert latency vs the configured deadline, queue high-water
+//! marks, and drop counts.
+//!
+//! Knobs: `ADAPT_BENCH_STREAM_OUT` overrides the output path;
+//! `ADAPT_STREAM_DURATION_S` the simulated stream length;
+//! `ADAPT_STREAM_SCALE` the background multiplier.
+
+use adapt_onboard::{FlightRuntime, RuntimeConfig, FLIGHT_NOMINAL_FLUENCE};
+use adapt_sim::{FlightProfile, GrbConfig, StreamConfig, StreamingSource};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct AlertRow {
+    t_trigger_s: f64,
+    mode: &'static str,
+    latency_ms: f64,
+    containment_radius_deg: f64,
+}
+
+#[derive(Serialize)]
+struct StreamReport {
+    schema: u32,
+    description: String,
+    duration_s: f64,
+    background_scale: f64,
+    deadline_ms: f64,
+    incident_background: u64,
+    incident_grb_photons: u64,
+    events_ingested: u64,
+    events_dropped: u64,
+    wall_s: f64,
+    sustained_events_per_s: f64,
+    realtime_factor: f64,
+    alerts: Vec<AlertRow>,
+    alert_latency_p50_ms: Option<f64>,
+    alert_latency_p99_ms: Option<f64>,
+    deadline_met: bool,
+    ingest_max_depth: usize,
+    epoch_max_depth: usize,
+    degradation_transitions: usize,
+}
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let models = adapt_bench::shared_models();
+    let duration_s = env_f64("ADAPT_STREAM_DURATION_S", 900.0);
+    let scale = env_f64("ADAPT_STREAM_SCALE", 4.0);
+
+    // Float segment of the checkout profile, three bursts spread over
+    // the stream at different fluences and angles.
+    let mut stream = StreamConfig::new(FlightProfile::checkout_2h(), duration_s)
+        .with_burst(0.2 * duration_s, GrbConfig::new(1.5, 0.0))
+        .with_burst(0.5 * duration_s, GrbConfig::new(1.0, 30.0))
+        .with_burst(0.8 * duration_s, GrbConfig::new(2.0, 15.0));
+    stream.start_h = 1.5;
+    stream.background.particle_fluence = FLIGHT_NOMINAL_FLUENCE;
+    stream.background_scale = scale;
+
+    let config = RuntimeConfig::default();
+    let deadline_ms = config.deadline_ms;
+    let runtime = FlightRuntime::new(&models, config);
+    let report = runtime.run(StreamingSource::new(stream, 0xF117));
+
+    let p50 = report.latency_percentile_ms(0.5);
+    let p99 = report.latency_percentile_ms(0.99);
+    let out = StreamReport {
+        schema: 1,
+        description: format!(
+            "streaming flight runtime at {scale}x nominal background; \
+             regenerate with `cargo run --release -p adapt-bench --bin bench_stream`"
+        ),
+        duration_s,
+        background_scale: scale,
+        deadline_ms,
+        incident_background: report.stream_stats.n_background_incident,
+        incident_grb_photons: report.stream_stats.n_grb_incident,
+        events_ingested: report.ingest_stats.pushed,
+        events_dropped: report.ingest_stats.dropped,
+        wall_s: report.wall_s,
+        sustained_events_per_s: report.sustained_events_per_s,
+        realtime_factor: duration_s / report.wall_s.max(1e-9),
+        alerts: report
+            .alerts
+            .iter()
+            .map(|a| AlertRow {
+                t_trigger_s: a.t_trigger_s,
+                mode: a.mode.name(),
+                latency_ms: a.latency_ms,
+                containment_radius_deg: a.containment_radius_deg,
+            })
+            .collect(),
+        alert_latency_p50_ms: p50,
+        alert_latency_p99_ms: p99,
+        deadline_met: p99.map(|v| v <= deadline_ms).unwrap_or(true),
+        ingest_max_depth: report.ingest_stats.max_depth,
+        epoch_max_depth: report.epoch_stats.max_depth,
+        degradation_transitions: report.transitions.len(),
+    };
+
+    let text = serde_json::to_string_pretty(&out).expect("report serializes");
+    let path =
+        std::env::var("ADAPT_BENCH_STREAM_OUT").unwrap_or_else(|_| "BENCH_stream.json".into());
+    std::fs::write(&path, text).expect("write benchmark report");
+    println!(
+        "{} alerts over {duration_s:.0} simulated s at {scale}x background \
+         ({:.0} events/s sustained, {:.1}x realtime); p99 alert latency {} vs {deadline_ms:.0} ms \
+         deadline; report written to {path}",
+        out.alerts.len(),
+        out.sustained_events_per_s,
+        out.realtime_factor,
+        p99.map(|v| format!("{v:.1} ms"))
+            .unwrap_or_else(|| "n/a".into()),
+    );
+}

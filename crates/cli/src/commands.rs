@@ -33,6 +33,17 @@ SUBCOMMANDS:
     telemetry-report
                validate an NDJSON capture and render its percentile table
                --input <path=telemetry.ndjson>
+    fly        run the streaming flight runtime over a simulated profile
+               --models <path=models.json> --profile <checkout|antarctic=checkout>
+               --start-h <hours into profile=0> --duration-s <stream seconds=rest of profile>
+               --bursts <onset:fluence:angle[,...]> (GRB injection schedule)
+               --background-scale <rate multiplier=1> --fluence-per-s <=0.625>
+               --deadline-ms <alert latency budget=500> --seed <u64=42>
+               --telemetry <path> (flight-recorder NDJSON capture)
+               --checkpoint <path> --checkpoint-every-s <stream s=0 (off)>
+               --resume (restore from --checkpoint before streaming)
+               --kill-at-s <stream s> (simulated process kill: checkpoint + exit)
+               --enforce-deadline (exit nonzero if p99 alert latency misses)
     skymap     produce a credible-region summary of the posterior sky map
                --models <path=models.json> --fluence <=1.0> --angle <=0>
                --seed <=42> --credibility <=0.9> --pixels <=3000>
@@ -286,6 +297,194 @@ pub fn localize(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Parse a `--bursts` schedule: `onset:fluence:angle[,onset:fluence:angle...]`.
+fn parse_bursts(spec: &str) -> Result<Vec<(f64, GrbConfig)>, String> {
+    let mut out = Vec::new();
+    for part in spec.split(',').filter(|p| !p.is_empty()) {
+        let fields: Vec<&str> = part.split(':').collect();
+        if fields.len() != 3 {
+            return Err(format!(
+                "burst '{part}' must be onset:fluence:angle (e.g. 3600:2.0:30)"
+            ));
+        }
+        let onset: f64 = fields[0]
+            .parse()
+            .map_err(|_| format!("bad burst onset '{}'", fields[0]))?;
+        let fluence: f64 = fields[1]
+            .parse()
+            .map_err(|_| format!("bad burst fluence '{}'", fields[1]))?;
+        let angle: f64 = fields[2]
+            .parse()
+            .map_err(|_| format!("bad burst angle '{}'", fields[2]))?;
+        out.push((onset, GrbConfig::new(fluence, angle)));
+    }
+    Ok(out)
+}
+
+/// `adapt fly` — the streaming flight runtime.
+pub fn fly(args: &Args) -> Result<(), String> {
+    args.assert_known(&[
+        "models",
+        "profile",
+        "start-h",
+        "duration-s",
+        "bursts",
+        "background-scale",
+        "fluence-per-s",
+        "deadline-ms",
+        "seed",
+        "telemetry",
+        "checkpoint",
+        "checkpoint-every-s",
+        "resume",
+        "kill-at-s",
+        "enforce-deadline",
+    ])?;
+    args.assert_no_positionals()?;
+    let models = load_models(&args.get_or("models", "models.json"))?;
+    let profile_flag = args.get_or("profile", "checkout");
+    let profile = match profile_flag.as_str() {
+        "checkout" => adapt_sim::FlightProfile::checkout_2h(),
+        "antarctic" => adapt_sim::FlightProfile::antarctic_ldb(),
+        other => return Err(format!("unknown profile '{other}' (checkout|antarctic)")),
+    };
+    let start_h: f64 = args.get_parse_or("start-h", 0.0)?;
+    let rest_s = ((profile.duration_h() - start_h) * 3600.0).max(0.0);
+    let duration_s: f64 = args.get_parse_or("duration-s", rest_s)?;
+    if duration_s <= 0.0 {
+        return Err("nothing to stream: --duration-s must be > 0".into());
+    }
+    let seed: u64 = args.get_parse_or("seed", 42)?;
+
+    let mut stream = adapt_sim::StreamConfig::new(profile, duration_s);
+    stream.start_h = start_h;
+    stream.background_scale = args.get_parse_or("background-scale", 1.0)?;
+    stream.background.particle_fluence =
+        args.get_parse_or("fluence-per-s", adapt_onboard::FLIGHT_NOMINAL_FLUENCE)?;
+    for (onset, grb) in parse_bursts(&args.get_or("bursts", ""))? {
+        stream = stream.with_burst(onset, grb);
+    }
+    let n_bursts = stream.bursts.len();
+
+    let mut rc = adapt_onboard::RuntimeConfig::default();
+    rc.deadline_ms = args.get_parse_or("deadline-ms", rc.deadline_ms)?;
+    rc.seed = seed;
+    rc.checkpoint_path = args.get("checkpoint").map(std::path::PathBuf::from);
+    rc.checkpoint_every_s = args.get_parse_or("checkpoint-every-s", 0.0)?;
+    rc.kill_at_s = match args.get("kill-at-s") {
+        Some(v) => Some(v.parse().map_err(|_| format!("bad --kill-at-s '{v}'"))?),
+        None => None,
+    };
+    if rc.checkpoint_every_s > 0.0 && rc.checkpoint_path.is_none() {
+        return Err("--checkpoint-every-s needs --checkpoint <path>".into());
+    }
+    let deadline_ms = rc.deadline_ms;
+    let telemetry_path = args.get("telemetry");
+
+    let recorder = adapt_telemetry::FlightRecorder::new();
+    let runtime = adapt_onboard::FlightRuntime::new(&models, rc).with_recorder(&recorder);
+    recorder.begin_trial("fly", seed);
+
+    println!(
+        "flying {profile_flag} profile: start {start_h} h, {duration_s:.0} s of stream, \
+         {n_bursts} scheduled burst(s), {:.0} ms deadline",
+        deadline_ms
+    );
+    let report = if args.switch("resume") {
+        let path = rc_checkpoint_path(args)?;
+        let ckpt = adapt_onboard::Checkpoint::load(Path::new(&path))?;
+        println!(
+            "resuming from checkpoint {path} (stream t = {:.2} s, {} alert(s) already emitted)",
+            ckpt.t_s,
+            ckpt.alerts.len()
+        );
+        runtime.resume(adapt_sim::StreamingSource::new(stream, seed), ckpt)
+    } else {
+        runtime.run(adapt_sim::StreamingSource::new(stream, seed))
+    };
+
+    let stats = report.stream_stats;
+    println!(
+        "stream done in {:.1} s wall: {} measured events ingested \
+         ({:.0} events/s sustained), {} shed, {} incident background, {} incident GRB photons",
+        report.wall_s,
+        report.ingest_stats.pushed,
+        report.sustained_events_per_s,
+        report.ingest_stats.dropped,
+        stats.n_background_incident,
+        stats.n_grb_incident
+    );
+    if report.killed {
+        println!(
+            "simulated kill fired{}",
+            if report.checkpoint_written {
+                " — checkpoint written"
+            } else {
+                ""
+            }
+        );
+    }
+    for t in &report.transitions {
+        println!(
+            "degradation: t={:.2}s {} -> {} ({})",
+            t.t_s, t.from, t.to, t.reason
+        );
+    }
+    println!("alerts emitted: {}", report.alerts.len());
+    for a in &report.alerts {
+        println!(
+            "  GRB ALERT t={:.3}s {:.1}σ | polar {:.1}° azimuth {:.1}° ± {:.1}° \
+             | mode {} | {} rings ({} surviving) | latency {:.1} ms \
+             | queues ingest={} epoch={}",
+            a.t_trigger_s,
+            a.significance_sigma,
+            a.polar_deg,
+            a.azimuth_deg,
+            a.containment_radius_deg,
+            a.mode.name(),
+            a.rings,
+            a.surviving_rings,
+            a.latency_ms,
+            a.ingest_depth,
+            a.epoch_depth
+        );
+    }
+    if let Some(p99) = report.latency_percentile_ms(0.99) {
+        let met = p99 <= deadline_ms;
+        println!(
+            "alert latency p50 {:.1} ms, p99 {:.1} ms vs {:.0} ms deadline: {}",
+            report.latency_percentile_ms(0.5).unwrap_or(p99),
+            p99,
+            deadline_ms,
+            if met { "MET" } else { "MISSED" }
+        );
+        if !met && args.switch("enforce-deadline") {
+            return Err(format!(
+                "p99 alert latency {p99:.1} ms exceeds the {deadline_ms:.0} ms deadline"
+            ));
+        }
+    }
+
+    if let Some(path) = telemetry_path {
+        let text = adapt_telemetry::export(&recorder, 1);
+        adapt_telemetry::validate_ndjson(&text)
+            .map_err(|e| format!("internal error: capture fails its own schema: {e}"))?;
+        std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!(
+            "telemetry: {} lines written to {path} (schema {})",
+            text.lines().count(),
+            adapt_telemetry::NDJSON_SCHEMA
+        );
+    }
+    Ok(())
+}
+
+fn rc_checkpoint_path(args: &Args) -> Result<String, String> {
+    args.get("checkpoint")
+        .map(str::to_string)
+        .ok_or_else(|| "--resume needs --checkpoint <path>".into())
+}
+
 /// `adapt telemetry-report`
 pub fn telemetry_report(args: &Args) -> Result<(), String> {
     args.assert_known(&["input"])?;
@@ -356,6 +555,50 @@ pub fn telemetry_report(args: &Args) -> Result<(), String> {
              mean |d-eta correction| {:.4}",
             summary.n_loop_iterations, summary.n_loop_summaries, summary.mean_abs_d_eta_correction
         );
+    }
+    if !summary.alerts.is_empty() {
+        println!();
+        println!("GRB alerts ({}):", summary.alerts.len());
+        for a in &summary.alerts {
+            println!(
+                "  t={:<9.3}s mode {:<13} polar {:>6.1}° ± {:>5.1}° latency {:>7.1} ms \
+                 | {} rings | queues ingest={} epoch={}",
+                a.t_s,
+                a.mode,
+                a.polar_deg,
+                a.containment_radius_deg,
+                a.latency_ms,
+                a.rings,
+                a.ingest_depth,
+                a.epoch_depth
+            );
+        }
+        let mut lat: Vec<f64> = summary.alerts.iter().map(|a| a.latency_ms).collect();
+        lat.sort_by(f64::total_cmp);
+        let pct = |q: f64| lat[(((lat.len() - 1) as f64 * q).ceil() as usize).min(lat.len() - 1)];
+        println!(
+            "  alert latency: p50 {:.1} ms, p99 {:.1} ms over {} alert(s)",
+            pct(0.5),
+            pct(0.99),
+            lat.len()
+        );
+    }
+    if !summary.degradations.is_empty() {
+        println!();
+        println!(
+            "degradation timeline ({} transitions):",
+            summary.degradations.len()
+        );
+        for d in &summary.degradations {
+            println!("  t={:<9.3}s {} -> {} ({})", d.t_s, d.from, d.to, d.reason);
+        }
+    }
+    if !summary.queues.is_empty() {
+        println!();
+        println!("{:<10} {:>10} {:>12}", "Queue", "Max depth", "Samples");
+        for (name, max_depth, samples) in &summary.queues {
+            println!("{name:<10} {max_depth:>10} {samples:>12}");
+        }
     }
     Ok(())
 }

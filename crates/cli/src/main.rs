@@ -4,6 +4,7 @@
 //! adapt simulate --fluence 1.0 --angle 0 --seed 42
 //! adapt train    --scale fast --out models.json --track
 //! adapt localize --models models.json --fluence 1.0 --angle 20 --mode ml
+//! adapt fly      --models models.json --profile checkout --bursts 3600:2.0:30
 //! adapt skymap   --models models.json --fluence 2.0 --angle 30 --credibility 0.9
 //! adapt report   --models models.json
 //! adapt runs     list
@@ -15,7 +16,7 @@ mod commands;
 use args::Args;
 
 /// Flags that are boolean switches (take no value).
-const SWITCHES: &[&str] = &["track"];
+const SWITCHES: &[&str] = &["track", "resume", "enforce-deadline"];
 
 fn main() {
     let parsed = match Args::parse_with_switches(std::env::args().skip(1), SWITCHES) {
@@ -30,6 +31,7 @@ fn main() {
         Some("simulate") => commands::simulate(&parsed),
         Some("train") => commands::train(&parsed),
         Some("localize") => commands::localize(&parsed),
+        Some("fly") => commands::fly(&parsed),
         Some("telemetry-report") => commands::telemetry_report(&parsed),
         Some("skymap") => commands::skymap(&parsed),
         Some("report") => commands::report(&parsed),

@@ -1,0 +1,117 @@
+//! Checkpoint/restore of the flight runtime's trigger + localizer state.
+//!
+//! A checkpoint is one schema-versioned JSON document (written
+//! atomically: temp file + rename) capturing everything needed to resume
+//! a killed runtime without losing work: the full
+//! [`OnlineTrigger`](crate::trigger::OnlineTrigger) state machine —
+//! including a mid-collection epoch and its events — the scheduler's
+//! learned per-level cost model and current degradation level, the
+//! alerts already emitted, and the stream position. Restore rebuilds the
+//! runtime and deterministically regenerates the not-yet-consumed tail
+//! of the event stream (`StreamingSource::skip_until`), so a process
+//! kill mid-burst still produces the burst's alert.
+
+use crate::runtime::{DegradationLevel, GrbAlert};
+use crate::trigger::OnlineTrigger;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Current checkpoint schema version.
+pub const CHECKPOINT_SCHEMA: u32 = 1;
+
+/// A resumable snapshot of the flight runtime.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Schema version ([`CHECKPOINT_SCHEMA`]).
+    pub schema: u32,
+    /// Stream time covered: every event with `t_s <= t_s` has been
+    /// processed by the trigger. Resume skips the source past this.
+    pub t_s: f64,
+    /// The trigger state machine, including any open epoch.
+    pub trigger: OnlineTrigger,
+    /// Learned per-level compute-cost estimates (ms), indexed like
+    /// [`DegradationLevel::ALL`].
+    pub cost_model_ms: Vec<f64>,
+    /// Degradation level the scheduler last ran at.
+    pub level: DegradationLevel,
+    /// Epochs dispatched so far (keeps per-epoch RNG streams aligned
+    /// across a restore).
+    pub epoch_index: u64,
+    /// Alerts already emitted.
+    pub alerts: Vec<GrbAlert>,
+}
+
+impl Checkpoint {
+    /// Write atomically (temp file + rename) as pretty JSON.
+    pub fn save(&self, path: &Path) -> std::io::Result<()> {
+        let text = serde_json::to_string(self).expect("checkpoint serialization is infallible");
+        adapt_telemetry::write_atomic(path, &text)
+    }
+
+    /// Load and schema-check a checkpoint.
+    pub fn load(path: &Path) -> Result<Checkpoint, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read checkpoint {}: {e}", path.display()))?;
+        let ck: Checkpoint = serde_json::from_str(&text)
+            .map_err(|e| format!("corrupt checkpoint {}: {e}", path.display()))?;
+        if ck.schema != CHECKPOINT_SCHEMA {
+            return Err(format!(
+                "checkpoint {} has schema {}, this build reads {CHECKPOINT_SCHEMA}",
+                path.display(),
+                ck.schema
+            ));
+        }
+        Ok(ck)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trigger::OnlineTriggerConfig;
+
+    #[test]
+    fn checkpoint_round_trips_on_disk() {
+        let dir = std::env::temp_dir().join("adapt-onboard-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        let ck = Checkpoint {
+            schema: CHECKPOINT_SCHEMA,
+            t_s: 123.5,
+            trigger: OnlineTrigger::new(OnlineTriggerConfig::default()),
+            cost_model_ms: vec![50.0, 25.0, 10.0, 5.0],
+            level: DegradationLevel::ReducedMl,
+            epoch_index: 3,
+            alerts: vec![],
+        };
+        ck.save(&path).unwrap();
+        let back = Checkpoint::load(&path).unwrap();
+        assert_eq!(back.schema, CHECKPOINT_SCHEMA);
+        assert_eq!(back.level, DegradationLevel::ReducedMl);
+        assert_eq!(back.epoch_index, 3);
+        assert!((back.t_s - 123.5).abs() < 1e-12);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn schema_mismatch_is_rejected() {
+        let dir = std::env::temp_dir().join("adapt-onboard-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.json");
+        let mut ck = Checkpoint {
+            schema: CHECKPOINT_SCHEMA + 9,
+            t_s: 0.0,
+            trigger: OnlineTrigger::new(OnlineTriggerConfig::default()),
+            cost_model_ms: vec![],
+            level: DegradationLevel::FullMl,
+            epoch_index: 0,
+            alerts: vec![],
+        };
+        ck.save(&path).unwrap();
+        assert!(Checkpoint::load(&path).is_err());
+        ck.schema = CHECKPOINT_SCHEMA;
+        ck.save(&path).unwrap();
+        assert!(Checkpoint::load(&path).is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,671 @@
+//! The streaming flight runtime: ingest → trigger → localize under a
+//! deadline, with graceful degradation.
+//!
+//! Three pipeline threads connected by [`BoundedQueue`]s:
+//!
+//! ```text
+//!   StreamingSource ──ingest──▶ [ingest queue, DropNewest]
+//!        ──trigger thread (OnlineTrigger)──▶ [epoch queue, Block]
+//!        ──localizer worker──▶ GrbAlert
+//! ```
+//!
+//! The ingest queue is lossy by policy (a shed event is counted, a
+//! stalled runtime is not an option); the epoch queue blocks, which
+//! backpressures the trigger thread and in turn fills — and sheds from —
+//! the ingest queue, so overload is always visible in the drop counters.
+//!
+//! The worker owns the *degradation ladder*. For each epoch it estimates
+//! the compute cost of every level from an EWMA of past runs, subtracts
+//! the wall time the epoch already spent queued from the alert deadline,
+//! and picks the best level that still fits the remaining budget (with a
+//! safety factor), degrading further under epoch-queue pressure:
+//!
+//! 1. `full-ml` — float compiled background net, 5 loop iterations;
+//! 2. `reduced-ml` — INT8 plan, fewer loop iterations;
+//! 3. `coarse-skymap` — adaptive sky map on a small grid, mode + 90 %
+//!    credible radius;
+//! 4. `classical` — baseline approximate + refine, no ML.
+//!
+//! A level that fails to localize falls through to the next rung. The
+//! runtime *always* emits an alert for a triggered epoch with ≥ 1 ring —
+//! late beats never. Every transition is recorded; alerts carry the
+//! queue depths and the mode that produced them.
+
+use crate::checkpoint::{Checkpoint, CHECKPOINT_SCHEMA};
+use crate::queue::{BoundedQueue, DropPolicy, QueueStats};
+use crate::trigger::{OnlineTrigger, OnlineTriggerConfig, OpenEpoch};
+use adapt_core::training::TrainedModels;
+use adapt_localize::{
+    estimate_uncertainty, BaselineLocalizer, HemisphereGrid, InferenceWorkspace, LocalizerConfig,
+    MlLocalizer, MlPipelineConfig, SkyMap,
+};
+use adapt_math::angles::polar_angle_deg;
+use adapt_math::{rad_to_deg, vec3::UnitVec3};
+use adapt_nn::CompiledMlp;
+use adapt_recon::Reconstructor;
+use adapt_sim::{StreamStats, StreamingSource};
+use adapt_telemetry::{AlertRecord, Counter, DegradationRecord, Recorder, Stage};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// The degradation ladder, best first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DegradationLevel {
+    /// Full ML loop on the float compiled plan.
+    FullMl,
+    /// INT8 plan with fewer loop iterations.
+    ReducedMl,
+    /// Coarse adaptive sky map (mode + credible radius).
+    CoarseSkymap,
+    /// Classical approximate + refine, no ML.
+    Classical,
+}
+
+impl DegradationLevel {
+    /// Ladder order, best first.
+    pub const ALL: [DegradationLevel; 4] = [
+        DegradationLevel::FullMl,
+        DegradationLevel::ReducedMl,
+        DegradationLevel::CoarseSkymap,
+        DegradationLevel::Classical,
+    ];
+
+    /// Stable machine name (telemetry `mode` field).
+    pub fn name(self) -> &'static str {
+        match self {
+            DegradationLevel::FullMl => "full-ml",
+            DegradationLevel::ReducedMl => "reduced-ml",
+            DegradationLevel::CoarseSkymap => "coarse-skymap",
+            DegradationLevel::Classical => "classical",
+        }
+    }
+
+    /// Index into [`ALL`](Self::ALL).
+    pub fn slot(self) -> usize {
+        Self::ALL.iter().position(|&l| l == self).unwrap()
+    }
+}
+
+/// Runtime tuning.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Alert deadline: epoch-ready to alert-emitted wall budget (ms).
+    pub deadline_ms: f64,
+    /// Online trigger tuning.
+    pub trigger: OnlineTriggerConfig,
+    /// Ingest queue capacity (lossy `DropNewest`).
+    pub ingest_capacity: usize,
+    /// Epoch queue capacity (lossless `Block`).
+    pub epoch_capacity: usize,
+    /// Loop-iteration cap at the `reduced-ml` level.
+    pub reduced_iterations: usize,
+    /// Sky-map pixel budget at the `coarse-skymap` level.
+    pub coarse_pixels: usize,
+    /// Fraction of the remaining deadline budget a level's cost estimate
+    /// must fit inside to be chosen.
+    pub safety_factor: f64,
+    /// Checkpoint destination (`None` disables checkpointing).
+    pub checkpoint_path: Option<PathBuf>,
+    /// Periodic checkpoint cadence in *stream* seconds (0 = only on
+    /// kill).
+    pub checkpoint_every_s: f64,
+    /// Simulated process kill: stop ingest after this stream time, write
+    /// a checkpoint, and exit without flushing open epochs.
+    pub kill_at_s: Option<f64>,
+    /// Seed for the per-epoch localizer RNG streams.
+    pub seed: u64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            deadline_ms: 500.0,
+            trigger: OnlineTriggerConfig::default(),
+            ingest_capacity: 8192,
+            epoch_capacity: 4,
+            reduced_iterations: 2,
+            coarse_pixels: 256,
+            safety_factor: 0.8,
+            checkpoint_path: None,
+            checkpoint_every_s: 0.0,
+            kill_at_s: None,
+            seed: 0x0B0A_4D5E,
+        }
+    }
+}
+
+/// An emitted GRB alert.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GrbAlert {
+    /// Stream time the trigger fired (s).
+    pub t_trigger_s: f64,
+    /// Trigger significance (sigmas).
+    pub significance_sigma: f64,
+    /// Best-estimate polar angle (degrees).
+    pub polar_deg: f64,
+    /// Best-estimate azimuth (degrees).
+    pub azimuth_deg: f64,
+    /// Containment radius: 1σ circular error for ML/classical modes, the
+    /// 90 % credible radius for the sky-map mode (degrees).
+    pub containment_radius_deg: f64,
+    /// Degradation level that produced the localization.
+    pub mode: DegradationLevel,
+    /// Rings entering localization.
+    pub rings: usize,
+    /// Rings surviving background rejection (equals `rings` for modes
+    /// without rejection).
+    pub surviving_rings: usize,
+    /// Epoch-ready to alert-emitted wall latency (ms).
+    pub latency_ms: f64,
+    /// Configured deadline at emission time (ms).
+    pub deadline_ms: f64,
+    /// Ingest-queue depth at emission.
+    pub ingest_depth: usize,
+    /// Epoch-queue depth at emission.
+    pub epoch_depth: usize,
+}
+
+/// What one runtime run did.
+#[derive(Debug, Clone)]
+pub struct FlightRunReport {
+    /// Alerts emitted, including any restored from a checkpoint.
+    pub alerts: Vec<GrbAlert>,
+    /// Degradation transitions, in order.
+    pub transitions: Vec<DegradationRecord>,
+    /// Ingest-queue lifetime counters.
+    pub ingest_stats: QueueStats,
+    /// Epoch-queue lifetime counters.
+    pub epoch_stats: QueueStats,
+    /// Localization epochs dispatched to the worker.
+    pub epochs_dispatched: u64,
+    /// Source generation counters.
+    pub stream_stats: StreamStats,
+    /// Wall time of the run (s).
+    pub wall_s: f64,
+    /// Measured events accepted per wall second.
+    pub sustained_events_per_s: f64,
+    /// Whether the simulated kill fired.
+    pub killed: bool,
+    /// Whether a checkpoint was written.
+    pub checkpoint_written: bool,
+}
+
+impl FlightRunReport {
+    /// Latency percentile over the emitted alerts (`q` in `[0, 1]`);
+    /// `None` with no alerts.
+    pub fn latency_percentile_ms(&self, q: f64) -> Option<f64> {
+        if self.alerts.is_empty() {
+            return None;
+        }
+        let mut lat: Vec<f64> = self.alerts.iter().map(|a| a.latency_ms).collect();
+        lat.sort_by(f64::total_cmp);
+        let idx = ((lat.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).ceil() as usize;
+        Some(lat[idx.min(lat.len() - 1)])
+    }
+}
+
+/// Initial (pre-observation) per-level cost priors (ms): optimistic so
+/// the first epoch attempts the best level the budget allows; the EWMA
+/// replaces them after one observation each.
+const COST_PRIORS_MS: [f64; 4] = [40.0, 20.0, 8.0, 4.0];
+
+/// EWMA weight of a new cost observation.
+const COST_ALPHA: f64 = 0.4;
+
+struct EpochJob {
+    index: u64,
+    epoch: OpenEpoch,
+    ready: Instant,
+}
+
+struct WorkerShared {
+    cost_model_ms: [f64; 4],
+    level: DegradationLevel,
+}
+
+/// The streaming flight runtime. Borrows the trained models; construct
+/// once, run one stream per call.
+pub struct FlightRuntime<'a> {
+    models: &'a TrainedModels,
+    config: RuntimeConfig,
+    recorder: &'a dyn Recorder,
+}
+
+impl<'a> FlightRuntime<'a> {
+    /// A runtime with the default no-op recorder.
+    pub fn new(models: &'a TrainedModels, config: RuntimeConfig) -> Self {
+        FlightRuntime {
+            models,
+            config,
+            recorder: adapt_telemetry::noop(),
+        }
+    }
+
+    /// Attach a telemetry recorder (queue gauges, stage histograms,
+    /// degradation transitions, alert records).
+    pub fn with_recorder(mut self, recorder: &'a dyn Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Run a fresh stream to completion (or to the simulated kill).
+    pub fn run(&self, source: StreamingSource) -> FlightRunReport {
+        let trigger = OnlineTrigger::new(self.config.trigger.clone());
+        self.run_inner(
+            source,
+            trigger,
+            COST_PRIORS_MS,
+            DegradationLevel::FullMl,
+            0,
+            Vec::new(),
+        )
+    }
+
+    /// Resume from a checkpoint: the source is deterministically skipped
+    /// past the checkpointed position, the trigger (including any open
+    /// epoch) and the scheduler's learned state pick up where they were.
+    pub fn resume(&self, mut source: StreamingSource, ckpt: Checkpoint) -> FlightRunReport {
+        source.skip_until(ckpt.t_s);
+        let mut cost = COST_PRIORS_MS;
+        for (slot, ms) in ckpt.cost_model_ms.iter().enumerate().take(cost.len()) {
+            cost[slot] = *ms;
+        }
+        self.run_inner(
+            source,
+            ckpt.trigger,
+            cost,
+            ckpt.level,
+            ckpt.epoch_index,
+            ckpt.alerts,
+        )
+    }
+
+    fn run_inner(
+        &self,
+        source: StreamingSource,
+        trigger: OnlineTrigger,
+        cost_model_ms: [f64; 4],
+        level: DegradationLevel,
+        epoch_index: u64,
+        prior_alerts: Vec<GrbAlert>,
+    ) -> FlightRunReport {
+        let config = &self.config;
+        let recorder = self.recorder;
+        let models = self.models;
+        // force the INT8 plan compile on this thread, before workers race
+        let quant_plan = models.quantized_background.plan();
+
+        let ingest_q: BoundedQueue<adapt_sim::StreamedEvent> =
+            BoundedQueue::new("ingest", config.ingest_capacity, DropPolicy::DropNewest);
+        let epoch_q: BoundedQueue<EpochJob> =
+            BoundedQueue::new("epoch", config.epoch_capacity, DropPolicy::Block);
+        let killed = AtomicBool::new(false);
+        let alerts: Mutex<Vec<GrbAlert>> = Mutex::new(prior_alerts);
+        let transitions: Mutex<Vec<DegradationRecord>> = Mutex::new(Vec::new());
+        let shared = Mutex::new(WorkerShared {
+            cost_model_ms,
+            level,
+        });
+        let epochs_dispatched = AtomicU64::new(0);
+        let checkpoint_written = AtomicBool::new(false);
+
+        let t_start = Instant::now();
+        let stream_stats = std::thread::scope(|scope| {
+            // ── ingest: source → ingest queue, shedding under pressure ──
+            let ingest = scope.spawn(|| {
+                let mut source = source;
+                let kill_at = config.kill_at_s;
+                for se in &mut source {
+                    if let Some(k) = kill_at {
+                        if se.t_s > k {
+                            killed.store(true, Ordering::SeqCst);
+                            break;
+                        }
+                    }
+                    if ingest_q.push(se) {
+                        recorder.add(Counter::EventsIngested, 1);
+                    } else {
+                        recorder.add(Counter::EventsDropped, 1);
+                    }
+                    recorder.queue_depth("ingest", ingest_q.len() as u64);
+                }
+                ingest_q.close();
+                source.stats()
+            });
+
+            // ── trigger: ingest queue → epochs, plus checkpointing ──
+            scope.spawn(|| {
+                let mut trigger = trigger;
+                let mut next_index = epoch_index;
+                let mut next_ckpt_s = if config.checkpoint_every_s > 0.0 {
+                    trigger.last_t_s() + config.checkpoint_every_s
+                } else {
+                    f64::INFINITY
+                };
+                let write_ckpt = |trigger: &OnlineTrigger, next_index: u64| {
+                    let Some(path) = &config.checkpoint_path else {
+                        return;
+                    };
+                    let ws = shared.lock().unwrap();
+                    let ck = Checkpoint {
+                        schema: CHECKPOINT_SCHEMA,
+                        t_s: trigger.last_t_s(),
+                        trigger: trigger.clone(),
+                        cost_model_ms: ws.cost_model_ms.to_vec(),
+                        level: ws.level,
+                        epoch_index: next_index,
+                        alerts: alerts.lock().unwrap().clone(),
+                    };
+                    drop(ws);
+                    if ck.save(path).is_ok() {
+                        recorder.add(Counter::CheckpointsWritten, 1);
+                        checkpoint_written.store(true, Ordering::SeqCst);
+                    }
+                };
+                let dispatch = |epoch: OpenEpoch, next_index: &mut u64| {
+                    recorder.add(Counter::EpochsOpened, 1);
+                    let job = EpochJob {
+                        index: *next_index,
+                        epoch,
+                        ready: Instant::now(),
+                    };
+                    *next_index += 1;
+                    epochs_dispatched.fetch_add(1, Ordering::SeqCst);
+                    epoch_q.push(job);
+                    recorder.queue_depth("epoch", epoch_q.len() as u64);
+                };
+                while let Some(se) = ingest_q.pop() {
+                    if let Some(done) = trigger.observe(&se) {
+                        dispatch(done, &mut next_index);
+                    }
+                    if se.t_s >= next_ckpt_s {
+                        write_ckpt(&trigger, next_index);
+                        next_ckpt_s += config.checkpoint_every_s;
+                    }
+                }
+                if killed.load(Ordering::SeqCst) {
+                    // simulated process death: persist state, do NOT
+                    // flush the open epoch — restore must recover it
+                    write_ckpt(&trigger, next_index);
+                } else if let Some(tail) = trigger.flush() {
+                    dispatch(tail, &mut next_index);
+                }
+                epoch_q.close();
+            });
+
+            // ── worker: epochs → alerts, degrading to meet the deadline ──
+            scope.spawn(|| {
+                let recon = Reconstructor::default();
+                let compiled_background = CompiledMlp::compile(&models.background);
+                let full_ml = MlLocalizer::new(
+                    &compiled_background,
+                    &models.thresholds,
+                    &models.d_eta,
+                    MlPipelineConfig::default(),
+                )
+                .with_recorder(recorder);
+                let reduced_cfg = MlPipelineConfig {
+                    max_ml_iterations: config.reduced_iterations,
+                    ..MlPipelineConfig::default()
+                };
+                let reduced_ml =
+                    MlLocalizer::new(quant_plan, &models.thresholds, &models.d_eta, reduced_cfg)
+                        .with_recorder(recorder);
+                let baseline = BaselineLocalizer::new(LocalizerConfig::default());
+                let mut ws = InferenceWorkspace::new();
+
+                while let Some(job) = epoch_q.pop() {
+                    let backlog = epoch_q.len();
+                    let waited_ms = job.ready.elapsed().as_secs_f64() * 1e3;
+                    let remaining_ms = config.deadline_ms - waited_ms;
+                    let (mut level, mut reason) = {
+                        let ws_shared = shared.lock().unwrap();
+                        choose_level(
+                            &ws_shared.cost_model_ms,
+                            remaining_ms * config.safety_factor,
+                            backlog,
+                        )
+                    };
+
+                    let mut rng = ChaCha8Rng::seed_from_u64(
+                        config.seed ^ job.index.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                    );
+                    let t_compute = Instant::now();
+                    let t_recon = Instant::now();
+                    let (rings, _counts) =
+                        recon.reconstruct_all_counted(&job.epoch.events, recorder);
+                    recorder.duration(Stage::Reconstruction, t_recon.elapsed());
+                    if rings.is_empty() {
+                        // nothing to localize; the epoch is spent
+                        continue;
+                    }
+
+                    // degradation cascade: a failed localization falls
+                    // through to the next rung
+                    let outcome = loop {
+                        let attempt = match level {
+                            DegradationLevel::FullMl => full_ml
+                                .localize_with(&rings, &mut rng, &mut ws)
+                                .map(|r| (r.direction, r.surviving_rings, None)),
+                            DegradationLevel::ReducedMl => reduced_ml
+                                .localize_with(&rings, &mut rng, &mut ws)
+                                .map(|r| (r.direction, r.surviving_rings, None)),
+                            DegradationLevel::CoarseSkymap => {
+                                let grid = HemisphereGrid::new(config.coarse_pixels);
+                                let map = SkyMap::from_rings_adaptive_recorded(
+                                    &rings, grid, 3.0, recorder,
+                                );
+                                Some((map.mode(), rings.len(), Some(map.credible_radius_deg(0.9))))
+                            }
+                            DegradationLevel::Classical => baseline
+                                .localize(&rings, &mut rng)
+                                .map(|r| (r.direction, rings.len(), None)),
+                        };
+                        match attempt {
+                            Some(out) => break Some(out),
+                            None => {
+                                let next = match level {
+                                    DegradationLevel::FullMl => DegradationLevel::ReducedMl,
+                                    DegradationLevel::ReducedMl => DegradationLevel::CoarseSkymap,
+                                    // the sky map cannot fail on
+                                    // non-empty rings; classical can —
+                                    // fall back to the sky map and stop
+                                    DegradationLevel::Classical => DegradationLevel::CoarseSkymap,
+                                    DegradationLevel::CoarseSkymap => break None,
+                                };
+                                level = next;
+                                reason = "localization-failed";
+                            }
+                        }
+                    };
+                    let Some((direction, surviving, skymap_radius)) = outcome else {
+                        continue;
+                    };
+                    let compute = t_compute.elapsed();
+                    let compute_ms = compute.as_secs_f64() * 1e3;
+                    recorder.duration(Stage::Total, compute);
+
+                    let containment = skymap_radius.unwrap_or_else(|| {
+                        estimate_uncertainty(&rings, direction, 3.0)
+                            .map(|u| u.sigma_circular_deg())
+                            .unwrap_or(60.0)
+                            .min(180.0)
+                    });
+
+                    let latency = job.ready.elapsed();
+                    recorder.duration(Stage::AlertLatency, latency);
+                    let alert = GrbAlert {
+                        t_trigger_s: job.epoch.t_trigger_s,
+                        significance_sigma: job.epoch.significance_sigma,
+                        polar_deg: polar_angle_deg(direction),
+                        azimuth_deg: azimuth_deg(direction),
+                        containment_radius_deg: containment,
+                        mode: level,
+                        rings: rings.len(),
+                        surviving_rings: surviving,
+                        latency_ms: latency.as_secs_f64() * 1e3,
+                        deadline_ms: config.deadline_ms,
+                        ingest_depth: ingest_q.len(),
+                        epoch_depth: epoch_q.len(),
+                    };
+                    recorder.add(Counter::AlertsEmitted, 1);
+                    recorder.alert(&AlertRecord {
+                        t_s: alert.t_trigger_s,
+                        mode: level.name().to_string(),
+                        polar_deg: alert.polar_deg,
+                        azimuth_deg: alert.azimuth_deg,
+                        containment_radius_deg: alert.containment_radius_deg,
+                        latency_ms: alert.latency_ms,
+                        rings: alert.rings as u64,
+                        ingest_depth: alert.ingest_depth as u64,
+                        epoch_depth: alert.epoch_depth as u64,
+                    });
+                    alerts.lock().unwrap().push(alert);
+
+                    // learn the observed cost and record any transition
+                    let mut ws_shared = shared.lock().unwrap();
+                    let slot = level.slot();
+                    ws_shared.cost_model_ms[slot] = (1.0 - COST_ALPHA)
+                        * ws_shared.cost_model_ms[slot]
+                        + COST_ALPHA * compute_ms;
+                    let previous = ws_shared.level;
+                    ws_shared.level = level;
+                    drop(ws_shared);
+                    if previous != level {
+                        let reason = if level.slot() < previous.slot() {
+                            "recovered"
+                        } else {
+                            reason
+                        };
+                        let rec = DegradationRecord {
+                            t_s: job.epoch.t_trigger_s,
+                            from: previous.name().to_string(),
+                            to: level.name().to_string(),
+                            reason: reason.to_string(),
+                        };
+                        recorder.add(Counter::DegradationTransitions, 1);
+                        recorder.degradation(&rec);
+                        transitions.lock().unwrap().push(rec);
+                    }
+                }
+            });
+
+            ingest.join().expect("ingest thread panicked")
+        });
+
+        let wall_s = t_start.elapsed().as_secs_f64();
+        let ingest_stats = ingest_q.stats();
+        FlightRunReport {
+            alerts: alerts.into_inner().unwrap(),
+            transitions: transitions.into_inner().unwrap(),
+            ingest_stats,
+            epoch_stats: epoch_q.stats(),
+            epochs_dispatched: epochs_dispatched.load(Ordering::SeqCst),
+            stream_stats,
+            wall_s,
+            sustained_events_per_s: ingest_stats.pushed as f64 / wall_s.max(1e-9),
+            killed: killed.load(Ordering::SeqCst),
+            checkpoint_written: checkpoint_written.load(Ordering::SeqCst),
+        }
+    }
+}
+
+/// Azimuth of a direction in degrees.
+fn azimuth_deg(dir: UnitVec3) -> f64 {
+    rad_to_deg(dir.azimuth())
+}
+
+/// Pick the best ladder level whose cost estimate fits the budget, under
+/// epoch-backlog pressure gates. Returns the level and the reason a
+/// better level was rejected (`"nominal"` when none was).
+fn choose_level(
+    cost_model_ms: &[f64; 4],
+    budget_ms: f64,
+    backlog: usize,
+) -> (DegradationLevel, &'static str) {
+    let mut reason = "nominal";
+    for level in DegradationLevel::ALL {
+        let slot = level.slot();
+        // deeper backlog forbids the more expensive rungs outright
+        if backlog > slot {
+            reason = "queue-pressure";
+            continue;
+        }
+        if cost_model_ms[slot] <= budget_ms {
+            return (level, reason);
+        }
+        reason = "deadline-budget";
+    }
+    (DegradationLevel::Classical, reason)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_names_are_stable_and_ordered() {
+        let names: Vec<&str> = DegradationLevel::ALL.iter().map(|l| l.name()).collect();
+        assert_eq!(
+            names,
+            ["full-ml", "reduced-ml", "coarse-skymap", "classical"]
+        );
+        for (i, l) in DegradationLevel::ALL.into_iter().enumerate() {
+            assert_eq!(l.slot(), i);
+        }
+    }
+
+    #[test]
+    fn choose_level_degrades_with_budget_and_backlog() {
+        let cost = [40.0, 20.0, 8.0, 4.0];
+        assert_eq!(choose_level(&cost, 400.0, 0).0, DegradationLevel::FullMl);
+        let (l, why) = choose_level(&cost, 25.0, 0);
+        assert_eq!(l, DegradationLevel::ReducedMl);
+        assert_eq!(why, "deadline-budget");
+        let (l, why) = choose_level(&cost, 400.0, 2);
+        assert_eq!(l, DegradationLevel::CoarseSkymap);
+        assert_eq!(why, "queue-pressure");
+        // nothing fits: classical, always
+        let (l, why) = choose_level(&cost, 0.5, 0);
+        assert_eq!(l, DegradationLevel::Classical);
+        assert_eq!(why, "deadline-budget");
+    }
+
+    #[test]
+    fn latency_percentiles() {
+        let mk = |ms: f64| GrbAlert {
+            t_trigger_s: 0.0,
+            significance_sigma: 8.0,
+            polar_deg: 0.0,
+            azimuth_deg: 0.0,
+            containment_radius_deg: 1.0,
+            mode: DegradationLevel::FullMl,
+            rings: 1,
+            surviving_rings: 1,
+            latency_ms: ms,
+            deadline_ms: 500.0,
+            ingest_depth: 0,
+            epoch_depth: 0,
+        };
+        let report = FlightRunReport {
+            alerts: vec![mk(5.0), mk(1.0), mk(9.0)],
+            transitions: vec![],
+            ingest_stats: QueueStats::default(),
+            epoch_stats: QueueStats::default(),
+            epochs_dispatched: 3,
+            stream_stats: StreamStats::default(),
+            wall_s: 1.0,
+            sustained_events_per_s: 0.0,
+            killed: false,
+            checkpoint_written: false,
+        };
+        assert_eq!(report.latency_percentile_ms(0.0), Some(1.0));
+        assert_eq!(report.latency_percentile_ms(1.0), Some(9.0));
+        assert_eq!(report.latency_percentile_ms(0.5), Some(5.0));
+    }
+}

@@ -1,0 +1,390 @@
+//! Online sliding-window rate trigger.
+//!
+//! The offline trigger (`adapt_core::trigger`) scans a finished light
+//! curve; in flight the decision must be made event by event. This
+//! trigger keeps a rolling background-rate estimate over a trailing
+//! calibration window, evaluates the same multi-width significance test
+//! at every arrival (Gaussian approximation `(n − λ)/√λ` as in the
+//! offline scan, plus a minimum-count guard so tiny expected counts
+//! cannot manufacture significance), and on firing opens a *localization
+//! epoch*: the events from `pre_window_s` before the trigger through
+//! `post_window_s` after it, handed to the localizer as one batch.
+//!
+//! While an epoch is open (and through a refractory period after it) the
+//! trigger is suppressed, and rate calibration restarts afterwards so
+//! burst events never contaminate the background estimate. The whole
+//! trigger state serializes, which is what makes mid-burst
+//! checkpoint/restore possible.
+
+use adapt_sim::{Event, StreamedEvent};
+use serde::{Deserialize, Serialize};
+
+/// Tuning of the online trigger.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OnlineTriggerConfig {
+    /// Sliding-window widths evaluated at each arrival (s).
+    pub window_widths_s: Vec<f64>,
+    /// Significance threshold (Gaussian sigmas). Slightly above the
+    /// offline scan's 5σ: the online test runs at every arrival for
+    /// hours, so the look-elsewhere budget is larger.
+    pub threshold_sigma: f64,
+    /// Minimum counts in the winning window — the Gaussian approximation
+    /// is anticonservative at tiny expected counts.
+    pub min_counts: usize,
+    /// Trailing horizon of the background-rate estimate (s).
+    pub calibration_window_s: f64,
+    /// Quiet time required before the trigger arms (s).
+    pub min_calibration_s: f64,
+    /// Epoch context collected before the trigger time (s).
+    pub pre_window_s: f64,
+    /// Epoch collection after the trigger time (s).
+    pub post_window_s: f64,
+    /// Suppression after an epoch closes (s); calibration restarts when
+    /// it expires.
+    pub refractory_s: f64,
+}
+
+impl Default for OnlineTriggerConfig {
+    fn default() -> Self {
+        OnlineTriggerConfig {
+            window_widths_s: vec![0.064, 0.256, 1.024],
+            threshold_sigma: 7.0,
+            min_counts: 8,
+            calibration_window_s: 30.0,
+            min_calibration_s: 2.0,
+            pre_window_s: 1.0,
+            post_window_s: 1.5,
+            refractory_s: 10.0,
+        }
+    }
+}
+
+/// An open (or just-completed) localization epoch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OpenEpoch {
+    /// Stream time the trigger fired (s).
+    pub t_trigger_s: f64,
+    /// Significance of the winning window (sigmas).
+    pub significance_sigma: f64,
+    /// Width of the winning window (s).
+    pub width_s: f64,
+    /// The epoch keeps collecting events until this stream time.
+    pub collect_until_s: f64,
+    /// Collected events (arrival times are absolute stream seconds).
+    pub events: Vec<Event>,
+}
+
+/// The serializable trigger state machine. Feed it every measured event
+/// in time order via [`observe`](OnlineTrigger::observe); it returns a
+/// completed epoch when one closes.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OnlineTrigger {
+    config: OnlineTriggerConfig,
+    /// Arrival times inside the calibration horizon (sorted; `times_head`
+    /// marks the logical front — a serde-friendly ring buffer).
+    times: Vec<f64>,
+    times_head: usize,
+    /// Recent events inside the pre-window horizon (epoch seeding).
+    recent: Vec<StreamedEvent>,
+    recent_head: usize,
+    /// Rate calibration restarts at this stream time.
+    cal_start_s: f64,
+    /// Triggering is suppressed before this stream time.
+    frozen_until_s: f64,
+    /// The currently collecting epoch, if any.
+    epoch: Option<OpenEpoch>,
+    /// Events observed in total.
+    events_seen: u64,
+    /// Last observed arrival time.
+    last_t_s: f64,
+}
+
+impl OnlineTrigger {
+    /// A fresh trigger at stream time zero.
+    pub fn new(config: OnlineTriggerConfig) -> Self {
+        OnlineTrigger {
+            config,
+            times: Vec::new(),
+            times_head: 0,
+            recent: Vec::new(),
+            recent_head: 0,
+            cal_start_s: 0.0,
+            frozen_until_s: 0.0,
+            epoch: None,
+            events_seen: 0,
+            last_t_s: 0.0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &OnlineTriggerConfig {
+        &self.config
+    }
+
+    /// Whether an epoch is currently collecting.
+    pub fn has_open_epoch(&self) -> bool {
+        self.epoch.is_some()
+    }
+
+    /// Events observed so far.
+    pub fn events_seen(&self) -> u64 {
+        self.events_seen
+    }
+
+    /// Last observed arrival time (s).
+    pub fn last_t_s(&self) -> f64 {
+        self.last_t_s
+    }
+
+    /// The current background-rate estimate (Hz), if calibrated.
+    pub fn background_rate_hz(&self) -> Option<f64> {
+        let elapsed = self.last_t_s - self.cal_start_s;
+        if elapsed < self.config.min_calibration_s {
+            return None;
+        }
+        Some(self.rate_at(self.last_t_s, elapsed))
+    }
+
+    fn live_times(&self) -> &[f64] {
+        &self.times[self.times_head..]
+    }
+
+    fn rate_at(&self, t: f64, elapsed: f64) -> f64 {
+        let horizon = self.config.calibration_window_s.min(elapsed);
+        let slice = self.live_times();
+        let from = t - horizon;
+        let start = slice.partition_point(|&x| x <= from);
+        (slice.len() - start) as f64 / horizon.max(1e-9)
+    }
+
+    fn purge(&mut self, t: f64) {
+        let time_cutoff = (t - self.config.calibration_window_s).max(self.cal_start_s);
+        while self.times_head < self.times.len() && self.times[self.times_head] <= time_cutoff {
+            self.times_head += 1;
+        }
+        if self.times_head > 64 && self.times_head * 2 >= self.times.len() {
+            self.times.drain(..self.times_head);
+            self.times_head = 0;
+        }
+        let recent_cutoff = t - self.config.pre_window_s;
+        while self.recent_head < self.recent.len()
+            && self.recent[self.recent_head].t_s < recent_cutoff
+        {
+            self.recent_head += 1;
+        }
+        if self.recent_head > 64 && self.recent_head * 2 >= self.recent.len() {
+            self.recent.drain(..self.recent_head);
+            self.recent_head = 0;
+        }
+    }
+
+    /// Feed one measured event (events must arrive in time order).
+    /// Returns an epoch when this arrival closed it.
+    pub fn observe(&mut self, se: &StreamedEvent) -> Option<OpenEpoch> {
+        let t = se.t_s;
+        self.events_seen += 1;
+        self.last_t_s = t;
+
+        // close a finished epoch before anything else
+        let mut completed = None;
+        if let Some(ep) = &self.epoch {
+            if t > ep.collect_until_s {
+                completed = self.epoch.take();
+            }
+        }
+
+        // restart calibration once the refractory window has passed, so
+        // epoch events never contaminate the background estimate
+        if self.epoch.is_none()
+            && t >= self.frozen_until_s
+            && self.cal_start_s < self.frozen_until_s
+        {
+            self.cal_start_s = self.frozen_until_s;
+        }
+
+        self.times.push(t);
+        self.recent.push(se.clone());
+        self.purge(t);
+
+        if let Some(ep) = &mut self.epoch {
+            if t <= ep.collect_until_s {
+                ep.events.push(se.event.clone());
+            }
+            return completed;
+        }
+
+        if t < self.frozen_until_s {
+            return completed;
+        }
+
+        let elapsed = t - self.cal_start_s;
+        if elapsed < self.config.min_calibration_s {
+            return completed;
+        }
+        let rate = self.rate_at(t, elapsed);
+
+        let widths: Vec<f64> = self.config.window_widths_s.clone();
+        for w in widths {
+            if w > elapsed {
+                continue;
+            }
+            let slice = self.live_times();
+            let from = t - w;
+            let n = slice.len() - slice.partition_point(|&x| x <= from);
+            if n < self.config.min_counts {
+                continue;
+            }
+            let expected = (rate * w).max(1e-12);
+            let significance = (n as f64 - expected) / expected.sqrt();
+            if significance >= self.config.threshold_sigma {
+                let events: Vec<Event> = self.recent[self.recent_head..]
+                    .iter()
+                    .filter(|e| e.t_s >= t - self.config.pre_window_s)
+                    .map(|e| e.event.clone())
+                    .collect();
+                self.epoch = Some(OpenEpoch {
+                    t_trigger_s: t,
+                    significance_sigma: significance,
+                    width_s: w,
+                    collect_until_s: t + self.config.post_window_s,
+                    events,
+                });
+                self.frozen_until_s = t + self.config.post_window_s + self.config.refractory_s;
+                break;
+            }
+        }
+        completed
+    }
+
+    /// Close and return the open epoch at stream end (the post-window may
+    /// not have elapsed; whatever was collected is localized).
+    pub fn flush(&mut self) -> Option<OpenEpoch> {
+        self.epoch.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adapt_math::vec3::Vec3;
+    use adapt_sim::{Event, MeasuredHit, ParticleOrigin, TrueEvent};
+
+    fn dummy_event(t: f64) -> StreamedEvent {
+        let hit = MeasuredHit {
+            position: Vec3::new(0.0, 0.0, 6.0),
+            energy: 0.2,
+            sigma_position: Vec3::new(0.1, 0.1, 0.75),
+            sigma_energy: 0.02,
+            layer: 0,
+        };
+        StreamedEvent {
+            t_s: t,
+            event: Event {
+                hits: vec![hit, hit],
+                arrival_time: t,
+                truth: TrueEvent {
+                    origin: ParticleOrigin::Background,
+                    source_dir: adapt_math::vec3::UnitVec3::from_spherical(0.0, 0.0),
+                    incident_energy: 0.4,
+                    hits: vec![],
+                    true_eta: None,
+                },
+            },
+        }
+    }
+
+    fn feed_uniform(trig: &mut OnlineTrigger, t0: f64, t1: f64, rate_hz: f64) -> usize {
+        let dt = 1.0 / rate_hz;
+        let mut fired = 0;
+        let mut t = t0;
+        while t < t1 {
+            if trig.observe(&dummy_event(t)).is_some() {
+                fired += 1;
+            }
+            t += dt;
+        }
+        fired
+    }
+
+    #[test]
+    fn steady_background_never_triggers() {
+        let mut trig = OnlineTrigger::new(OnlineTriggerConfig::default());
+        let closed = feed_uniform(&mut trig, 0.0, 120.0, 50.0);
+        assert_eq!(closed, 0);
+        assert!(!trig.has_open_epoch());
+        let rate = trig.background_rate_hz().unwrap();
+        assert!((rate - 50.0).abs() < 5.0, "rate estimate {rate}");
+    }
+
+    #[test]
+    fn burst_opens_one_epoch_with_pre_window_context() {
+        let cfg = OnlineTriggerConfig::default();
+        let pre = cfg.pre_window_s;
+        let mut trig = OnlineTrigger::new(cfg);
+        feed_uniform(&mut trig, 0.0, 30.0, 40.0);
+        // burst: 300 events in 0.25 s on top of the background
+        let mut closed = None;
+        for i in 0..300 {
+            let t = 30.0 + 0.25 * i as f64 / 300.0;
+            if let Some(ep) = trig.observe(&dummy_event(t)) {
+                closed = Some(ep);
+            }
+        }
+        assert!(trig.has_open_epoch(), "epoch must open during the burst");
+        assert!(closed.is_none(), "epoch cannot close during the burst");
+        // quiet tail closes the epoch; refractory suppresses re-triggering
+        let mut epochs = Vec::new();
+        let mut t = 30.3;
+        while t < 60.0 {
+            if let Some(ep) = trig.observe(&dummy_event(t)) {
+                epochs.push(ep);
+            }
+            t += 1.0 / 40.0;
+        }
+        assert_eq!(epochs.len(), 1, "exactly one epoch for one burst");
+        let ep = &epochs[0];
+        assert!(ep.t_trigger_s >= 30.0 && ep.t_trigger_s < 30.3);
+        assert!(ep.significance_sigma >= 7.0);
+        // pre-window context made it into the epoch
+        assert!(ep
+            .events
+            .iter()
+            .any(|e| e.arrival_time < ep.t_trigger_s && e.arrival_time >= ep.t_trigger_s - pre));
+        // post-window collection
+        assert!(ep
+            .events
+            .iter()
+            .any(|e| e.arrival_time > ep.t_trigger_s + 1.0));
+    }
+
+    #[test]
+    fn trigger_state_serializes_round_trip() {
+        let mut trig = OnlineTrigger::new(OnlineTriggerConfig::default());
+        feed_uniform(&mut trig, 0.0, 10.0, 30.0);
+        for i in 0..200 {
+            trig.observe(&dummy_event(10.0 + i as f64 * 0.001));
+        }
+        assert!(trig.has_open_epoch());
+        let json = serde_json::to_string(&trig).unwrap();
+        let mut restored: OnlineTrigger = serde_json::from_str(&json).unwrap();
+        assert!(restored.has_open_epoch());
+        assert_eq!(restored.events_seen(), trig.events_seen());
+        // both copies evolve identically
+        let a = feed_uniform(&mut trig, 10.3, 14.0, 30.0);
+        let b = feed_uniform(&mut restored, 10.3, 14.0, 30.0);
+        assert_eq!(a, b);
+        assert_eq!(a, 1, "the open epoch closes after the burst");
+    }
+
+    #[test]
+    fn min_counts_guard_blocks_low_rate_false_alarms() {
+        // at 2 Hz a single pair of close arrivals would be "5 sigma" under
+        // the Gaussian approximation; the count guard must hold it back
+        let mut trig = OnlineTrigger::new(OnlineTriggerConfig::default());
+        feed_uniform(&mut trig, 0.0, 60.0, 2.0);
+        // two extra events close together
+        trig.observe(&dummy_event(60.001));
+        trig.observe(&dummy_event(60.002));
+        assert!(!trig.has_open_epoch(), "min_counts must gate the trigger");
+    }
+}

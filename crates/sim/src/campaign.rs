@@ -118,11 +118,11 @@ impl BurstSimulation {
 
         let grb_events: Vec<Event> = (0..n_grb)
             .into_par_iter()
-            .filter_map(|i| self.simulate_one_grb(grb_stream, i))
+            .filter_map(|i| self.grb_event(grb_stream, i))
             .collect();
         let bkg_events: Vec<Event> = (0..n_bkg)
             .into_par_iter()
-            .filter_map(|i| self.simulate_one_background(bkg_stream, i))
+            .filter_map(|i| self.background_event(bkg_stream, i))
             .collect();
 
         let mut events = grb_events;
@@ -147,8 +147,8 @@ impl BurstSimulation {
         let grb_stream: u64 = master.gen();
         let bkg_stream: u64 = master.gen();
         let mut events = Vec::new();
-        events.extend((0..n_grb).filter_map(|i| self.simulate_one_grb(grb_stream, i)));
-        events.extend((0..n_bkg).filter_map(|i| self.simulate_one_background(bkg_stream, i)));
+        events.extend((0..n_grb).filter_map(|i| self.grb_event(grb_stream, i)));
+        events.extend((0..n_bkg).filter_map(|i| self.background_event(bkg_stream, i)));
         BurstData {
             events,
             n_grb_incident: n_grb,
@@ -164,7 +164,28 @@ impl BurstSimulation {
         ChaCha8Rng::seed_from_u64(z ^ (z >> 31))
     }
 
-    fn simulate_one_grb(&self, stream: u64, index: u64) -> Option<Event> {
+    /// Expected incident GRB photons on the transport disc for this
+    /// scenario (the Poisson mean used by [`simulate`](Self::simulate)).
+    pub fn expected_grb_photons(&self) -> f64 {
+        let disc_r = self.transport.geometry().bounding_radius();
+        self.grb.expected_photons_on_disc(disc_r)
+    }
+
+    /// Expected incident background particles on the transport disc for
+    /// this scenario's exposure window.
+    pub fn expected_background_particles(&self) -> f64 {
+        let disc_r = self.transport.geometry().bounding_radius();
+        self.background.expected_particles_on_disc(disc_r)
+    }
+
+    /// Transport GRB photon `index` of decorrelated stream `stream` and
+    /// return the measured event, if it survives. This is the exact
+    /// per-particle path [`simulate`](Self::simulate) runs — the streaming
+    /// source ([`crate::stream::StreamingSource`]) calls it too, so batch
+    /// and streaming generation share one code path. The per-particle RNG
+    /// is derived only from `(stream, index)`, so calls are independent
+    /// and order-free.
+    pub fn grb_event(&self, stream: u64, index: u64) -> Option<Event> {
         let mut rng = Self::particle_rng(stream, index);
         let source_dir = self.grb.direction;
         let travel = source_dir.flipped();
@@ -183,7 +204,11 @@ impl BurstSimulation {
         Some(event)
     }
 
-    fn simulate_one_background(&self, stream: u64, index: u64) -> Option<Event> {
+    /// Transport background particle `index` of decorrelated stream
+    /// `stream`; the per-particle RNG offsets the index so GRB and
+    /// background streams never collide. See
+    /// [`grb_event`](Self::grb_event) for the sharing contract.
+    pub fn background_event(&self, stream: u64, index: u64) -> Option<Event> {
         let mut rng = Self::particle_rng(stream, index.wrapping_add(0x8000_0000_0000_0000));
         let (origin_dir, energy) = self.background.sample(&mut rng);
         let travel = origin_dir.flipped();

@@ -82,18 +82,47 @@ impl FlightProfile {
         ])
     }
 
+    /// A short checkout flight: a 1 h ascent to 38 km crossing the
+    /// Pfotzer maximum, then 1 h at float. Used by the streaming-runtime
+    /// smoke tests, where a full LDB profile would be needlessly long.
+    pub fn checkout_2h() -> Self {
+        FlightProfile::new(vec![
+            FlightPhase {
+                duration_h: 1.0,
+                start_altitude_km: 0.0,
+                end_altitude_km: 38.0,
+            },
+            FlightPhase {
+                duration_h: 1.0,
+                start_altitude_km: 38.0,
+                end_altitude_km: 38.0,
+            },
+        ])
+    }
+
     /// Total flight duration (hours).
     pub fn duration_h(&self) -> f64 {
         self.phases.iter().map(|p| p.duration_h).sum()
     }
 
     /// Altitude at mission-elapsed time `t_h` (hours), clamped to the
-    /// profile's ends.
+    /// profile's ends: `t_h <= 0` pins the first phase's start altitude,
+    /// `t_h >= duration_h()` pins the last phase's end altitude exactly
+    /// (no extrapolation past either boundary, and the interpolation
+    /// fraction itself is clamped so floating-point accumulation across
+    /// many phases can never step outside a phase's altitude range).
     pub fn altitude_at(&self, t_h: f64) -> f64 {
-        let mut t = t_h.max(0.0);
+        if t_h <= 0.0 {
+            return self.phases[0].start_altitude_km;
+        }
+        let total = self.duration_h();
+        if t_h >= total {
+            return self.phases.last().map(|p| p.end_altitude_km).unwrap_or(0.0);
+        }
+        let mut t = t_h;
         for p in &self.phases {
             if t <= p.duration_h {
-                let frac = t / p.duration_h;
+                let frac = (t / p.duration_h).clamp(0.0, 1.0);
                 return p.start_altitude_km + frac * (p.end_altitude_km - p.start_altitude_km);
             }
             t -= p.duration_h;
@@ -168,6 +197,66 @@ mod tests {
             "Pfotzer crossing multiplier {at_pfotzer_alt}"
         );
         assert!((at_float - 1.0).abs() < 0.2, "float multiplier {at_float}");
+    }
+
+    #[test]
+    fn boundary_values_are_pinned_not_extrapolated() {
+        let p = FlightProfile::antarctic_ldb();
+        let total = p.duration_h();
+        // exactly at the final boundary: bitwise the last phase's end
+        assert_eq!(p.altitude_at(total), 38.0);
+        // just past and far past the boundary: clamped, identical values
+        assert_eq!(p.altitude_at(total + 1e-12), 38.0);
+        assert_eq!(p.altitude_at(total + 1e6), 38.0);
+        // before the start: the first phase's start altitude, no
+        // backwards extrapolation along the ascent slope
+        assert_eq!(p.altitude_at(0.0), 0.0);
+        assert_eq!(p.altitude_at(-5.0), 0.0);
+        // the multiplier inherits the clamp: exactly 1 at and beyond the
+        // final boundary (same value bitwise, since both sides evaluate
+        // the same float altitude)
+        assert_eq!(p.background_multiplier_at(total), 1.0);
+        assert_eq!(
+            p.background_multiplier_at(total),
+            p.background_multiplier_at(total + 1000.0)
+        );
+    }
+
+    #[test]
+    fn fp_accumulation_across_many_phases_stays_clamped() {
+        // 30 phases of 0.1 h: the per-phase subtraction accumulates
+        // floating-point error; the boundary must still pin exactly.
+        let phases: Vec<FlightPhase> = (0..30)
+            .map(|i| FlightPhase {
+                duration_h: 0.1,
+                start_altitude_km: i as f64,
+                end_altitude_km: i as f64 + 1.0,
+            })
+            .collect();
+        let p = FlightProfile::new(phases);
+        let total = p.duration_h();
+        assert_eq!(p.altitude_at(total), 30.0);
+        assert_eq!(p.altitude_at(total * 2.0), 30.0);
+        // interior values stay within each phase's altitude range
+        for i in 0..300 {
+            let t = total * i as f64 / 300.0;
+            let alt = p.altitude_at(t);
+            assert!((0.0..=30.0).contains(&alt), "t={t} alt={alt}");
+        }
+    }
+
+    #[test]
+    fn checkout_profile_covers_ascent_and_float() {
+        let p = FlightProfile::checkout_2h();
+        assert!((p.duration_h() - 2.0).abs() < 1e-12);
+        assert_eq!(p.altitude_at(0.0), 0.0);
+        assert_eq!(p.altitude_at(2.0), 38.0);
+        // ascent crosses the Pfotzer maximum
+        let peak = (0..100)
+            .map(|i| p.background_multiplier_at(i as f64 / 100.0))
+            .fold(0.0f64, f64::max);
+        assert!(peak > 1.5, "checkout ascent peak multiplier {peak}");
+        assert_eq!(p.background_multiplier_at(2.0), 1.0);
     }
 
     #[test]

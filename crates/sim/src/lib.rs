@@ -42,6 +42,7 @@ pub mod physics;
 pub mod pileup;
 pub mod response;
 pub mod source;
+pub mod stream;
 pub mod time;
 pub mod transport;
 
@@ -54,5 +55,6 @@ pub use physics::Material;
 pub use pileup::{apply_pileup, PileupConfig, PileupStats};
 pub use response::DetectorResponse;
 pub use source::{BackgroundSource, GrbSource, TabulatedSpectrum};
+pub use stream::{BurstInjection, StreamConfig, StreamStats, StreamedEvent, StreamingSource};
 pub use time::LightCurve;
 pub use transport::Transport;

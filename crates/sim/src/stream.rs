@@ -1,0 +1,431 @@
+//! Streaming event generation: the flight-time view of the simulator.
+//!
+//! The batched [`BurstSimulation`](crate::campaign::BurstSimulation) draws
+//! every event of an exposure window at once; the onboard runtime instead
+//! consumes a time-ordered stream spanning hours, with the background rate
+//! following the balloon's [`FlightProfile`](crate::flight::FlightProfile)
+//! and GRBs injected at scheduled onsets. [`StreamingSource`] provides that
+//! stream as an iterator of [`StreamedEvent`]s while *sharing* the batched
+//! per-particle code path ([`BurstSimulation::grb_event`] /
+//! [`BurstSimulation::background_event`]) — there is exactly one
+//! transport-and-response sampling implementation in the crate.
+//!
+//! Background arrivals form a nonhomogeneous Poisson process
+//! `λ(t) = λ_nominal · scale · background_multiplier_at(t)` realized by
+//! thinning against the profile's rate ceiling. Arrival times are drawn
+//! sequentially (cheap), then each accepted particle is transported in
+//! rayon-parallel blocks using its counter-derived RNG — so the event
+//! content at a given index is deterministic regardless of block size or
+//! thread count.
+
+use crate::campaign::BurstSimulation;
+use crate::config::{BackgroundConfig, DetectorConfig, GrbConfig, PerturbationConfig};
+use crate::event::Event;
+use crate::flight::FlightProfile;
+use adapt_math::sampling::{exponential, poisson};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Background arrivals are generated (and transported in parallel) in
+/// blocks of this many simulated seconds.
+const BLOCK_S: f64 = 4.0;
+
+/// A GRB injected into the stream at a scheduled onset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BurstInjection {
+    /// Stream time of the burst-window start (s from stream start).
+    pub t_onset_s: f64,
+    /// The burst itself (fluence, direction, spectrum, light curve).
+    pub grb: GrbConfig,
+}
+
+/// Configuration of a [`StreamingSource`].
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Detector geometry and response.
+    pub detector: DetectorConfig,
+    /// Background population; `particle_fluence` is interpreted as the
+    /// *nominal per-second* fluence (particles/cm²/s) before the flight
+    /// profile's multiplier is applied.
+    pub background: BackgroundConfig,
+    /// Detector perturbation (usually none in flight replays).
+    pub perturbation: PerturbationConfig,
+    /// Altitude profile scaling the background rate over the stream.
+    pub profile: FlightProfile,
+    /// Mission-elapsed time (hours) at stream time zero.
+    pub start_h: f64,
+    /// Stream length (s).
+    pub duration_s: f64,
+    /// Extra multiplier on the nominal background rate (load knob:
+    /// `4.0` = "4x nominal background").
+    pub background_scale: f64,
+    /// Scheduled GRBs.
+    pub bursts: Vec<BurstInjection>,
+}
+
+impl StreamConfig {
+    /// Defaults: standard detector, nominal background treated as a
+    /// per-second rate, no perturbation, stream starting at mission t=0.
+    pub fn new(profile: FlightProfile, duration_s: f64) -> Self {
+        StreamConfig {
+            detector: DetectorConfig::default(),
+            background: BackgroundConfig::default(),
+            perturbation: PerturbationConfig::default(),
+            profile,
+            start_h: 0.0,
+            duration_s,
+            background_scale: 1.0,
+            bursts: Vec::new(),
+        }
+    }
+
+    /// Add a burst injection (builder style).
+    pub fn with_burst(mut self, t_onset_s: f64, grb: GrbConfig) -> Self {
+        self.bursts.push(BurstInjection { t_onset_s, grb });
+        self
+    }
+}
+
+/// One measured event with its absolute stream arrival time. The
+/// embedded event's `arrival_time` equals `t_s`, so downstream windowing
+/// can use either.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StreamedEvent {
+    /// Arrival time (s from stream start).
+    pub t_s: f64,
+    /// The measured event.
+    pub event: Event,
+}
+
+/// Counters describing what a [`StreamingSource`] generated so far.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StreamStats {
+    /// Incident background particles aimed at the detector.
+    pub n_background_incident: u64,
+    /// Incident GRB photons aimed at the detector (all injections).
+    pub n_grb_incident: u64,
+    /// Measured events yielded.
+    pub n_measured: u64,
+}
+
+/// A time-ordered iterator of measured events over a flight profile.
+///
+/// `seed` fully determines the stream. Burst events are pre-generated at
+/// construction (bursts are short and sparse); background events are
+/// generated lazily in `BLOCK_S`-second blocks so multi-hour streams
+/// never materialize in memory.
+pub struct StreamingSource {
+    sim: BurstSimulation,
+    profile: FlightProfile,
+    start_h: f64,
+    duration_s: f64,
+    /// Incident-particle ceiling rate (Hz) the thinning draws against.
+    rate_max_hz: f64,
+    /// Nominal incident rate (Hz) at multiplier 1, including the scale.
+    rate_scaled_hz: f64,
+    arrival_rng: ChaCha8Rng,
+    bkg_stream: u64,
+    bkg_index: u64,
+    /// Next candidate arrival of the rate-`rate_max_hz` homogeneous
+    /// process (s); thinning accepts a subset.
+    next_candidate_s: f64,
+    burst_events: Vec<StreamedEvent>,
+    next_burst: usize,
+    block: Vec<StreamedEvent>,
+    block_pos: usize,
+    /// Background generated for all t < block_end_s.
+    block_end_s: f64,
+    stats: StreamStats,
+}
+
+impl StreamingSource {
+    /// Build the source; pre-generates all burst events (through the
+    /// shared [`BurstSimulation::grb_event`] path) and prepares the lazy
+    /// background process.
+    pub fn new(config: StreamConfig, seed: u64) -> Self {
+        let mut master = ChaCha8Rng::seed_from_u64(seed);
+        let bkg_stream: u64 = master.gen();
+
+        // Background transport scenario: a zero-fluence GRB so the shared
+        // BurstSimulation only ever contributes background events here.
+        let mut null_grb = GrbConfig::new(0.0, 0.0);
+        null_grb.duration_s = 1.0;
+        let sim = BurstSimulation::new(
+            config.detector.clone(),
+            null_grb,
+            config.background.clone(),
+            config.perturbation,
+        );
+
+        // `particle_fluence` is per-second here, so the batched
+        // "per-window" expectation with a 1 s window is a rate in Hz.
+        let rate_nominal_hz = sim.expected_background_particles();
+        let rate_scaled_hz = rate_nominal_hz * config.background_scale;
+
+        // Thinning ceiling: the profile multiplier is piecewise-smooth;
+        // probe it on a fine grid and add a safety margin. Acceptance is
+        // clamped to 1, so a probe miss softly caps the peak instead of
+        // biasing the rest of the stream.
+        let end_h = config.start_h + config.duration_s / 3600.0;
+        let mut mult_max = f64::MIN;
+        for i in 0..=2048 {
+            let t_h = config.start_h + (end_h - config.start_h) * i as f64 / 2048.0;
+            mult_max = mult_max.max(config.profile.background_multiplier_at(t_h));
+        }
+        let rate_max_hz = (rate_scaled_hz * mult_max * 1.05).max(1e-9);
+
+        let mut stats = StreamStats::default();
+
+        // Pre-generate burst events: per-injection Poisson count and
+        // decorrelated stream, exactly like a batched window, with
+        // arrival times shifted to the onset.
+        let mut burst_events: Vec<StreamedEvent> = Vec::new();
+        for inj in &config.bursts {
+            let bsim = BurstSimulation::new(
+                config.detector.clone(),
+                inj.grb.clone(),
+                config.background.clone(),
+                config.perturbation,
+            );
+            let n = poisson(&mut master, bsim.expected_grb_photons());
+            let stream: u64 = master.gen();
+            stats.n_grb_incident += n;
+            let onset = inj.t_onset_s;
+            let duration = config.duration_s;
+            let mut evs: Vec<StreamedEvent> = (0..n)
+                .into_par_iter()
+                .filter_map(|i| {
+                    let mut e = bsim.grb_event(stream, i)?;
+                    let t = onset + e.arrival_time;
+                    if t >= duration {
+                        return None;
+                    }
+                    e.arrival_time = t;
+                    Some(StreamedEvent { t_s: t, event: e })
+                })
+                .collect();
+            burst_events.append(&mut evs);
+        }
+        burst_events.sort_by(|a, b| a.t_s.total_cmp(&b.t_s));
+
+        // First candidate arrival of the ceiling-rate process.
+        let mut arrival_rng = master;
+        let first = exponential(&mut arrival_rng, 1.0 / rate_max_hz);
+
+        StreamingSource {
+            sim,
+            profile: config.profile,
+            start_h: config.start_h,
+            duration_s: config.duration_s,
+            rate_max_hz,
+            rate_scaled_hz,
+            arrival_rng,
+            bkg_stream,
+            bkg_index: 0,
+            next_candidate_s: first,
+            burst_events,
+            next_burst: 0,
+            block: Vec::new(),
+            block_pos: 0,
+            block_end_s: 0.0,
+            stats,
+        }
+    }
+
+    /// Generation counters so far.
+    pub fn stats(&self) -> StreamStats {
+        self.stats
+    }
+
+    /// The incident-background ceiling rate (Hz) used for thinning.
+    pub fn rate_max_hz(&self) -> f64 {
+        self.rate_max_hz
+    }
+
+    /// Background multiplier at stream time `t_s`.
+    pub fn multiplier_at(&self, t_s: f64) -> f64 {
+        self.profile
+            .background_multiplier_at(self.start_h + t_s / 3600.0)
+    }
+
+    /// Generate the next background block: thin candidate arrivals over
+    /// `[block_end_s, block_end_s + BLOCK_S)`, then transport the accepted
+    /// particles in parallel through the shared batched path.
+    fn generate_block(&mut self) {
+        let t0 = self.block_end_s;
+        let t1 = (t0 + BLOCK_S).min(self.duration_s);
+        let mut accepted: Vec<(f64, u64)> = Vec::new();
+        while self.next_candidate_s < t1 {
+            let t = self.next_candidate_s;
+            let lambda = self.rate_scaled_hz * self.multiplier_at(t);
+            let p = (lambda / self.rate_max_hz).min(1.0);
+            if self.arrival_rng.gen::<f64>() < p {
+                accepted.push((t, self.bkg_index));
+                self.bkg_index += 1;
+            }
+            self.next_candidate_s = t + exponential(&mut self.arrival_rng, 1.0 / self.rate_max_hz);
+        }
+        self.stats.n_background_incident += accepted.len() as u64;
+        let sim = &self.sim;
+        let stream = self.bkg_stream;
+        self.block = accepted
+            .par_iter()
+            .filter_map(|&(t, i)| {
+                sim.background_event(stream, i).map(|mut e| {
+                    e.arrival_time = t;
+                    StreamedEvent { t_s: t, event: e }
+                })
+            })
+            .collect();
+        self.block_pos = 0;
+        self.block_end_s = t1;
+    }
+
+    /// Skip the stream forward so the next yielded event has
+    /// `t_s > after_s` (checkpoint-restore: deterministically regenerate
+    /// and discard everything already consumed).
+    pub fn skip_until(&mut self, after_s: f64) {
+        while let Some(ev) = self.peek_time() {
+            if ev > after_s {
+                break;
+            }
+            let _ = self.next();
+        }
+    }
+
+    fn peek_time(&mut self) -> Option<f64> {
+        loop {
+            let tb = self.burst_events.get(self.next_burst).map(|e| e.t_s);
+            let tg = self.block.get(self.block_pos).map(|e| e.t_s);
+            match (tg, tb) {
+                (Some(g), Some(b)) => return Some(g.min(b)),
+                (Some(g), None) => return Some(g),
+                (None, Some(b)) if b <= self.block_end_s || self.block_end_s >= self.duration_s => {
+                    return Some(b)
+                }
+                (None, _) => {
+                    if self.block_end_s >= self.duration_s {
+                        return None;
+                    }
+                    self.generate_block();
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for StreamingSource {
+    type Item = StreamedEvent;
+
+    fn next(&mut self) -> Option<StreamedEvent> {
+        self.peek_time()?;
+        let tb = self.burst_events.get(self.next_burst).map(|e| e.t_s);
+        let tg = self.block.get(self.block_pos).map(|e| e.t_s);
+        let take_burst = match (tg, tb) {
+            (Some(g), Some(b)) => b <= g,
+            (None, Some(_)) => true,
+            _ => false,
+        };
+        self.stats.n_measured += 1;
+        if take_burst {
+            let ev = self.burst_events[self.next_burst].clone();
+            self.next_burst += 1;
+            Some(ev)
+        } else {
+            let ev = self.block[self.block_pos].clone();
+            self.block_pos += 1;
+            Some(ev)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ParticleOrigin;
+
+    fn quick_config(duration_s: f64) -> StreamConfig {
+        let mut c = StreamConfig::new(FlightProfile::antarctic_ldb(), duration_s);
+        // keep debug-mode test transport cheap
+        c.background.particle_fluence = 2.0;
+        c.start_h = 20.0; // at float: multiplier ~1
+        c
+    }
+
+    #[test]
+    fn stream_is_time_ordered_and_deterministic() {
+        let cfg = quick_config(6.0).with_burst(2.0, GrbConfig::new(1.0, 0.0));
+        let a: Vec<StreamedEvent> = StreamingSource::new(cfg.clone(), 42).collect();
+        let b: Vec<StreamedEvent> = StreamingSource::new(cfg, 42).collect();
+        assert!(!a.is_empty());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.t_s, y.t_s);
+            assert_eq!(x.event.hits.len(), y.event.hits.len());
+        }
+        for w in a.windows(2) {
+            assert!(
+                w[0].t_s <= w[1].t_s,
+                "out of order: {} > {}",
+                w[0].t_s,
+                w[1].t_s
+            );
+        }
+        for ev in &a {
+            assert!((0.0..6.0).contains(&ev.t_s));
+            assert_eq!(ev.t_s, ev.event.arrival_time);
+        }
+    }
+
+    #[test]
+    fn burst_events_cluster_at_the_onset() {
+        let cfg = quick_config(8.0).with_burst(5.0, GrbConfig::new(2.0, 10.0));
+        let events: Vec<StreamedEvent> = StreamingSource::new(cfg, 7).collect();
+        let grb: Vec<f64> = events
+            .iter()
+            .filter(|e| e.event.truth.origin == ParticleOrigin::Grb)
+            .map(|e| e.t_s)
+            .collect();
+        assert!(
+            grb.len() > 20,
+            "streamed burst produced {} events",
+            grb.len()
+        );
+        // GRB window is 1 s starting at the onset
+        assert!(grb.iter().all(|&t| (5.0..6.0).contains(&t)));
+    }
+
+    #[test]
+    fn rate_follows_the_flight_profile() {
+        // ascent start (low multiplier ~0.35 of nominal) vs Pfotzer
+        // crossing: the Pfotzer stream must be denser
+        let mut low = quick_config(30.0);
+        low.start_h = 0.0; // sea level: residual floor
+        let mut peak = quick_config(30.0);
+        peak.start_h = 1.3; // ~16.5 km: Pfotzer maximum
+        let n_low = StreamingSource::new(low, 3).count();
+        let n_peak = StreamingSource::new(peak, 3).count();
+        assert!(
+            n_peak as f64 > 1.5 * n_low.max(1) as f64,
+            "low {n_low}, peak {n_peak}"
+        );
+    }
+
+    #[test]
+    fn skip_until_resumes_the_same_tail() {
+        let cfg = quick_config(6.0).with_burst(3.0, GrbConfig::new(1.0, 0.0));
+        let full: Vec<StreamedEvent> = StreamingSource::new(cfg.clone(), 11).collect();
+        let cut = 3.2;
+        let mut resumed = StreamingSource::new(cfg, 11);
+        resumed.skip_until(cut);
+        let tail: Vec<StreamedEvent> = resumed.collect();
+        let expected: Vec<&StreamedEvent> = full.iter().filter(|e| e.t_s > cut).collect();
+        assert_eq!(tail.len(), expected.len());
+        for (x, y) in tail.iter().zip(expected) {
+            assert_eq!(x.t_s, y.t_s);
+            assert_eq!(x.event.hits.len(), y.event.hits.len());
+        }
+    }
+}

@@ -44,8 +44,8 @@ pub use drift::{DriftMonitor, DriftReference, DriftReport, DRIFT_BINS, PSI_FLAG}
 pub use histogram::{HistogramSnapshot, LatencyHistogram};
 pub use ndjson::{export, validate as validate_ndjson, NdjsonSummary, NDJSON_SCHEMA};
 pub use recorder::{
-    noop, Counter, FlightRecorder, LoopEvent, LoopIterationRecord, LoopSummaryRecord, NoopRecorder,
-    Recorder, Stage, TrialRecord, SCORE_BINS,
+    noop, AlertRecord, Counter, DegradationRecord, FlightRecorder, LoopEvent, LoopIterationRecord,
+    LoopSummaryRecord, NoopRecorder, QueueGauge, Recorder, Stage, TrialRecord, SCORE_BINS,
 };
 pub use run::{
     diff_manifests, fnv1a_hex, list_runs, load_manifest, validate_run, write_atomic, AbortReason,

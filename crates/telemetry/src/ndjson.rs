@@ -11,21 +11,30 @@
 //!   mean |dη correction|;
 //! * `stage` — one per instrumented stage with samples: count, mean,
 //!   p50/p90/p99, min/max (ms);
-//! * `counter` — one per non-zero counter.
+//! * `counter` — one per non-zero counter;
+//! * `degradation` — one per onboard scheduler level transition: stream
+//!   time, from/to level, reason;
+//! * `alert` — one per emitted GRB alert: trigger time, mode, direction,
+//!   containment radius, latency;
+//! * `queue` — one per stage queue: max observed depth, sample count.
 //!
 //! [`validate`] checks structure and field types line by line and
 //! returns a [`NdjsonSummary`] the `telemetry-report` renderer (and the
 //! CI schema gate) consume.
 
 use crate::histogram::HistogramSnapshot;
-use crate::recorder::{Counter, FlightRecorder, LoopEvent, Stage};
+use crate::recorder::{AlertRecord, Counter, DegradationRecord, FlightRecorder, LoopEvent, Stage};
 use serde::Value;
 
 /// Current NDJSON schema version (the `meta` line's `schema` field).
+/// Version 3 added the onboard-runtime lines (`degradation`, `alert`,
+/// `queue`), the `alert_latency` stage, and the runtime counters
+/// (`events_ingested`, `events_dropped`, `epochs_opened`,
+/// `alerts_emitted`, `degradation_transitions`, `checkpoints_written`).
 /// Version 2 added the drift counters (`drift_rows`,
-/// `drift_mean_psi_milli`, `drift_features_flagged`); version-1 captures
+/// `drift_mean_psi_milli`, `drift_features_flagged`). Older captures
 /// still validate.
-pub const NDJSON_SCHEMA: u32 = 2;
+pub const NDJSON_SCHEMA: u32 = 3;
 
 fn obj(pairs: Vec<(&str, Value)>) -> Value {
     Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
@@ -133,6 +142,46 @@ pub fn export(recorder: &FlightRecorder, repetitions: usize) -> String {
         ])));
         out.push('\n');
     }
+
+    for d in recorder.degradation_records() {
+        out.push_str(&line(&obj(vec![
+            ("type", Value::Str("degradation".into())),
+            ("t_s", Value::Float(d.t_s)),
+            ("from", Value::Str(d.from.clone())),
+            ("to", Value::Str(d.to.clone())),
+            ("reason", Value::Str(d.reason.clone())),
+        ])));
+        out.push('\n');
+    }
+
+    for a in recorder.alert_records() {
+        out.push_str(&line(&obj(vec![
+            ("type", Value::Str("alert".into())),
+            ("t_s", Value::Float(a.t_s)),
+            ("mode", Value::Str(a.mode.clone())),
+            ("polar_deg", Value::Float(a.polar_deg)),
+            ("azimuth_deg", Value::Float(a.azimuth_deg)),
+            (
+                "containment_radius_deg",
+                Value::Float(a.containment_radius_deg),
+            ),
+            ("latency_ms", Value::Float(a.latency_ms)),
+            ("rings", Value::UInt(a.rings)),
+            ("ingest_depth", Value::UInt(a.ingest_depth)),
+            ("epoch_depth", Value::UInt(a.epoch_depth)),
+        ])));
+        out.push('\n');
+    }
+
+    for (name, gauge) in recorder.queue_gauges() {
+        out.push_str(&line(&obj(vec![
+            ("type", Value::Str("queue".into())),
+            ("name", Value::Str(name)),
+            ("max_depth", Value::UInt(gauge.max_depth)),
+            ("samples", Value::UInt(gauge.samples)),
+        ])));
+        out.push('\n');
+    }
     out
 }
 
@@ -157,6 +206,12 @@ pub struct NdjsonSummary {
     pub modes: Vec<String>,
     /// Mean of `mean_abs_d_eta_correction` over loop summaries.
     pub mean_abs_d_eta_correction: f64,
+    /// Onboard degradation transitions, in capture order.
+    pub degradations: Vec<DegradationRecord>,
+    /// Onboard GRB alerts, in capture order.
+    pub alerts: Vec<AlertRecord>,
+    /// Onboard queue gauges: `(name, max depth, samples)`.
+    pub queues: Vec<(String, u64, u64)>,
 }
 
 fn need<'a>(v: &'a Value, key: &str, lineno: usize) -> Result<&'a Value, String> {
@@ -341,6 +396,70 @@ pub fn validate(text: &str) -> Result<NdjsonSummary, String> {
                 let value = need_uint(&v, "value", lineno)?;
                 summary.counters.push((name, value));
             }
+            "degradation" => {
+                let t_s = need_num(&v, "t_s", lineno)?;
+                let from = need_str(&v, "from", lineno)?;
+                let to = need_str(&v, "to", lineno)?;
+                if from == to {
+                    return Err(format!(
+                        "line {lineno}: degradation transition from `{from}` to itself"
+                    ));
+                }
+                let reason = need_str(&v, "reason", lineno)?;
+                summary.degradations.push(DegradationRecord {
+                    t_s,
+                    from,
+                    to,
+                    reason,
+                });
+            }
+            "alert" => {
+                let t_s = need_num(&v, "t_s", lineno)?;
+                let mode = need_str(&v, "mode", lineno)?;
+                if mode.is_empty() {
+                    return Err(format!("line {lineno}: alert mode must be non-empty"));
+                }
+                let polar_deg = need_num(&v, "polar_deg", lineno)?;
+                if !(0.0..=180.0).contains(&polar_deg) {
+                    return Err(format!(
+                        "line {lineno}: alert polar_deg {polar_deg} outside [0, 180]"
+                    ));
+                }
+                let azimuth_deg = need_num(&v, "azimuth_deg", lineno)?;
+                let containment_radius_deg = need_num(&v, "containment_radius_deg", lineno)?;
+                if !(0.0..=180.0).contains(&containment_radius_deg) {
+                    return Err(format!(
+                        "line {lineno}: containment_radius_deg {containment_radius_deg} \
+                         outside [0, 180]"
+                    ));
+                }
+                let latency_ms = need_num(&v, "latency_ms", lineno)?;
+                if !latency_ms.is_finite() || latency_ms < 0.0 {
+                    return Err(format!(
+                        "line {lineno}: latency_ms {latency_ms} must be finite and >= 0"
+                    ));
+                }
+                summary.alerts.push(AlertRecord {
+                    t_s,
+                    mode,
+                    polar_deg,
+                    azimuth_deg,
+                    containment_radius_deg,
+                    latency_ms,
+                    rings: need_uint(&v, "rings", lineno)?,
+                    ingest_depth: need_uint(&v, "ingest_depth", lineno)?,
+                    epoch_depth: need_uint(&v, "epoch_depth", lineno)?,
+                });
+            }
+            "queue" => {
+                let name = need_str(&v, "name", lineno)?;
+                let max_depth = need_uint(&v, "max_depth", lineno)?;
+                let samples = need_uint(&v, "samples", lineno)?;
+                if samples == 0 {
+                    return Err(format!("line {lineno}: queue `{name}` has 0 samples"));
+                }
+                summary.queues.push((name, max_depth, samples));
+            }
             other => return Err(format!("line {lineno}: unknown line type `{other}`")),
         }
     }
@@ -440,6 +559,73 @@ mod tests {
         let text = export(&r, 1);
         assert!(text.contains("\"step_deg\":null"), "{text}");
         validate(&text).expect("null step must validate");
+    }
+
+    #[test]
+    fn onboard_lines_round_trip() {
+        let r = FlightRecorder::new();
+        r.duration(Stage::AlertLatency, Duration::from_millis(12));
+        r.add(Counter::EventsIngested, 5000);
+        r.add(Counter::EventsDropped, 3);
+        r.add(Counter::EpochsOpened, 1);
+        r.add(Counter::AlertsEmitted, 1);
+        r.add(Counter::DegradationTransitions, 1);
+        r.queue_depth("ingest", 41);
+        r.queue_depth("epoch", 1);
+        r.degradation(&crate::recorder::DegradationRecord {
+            t_s: 3601.2,
+            from: "full-ml".into(),
+            to: "coarse-skymap".into(),
+            reason: "deadline-budget".into(),
+        });
+        r.alert(&crate::recorder::AlertRecord {
+            t_s: 3601.2,
+            mode: "coarse-skymap".into(),
+            polar_deg: 21.0,
+            azimuth_deg: 3.0,
+            containment_radius_deg: 9.5,
+            latency_ms: 42.0,
+            rings: 180,
+            ingest_depth: 12,
+            epoch_depth: 0,
+        });
+        let text = export(&r, 1);
+        let summary = validate(&text).expect("onboard capture must validate");
+        assert_eq!(summary.alerts.len(), 1);
+        assert_eq!(summary.alerts[0].mode, "coarse-skymap");
+        assert!((summary.alerts[0].latency_ms - 42.0).abs() < 1e-9);
+        assert_eq!(summary.degradations.len(), 1);
+        assert_eq!(summary.degradations[0].to, "coarse-skymap");
+        assert_eq!(summary.queues.len(), 2);
+        assert!(summary.queues.contains(&("ingest".to_string(), 41, 1)));
+        assert!(summary
+            .stages
+            .iter()
+            .any(|(n, s)| n == "alert_latency" && s.count == 1));
+        assert!(summary
+            .counters
+            .iter()
+            .any(|(n, c)| n == "alerts_emitted" && *c == 1));
+    }
+
+    #[test]
+    fn onboard_lines_reject_bad_values() {
+        let meta = format!("{{\"type\":\"meta\",\"schema\":{NDJSON_SCHEMA},\"repetitions\":1}}");
+        let self_loop = format!(
+            "{meta}\n{{\"type\":\"degradation\",\"t_s\":1.0,\"from\":\"full-ml\",\
+             \"to\":\"full-ml\",\"reason\":\"x\"}}"
+        );
+        assert!(validate(&self_loop).is_err(), "self transition");
+        let bad_latency = format!(
+            "{meta}\n{{\"type\":\"alert\",\"t_s\":1.0,\"mode\":\"full-ml\",\"polar_deg\":10.0,\
+             \"azimuth_deg\":0.0,\"containment_radius_deg\":5.0,\"latency_ms\":-3.0,\
+             \"rings\":10,\"ingest_depth\":0,\"epoch_depth\":0}}"
+        );
+        assert!(validate(&bad_latency).is_err(), "negative latency");
+        let empty_queue = format!(
+            "{meta}\n{{\"type\":\"queue\",\"name\":\"ingest\",\"max_depth\":4,\"samples\":0}}"
+        );
+        assert!(validate(&empty_queue).is_err(), "zero samples");
     }
 
     #[test]

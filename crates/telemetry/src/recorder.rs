@@ -9,6 +9,7 @@
 //! cold, once-per-iteration path only).
 
 use crate::histogram::{HistogramSnapshot, LatencyHistogram};
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
@@ -31,11 +32,14 @@ pub enum Stage {
     Total,
     /// Posterior sky-map rasterization.
     SkymapRasterize,
+    /// Onboard runtime: epoch-ready to alert-emitted wall time (includes
+    /// queue wait, reconstruction, and localization).
+    AlertLatency,
 }
 
 impl Stage {
     /// Every stage, in table order.
-    pub const ALL: [Stage; 7] = [
+    pub const ALL: [Stage; 8] = [
         Stage::Reconstruction,
         Stage::Setup,
         Stage::DEtaInference,
@@ -43,6 +47,7 @@ impl Stage {
         Stage::ApproxRefine,
         Stage::Total,
         Stage::SkymapRasterize,
+        Stage::AlertLatency,
     ];
 
     /// Stable machine name (NDJSON field value).
@@ -55,6 +60,7 @@ impl Stage {
             Stage::ApproxRefine => "approx_refine",
             Stage::Total => "total",
             Stage::SkymapRasterize => "skymap_rasterize",
+            Stage::AlertLatency => "alert_latency",
         }
     }
 
@@ -68,6 +74,7 @@ impl Stage {
             Stage::ApproxRefine => "Approx + Refine",
             Stage::Total => "Total (Max 5 iter)",
             Stage::SkymapRasterize => "Skymap Rasterize",
+            Stage::AlertLatency => "Alert Latency",
         }
     }
 
@@ -98,11 +105,23 @@ pub enum Counter {
     DriftMeanPsiMilli,
     /// Features whose PSI exceeded the 0.2 "significant shift" flag.
     DriftFeaturesFlagged,
+    /// Onboard runtime: events accepted into the ingest queue.
+    EventsIngested,
+    /// Onboard runtime: events dropped by queue backpressure policy.
+    EventsDropped,
+    /// Onboard runtime: localization epochs opened by the rate trigger.
+    EpochsOpened,
+    /// Onboard runtime: GRB alerts emitted.
+    AlertsEmitted,
+    /// Onboard runtime: degradation-level transitions taken.
+    DegradationTransitions,
+    /// Onboard runtime: checkpoints written.
+    CheckpointsWritten,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 8] = [
+    pub const ALL: [Counter; 14] = [
         Counter::TrialsRun,
         Counter::RingsIn,
         Counter::RingsRejected,
@@ -111,6 +130,12 @@ impl Counter {
         Counter::DriftRows,
         Counter::DriftMeanPsiMilli,
         Counter::DriftFeaturesFlagged,
+        Counter::EventsIngested,
+        Counter::EventsDropped,
+        Counter::EpochsOpened,
+        Counter::AlertsEmitted,
+        Counter::DegradationTransitions,
+        Counter::CheckpointsWritten,
     ];
 
     /// Stable machine name (NDJSON field value).
@@ -124,6 +149,12 @@ impl Counter {
             Counter::DriftRows => "drift_rows",
             Counter::DriftMeanPsiMilli => "drift_mean_psi_milli",
             Counter::DriftFeaturesFlagged => "drift_features_flagged",
+            Counter::EventsIngested => "events_ingested",
+            Counter::EventsDropped => "events_dropped",
+            Counter::EpochsOpened => "epochs_opened",
+            Counter::AlertsEmitted => "alerts_emitted",
+            Counter::DegradationTransitions => "degradation_transitions",
+            Counter::CheckpointsWritten => "checkpoints_written",
         }
     }
 }
@@ -163,6 +194,44 @@ pub struct LoopSummaryRecord {
     pub mean_abs_d_eta_correction: f64,
 }
 
+/// One degradation-level transition of the onboard scheduler. Levels are
+/// plain strings so the telemetry crate stays decoupled from the onboard
+/// runtime's ladder definition.
+#[derive(Debug, Clone)]
+pub struct DegradationRecord {
+    /// Stream time of the epoch that caused the transition (s).
+    pub t_s: f64,
+    /// Level before the transition (machine name, e.g. `full-ml`).
+    pub from: String,
+    /// Level after the transition.
+    pub to: String,
+    /// Why the scheduler moved (e.g. `deadline-budget`, `queue-pressure`).
+    pub reason: String,
+}
+
+/// One emitted GRB alert, as seen by telemetry.
+#[derive(Debug, Clone)]
+pub struct AlertRecord {
+    /// Trigger time in stream seconds.
+    pub t_s: f64,
+    /// Degradation level that produced the localization (machine name).
+    pub mode: String,
+    /// Best-estimate polar angle (degrees).
+    pub polar_deg: f64,
+    /// Best-estimate azimuth (degrees).
+    pub azimuth_deg: f64,
+    /// Containment radius around the estimate (degrees).
+    pub containment_radius_deg: f64,
+    /// Epoch-ready to emission wall latency (ms).
+    pub latency_ms: f64,
+    /// Rings entering localization for this epoch.
+    pub rings: u64,
+    /// Ingest-queue depth at emission.
+    pub ingest_depth: u64,
+    /// Epoch-queue depth at emission.
+    pub epoch_depth: u64,
+}
+
 /// The recording interface instrumented code talks to. Every method has
 /// an empty default body, so a no-op recorder costs one virtual call per
 /// span — negligible against the microseconds-to-milliseconds stages it
@@ -194,6 +263,22 @@ pub trait Recorder: Sync {
     /// Record the end-of-loop summary.
     fn loop_summary(&self, record: &LoopSummaryRecord) {
         let _ = record;
+    }
+
+    /// Record a degradation-level transition of the onboard scheduler.
+    fn degradation(&self, record: &DegradationRecord) {
+        let _ = record;
+    }
+
+    /// Record an emitted GRB alert.
+    fn alert(&self, record: &AlertRecord) {
+        let _ = record;
+    }
+
+    /// Sample a stage queue's depth (a gauge: the recorder keeps the
+    /// maximum and the sample count per queue name).
+    fn queue_depth(&self, queue: &str, depth: u64) {
+        let _ = (queue, depth);
     }
 }
 
@@ -261,6 +346,19 @@ pub struct FlightRecorder {
     events: Mutex<Vec<LoopEvent>>,
     trials: Mutex<Vec<TrialRecord>>,
     context: Mutex<(String, u64)>,
+    degradations: Mutex<Vec<DegradationRecord>>,
+    alerts: Mutex<Vec<AlertRecord>>,
+    queues: Mutex<BTreeMap<String, QueueGauge>>,
+}
+
+/// Aggregated queue-depth gauge: maximum observed depth and how many
+/// samples contributed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueGauge {
+    /// Highest depth seen.
+    pub max_depth: u64,
+    /// Number of depth samples.
+    pub samples: u64,
 }
 
 impl FlightRecorder {
@@ -306,6 +404,26 @@ impl FlightRecorder {
         self.trials.lock().unwrap().clone()
     }
 
+    /// The degradation-transition log (emission order).
+    pub fn degradation_records(&self) -> Vec<DegradationRecord> {
+        self.degradations.lock().unwrap().clone()
+    }
+
+    /// The alert log (emission order).
+    pub fn alert_records(&self) -> Vec<AlertRecord> {
+        self.alerts.lock().unwrap().clone()
+    }
+
+    /// Aggregated queue gauges, sorted by queue name.
+    pub fn queue_gauges(&self) -> Vec<(String, QueueGauge)> {
+        self.queues
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
     /// Fold another recorder's histograms, counters, and event logs into
     /// this one (per-thread recording → reduction).
     pub fn merge(&self, other: &FlightRecorder) {
@@ -323,6 +441,20 @@ impl FlightRecorder {
             .lock()
             .unwrap()
             .extend(other.trials.lock().unwrap().iter().cloned());
+        self.degradations
+            .lock()
+            .unwrap()
+            .extend(other.degradations.lock().unwrap().iter().cloned());
+        self.alerts
+            .lock()
+            .unwrap()
+            .extend(other.alerts.lock().unwrap().iter().cloned());
+        let mut mine = self.queues.lock().unwrap();
+        for (name, g) in other.queues.lock().unwrap().iter() {
+            let entry = mine.entry(name.clone()).or_default();
+            entry.max_depth = entry.max_depth.max(g.max_depth);
+            entry.samples += g.samples;
+        }
     }
 
     fn stage_slot(stage: Stage) -> usize {
@@ -367,6 +499,21 @@ impl Recorder for FlightRecorder {
             seed,
             record: record.clone(),
         });
+    }
+
+    fn degradation(&self, record: &DegradationRecord) {
+        self.degradations.lock().unwrap().push(record.clone());
+    }
+
+    fn alert(&self, record: &AlertRecord) {
+        self.alerts.lock().unwrap().push(record.clone());
+    }
+
+    fn queue_depth(&self, queue: &str, depth: u64) {
+        let mut queues = self.queues.lock().unwrap();
+        let entry = queues.entry(queue.to_string()).or_default();
+        entry.max_depth = entry.max_depth.max(depth);
+        entry.samples += 1;
     }
 }
 
@@ -464,6 +611,41 @@ mod tests {
         assert_eq!(a.stage_histogram(Stage::Setup).count(), 2);
         assert_eq!(a.counter(Counter::TrialsRun), 2);
         assert_eq!(a.loop_events().len(), 1);
+    }
+
+    #[test]
+    fn onboard_records_route_and_merge() {
+        let a = FlightRecorder::new();
+        let b = FlightRecorder::new();
+        a.queue_depth("ingest", 3);
+        a.queue_depth("ingest", 7);
+        b.queue_depth("ingest", 5);
+        b.queue_depth("epoch", 1);
+        b.degradation(&DegradationRecord {
+            t_s: 12.5,
+            from: "full-ml".into(),
+            to: "classical".into(),
+            reason: "deadline-budget".into(),
+        });
+        b.alert(&AlertRecord {
+            t_s: 12.5,
+            mode: "classical".into(),
+            polar_deg: 20.0,
+            azimuth_deg: 1.0,
+            containment_radius_deg: 5.0,
+            latency_ms: 8.0,
+            rings: 40,
+            ingest_depth: 2,
+            epoch_depth: 0,
+        });
+        a.merge(&b);
+        let gauges = a.queue_gauges();
+        assert_eq!(gauges.len(), 2);
+        let ingest = gauges.iter().find(|(n, _)| n == "ingest").unwrap();
+        assert_eq!(ingest.1.max_depth, 7);
+        assert_eq!(ingest.1.samples, 3);
+        assert_eq!(a.degradation_records().len(), 1);
+        assert_eq!(a.alert_records()[0].mode, "classical");
     }
 
     #[test]

@@ -265,12 +265,21 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // consume one UTF-8 character
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    // consume the whole run up to the next quote or escape
+                    // in one go: `"` and `\` are never UTF-8 continuation
+                    // bytes, so a byte scan cannot split a character
+                    let start = self.pos;
+                    let mut end = start;
+                    while let Some(&b) = self.bytes.get(end) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        end += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..end])
                         .map_err(|_| Error::custom("invalid UTF-8 in string"))?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(chunk);
+                    self.pos = end;
                 }
             }
         }
