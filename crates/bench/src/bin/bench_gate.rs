@@ -1,0 +1,247 @@
+//! CI regression gate over the kernel benchmarks in `BENCH_pipeline.json`.
+//!
+//! Compares a freshly measured candidate report against the committed
+//! baseline and fails (exit 1) when any gated *speedup ratio* regressed
+//! by more than the tolerance (default 15%). Ratios — portable-vs-SIMD
+//! and reference-vs-plan on the *same* host in the *same* run — are what
+//! make the gate portable: absolute microseconds shift with CI hardware,
+//! but a vectorized kernel that stops being faster than its portable
+//! twin has regressed no matter the machine.
+//!
+//! ```text
+//! bench_gate <baseline.json> <candidate.json>   # compare two reports
+//! bench_gate --self-test <baseline.json>        # prove the gate works
+//! ```
+//!
+//! `--self-test` checks both gate arms with synthetic candidates derived
+//! from the baseline: every gated speedup divided by 1.25 (an injected
+//! regression beyond 15%) must FAIL, and the baseline compared against
+//! itself must PASS.
+//!
+//! Overrides, for intentional re-baselines only:
+//!
+//! * `ADAPT_BENCH_ALLOW_REGRESSION=1` — report regressions but exit 0.
+//!   Use when landing a change that knowingly trades kernel speed for
+//!   something else; commit the regenerated baseline in the same PR.
+//! * `ADAPT_BENCH_GATE_TOLERANCE` — regression tolerance as a fraction
+//!   (default `0.15`).
+//!
+//! The gate also hard-fails (no override) if the candidate's INT8 kernel
+//! reports a nonzero divergence from the portable plan: bit-exactness is
+//! a correctness contract, not a performance number.
+
+use serde::Value;
+
+/// A gated metric: JSON path through the report plus the ratio found.
+struct Gated {
+    path: String,
+    baseline: f64,
+    candidate: f64,
+}
+
+fn num(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(n) => Some(*n as f64),
+        Value::UInt(n) => Some(*n as f64),
+        Value::Float(x) => Some(*x),
+        _ => None,
+    }
+}
+
+fn load(path: &str) -> Value {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read benchmark report {path}: {e}"));
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+}
+
+/// The top-level sections whose `speedup` field is gated.
+const GATED_SECTIONS: &[&str] = &[
+    "background_net_inference_256_rings",
+    "int8_background_net_inference_256_rings",
+    "skymap_12k_pixels_600_rings",
+];
+
+/// Collect every gated speedup from a report: the three section-level
+/// ratios plus one per kernel row (matched by kernel name).
+fn gated_speedups(report: &Value) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for section in GATED_SECTIONS {
+        if let Some(s) = report.get(section).and_then(|s| s.get("speedup")) {
+            out.push((format!("{section}.speedup"), num(s).unwrap_or(f64::NAN)));
+        }
+    }
+    if let Some(kernels) = report.get("kernels").and_then(|k| k.as_arr()) {
+        for k in kernels {
+            let name = k
+                .get("kernel")
+                .and_then(|n| n.as_str())
+                .unwrap_or("<unnamed>");
+            if let Some(s) = k.get("speedup").and_then(num) {
+                out.push((format!("kernels[{name}].speedup"), s));
+            }
+        }
+    }
+    out
+}
+
+/// Compare candidate against baseline; returns the regressions found.
+fn regressions(baseline: &Value, candidate: &Value, tolerance: f64) -> Vec<Gated> {
+    let base: Vec<(String, f64)> = gated_speedups(baseline);
+    let cand: Vec<(String, f64)> = gated_speedups(candidate);
+    let mut out = Vec::new();
+    for (path, b) in &base {
+        let Some((_, c)) = cand.iter().find(|(p, _)| p == path) else {
+            // a metric that vanished from the candidate is a regression
+            // of the report itself — surface it as one
+            out.push(Gated {
+                path: format!("{path} (missing from candidate)"),
+                baseline: *b,
+                candidate: f64::NAN,
+            });
+            continue;
+        };
+        if !b.is_finite() || *b <= 0.0 {
+            continue; // nothing meaningful to gate against
+        }
+        // a NaN candidate (unparseable number) must also count as a
+        // regression, hence the explicit is_nan arm
+        if *c < b / (1.0 + tolerance) || c.is_nan() {
+            out.push(Gated {
+                path: path.clone(),
+                baseline: *b,
+                candidate: *c,
+            });
+        }
+    }
+    out
+}
+
+/// The INT8 kernel's bit-exactness contract: any row whose name starts
+/// with `int8` must report zero divergence from the portable plan.
+fn int8_exactness_violation(candidate: &Value) -> Option<String> {
+    let kernels = candidate.get("kernels").and_then(|k| k.as_arr())?;
+    for k in kernels {
+        let name = k.get("kernel").and_then(|n| n.as_str()).unwrap_or("");
+        if !name.starts_with("int8") {
+            continue;
+        }
+        let diff = k.get("max_abs_diff_vs_portable").and_then(num)?;
+        if diff != 0.0 {
+            return Some(format!("{name}: max_abs_diff_vs_portable = {diff:e}"));
+        }
+    }
+    None
+}
+
+/// Run one gate comparison, printing the verdict. Returns pass/fail.
+fn run_gate(baseline: &Value, candidate: &Value, tolerance: f64, allow: bool) -> bool {
+    if let Some(violation) = int8_exactness_violation(candidate) {
+        // correctness, not performance: the override does not apply
+        eprintln!("GATE FAIL (not overridable): INT8 bit-exactness broken — {violation}");
+        return false;
+    }
+    let found = regressions(baseline, candidate, tolerance);
+    if found.is_empty() {
+        println!(
+            "bench gate PASS: {} speedup ratios within {:.0}% of baseline",
+            gated_speedups(baseline).len(),
+            tolerance * 100.0
+        );
+        return true;
+    }
+    for r in &found {
+        eprintln!(
+            "REGRESSION {}: baseline {:.2}x -> candidate {:.2}x (floor {:.2}x)",
+            r.path,
+            r.baseline,
+            r.candidate,
+            r.baseline / (1.0 + tolerance)
+        );
+    }
+    if allow {
+        eprintln!(
+            "bench gate OVERRIDDEN: {} regression(s) allowed by \
+             ADAPT_BENCH_ALLOW_REGRESSION=1 — commit a regenerated baseline",
+            found.len()
+        );
+        return true;
+    }
+    eprintln!(
+        "bench gate FAIL: {} of {} gated ratios regressed >{:.0}%. If intentional, \
+         regenerate BENCH_pipeline.json on the baseline host and commit it (or set \
+         ADAPT_BENCH_ALLOW_REGRESSION=1 for this run).",
+        found.len(),
+        gated_speedups(baseline).len(),
+        tolerance * 100.0
+    );
+    false
+}
+
+/// Deep-copy a report with every gated `speedup` divided by `factor` —
+/// the injected-slowdown candidate for `--self-test`.
+fn slowed(v: &Value, factor: f64, in_gated: bool) -> Value {
+    match v {
+        Value::Obj(pairs) => Value::Obj(
+            pairs
+                .iter()
+                .map(|(k, val)| {
+                    let gated_here =
+                        in_gated || GATED_SECTIONS.contains(&k.as_str()) || k == "kernels";
+                    if k == "speedup" && in_gated {
+                        if let Some(x) = num(val) {
+                            return (k.clone(), Value::Float(x / factor));
+                        }
+                    }
+                    (k.clone(), slowed(val, factor, gated_here))
+                })
+                .collect(),
+        ),
+        Value::Arr(items) => {
+            Value::Arr(items.iter().map(|i| slowed(i, factor, in_gated)).collect())
+        }
+        other => other.clone(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tolerance: f64 = std::env::var("ADAPT_BENCH_GATE_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.15);
+    let allow = std::env::var("ADAPT_BENCH_ALLOW_REGRESSION").as_deref() == Ok("1");
+
+    match args.as_slice() {
+        [flag, baseline_path] if flag == "--self-test" => {
+            let baseline = load(baseline_path);
+            // arm 1: baseline vs itself must pass
+            println!("self-test 1/2: baseline vs itself (must pass)");
+            assert!(
+                run_gate(&baseline, &baseline, tolerance, false),
+                "self-test failed: gate rejected a baseline identical to itself"
+            );
+            // arm 2: injected 1.25x slowdown on every ratio must fail
+            println!("self-test 2/2: injected /1.25 slowdown (must fail)");
+            let injected = slowed(&baseline, 1.25, false);
+            assert!(
+                !run_gate(&baseline, &injected, tolerance, false),
+                "self-test failed: gate accepted an injected >15% regression"
+            );
+            println!("bench gate self-test PASS");
+        }
+        [baseline_path, candidate_path] => {
+            let baseline = load(baseline_path);
+            let candidate = load(candidate_path);
+            if !run_gate(&baseline, &candidate, tolerance, allow) {
+                std::process::exit(1);
+            }
+        }
+        _ => {
+            eprintln!(
+                "usage: bench_gate <baseline.json> <candidate.json>\n       \
+                 bench_gate --self-test <baseline.json>"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -59,23 +59,80 @@ struct SkymapReport {
     credible_region_90_sr_adaptive: f64,
 }
 
+/// Measurement provenance: which tree, which CPU, and which kernel ISA
+/// the dispatcher actually selected — so a checked-in report can never
+/// be mistaken for numbers from a different machine or fallback path.
+#[derive(Serialize)]
+struct EnvReport {
+    git_rev: String,
+    cpu_model: String,
+    /// ISA the runtime dispatcher selects on this host.
+    kernel_isa: String,
+    /// CPU features the detector saw (superset of what the kernels use).
+    isa_features: Vec<String>,
+}
+
+/// One vectorized hot kernel measured against its portable twin on the
+/// same inputs (forced via the runtime dispatch override, not a rebuild).
+#[derive(Serialize)]
+struct KernelReport {
+    kernel: String,
+    isa: String,
+    portable_us: f64,
+    simd_us: f64,
+    speedup: f64,
+    /// Largest output divergence between the two paths. Exactly 0.0 for
+    /// the INT8 GEMM and the skymap sweep (bit-exact contract); small
+    /// but nonzero for the f64 GEMM (FMA re-rounds each accumulate).
+    max_abs_diff_vs_portable: f64,
+}
+
 /// Report schema version. Bump when the report's shape changes; the
 /// writer refuses to clobber a file written by a *newer* schema so a
 /// stale binary cannot silently downgrade checked-in results.
-const BENCH_SCHEMA: u64 = 2;
+const BENCH_SCHEMA: u64 = 3;
 
 #[derive(Serialize)]
 struct BenchReport {
     schema: u64,
     description: String,
     repetitions: usize,
+    env: EnvReport,
     background_net_inference_256_rings: InferenceReport,
     int8_background_net_inference_256_rings: QuantInferenceReport,
     skymap_12k_pixels_600_rings: SkymapReport,
+    /// Per-kernel SIMD-vs-portable micro-benchmarks (the regression
+    /// gate's inputs — see `bench_gate`).
+    kernels: Vec<KernelReport>,
     pipeline_trial_ml_ms: f64,
     /// Per-stage latency percentiles (paper Tables I/II protocol) from
     /// the telemetry histograms.
     stage_timing: adapt_core::TimingTable,
+}
+
+/// Short git revision of the working tree, or `"unknown"` outside git.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// First `model name` from /proc/cpuinfo (Linux), or `"unknown"`.
+fn cpu_model() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|text| {
+            text.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|m| m.trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown".into())
 }
 
 /// The `"schema"` field of an existing report file, if any. Files from
@@ -225,6 +282,73 @@ fn main() {
     let cr90_flat = flat_map.credible_region_sr(0.9);
     let cr90_adaptive = adaptive_map.credible_region_sr(0.9);
 
+    // -- per-kernel dispatch micro-benches: portable vs vectorized on
+    //    identical inputs, toggled at runtime (no rebuild) --
+    adapt_nn::set_force_portable(true);
+    let int8_portable_s = median_secs(reps, || qplan.forward_batch(&feat, &mut qscratch)[0]);
+    let int8_portable = qplan.forward_batch(&feat, &mut qscratch).to_vec();
+    let f64_portable_s = median_secs(reps, || plan.forward_batch(&batch, &mut scratch)[0]);
+    let f64_portable = plan.forward_batch(&batch, &mut scratch).to_vec();
+    let sweep_portable_s = median_secs(reps.min(20), || {
+        SkyMap::from_rings(&rings, grid.clone(), 3.0)
+    });
+    let sweep_portable = SkyMap::from_rings(&rings, grid.clone(), 3.0);
+    adapt_nn::set_force_portable(false);
+    let isa = adapt_nn::active_isa();
+    let int8_simd_s = median_secs(reps, || qplan.forward_batch(&feat, &mut qscratch)[0]);
+    let int8_simd = qplan.forward_batch(&feat, &mut qscratch).to_vec();
+    let f64_simd_s = median_secs(reps, || plan.forward_batch(&batch, &mut scratch)[0]);
+    let f64_simd = plan.forward_batch(&batch, &mut scratch).to_vec();
+    let sweep_simd_s = median_secs(reps.min(20), || {
+        SkyMap::from_rings(&rings, grid.clone(), 3.0)
+    });
+    let sweep_simd = SkyMap::from_rings(&rings, grid.clone(), 3.0);
+    // back to the env-derived default for the end-to-end sections below
+    adapt_nn::set_force_portable(
+        std::env::var("ADAPT_FORCE_PORTABLE")
+            .map(|v| v == "1")
+            .unwrap_or(false),
+    );
+    let max_diff = |a: &[f64], b: &[f64]| {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f64, f64::max)
+    };
+    let kernel_row = |kernel: &str, portable_s: f64, simd_s: f64, diff: f64| KernelReport {
+        kernel: kernel.into(),
+        isa: isa.to_string(),
+        portable_us: portable_s * 1e6,
+        simd_us: simd_s * 1e6,
+        speedup: portable_s / simd_s,
+        max_abs_diff_vs_portable: diff,
+    };
+    let int8_kernel_diff = max_diff(&int8_simd, &int8_portable);
+    assert_eq!(
+        int8_kernel_diff, 0.0,
+        "INT8 SIMD kernel must be bit-exact against the portable plan"
+    );
+    let kernels = vec![
+        kernel_row(
+            "int8_gemm_requant_256x13",
+            int8_portable_s,
+            int8_simd_s,
+            int8_kernel_diff,
+        ),
+        kernel_row(
+            "f64_gemm_fma_256x13",
+            f64_portable_s,
+            f64_simd_s,
+            max_diff(&f64_simd, &f64_portable),
+        ),
+        kernel_row(
+            "skymap_sweep_12k_600",
+            sweep_portable_s,
+            sweep_simd_s,
+            max_diff(sweep_simd.probabilities(), sweep_portable.probabilities()),
+        ),
+    ];
+
     // -- end-to-end ML trial (workspace reused across trials) --
     let grb = GrbConfig::new(1.0, 0.0);
     let trial_s = median_secs(reps.min(20), || {
@@ -245,6 +369,15 @@ fn main() {
                       `cargo run --release -p adapt-bench --bin bench_pipeline`"
             .into(),
         repetitions: reps,
+        env: EnvReport {
+            git_rev: git_rev(),
+            cpu_model: cpu_model(),
+            kernel_isa: isa.to_string(),
+            isa_features: adapt_nn::detected_features()
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        },
         background_net_inference_256_rings: InferenceReport {
             mlp_predict_us: predict_s * 1e6,
             compiled_forward_batch_us: compiled_s * 1e6,
@@ -267,6 +400,7 @@ fn main() {
             credible_region_90_sr_flat: cr90_flat,
             credible_region_90_sr_adaptive: cr90_adaptive,
         },
+        kernels,
         pipeline_trial_ml_ms: trial_s * 1e3,
         stage_timing,
     };
@@ -306,4 +440,15 @@ fn main() {
         cr90_adaptive
     );
     println!("pipeline:  ML trial median {:.1} ms", trial_s * 1e3);
+    println!(
+        "dispatch:  {} (features: {})",
+        out.env.kernel_isa,
+        out.env.isa_features.join(", ")
+    );
+    for k in &out.kernels {
+        println!(
+            "kernel:    {} [{}] portable {:.1} us vs simd {:.1} us ({:.2}x, max diff {:.2e})",
+            k.kernel, k.isa, k.portable_us, k.simd_us, k.speedup, k.max_abs_diff_vs_portable
+        );
+    }
 }

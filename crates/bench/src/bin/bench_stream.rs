@@ -28,6 +28,9 @@ struct AlertRow {
 struct StreamReport {
     schema: u32,
     description: String,
+    /// ISA the kernel dispatcher selected for this run (the streaming
+    /// latencies depend on which inference/skymap kernels actually ran).
+    kernel_isa: String,
     duration_s: f64,
     background_scale: f64,
     deadline_ms: f64,
@@ -82,6 +85,7 @@ fn main() {
             "streaming flight runtime at {scale}x nominal background; \
              regenerate with `cargo run --release -p adapt-bench --bin bench_stream`"
         ),
+        kernel_isa: adapt_nn::active_isa().to_string(),
         duration_s,
         background_scale: scale,
         deadline_ms,

@@ -18,10 +18,10 @@ use crate::localizer::{BaselineLocalizer, LocalizerConfig};
 use adapt_math::angles::{deg_to_rad, polar_angle_deg};
 use adapt_math::vec3::UnitVec3;
 use adapt_nn::{
-    sigmoid, CompiledMlp, CompiledQuantMlp, InferenceScratch, Matrix, Mlp, QuantScratch,
-    QuantizedMlp, ThresholdTable,
+    sigmoid, CompiledMlp, CompiledQuantMlp, FeaturePlanes, InferenceScratch, Matrix, Mlp,
+    QuantScratch, QuantizedMlp, ThresholdTable,
 };
-use adapt_recon::{ComptonRing, N_FEATURES_WITH_POLAR};
+use adapt_recon::{ComptonRing, N_FEATURES_WITH_POLAR, N_STATIC_FEATURES};
 use adapt_telemetry::{
     Counter, DriftMonitor, LoopIterationRecord, LoopSummaryRecord, Recorder, SCORE_BINS,
 };
@@ -146,6 +146,34 @@ pub trait BackgroundModel: Sync {
         out.clear();
         out.extend(self.logits(x));
     }
+
+    /// Score selected rows of a feature-major plane set (SoA staging —
+    /// see [`FeaturePlanes`]), with an optional shared trailing input
+    /// (the loop's polar angle). The default gathers the selected rows
+    /// into a row-major matrix and delegates to
+    /// [`logits_into`](Self::logits_into); compiled plans override this
+    /// to consume the planes directly with one fused staging sweep.
+    fn logits_select(
+        &self,
+        planes: &FeaturePlanes,
+        active: &[u32],
+        append: Option<f64>,
+        scratch: &mut InferenceScratch,
+        out: &mut Vec<f64>,
+    ) {
+        let d = planes.features() + usize::from(append.is_some());
+        let mut x = Matrix::zeros(active.len(), d);
+        for (r, &i) in active.iter().enumerate() {
+            let row = x.row_mut(r);
+            for (f, cell) in row.iter_mut().enumerate().take(planes.features()) {
+                *cell = planes.plane(f)[i as usize];
+            }
+            if let Some(v) = append {
+                row[d - 1] = v;
+            }
+        }
+        self.logits_into(&x, scratch, out);
+    }
 }
 
 impl BackgroundModel for Mlp {
@@ -164,6 +192,18 @@ impl BackgroundModel for CompiledMlp {
         out.clear();
         out.extend_from_slice(self.forward_batch(x, scratch));
     }
+
+    fn logits_select(
+        &self,
+        planes: &FeaturePlanes,
+        active: &[u32],
+        append: Option<f64>,
+        scratch: &mut InferenceScratch,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.extend_from_slice(self.forward_select(planes, active, append, scratch));
+    }
 }
 
 impl BackgroundModel for QuantizedMlp {
@@ -174,6 +214,18 @@ impl BackgroundModel for QuantizedMlp {
     fn logits_into(&self, x: &Matrix, scratch: &mut InferenceScratch, out: &mut Vec<f64>) {
         // run the cached fixed-point plan through the shared scratch
         self.plan().logits_into(x, scratch, out);
+    }
+
+    fn logits_select(
+        &self,
+        planes: &FeaturePlanes,
+        active: &[u32],
+        append: Option<f64>,
+        scratch: &mut InferenceScratch,
+        out: &mut Vec<f64>,
+    ) {
+        self.plan()
+            .logits_select(planes, active, append, scratch, out);
     }
 }
 
@@ -186,17 +238,40 @@ impl BackgroundModel for CompiledQuantMlp {
         out.clear();
         out.extend_from_slice(self.forward_batch(x, &mut scratch.quant));
     }
+
+    fn logits_select(
+        &self,
+        planes: &FeaturePlanes,
+        active: &[u32],
+        append: Option<f64>,
+        scratch: &mut InferenceScratch,
+        out: &mut Vec<f64>,
+    ) {
+        out.clear();
+        out.extend_from_slice(self.forward_select(planes, active, append, &mut scratch.quant));
+    }
 }
 
-/// Reusable buffers for one localization stream: the staged model-input
-/// matrix, the network scratch arena, and the logit vector. After the
-/// first (largest) burst every later `localize_with` call runs the ML
-/// stages without allocating.
+/// Reusable buffers for one localization stream: the burst's
+/// feature-major planes, the active-ring index lists, the network
+/// scratch arena, and the logit vector. After the first (largest) burst
+/// every later `localize_with` call runs the ML stages without
+/// allocating.
 #[derive(Debug, Default)]
 pub struct InferenceWorkspace {
     inputs: Matrix,
     nn: InferenceScratch,
     logits: Vec<f64>,
+    /// Feature-major staging planes, built once per burst (SoA path).
+    planes: FeaturePlanes,
+    /// Indices into the burst's ring slice still alive in the loop.
+    active: Vec<u32>,
+    /// Rejection-filter output; swapped with `active` on acceptance so
+    /// the pre-filter set survives a rejected iteration.
+    next_active: Vec<u32>,
+    /// Surviving rings gathered for the geometric refinement (which
+    /// needs a contiguous ring slice); reused across iterations.
+    survivors: Vec<ComptonRing>,
 }
 
 impl InferenceWorkspace {
@@ -300,7 +375,9 @@ impl<'a> MlLocalizer<'a> {
         }
         self.stage_inputs(rings, polar_deg, &mut ws.inputs);
         // split-borrow: logits buffer out, inputs + scratch in
-        let InferenceWorkspace { inputs, nn, logits } = ws;
+        let InferenceWorkspace {
+            inputs, nn, logits, ..
+        } = ws;
         self.background_net.logits_into(inputs, nn, logits);
     }
 
@@ -335,32 +412,62 @@ impl<'a> MlLocalizer<'a> {
         timings.approx_refine += t0.elapsed();
         let mut s_hat = initial.direction;
 
-        let mut kept: Vec<ComptonRing> = rings.to_vec();
+        // build the burst's feature planes once — one contiguous sweep
+        // per feature; rejection iterations shrink an index list instead
+        // of re-gathering (and re-cloning) ring structs every pass
+        ws.planes.resize(N_STATIC_FEATURES, rings.len());
+        for (i, r) in rings.iter().enumerate() {
+            let arr = r.features.to_static_array();
+            for (f, &v) in arr.iter().enumerate() {
+                ws.planes.plane_mut(f)[i] = v;
+            }
+        }
+        ws.active.clear();
+        ws.active.extend(0..rings.len() as u32);
+
         let mut iterations = 0usize;
         let mut converged = false;
         let telemetry_live = self.recorder.is_enabled();
         for _ in 0..self.config.max_ml_iterations {
             iterations += 1;
             let polar = polar_angle_deg(s_hat);
+            let append = self.config.use_polar_input.then_some(polar);
 
             let t_bkg = Instant::now();
-            self.background_logits(&kept, polar, ws);
-            let next: Vec<ComptonRing> = kept
-                .iter()
-                .zip(&ws.logits)
-                .filter(|(_, &l)| !self.thresholds.is_background(sigmoid(l), polar))
-                .map(|(r, _)| r.clone())
-                .collect();
+            {
+                // split-borrow: logits buffer out, planes + scratch in
+                let InferenceWorkspace {
+                    planes,
+                    active,
+                    nn,
+                    logits,
+                    ..
+                } = ws;
+                self.background_net
+                    .logits_select(planes, active, append, nn, logits);
+            }
+            ws.next_active.clear();
+            for (&i, &l) in ws.active.iter().zip(&ws.logits) {
+                if !self.thresholds.is_background(sigmoid(l), polar) {
+                    ws.next_active.push(i);
+                }
+            }
             timings.background_inference += t_bkg.elapsed();
 
-            // feed the staged rows of the FIRST pass into the drift
+            // feed the feature rows of the FIRST pass into the drift
             // monitor — later iterations re-score a survivor subset of
             // the same burst and would double-count it. Outside the
             // timed section: monitoring cost must not skew Tables I/II.
             if iterations == 1 {
                 if let Some(monitor) = self.drift {
-                    for i in 0..ws.inputs.rows() {
-                        monitor.observe_row(ws.inputs.row(i));
+                    if self.config.use_polar_input {
+                        for r in rings {
+                            monitor.observe_row(&r.features.to_model_input(polar));
+                        }
+                    } else {
+                        for r in rings {
+                            monitor.observe_row(&r.features.to_static_array());
+                        }
                     }
                 }
             }
@@ -377,11 +484,12 @@ impl<'a> MlLocalizer<'a> {
             } else {
                 [0u32; SCORE_BINS]
             };
+            let rings_in = ws.active.len();
             let emit_iteration = |rings_kept: usize, step_deg: f64| {
                 if telemetry_live {
                     self.recorder.loop_iteration(&LoopIterationRecord {
                         iteration: iterations,
-                        rings_in: kept.len(),
+                        rings_in,
                         rings_kept,
                         score_hist,
                         step_deg,
@@ -390,22 +498,27 @@ impl<'a> MlLocalizer<'a> {
             };
 
             // if rejection nuked the set, keep the previous estimate
-            if next.len() < self.config.localizer.refine.min_rings {
-                emit_iteration(next.len(), f64::NAN);
+            if ws.next_active.len() < self.config.localizer.refine.min_rings {
+                emit_iteration(ws.next_active.len(), f64::NAN);
                 break;
             }
 
+            // the geometric solver needs a contiguous ring slice: gather
+            // survivors into the reused buffer
+            ws.survivors.clear();
+            ws.survivors
+                .extend(ws.next_active.iter().map(|&i| rings[i as usize].clone()));
             let t_loc = Instant::now();
-            let refined = self.baseline.refine_from(&next, s_hat);
+            let refined = self.baseline.refine_from(&ws.survivors, s_hat);
             timings.approx_refine += t_loc.elapsed();
             let Some(refined) = refined else {
-                emit_iteration(next.len(), f64::NAN);
-                kept = next;
+                emit_iteration(ws.next_active.len(), f64::NAN);
+                std::mem::swap(&mut ws.active, &mut ws.next_active);
                 break;
             };
             let delta_deg = adapt_math::angles::rad_to_deg(s_hat.angle_to(refined.direction));
-            emit_iteration(next.len(), delta_deg);
-            kept = next;
+            emit_iteration(ws.next_active.len(), delta_deg);
+            std::mem::swap(&mut ws.active, &mut ws.next_active);
             s_hat = refined.direction;
             if delta_deg < self.config.convergence_tol_deg {
                 converged = true;
@@ -417,29 +530,43 @@ impl<'a> MlLocalizer<'a> {
 
         // dEta update on survivors, then the final refinement
         let polar = polar_angle_deg(s_hat);
+        let append = self.config.use_polar_input.then_some(polar);
         let t_deta = Instant::now();
         let mut abs_d_eta_correction = 0.0f64;
-        let updated: Vec<ComptonRing> = match self.config.d_eta_update {
-            DEtaUpdate::Off => kept.clone(),
-            policy => {
-                self.stage_inputs(&kept, polar, &mut ws.inputs);
-                let ln_d_eta = self.compiled_d_eta.forward_batch(&ws.inputs, &mut ws.nn);
-                kept.iter()
-                    .zip(ln_d_eta)
-                    .map(|(r, &ln_d)| {
-                        let predicted = ln_d.exp().clamp(1e-4, 2.0);
-                        let d = match policy {
-                            DEtaUpdate::Replace => predicted,
-                            DEtaUpdate::Inflate => predicted.max(r.d_eta),
-                            DEtaUpdate::Off => unreachable!(),
-                        };
-                        abs_d_eta_correction += (d - r.d_eta).abs();
-                        r.with_d_eta(d)
-                    })
-                    .collect()
+        ws.survivors.clear();
+        match self.config.d_eta_update {
+            DEtaUpdate::Off => {
+                let InferenceWorkspace {
+                    active, survivors, ..
+                } = ws;
+                survivors.extend(active.iter().map(|&i| rings[i as usize].clone()));
             }
-        };
+            policy => {
+                let InferenceWorkspace {
+                    planes,
+                    active,
+                    nn,
+                    survivors,
+                    ..
+                } = ws;
+                let ln_d_eta = self
+                    .compiled_d_eta
+                    .forward_select(planes, active, append, nn);
+                for (&i, &ln_d) in active.iter().zip(ln_d_eta) {
+                    let r = &rings[i as usize];
+                    let predicted = ln_d.exp().clamp(1e-4, 2.0);
+                    let d = match policy {
+                        DEtaUpdate::Replace => predicted,
+                        DEtaUpdate::Inflate => predicted.max(r.d_eta),
+                        DEtaUpdate::Off => unreachable!(),
+                    };
+                    abs_d_eta_correction += (d - r.d_eta).abs();
+                    survivors.push(r.with_d_eta(d));
+                }
+            }
+        }
         timings.d_eta_inference += t_deta.elapsed();
+        let updated = &ws.survivors;
         if telemetry_live {
             self.recorder.loop_summary(&LoopSummaryRecord {
                 iterations,
@@ -454,7 +581,7 @@ impl<'a> MlLocalizer<'a> {
         }
 
         let t_final = Instant::now();
-        let final_refine = self.baseline.refine_from(&updated, s_hat);
+        let final_refine = self.baseline.refine_from(updated, s_hat);
         timings.approx_refine += t_final.elapsed();
         let direction = final_refine.map(|r| r.direction).unwrap_or(s_hat);
 

@@ -6,8 +6,9 @@
 //! equal-area grid and extracts credible-region areas — the quantity that
 //! determines whether a narrow-field telescope can tile the uncertainty.
 
-use crate::likelihood::{cone_geometry, robust_log_likelihood};
+use crate::likelihood::cone_geometry;
 use adapt_math::vec3::UnitVec3;
+use adapt_nn::simd::{self, KernelIsa};
 use adapt_recon::ComptonRing;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -181,16 +182,21 @@ impl RingGeom {
             .collect()
     }
 
-    /// Exact robust log-likelihood contribution at a point, skipping the
-    /// `acos` when the ring provably floors out.
+    /// Exact robust log-likelihood contribution at a point given by its
+    /// components, skipping the `acos` when the ring provably floors out.
+    /// Identical to `robust_log_likelihood` bit for bit: same dot-product
+    /// order, same clamp, same floor constant, and the skip-gap early-out
+    /// only fires where the `max` would have returned the floor anyway
+    /// (`|cos a − cos b| ≤ |a − b|` puts the residual past `floor_z`).
     #[inline]
-    fn point_logl(&self, c: UnitVec3, floor_const: f64) -> f64 {
-        let dot = self.axis.cos_angle_to(c);
+    fn point_logl(&self, x: f64, y: f64, z: f64, floor_const: f64) -> f64 {
+        let a = self.axis.as_vec();
+        let dot = (a.x * x + a.y * y + a.z * z).clamp(-1.0, 1.0);
         if (dot - self.eta).abs() >= self.skip_gap {
             return floor_const;
         }
-        let z = (dot.clamp(-1.0, 1.0).acos() - self.cone_theta) / self.sigma;
-        (-0.5 * z * z).max(floor_const)
+        let zz = (dot.acos() - self.cone_theta) / self.sigma;
+        (-0.5 * zz * zz).max(floor_const)
     }
 
     /// Exact contribution at a cell center plus an upper bound valid over
@@ -211,6 +217,146 @@ impl RingGeom {
     }
 }
 
+/// Pixel rows per parallel sweep chunk: multiples of the 4-wide vector
+/// groups, large enough that rayon's spawn cost amortizes.
+const SWEEP_CHUNK: usize = 1024;
+
+/// Accumulate every ring's robust log-likelihood over a pixel plane.
+/// Pixels are transposed into structure-of-arrays component planes so the
+/// inner loop is a contiguous batch of dot products per ring; the ring
+/// loop runs *outside* the pixel loop, which preserves each pixel's
+/// ring-order summation and keeps the result bit-identical to the
+/// per-pixel scalar sweep on every dispatch path.
+fn sweep_logls(geoms: &[RingGeom], centers: &[UnitVec3], floor_const: f64) -> Vec<f64> {
+    let n = centers.len();
+    let mut px = Vec::with_capacity(n);
+    let mut py = Vec::with_capacity(n);
+    let mut pz = Vec::with_capacity(n);
+    for c in centers {
+        let v = c.as_vec();
+        px.push(v.x);
+        py.push(v.y);
+        pz.push(v.z);
+    }
+    let mut logls = vec![0.0f64; n];
+    let isa = simd::active_isa();
+    let px_base = px.as_ptr() as usize;
+    logls
+        .par_chunks_mut(SWEEP_CHUNK)
+        .zip(px.par_chunks(SWEEP_CHUNK))
+        .for_each(|(out, pxc)| {
+            // recover this chunk's offset from its position in the plane
+            let s = (pxc.as_ptr() as usize - px_base) / std::mem::size_of::<f64>();
+            let e = s + out.len();
+            sweep_chunk(geoms, pxc, &py[s..e], &pz[s..e], floor_const, isa, out);
+        });
+    logls
+}
+
+/// One chunk of the sweep, dispatched by ISA. The portable path is the
+/// specification; the AVX2 path is bit-identical to it (dot products in
+/// `Vec3::dot`'s association order with no FMA, scalar `acos` fallback on
+/// the exact vector-computed dot). NEON currently inherits the portable
+/// path — the skymap is memory-light and the scalar skip-gap test already
+/// floors most pixels.
+#[allow(unused_variables)]
+fn sweep_chunk(
+    geoms: &[RingGeom],
+    px: &[f64],
+    py: &[f64],
+    pz: &[f64],
+    floor_const: f64,
+    isa: KernelIsa,
+    out: &mut [f64],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if isa == KernelIsa::Avx2 {
+        // SAFETY: AVX2 verified by runtime dispatch; px/py/pz/out all
+        // have the chunk's length by construction in `sweep_logls`.
+        unsafe { sweep_chunk_avx2(geoms, px, py, pz, floor_const, out) };
+        return;
+    }
+    for g in geoms {
+        for (i, o) in out.iter_mut().enumerate() {
+            *o += g.point_logl(px[i], py[i], pz[i], floor_const);
+        }
+    }
+}
+
+/// AVX2 sweep: per ring, 4-pixel dot products, clamp, and the cosine-space
+/// skip-gap test as a vector compare. Fully floored groups (the common
+/// case away from the cones — a single `movemask` test) add the floor
+/// constant without touching `acos`; mixed groups finish per lane on the
+/// exact vector-computed dot, so every arithmetic step matches
+/// [`RingGeom::point_logl`] bit for bit.
+///
+/// # Safety
+/// AVX2 required (runtime-dispatched). `px`, `py`, `pz`, `out` must share
+/// one length; vector loads stop at `n/4*4` and the tail runs on safe
+/// scalar code.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn sweep_chunk_avx2(
+    geoms: &[RingGeom],
+    px: &[f64],
+    py: &[f64],
+    pz: &[f64],
+    floor_const: f64,
+    out: &mut [f64],
+) {
+    use std::arch::x86_64::*;
+    let n = out.len();
+    debug_assert!(px.len() == n && py.len() == n && pz.len() == n);
+    let n4 = n / 4 * 4;
+    let neg1 = _mm256_set1_pd(-1.0);
+    let pos1 = _mm256_set1_pd(1.0);
+    let signbit = _mm256_set1_pd(-0.0);
+    let floorv = _mm256_set1_pd(floor_const);
+    for g in geoms {
+        let a = g.axis.as_vec();
+        let axv = _mm256_set1_pd(a.x);
+        let ayv = _mm256_set1_pd(a.y);
+        let azv = _mm256_set1_pd(a.z);
+        let etav = _mm256_set1_pd(g.eta);
+        let gapv = _mm256_set1_pd(g.skip_gap);
+        let mut i = 0;
+        while i < n4 {
+            // Vec3::dot association order: (x·x + y·y) + z·z, no FMA
+            let d = _mm256_add_pd(
+                _mm256_add_pd(
+                    _mm256_mul_pd(axv, _mm256_loadu_pd(px.as_ptr().add(i))),
+                    _mm256_mul_pd(ayv, _mm256_loadu_pd(py.as_ptr().add(i))),
+                ),
+                _mm256_mul_pd(azv, _mm256_loadu_pd(pz.as_ptr().add(i))),
+            );
+            let d = _mm256_min_pd(_mm256_max_pd(d, neg1), pos1);
+            let abs_diff = _mm256_andnot_pd(signbit, _mm256_sub_pd(d, etav));
+            let floored = _mm256_cmp_pd::<_CMP_GE_OQ>(abs_diff, gapv);
+            let mask = _mm256_movemask_pd(floored);
+            if mask == 0b1111 {
+                let cur = _mm256_loadu_pd(out.as_ptr().add(i));
+                _mm256_storeu_pd(out.as_mut_ptr().add(i), _mm256_add_pd(cur, floorv));
+            } else {
+                let mut dots = [0.0f64; 4];
+                _mm256_storeu_pd(dots.as_mut_ptr(), d);
+                for (lane, &dv) in dots.iter().enumerate() {
+                    let add = if (mask >> lane) & 1 == 1 {
+                        floor_const
+                    } else {
+                        let z = (dv.acos() - g.cone_theta) / g.sigma;
+                        (-0.5 * z * z).max(floor_const)
+                    };
+                    *out.get_unchecked_mut(i + lane) += add;
+                }
+            }
+            i += 4;
+        }
+        for i in n4..n {
+            out[i] += g.point_logl(px[i], py[i], pz[i], floor_const);
+        }
+    }
+}
+
 impl SkyMap {
     /// Rasterize the joint robust likelihood of `rings` over `grid` with
     /// a flat sweep of every pixel — the O(pixels × rings) reference
@@ -218,16 +364,9 @@ impl SkyMap {
     /// maximum before exponentiation.
     pub fn from_rings(rings: &[ComptonRing], grid: HemisphereGrid, floor_z: f64) -> Self {
         assert!(!rings.is_empty(), "cannot map an empty ring set");
-        let logls: Vec<f64> = grid
-            .centers
-            .par_iter()
-            .map(|&c| {
-                rings
-                    .iter()
-                    .map(|r| robust_log_likelihood(r, c, floor_z))
-                    .sum()
-            })
-            .collect();
+        let floor_const = -0.5 * floor_z * floor_z;
+        let geoms = RingGeom::precompute(rings, floor_z);
+        let logls = sweep_logls(&geoms, &grid.centers, floor_const);
         Self::from_logls(grid, logls)
     }
 
@@ -304,20 +443,32 @@ impl SkyMap {
             .fold(f64::NEG_INFINITY, f64::max);
         let cut = coarse_max - ADAPTIVE_LOGL_CUT;
 
-        // fine pass: refine only cells whose bound clears the cut
-        let logls: Vec<f64> = grid
+        // fine pass: refine only cells whose bound clears the cut. The
+        // surviving pixels are compacted into one contiguous plane so the
+        // vector sweep runs dense, then scattered back; inherited pixels
+        // copy their cell center's exact value.
+        let decisions: Vec<(bool, f64)> = grid
             .centers
             .par_iter()
             .map(|&c| {
-                let j = coarse.pixel_of(c);
-                let (exact, bound) = cell_scores[j];
-                if bound >= cut {
-                    geoms.iter().map(|g| g.point_logl(c, floor_const)).sum()
-                } else {
-                    exact
-                }
+                let (exact, bound) = cell_scores[coarse.pixel_of(c)];
+                (bound >= cut, exact)
             })
             .collect();
+        let mut logls = vec![0.0f64; grid.len()];
+        let mut refine_idx = Vec::new();
+        for (i, &(refine, exact)) in decisions.iter().enumerate() {
+            if refine {
+                refine_idx.push(i);
+            } else {
+                logls[i] = exact;
+            }
+        }
+        let refine_centers: Vec<UnitVec3> = refine_idx.iter().map(|&i| grid.centers[i]).collect();
+        let refined = sweep_logls(&geoms, &refine_centers, floor_const);
+        for (&i, &l) in refine_idx.iter().zip(&refined) {
+            logls[i] = l;
+        }
         Self::from_logls(grid, logls)
     }
 
@@ -554,6 +705,34 @@ mod tests {
             .map(|(x, y)| (x - y).abs())
             .sum();
         assert!(total_diff < 1e-9, "probability L1 difference {total_diff}");
+    }
+
+    #[test]
+    fn simd_sweep_bit_identical_to_portable() {
+        let source = UnitVec3::from_spherical(0.35, 0.8);
+        let rings = rings_through(source, 40, 0.03, 21);
+        let grid = HemisphereGrid::new(3000);
+        simd::set_force_portable(true);
+        let portable = SkyMap::from_rings(&rings, grid.clone(), 3.0);
+        let portable_adaptive = SkyMap::from_rings_adaptive(&rings, HemisphereGrid::new(8000), 3.0);
+        simd::set_force_portable(false);
+        let vector = SkyMap::from_rings(&rings, grid, 3.0);
+        let vector_adaptive = SkyMap::from_rings_adaptive(&rings, HemisphereGrid::new(8000), 3.0);
+        // restore the env-derived default for the rest of the binary
+        let env_forced = std::env::var("ADAPT_FORCE_PORTABLE")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+        simd::set_force_portable(env_forced);
+        for (x, y) in portable.probabilities().iter().zip(vector.probabilities()) {
+            assert_eq!(x, y, "flat sweep must not depend on ISA");
+        }
+        for (x, y) in portable_adaptive
+            .probabilities()
+            .iter()
+            .zip(vector_adaptive.probabilities())
+        {
+            assert_eq!(x, y, "adaptive sweep must not depend on ISA");
+        }
     }
 
     #[test]

@@ -24,6 +24,7 @@
 use crate::fold::fuse_stages;
 use crate::mlp::Mlp;
 use crate::quant_plan::QuantScratch;
+use crate::simd::{self, KernelIsa};
 use crate::tensor::Matrix;
 
 /// One fused stage of the plan: a Linear (BN already folded in) with an
@@ -37,6 +38,10 @@ struct PlanStage {
     w_off: usize,
     /// Offset of the `[out_dim]` bias block.
     b_off: usize,
+    /// Offset of the 4-lane column-blocked packed weights (SIMD kernels).
+    p_off: usize,
+    /// Length of the packed block (`in_dim·4·(out_dim/4)`).
+    p_len: usize,
     relu: bool,
 }
 
@@ -47,6 +52,9 @@ struct PlanStage {
 pub struct CompiledMlp {
     /// All stage weights and biases, in execution order.
     buf: Vec<f64>,
+    /// Column-blocked packed weights for the SIMD kernels, all stages
+    /// concatenated (see [`simd::pack_f64_quads`]).
+    packed: Vec<f64>,
     stages: Vec<PlanStage>,
     input_dim: usize,
     output_dim: usize,
@@ -63,6 +71,10 @@ pub struct InferenceScratch {
     a: Vec<f64>,
     b: Vec<f64>,
     out: Vec<f64>,
+    /// Row-major staging buffer for the structure-of-arrays entry point
+    /// ([`CompiledMlp::forward_select`]); the ping-pong planes can't hold
+    /// the input because stage 0 reads it in place.
+    staged: Vec<f64>,
     /// Companion arena for the fixed-point INT8 plan
     /// ([`crate::quant_plan::CompiledQuantMlp`]), so call sites that
     /// switch between float and quantized backends thread one scratch.
@@ -95,6 +107,7 @@ impl CompiledMlp {
     pub fn compile(mlp: &Mlp) -> Self {
         let fused = fuse_stages(mlp);
         let mut buf = Vec::new();
+        let mut packed = Vec::new();
         let mut stages = Vec::with_capacity(fused.len());
         let mut max_width = mlp.input_dim();
         for (lin, relu) in &fused {
@@ -102,17 +115,26 @@ impl CompiledMlp {
             buf.extend_from_slice(lin.weight.as_slice());
             let b_off = buf.len();
             buf.extend_from_slice(&lin.bias);
+            let p_off = packed.len();
+            packed.extend_from_slice(&simd::pack_f64_quads(
+                lin.weight.as_slice(),
+                lin.in_dim(),
+                lin.out_dim(),
+            ));
             stages.push(PlanStage {
                 in_dim: lin.in_dim(),
                 out_dim: lin.out_dim(),
                 w_off,
                 b_off,
+                p_off,
+                p_len: packed.len() - p_off,
                 relu: *relu,
             });
             max_width = max_width.max(lin.out_dim());
         }
         CompiledMlp {
             buf,
+            packed,
             stages,
             input_dim: mlp.input_dim(),
             output_dim: fused.last().map(|(l, _)| l.out_dim()).unwrap_or(0),
@@ -161,6 +183,53 @@ impl CompiledMlp {
         &scratch.out[..batch * self.output_dim]
     }
 
+    /// Forward pass over selected rows of a feature-major plane set
+    /// (structure-of-arrays staging — see [`crate::soa`]). `active`
+    /// indexes rows of `planes`; `append` optionally supplies one extra
+    /// trailing input shared by every row (the localizer's polar angle).
+    /// Staging is one contiguous sweep per feature plane into the
+    /// scratch's staging buffer; the rows it produces are value-identical
+    /// to a gathered matrix, so results match
+    /// [`forward_batch`](Self::forward_batch) exactly.
+    pub fn forward_select<'s>(
+        &self,
+        planes: &crate::soa::FeaturePlanes,
+        active: &[u32],
+        append: Option<f64>,
+        scratch: &'s mut InferenceScratch,
+    ) -> &'s [f64] {
+        let d = self.input_dim;
+        assert_eq!(
+            planes.features() + usize::from(append.is_some()),
+            d,
+            "input width mismatch"
+        );
+        let batch = active.len();
+        scratch.ensure(batch, self.max_width, self.output_dim);
+        if batch == 0 {
+            return &scratch.out[..0];
+        }
+        if scratch.staged.len() < batch * d {
+            scratch.staged.resize(batch * d, 0.0);
+        }
+        for f in 0..planes.features() {
+            let plane = planes.plane(f);
+            for (r, &i) in active.iter().enumerate() {
+                scratch.staged[r * d + f] = plane[i as usize];
+            }
+        }
+        if let Some(v) = append {
+            for r in 0..batch {
+                scratch.staged[r * d + d - 1] = v;
+            }
+        }
+        let InferenceScratch {
+            a, b, out, staged, ..
+        } = scratch;
+        self.run_rows(&staged[..batch * d], batch, a, b, out);
+        &scratch.out[..batch * self.output_dim]
+    }
+
     /// Scalar convenience: forward one feature vector (the on-board
     /// single-ring path). Still allocation-free through the scratch.
     pub fn forward_one(&self, features: &[f64], scratch: &mut InferenceScratch) -> f64 {
@@ -188,11 +257,13 @@ impl CompiledMlp {
     /// every stage, ping-ponging between `a` and `b` and writing the final
     /// stage into `out`.
     fn run_rows(&self, x: &[f64], batch: usize, a: &mut [f64], b: &mut [f64], out: &mut [f64]) {
+        let isa = simd::active_isa();
         let last = self.stages.len() - 1;
         let mut src_is_a = false; // stage 0 reads from `x`
         for (s, stage) in self.stages.iter().enumerate() {
             let w = &self.buf[stage.w_off..stage.w_off + stage.out_dim * stage.in_dim];
             let bias = &self.buf[stage.b_off..stage.b_off + stage.out_dim];
+            let packed = &self.packed[stage.p_off..stage.p_off + stage.p_len];
             // borrow juggling: source is x, a, or b; destination is the
             // *other* scratch half, or `out` for the last stage
             let (src, dst): (&[f64], &mut [f64]) = if s == 0 {
@@ -202,19 +273,84 @@ impl CompiledMlp {
             } else {
                 (&*b, if s == last { &mut *out } else { &mut *a })
             };
-            gemm_bias_act(
+            run_plan_stage(
                 &src[..batch * stage.in_dim],
                 batch,
-                stage.in_dim,
+                isa,
+                stage,
                 w,
                 bias,
-                stage.out_dim,
-                stage.relu,
+                packed,
                 &mut dst[..batch * stage.out_dim],
             );
             src_is_a = !src_is_a;
         }
     }
+}
+
+/// Dispatch one float stage to the active ISA kernel. The vector paths
+/// contract multiply-adds to FMA — allowed by the plan's rounding
+/// contract (parity with `Mlp::predict` is tolerance-, not bit-, based);
+/// portable dispatch lands on [`gemm_bias_act`], the specification
+/// kernel.
+#[allow(clippy::too_many_arguments, unused_variables)]
+fn run_plan_stage(
+    x: &[f64],
+    rows: usize,
+    isa: KernelIsa,
+    stage: &PlanStage,
+    w: &[f64],
+    bias: &[f64],
+    packed: &[f64],
+    out: &mut [f64],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if isa == KernelIsa::Avx2 && std::arch::is_x86_feature_detected!("fma") {
+        // SAFETY: AVX2+FMA verified at runtime; slices sliced to the
+        // stage's exact shapes by the caller.
+        unsafe {
+            simd::gemm_f64_avx2(
+                x,
+                rows,
+                stage.in_dim,
+                stage.out_dim,
+                w,
+                bias,
+                packed,
+                stage.relu,
+                out,
+            )
+        };
+        return;
+    }
+    #[cfg(target_arch = "aarch64")]
+    if isa == KernelIsa::Neon {
+        // SAFETY: NEON is baseline on aarch64; shapes as above.
+        unsafe {
+            simd::gemm_f64_neon(
+                x,
+                rows,
+                stage.in_dim,
+                stage.out_dim,
+                w,
+                bias,
+                packed,
+                stage.relu,
+                out,
+            )
+        };
+        return;
+    }
+    gemm_bias_act(
+        x,
+        rows,
+        stage.in_dim,
+        w,
+        bias,
+        stage.out_dim,
+        stage.relu,
+        out,
+    );
 }
 
 /// `out[r][o] = act(Σₖ x[r][k]·w[o][k] + bias[o])` with a 4×4 register
@@ -236,6 +372,12 @@ fn gemm_bias_act(
     debug_assert_eq!(x.len(), rows * in_dim);
     debug_assert_eq!(w.len(), out_dim * in_dim);
     debug_assert_eq!(out.len(), rows * out_dim);
+    // Bounds-check audit: no `unsafe` needed. Every row/column is
+    // re-sliced to *exactly* `in_dim` elements before the k-loop, and the
+    // k-loop bound is that same `in_dim`, so LLVM proves `k < len` and
+    // elides every interior bounds check. The slicing itself is the
+    // checked boundary — a misshaped caller panics at the slice, never
+    // reads out of bounds.
     let r_tiles = rows / 4 * 4;
     let o_tiles = out_dim / 4 * 4;
     let mut r = 0;
@@ -323,6 +465,39 @@ mod tests {
     }
 
     #[test]
+    fn forward_select_matches_gathered_batch_exactly() {
+        // SoA staging produces value-identical rows, so the float plan
+        // must agree with the gathered path bit-for-bit (same kernel)
+        let m = trained_mlp(13, &[32, 16], BlockOrder::LinearFirst, 30);
+        let plan = CompiledMlp::compile(&m);
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let data = Matrix::he_uniform(24, 12, &mut rng);
+        let mut planes = crate::soa::FeaturePlanes::new();
+        planes.resize(12, 24);
+        for f in 0..12 {
+            for i in 0..24 {
+                planes.plane_mut(f)[i] = data.row(i)[f];
+            }
+        }
+        let polar = 63.25;
+        let mut scratch = InferenceScratch::new();
+        for active in [(0..24u32).collect::<Vec<_>>(), vec![1, 2, 21], vec![]] {
+            let got = plan
+                .forward_select(&planes, &active, Some(polar), &mut scratch)
+                .to_vec();
+            let mut x = Matrix::zeros(active.len(), 13);
+            for (r, &i) in active.iter().enumerate() {
+                x.row_mut(r)[..12].copy_from_slice(data.row(i as usize));
+                x.row_mut(r)[12] = polar;
+            }
+            let want = plan
+                .forward_batch(&x, &mut InferenceScratch::new())
+                .to_vec();
+            assert_eq!(got, want, "active {active:?}");
+        }
+    }
+
+    #[test]
     fn parity_batch_norm_first() {
         let m = trained_mlp(13, &[32, 16], BlockOrder::BatchNormFirst, 1);
         let mut rng = ChaCha8Rng::seed_from_u64(10);
@@ -381,6 +556,34 @@ mod tests {
             for (g, w) in got.iter().zip(want.as_slice()) {
                 assert!((g - w).abs() < 1e-9);
             }
+        }
+    }
+
+    #[test]
+    fn simd_kernel_matches_portable_within_fma_tolerance() {
+        // the vector path may contract mul+add to FMA, so parity is
+        // tolerance-based (each op differs by ≤ 1 ulp from the scalar
+        // chain); shapes cover full 4-blocks, tail outputs and tail rows
+        for (seed, hidden) in [(20u64, vec![32usize, 16]), (21, vec![10, 6]), (22, vec![3])] {
+            let m = trained_mlp(13, &hidden, BlockOrder::BatchNormFirst, seed);
+            let plan = CompiledMlp::compile(&m);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed + 100);
+            let _guard = simd::test_isa_lock();
+            for rows in [1usize, 4, 5, 37] {
+                let x = Matrix::he_uniform(rows, 13, &mut rng);
+                simd::set_force_portable(false);
+                let vec_out = plan
+                    .forward_batch(&x, &mut InferenceScratch::new())
+                    .to_vec();
+                simd::set_force_portable(true);
+                let ref_out = plan
+                    .forward_batch(&x, &mut InferenceScratch::new())
+                    .to_vec();
+                for (v, p) in vec_out.iter().zip(&ref_out) {
+                    assert!((v - p).abs() < 1e-9, "simd {v} vs portable {p}");
+                }
+            }
+            simd::reset_force_portable();
         }
     }
 

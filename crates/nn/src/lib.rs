@@ -26,7 +26,9 @@
 //!   runs per iteration;
 //! * [`quant_plan`] — the fixed-point INT8 counterpart: batched,
 //!   zero-alloc, pure integer arithmetic, shared bit-exactly with the
-//!   FPGA dataflow model.
+//!   FPGA dataflow model;
+//! * [`simd`] — runtime-dispatched AVX2/NEON kernels behind both compiled
+//!   plans, with the portable scalar kernels as the source of truth.
 
 pub mod adam;
 pub mod compiled;
@@ -42,6 +44,8 @@ pub mod optimizer;
 pub mod quant;
 pub mod quant_plan;
 pub mod search;
+pub mod simd;
+pub mod soa;
 pub mod tensor;
 pub mod threshold;
 pub mod train;
@@ -62,6 +66,8 @@ pub use quant::{
 };
 pub use quant_plan::{CompiledQuantMlp, QuantScratch, Requant};
 pub use search::{random_search, random_search_tracked, Candidate, SearchResult, SearchSpace};
+pub use simd::{active_isa, detected_features, detected_isa, set_force_portable, KernelIsa};
+pub use soa::FeaturePlanes;
 pub use tensor::Matrix;
 pub use threshold::{ThresholdTable, N_POLAR_BINS};
 pub use train::{

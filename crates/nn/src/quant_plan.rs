@@ -18,7 +18,9 @@
 //! * batched forwards run through a caller-owned [`QuantScratch`]
 //!   ping-pong arena (zero allocations after warm-up) with the same 4×4
 //!   register tiling as the float plan, and go rayon-parallel over batch
-//!   rows once the work crosses [`crate::tensor::PAR_FLOP_THRESHOLD`].
+//!   rows once the work crosses
+//!   [`crate::tensor::PAR_SIMD_FLOP_THRESHOLD`] (the vector kernels
+//!   raised the fork break-even ~20x over the scalar matmul threshold).
 //!
 //! This plan is the arithmetic contract of the deployment: per-sample
 //! inference ([`QuantizedMlp::forward_one`]) and the FPGA co-simulation in
@@ -32,7 +34,8 @@
 //! sign) and no floating-point unit.
 
 use crate::quant::{QuantParams, QuantizedMlp};
-use crate::tensor::PAR_FLOP_THRESHOLD;
+use crate::simd::{self, KernelIsa, QuantStageKernel};
+use crate::tensor::PAR_SIMD_FLOP_THRESHOLD;
 use rayon::prelude::*;
 
 /// A requantization multiplier `m = s_w·s_x/s_y` in integer fixed point:
@@ -119,6 +122,15 @@ struct QuantStage {
     b_off: usize,
     /// Offset of the `[out_dim]` per-row requantization pairs.
     q_off: usize,
+    /// Offset of the pair-interleaved packed weight block (SIMD kernels).
+    p_off: usize,
+    /// Byte length of the packed block (`⌈in/2⌉·16·(out/8)`).
+    p_len: usize,
+    /// Whether the vector requantizer can serve this stage: every shift
+    /// must be in `1..=62` (a zero shift would need a pass-through lane
+    /// the SIMD RNE sequence does not implement — such stages run on the
+    /// portable kernel).
+    simd_ok: bool,
     /// Output zero point (ReLU clamps here; it is real zero).
     zy: i32,
     relu: bool,
@@ -137,6 +149,13 @@ pub struct CompiledQuantMlp {
     biases: Vec<i32>,
     /// Per-row fixed-point requantization pairs.
     requants: Vec<Requant>,
+    /// Pair-interleaved packed weights for the SIMD kernels, all stages
+    /// concatenated (see [`simd::pack_i8_pairs`]).
+    packed: Vec<i8>,
+    /// `requants` multipliers widened to i64 for vector loads.
+    rq_mult: Vec<i64>,
+    /// `requants` shifts widened to i64 for vector loads.
+    rq_shift: Vec<i64>,
     stages: Vec<QuantStage>,
     /// Optional per-feature float input normalization `(scale, shift)`,
     /// applied before quantization (13 multiply-adds — input conditioning,
@@ -194,6 +213,7 @@ impl CompiledQuantMlp {
         let mut weights = Vec::new();
         let mut biases = Vec::new();
         let mut requants = Vec::new();
+        let mut packed = Vec::new();
         let mut stages = Vec::with_capacity(net.layers.len());
         let mut max_width = net.input_dim();
         let mut macs = 0usize;
@@ -202,6 +222,12 @@ impl CompiledQuantMlp {
             weights.extend_from_slice(&layer.weight_q);
             let b_off = biases.len();
             let q_off = requants.len();
+            let p_off = packed.len();
+            packed.extend_from_slice(&simd::pack_i8_pairs(
+                &layer.weight_q,
+                layer.in_dim,
+                layer.out_dim,
+            ));
             let zx = layer.input_params.zero_point;
             let sx = layer.input_params.scale;
             let sy = layer.output_params.scale;
@@ -213,22 +239,33 @@ impl CompiledQuantMlp {
                 biases.push(layer.bias_q[o] - zx * row_sum);
                 requants.push(Requant::from_multiplier(layer.weight_scales[o] * sx / sy));
             }
+            let simd_ok = requants[q_off..]
+                .iter()
+                .all(|r| (1..=62).contains(&r.shift));
             stages.push(QuantStage {
                 in_dim: layer.in_dim,
                 out_dim: layer.out_dim,
                 w_off,
                 b_off,
                 q_off,
+                p_off,
+                p_len: packed.len() - p_off,
+                simd_ok,
                 zy: layer.output_params.zero_point,
                 relu: layer.relu,
             });
             max_width = max_width.max(layer.out_dim);
             macs += layer.in_dim * layer.out_dim;
         }
+        let rq_mult = requants.iter().map(|r| r.multiplier as i64).collect();
+        let rq_shift = requants.iter().map(|r| r.shift as i64).collect();
         CompiledQuantMlp {
             weights,
             biases,
             requants,
+            packed,
+            rq_mult,
+            rq_shift,
             stages,
             input_norm: net.input_norm.clone(),
             input_params: net.layers[0].input_params,
@@ -273,6 +310,75 @@ impl CompiledQuantMlp {
         self.quantize_inputs(x.as_slice(), batch, &mut scratch.a);
         self.run_stages(batch, &mut scratch.a, &mut scratch.b);
         // the final activations sit in `a` or `b` depending on parity
+        let last = if self.stages.len() % 2 == 1 {
+            &scratch.b
+        } else {
+            &scratch.a
+        };
+        for (o, &q) in scratch.out[..batch].iter_mut().zip(&last[..batch]) {
+            *o = self.output_params.dequantize(q);
+        }
+        &scratch.out[..batch]
+    }
+
+    /// Forward pass over selected rows of a feature-major plane set
+    /// (structure-of-arrays staging — see [`crate::soa`]). `active`
+    /// indexes rows of `planes`; `append` optionally supplies one extra
+    /// trailing input shared by every row (the localizer's polar angle).
+    /// Staging and quantization fuse into one sweep per feature plane
+    /// with the per-feature normalization constants hoisted out of the
+    /// row loop, and the shared appended input is quantized exactly
+    /// once. Bit-identical to gathering the same rows into a row-major
+    /// matrix and calling [`forward_batch`](Self::forward_batch): the
+    /// staged i8 plane holds the same values (quantize is a pure
+    /// per-element function), and everything after staging is shared.
+    pub fn forward_select<'s>(
+        &self,
+        planes: &crate::soa::FeaturePlanes,
+        active: &[u32],
+        append: Option<f64>,
+        scratch: &'s mut QuantScratch,
+    ) -> &'s [f64] {
+        let d = self.input_dim;
+        assert_eq!(
+            planes.features() + usize::from(append.is_some()),
+            d,
+            "input width mismatch"
+        );
+        let batch = active.len();
+        scratch.ensure(batch, self.max_width);
+        if batch == 0 {
+            return &scratch.out[..0];
+        }
+        let qp = self.input_params;
+        let dst = &mut scratch.a;
+        for f in 0..planes.features() {
+            let plane = planes.plane(f);
+            match &self.input_norm {
+                Some((scale, shift)) => {
+                    let (a, b) = (scale[f], shift[f]);
+                    for (r, &i) in active.iter().enumerate() {
+                        dst[r * d + f] = qp.quantize(plane[i as usize] * a + b);
+                    }
+                }
+                None => {
+                    for (r, &i) in active.iter().enumerate() {
+                        dst[r * d + f] = qp.quantize(plane[i as usize]);
+                    }
+                }
+            }
+        }
+        if let Some(v) = append {
+            let f = d - 1;
+            let q = match &self.input_norm {
+                Some((scale, shift)) => qp.quantize(v * scale[f] + shift[f]),
+                None => qp.quantize(v),
+            };
+            for r in 0..batch {
+                dst[r * d + f] = q;
+            }
+        }
+        self.run_stages(batch, &mut scratch.a, &mut scratch.b);
         let last = if self.stages.len() % 2 == 1 {
             &scratch.b
         } else {
@@ -333,11 +439,24 @@ impl CompiledQuantMlp {
     /// measured threshold; results are bit-identical either way (integer
     /// arithmetic, row-independent).
     fn run_stages(&self, batch: usize, a: &mut [i8], b: &mut [i8]) {
+        let isa = simd::active_isa();
         let mut src_is_a = true;
         for stage in &self.stages {
             let w = &self.weights[stage.w_off..stage.w_off + stage.out_dim * stage.in_dim];
             let bias = &self.biases[stage.b_off..stage.b_off + stage.out_dim];
             let rq = &self.requants[stage.q_off..stage.q_off + stage.out_dim];
+            let kern = QuantStageKernel {
+                w,
+                packed: &self.packed[stage.p_off..stage.p_off + stage.p_len],
+                bias,
+                rq,
+                rq_mult: &self.rq_mult[stage.q_off..stage.q_off + stage.out_dim],
+                rq_shift: &self.rq_shift[stage.q_off..stage.q_off + stage.out_dim],
+                in_dim: stage.in_dim,
+                out_dim: stage.out_dim,
+                zy: stage.zy,
+                relu: stage.relu,
+            };
             let (src, dst): (&[i8], &mut [i8]) = if src_is_a {
                 (&*a, &mut *b)
             } else {
@@ -345,7 +464,7 @@ impl CompiledQuantMlp {
             };
             let src = &src[..batch * stage.in_dim];
             let dst = &mut dst[..batch * stage.out_dim];
-            if batch * stage.in_dim * stage.out_dim >= PAR_FLOP_THRESHOLD && batch > 4 {
+            if batch * stage.in_dim * stage.out_dim >= PAR_SIMD_FLOP_THRESHOLD && batch > 4 {
                 // 16-row blocks: multiples of the 4-row tile, fine-grained
                 // enough for the scoped-thread pool to balance
                 let rows_per = 16usize;
@@ -353,14 +472,52 @@ impl CompiledQuantMlp {
                     .zip(src.par_chunks(rows_per * stage.in_dim))
                     .for_each(|(dchunk, schunk)| {
                         let rows = schunk.len() / stage.in_dim;
-                        gemm_i8(schunk, rows, stage.in_dim, w, bias, rq, stage, dchunk);
+                        run_stage_rows(schunk, rows, isa, stage, &kern, dchunk);
                     });
             } else {
-                gemm_i8(src, batch, stage.in_dim, w, bias, rq, stage, dst);
+                run_stage_rows(src, batch, isa, stage, &kern, dst);
             }
             src_is_a = !src_is_a;
         }
     }
+}
+
+/// Dispatch one stage's row block to the active ISA kernel. Stages the
+/// vector requantizer cannot serve (`simd_ok == false`) and portable
+/// dispatch both land on [`gemm_i8`], the specification kernel; the
+/// vector paths are bit-identical to it (see [`crate::simd`]).
+#[allow(unused_variables)]
+fn run_stage_rows(
+    x: &[i8],
+    rows: usize,
+    isa: KernelIsa,
+    stage: &QuantStage,
+    kern: &QuantStageKernel,
+    out: &mut [i8],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if isa == KernelIsa::Avx2 && stage.simd_ok {
+        // SAFETY: dispatch reached Avx2 only via runtime detection, and
+        // the kernel struct was sliced to the stage's exact shapes above.
+        unsafe { simd::gemm_i8_avx2(x, rows, kern, out) };
+        return;
+    }
+    #[cfg(target_arch = "aarch64")]
+    if isa == KernelIsa::Neon && stage.simd_ok {
+        // SAFETY: NEON is baseline on aarch64; shapes as above.
+        unsafe { simd::gemm_i8_neon(x, rows, kern, out) };
+        return;
+    }
+    gemm_i8(
+        x,
+        rows,
+        stage.in_dim,
+        kern.w,
+        kern.bias,
+        kern.rq,
+        stage,
+        out,
+    );
 }
 
 /// `out[r][o] = sat8( requant(Σₖ x[r][k]·w[o][k] + bias[o]) + zy )` with a
@@ -391,6 +548,10 @@ fn gemm_i8(
         }
         y.clamp(-128, 127) as i8
     };
+    // Bounds-check audit: same argument as the float kernel
+    // (`compiled::gemm_bias_act`) — exact-length subslices ahead of the
+    // k-loop let LLVM elide every interior check, so the hot loop needs
+    // no `get_unchecked`/`unsafe` to be check-free.
     let r_tiles = rows / 4 * 4;
     let o_tiles = out_dim / 4 * 4;
     let mut r = 0;
@@ -562,9 +723,72 @@ mod tests {
     }
 
     #[test]
+    fn simd_kernel_bit_identical_to_portable() {
+        // every shape here exercises a different kernel corner: full
+        // 8-output blocks, tail outputs, odd input widths, tail rows
+        for (seed, hidden) in [
+            (10u64, vec![16usize, 8]),
+            (11, vec![24, 9]),  // tail output unit
+            (12, vec![8]),      // single hidden stage
+            (13, vec![33, 17]), // odd everything
+        ] {
+            let (net, calib) = quantized_net(seed, &hidden);
+            let plan = CompiledQuantMlp::compile(&net);
+            let _guard = simd::test_isa_lock();
+            for rows in [1usize, 3, 4, 5, 16, 31, 128] {
+                let mut x = Matrix::zeros(rows, 7);
+                for r in 0..rows {
+                    x.row_mut(r).copy_from_slice(calib.row((r * 7) % 128));
+                }
+                simd::set_force_portable(false);
+                let vec_out = plan.forward_batch(&x, &mut QuantScratch::new()).to_vec();
+                simd::set_force_portable(true);
+                let ref_out = plan.forward_batch(&x, &mut QuantScratch::new()).to_vec();
+                assert_eq!(vec_out, ref_out, "hidden {hidden:?}, rows {rows}");
+            }
+            simd::reset_force_portable();
+        }
+    }
+
+    #[test]
+    fn forward_select_bit_identical_to_gathered_batch() {
+        // SoA staging with an active-index subset and a shared appended
+        // column must reproduce the gathered row-major path exactly
+        let (net, calib) = quantized_net(7, &[16, 9]);
+        let plan = CompiledQuantMlp::compile(&net);
+        let n = 32usize;
+        let mut planes = crate::soa::FeaturePlanes::new();
+        planes.resize(6, n);
+        for f in 0..6 {
+            for i in 0..n {
+                planes.plane_mut(f)[i] = calib.row(i)[f];
+            }
+        }
+        let polar = 41.5;
+        let mut scratch = QuantScratch::new();
+        for active in [
+            (0..n as u32).collect::<Vec<_>>(),
+            vec![0, 5, 6, 17, 31],
+            vec![3],
+            vec![],
+        ] {
+            let got = plan
+                .forward_select(&planes, &active, Some(polar), &mut scratch)
+                .to_vec();
+            let mut x = Matrix::zeros(active.len(), 7);
+            for (r, &i) in active.iter().enumerate() {
+                x.row_mut(r)[..6].copy_from_slice(&calib.row(i as usize)[..6]);
+                x.row_mut(r)[6] = polar;
+            }
+            let want = plan.forward_batch(&x, &mut QuantScratch::new()).to_vec();
+            assert_eq!(got, want, "active {active:?}");
+        }
+    }
+
+    #[test]
     fn parallel_path_bit_identical_to_sequential() {
-        // a batch large enough to cross PAR_FLOP_THRESHOLD on the wide
-        // net must agree with per-row forwards exactly
+        // a batch whose widest stage crosses PAR_SIMD_FLOP_THRESHOLD on
+        // the wide net must agree with per-row forwards exactly
         let mut rng = ChaCha8Rng::seed_from_u64(6);
         let mut model = Mlp::new(13, &[256, 128, 64], BlockOrder::LinearFirst, &mut rng);
         let calib = Matrix::he_uniform(256, 13, &mut rng);
@@ -573,8 +797,15 @@ mod tests {
         }
         let net = QuantizedMlp::quantize(&model, &calib);
         let plan = CompiledQuantMlp::compile(&net);
+        // the fork gate is per-stage, so check the widest stage crosses it
+        let widest = plan
+            .stages
+            .iter()
+            .map(|s| 256 * s.in_dim * s.out_dim)
+            .max()
+            .unwrap();
         assert!(
-            256 * plan.macs_per_sample() >= PAR_FLOP_THRESHOLD,
+            widest >= PAR_SIMD_FLOP_THRESHOLD,
             "test batch no longer exercises the parallel path"
         );
         let mut scratch = QuantScratch::new();

@@ -1,0 +1,104 @@
+//! Structure-of-arrays feature staging for the inference hot path.
+//!
+//! The localizer's Fig.-6 loop used to gather a fresh row-major matrix
+//! from per-ring feature structs on every iteration — one struct walk per
+//! ring per pass, then a second sweep to quantize. [`FeaturePlanes`]
+//! stores the burst's features *feature-major* (one contiguous plane per
+//! feature, built once per burst), and the compiled plans'
+//! `forward_select` entry points consume the planes directly through an
+//! active-row index list:
+//!
+//! * the float plan stages selected rows with one cache-friendly sweep
+//!   per plane;
+//! * the INT8 plan fuses staging and quantization — the per-feature
+//!   normalization constants and the input `QuantParams` are hoisted out
+//!   of the row loop, and the appended polar input (identical for every
+//!   row of a pass) is quantized exactly once;
+//! * background rejection shrinks the index list instead of re-cloning
+//!   surviving ring structs each iteration.
+//!
+//! Row content is identical to the matrix path by construction, so both
+//! `forward_select` implementations inherit the plans' exactness
+//! contracts (bit-exact for INT8, tolerance-bounded for f64).
+
+/// Feature-major staging planes: `features × rows` values, one contiguous
+/// plane per feature. Grow-only, like the inference scratch arenas — a
+/// plane set that has served a burst of `n` rings serves every later
+/// burst `≤ n` without touching the allocator.
+#[derive(Debug, Clone, Default)]
+pub struct FeaturePlanes {
+    data: Vec<f64>,
+    rows: usize,
+    features: usize,
+}
+
+impl FeaturePlanes {
+    /// An empty plane set; storage is sized by [`resize`](Self::resize).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Re-shape for a new burst. Existing contents are unspecified after
+    /// a resize; fill every plane before reading.
+    pub fn resize(&mut self, features: usize, rows: usize) {
+        self.features = features;
+        self.rows = rows;
+        let need = features * rows;
+        if self.data.len() < need {
+            self.data.resize(need, 0.0);
+        }
+    }
+
+    /// Rows (rings) per plane.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of feature planes.
+    pub fn features(&self) -> usize {
+        self.features
+    }
+
+    /// Feature `f`'s contiguous plane.
+    pub fn plane(&self, f: usize) -> &[f64] {
+        assert!(f < self.features, "feature {f} out of {}", self.features);
+        &self.data[f * self.rows..(f + 1) * self.rows]
+    }
+
+    /// Mutable access to feature `f`'s plane (burst construction).
+    pub fn plane_mut(&mut self, f: usize) -> &mut [f64] {
+        assert!(f < self.features, "feature {f} out of {}", self.features);
+        &mut self.data[f * self.rows..(f + 1) * self.rows]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planes_are_contiguous_and_grow_only() {
+        let mut p = FeaturePlanes::new();
+        p.resize(3, 4);
+        for f in 0..3 {
+            for i in 0..4 {
+                p.plane_mut(f)[i] = (f * 10 + i) as f64;
+            }
+        }
+        assert_eq!(p.plane(1), &[10.0, 11.0, 12.0, 13.0]);
+        // shrink: planes re-slice over the smaller row count
+        p.resize(3, 2);
+        p.plane_mut(2).copy_from_slice(&[7.0, 8.0]);
+        assert_eq!(p.plane(2), &[7.0, 8.0]);
+        assert_eq!(p.rows(), 2);
+        assert_eq!(p.features(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_plane_panics() {
+        let mut p = FeaturePlanes::new();
+        p.resize(2, 2);
+        p.plane(2);
+    }
+}

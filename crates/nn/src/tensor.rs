@@ -9,9 +9,10 @@ use rand::Rng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
-/// Minimum number of scalar multiply-accumulates before a kernel goes
-/// parallel. Below this, rayon overhead dominates. Shared by the matmuls
-/// here and the compiled inference plans (float and INT8).
+/// Minimum number of scalar multiply-accumulates before a *scalar*
+/// kernel goes parallel. Below this, rayon overhead dominates. Used by
+/// the training-path matmuls here, which stay on the portable scalar
+/// kernel.
 ///
 /// Re-measured with `cargo bench --bench inference_plan` era kernels
 /// (Xeon @ 2.7 GHz): the scalar kernel sustains ~0.7 ns/MAC and the
@@ -23,6 +24,20 @@ use serde::{Deserialize, Serialize};
 /// ~4x margin over the fork cost; on a single-core host rayon runs
 /// inline and the threshold is moot.
 pub const PAR_FLOP_THRESHOLD: usize = 256 * 1024;
+
+/// Minimum MACs before a *vectorized* compiled-plan stage goes parallel.
+///
+/// The SIMD kernels moved the break-even by over an order of magnitude:
+/// the AVX2 INT8 GEMM+requant kernel measures ~35 ps/MAC and the f64
+/// FMA kernel ~57 ps/MAC (`bench_pipeline` kernel rows: 400 us and
+/// 643 us for 256 x 44352-MAC samples), against the same ~23 us
+/// spawn+join per worker. Two-way break-even at the INT8 rate is
+/// ~2 * 23 us / 35 ps = ~1.3M MACs; 4M MACs (~140 us sequential on the
+/// vector path) keeps a ~3x margin so a fork only happens when it
+/// clearly pays. Stages between the two thresholds — parallel in the
+/// scalar era — now run sequentially on one core faster than the old
+/// forked scalar version ran on several.
+pub const PAR_SIMD_FLOP_THRESHOLD: usize = 4 * 1024 * 1024;
 
 /// A dense row-major matrix. The `Default` is the empty `0 × 0` matrix
 /// (a staging buffer before its first `resize`).

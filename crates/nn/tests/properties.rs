@@ -194,6 +194,35 @@ proptest! {
     }
 
     #[test]
+    fn simd_float_kernel_tracks_portable_within_fma_tolerance(
+        seed in 0u64..120,
+        input_dim in 1usize..16,
+        w1 in 1usize..32,
+        w2 in 1usize..16,
+        batch in 1usize..40,
+    ) {
+        // the f64 kernel's contract is looser than INT8: FMA contraction
+        // re-rounds each accumulate, so we pin to a tight tolerance
+        // rather than bits (see DESIGN.md on the dispatch contracts)
+        let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_mul(0x51ed));
+        let mut model = Mlp::new(input_dim, &[w1, w2], BlockOrder::LinearFirst, &mut rng);
+        let calib = Matrix::he_uniform(32.max(batch), input_dim, &mut rng);
+        model.forward(&calib, true);
+        let plan = CompiledMlp::compile(&model);
+        let x = Matrix::he_uniform(batch, input_dim, &mut rng);
+        adapt_nn::set_force_portable(false);
+        let dispatched = plan.forward_batch(&x, &mut InferenceScratch::new()).to_vec();
+        adapt_nn::set_force_portable(true);
+        let portable = plan.forward_batch(&x, &mut InferenceScratch::new()).to_vec();
+        adapt_nn::set_force_portable(
+            std::env::var("ADAPT_FORCE_PORTABLE").map(|v| v == "1").unwrap_or(false),
+        );
+        for (d, p) in dispatched.iter().zip(&portable) {
+            prop_assert!((d - p).abs() < 1e-9, "dispatched {} vs portable {}", d, p);
+        }
+    }
+
+    #[test]
     fn compiled_quant_plan_bit_identical_to_forward_one(
         seed in 0u64..150,
         input_dim in 2usize..16,
@@ -220,6 +249,47 @@ proptest! {
         for (r, &b) in batched.iter().enumerate() {
             let one = q.forward_one(x.row(r));
             prop_assert_eq!(b, one, "row {} of {}", r, batch);
+        }
+    }
+
+    #[test]
+    fn simd_quant_kernel_bit_identical_across_random_shapes(
+        seed in 0u64..150,
+        input_dim in 2usize..20,
+        w1 in 1usize..40,
+        w2 in 1usize..24,
+        batch in 1usize..48,
+        scheme_pc in proptest::bool::ANY,
+    ) {
+        // the vectorized INT8 kernel must reproduce the portable spec
+        // kernel bit for bit on arbitrary shapes (tail output blocks,
+        // odd input widths, tail rows) and both weight-scale schemes.
+        // Toggling the process-global override mid-run is benign for
+        // concurrent tests precisely because of the property under test:
+        // every dispatch target computes identical bits.
+        let mut rng = ChaCha8Rng::seed_from_u64(seed.wrapping_mul(0x9e37));
+        let mut model = Mlp::new(input_dim, &[w1, w2], BlockOrder::LinearFirst, &mut rng);
+        let calib = Matrix::he_uniform(32.max(batch), input_dim, &mut rng);
+        for _ in 0..3 {
+            model.forward(&calib, true);
+        }
+        let scheme = if scheme_pc { QuantScheme::PerChannel } else { QuantScheme::PerTensor };
+        let q = QuantizedMlp::quantize_with(&model, &calib, scheme, WeightBits::Int8);
+        let plan = CompiledQuantMlp::compile(&q);
+        let x = Matrix::he_uniform(batch, input_dim, &mut rng);
+        adapt_nn::set_force_portable(false);
+        let dispatched = plan.forward_batch(&x, &mut QuantScratch::new()).to_vec();
+        adapt_nn::set_force_portable(true);
+        let portable = plan.forward_batch(&x, &mut QuantScratch::new()).to_vec();
+        // restore the env-derived default for any sibling test binary state
+        adapt_nn::set_force_portable(
+            std::env::var("ADAPT_FORCE_PORTABLE").map(|v| v == "1").unwrap_or(false),
+        );
+        prop_assert_eq!(&dispatched, &portable, "isa {}", adapt_nn::detected_isa());
+        // and the portable plan itself is already pinned to the scalar
+        // reference through the per-sample path:
+        for (r, &b) in portable.iter().enumerate() {
+            prop_assert_eq!(b, q.forward_one(x.row(r)), "row {} of {}", r, batch);
         }
     }
 

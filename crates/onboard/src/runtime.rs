@@ -212,7 +212,13 @@ impl FlightRunReport {
 /// Initial (pre-observation) per-level cost priors (ms): optimistic so
 /// the first epoch attempts the best level the budget allows; the EWMA
 /// replaces them after one observation each.
-const COST_PRIORS_MS: [f64; 4] = [40.0, 20.0, 8.0, 4.0];
+///
+/// Retuned for the SIMD kernels: a full-ML burst epoch (543 rings,
+/// checkout profile) now measures ~39 ms total — the NN stages shrank
+/// ~3x but the classical approximate+refine stage still dominates.
+/// ReducedMl rides the INT8 plan (~2x faster than its scalar-era cost)
+/// and CoarseSkymap the vectorized cone sweep (~1.5x).
+const COST_PRIORS_MS: [f64; 4] = [30.0, 10.0, 5.0, 4.0];
 
 /// EWMA weight of a new cost observation.
 const COST_ALPHA: f64 = 0.4;
