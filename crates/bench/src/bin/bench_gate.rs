@@ -1,12 +1,27 @@
-//! CI regression gate over the kernel benchmarks in `BENCH_pipeline.json`.
+//! CI regression gate over the checked-in benchmark reports:
+//! `BENCH_pipeline.json`, `BENCH_stream.json`, and `BENCH_ground.json`.
 //!
 //! Compares a freshly measured candidate report against the committed
-//! baseline and fails (exit 1) when any gated *speedup ratio* regressed
-//! by more than the tolerance (default 15%). Ratios — portable-vs-SIMD
-//! and reference-vs-plan on the *same* host in the *same* run — are what
-//! make the gate portable: absolute microseconds shift with CI hardware,
-//! but a vectorized kernel that stops being faster than its portable
-//! twin has regressed no matter the machine.
+//! baseline and fails (exit 1) when any gated metric regressed by more
+//! than the tolerance. The report kind is auto-detected from its shape,
+//! and each kind gates what is portable for it:
+//!
+//! * **pipeline** — kernel *speedup ratios* (portable-vs-SIMD and
+//!   reference-vs-plan on the *same* host in the *same* run), tolerance
+//!   15% (`ADAPT_BENCH_GATE_TOLERANCE`). Absolute microseconds shift
+//!   with CI hardware, but a vectorized kernel that stops being faster
+//!   than its portable twin has regressed no matter the machine.
+//! * **stream** — the single-stream realtime factor and the deadline
+//!   headroom (deadline / p99 alert latency). These are wall-clock
+//!   numbers, so the tolerance is the looser wall tolerance (default
+//!   50%, `ADAPT_BENCH_WALL_TOLERANCE`); the gate catches collapses,
+//!   not noise.
+//! * **ground** — the aggregate realtime factor across the fleet, the
+//!   epoch deadline headroom, and the inverse fan-out publish p99 per
+//!   subscriber population (wall tolerance). Additionally the candidate
+//!   must report `events_dropped == 0`: ground ingest is pull-based and
+//!   structurally lossless, so any drop is a correctness bug, not a
+//!   performance number — the override does not apply.
 //!
 //! ```text
 //! bench_gate <baseline.json> <candidate.json>   # compare two reports
@@ -14,21 +29,22 @@
 //! ```
 //!
 //! `--self-test` checks both gate arms with synthetic candidates derived
-//! from the baseline: every gated speedup divided by 1.25 (an injected
-//! regression beyond 15%) must FAIL, and the baseline compared against
-//! itself must PASS.
+//! from the baseline: every gated metric slowed beyond its tolerance
+//! must FAIL, and the baseline compared against itself must PASS.
 //!
 //! Overrides, for intentional re-baselines only:
 //!
 //! * `ADAPT_BENCH_ALLOW_REGRESSION=1` — report regressions but exit 0.
-//!   Use when landing a change that knowingly trades kernel speed for
+//!   Use when landing a change that knowingly trades speed for
 //!   something else; commit the regenerated baseline in the same PR.
-//! * `ADAPT_BENCH_GATE_TOLERANCE` — regression tolerance as a fraction
-//!   (default `0.15`).
+//! * `ADAPT_BENCH_GATE_TOLERANCE` — ratio-metric tolerance as a
+//!   fraction (default `0.15`).
+//! * `ADAPT_BENCH_WALL_TOLERANCE` — wall-clock-metric tolerance as a
+//!   fraction (default `0.50`).
 //!
-//! The gate also hard-fails (no override) if the candidate's INT8 kernel
-//! reports a nonzero divergence from the portable plan: bit-exactness is
-//! a correctness contract, not a performance number.
+//! The gate also hard-fails (no override) if a pipeline candidate's
+//! INT8 kernel reports a nonzero divergence from the portable plan:
+//! bit-exactness is a correctness contract, not a performance number.
 
 use serde::Value;
 
@@ -37,6 +53,34 @@ struct Gated {
     path: String,
     baseline: f64,
     candidate: f64,
+}
+
+/// Which benchmark report a JSON file is, detected from its shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Pipeline,
+    Stream,
+    Ground,
+}
+
+impl Kind {
+    fn detect(report: &Value) -> Kind {
+        if report.get("aggregate_realtime_factor").is_some() {
+            Kind::Ground
+        } else if report.get("realtime_factor").is_some() {
+            Kind::Stream
+        } else {
+            Kind::Pipeline
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Kind::Pipeline => "pipeline",
+            Kind::Stream => "stream",
+            Kind::Ground => "ground",
+        }
+    }
 }
 
 fn num(v: &Value) -> Option<f64> {
@@ -54,15 +98,26 @@ fn load(path: &str) -> Value {
     serde_json::from_str(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
 }
 
-/// The top-level sections whose `speedup` field is gated.
+/// The top-level pipeline sections whose `speedup` field is gated.
 const GATED_SECTIONS: &[&str] = &[
     "background_net_inference_256_rings",
     "int8_background_net_inference_256_rings",
     "skymap_12k_pixels_600_rings",
 ];
 
-/// Collect every gated speedup from a report: the three section-level
-/// ratios plus one per kernel row (matched by kernel name).
+/// Wall-clock metrics gated on stream/ground reports: the key and
+/// whether higher is better (`false` means the gate inverts the value,
+/// so a growing latency reads as a shrinking gated metric).
+const STREAM_WALL_METRICS: &[(&str, bool)] =
+    &[("realtime_factor", true), ("alert_latency_p99_ms", false)];
+const GROUND_WALL_METRICS: &[(&str, bool)] = &[
+    ("aggregate_realtime_factor", true),
+    ("sustained_events_per_s", true),
+    ("epoch_latency_p99_ms", false),
+];
+
+/// Collect every gated pipeline speedup: the three section-level ratios
+/// plus one per kernel row (matched by kernel name).
 fn gated_speedups(report: &Value) -> Vec<(String, f64)> {
     let mut out = Vec::new();
     for section in GATED_SECTIONS {
@@ -84,10 +139,54 @@ fn gated_speedups(report: &Value) -> Vec<(String, f64)> {
     out
 }
 
+/// Collect the gated wall-clock metrics of a stream/ground report.
+/// Lower-is-better latencies are inverted so every gated value is
+/// higher-is-better and one regression rule covers all kinds.
+fn gated_wall_metrics(report: &Value, kind: Kind) -> Vec<(String, f64)> {
+    let metrics = match kind {
+        Kind::Stream => STREAM_WALL_METRICS,
+        Kind::Ground => GROUND_WALL_METRICS,
+        Kind::Pipeline => return Vec::new(),
+    };
+    let mut out = Vec::new();
+    for (key, higher_better) in metrics {
+        // Option<f64> latencies serialize to null when no alerts fired;
+        // skip rather than gate a metric that does not exist
+        if let Some(x) = report.get(key).and_then(num) {
+            let (path, value) = if *higher_better {
+                (key.to_string(), x)
+            } else {
+                (format!("1/{key}"), 1.0 / x.max(1e-12))
+            };
+            out.push((path, value));
+        }
+    }
+    if let Some(rows) = report.get("fanout").and_then(|f| f.as_arr()) {
+        for row in rows {
+            let subs = row.get("subscribers").and_then(num).unwrap_or(f64::NAN);
+            if let Some(p99) = row.get("publish_p99_us").and_then(num) {
+                out.push((
+                    format!("1/fanout[{subs:.0}].publish_p99_us"),
+                    1.0 / p99.max(1e-12),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Every gated metric of a report, dispatched on its kind.
+fn gated_metrics(report: &Value, kind: Kind) -> Vec<(String, f64)> {
+    match kind {
+        Kind::Pipeline => gated_speedups(report),
+        Kind::Stream | Kind::Ground => gated_wall_metrics(report, kind),
+    }
+}
+
 /// Compare candidate against baseline; returns the regressions found.
-fn regressions(baseline: &Value, candidate: &Value, tolerance: f64) -> Vec<Gated> {
-    let base: Vec<(String, f64)> = gated_speedups(baseline);
-    let cand: Vec<(String, f64)> = gated_speedups(candidate);
+fn regressions(baseline: &Value, candidate: &Value, kind: Kind, tolerance: f64) -> Vec<Gated> {
+    let base: Vec<(String, f64)> = gated_metrics(baseline, kind);
+    let cand: Vec<(String, f64)> = gated_metrics(candidate, kind);
     let mut out = Vec::new();
     for (path, b) in &base {
         let Some((_, c)) = cand.iter().find(|(p, _)| p == path) else {
@@ -133,25 +232,43 @@ fn int8_exactness_violation(candidate: &Value) -> Option<String> {
     None
 }
 
+/// Non-overridable correctness contracts per report kind.
+fn contract_violation(candidate: &Value, kind: Kind) -> Option<String> {
+    match kind {
+        Kind::Pipeline => {
+            int8_exactness_violation(candidate).map(|v| format!("INT8 bit-exactness broken — {v}"))
+        }
+        Kind::Ground => match candidate.get("events_dropped").and_then(num) {
+            Some(dropped) if dropped != 0.0 => Some(format!(
+                "ground ingest dropped {dropped:.0} events; pull-based ingest is \
+                 structurally lossless, so any drop is a bug"
+            )),
+            _ => None,
+        },
+        Kind::Stream => None,
+    }
+}
+
 /// Run one gate comparison, printing the verdict. Returns pass/fail.
-fn run_gate(baseline: &Value, candidate: &Value, tolerance: f64, allow: bool) -> bool {
-    if let Some(violation) = int8_exactness_violation(candidate) {
+fn run_gate(baseline: &Value, candidate: &Value, kind: Kind, tolerance: f64, allow: bool) -> bool {
+    if let Some(violation) = contract_violation(candidate, kind) {
         // correctness, not performance: the override does not apply
-        eprintln!("GATE FAIL (not overridable): INT8 bit-exactness broken — {violation}");
+        eprintln!("GATE FAIL (not overridable): {violation}");
         return false;
     }
-    let found = regressions(baseline, candidate, tolerance);
+    let found = regressions(baseline, candidate, kind, tolerance);
     if found.is_empty() {
         println!(
-            "bench gate PASS: {} speedup ratios within {:.0}% of baseline",
-            gated_speedups(baseline).len(),
+            "bench gate PASS ({}): {} gated metrics within {:.0}% of baseline",
+            kind.name(),
+            gated_metrics(baseline, kind).len(),
             tolerance * 100.0
         );
         return true;
     }
     for r in &found {
         eprintln!(
-            "REGRESSION {}: baseline {:.2}x -> candidate {:.2}x (floor {:.2}x)",
+            "REGRESSION {}: baseline {:.4} -> candidate {:.4} (floor {:.4})",
             r.path,
             r.baseline,
             r.candidate,
@@ -167,18 +284,35 @@ fn run_gate(baseline: &Value, candidate: &Value, tolerance: f64, allow: bool) ->
         return true;
     }
     eprintln!(
-        "bench gate FAIL: {} of {} gated ratios regressed >{:.0}%. If intentional, \
-         regenerate BENCH_pipeline.json on the baseline host and commit it (or set \
-         ADAPT_BENCH_ALLOW_REGRESSION=1 for this run).",
+        "bench gate FAIL ({}): {} of {} gated metrics regressed >{:.0}%. If \
+         intentional, regenerate the baseline report on the baseline host and commit \
+         it (or set ADAPT_BENCH_ALLOW_REGRESSION=1 for this run).",
+        kind.name(),
         found.len(),
-        gated_speedups(baseline).len(),
+        gated_metrics(baseline, kind).len(),
         tolerance * 100.0
     );
     false
 }
 
-/// Deep-copy a report with every gated `speedup` divided by `factor` —
-/// the injected-slowdown candidate for `--self-test`.
+/// Wall-clock keys `slowed` scales: throughput-like keys are divided by
+/// the factor, latency-like keys multiplied, mimicking a uniformly
+/// slower run.
+const SLOWED_THROUGHPUT_KEYS: &[&str] = &[
+    "realtime_factor",
+    "aggregate_realtime_factor",
+    "sustained_events_per_s",
+];
+const SLOWED_LATENCY_KEYS: &[&str] = &[
+    "alert_latency_p99_ms",
+    "epoch_latency_p99_ms",
+    "publish_p99_us",
+];
+
+/// Deep-copy a report with every gated metric slowed by `factor` — the
+/// injected-slowdown candidate for `--self-test`. Pipeline speedups are
+/// divided; stream/ground throughput metrics divided and p99 latencies
+/// multiplied.
 fn slowed(v: &Value, factor: f64, in_gated: bool) -> Value {
     match v {
         Value::Obj(pairs) => Value::Obj(
@@ -187,9 +321,15 @@ fn slowed(v: &Value, factor: f64, in_gated: bool) -> Value {
                 .map(|(k, val)| {
                     let gated_here =
                         in_gated || GATED_SECTIONS.contains(&k.as_str()) || k == "kernels";
-                    if k == "speedup" && in_gated {
-                        if let Some(x) = num(val) {
+                    if let Some(x) = num(val) {
+                        if k == "speedup" && in_gated {
                             return (k.clone(), Value::Float(x / factor));
+                        }
+                        if SLOWED_THROUGHPUT_KEYS.contains(&k.as_str()) {
+                            return (k.clone(), Value::Float(x / factor));
+                        }
+                        if SLOWED_LATENCY_KEYS.contains(&k.as_str()) {
+                            return (k.clone(), Value::Float(x * factor));
                         }
                     }
                     (k.clone(), slowed(val, factor, gated_here))
@@ -205,34 +345,62 @@ fn slowed(v: &Value, factor: f64, in_gated: bool) -> Value {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let tolerance: f64 = std::env::var("ADAPT_BENCH_GATE_TOLERANCE")
+    let ratio_tolerance: f64 = std::env::var("ADAPT_BENCH_GATE_TOLERANCE")
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(0.15);
+    let wall_tolerance: f64 = std::env::var("ADAPT_BENCH_WALL_TOLERANCE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.50);
     let allow = std::env::var("ADAPT_BENCH_ALLOW_REGRESSION").as_deref() == Ok("1");
+    let tolerance_for = |kind: Kind| match kind {
+        Kind::Pipeline => ratio_tolerance,
+        Kind::Stream | Kind::Ground => wall_tolerance,
+    };
 
     match args.as_slice() {
         [flag, baseline_path] if flag == "--self-test" => {
             let baseline = load(baseline_path);
+            let kind = Kind::detect(&baseline);
+            let tolerance = tolerance_for(kind);
+            // an injected slowdown safely beyond the tolerance
+            let factor = (1.0 + tolerance) * 1.1;
             // arm 1: baseline vs itself must pass
-            println!("self-test 1/2: baseline vs itself (must pass)");
+            println!(
+                "self-test 1/2 ({}): baseline vs itself (must pass)",
+                kind.name()
+            );
             assert!(
-                run_gate(&baseline, &baseline, tolerance, false),
+                run_gate(&baseline, &baseline, kind, tolerance, false),
                 "self-test failed: gate rejected a baseline identical to itself"
             );
-            // arm 2: injected 1.25x slowdown on every ratio must fail
-            println!("self-test 2/2: injected /1.25 slowdown (must fail)");
-            let injected = slowed(&baseline, 1.25, false);
-            assert!(
-                !run_gate(&baseline, &injected, tolerance, false),
-                "self-test failed: gate accepted an injected >15% regression"
+            // arm 2: the injected slowdown on every gated metric must fail
+            println!(
+                "self-test 2/2 ({}): injected /{factor:.2} slowdown (must fail)",
+                kind.name()
             );
-            println!("bench gate self-test PASS");
+            let injected = slowed(&baseline, factor, false);
+            assert!(
+                !run_gate(&baseline, &injected, kind, tolerance, false),
+                "self-test failed: gate accepted an injected regression beyond tolerance"
+            );
+            println!("bench gate self-test PASS ({})", kind.name());
         }
         [baseline_path, candidate_path] => {
             let baseline = load(baseline_path);
             let candidate = load(candidate_path);
-            if !run_gate(&baseline, &candidate, tolerance, allow) {
+            let kind = Kind::detect(&baseline);
+            let candidate_kind = Kind::detect(&candidate);
+            if kind != candidate_kind {
+                eprintln!(
+                    "bench gate FAIL: baseline is a {} report but candidate is a {} report",
+                    kind.name(),
+                    candidate_kind.name()
+                );
+                std::process::exit(1);
+            }
+            if !run_gate(&baseline, &candidate, kind, tolerance_for(kind), allow) {
                 std::process::exit(1);
             }
         }

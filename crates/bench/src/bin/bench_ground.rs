@@ -1,0 +1,219 @@
+//! Multi-tenant ground-service benchmark: hundreds of concurrent flight
+//! streams over one work-stealing localization pool, plus alert fan-out
+//! latency across subscriber population sizes.
+//!
+//! Replays an `ADAPT_GROUND_STREAMS`-stream synthetic fleet (default
+//! 128, one burst per stream) through `adapt_ground::GroundService` and
+//! writes `BENCH_ground.json` (checked into the repo root): aggregate
+//! realtime factor, sustained events/sec across all tenants, scheduler
+//! epoch latency p50/p99 vs the per-epoch deadline, pool steal counts,
+//! and per-population fan-out publish p50/p99 measured by replaying the
+//! produced alerts against synthetic subscriber populations.
+//!
+//! Knobs: `ADAPT_BENCH_GROUND_OUT` overrides the output path;
+//! `ADAPT_GROUND_STREAMS` the fleet size; `ADAPT_GROUND_DURATION_S` the
+//! per-stream simulated length; `ADAPT_GROUND_WORKERS` /
+//! `ADAPT_GROUND_SHARDS` the pool geometry; `ADAPT_GROUND_FANOUT_POPS`
+//! a comma-separated list of subscriber population sizes (default
+//! `10000,100000`; add `1000000` to exercise the 1M tier).
+
+use adapt_bench::{existing_schema, EnvReport};
+use adapt_ground::{synth_fleet, GroundConfig, GroundService, SubscriberPopulation};
+use serde::Serialize;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Report schema version (see `existing_schema` for the downgrade guard).
+const GROUND_SCHEMA: u64 = 1;
+
+#[derive(Serialize)]
+struct FanoutRow {
+    subscribers: usize,
+    /// Alerts replayed through `SubscriberPopulation::publish`.
+    publishes: usize,
+    matched: u64,
+    delivered: u64,
+    shed: u64,
+    publish_p50_us: f64,
+    publish_p99_us: f64,
+}
+
+#[derive(Serialize)]
+struct GroundBenchReport {
+    schema: u64,
+    description: String,
+    env: EnvReport,
+    streams: usize,
+    duration_s: f64,
+    workers: usize,
+    ingest_shards: usize,
+    deadline_ms: f64,
+    events_ingested: u64,
+    /// Structurally zero: ground ingest is pull-based (see DESIGN.md).
+    events_dropped: u64,
+    epochs_dispatched: u64,
+    alerts: usize,
+    /// Localization count per degradation level (full-ml, reduced,
+    /// classical, coarse).
+    per_level: [u64; 4],
+    pool_tasks_pushed: u64,
+    pool_tasks_stolen: u64,
+    pool_max_pending: usize,
+    wall_s: f64,
+    sustained_events_per_s: f64,
+    /// Total simulated stream-seconds served per wall-clock second; the
+    /// service keeps up with the whole fleet in real time iff > 1.
+    aggregate_realtime_factor: f64,
+    epoch_latency_p50_ms: Option<f64>,
+    epoch_latency_p99_ms: Option<f64>,
+    deadline_met: bool,
+    fanout: Vec<FanoutRow>,
+}
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn fanout_populations() -> Vec<usize> {
+    std::env::var("ADAPT_GROUND_FANOUT_POPS")
+        .ok()
+        .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![10_000, 100_000])
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Replay the service's alerts against a fresh synthetic population,
+/// timing each `publish` (filter match + mailbox delivery). Nothing
+/// drains the mailboxes, so capacity overflow exercises the shedding
+/// path exactly as a slow consumer would.
+fn fanout_row(alerts: &[Arc<adapt_ground::GroundAlert>], subscribers: usize) -> FanoutRow {
+    let population = SubscriberPopulation::synth(subscribers, 0xFA0 ^ subscribers as u64, 16);
+    let mut matched = 0u64;
+    let mut latencies_us: Vec<f64> = alerts
+        .iter()
+        .map(|alert| {
+            let t0 = Instant::now();
+            let outcome = population.publish(alert);
+            let us = t0.elapsed().as_secs_f64() * 1e6;
+            matched += outcome.matched;
+            us
+        })
+        .collect();
+    latencies_us.sort_by(|a, b| a.total_cmp(b));
+    let stats = population.stats();
+    FanoutRow {
+        subscribers,
+        publishes: alerts.len(),
+        matched,
+        delivered: stats.delivered,
+        shed: stats.shed,
+        publish_p50_us: percentile(&latencies_us, 0.5),
+        publish_p99_us: percentile(&latencies_us, 0.99),
+    }
+}
+
+fn main() {
+    let models = adapt_bench::shared_models();
+    let streams = env_usize("ADAPT_GROUND_STREAMS", 128);
+    let duration_s = env_f64("ADAPT_GROUND_DURATION_S", 60.0);
+    let config = GroundConfig {
+        workers: env_usize("ADAPT_GROUND_WORKERS", 4),
+        ingest_shards: env_usize("ADAPT_GROUND_SHARDS", 4),
+        ..GroundConfig::default()
+    };
+    let deadline_ms = config.deadline_ms;
+    let workers = config.workers;
+    let ingest_shards = config.ingest_shards;
+
+    let fleet = synth_fleet(streams, duration_s, 0x6B0);
+    let report = GroundService::new(&models, config).run(fleet, None);
+
+    let p50 = report.latency_percentile_ms(0.5);
+    let p99 = report.latency_percentile_ms(0.99);
+    let shared: Vec<Arc<adapt_ground::GroundAlert>> =
+        report.alerts.iter().cloned().map(Arc::new).collect();
+    let fanout: Vec<FanoutRow> = fanout_populations()
+        .into_iter()
+        .map(|n| fanout_row(&shared, n))
+        .collect();
+
+    let out = GroundBenchReport {
+        schema: GROUND_SCHEMA,
+        description: format!(
+            "{streams}-stream multi-tenant ground service over a {workers}-worker \
+             work-stealing pool; regenerate with \
+             `cargo run --release -p adapt-bench --bin bench_ground`"
+        ),
+        env: EnvReport::capture(),
+        streams: report.streams,
+        duration_s,
+        workers,
+        ingest_shards,
+        deadline_ms,
+        events_ingested: report.events_ingested,
+        events_dropped: report.events_dropped,
+        epochs_dispatched: report.epochs_dispatched,
+        alerts: report.alerts.len(),
+        per_level: report.per_level,
+        pool_tasks_pushed: report.pool.pushed,
+        pool_tasks_stolen: report.pool.stolen,
+        pool_max_pending: report.pool.max_pending,
+        wall_s: report.wall_s,
+        sustained_events_per_s: report.events_ingested as f64 / report.wall_s.max(1e-9),
+        aggregate_realtime_factor: report.aggregate_realtime_factor,
+        epoch_latency_p50_ms: p50,
+        epoch_latency_p99_ms: p99,
+        deadline_met: p99.map(|v| v <= deadline_ms).unwrap_or(true),
+        fanout,
+    };
+
+    let text = serde_json::to_string_pretty(&out).expect("report serializes");
+    let path =
+        std::env::var("ADAPT_BENCH_GROUND_OUT").unwrap_or_else(|_| "BENCH_ground.json".into());
+    if let Some(found) = existing_schema(&path) {
+        assert!(
+            found <= GROUND_SCHEMA,
+            "{path} was written by schema {found} but this binary writes schema \
+             {GROUND_SCHEMA}; rebuild from the current tree instead of overwriting"
+        );
+    }
+    std::fs::write(&path, text).expect("write benchmark report");
+    println!(
+        "{} streams x {duration_s:.0} simulated s: {} alerts, {} epochs, \
+         {:.1}x aggregate realtime ({:.0} events/s sustained), epoch p99 {} vs \
+         {deadline_ms:.0} ms deadline, {} steals; report written to {path}",
+        out.streams,
+        out.alerts,
+        out.epochs_dispatched,
+        out.aggregate_realtime_factor,
+        out.sustained_events_per_s,
+        p99.map(|v| format!("{v:.1} ms"))
+            .unwrap_or_else(|| "n/a".into()),
+        out.pool_tasks_stolen,
+    );
+    for row in &out.fanout {
+        println!(
+            "fan-out to {:>7} subscribers: publish p50 {:.1} us, p99 {:.1} us \
+             ({} delivered, {} shed)",
+            row.subscribers, row.publish_p50_us, row.publish_p99_us, row.delivered, row.shed
+        );
+    }
+}

@@ -18,6 +18,7 @@
 //! Scale repetitions with `ADAPT_TIMING_REPS`; the output path can be
 //! overridden with `ADAPT_BENCH_OUT`.
 
+use adapt_bench::{existing_schema, EnvReport};
 use adapt_core::prelude::*;
 use adapt_localize::{HemisphereGrid, SkyMap};
 use adapt_math::sampling::{isotropic_direction, standard_normal};
@@ -59,19 +60,6 @@ struct SkymapReport {
     credible_region_90_sr_adaptive: f64,
 }
 
-/// Measurement provenance: which tree, which CPU, and which kernel ISA
-/// the dispatcher actually selected — so a checked-in report can never
-/// be mistaken for numbers from a different machine or fallback path.
-#[derive(Serialize)]
-struct EnvReport {
-    git_rev: String,
-    cpu_model: String,
-    /// ISA the runtime dispatcher selects on this host.
-    kernel_isa: String,
-    /// CPU features the detector saw (superset of what the kernels use).
-    isa_features: Vec<String>,
-}
-
 /// One vectorized hot kernel measured against its portable twin on the
 /// same inputs (forced via the runtime dispatch override, not a rebuild).
 #[derive(Serialize)]
@@ -108,43 +96,6 @@ struct BenchReport {
     /// Per-stage latency percentiles (paper Tables I/II protocol) from
     /// the telemetry histograms.
     stage_timing: adapt_core::TimingTable,
-}
-
-/// Short git revision of the working tree, or `"unknown"` outside git.
-fn git_rev() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "--short", "HEAD"])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .and_then(|o| String::from_utf8(o.stdout).ok())
-        .map(|s| s.trim().to_string())
-        .unwrap_or_else(|| "unknown".into())
-}
-
-/// First `model name` from /proc/cpuinfo (Linux), or `"unknown"`.
-fn cpu_model() -> String {
-    std::fs::read_to_string("/proc/cpuinfo")
-        .ok()
-        .and_then(|text| {
-            text.lines()
-                .find(|l| l.starts_with("model name"))
-                .and_then(|l| l.split(':').nth(1))
-                .map(|m| m.trim().to_string())
-        })
-        .unwrap_or_else(|| "unknown".into())
-}
-
-/// The `"schema"` field of an existing report file, if any. Files from
-/// before the field existed count as schema 1.
-fn existing_schema(path: &str) -> Option<u64> {
-    let text = std::fs::read_to_string(path).ok()?;
-    let v: serde::Value = serde_json::from_str(&text).ok()?;
-    Some(match v.get("schema") {
-        Some(serde::Value::UInt(n)) => *n,
-        Some(serde::Value::Int(n)) => (*n).max(0) as u64,
-        _ => 1,
-    })
 }
 
 /// Median wall-clock seconds of `f` over `reps` timed repetitions
@@ -370,8 +321,8 @@ fn main() {
             .into(),
         repetitions: reps,
         env: EnvReport {
-            git_rev: git_rev(),
-            cpu_model: cpu_model(),
+            git_rev: adapt_bench::git_rev(),
+            cpu_model: adapt_bench::cpu_model(),
             kernel_isa: isa.to_string(),
             isa_features: adapt_nn::detected_features()
                 .iter()

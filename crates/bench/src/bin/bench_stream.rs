@@ -12,9 +12,14 @@
 //! `ADAPT_STREAM_DURATION_S` the simulated stream length;
 //! `ADAPT_STREAM_SCALE` the background multiplier.
 
+use adapt_bench::{existing_schema, EnvReport};
 use adapt_onboard::{FlightRuntime, RuntimeConfig, FLIGHT_NOMINAL_FLUENCE};
 use adapt_sim::{FlightProfile, GrbConfig, StreamConfig, StreamingSource};
 use serde::Serialize;
+
+/// Report schema version. 2 added the `env` provenance block (git rev,
+/// CPU model, kernel ISA + features) shared with `BENCH_pipeline.json`.
+const STREAM_SCHEMA: u64 = 2;
 
 #[derive(Serialize)]
 struct AlertRow {
@@ -26,11 +31,11 @@ struct AlertRow {
 
 #[derive(Serialize)]
 struct StreamReport {
-    schema: u32,
+    schema: u64,
     description: String,
-    /// ISA the kernel dispatcher selected for this run (the streaming
-    /// latencies depend on which inference/skymap kernels actually ran).
-    kernel_isa: String,
+    /// Measurement provenance; `env.kernel_isa` records which
+    /// inference/skymap kernels the streaming latencies actually ran on.
+    env: EnvReport,
     duration_s: f64,
     background_scale: f64,
     deadline_ms: f64,
@@ -80,12 +85,12 @@ fn main() {
     let p50 = report.latency_percentile_ms(0.5);
     let p99 = report.latency_percentile_ms(0.99);
     let out = StreamReport {
-        schema: 1,
+        schema: STREAM_SCHEMA,
         description: format!(
             "streaming flight runtime at {scale}x nominal background; \
              regenerate with `cargo run --release -p adapt-bench --bin bench_stream`"
         ),
-        kernel_isa: adapt_nn::active_isa().to_string(),
+        env: EnvReport::capture(),
         duration_s,
         background_scale: scale,
         deadline_ms,
@@ -117,6 +122,13 @@ fn main() {
     let text = serde_json::to_string_pretty(&out).expect("report serializes");
     let path =
         std::env::var("ADAPT_BENCH_STREAM_OUT").unwrap_or_else(|_| "BENCH_stream.json".into());
+    if let Some(found) = existing_schema(&path) {
+        assert!(
+            found <= STREAM_SCHEMA,
+            "{path} was written by schema {found} but this binary writes schema \
+             {STREAM_SCHEMA}; rebuild from the current tree instead of overwriting"
+        );
+    }
     std::fs::write(&path, text).expect("write benchmark report");
     println!(
         "{} alerts over {duration_s:.0} simulated s at {scale}x background \

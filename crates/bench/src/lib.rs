@@ -303,6 +303,76 @@ pub fn run_train_report(models: &TrainedModels) -> String {
     out
 }
 
+/// Measurement provenance shared by every JSON benchmark report
+/// (`BENCH_pipeline.json`, `BENCH_stream.json`, `BENCH_ground.json`):
+/// which tree, which CPU, and which kernel ISA the dispatcher actually
+/// selected — so a checked-in report can never be mistaken for numbers
+/// from a different machine or fallback path.
+#[derive(serde::Serialize)]
+pub struct EnvReport {
+    pub git_rev: String,
+    pub cpu_model: String,
+    /// ISA the runtime dispatcher selects on this host.
+    pub kernel_isa: String,
+    /// CPU features the detector saw (superset of what the kernels use).
+    pub isa_features: Vec<String>,
+}
+
+impl EnvReport {
+    /// Capture provenance for this host using the dispatcher's current
+    /// ISA selection (call before any `set_force_portable` games).
+    pub fn capture() -> Self {
+        EnvReport {
+            git_rev: git_rev(),
+            cpu_model: cpu_model(),
+            kernel_isa: adapt_nn::active_isa().to_string(),
+            isa_features: adapt_nn::detected_features()
+                .iter()
+                .map(|s| s.to_string())
+                .collect(),
+        }
+    }
+}
+
+/// Short git revision of the working tree, or `"unknown"` outside git.
+pub fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// First `model name` from /proc/cpuinfo (Linux), or `"unknown"`.
+pub fn cpu_model() -> String {
+    std::fs::read_to_string("/proc/cpuinfo")
+        .ok()
+        .and_then(|text| {
+            text.lines()
+                .find(|l| l.starts_with("model name"))
+                .and_then(|l| l.split(':').nth(1))
+                .map(|m| m.trim().to_string())
+        })
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// The `"schema"` field of an existing report file, if any. Files from
+/// before the field existed count as schema 1. Report writers use this
+/// to refuse clobbering a file written by a *newer* schema, so a stale
+/// binary cannot silently downgrade checked-in results.
+pub fn existing_schema(path: &str) -> Option<u64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let v: serde::Value = serde_json::from_str(&text).ok()?;
+    Some(match v.get("schema") {
+        Some(serde::Value::UInt(n)) => *n,
+        Some(serde::Value::Int(n)) => (*n).max(0) as u64,
+        _ => 1,
+    })
+}
+
 /// Timing repetitions from the environment (default 50; paper 300).
 pub fn timing_reps() -> usize {
     std::env::var("ADAPT_TIMING_REPS")

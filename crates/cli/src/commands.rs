@@ -44,6 +44,15 @@ SUBCOMMANDS:
                --resume (restore from --checkpoint before streaming)
                --kill-at-s <stream s> (simulated process kill: checkpoint + exit)
                --enforce-deadline (exit nonzero if p99 alert latency misses)
+    serve      run the multi-tenant ground service over a synthesized fleet
+               --models <path=models.json> --streams <tenant count=8>
+               --duration-s <stream seconds per tenant=60>
+               --workers <localization pool workers=4> --shards <ingest shards=2>
+               --deadline-ms <per-alert budget=500> --seed <u64=42>
+               --subscribers <fan-out population=0 (off)>
+               --mailbox-capacity <per-subscriber queue=16>
+               --deterministic (pin full-ml so the alert set is seed-pure)
+               --telemetry <path> (flight-recorder NDJSON capture)
     skymap     produce a credible-region summary of the posterior sky map
                --models <path=models.json> --fluence <=1.0> --angle <=0>
                --seed <=42> --credibility <=0.9> --pixels <=3000>
@@ -463,6 +472,152 @@ pub fn fly(args: &Args) -> Result<(), String> {
                 "p99 alert latency {p99:.1} ms exceeds the {deadline_ms:.0} ms deadline"
             ));
         }
+    }
+
+    if let Some(path) = telemetry_path {
+        let text = adapt_telemetry::export(&recorder, 1);
+        adapt_telemetry::validate_ndjson(&text)
+            .map_err(|e| format!("internal error: capture fails its own schema: {e}"))?;
+        std::fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!(
+            "telemetry: {} lines written to {path} (schema {})",
+            text.lines().count(),
+            adapt_telemetry::NDJSON_SCHEMA
+        );
+    }
+    Ok(())
+}
+
+/// `adapt serve` — the multi-tenant ground-segment alert service.
+pub fn serve(args: &Args) -> Result<(), String> {
+    args.assert_known(&[
+        "models",
+        "streams",
+        "duration-s",
+        "workers",
+        "shards",
+        "deadline-ms",
+        "seed",
+        "subscribers",
+        "mailbox-capacity",
+        "deterministic",
+        "telemetry",
+    ])?;
+    args.assert_no_positionals()?;
+    let models = load_models(&args.get_or("models", "models.json"))?;
+    let streams: usize = args.get_parse_or("streams", 8)?;
+    let duration_s: f64 = args.get_parse_or("duration-s", 60.0)?;
+    if streams == 0 || duration_s <= 0.0 {
+        return Err("nothing to serve: need --streams >= 1 and --duration-s > 0".into());
+    }
+    let seed: u64 = args.get_parse_or("seed", 42)?;
+    let subscribers: usize = args.get_parse_or("subscribers", 0)?;
+    let mailbox_capacity: usize = args.get_parse_or("mailbox-capacity", 16)?;
+    let telemetry_path = args.get("telemetry");
+
+    let mut gc = adapt_ground::GroundConfig::default();
+    gc.workers = args.get_parse_or("workers", gc.workers)?;
+    gc.ingest_shards = args.get_parse_or("shards", gc.ingest_shards)?;
+    gc.deadline_ms = args.get_parse_or("deadline-ms", gc.deadline_ms)?;
+    gc.deterministic = args.switch("deterministic");
+    if gc.workers == 0 || gc.ingest_shards == 0 {
+        return Err("--workers and --shards must be >= 1".into());
+    }
+
+    let population = if subscribers > 0 {
+        Some(adapt_ground::SubscriberPopulation::synth(
+            subscribers,
+            seed ^ 0xFA0u64,
+            mailbox_capacity,
+        ))
+    } else {
+        None
+    };
+
+    let recorder = adapt_telemetry::FlightRecorder::new();
+    let service = adapt_ground::GroundService::new(&models, gc.clone()).with_recorder(&recorder);
+    recorder.begin_trial("serve", seed);
+
+    println!(
+        "serving {streams} tenant stream(s) x {duration_s:.0} s over {} pool worker(s), \
+         {} ingest shard(s), {:.0} ms deadline{}{}",
+        gc.workers,
+        gc.ingest_shards,
+        gc.deadline_ms,
+        if subscribers > 0 {
+            format!(", {subscribers} subscriber(s)")
+        } else {
+            String::new()
+        },
+        if gc.deterministic {
+            " [deterministic]"
+        } else {
+            ""
+        }
+    );
+    let fleet = adapt_ground::synth_fleet(streams, duration_s, seed);
+    let report = service.run(fleet, population.as_ref());
+
+    println!(
+        "fleet done in {:.1} s wall: {} events ingested across {} stream(s), \
+         aggregate realtime factor {:.1}x",
+        report.wall_s, report.events_ingested, report.streams, report.aggregate_realtime_factor
+    );
+    println!(
+        "pool: {} epoch(s) dispatched, {} stolen, max backlog {}",
+        report.pool.pushed, report.pool.stolen, report.pool.max_pending
+    );
+    let levels = adapt_onboard::DegradationLevel::ALL;
+    let level_summary: Vec<String> = levels
+        .iter()
+        .zip(report.per_level.iter())
+        .filter(|(_, &n)| n > 0)
+        .map(|(l, n)| format!("{} x{}", l.name(), n))
+        .collect();
+    println!("alerts emitted: {}", report.alerts.len());
+    println!("events dropped: {}", report.events_dropped);
+    if !level_summary.is_empty() {
+        println!("modes: {}", level_summary.join(", "));
+    }
+    for a in report.alerts.iter().take(16) {
+        println!(
+            "  GRB ALERT stream {} epoch {} t={:.3}s {:.1}σ | polar {:.1}° azimuth {:.1}° \
+             ± {:.1}° | mode {} | latency {:.1} ms",
+            a.stream_id,
+            a.epoch_index,
+            a.alert.t_trigger_s,
+            a.alert.significance_sigma,
+            a.alert.polar_deg,
+            a.alert.azimuth_deg,
+            a.alert.containment_radius_deg,
+            a.alert.mode.name(),
+            a.alert.latency_ms
+        );
+    }
+    if report.alerts.len() > 16 {
+        println!("  ... and {} more", report.alerts.len() - 16);
+    }
+    if let Some(p99) = report.latency_percentile_ms(0.99) {
+        println!(
+            "epoch latency p50 {:.1} ms, p99 {:.1} ms vs {:.0} ms deadline: {}",
+            report.latency_percentile_ms(0.5).unwrap_or(p99),
+            p99,
+            gc.deadline_ms,
+            if p99 <= gc.deadline_ms {
+                "MET"
+            } else {
+                "MISSED"
+            }
+        );
+    }
+    if let Some(pop) = &population {
+        let fs = pop.stats();
+        println!(
+            "fan-out: {} delivered, {} shed across {} subscriber(s)",
+            fs.delivered,
+            fs.shed,
+            pop.len()
+        );
     }
 
     if let Some(path) = telemetry_path {

@@ -16,7 +16,7 @@ mod commands;
 use args::Args;
 
 /// Flags that are boolean switches (take no value).
-const SWITCHES: &[&str] = &["track", "resume", "enforce-deadline"];
+const SWITCHES: &[&str] = &["track", "resume", "enforce-deadline", "deterministic"];
 
 fn main() {
     let parsed = match Args::parse_with_switches(std::env::args().skip(1), SWITCHES) {
@@ -32,6 +32,7 @@ fn main() {
         Some("train") => commands::train(&parsed),
         Some("localize") => commands::localize(&parsed),
         Some("fly") => commands::fly(&parsed),
+        Some("serve") => commands::serve(&parsed),
         Some("telemetry-report") => commands::telemetry_report(&parsed),
         Some("skymap") => commands::skymap(&parsed),
         Some("report") => commands::report(&parsed),

@@ -1,0 +1,319 @@
+//! Subscriber fan-out: one alert, tens of thousands of mailboxes.
+//!
+//! Every subscriber declares a filter — a sky cone it cares about, the
+//! worst containment radius it will accept, and a minimum trigger
+//! significance — and owns a bounded mailbox. Publishing an alert must
+//! not scan the whole population: subscribers are indexed by the 10°
+//! polar bands their cone overlaps, and an alert only visits the band
+//! containing its own polar angle. That is sufficient: a matching
+//! subscriber has `sep(alert, center) ≤ radius`, hence
+//! `|θ_alert − θ_center| ≤ radius`, hence the subscriber is registered in
+//! the alert's band.
+//!
+//! Mailboxes are [`BoundedQueue`]s with the `DropNewest` policy: a slow
+//! consumer sheds its *own* deliveries — counted per mailbox and in the
+//! population aggregate — and never stalls the publishing worker or the
+//! other subscribers.
+
+use crate::service::GroundAlert;
+use adapt_math::angles::deg_to_rad;
+use adapt_math::vec3::UnitVec3;
+use adapt_onboard::{BoundedQueue, DropPolicy};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Width of one polar index band (degrees).
+const BAND_DEG: f64 = 10.0;
+/// Bands covering the full polar range `[0°, 180°]`.
+const N_BANDS: usize = 18;
+
+/// What one subscriber wants to hear about.
+#[derive(Debug, Clone)]
+pub struct SubscriberFilter {
+    /// Center of the sky cone of interest.
+    pub polar_deg: f64,
+    /// Azimuth of the cone center (degrees).
+    pub azimuth_deg: f64,
+    /// Cone radius (degrees): alerts farther from the center are ignored.
+    pub radius_deg: f64,
+    /// Reject alerts localized worse than this (degrees).
+    pub max_containment_deg: f64,
+    /// Reject triggers weaker than this (sigmas).
+    pub min_significance_sigma: f64,
+}
+
+impl SubscriberFilter {
+    fn center(&self) -> UnitVec3 {
+        UnitVec3::from_spherical(deg_to_rad(self.polar_deg), deg_to_rad(self.azimuth_deg))
+    }
+
+    /// Whether an alert (with its precomputed direction) passes.
+    pub fn matches(&self, alert: &GroundAlert, alert_dir: UnitVec3) -> bool {
+        let a = &alert.alert;
+        a.significance_sigma >= self.min_significance_sigma
+            && a.containment_radius_deg <= self.max_containment_deg
+            && self.center().angle_to(alert_dir) <= deg_to_rad(self.radius_deg)
+    }
+}
+
+struct Subscriber {
+    filter: SubscriberFilter,
+    /// Precomputed cone center, so `publish` never re-derives it.
+    center: UnitVec3,
+    mailbox: BoundedQueue<Arc<GroundAlert>>,
+}
+
+/// What publishing one alert did.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PublishOutcome {
+    /// Subscribers whose filter matched.
+    pub matched: u64,
+    /// Copies accepted into mailboxes.
+    pub delivered: u64,
+    /// Copies shed because the mailbox was full (slow consumer).
+    pub shed: u64,
+}
+
+/// Population-lifetime fan-out counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FanoutStats {
+    /// Copies accepted into mailboxes.
+    pub delivered: u64,
+    /// Copies shed by full mailboxes.
+    pub shed: u64,
+}
+
+/// A registered subscriber population with its polar-band index. Immutable
+/// after construction, so any number of pool workers publish concurrently.
+pub struct SubscriberPopulation {
+    subscribers: Vec<Subscriber>,
+    /// Subscriber indices registered per polar band.
+    bands: Vec<Vec<u32>>,
+    delivered: AtomicU64,
+    shed: AtomicU64,
+}
+
+impl SubscriberPopulation {
+    /// Build from explicit filters; each subscriber gets a `DropNewest`
+    /// mailbox of `mailbox_capacity`.
+    pub fn new(filters: Vec<SubscriberFilter>, mailbox_capacity: usize) -> Self {
+        let mut bands: Vec<Vec<u32>> = vec![Vec::new(); N_BANDS];
+        let subscribers: Vec<Subscriber> = filters
+            .into_iter()
+            .enumerate()
+            .map(|(i, filter)| {
+                let lo = ((filter.polar_deg - filter.radius_deg).max(0.0) / BAND_DEG) as usize;
+                let hi =
+                    (((filter.polar_deg + filter.radius_deg) / BAND_DEG) as usize).min(N_BANDS - 1);
+                for band in bands.iter_mut().take(hi + 1).skip(lo) {
+                    band.push(i as u32);
+                }
+                let center = filter.center();
+                Subscriber {
+                    filter,
+                    center,
+                    mailbox: BoundedQueue::new("mailbox", mailbox_capacity, DropPolicy::DropNewest),
+                }
+            })
+            .collect();
+        SubscriberPopulation {
+            subscribers,
+            bands,
+            delivered: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+        }
+    }
+
+    /// Synthesize `n` subscribers with varied cones, containment demands,
+    /// and significance thresholds. Deterministic in `seed`.
+    pub fn synth(n: usize, seed: u64, mailbox_capacity: usize) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let filters = (0..n)
+            .map(|_| SubscriberFilter {
+                polar_deg: rng.gen::<f64>() * 90.0,
+                azimuth_deg: rng.gen::<f64>() * 360.0 - 180.0,
+                radius_deg: 5.0 + rng.gen::<f64>() * 55.0,
+                max_containment_deg: 5.0 + rng.gen::<f64>() * 55.0,
+                min_significance_sigma: 6.0 + rng.gen::<f64>() * 6.0,
+            })
+            .collect();
+        SubscriberPopulation::new(filters, mailbox_capacity)
+    }
+
+    /// Number of subscribers.
+    pub fn len(&self) -> usize {
+        self.subscribers.len()
+    }
+
+    /// Whether the population is empty.
+    pub fn is_empty(&self) -> bool {
+        self.subscribers.is_empty()
+    }
+
+    /// Deliver one alert to every matching mailbox in its polar band.
+    pub fn publish(&self, alert: &Arc<GroundAlert>) -> PublishOutcome {
+        let dir = UnitVec3::from_spherical(
+            deg_to_rad(alert.alert.polar_deg),
+            deg_to_rad(alert.alert.azimuth_deg),
+        );
+        let band = ((alert.alert.polar_deg / BAND_DEG) as usize).min(N_BANDS - 1);
+        let mut out = PublishOutcome::default();
+        let a = &alert.alert;
+        for &idx in &self.bands[band] {
+            let sub = &self.subscribers[idx as usize];
+            let f = &sub.filter;
+            if a.significance_sigma < f.min_significance_sigma
+                || a.containment_radius_deg > f.max_containment_deg
+                || sub.center.angle_to(dir) > deg_to_rad(f.radius_deg)
+            {
+                continue;
+            }
+            out.matched += 1;
+            if sub.mailbox.push(Arc::clone(alert)) {
+                out.delivered += 1;
+            } else {
+                out.shed += 1;
+            }
+        }
+        self.delivered.fetch_add(out.delivered, Ordering::Relaxed);
+        self.shed.fetch_add(out.shed, Ordering::Relaxed);
+        out
+    }
+
+    /// Drain subscriber `idx`'s mailbox; returns the alerts consumed.
+    pub fn drain(&self, idx: usize) -> Vec<Arc<GroundAlert>> {
+        let mut out = Vec::new();
+        while let Some(a) = self.subscribers[idx].mailbox.try_pop() {
+            out.push(a);
+        }
+        out
+    }
+
+    /// Current depth of subscriber `idx`'s mailbox.
+    pub fn mailbox_len(&self, idx: usize) -> usize {
+        self.subscribers[idx].mailbox.len()
+    }
+
+    /// Per-mailbox lifetime drop count of subscriber `idx`.
+    pub fn mailbox_dropped(&self, idx: usize) -> u64 {
+        self.subscribers[idx].mailbox.stats().dropped
+    }
+
+    /// Population-aggregate counters.
+    pub fn stats(&self) -> FanoutStats {
+        FanoutStats {
+            delivered: self.delivered.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::GroundAlert;
+    use adapt_onboard::{DegradationLevel, GrbAlert};
+
+    fn alert(polar_deg: f64, containment: f64, sigma: f64) -> Arc<GroundAlert> {
+        Arc::new(GroundAlert {
+            stream_id: 0,
+            epoch_index: 0,
+            alert: GrbAlert {
+                t_trigger_s: 1.0,
+                significance_sigma: sigma,
+                polar_deg,
+                azimuth_deg: 0.0,
+                containment_radius_deg: containment,
+                mode: DegradationLevel::FullMl,
+                rings: 10,
+                surviving_rings: 9,
+                latency_ms: 5.0,
+                deadline_ms: 500.0,
+                ingest_depth: 0,
+                epoch_depth: 0,
+            },
+        })
+    }
+
+    fn cone(polar: f64, radius: f64) -> SubscriberFilter {
+        SubscriberFilter {
+            polar_deg: polar,
+            azimuth_deg: 0.0,
+            radius_deg: radius,
+            max_containment_deg: 30.0,
+            min_significance_sigma: 7.0,
+        }
+    }
+
+    #[test]
+    fn filters_select_by_cone_containment_and_sigma() {
+        let pop = SubscriberPopulation::new(
+            vec![
+                cone(20.0, 15.0), // 0: matches a 25° alert
+                cone(70.0, 10.0), // 1: wrong part of the sky
+                SubscriberFilter {
+                    max_containment_deg: 2.0, // 2: demands sharp localization
+                    ..cone(20.0, 15.0)
+                },
+                SubscriberFilter {
+                    min_significance_sigma: 12.0, // 3: demands a loud trigger
+                    ..cone(20.0, 15.0)
+                },
+            ],
+            8,
+        );
+        let out = pop.publish(&alert(25.0, 5.0, 9.0));
+        assert_eq!(out.matched, 1);
+        assert_eq!(out.delivered, 1);
+        assert_eq!(out.shed, 0);
+        assert_eq!(pop.drain(0).len(), 1);
+        for idx in 1..4 {
+            assert!(pop.drain(idx).is_empty(), "subscriber {idx} must not match");
+        }
+    }
+
+    #[test]
+    fn band_index_agrees_with_a_full_scan() {
+        // the band lookup must deliver exactly the subscribers a brute
+        // force filter scan would
+        let pop = SubscriberPopulation::synth(500, 99, 64);
+        for &(polar, containment, sigma) in
+            &[(3.0, 4.0, 9.0), (41.0, 12.0, 8.0), (88.0, 25.0, 14.0)]
+        {
+            let a = alert(polar, containment, sigma);
+            let dir = UnitVec3::from_spherical(deg_to_rad(polar), 0.0);
+            let brute: usize = pop
+                .subscribers
+                .iter()
+                .filter(|s| s.filter.matches(&a, dir))
+                .count();
+            let out = pop.publish(&a);
+            assert_eq!(out.matched as usize, brute, "alert at polar {polar}");
+        }
+    }
+
+    #[test]
+    fn slow_consumer_sheds_with_full_accounting() {
+        let pop = SubscriberPopulation::new(vec![cone(30.0, 60.0), cone(30.0, 60.0)], 2);
+        // four matching alerts into capacity-2 mailboxes nobody drains
+        let mut matched = 0;
+        for i in 0..4 {
+            let out = pop.publish(&alert(30.0 + i as f64, 5.0, 9.0));
+            matched += out.matched;
+            assert_eq!(out.matched, out.delivered + out.shed);
+        }
+        let s = pop.stats();
+        assert_eq!(matched, 8);
+        assert_eq!(s.delivered, 4, "2 mailboxes x capacity 2");
+        assert_eq!(s.shed, 4, "the rest is shed, not lost silently");
+        assert_eq!(pop.mailbox_dropped(0), 2);
+        assert_eq!(pop.mailbox_len(0), 2);
+        // draining frees capacity again
+        assert_eq!(pop.drain(0).len(), 2);
+        let out = pop.publish(&alert(30.0, 5.0, 9.0));
+        assert_eq!(out.delivered, 1);
+        assert_eq!(out.shed, 1, "mailbox 1 is still clogged");
+    }
+}

@@ -1,0 +1,505 @@
+//! The multi-tenant ground service: N flight streams, one localization
+//! pool.
+//!
+//! ```text
+//!   stream 0 ─┐                        ┌─ worker 0 ─┐
+//!   stream 1 ─┼─ ingest shard 0 ─┐     ├─ worker 1 ─┼─ alerts ─ fan-out
+//!   stream 2 ─┼─ ingest shard 1 ─┼─ pool (EDF+steal)┆
+//!      ...    ┘                  ┘     └─ worker W ─┘
+//! ```
+//!
+//! Ingest is cheap and sharded: each shard thread owns a set of *lanes*
+//! (a [`StreamingSource`] plus that stream's [`OnlineTrigger`]) and
+//! advances them round-robin in `tick_s` slices of stream time, feeding
+//! every event straight into the stream's trigger — no intermediate
+//! queue, so ground ingest never drops an event. Localization is
+//! expensive and pooled: a completed epoch is pushed into the
+//! [`WorkStealingPool`] with its absolute alert deadline, and whichever
+//! worker is free first takes the most urgent epoch anywhere in the
+//! system.
+//!
+//! All workers execute the *same* compiled plans — the float
+//! [`CompiledMlp`] built once before the pool starts and the INT8 plan
+//! from the model set's shared cache — with per-worker scratch
+//! ([`InferenceWorkspace`]) and a per-epoch RNG derived by
+//! [`epoch_rng_seed`] from the stream's localizer seed. That derivation
+//! is what makes every localization bit-identical to a single-stream
+//! [`FlightRuntime`](adapt_onboard::FlightRuntime) run with the same
+//! seeds, regardless of worker count or steal order.
+//!
+//! The degradation ladder engages per *task*, not per service: a worker
+//! picks the level from the epoch's own remaining deadline slack and the
+//! pool backlog normalized per worker, so only streams actually behind
+//! degrade. `deterministic: true` pins `full-ml` (level choice is the
+//! one wall-clock-dependent decision) for replay comparisons.
+
+use crate::fanout::SubscriberPopulation;
+use crate::pool::{PoolStats, WorkStealingPool};
+use adapt_core::training::TrainedModels;
+use adapt_localize::InferenceWorkspace;
+use adapt_math::angles::polar_angle_deg;
+use adapt_math::rad_to_deg;
+use adapt_nn::CompiledMlp;
+use adapt_onboard::{
+    choose_level, epoch_rng_seed, DegradationLevel, EpochLocalizer, GrbAlert, OnlineTrigger,
+    OnlineTriggerConfig, OpenEpoch, COST_PRIORS_MS,
+};
+use adapt_sim::{FlightProfile, GrbConfig, StreamConfig, StreamingSource};
+use adapt_telemetry::{AlertRecord, Counter, Recorder, Stage};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// One tenant stream of the service.
+#[derive(Debug, Clone)]
+pub struct StreamSpec {
+    /// Stable tenant id (also the pool push hint).
+    pub id: usize,
+    /// The simulated flight stream.
+    pub config: StreamConfig,
+    /// Seed of the event stream itself.
+    pub source_seed: u64,
+    /// Seed of the per-epoch localizer RNG (the single-stream
+    /// [`RuntimeConfig::seed`](adapt_onboard::RuntimeConfig) equivalent).
+    pub localizer_seed: u64,
+}
+
+/// Service tuning.
+#[derive(Debug, Clone)]
+pub struct GroundConfig {
+    /// Localization pool workers.
+    pub workers: usize,
+    /// Ingest shard threads (each advances `streams / shards` lanes).
+    pub ingest_shards: usize,
+    /// Stream-time slice a lane advances per round-robin turn (s).
+    pub tick_s: f64,
+    /// Per-alert deadline: epoch-ready to alert-emitted (ms).
+    pub deadline_ms: f64,
+    /// Online trigger tuning, applied to every stream.
+    pub trigger: OnlineTriggerConfig,
+    /// Loop-iteration cap at the `reduced-ml` level.
+    pub reduced_iterations: usize,
+    /// Sky-map pixel budget at the `coarse-skymap` level.
+    pub coarse_pixels: usize,
+    /// Fraction of the remaining budget a level's cost must fit inside.
+    pub safety_factor: f64,
+    /// Pin `full-ml` (skip the wall-clock-dependent level choice) so the
+    /// alert set is a pure function of the stream seeds.
+    pub deterministic: bool,
+}
+
+impl Default for GroundConfig {
+    fn default() -> Self {
+        GroundConfig {
+            workers: 4,
+            ingest_shards: 2,
+            tick_s: 0.5,
+            deadline_ms: 500.0,
+            trigger: OnlineTriggerConfig::default(),
+            reduced_iterations: 2,
+            coarse_pixels: 256,
+            safety_factor: 0.8,
+            deterministic: false,
+        }
+    }
+}
+
+/// A localized alert with its tenant provenance.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroundAlert {
+    /// Tenant stream that triggered.
+    pub stream_id: usize,
+    /// Epoch index within that stream (trigger order).
+    pub epoch_index: u64,
+    /// The alert itself.
+    pub alert: GrbAlert,
+}
+
+impl GroundAlert {
+    /// The deterministic fields, bit-exact: everything a replay with the
+    /// same seeds must reproduce regardless of worker count, steal order,
+    /// or wall-clock load. Scheduling artifacts (latency, queue depths,
+    /// the mode under non-deterministic level choice) are excluded.
+    pub fn deterministic_key(&self) -> (usize, u64, [u64; 5], usize, usize) {
+        (
+            self.stream_id,
+            self.epoch_index,
+            [
+                self.alert.t_trigger_s.to_bits(),
+                self.alert.significance_sigma.to_bits(),
+                self.alert.polar_deg.to_bits(),
+                self.alert.azimuth_deg.to_bits(),
+                self.alert.containment_radius_deg.to_bits(),
+            ],
+            self.alert.rings,
+            self.alert.surviving_rings,
+        )
+    }
+}
+
+/// What one service run did.
+#[derive(Debug, Clone)]
+pub struct GroundReport {
+    /// Every emitted alert, sorted by `(stream_id, epoch_index)`.
+    pub alerts: Vec<GroundAlert>,
+    /// Streams served.
+    pub streams: usize,
+    /// Events fed through the triggers (sum over streams).
+    pub events_ingested: u64,
+    /// Events dropped at ingest — structurally zero (lanes are
+    /// pull-based; there is no lossy ground ingest queue), reported so
+    /// smoke checks can assert it.
+    pub events_dropped: u64,
+    /// Localization epochs dispatched to the pool.
+    pub epochs_dispatched: u64,
+    /// Alerts per degradation level (ladder order).
+    pub per_level: [u64; 4],
+    /// Pool lifetime counters.
+    pub pool: PoolStats,
+    /// Wall time of the run (s).
+    pub wall_s: f64,
+    /// Stream-time each tenant covered (s).
+    pub sim_duration_s: f64,
+    /// `streams × sim_duration_s / wall_s`: how many real-time streams
+    /// this machine sustains.
+    pub aggregate_realtime_factor: f64,
+    /// Epoch-ready to alert-emitted latencies (ms), one per alert, in
+    /// emission order.
+    pub epoch_latencies_ms: Vec<f64>,
+}
+
+impl GroundReport {
+    /// Epoch-latency percentile (`q` in `[0, 1]`); `None` with no alerts.
+    pub fn latency_percentile_ms(&self, q: f64) -> Option<f64> {
+        if self.epoch_latencies_ms.is_empty() {
+            return None;
+        }
+        let mut lat = self.epoch_latencies_ms.clone();
+        lat.sort_by(f64::total_cmp);
+        let idx = ((lat.len() as f64 - 1.0) * q.clamp(0.0, 1.0)).ceil() as usize;
+        Some(lat[idx.min(lat.len() - 1)])
+    }
+}
+
+/// An epoch in flight between a lane and a pool worker.
+struct GroundTask {
+    stream_id: usize,
+    epoch_index: u64,
+    localizer_seed: u64,
+    epoch: OpenEpoch,
+    ready: Instant,
+}
+
+/// One stream's ingest state inside a shard.
+struct Lane {
+    stream_id: usize,
+    localizer_seed: u64,
+    source: StreamingSource,
+    trigger: OnlineTrigger,
+    next_epoch_index: u64,
+    /// An event pulled past the current slice, held for the next turn.
+    pending: Option<adapt_sim::StreamedEvent>,
+    clock_s: f64,
+    events: u64,
+    done: bool,
+}
+
+/// The multi-tenant ground service. Borrows the trained models once;
+/// every pool worker executes the same compiled plans.
+pub struct GroundService<'a> {
+    models: &'a TrainedModels,
+    config: GroundConfig,
+    recorder: &'a dyn Recorder,
+}
+
+impl<'a> GroundService<'a> {
+    /// A service with the default no-op recorder.
+    pub fn new(models: &'a TrainedModels, config: GroundConfig) -> Self {
+        GroundService {
+            models,
+            config,
+            recorder: adapt_telemetry::noop(),
+        }
+    }
+
+    /// Attach a telemetry recorder.
+    pub fn with_recorder(mut self, recorder: &'a dyn Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// Drive every stream to completion through the shared pool,
+    /// optionally fanning each alert out to a subscriber population.
+    pub fn run(
+        &self,
+        specs: Vec<StreamSpec>,
+        fanout: Option<&SubscriberPopulation>,
+    ) -> GroundReport {
+        let config = &self.config;
+        let recorder = self.recorder;
+        let models = self.models;
+        assert!(!specs.is_empty(), "the service needs at least one stream");
+        assert!(config.workers > 0 && config.ingest_shards > 0);
+        let n_streams = specs.len();
+        let sim_duration_s = specs
+            .iter()
+            .map(|s| s.config.duration_s)
+            .fold(0.0, f64::max);
+        recorder.add(Counter::StreamsServed, n_streams as u64);
+
+        // the shared plan cache: compile both plans once, before any
+        // worker exists — every EpochLocalizer borrows these
+        models.quantized_background.plan();
+        let compiled_background = CompiledMlp::compile(&models.background);
+
+        let pool: WorkStealingPool<GroundTask> = WorkStealingPool::new(config.workers);
+        let deadline = Duration::from_secs_f64(config.deadline_ms / 1e3);
+        let cost_model = Mutex::new(COST_PRIORS_MS);
+        let alerts: Mutex<Vec<GroundAlert>> = Mutex::new(Vec::new());
+        let latencies: Mutex<Vec<f64>> = Mutex::new(Vec::new());
+        let per_level: [AtomicU64; 4] = Default::default();
+        let epochs_dispatched = AtomicU64::new(0);
+        let events_ingested = AtomicU64::new(0);
+
+        // distribute lanes round-robin across the ingest shards
+        let mut shards: Vec<Vec<Lane>> = (0..config.ingest_shards).map(|_| Vec::new()).collect();
+        for spec in specs {
+            let shard = spec.id % config.ingest_shards;
+            shards[shard].push(Lane {
+                stream_id: spec.id,
+                localizer_seed: spec.localizer_seed,
+                source: StreamingSource::new(spec.config, spec.source_seed),
+                trigger: OnlineTrigger::new(config.trigger.clone()),
+                next_epoch_index: 0,
+                pending: None,
+                clock_s: 0.0,
+                events: 0,
+                done: false,
+            });
+        }
+
+        let t_start = Instant::now();
+        std::thread::scope(|scope| {
+            let pool = &pool;
+            let cost_model = &cost_model;
+            let alerts = &alerts;
+            let latencies = &latencies;
+            let per_level = &per_level;
+            let epochs_dispatched = &epochs_dispatched;
+            let events_ingested = &events_ingested;
+            let compiled_background = &compiled_background;
+
+            // ── ingest shards: advance lanes in tick_s stream-time slices ──
+            let shard_handles: Vec<_> = shards
+                .into_iter()
+                .map(|mut lanes| {
+                    scope.spawn(move || {
+                        let mut active = lanes.len();
+                        let dispatch = |lane: &mut Lane, epoch: OpenEpoch| {
+                            recorder.add(Counter::EpochsOpened, 1);
+                            let task = GroundTask {
+                                stream_id: lane.stream_id,
+                                epoch_index: lane.next_epoch_index,
+                                localizer_seed: lane.localizer_seed,
+                                epoch,
+                                ready: Instant::now(),
+                            };
+                            lane.next_epoch_index += 1;
+                            epochs_dispatched.fetch_add(1, Ordering::Relaxed);
+                            pool.push(lane.stream_id, task.ready + deadline, task);
+                            recorder.queue_depth("pool", pool.pending() as u64);
+                        };
+                        while active > 0 {
+                            for lane in &mut lanes {
+                                if lane.done {
+                                    continue;
+                                }
+                                let until = lane.clock_s + config.tick_s;
+                                let mut slice_events = 0u64;
+                                loop {
+                                    let ev = match lane.pending.take() {
+                                        Some(ev) => ev,
+                                        None => match lane.source.next() {
+                                            Some(ev) => ev,
+                                            None => {
+                                                // stream exhausted: flush
+                                                // the tail epoch and retire
+                                                // the lane
+                                                if let Some(tail) = lane.trigger.flush() {
+                                                    dispatch(lane, tail);
+                                                }
+                                                lane.done = true;
+                                                active -= 1;
+                                                break;
+                                            }
+                                        },
+                                    };
+                                    if ev.t_s >= until {
+                                        lane.pending = Some(ev);
+                                        break;
+                                    }
+                                    slice_events += 1;
+                                    if let Some(epoch) = lane.trigger.observe(&ev) {
+                                        dispatch(lane, epoch);
+                                    }
+                                }
+                                lane.clock_s = until;
+                                lane.events += slice_events;
+                                if slice_events > 0 {
+                                    recorder.add(Counter::EventsIngested, slice_events);
+                                }
+                            }
+                        }
+                        lanes.iter().map(|l| l.events).sum::<u64>()
+                    })
+                })
+                .collect();
+
+            // ── pool workers: epochs → alerts, degrading per task ──
+            for w in 0..config.workers {
+                scope.spawn(move || {
+                    let localizer = EpochLocalizer::new(
+                        models,
+                        compiled_background,
+                        config.reduced_iterations,
+                        config.coarse_pixels,
+                        recorder,
+                    );
+                    let mut ws = InferenceWorkspace::new();
+                    while let Some(task) = pool.pop(w) {
+                        // backlog normalized per worker: only global
+                        // pressure beyond what the pool can absorb
+                        // forbids the expensive rungs
+                        let backlog = pool.pending() / config.workers;
+                        let waited_ms = task.ready.elapsed().as_secs_f64() * 1e3;
+                        let chosen = if config.deterministic {
+                            DegradationLevel::FullMl
+                        } else {
+                            let cost = *cost_model.lock().unwrap();
+                            let budget = (config.deadline_ms - waited_ms) * config.safety_factor;
+                            choose_level(&cost, budget, backlog).0
+                        };
+
+                        let mut rng = ChaCha8Rng::seed_from_u64(epoch_rng_seed(
+                            task.localizer_seed,
+                            task.epoch_index,
+                        ));
+                        let t_compute = Instant::now();
+                        let Some(out) =
+                            localizer.localize_epoch(&task.epoch, chosen, &mut rng, &mut ws)
+                        else {
+                            continue;
+                        };
+                        let compute = t_compute.elapsed();
+                        recorder.duration(Stage::Total, compute);
+                        let latency = task.ready.elapsed();
+                        recorder.duration(Stage::AlertLatency, latency);
+                        per_level[out.level.slot()].fetch_add(1, Ordering::Relaxed);
+                        {
+                            let mut cost = cost_model.lock().unwrap();
+                            let slot = out.level.slot();
+                            cost[slot] = (1.0 - adapt_onboard::COST_ALPHA) * cost[slot]
+                                + adapt_onboard::COST_ALPHA * compute.as_secs_f64() * 1e3;
+                        }
+
+                        let alert = GrbAlert {
+                            t_trigger_s: task.epoch.t_trigger_s,
+                            significance_sigma: task.epoch.significance_sigma,
+                            polar_deg: polar_angle_deg(out.direction),
+                            azimuth_deg: rad_to_deg(out.direction.azimuth()),
+                            containment_radius_deg: out.containment_radius_deg,
+                            mode: out.level,
+                            rings: out.rings,
+                            surviving_rings: out.surviving_rings,
+                            latency_ms: latency.as_secs_f64() * 1e3,
+                            deadline_ms: config.deadline_ms,
+                            ingest_depth: 0,
+                            epoch_depth: pool.pending(),
+                        };
+                        recorder.add(Counter::AlertsEmitted, 1);
+                        recorder.alert(&AlertRecord {
+                            t_s: alert.t_trigger_s,
+                            mode: out.level.name().to_string(),
+                            polar_deg: alert.polar_deg,
+                            azimuth_deg: alert.azimuth_deg,
+                            containment_radius_deg: alert.containment_radius_deg,
+                            latency_ms: alert.latency_ms,
+                            rings: alert.rings as u64,
+                            ingest_depth: 0,
+                            epoch_depth: alert.epoch_depth as u64,
+                        });
+                        let ground = Arc::new(GroundAlert {
+                            stream_id: task.stream_id,
+                            epoch_index: task.epoch_index,
+                            alert,
+                        });
+                        if let Some(pop) = fanout {
+                            let out = pop.publish(&ground);
+                            recorder.add(Counter::AlertsFannedOut, out.delivered);
+                            if out.shed > 0 {
+                                recorder.add(Counter::FanoutShed, out.shed);
+                            }
+                        }
+                        latencies.lock().unwrap().push(ground.alert.latency_ms);
+                        alerts.lock().unwrap().push((*ground).clone());
+                    }
+                });
+            }
+
+            // ingest finishes first; closing the pool releases the
+            // workers once the backlog drains
+            let mut total_events = 0u64;
+            for h in shard_handles {
+                total_events += h.join().expect("ingest shard panicked");
+            }
+            events_ingested.store(total_events, Ordering::Relaxed);
+            pool.close();
+        });
+        let wall_s = t_start.elapsed().as_secs_f64();
+
+        let pool_stats = pool.stats();
+        recorder.add(Counter::PoolSteals, pool_stats.stolen);
+        let mut alerts = alerts.into_inner().unwrap();
+        alerts.sort_by_key(|a| (a.stream_id, a.epoch_index));
+        GroundReport {
+            alerts,
+            streams: n_streams,
+            events_ingested: events_ingested.load(Ordering::Relaxed),
+            events_dropped: 0,
+            epochs_dispatched: epochs_dispatched.load(Ordering::Relaxed),
+            per_level: per_level.map(|c| c.into_inner()),
+            pool: pool_stats,
+            wall_s,
+            sim_duration_s,
+            aggregate_realtime_factor: n_streams as f64 * sim_duration_s / wall_s.max(1e-9),
+            epoch_latencies_ms: latencies.into_inner().unwrap(),
+        }
+    }
+}
+
+/// Synthesize a tenant fleet: `n` antarctic-float streams of
+/// `duration_s`, staggered along the profile, each with one scheduled
+/// burst (varying fluence phase and polar angle) so the pool sees a
+/// realistic trigger mix. Deterministic in `base_seed`.
+pub fn synth_fleet(n: usize, duration_s: f64, base_seed: u64) -> Vec<StreamSpec> {
+    (0..n)
+        .map(|i| {
+            let mut config = StreamConfig::new(FlightProfile::antarctic_ldb(), duration_s);
+            // stagger starts across the float portion of the profile
+            config.start_h = 1.9 + (i as f64 * 0.37) % 18.0;
+            config.background.particle_fluence = adapt_onboard::FLIGHT_NOMINAL_FLUENCE;
+            let onset = 0.35 * duration_s + (i as f64 * 1.7) % (0.3 * duration_s);
+            let angle = (i as f64 * 9.0) % 72.0;
+            config = config.with_burst(onset, GrbConfig::new(2.0, angle));
+            StreamSpec {
+                id: i,
+                config,
+                source_seed: base_seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9),
+                localizer_seed: base_seed ^ (i as u64).wrapping_mul(0xA24B_AED4_963E_E407),
+            }
+        })
+        .collect()
+}

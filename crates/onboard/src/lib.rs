@@ -32,7 +32,10 @@ pub mod trigger;
 
 pub use checkpoint::{Checkpoint, CHECKPOINT_SCHEMA};
 pub use queue::{BoundedQueue, DropPolicy, QueueStats};
-pub use runtime::{DegradationLevel, FlightRunReport, FlightRuntime, GrbAlert, RuntimeConfig};
+pub use runtime::{
+    choose_level, epoch_rng_seed, DegradationLevel, EpochLocalizer, EpochOutcome, FlightRunReport,
+    FlightRuntime, GrbAlert, RuntimeConfig, COST_ALPHA, COST_PRIORS_MS,
+};
 pub use trigger::{OnlineTrigger, OnlineTriggerConfig, OpenEpoch};
 
 /// Background `particle_fluence` (per second) giving a flight-plausible

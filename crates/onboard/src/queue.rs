@@ -216,6 +216,75 @@ mod tests {
     }
 
     #[test]
+    fn concurrent_producers_slow_consumer_account_for_every_item() {
+        // The shedding path under real multi-producer contention: eight
+        // producers race into a tiny DropNewest queue while one
+        // deliberately slow consumer drains it. Every produced item must
+        // be accounted for exactly once — either consumed or counted as
+        // dropped — and the queue must never exceed its capacity.
+        const PRODUCERS: usize = 8;
+        const PER_PRODUCER: u64 = 500;
+        const CAPACITY: usize = 4;
+        let q: Arc<BoundedQueue<u64>> =
+            Arc::new(BoundedQueue::new("t", CAPACITY, DropPolicy::DropNewest));
+
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let q = Arc::clone(&q);
+                thread::spawn(move || {
+                    let mut accepted = 0u64;
+                    for i in 0..PER_PRODUCER {
+                        if q.push(p as u64 * PER_PRODUCER + i) {
+                            accepted += 1;
+                        }
+                        if i % 64 == 0 {
+                            thread::yield_now();
+                        }
+                    }
+                    accepted
+                })
+            })
+            .collect();
+
+        let consumer = {
+            let q = Arc::clone(&q);
+            thread::spawn(move || {
+                let mut got = 0u64;
+                while q.pop().is_some() {
+                    got += 1;
+                    // a slow consumer: drain far below the offered rate
+                    if got.is_multiple_of(8) {
+                        thread::sleep(std::time::Duration::from_micros(200));
+                    }
+                }
+                got
+            })
+        };
+
+        let accepted_by_producers: u64 = producers.into_iter().map(|h| h.join().unwrap()).sum();
+        q.close();
+        let consumed = consumer.join().unwrap();
+
+        let s = q.stats();
+        let offered = (PRODUCERS as u64) * PER_PRODUCER;
+        assert_eq!(
+            s.pushed + s.dropped,
+            offered,
+            "every offered item is either accepted or counted as shed"
+        );
+        assert_eq!(s.pushed, accepted_by_producers);
+        assert_eq!(
+            consumed, s.pushed,
+            "the consumer drains exactly the accepted items"
+        );
+        assert!(
+            s.dropped > 0,
+            "a slow consumer against 8 producers must shed (got 0 drops)"
+        );
+        assert!(s.max_depth <= CAPACITY, "capacity is a hard bound");
+    }
+
+    #[test]
     fn close_drains_then_ends() {
         let q = Arc::new(BoundedQueue::new("t", 8, DropPolicy::Block));
         q.push(1);

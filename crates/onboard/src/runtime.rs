@@ -218,15 +218,178 @@ impl FlightRunReport {
 /// ~3x but the classical approximate+refine stage still dominates.
 /// ReducedMl rides the INT8 plan (~2x faster than its scalar-era cost)
 /// and CoarseSkymap the vectorized cone sweep (~1.5x).
-const COST_PRIORS_MS: [f64; 4] = [30.0, 10.0, 5.0, 4.0];
+pub const COST_PRIORS_MS: [f64; 4] = [30.0, 10.0, 5.0, 4.0];
 
 /// EWMA weight of a new cost observation.
-const COST_ALPHA: f64 = 0.4;
+pub const COST_ALPHA: f64 = 0.4;
+
+/// The per-epoch localizer RNG seed: every consumer of an epoch stream
+/// (the single-stream runtime and the ground-segment pool) derives its
+/// RNG the same way, which is what makes multi-tenant localizations
+/// bit-identical to a single-stream run with the same seed.
+pub fn epoch_rng_seed(stream_seed: u64, epoch_index: u64) -> u64 {
+    stream_seed ^ epoch_index.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
 
 struct EpochJob {
     index: u64,
     epoch: OpenEpoch,
     ready: Instant,
+}
+
+/// What localizing one epoch through the degradation cascade produced.
+#[derive(Debug, Clone)]
+pub struct EpochOutcome {
+    /// Best-estimate source direction.
+    pub direction: UnitVec3,
+    /// Ladder level that actually produced the localization (may sit
+    /// below the requested level after fall-through).
+    pub level: DegradationLevel,
+    /// Rings entering localization.
+    pub rings: usize,
+    /// Rings surviving background rejection (equals `rings` for modes
+    /// without rejection).
+    pub surviving_rings: usize,
+    /// Containment radius: 1σ circular error for ML/classical modes, the
+    /// 90 % credible radius for the sky-map mode (degrees).
+    pub containment_radius_deg: f64,
+    /// Whether a level failed and the cascade fell through.
+    pub fell_through: bool,
+}
+
+/// The epoch → localization engine shared by the single-stream
+/// [`FlightRuntime`] worker and the ground-segment localization pool:
+/// reconstruction, the four-rung degradation cascade, and containment
+/// estimation. Holds the *shared* compiled plans by reference (build
+/// once, execute from N workers); callers bring a per-worker
+/// [`InferenceWorkspace`] and RNG, so the struct itself is immutable and
+/// usable from many threads.
+pub struct EpochLocalizer<'a> {
+    recon: Reconstructor,
+    full_ml: MlLocalizer<'a>,
+    reduced_ml: MlLocalizer<'a>,
+    baseline: BaselineLocalizer,
+    coarse_pixels: usize,
+    recorder: &'a dyn Recorder,
+}
+
+impl<'a> EpochLocalizer<'a> {
+    /// Assemble from the trained models and the pre-compiled float plan.
+    /// The INT8 plan is taken from the model set's shared plan cache
+    /// (`QuantizedMlp::plan`), so N workers constructed this way execute
+    /// the same flat buffers without duplicating them.
+    pub fn new(
+        models: &'a TrainedModels,
+        compiled_background: &'a CompiledMlp,
+        reduced_iterations: usize,
+        coarse_pixels: usize,
+        recorder: &'a dyn Recorder,
+    ) -> Self {
+        let full_ml = MlLocalizer::new(
+            compiled_background,
+            &models.thresholds,
+            &models.d_eta,
+            MlPipelineConfig::default(),
+        )
+        .with_recorder(recorder);
+        let reduced_cfg = MlPipelineConfig {
+            max_ml_iterations: reduced_iterations,
+            ..MlPipelineConfig::default()
+        };
+        let reduced_ml = MlLocalizer::new(
+            models.quantized_background.plan(),
+            &models.thresholds,
+            &models.d_eta,
+            reduced_cfg,
+        )
+        .with_recorder(recorder);
+        EpochLocalizer {
+            recon: Reconstructor::default(),
+            full_ml,
+            reduced_ml,
+            baseline: BaselineLocalizer::new(LocalizerConfig::default()),
+            coarse_pixels,
+            recorder,
+        }
+    }
+
+    /// Reconstruct and localize one epoch starting at `level`, falling
+    /// through the ladder on localization failure. Returns `None` when
+    /// no rings reconstruct or every rung fails.
+    pub fn localize_epoch<R: rand::Rng + ?Sized>(
+        &self,
+        epoch: &OpenEpoch,
+        level: DegradationLevel,
+        rng: &mut R,
+        ws: &mut InferenceWorkspace,
+    ) -> Option<EpochOutcome> {
+        let recorder = self.recorder;
+        let mut level = level;
+        let t_recon = Instant::now();
+        let (rings, _counts) = self.recon.reconstruct_all_counted(&epoch.events, recorder);
+        recorder.duration(Stage::Reconstruction, t_recon.elapsed());
+        if rings.is_empty() {
+            // nothing to localize; the epoch is spent
+            return None;
+        }
+
+        // degradation cascade: a failed localization falls through to
+        // the next rung
+        let mut fell_through = false;
+        let outcome = loop {
+            let attempt = match level {
+                DegradationLevel::FullMl => self
+                    .full_ml
+                    .localize_with(&rings, rng, ws)
+                    .map(|r| (r.direction, r.surviving_rings, None)),
+                DegradationLevel::ReducedMl => self
+                    .reduced_ml
+                    .localize_with(&rings, rng, ws)
+                    .map(|r| (r.direction, r.surviving_rings, None)),
+                DegradationLevel::CoarseSkymap => {
+                    let grid = HemisphereGrid::new(self.coarse_pixels);
+                    let map = SkyMap::from_rings_adaptive_recorded(&rings, grid, 3.0, recorder);
+                    Some((map.mode(), rings.len(), Some(map.credible_radius_deg(0.9))))
+                }
+                DegradationLevel::Classical => self
+                    .baseline
+                    .localize(&rings, rng)
+                    .map(|r| (r.direction, rings.len(), None)),
+            };
+            match attempt {
+                Some(out) => break Some(out),
+                None => {
+                    let next = match level {
+                        DegradationLevel::FullMl => DegradationLevel::ReducedMl,
+                        DegradationLevel::ReducedMl => DegradationLevel::CoarseSkymap,
+                        // the sky map cannot fail on non-empty rings;
+                        // classical can — fall back to the sky map and
+                        // stop
+                        DegradationLevel::Classical => DegradationLevel::CoarseSkymap,
+                        DegradationLevel::CoarseSkymap => break None,
+                    };
+                    level = next;
+                    fell_through = true;
+                }
+            }
+        };
+        let (direction, surviving, skymap_radius) = outcome?;
+
+        let containment = skymap_radius.unwrap_or_else(|| {
+            estimate_uncertainty(&rings, direction, 3.0)
+                .map(|u| u.sigma_circular_deg())
+                .unwrap_or(60.0)
+                .min(180.0)
+        });
+        Some(EpochOutcome {
+            direction,
+            level,
+            rings: rings.len(),
+            surviving_rings: surviving,
+            containment_radius_deg: containment,
+            fell_through,
+        })
+    }
 }
 
 struct WorkerShared {
@@ -303,8 +466,9 @@ impl<'a> FlightRuntime<'a> {
         let config = &self.config;
         let recorder = self.recorder;
         let models = self.models;
-        // force the INT8 plan compile on this thread, before workers race
-        let quant_plan = models.quantized_background.plan();
+        // compile both shared plans on this thread, before workers race
+        models.quantized_background.plan();
+        let compiled_background = CompiledMlp::compile(&models.background);
 
         let ingest_q: BoundedQueue<adapt_sim::StreamedEvent> =
             BoundedQueue::new("ingest", config.ingest_capacity, DropPolicy::DropNewest);
@@ -406,30 +570,20 @@ impl<'a> FlightRuntime<'a> {
 
             // ── worker: epochs → alerts, degrading to meet the deadline ──
             scope.spawn(|| {
-                let recon = Reconstructor::default();
-                let compiled_background = CompiledMlp::compile(&models.background);
-                let full_ml = MlLocalizer::new(
+                let localizer = EpochLocalizer::new(
+                    models,
                     &compiled_background,
-                    &models.thresholds,
-                    &models.d_eta,
-                    MlPipelineConfig::default(),
-                )
-                .with_recorder(recorder);
-                let reduced_cfg = MlPipelineConfig {
-                    max_ml_iterations: config.reduced_iterations,
-                    ..MlPipelineConfig::default()
-                };
-                let reduced_ml =
-                    MlLocalizer::new(quant_plan, &models.thresholds, &models.d_eta, reduced_cfg)
-                        .with_recorder(recorder);
-                let baseline = BaselineLocalizer::new(LocalizerConfig::default());
+                    config.reduced_iterations,
+                    config.coarse_pixels,
+                    recorder,
+                );
                 let mut ws = InferenceWorkspace::new();
 
                 while let Some(job) = epoch_q.pop() {
                     let backlog = epoch_q.len();
                     let waited_ms = job.ready.elapsed().as_secs_f64() * 1e3;
                     let remaining_ms = config.deadline_ms - waited_ms;
-                    let (mut level, mut reason) = {
+                    let (chosen, mut reason) = {
                         let ws_shared = shared.lock().unwrap();
                         choose_level(
                             &ws_shared.cost_model_ms,
@@ -438,82 +592,31 @@ impl<'a> FlightRuntime<'a> {
                         )
                     };
 
-                    let mut rng = ChaCha8Rng::seed_from_u64(
-                        config.seed ^ job.index.wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                    );
+                    let mut rng = ChaCha8Rng::seed_from_u64(epoch_rng_seed(config.seed, job.index));
                     let t_compute = Instant::now();
-                    let t_recon = Instant::now();
-                    let (rings, _counts) =
-                        recon.reconstruct_all_counted(&job.epoch.events, recorder);
-                    recorder.duration(Stage::Reconstruction, t_recon.elapsed());
-                    if rings.is_empty() {
-                        // nothing to localize; the epoch is spent
+                    let Some(out) = localizer.localize_epoch(&job.epoch, chosen, &mut rng, &mut ws)
+                    else {
                         continue;
+                    };
+                    if out.fell_through {
+                        reason = "localization-failed";
                     }
-
-                    // degradation cascade: a failed localization falls
-                    // through to the next rung
-                    let outcome = loop {
-                        let attempt = match level {
-                            DegradationLevel::FullMl => full_ml
-                                .localize_with(&rings, &mut rng, &mut ws)
-                                .map(|r| (r.direction, r.surviving_rings, None)),
-                            DegradationLevel::ReducedMl => reduced_ml
-                                .localize_with(&rings, &mut rng, &mut ws)
-                                .map(|r| (r.direction, r.surviving_rings, None)),
-                            DegradationLevel::CoarseSkymap => {
-                                let grid = HemisphereGrid::new(config.coarse_pixels);
-                                let map = SkyMap::from_rings_adaptive_recorded(
-                                    &rings, grid, 3.0, recorder,
-                                );
-                                Some((map.mode(), rings.len(), Some(map.credible_radius_deg(0.9))))
-                            }
-                            DegradationLevel::Classical => baseline
-                                .localize(&rings, &mut rng)
-                                .map(|r| (r.direction, rings.len(), None)),
-                        };
-                        match attempt {
-                            Some(out) => break Some(out),
-                            None => {
-                                let next = match level {
-                                    DegradationLevel::FullMl => DegradationLevel::ReducedMl,
-                                    DegradationLevel::ReducedMl => DegradationLevel::CoarseSkymap,
-                                    // the sky map cannot fail on
-                                    // non-empty rings; classical can —
-                                    // fall back to the sky map and stop
-                                    DegradationLevel::Classical => DegradationLevel::CoarseSkymap,
-                                    DegradationLevel::CoarseSkymap => break None,
-                                };
-                                level = next;
-                                reason = "localization-failed";
-                            }
-                        }
-                    };
-                    let Some((direction, surviving, skymap_radius)) = outcome else {
-                        continue;
-                    };
+                    let level = out.level;
                     let compute = t_compute.elapsed();
                     let compute_ms = compute.as_secs_f64() * 1e3;
                     recorder.duration(Stage::Total, compute);
-
-                    let containment = skymap_radius.unwrap_or_else(|| {
-                        estimate_uncertainty(&rings, direction, 3.0)
-                            .map(|u| u.sigma_circular_deg())
-                            .unwrap_or(60.0)
-                            .min(180.0)
-                    });
 
                     let latency = job.ready.elapsed();
                     recorder.duration(Stage::AlertLatency, latency);
                     let alert = GrbAlert {
                         t_trigger_s: job.epoch.t_trigger_s,
                         significance_sigma: job.epoch.significance_sigma,
-                        polar_deg: polar_angle_deg(direction),
-                        azimuth_deg: azimuth_deg(direction),
-                        containment_radius_deg: containment,
+                        polar_deg: polar_angle_deg(out.direction),
+                        azimuth_deg: azimuth_deg(out.direction),
+                        containment_radius_deg: out.containment_radius_deg,
                         mode: level,
-                        rings: rings.len(),
-                        surviving_rings: surviving,
+                        rings: out.rings,
+                        surviving_rings: out.surviving_rings,
                         latency_ms: latency.as_secs_f64() * 1e3,
                         deadline_ms: config.deadline_ms,
                         ingest_depth: ingest_q.len(),
@@ -588,8 +691,10 @@ fn azimuth_deg(dir: UnitVec3) -> f64 {
 
 /// Pick the best ladder level whose cost estimate fits the budget, under
 /// epoch-backlog pressure gates. Returns the level and the reason a
-/// better level was rejected (`"nominal"` when none was).
-fn choose_level(
+/// better level was rejected (`"nominal"` when none was). Shared with
+/// the ground-segment pool scheduler, which feeds it a per-worker
+/// normalized backlog.
+pub fn choose_level(
     cost_model_ms: &[f64; 4],
     budget_ms: f64,
     backlog: usize,

@@ -27,6 +27,9 @@ use crate::recorder::{AlertRecord, Counter, DegradationRecord, FlightRecorder, L
 use serde::Value;
 
 /// Current NDJSON schema version (the `meta` line's `schema` field).
+/// Version 4 added the ground-segment counters (`streams_served`,
+/// `pool_steals`, `alerts_fanned_out`, `fanout_shed`); pool and
+/// per-stream gauges reuse the `queue` line type with dynamic names.
 /// Version 3 added the onboard-runtime lines (`degradation`, `alert`,
 /// `queue`), the `alert_latency` stage, and the runtime counters
 /// (`events_ingested`, `events_dropped`, `epochs_opened`,
@@ -34,7 +37,7 @@ use serde::Value;
 /// Version 2 added the drift counters (`drift_rows`,
 /// `drift_mean_psi_milli`, `drift_features_flagged`). Older captures
 /// still validate.
-pub const NDJSON_SCHEMA: u32 = 3;
+pub const NDJSON_SCHEMA: u32 = 4;
 
 fn obj(pairs: Vec<(&str, Value)>) -> Value {
     Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())

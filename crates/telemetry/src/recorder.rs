@@ -117,11 +117,22 @@ pub enum Counter {
     DegradationTransitions,
     /// Onboard runtime: checkpoints written.
     CheckpointsWritten,
+    /// Ground segment: flight streams multiplexed by the service.
+    StreamsServed,
+    /// Ground segment: epochs an idle pool worker stole from a sibling's
+    /// shard.
+    PoolSteals,
+    /// Ground segment: alert deliveries accepted into subscriber
+    /// mailboxes.
+    AlertsFannedOut,
+    /// Ground segment: alert deliveries shed at full subscriber
+    /// mailboxes (slow consumers).
+    FanoutShed,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 14] = [
+    pub const ALL: [Counter; 18] = [
         Counter::TrialsRun,
         Counter::RingsIn,
         Counter::RingsRejected,
@@ -136,6 +147,10 @@ impl Counter {
         Counter::AlertsEmitted,
         Counter::DegradationTransitions,
         Counter::CheckpointsWritten,
+        Counter::StreamsServed,
+        Counter::PoolSteals,
+        Counter::AlertsFannedOut,
+        Counter::FanoutShed,
     ];
 
     /// Stable machine name (NDJSON field value).
@@ -155,6 +170,10 @@ impl Counter {
             Counter::AlertsEmitted => "alerts_emitted",
             Counter::DegradationTransitions => "degradation_transitions",
             Counter::CheckpointsWritten => "checkpoints_written",
+            Counter::StreamsServed => "streams_served",
+            Counter::PoolSteals => "pool_steals",
+            Counter::AlertsFannedOut => "alerts_fanned_out",
+            Counter::FanoutShed => "fanout_shed",
         }
     }
 }
