@@ -114,6 +114,7 @@ const GROUND_WALL_METRICS: &[(&str, bool)] = &[
     ("aggregate_realtime_factor", true),
     ("sustained_events_per_s", true),
     ("epoch_latency_p99_ms", false),
+    ("alert_e2e_p99_ms", false),
 ];
 
 /// Collect every gated pipeline speedup: the three section-level ratios
@@ -306,6 +307,7 @@ const SLOWED_THROUGHPUT_KEYS: &[&str] = &[
 const SLOWED_LATENCY_KEYS: &[&str] = &[
     "alert_latency_p99_ms",
     "epoch_latency_p99_ms",
+    "alert_e2e_p99_ms",
     "publish_p99_us",
 ];
 

@@ -10,6 +10,15 @@
 //! and per-population fan-out publish p50/p99 measured by replaying the
 //! produced alerts against synthetic subscriber populations.
 //!
+//! The service run carries the full observability stack the production
+//! path would: a recording flight recorder (causal trace spans), a live
+//! snapshot observer, and an in-run subscriber population
+//! (`ADAPT_GROUND_SUBSCRIBERS`, default 10000) so every alert's
+//! trigger-open → fan-out-publish wall latency is measured from its own
+//! span tree (`alert_e2e_p50_ms`/`alert_e2e_p99_ms`, gated by
+//! bench_gate). The realtime factors therefore answer the honest
+//! question: what does the machine sustain *with* snapshots enabled.
+//!
 //! Knobs: `ADAPT_BENCH_GROUND_OUT` overrides the output path;
 //! `ADAPT_GROUND_STREAMS` the fleet size; `ADAPT_GROUND_DURATION_S` the
 //! per-stream simulated length; `ADAPT_GROUND_WORKERS` /
@@ -24,7 +33,9 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Report schema version (see `existing_schema` for the downgrade guard).
-const GROUND_SCHEMA: u64 = 1;
+/// Version 2 added the in-run subscriber population and the span-derived
+/// `alert_e2e_*` end-to-end alert latencies.
+const GROUND_SCHEMA: u64 = 2;
 
 #[derive(Serialize)]
 struct FanoutRow {
@@ -67,6 +78,16 @@ struct GroundBenchReport {
     epoch_latency_p50_ms: Option<f64>,
     epoch_latency_p99_ms: Option<f64>,
     deadline_met: bool,
+    /// In-run subscriber population behind the `alert_e2e_*` latencies.
+    subscribers: usize,
+    /// Trigger-open → fan-out-publish wall latency, reconstructed from
+    /// each alert's causal span tree.
+    alert_e2e_p50_ms: Option<f64>,
+    alert_e2e_p99_ms: Option<f64>,
+    /// Live-observer activity during the run (the snapshot overhead the
+    /// realtime factors already include).
+    live_snapshots: u64,
+    slo_breaches: u64,
     fanout: Vec<FanoutRow>,
 }
 
@@ -144,7 +165,40 @@ fn main() {
     let ingest_shards = config.ingest_shards;
 
     let fleet = synth_fleet(streams, duration_s, 0x6B0);
-    let report = GroundService::new(&models, config).run(fleet, None);
+
+    // the production observability stack rides along: trace spans via
+    // the recorder, periodic snapshots via the live observer, and a
+    // live subscriber population fanning out inside the workers
+    let recorder = adapt_telemetry::FlightRecorder::new();
+    recorder.begin_trial("bench-ground", 0x6B0);
+    let slo = adapt_telemetry::SloConfig {
+        deadline_ms,
+        ..Default::default()
+    };
+    let live = adapt_telemetry::LiveObserver::new(5.0, slo);
+    let subscribers = env_usize("ADAPT_GROUND_SUBSCRIBERS", 10_000);
+    let population = SubscriberPopulation::synth(subscribers, 0xFA0 ^ subscribers as u64, 16);
+    let report = GroundService::new(&models, config)
+        .with_recorder(&recorder)
+        .with_live(&live)
+        .run(fleet, Some(&population));
+    live.finish(duration_s);
+
+    let spans = recorder.trace_records();
+    let mut e2e: Vec<f64> = adapt_telemetry::trace_ids(&spans)
+        .into_iter()
+        .filter(|id| {
+            // only traces that reached fan-out measure the full
+            // trigger-open -> publish path
+            spans
+                .iter()
+                .any(|s| s.trace_id == *id && s.span == "fanout")
+        })
+        .filter_map(|id| adapt_telemetry::end_to_end_ms(&spans, &id))
+        .collect();
+    e2e.sort_by(|a, b| a.total_cmp(b));
+    let e2e_p50 = (!e2e.is_empty()).then(|| percentile(&e2e, 0.5));
+    let e2e_p99 = (!e2e.is_empty()).then(|| percentile(&e2e, 0.99));
 
     let p50 = report.latency_percentile_ms(0.5);
     let p99 = report.latency_percentile_ms(0.99);
@@ -182,6 +236,11 @@ fn main() {
         epoch_latency_p50_ms: p50,
         epoch_latency_p99_ms: p99,
         deadline_met: p99.map(|v| v <= deadline_ms).unwrap_or(true),
+        subscribers,
+        alert_e2e_p50_ms: e2e_p50,
+        alert_e2e_p99_ms: e2e_p99,
+        live_snapshots: live.snapshots_taken(),
+        slo_breaches: live.breaches(),
         fanout,
     };
 
@@ -208,6 +267,19 @@ fn main() {
         p99.map(|v| format!("{v:.1} ms"))
             .unwrap_or_else(|| "n/a".into()),
         out.pool_tasks_stolen,
+    );
+    println!(
+        "end-to-end (trigger open -> fan-out publish, {subscribers} subscribers): \
+         p50 {}, p99 {} from {} span tree(s); {} live snapshot(s), {} SLO breach(es)",
+        e2e_p50
+            .map(|v| format!("{v:.1} ms"))
+            .unwrap_or_else(|| "n/a".into()),
+        e2e_p99
+            .map(|v| format!("{v:.1} ms"))
+            .unwrap_or_else(|| "n/a".into()),
+        e2e.len(),
+        out.live_snapshots,
+        out.slo_breaches,
     );
     for row in &out.fanout {
         println!(

@@ -33,6 +33,8 @@ SUBCOMMANDS:
     telemetry-report
                validate an NDJSON capture and render its percentile table
                --input <path=telemetry.ndjson>
+               --trace <alert-id> (render one alert's causal span tree,
+               e.g. --trace s3.e0; ids are listed in the default report)
     fly        run the streaming flight runtime over a simulated profile
                --models <path=models.json> --profile <checkout|antarctic=checkout>
                --start-h <hours into profile=0> --duration-s <stream seconds=rest of profile>
@@ -44,6 +46,10 @@ SUBCOMMANDS:
                --resume (restore from --checkpoint before streaming)
                --kill-at-s <stream s> (simulated process kill: checkpoint + exit)
                --enforce-deadline (exit nonzero if p99 alert latency misses)
+               --metrics-addr <host:port> (live Prometheus-style endpoint)
+               --live-out <path> (stream live snapshots as NDJSON, for adapt top)
+               --snapshot-every-s <sim s between snapshots=5>
+               --fail-on-slo-breach (exit nonzero if any health check breached)
     serve      run the multi-tenant ground service over a synthesized fleet
                --models <path=models.json> --streams <tenant count=8>
                --duration-s <stream seconds per tenant=60>
@@ -53,6 +59,15 @@ SUBCOMMANDS:
                --mailbox-capacity <per-subscriber queue=16>
                --deterministic (pin full-ml so the alert set is seed-pure)
                --telemetry <path> (flight-recorder NDJSON capture)
+               --metrics-addr <host:port> (live Prometheus-style endpoint)
+               --live-out <path> (stream live snapshots as NDJSON, for adapt top)
+               --snapshot-every-s <sim s between snapshots=5>
+               --linger-s <wall s to keep the metrics endpoint up after the
+               fleet drains=0>
+               --fail-on-slo-breach (exit nonzero if any health check breached)
+    top        render the latest live snapshot from a --live-out stream
+               --input <path=live.ndjson> --refresh-ms <poll interval=500>
+               --once (print the latest snapshot and exit)
     skymap     produce a credible-region summary of the posterior sky map
                --models <path=models.json> --fluence <=1.0> --angle <=0>
                --seed <=42> --credibility <=0.9> --pixels <=3000>
@@ -330,6 +345,129 @@ fn parse_bursts(spec: &str) -> Result<Vec<(f64, GrbConfig)>, String> {
     Ok(out)
 }
 
+/// Last-breath handler for the long-running runtimes: on panic, emit a
+/// final greppable `health: crashed` verdict and flush the flight
+/// recorder to the `--telemetry` path (if one was given) so the capture
+/// up to the crash survives for postmortem. Chains the default hook, so
+/// the usual panic message and nonzero exit are preserved.
+fn install_crash_hook(
+    recorder: std::sync::Arc<adapt_telemetry::FlightRecorder>,
+    telemetry_path: Option<String>,
+) {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let detail = info.to_string().replace('\n', " ");
+        eprintln!("health: crashed BREACH {detail}");
+        if let Some(path) = &telemetry_path {
+            let text = adapt_telemetry::export(&recorder, 1);
+            match std::fs::write(path, &text) {
+                Ok(()) => eprintln!("telemetry: crash capture flushed to {path}"),
+                Err(e) => eprintln!("telemetry: cannot flush crash capture to {path}: {e}"),
+            }
+        }
+        prev(info);
+    }));
+}
+
+/// Hidden test hook: `ADAPT_TEST_PANIC=1 adapt fly|serve ...` panics
+/// right after startup so the crash hook's last-breath path can be
+/// exercised end to end from the integration tests.
+fn test_panic_requested() -> bool {
+    std::env::var_os("ADAPT_TEST_PANIC").is_some_and(|v| v == "1")
+}
+
+/// Shared `--metrics-addr`/`--live-out`/`--snapshot-every-s` setup for
+/// the two long-running runtimes. Returns `None` (zero overhead) when
+/// no live flag was given.
+#[allow(clippy::type_complexity)]
+fn build_live(
+    args: &Args,
+    deadline_ms: f64,
+) -> Result<
+    Option<(
+        std::sync::Arc<adapt_telemetry::LiveObserver>,
+        Option<adapt_telemetry::MetricsServer>,
+    )>,
+    String,
+> {
+    let metrics_addr = args.get("metrics-addr");
+    let live_out = args.get("live-out");
+    let fail_on_breach = args.switch("fail-on-slo-breach");
+    if metrics_addr.is_none() && live_out.is_none() && !fail_on_breach {
+        return Ok(None);
+    }
+    let every_s: f64 = args.get_parse_or("snapshot-every-s", 5.0)?;
+    if every_s <= 0.0 {
+        return Err("--snapshot-every-s must be > 0".into());
+    }
+    let slo = adapt_telemetry::SloConfig {
+        deadline_ms,
+        ..Default::default()
+    };
+    let mut obs = adapt_telemetry::LiveObserver::new(every_s, slo);
+    if let Some(path) = live_out {
+        obs = obs
+            .with_output(Path::new(path))
+            .map_err(|e| format!("cannot open --live-out {path}: {e}"))?;
+        println!(
+            "live: streaming snapshots to {path} every {every_s} sim-s (watch with `adapt top --input {path}`)"
+        );
+    }
+    obs.print_health
+        .store(true, std::sync::atomic::Ordering::Relaxed);
+    let obs = std::sync::Arc::new(obs);
+    let server = match metrics_addr {
+        Some(addr) => {
+            let s = adapt_telemetry::MetricsServer::start(addr, obs.clone())
+                .map_err(|e| format!("cannot bind metrics endpoint {addr}: {e}"))?;
+            println!(
+                "live: metrics endpoint on http://{}/metrics",
+                s.local_addr()
+            );
+            Some(s)
+        }
+        None => None,
+    };
+    Ok(Some((obs, server)))
+}
+
+/// Final live accounting shared by `fly` and `serve`: take the closing
+/// snapshot, report totals, and turn breaches into a nonzero exit when
+/// `--fail-on-slo-breach` was given.
+fn finish_live(
+    args: &Args,
+    live: Option<(
+        std::sync::Arc<adapt_telemetry::LiveObserver>,
+        Option<adapt_telemetry::MetricsServer>,
+    )>,
+    end_t_s: f64,
+) -> Result<(), String> {
+    let Some((obs, server)) = live else {
+        return Ok(());
+    };
+    obs.finish(end_t_s);
+    let linger_s: f64 = args.get_parse_or("linger-s", 0.0)?;
+    if linger_s > 0.0 {
+        println!("live: lingering {linger_s:.0} s with the metrics endpoint up");
+        std::thread::sleep(std::time::Duration::from_secs_f64(linger_s));
+    }
+    if let Some(s) = server {
+        s.shutdown();
+    }
+    let breaches = obs.breaches();
+    println!(
+        "live: {} snapshot(s), {} SLO breach(es)",
+        obs.snapshots_taken(),
+        breaches
+    );
+    if breaches > 0 && args.switch("fail-on-slo-breach") {
+        return Err(format!(
+            "{breaches} SLO health check(s) breached (--fail-on-slo-breach)"
+        ));
+    }
+    Ok(())
+}
+
 /// `adapt fly` — the streaming flight runtime.
 pub fn fly(args: &Args) -> Result<(), String> {
     args.assert_known(&[
@@ -348,6 +486,10 @@ pub fn fly(args: &Args) -> Result<(), String> {
         "resume",
         "kill-at-s",
         "enforce-deadline",
+        "metrics-addr",
+        "live-out",
+        "snapshot-every-s",
+        "fail-on-slo-breach",
     ])?;
     args.assert_no_positionals()?;
     let models = load_models(&args.get_or("models", "models.json"))?;
@@ -390,9 +532,17 @@ pub fn fly(args: &Args) -> Result<(), String> {
     let deadline_ms = rc.deadline_ms;
     let telemetry_path = args.get("telemetry");
 
-    let recorder = adapt_telemetry::FlightRecorder::new();
-    let runtime = adapt_onboard::FlightRuntime::new(&models, rc).with_recorder(&recorder);
+    let recorder = std::sync::Arc::new(adapt_telemetry::FlightRecorder::new());
+    install_crash_hook(recorder.clone(), telemetry_path.map(str::to_string));
+    let live = build_live(args, deadline_ms)?;
+    let mut runtime = adapt_onboard::FlightRuntime::new(&models, rc).with_recorder(&*recorder);
+    if let Some((obs, _)) = &live {
+        runtime = runtime.with_live(obs);
+    }
     recorder.begin_trial("fly", seed);
+    if test_panic_requested() {
+        panic!("panic injected by ADAPT_TEST_PANIC");
+    }
 
     println!(
         "flying {profile_flag} profile: start {start_h} h, {duration_s:.0} s of stream, \
@@ -485,6 +635,7 @@ pub fn fly(args: &Args) -> Result<(), String> {
             adapt_telemetry::NDJSON_SCHEMA
         );
     }
+    finish_live(args, live, duration_s)?;
     Ok(())
 }
 
@@ -502,6 +653,11 @@ pub fn serve(args: &Args) -> Result<(), String> {
         "mailbox-capacity",
         "deterministic",
         "telemetry",
+        "metrics-addr",
+        "live-out",
+        "snapshot-every-s",
+        "linger-s",
+        "fail-on-slo-breach",
     ])?;
     args.assert_no_positionals()?;
     let models = load_models(&args.get_or("models", "models.json"))?;
@@ -534,9 +690,18 @@ pub fn serve(args: &Args) -> Result<(), String> {
         None
     };
 
-    let recorder = adapt_telemetry::FlightRecorder::new();
-    let service = adapt_ground::GroundService::new(&models, gc.clone()).with_recorder(&recorder);
+    let recorder = std::sync::Arc::new(adapt_telemetry::FlightRecorder::new());
+    install_crash_hook(recorder.clone(), telemetry_path.map(str::to_string));
+    let live = build_live(args, gc.deadline_ms)?;
+    let mut service =
+        adapt_ground::GroundService::new(&models, gc.clone()).with_recorder(&*recorder);
+    if let Some((obs, _)) = &live {
+        service = service.with_live(obs);
+    }
     recorder.begin_trial("serve", seed);
+    if test_panic_requested() {
+        panic!("panic injected by ADAPT_TEST_PANIC");
+    }
 
     println!(
         "serving {streams} tenant stream(s) x {duration_s:.0} s over {} pool worker(s), \
@@ -631,7 +796,49 @@ pub fn serve(args: &Args) -> Result<(), String> {
             adapt_telemetry::NDJSON_SCHEMA
         );
     }
+    finish_live(args, live, duration_s)?;
     Ok(())
+}
+
+/// `adapt top` — render the latest live snapshot from a `--live-out`
+/// NDJSON stream, either once or following the file like `top(1)`.
+pub fn top(args: &Args) -> Result<(), String> {
+    args.assert_known(&["input", "refresh-ms", "once"])?;
+    args.assert_no_positionals()?;
+    let path = args.get_or("input", "live.ndjson");
+    let refresh_ms: u64 = args.get_parse_or("refresh-ms", 500)?;
+    let once = args.switch("once");
+    let mut last_rendered = 0usize;
+    loop {
+        match std::fs::read_to_string(&path) {
+            Ok(text) => {
+                let snaps = adapt_telemetry::parse_live_stream(&text)
+                    .map_err(|e| format!("{path} is not a live snapshot stream: {e}"))?;
+                if let Some(snap) = snaps.last() {
+                    if once {
+                        print!("{}", adapt_telemetry::render_top(snap));
+                        return Ok(());
+                    }
+                    if snaps.len() != last_rendered {
+                        last_rendered = snaps.len();
+                        // clear + home, like top(1), then the snapshot
+                        print!("\x1b[2J\x1b[H{}", adapt_telemetry::render_top(snap));
+                        use std::io::Write;
+                        let _ = std::io::stdout().flush();
+                    }
+                    if snap.is_final {
+                        return Ok(());
+                    }
+                } else if once {
+                    return Err(format!("{path} holds no snapshots yet"));
+                }
+            }
+            Err(e) if once => return Err(format!("cannot read {path}: {e}")),
+            // follow mode: the producer may not have created the file yet
+            Err(_) => {}
+        }
+        std::thread::sleep(std::time::Duration::from_millis(refresh_ms.max(50)));
+    }
 }
 
 fn rc_checkpoint_path(args: &Args) -> Result<String, String> {
@@ -642,12 +849,28 @@ fn rc_checkpoint_path(args: &Args) -> Result<String, String> {
 
 /// `adapt telemetry-report`
 pub fn telemetry_report(args: &Args) -> Result<(), String> {
-    args.assert_known(&["input"])?;
+    args.assert_known(&["input", "trace"])?;
     args.assert_no_positionals()?;
     let path = args.get_or("input", "telemetry.ndjson");
     let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let summary = adapt_telemetry::validate_ndjson(&text)
         .map_err(|e| format!("{path} failed schema validation: {e}"))?;
+
+    if let Some(id) = args.get("trace") {
+        let tree = adapt_telemetry::render_trace(&summary.traces, id).ok_or_else(|| {
+            let ids = adapt_telemetry::trace_ids(&summary.traces);
+            if ids.is_empty() {
+                format!(
+                    "{path} holds no trace spans (schema {} capture?)",
+                    summary.schema
+                )
+            } else {
+                format!("no trace '{id}' in {path} (available: {})", ids.join(", "))
+            }
+        })?;
+        print!("{tree}");
+        return Ok(());
+    }
 
     println!(
         "telemetry capture {path}: schema {}, {} repetitions/mode, {} trials ({})",
@@ -754,6 +977,19 @@ pub fn telemetry_report(args: &Args) -> Result<(), String> {
         for (name, max_depth, samples) in &summary.queues {
             println!("{name:<10} {max_depth:>10} {samples:>12}");
         }
+    }
+    if !summary.traces.is_empty() {
+        let ids = adapt_telemetry::trace_ids(&summary.traces);
+        let shown: Vec<&str> = ids.iter().take(8).map(String::as_str).collect();
+        println!();
+        println!(
+            "causal traces: {} span(s) across {} alert(s) — render one with \
+             --trace <id> (e.g. {}{})",
+            summary.traces.len(),
+            ids.len(),
+            shown.join(", "),
+            if ids.len() > shown.len() { ", ..." } else { "" }
+        );
     }
     Ok(())
 }

@@ -16,7 +16,14 @@ mod commands;
 use args::Args;
 
 /// Flags that are boolean switches (take no value).
-const SWITCHES: &[&str] = &["track", "resume", "enforce-deadline", "deterministic"];
+const SWITCHES: &[&str] = &[
+    "track",
+    "resume",
+    "enforce-deadline",
+    "deterministic",
+    "fail-on-slo-breach",
+    "once",
+];
 
 fn main() {
     let parsed = match Args::parse_with_switches(std::env::args().skip(1), SWITCHES) {
@@ -33,6 +40,7 @@ fn main() {
         Some("localize") => commands::localize(&parsed),
         Some("fly") => commands::fly(&parsed),
         Some("serve") => commands::serve(&parsed),
+        Some("top") => commands::top(&parsed),
         Some("telemetry-report") => commands::telemetry_report(&parsed),
         Some("skymap") => commands::skymap(&parsed),
         Some("report") => commands::report(&parsed),

@@ -45,7 +45,10 @@ use adapt_onboard::{
     OnlineTriggerConfig, OpenEpoch, COST_PRIORS_MS,
 };
 use adapt_sim::{FlightProfile, GrbConfig, StreamConfig, StreamingSource};
-use adapt_telemetry::{AlertRecord, Counter, Recorder, Stage};
+use adapt_telemetry::{
+    AlertRecord, Counter, CounterHandle, GaugeHandle, HistogramHandle, LiveObserver, Recorder,
+    Stage, TraceSpanRecord,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -207,12 +210,72 @@ struct Lane {
     done: bool,
 }
 
+/// Live-registry handles for the ground service, registered once per
+/// run so the hot paths touch only atomics. Per-stream alert counters
+/// and per-worker epoch counters give `adapt top` its breakdown tables;
+/// `adapt_pool_pending` arms the watchdog's pool-stall check and
+/// `adapt_alert_latency_ms` its deadline-burn check.
+struct GroundLive {
+    events_ingested: CounterHandle,
+    epochs_opened: CounterHandle,
+    alerts_by_stream: Vec<(usize, CounterHandle)>,
+    per_level: [CounterHandle; 4],
+    per_worker: Vec<CounterHandle>,
+    fanout_delivered: CounterHandle,
+    fanout_shed: CounterHandle,
+    pool_pending: GaugeHandle,
+    alert_latency: HistogramHandle,
+}
+
+impl GroundLive {
+    fn register(observer: &LiveObserver, stream_ids: &[usize], workers: usize) -> Self {
+        let reg = observer.registry();
+        reg.gauge("adapt_streams_served", &[])
+            .set(stream_ids.len() as f64);
+        reg.gauge("adapt_pool_workers", &[]).set(workers as f64);
+        GroundLive {
+            events_ingested: reg.counter("adapt_events_ingested_total", &[]),
+            epochs_opened: reg.counter("adapt_epochs_opened_total", &[]),
+            alerts_by_stream: stream_ids
+                .iter()
+                .map(|&id| {
+                    let label = id.to_string();
+                    (
+                        id,
+                        reg.counter("adapt_alerts_emitted_total", &[("stream", &label)]),
+                    )
+                })
+                .collect(),
+            per_level: DegradationLevel::ALL
+                .map(|l| reg.counter("adapt_epochs_localized_total", &[("level", l.name())])),
+            per_worker: (0..workers)
+                .map(|w| {
+                    let label = w.to_string();
+                    reg.counter("adapt_worker_epochs_total", &[("worker", &label)])
+                })
+                .collect(),
+            fanout_delivered: reg.counter("adapt_fanout_delivered_total", &[]),
+            fanout_shed: reg.counter("adapt_fanout_shed_total", &[]),
+            pool_pending: reg.gauge("adapt_pool_pending", &[]),
+            alert_latency: reg.histogram("adapt_alert_latency_ms", &[]),
+        }
+    }
+
+    fn alerts_for(&self, stream_id: usize) -> Option<&CounterHandle> {
+        self.alerts_by_stream
+            .iter()
+            .find(|(id, _)| *id == stream_id)
+            .map(|(_, h)| h)
+    }
+}
+
 /// The multi-tenant ground service. Borrows the trained models once;
 /// every pool worker executes the same compiled plans.
 pub struct GroundService<'a> {
     models: &'a TrainedModels,
     config: GroundConfig,
     recorder: &'a dyn Recorder,
+    live: Option<&'a LiveObserver>,
 }
 
 impl<'a> GroundService<'a> {
@@ -222,12 +285,20 @@ impl<'a> GroundService<'a> {
             models,
             config,
             recorder: adapt_telemetry::noop(),
+            live: None,
         }
     }
 
     /// Attach a telemetry recorder.
     pub fn with_recorder(mut self, recorder: &'a dyn Recorder) -> Self {
         self.recorder = recorder;
+        self
+    }
+
+    /// Attach a live observer: registers the ground metric set and ticks
+    /// periodic snapshots from the ingest shards' stream clocks.
+    pub fn with_live(mut self, observer: &'a LiveObserver) -> Self {
+        self.live = Some(observer);
         self
     }
 
@@ -249,6 +320,11 @@ impl<'a> GroundService<'a> {
             .map(|s| s.config.duration_s)
             .fold(0.0, f64::max);
         recorder.add(Counter::StreamsServed, n_streams as u64);
+        let live = self.live;
+        let glv = live.map(|obs| {
+            let ids: Vec<usize> = specs.iter().map(|s| s.id).collect();
+            GroundLive::register(obs, &ids, config.workers)
+        });
 
         // the shared plan cache: compile both plans once, before any
         // worker exists — every EpochLocalizer borrows these
@@ -291,6 +367,7 @@ impl<'a> GroundService<'a> {
             let epochs_dispatched = &epochs_dispatched;
             let events_ingested = &events_ingested;
             let compiled_background = &compiled_background;
+            let glv = &glv;
 
             // ── ingest shards: advance lanes in tick_s stream-time slices ──
             let shard_handles: Vec<_> = shards
@@ -300,6 +377,28 @@ impl<'a> GroundService<'a> {
                         let mut active = lanes.len();
                         let dispatch = |lane: &mut Lane, epoch: OpenEpoch| {
                             recorder.add(Counter::EpochsOpened, 1);
+                            if recorder.is_enabled() {
+                                // mint the causal trace: the root span
+                                // opens when the trigger fires, before
+                                // the epoch enters the pool
+                                recorder.trace_span(&TraceSpanRecord {
+                                    trace_id: format!(
+                                        "s{}.e{}",
+                                        lane.stream_id, lane.next_epoch_index
+                                    ),
+                                    span: "trigger".into(),
+                                    parent: None,
+                                    t_s: epoch.t_trigger_s,
+                                    start_ms: 0.0,
+                                    duration_ms: 0.0,
+                                    queue_depth: pool.pending() as u64,
+                                    detail: format!(
+                                        "sigma={:.1} events={}",
+                                        epoch.significance_sigma,
+                                        epoch.events.len()
+                                    ),
+                                });
+                            }
                             let task = GroundTask {
                                 stream_id: lane.stream_id,
                                 epoch_index: lane.next_epoch_index,
@@ -311,6 +410,10 @@ impl<'a> GroundService<'a> {
                             epochs_dispatched.fetch_add(1, Ordering::Relaxed);
                             pool.push(lane.stream_id, task.ready + deadline, task);
                             recorder.queue_depth("pool", pool.pending() as u64);
+                            if let Some(m) = glv {
+                                m.epochs_opened.inc();
+                                m.pool_pending.set(pool.pending() as f64);
+                            }
                         };
                         while active > 0 {
                             for lane in &mut lanes {
@@ -351,6 +454,15 @@ impl<'a> GroundService<'a> {
                                 if slice_events > 0 {
                                     recorder.add(Counter::EventsIngested, slice_events);
                                 }
+                                if let Some(obs) = live {
+                                    if let Some(m) = glv {
+                                        m.events_ingested.add(slice_events);
+                                    }
+                                    // shard clocks race ahead of each
+                                    // other; the observer's CAS election
+                                    // makes concurrent ticks cheap
+                                    obs.tick(lane.clock_s);
+                                }
                             }
                         }
                         lanes.iter().map(|l| l.events).sum::<u64>()
@@ -375,13 +487,39 @@ impl<'a> GroundService<'a> {
                         // forbids the expensive rungs
                         let backlog = pool.pending() / config.workers;
                         let waited_ms = task.ready.elapsed().as_secs_f64() * 1e3;
-                        let chosen = if config.deterministic {
-                            DegradationLevel::FullMl
+                        let (chosen, reason) = if config.deterministic {
+                            (DegradationLevel::FullMl, "pinned")
                         } else {
                             let cost = *cost_model.lock().unwrap();
                             let budget = (config.deadline_ms - waited_ms) * config.safety_factor;
-                            choose_level(&cost, budget, backlog).0
+                            choose_level(&cost, budget, backlog)
                         };
+                        let trace_id = format!("s{}.e{}", task.stream_id, task.epoch_index);
+                        if recorder.is_enabled() {
+                            recorder.trace_span(&TraceSpanRecord {
+                                trace_id: trace_id.clone(),
+                                span: "queue-wait".into(),
+                                parent: Some("trigger".into()),
+                                t_s: task.epoch.t_trigger_s,
+                                start_ms: 0.0,
+                                duration_ms: waited_ms,
+                                queue_depth: backlog as u64,
+                                detail: String::new(),
+                            });
+                            recorder.trace_span(&TraceSpanRecord {
+                                trace_id: trace_id.clone(),
+                                span: "schedule".into(),
+                                parent: Some("trigger".into()),
+                                t_s: task.epoch.t_trigger_s,
+                                start_ms: waited_ms,
+                                duration_ms: 0.0,
+                                queue_depth: backlog as u64,
+                                detail: format!(
+                                    "level={} reason={reason} worker={w}",
+                                    chosen.name()
+                                ),
+                            });
+                        }
 
                         let mut rng = ChaCha8Rng::seed_from_u64(epoch_rng_seed(
                             task.localizer_seed,
@@ -395,9 +533,30 @@ impl<'a> GroundService<'a> {
                         };
                         let compute = t_compute.elapsed();
                         recorder.duration(Stage::Total, compute);
+                        if recorder.is_enabled() {
+                            recorder.trace_span(&TraceSpanRecord {
+                                trace_id: trace_id.clone(),
+                                span: "localize".into(),
+                                parent: Some("trigger".into()),
+                                t_s: task.epoch.t_trigger_s,
+                                start_ms: waited_ms,
+                                duration_ms: compute.as_secs_f64() * 1e3,
+                                queue_depth: pool.pending() as u64,
+                                detail: format!("level={} rings={}", out.level.name(), out.rings),
+                            });
+                        }
                         let latency = task.ready.elapsed();
                         recorder.duration(Stage::AlertLatency, latency);
                         per_level[out.level.slot()].fetch_add(1, Ordering::Relaxed);
+                        if let Some(m) = glv {
+                            m.per_level[out.level.slot()].inc();
+                            m.per_worker[w].inc();
+                            m.pool_pending.set(pool.pending() as f64);
+                            m.alert_latency.record(latency);
+                            if let Some(c) = m.alerts_for(task.stream_id) {
+                                c.inc();
+                            }
+                        }
                         {
                             let mut cost = cost_model.lock().unwrap();
                             let slot = out.level.slot();
@@ -437,10 +596,31 @@ impl<'a> GroundService<'a> {
                             alert,
                         });
                         if let Some(pop) = fanout {
+                            let fan_start_ms = task.ready.elapsed().as_secs_f64() * 1e3;
                             let out = pop.publish(&ground);
                             recorder.add(Counter::AlertsFannedOut, out.delivered);
                             if out.shed > 0 {
                                 recorder.add(Counter::FanoutShed, out.shed);
+                            }
+                            if recorder.is_enabled() {
+                                let fan_end_ms = task.ready.elapsed().as_secs_f64() * 1e3;
+                                recorder.trace_span(&TraceSpanRecord {
+                                    trace_id: trace_id.clone(),
+                                    span: "fanout".into(),
+                                    parent: Some("trigger".into()),
+                                    t_s: task.epoch.t_trigger_s,
+                                    start_ms: fan_start_ms,
+                                    duration_ms: fan_end_ms - fan_start_ms,
+                                    queue_depth: pool.pending() as u64,
+                                    detail: format!(
+                                        "matched={} delivered={} shed={}",
+                                        out.matched, out.delivered, out.shed
+                                    ),
+                                });
+                            }
+                            if let Some(m) = glv {
+                                m.fanout_delivered.add(out.delivered);
+                                m.fanout_shed.add(out.shed);
                             }
                         }
                         latencies.lock().unwrap().push(ground.alert.latency_ms);

@@ -44,7 +44,10 @@ use adapt_math::{rad_to_deg, vec3::UnitVec3};
 use adapt_nn::CompiledMlp;
 use adapt_recon::Reconstructor;
 use adapt_sim::{StreamStats, StreamingSource};
-use adapt_telemetry::{AlertRecord, Counter, DegradationRecord, Recorder, Stage};
+use adapt_telemetry::{
+    AlertRecord, Counter, CounterHandle, DegradationRecord, GaugeHandle, HistogramHandle,
+    LiveObserver, Recorder, Stage, TraceSpanRecord,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
@@ -397,12 +400,55 @@ struct WorkerShared {
     level: DegradationLevel,
 }
 
+/// Live-registry handles of the flight runtime, registered once per run.
+/// Metric names follow the watchdog conventions in
+/// `adapt_telemetry::health`: `*_queue_depth`/`*_queue_capacity` pairs
+/// drive queue-saturation, `adapt_alert_latency_ms` drives the
+/// deadline-burn rate, `adapt_alerts_emitted_total` the alert-rate
+/// budget.
+struct FlightLive {
+    events_ingested: CounterHandle,
+    events_dropped: CounterHandle,
+    epochs_opened: CounterHandle,
+    alerts_emitted: CounterHandle,
+    degradations: CounterHandle,
+    per_level: [CounterHandle; 4],
+    ingest_depth: GaugeHandle,
+    epoch_depth: GaugeHandle,
+    level_gauge: GaugeHandle,
+    alert_latency: HistogramHandle,
+}
+
+impl FlightLive {
+    fn register(observer: &LiveObserver, config: &RuntimeConfig) -> Self {
+        let reg = observer.registry();
+        reg.gauge("adapt_ingest_queue_capacity", &[("queue", "ingest")])
+            .set(config.ingest_capacity as f64);
+        reg.gauge("adapt_epoch_queue_capacity", &[("queue", "epoch")])
+            .set(config.epoch_capacity as f64);
+        FlightLive {
+            events_ingested: reg.counter("adapt_events_ingested_total", &[]),
+            events_dropped: reg.counter("adapt_events_dropped_total", &[]),
+            epochs_opened: reg.counter("adapt_epochs_opened_total", &[]),
+            alerts_emitted: reg.counter("adapt_alerts_emitted_total", &[("stream", "0")]),
+            degradations: reg.counter("adapt_degradation_transitions_total", &[]),
+            per_level: DegradationLevel::ALL
+                .map(|l| reg.counter("adapt_epochs_localized_total", &[("level", l.name())])),
+            ingest_depth: reg.gauge("adapt_ingest_queue_depth", &[("queue", "ingest")]),
+            epoch_depth: reg.gauge("adapt_epoch_queue_depth", &[("queue", "epoch")]),
+            level_gauge: reg.gauge("adapt_degradation_level", &[]),
+            alert_latency: reg.histogram("adapt_alert_latency_ms", &[]),
+        }
+    }
+}
+
 /// The streaming flight runtime. Borrows the trained models; construct
 /// once, run one stream per call.
 pub struct FlightRuntime<'a> {
     models: &'a TrainedModels,
     config: RuntimeConfig,
     recorder: &'a dyn Recorder,
+    live: Option<&'a LiveObserver>,
 }
 
 impl<'a> FlightRuntime<'a> {
@@ -412,6 +458,7 @@ impl<'a> FlightRuntime<'a> {
             models,
             config,
             recorder: adapt_telemetry::noop(),
+            live: None,
         }
     }
 
@@ -419,6 +466,14 @@ impl<'a> FlightRuntime<'a> {
     /// degradation transitions, alert records).
     pub fn with_recorder(mut self, recorder: &'a dyn Recorder) -> Self {
         self.recorder = recorder;
+        self
+    }
+
+    /// Attach a live observer: the runtime registers its counters,
+    /// queue gauges, and latency histogram into the observer's registry
+    /// and drives the periodic snapshot clock from stream time.
+    pub fn with_live(mut self, live: &'a LiveObserver) -> Self {
+        self.live = Some(live);
         self
     }
 
@@ -466,6 +521,8 @@ impl<'a> FlightRuntime<'a> {
         let config = &self.config;
         let recorder = self.recorder;
         let models = self.models;
+        let live = self.live;
+        let flm = live.map(|obs| FlightLive::register(obs, config));
         // compile both shared plans on this thread, before workers race
         models.quantized_background.plan();
         let compiled_background = CompiledMlp::compile(&models.background);
@@ -497,12 +554,25 @@ impl<'a> FlightRuntime<'a> {
                             break;
                         }
                     }
+                    let t_s = se.t_s;
                     if ingest_q.push(se) {
                         recorder.add(Counter::EventsIngested, 1);
+                        if let Some(m) = &flm {
+                            m.events_ingested.inc();
+                        }
                     } else {
                         recorder.add(Counter::EventsDropped, 1);
+                        if let Some(m) = &flm {
+                            m.events_dropped.inc();
+                        }
                     }
                     recorder.queue_depth("ingest", ingest_q.len() as u64);
+                    if let Some(obs) = live {
+                        if let Some(m) = &flm {
+                            m.ingest_depth.set(ingest_q.len() as f64);
+                        }
+                        obs.tick(t_s);
+                    }
                 }
                 ingest_q.close();
                 source.stats()
@@ -539,6 +609,27 @@ impl<'a> FlightRuntime<'a> {
                 };
                 let dispatch = |epoch: OpenEpoch, next_index: &mut u64| {
                     recorder.add(Counter::EpochsOpened, 1);
+                    if let Some(m) = &flm {
+                        m.epochs_opened.inc();
+                    }
+                    if recorder.is_enabled() {
+                        // mint the causal trace: the root span opens when
+                        // the trigger fires, before any queueing
+                        recorder.trace_span(&TraceSpanRecord {
+                            trace_id: format!("s0.e{}", *next_index),
+                            span: "trigger".into(),
+                            parent: None,
+                            t_s: epoch.t_trigger_s,
+                            start_ms: 0.0,
+                            duration_ms: 0.0,
+                            queue_depth: ingest_q.len() as u64,
+                            detail: format!(
+                                "sigma={:.1} events={}",
+                                epoch.significance_sigma,
+                                epoch.events.len()
+                            ),
+                        });
+                    }
                     let job = EpochJob {
                         index: *next_index,
                         epoch,
@@ -548,6 +639,9 @@ impl<'a> FlightRuntime<'a> {
                     epochs_dispatched.fetch_add(1, Ordering::SeqCst);
                     epoch_q.push(job);
                     recorder.queue_depth("epoch", epoch_q.len() as u64);
+                    if let Some(m) = &flm {
+                        m.epoch_depth.set(epoch_q.len() as f64);
+                    }
                 };
                 while let Some(se) = ingest_q.pop() {
                     if let Some(done) = trigger.observe(&se) {
@@ -592,6 +686,30 @@ impl<'a> FlightRuntime<'a> {
                         )
                     };
 
+                    let trace_id = format!("s0.e{}", job.index);
+                    if recorder.is_enabled() {
+                        recorder.trace_span(&TraceSpanRecord {
+                            trace_id: trace_id.clone(),
+                            span: "queue-wait".into(),
+                            parent: Some("trigger".into()),
+                            t_s: job.epoch.t_trigger_s,
+                            start_ms: 0.0,
+                            duration_ms: waited_ms,
+                            queue_depth: backlog as u64,
+                            detail: String::new(),
+                        });
+                        recorder.trace_span(&TraceSpanRecord {
+                            trace_id: trace_id.clone(),
+                            span: "schedule".into(),
+                            parent: Some("trigger".into()),
+                            t_s: job.epoch.t_trigger_s,
+                            start_ms: waited_ms,
+                            duration_ms: 0.0,
+                            queue_depth: backlog as u64,
+                            detail: format!("level={} reason={reason}", chosen.name()),
+                        });
+                    }
+
                     let mut rng = ChaCha8Rng::seed_from_u64(epoch_rng_seed(config.seed, job.index));
                     let t_compute = Instant::now();
                     let Some(out) = localizer.localize_epoch(&job.epoch, chosen, &mut rng, &mut ws)
@@ -605,6 +723,18 @@ impl<'a> FlightRuntime<'a> {
                     let compute = t_compute.elapsed();
                     let compute_ms = compute.as_secs_f64() * 1e3;
                     recorder.duration(Stage::Total, compute);
+                    if recorder.is_enabled() {
+                        recorder.trace_span(&TraceSpanRecord {
+                            trace_id: trace_id.clone(),
+                            span: "localize".into(),
+                            parent: Some("trigger".into()),
+                            t_s: job.epoch.t_trigger_s,
+                            start_ms: waited_ms,
+                            duration_ms: compute_ms,
+                            queue_depth: epoch_q.len() as u64,
+                            detail: format!("level={} rings={}", level.name(), out.rings),
+                        });
+                    }
 
                     let latency = job.ready.elapsed();
                     recorder.duration(Stage::AlertLatency, latency);
@@ -623,6 +753,13 @@ impl<'a> FlightRuntime<'a> {
                         epoch_depth: epoch_q.len(),
                     };
                     recorder.add(Counter::AlertsEmitted, 1);
+                    if let Some(m) = &flm {
+                        m.alerts_emitted.inc();
+                        m.per_level[level.slot()].inc();
+                        m.level_gauge.set(level.slot() as f64);
+                        m.alert_latency.record(latency);
+                        m.epoch_depth.set(epoch_q.len() as f64);
+                    }
                     recorder.alert(&AlertRecord {
                         t_s: alert.t_trigger_s,
                         mode: level.name().to_string(),
@@ -658,6 +795,9 @@ impl<'a> FlightRuntime<'a> {
                             reason: reason.to_string(),
                         };
                         recorder.add(Counter::DegradationTransitions, 1);
+                        if let Some(m) = &flm {
+                            m.degradations.inc();
+                        }
                         recorder.degradation(&rec);
                         transitions.lock().unwrap().push(rec);
                     }

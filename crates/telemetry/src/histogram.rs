@@ -159,6 +159,11 @@ impl LatencyHistogram {
     /// convention as the paper's containment radii. Never underestimates
     /// the true order statistic, and overestimates it by at most one
     /// bucket width (`≤ 12.5 %` + 1 ns). Returns 0 when empty.
+    ///
+    /// Each call reads the live buckets independently, so two calls that
+    /// race concurrent writers may disagree (e.g. a p50 read before a
+    /// burst can exceed a p99 read after it); use [`Self::snapshot`] when
+    /// cross-quantile consistency matters.
     pub fn quantile_ns(&self, q: f64) -> u64 {
         assert!((0.0..=1.0).contains(&q), "quantile fraction out of range");
         let n = self.count();
@@ -178,17 +183,61 @@ impl LatencyHistogram {
     }
 
     /// A plain-data summary in milliseconds, for tables and export.
+    ///
+    /// Unlike calling [`Self::quantile_ns`] three times, this is a
+    /// *coherent* view under concurrent recording: the buckets are copied
+    /// once, the count is derived from that copy, and every quantile is
+    /// ranked against it — so `min ≤ p50 ≤ p90 ≤ p99 ≤ max` and
+    /// `mean ∈ [min, max]` hold no matter how many writers (or a
+    /// concurrent `merge`) race the snapshot. Racing samples either land
+    /// entirely inside the copy or entirely outside it.
     pub fn snapshot(&self) -> HistogramSnapshot {
+        let frozen: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let n: u64 = frozen.iter().sum();
+        if n == 0 {
+            return HistogramSnapshot::default();
+        }
+        // Bounds from the frozen buckets, widened by the exact atomics
+        // where those are consistent with the copy. A racing writer may
+        // have bumped min/max without its bucket landing in the copy (or
+        // vice versa), so each side falls back to the bucket edge.
+        let first = frozen.iter().position(|&c| c > 0).unwrap();
+        let last = frozen.iter().rposition(|&c| c > 0).unwrap();
+        let min_rep = self
+            .min_ns
+            .load(Ordering::Relaxed)
+            .clamp(bucket_lo(first).max(1), bucket_hi(first));
+        let max_rep = self
+            .max_ns
+            .load(Ordering::Relaxed)
+            .clamp(bucket_lo(last).max(1), bucket_hi(last))
+            .max(min_rep);
+        let quantile = |q: f64| -> u64 {
+            let rank = ((q * n as f64).ceil() as u64).clamp(1, n);
+            let mut cum = 0u64;
+            for (i, &c) in frozen.iter().enumerate() {
+                cum += c;
+                if cum >= rank {
+                    return bucket_hi(i).clamp(min_rep, max_rep);
+                }
+            }
+            max_rep
+        };
+        let mean_ns = (self.sum_ns.load(Ordering::Relaxed) as f64 / n as f64)
+            .clamp(min_rep as f64, max_rep as f64);
         let ms = |ns: u64| ns as f64 / 1e6;
-        let n = self.count();
         HistogramSnapshot {
             count: n,
-            mean_ms: self.mean_ns() / 1e6,
-            p50_ms: ms(self.quantile_ns(0.50)),
-            p90_ms: ms(self.quantile_ns(0.90)),
-            p99_ms: ms(self.quantile_ns(0.99)),
-            min_ms: if n == 0 { 0.0 } else { ms(self.min_ns()) },
-            max_ms: ms(self.max_ns()),
+            mean_ms: mean_ns / 1e6,
+            p50_ms: ms(quantile(0.50)),
+            p90_ms: ms(quantile(0.90)),
+            p99_ms: ms(quantile(0.99)),
+            min_ms: ms(min_rep),
+            max_ms: ms(max_rep),
         }
     }
 }
@@ -304,6 +353,71 @@ mod tests {
         let s = h.snapshot();
         assert_eq!(s.count, 0);
         assert_eq!(s.mean_ms, 0.0);
+    }
+
+    /// Satellite regression: a snapshot taken mid-record (and mid-merge)
+    /// must never report incoherent statistics. Writers hammer
+    /// `record_ns` with values spanning several octaves while one thread
+    /// repeatedly merges a side histogram in and a reader asserts the
+    /// snapshot invariants on every pull.
+    #[test]
+    fn snapshot_is_coherent_under_concurrent_record_and_merge() {
+        let h = LatencyHistogram::new();
+        let stop = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for t in 0..3u64 {
+                let (h, stop) = (&h, &stop);
+                s.spawn(move || {
+                    let mut v = t * 104_729 + 1;
+                    while stop.load(Ordering::Relaxed) == 0 {
+                        for _ in 0..64 {
+                            // xorshift spanning ~1 ns .. ~1 ms
+                            v ^= v << 13;
+                            v ^= v >> 7;
+                            v ^= v << 17;
+                            h.record_ns(v % 1_000_000 + 1);
+                        }
+                    }
+                });
+            }
+            let (h, stop) = (&h, &stop);
+            s.spawn(move || {
+                let side = LatencyHistogram::new();
+                for v in 0..256u64 {
+                    side.record_ns(v * 4093 % 500_000 + 1);
+                }
+                while stop.load(Ordering::Relaxed) == 0 {
+                    h.merge(&side);
+                }
+            });
+            let mut last_count = 0u64;
+            for _ in 0..2000 {
+                let s = h.snapshot();
+                if s.count == 0 {
+                    continue;
+                }
+                assert!(
+                    s.min_ms <= s.p50_ms
+                        && s.p50_ms <= s.p90_ms
+                        && s.p90_ms <= s.p99_ms
+                        && s.p99_ms <= s.max_ms,
+                    "non-monotone percentiles: {s:?}"
+                );
+                assert!(
+                    s.mean_ms >= s.min_ms && s.mean_ms <= s.max_ms,
+                    "mean outside [min, max]: {s:?}"
+                );
+                assert!(s.count >= last_count, "count went backwards: {s:?}");
+                last_count = s.count;
+            }
+            stop.store(1, Ordering::Relaxed);
+        });
+        // Quiescent: the snapshot must agree exactly with the atomics.
+        let s = h.snapshot();
+        assert_eq!(s.count, h.count());
+        assert!((s.min_ms - h.min_ns() as f64 / 1e6).abs() < 1e-12);
+        assert!((s.max_ms - h.max_ns() as f64 / 1e6).abs() < 1e-12);
+        assert!((s.p99_ms - h.quantile_ns(0.99) as f64 / 1e6).abs() < 1e-12);
     }
 
     #[test]

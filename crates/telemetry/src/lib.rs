@@ -26,7 +26,19 @@
 //!   feature-schema hash, weight checksum, host);
 //! * [`drift`] — training-time [`DriftReference`] statistics plus the
 //!   inference-side [`DriftMonitor`] whose PSI scores surface through
-//!   the drift counters and `telemetry-report`.
+//!   the drift counters and `telemetry-report`;
+//! * [`live`] — the *live* observability layer: a lock-free
+//!   [`MetricsRegistry`] of named, labeled counters/gauges/histograms,
+//!   the [`LiveObserver`] periodic snapshot exporter (NDJSON stream +
+//!   Prometheus text exposition over [`MetricsServer`]), and the
+//!   `adapt top` renderer;
+//! * [`health`] — the [`SloWatchdog`] turning registry snapshots into
+//!   greppable `health:` verdicts (deadline burn, queue saturation,
+//!   pool stalls, rolling alert rate, drift);
+//! * [`trace`] — causal alert traces: [`TraceSpanRecord`]s minted at
+//!   trigger open and carried through scheduling, localization, and
+//!   fan-out, reconstructed into span trees by `telemetry-report
+//!   --trace`.
 //!
 //! Overhead budget: recording one span is a bucket-index computation and
 //! five relaxed atomic ops (~10 ns); a disabled recorder is one virtual
@@ -35,20 +47,31 @@
 //! localization), far off the per-ring hot path.
 
 pub mod drift;
+pub mod health;
 pub mod histogram;
+pub mod live;
 pub mod ndjson;
 pub mod recorder;
 pub mod run;
+pub mod trace;
 
 pub use drift::{DriftMonitor, DriftReference, DriftReport, DRIFT_BINS, PSI_FLAG};
+pub use health::{HealthLine, SloConfig, SloWatchdog};
 pub use histogram::{HistogramSnapshot, LatencyHistogram};
+pub use live::{
+    parse_live_stream, render_top, CounterHandle, GaugeHandle, HistogramHandle, LiveObserver,
+    LiveSnapshot, MetricKind, MetricSample, MetricsRegistry, MetricsServer, RegistrySnapshot,
+    LIVE_SCHEMA,
+};
 pub use ndjson::{export, validate as validate_ndjson, NdjsonSummary, NDJSON_SCHEMA};
 pub use recorder::{
     noop, AlertRecord, Counter, DegradationRecord, FlightRecorder, LoopEvent, LoopIterationRecord,
-    LoopSummaryRecord, NoopRecorder, QueueGauge, Recorder, Stage, TrialRecord, SCORE_BINS,
+    LoopSummaryRecord, NoopRecorder, QueueGauge, Recorder, Stage, TraceSpanRecord, TrialRecord,
+    SCORE_BINS,
 };
 pub use run::{
     diff_manifests, fnv1a_hex, list_runs, load_manifest, validate_run, write_atomic, AbortReason,
     EpochRecord, HostInfo, ManifestDraft, RunManifest, RunSummary, RunTracker, Watchdog,
     WatchdogConfig, RUN_SCHEMA,
 };
+pub use trace::{end_to_end_ms, render_trace, trace_ids};

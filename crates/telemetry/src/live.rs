@@ -1,0 +1,980 @@
+//! Live service observability: a lock-free metrics registry with named,
+//! labeled handles, a periodic snapshot exporter (NDJSON stream +
+//! Prometheus-style text exposition over a tiny blocking HTTP endpoint),
+//! and the `adapt top` table renderer.
+//!
+//! Services register counters/gauges/histograms once at startup (the
+//! only locked path) and then update them through [`CounterHandle`] /
+//! [`GaugeHandle`] / [`HistogramHandle`], which are plain `Arc`s around
+//! atomics — the hot path never takes a lock and never allocates.
+//! [`LiveObserver::tick`] snapshots the registry every N *simulated*
+//! seconds (gated by one atomic compare-exchange, so concurrent shards
+//! can all call it cheaply), appends a `live_snapshot` NDJSON line, and
+//! runs the [`crate::health::SloWatchdog`] over the snapshot, emitting
+//! greppable `health:` lines.
+
+use crate::health::{HealthLine, SloConfig, SloWatchdog};
+use crate::histogram::{HistogramSnapshot, LatencyHistogram};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Schema version of the `live_*` NDJSON snapshot stream (independent of
+/// the flight-capture schema in [`crate::ndjson`]).
+pub const LIVE_SCHEMA: u32 = 1;
+
+/// What a registry entry measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone event count.
+    Counter,
+    /// Last-write-wins instantaneous value.
+    Gauge,
+    /// Latency distribution ([`LatencyHistogram`]).
+    Histogram,
+}
+
+impl MetricKind {
+    /// Stable machine name (NDJSON / exposition `# TYPE` value).
+    pub fn name(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+enum EntryValue {
+    Counter(AtomicU64),
+    /// f64 stored as its bit pattern.
+    Gauge(AtomicU64),
+    Histogram(LatencyHistogram),
+}
+
+/// One registered metric: a name, a label set, and its value cell.
+#[derive(Debug)]
+struct Entry {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: EntryValue,
+}
+
+impl Entry {
+    fn kind(&self) -> MetricKind {
+        match self.value {
+            EntryValue::Counter(_) => MetricKind::Counter,
+            EntryValue::Gauge(_) => MetricKind::Gauge,
+            EntryValue::Histogram(_) => MetricKind::Histogram,
+        }
+    }
+}
+
+/// A handle to a registered counter; `inc`/`add` are single relaxed
+/// atomic adds. Clone freely — all clones share the same cell.
+#[derive(Debug, Clone)]
+pub struct CounterHandle(Arc<Entry>);
+
+impl CounterHandle {
+    /// Add 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        match &self.0.value {
+            EntryValue::Counter(c) => {
+                c.fetch_add(n, Ordering::Relaxed);
+            }
+            _ => unreachable!("counter handle wraps a counter entry"),
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        match &self.0.value {
+            EntryValue::Counter(c) => c.load(Ordering::Relaxed),
+            _ => unreachable!("counter handle wraps a counter entry"),
+        }
+    }
+}
+
+/// A handle to a registered gauge; `set` is one relaxed atomic store.
+#[derive(Debug, Clone)]
+pub struct GaugeHandle(Arc<Entry>);
+
+impl GaugeHandle {
+    /// Overwrite the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        match &self.0.value {
+            EntryValue::Gauge(g) => g.store(v.to_bits(), Ordering::Relaxed),
+            _ => unreachable!("gauge handle wraps a gauge entry"),
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        match &self.0.value {
+            EntryValue::Gauge(g) => f64::from_bits(g.load(Ordering::Relaxed)),
+            _ => unreachable!("gauge handle wraps a gauge entry"),
+        }
+    }
+}
+
+/// A handle to a registered latency histogram.
+#[derive(Debug, Clone)]
+pub struct HistogramHandle(Arc<Entry>);
+
+impl HistogramHandle {
+    fn hist(&self) -> &LatencyHistogram {
+        match &self.0.value {
+            EntryValue::Histogram(h) => h,
+            _ => unreachable!("histogram handle wraps a histogram entry"),
+        }
+    }
+
+    /// Record one duration.
+    #[inline]
+    pub fn record(&self, d: Duration) {
+        self.hist().record(d);
+    }
+
+    /// Record a millisecond value.
+    #[inline]
+    pub fn record_ms(&self, ms: f64) {
+        self.hist().record_ns((ms.max(0.0) * 1e6) as u64);
+    }
+
+    /// Coherent percentile snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.hist().snapshot()
+    }
+}
+
+/// One metric's value at snapshot time.
+#[derive(Debug, Clone)]
+pub struct MetricSample {
+    /// Metric base name (e.g. `adapt_alerts_emitted_total`).
+    pub name: String,
+    /// Label pairs, in registration order.
+    pub labels: Vec<(String, String)>,
+    /// Kind of the backing cell.
+    pub kind: MetricKind,
+    /// Counter/gauge value (counters as exact integers in f64; 0 for
+    /// histograms — see `hist`).
+    pub value: f64,
+    /// Percentile summary when `kind` is `Histogram`.
+    pub hist: Option<HistogramSnapshot>,
+}
+
+impl MetricSample {
+    /// `name{k="v",...}` — the exposition/series identity of this sample.
+    pub fn series(&self) -> String {
+        render_series(&self.name, &self.labels)
+    }
+}
+
+fn render_series(name: &str, labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return name.to_string();
+    }
+    let inner: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .collect();
+    format!("{name}{{{}}}", inner.join(","))
+}
+
+/// A point-in-time copy of every registered metric.
+#[derive(Debug, Clone, Default)]
+pub struct RegistrySnapshot {
+    /// Every sample, in registration order.
+    pub samples: Vec<MetricSample>,
+}
+
+impl RegistrySnapshot {
+    /// First sample whose base name matches exactly.
+    pub fn find(&self, name: &str) -> Option<&MetricSample> {
+        self.samples.iter().find(|s| s.name == name)
+    }
+
+    /// Sum of all counter samples sharing a base name (across labels).
+    pub fn counter_total(&self, name: &str) -> f64 {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name && s.kind == MetricKind::Counter)
+            .map(|s| s.value)
+            .sum()
+    }
+}
+
+/// The lock-free metrics registry. Registration (cold, once per handle)
+/// takes a mutex; everything after goes through the returned handles.
+/// Registering the same name + label set twice returns a handle to the
+/// same cell, so re-entrant services compose.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    entries: Mutex<Vec<Arc<Entry>>>,
+}
+
+fn valid_metric_name(name: &str) -> bool {
+    !name.is_empty()
+        && name
+            .chars()
+            .next()
+            .map(|c| c.is_ascii_alphabetic() || c == '_')
+            .unwrap_or(false)
+        && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn register(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> EntryValue,
+    ) -> Arc<Entry> {
+        assert!(
+            valid_metric_name(name),
+            "metric name {name:?} must match [a-zA-Z_][a-zA-Z0-9_]*"
+        );
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| {
+                assert!(valid_metric_name(k), "label name {k:?} invalid");
+                (k.to_string(), v.to_string())
+            })
+            .collect();
+        let mut entries = self.entries.lock().unwrap();
+        if let Some(found) = entries
+            .iter()
+            .find(|e| e.name == name && e.labels == labels)
+        {
+            return Arc::clone(found);
+        }
+        let entry = Arc::new(Entry {
+            name: name.to_string(),
+            labels,
+            value: make(),
+        });
+        entries.push(Arc::clone(&entry));
+        entry
+    }
+
+    /// Register (or re-open) a counter.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> CounterHandle {
+        let e = self.register(name, labels, || EntryValue::Counter(AtomicU64::new(0)));
+        assert!(
+            e.kind() == MetricKind::Counter,
+            "{name} already registered as {:?}",
+            e.kind()
+        );
+        CounterHandle(e)
+    }
+
+    /// Register (or re-open) a gauge.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> GaugeHandle {
+        let e = self.register(name, labels, || {
+            EntryValue::Gauge(AtomicU64::new(0f64.to_bits()))
+        });
+        assert!(
+            e.kind() == MetricKind::Gauge,
+            "{name} already registered as {:?}",
+            e.kind()
+        );
+        GaugeHandle(e)
+    }
+
+    /// Register (or re-open) a latency histogram.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> HistogramHandle {
+        let e = self.register(name, labels, || {
+            EntryValue::Histogram(LatencyHistogram::new())
+        });
+        assert!(
+            e.kind() == MetricKind::Histogram,
+            "{name} already registered as {:?}",
+            e.kind()
+        );
+        HistogramHandle(e)
+    }
+
+    /// Copy every metric without stopping writers. The mutex guards only
+    /// the entry *list*; values are read through the same atomics the
+    /// workers write, and histograms use the coherent
+    /// [`LatencyHistogram::snapshot`].
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        let entries: Vec<Arc<Entry>> = self.entries.lock().unwrap().clone();
+        let samples = entries
+            .iter()
+            .map(|e| {
+                let (value, hist) = match &e.value {
+                    EntryValue::Counter(c) => (c.load(Ordering::Relaxed) as f64, None),
+                    EntryValue::Gauge(g) => (f64::from_bits(g.load(Ordering::Relaxed)), None),
+                    EntryValue::Histogram(h) => (0.0, Some(h.snapshot())),
+                };
+                MetricSample {
+                    name: e.name.clone(),
+                    labels: e.labels.clone(),
+                    kind: e.kind(),
+                    value,
+                    hist,
+                }
+            })
+            .collect();
+        RegistrySnapshot { samples }
+    }
+
+    /// Prometheus-style text exposition (version 0.0.4): one `# TYPE`
+    /// comment per metric name, counters/gauges as plain series,
+    /// histograms as `summary` quantile series plus `_count`/`_sum`.
+    pub fn exposition(&self) -> String {
+        exposition_text(&self.snapshot())
+    }
+}
+
+/// Render a snapshot as Prometheus text exposition.
+pub fn exposition_text(snap: &RegistrySnapshot) -> String {
+    let mut out = String::new();
+    let mut typed: Vec<&str> = Vec::new();
+    for s in &snap.samples {
+        if !typed.contains(&s.name.as_str()) {
+            typed.push(&s.name);
+            let ty = match s.kind {
+                MetricKind::Counter => "counter",
+                MetricKind::Gauge => "gauge",
+                MetricKind::Histogram => "summary",
+            };
+            out.push_str(&format!("# TYPE {} {ty}\n", s.name));
+        }
+        match (&s.kind, &s.hist) {
+            (MetricKind::Histogram, Some(h)) => {
+                for (q, v) in [("0.5", h.p50_ms), ("0.9", h.p90_ms), ("0.99", h.p99_ms)] {
+                    let mut labels = s.labels.clone();
+                    labels.push(("quantile".to_string(), q.to_string()));
+                    out.push_str(&format!("{} {v}\n", render_series(&s.name, &labels)));
+                }
+                out.push_str(&format!(
+                    "{} {}\n",
+                    render_series(&format!("{}_count", s.name), &s.labels),
+                    h.count
+                ));
+                out.push_str(&format!(
+                    "{} {}\n",
+                    render_series(&format!("{}_sum", s.name), &s.labels),
+                    h.mean_ms * h.count as f64
+                ));
+            }
+            _ => out.push_str(&format!("{} {}\n", s.series(), s.value)),
+        }
+    }
+    out
+}
+
+/// One parsed `live_snapshot` line of the snapshot stream.
+#[derive(Debug, Clone)]
+pub struct LiveSnapshot {
+    /// Simulated stream time of the snapshot (s).
+    pub t_s: f64,
+    /// Whether this is the final snapshot (service finished).
+    pub is_final: bool,
+    /// Metric samples.
+    pub samples: Vec<MetricSample>,
+    /// Watchdog verdicts at this snapshot.
+    pub health: Vec<HealthLine>,
+}
+
+/// The periodic exporter: owns the registry, the SLO watchdog, and the
+/// NDJSON snapshot stream. `tick(t_s)` is safe (and cheap) to call from
+/// every shard/worker on every slice — it no-ops until the next snapshot
+/// is due, and one atomic compare-exchange elects the snapshotting
+/// thread.
+#[derive(Debug)]
+pub struct LiveObserver {
+    registry: MetricsRegistry,
+    every_s: f64,
+    next_due_bits: AtomicU64,
+    out: Mutex<Option<std::fs::File>>,
+    watchdog: Mutex<SloWatchdog>,
+    breaches: AtomicU64,
+    snapshots: AtomicU64,
+    /// Print `health:` lines to stdout as they are evaluated.
+    pub print_health: AtomicBool,
+}
+
+impl LiveObserver {
+    /// An observer snapshotting every `every_s` simulated seconds.
+    pub fn new(every_s: f64, slo: SloConfig) -> Self {
+        LiveObserver {
+            registry: MetricsRegistry::new(),
+            every_s: every_s.max(1e-3),
+            next_due_bits: AtomicU64::new(0f64.to_bits()),
+            out: Mutex::new(None),
+            watchdog: Mutex::new(SloWatchdog::new(slo)),
+            breaches: AtomicU64::new(0),
+            snapshots: AtomicU64::new(0),
+            print_health: AtomicBool::new(false),
+        }
+    }
+
+    /// Stream snapshots to an NDJSON file (created/truncated now; the
+    /// `live_meta` header line is written immediately).
+    pub fn with_output(self, path: &std::path::Path) -> std::io::Result<Self> {
+        let mut file = std::fs::File::create(path)?;
+        writeln!(
+            file,
+            "{{\"type\":\"live_meta\",\"schema\":{LIVE_SCHEMA},\"every_s\":{}}}",
+            self.every_s
+        )?;
+        *self.out.lock().unwrap() = Some(file);
+        Ok(self)
+    }
+
+    /// The registry services install their handles into.
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Snapshot cadence (simulated seconds).
+    pub fn every_s(&self) -> f64 {
+        self.every_s
+    }
+
+    /// Snapshots taken so far.
+    pub fn snapshots_taken(&self) -> u64 {
+        self.snapshots.load(Ordering::Relaxed)
+    }
+
+    /// Health checks that have reported BREACH so far.
+    pub fn breaches(&self) -> u64 {
+        self.breaches.load(Ordering::Relaxed)
+    }
+
+    /// Current Prometheus exposition of the registry.
+    pub fn exposition(&self) -> String {
+        self.registry.exposition()
+    }
+
+    /// Advance simulated time; snapshot if a period boundary was crossed.
+    /// Returns the health lines evaluated at this tick (empty when the
+    /// snapshot wasn't due or another thread won the election).
+    pub fn tick(&self, t_s: f64) -> Vec<HealthLine> {
+        loop {
+            let due_bits = self.next_due_bits.load(Ordering::Acquire);
+            if t_s < f64::from_bits(due_bits) {
+                return Vec::new();
+            }
+            let next = (f64::from_bits(due_bits) + self.every_s).max(t_s);
+            if self
+                .next_due_bits
+                .compare_exchange(
+                    due_bits,
+                    next.to_bits(),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+            {
+                return self.snapshot_now(t_s, false);
+            }
+            // lost the election; re-check against the new threshold
+        }
+    }
+
+    /// Take the final snapshot (marked `"final":true`) regardless of the
+    /// cadence, and return its health lines.
+    pub fn finish(&self, t_s: f64) -> Vec<HealthLine> {
+        self.snapshot_now(t_s, true)
+    }
+
+    fn snapshot_now(&self, t_s: f64, is_final: bool) -> Vec<HealthLine> {
+        let snap = self.registry.snapshot();
+        let health = self.watchdog.lock().unwrap().evaluate(t_s, &snap);
+        let new_breaches = health.iter().filter(|h| !h.ok).count() as u64;
+        self.breaches.fetch_add(new_breaches, Ordering::Relaxed);
+        self.snapshots.fetch_add(1, Ordering::Relaxed);
+        if self.print_health.load(Ordering::Relaxed) {
+            // best-effort: health printing runs on ingest threads, and a
+            // closed stdout (`adapt fly | head`) must never panic them —
+            // a wedged runtime is worse than a lost health line
+            let mut out = std::io::stdout().lock();
+            for line in &health {
+                let _ = writeln!(out, "{}", line.render());
+            }
+        }
+        if let Some(file) = self.out.lock().unwrap().as_mut() {
+            let _ = writeln!(file, "{}", snapshot_line(t_s, is_final, &snap, &health));
+            let _ = file.flush();
+        }
+        health
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serialize one snapshot as a `live_snapshot` NDJSON line.
+fn snapshot_line(
+    t_s: f64,
+    is_final: bool,
+    snap: &RegistrySnapshot,
+    health: &[HealthLine],
+) -> String {
+    let mut metrics = Vec::with_capacity(snap.samples.len());
+    for s in &snap.samples {
+        let labels: Vec<String> = s
+            .labels
+            .iter()
+            .map(|(k, v)| format!("\"{}\":\"{}\"", json_escape(k), json_escape(v)))
+            .collect();
+        let mut fields = vec![
+            format!("\"name\":\"{}\"", json_escape(&s.name)),
+            format!("\"labels\":{{{}}}", labels.join(",")),
+            format!("\"kind\":\"{}\"", s.kind.name()),
+        ];
+        match &s.hist {
+            Some(h) => fields.push(format!(
+                "\"count\":{},\"mean_ms\":{},\"p50_ms\":{},\"p90_ms\":{},\"p99_ms\":{},\"min_ms\":{},\"max_ms\":{}",
+                h.count,
+                num(h.mean_ms),
+                num(h.p50_ms),
+                num(h.p90_ms),
+                num(h.p99_ms),
+                num(h.min_ms),
+                num(h.max_ms)
+            )),
+            None => fields.push(format!("\"value\":{}", num(s.value))),
+        }
+        metrics.push(format!("{{{}}}", fields.join(",")));
+    }
+    let health_json: Vec<String> = health
+        .iter()
+        .map(|h| {
+            format!(
+                "{{\"check\":\"{}\",\"ok\":{},\"detail\":\"{}\"}}",
+                json_escape(&h.check),
+                h.ok,
+                json_escape(&h.detail)
+            )
+        })
+        .collect();
+    format!(
+        "{{\"type\":\"live_snapshot\",\"t_s\":{},\"final\":{is_final},\"metrics\":[{}],\"health\":[{}]}}",
+        num(t_s),
+        metrics.join(","),
+        health_json.join(",")
+    )
+}
+
+fn value_f64(v: &serde::Value) -> Option<f64> {
+    match v {
+        serde::Value::Float(x) => Some(*x),
+        serde::Value::Int(n) => Some(*n as f64),
+        serde::Value::UInt(n) => Some(*n as f64),
+        _ => None,
+    }
+}
+
+/// Parse a live snapshot stream (the file `--live-out` writes). Returns
+/// every snapshot in order; unknown line types are rejected so schema
+/// drift is loud.
+pub fn parse_live_stream(text: &str) -> Result<Vec<LiveSnapshot>, String> {
+    let mut snaps = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if raw.trim().is_empty() {
+            continue;
+        }
+        let v: serde::Value =
+            serde_json::from_str(raw).map_err(|e| format!("line {lineno}: not valid JSON: {e}"))?;
+        let ty = v
+            .get("type")
+            .and_then(|t| t.as_str())
+            .ok_or_else(|| format!("line {lineno}: missing type"))?;
+        match ty {
+            "live_meta" => {
+                let schema = v
+                    .get("schema")
+                    .and_then(value_f64)
+                    .ok_or_else(|| format!("line {lineno}: live_meta missing schema"))?;
+                if schema as u32 > LIVE_SCHEMA {
+                    return Err(format!(
+                        "line {lineno}: live stream schema {schema} is newer than supported {LIVE_SCHEMA}"
+                    ));
+                }
+            }
+            "live_snapshot" => {
+                let t_s = v
+                    .get("t_s")
+                    .and_then(value_f64)
+                    .ok_or_else(|| format!("line {lineno}: snapshot missing t_s"))?;
+                let is_final = matches!(v.get("final"), Some(serde::Value::Bool(true)));
+                let mut samples = Vec::new();
+                if let Some(metrics) = v.get("metrics").and_then(|m| m.as_arr()) {
+                    for m in metrics {
+                        let name = m
+                            .get("name")
+                            .and_then(|n| n.as_str())
+                            .ok_or_else(|| format!("line {lineno}: metric missing name"))?
+                            .to_string();
+                        let kind = match m.get("kind").and_then(|k| k.as_str()) {
+                            Some("counter") => MetricKind::Counter,
+                            Some("gauge") => MetricKind::Gauge,
+                            Some("histogram") => MetricKind::Histogram,
+                            other => {
+                                return Err(format!(
+                                    "line {lineno}: metric {name} has unknown kind {other:?}"
+                                ))
+                            }
+                        };
+                        let labels: Vec<(String, String)> = m
+                            .get("labels")
+                            .and_then(|l| l.as_obj())
+                            .map(|pairs| {
+                                pairs
+                                    .iter()
+                                    .filter_map(|(k, v)| {
+                                        v.as_str().map(|s| (k.clone(), s.to_string()))
+                                    })
+                                    .collect()
+                            })
+                            .unwrap_or_default();
+                        let hist = if kind == MetricKind::Histogram {
+                            let f = |key: &str| m.get(key).and_then(value_f64).unwrap_or(0.0);
+                            Some(HistogramSnapshot {
+                                count: f("count") as u64,
+                                mean_ms: f("mean_ms"),
+                                p50_ms: f("p50_ms"),
+                                p90_ms: f("p90_ms"),
+                                p99_ms: f("p99_ms"),
+                                min_ms: f("min_ms"),
+                                max_ms: f("max_ms"),
+                            })
+                        } else {
+                            None
+                        };
+                        let value = m.get("value").and_then(value_f64).unwrap_or(0.0);
+                        samples.push(MetricSample {
+                            name,
+                            labels,
+                            kind,
+                            value,
+                            hist,
+                        });
+                    }
+                }
+                let mut health = Vec::new();
+                if let Some(checks) = v.get("health").and_then(|h| h.as_arr()) {
+                    for c in checks {
+                        health.push(HealthLine {
+                            check: c
+                                .get("check")
+                                .and_then(|x| x.as_str())
+                                .unwrap_or("?")
+                                .to_string(),
+                            ok: matches!(c.get("ok"), Some(serde::Value::Bool(true))),
+                            detail: c
+                                .get("detail")
+                                .and_then(|x| x.as_str())
+                                .unwrap_or("")
+                                .to_string(),
+                        });
+                    }
+                }
+                snaps.push(LiveSnapshot {
+                    t_s,
+                    is_final,
+                    samples,
+                    health,
+                });
+            }
+            other => return Err(format!("line {lineno}: unknown live line type {other:?}")),
+        }
+    }
+    Ok(snaps)
+}
+
+/// Render one snapshot as the `adapt top` table: global counters, then
+/// per-label-dimension breakdowns (stream/worker/level), then latency
+/// histograms and health verdicts.
+pub fn render_top(snap: &LiveSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "adapt top — t={:.1} sim-s{}\n",
+        snap.t_s,
+        if snap.is_final { " (final)" } else { "" }
+    ));
+    out.push_str(&format!("{:-<66}\n", ""));
+    // Global (label-free) counters and gauges.
+    for s in &snap.samples {
+        if s.labels.is_empty() && s.kind != MetricKind::Histogram {
+            let v = if s.kind == MetricKind::Counter {
+                format!("{}", s.value as u64)
+            } else {
+                format!("{:.2}", s.value)
+            };
+            out.push_str(&format!("  {:<44} {:>18}\n", s.name, v));
+        }
+    }
+    // Breakdown tables per label dimension.
+    for dim in ["stream", "worker", "level"] {
+        let mut rows: Vec<(&MetricSample, &str)> = snap
+            .samples
+            .iter()
+            .filter_map(|s| {
+                s.labels
+                    .iter()
+                    .find(|(k, _)| k == dim)
+                    .map(|(_, v)| (s, v.as_str()))
+            })
+            .collect();
+        if rows.is_empty() {
+            continue;
+        }
+        rows.sort_by(|a, b| {
+            let key = |v: &str| {
+                v.parse::<u64>()
+                    .map_or((1, v.to_string()), |n| (0, format!("{n:020}")))
+            };
+            key(a.1)
+                .cmp(&key(b.1))
+                .then_with(|| a.0.name.cmp(&b.0.name))
+        });
+        out.push_str(&format!("  by {dim}:\n"));
+        for (s, v) in rows {
+            match &s.hist {
+                Some(h) => out.push_str(&format!(
+                    "    {dim}={v:<8} {:<34} n={} p50={:.2}ms p99={:.2}ms\n",
+                    s.name, h.count, h.p50_ms, h.p99_ms
+                )),
+                None => out.push_str(&format!(
+                    "    {dim}={v:<8} {:<34} {}\n",
+                    s.name,
+                    if s.kind == MetricKind::Counter {
+                        format!("{}", s.value as u64)
+                    } else {
+                        format!("{:.2}", s.value)
+                    }
+                )),
+            }
+        }
+    }
+    // Label-free histograms.
+    for s in &snap.samples {
+        if let (true, Some(h)) = (s.labels.is_empty(), &s.hist) {
+            out.push_str(&format!(
+                "  {:<34} n={:<7} p50={:.2}ms p90={:.2}ms p99={:.2}ms max={:.2}ms\n",
+                s.name, h.count, h.p50_ms, h.p90_ms, h.p99_ms, h.max_ms
+            ));
+        }
+    }
+    for line in &snap.health {
+        out.push_str(&format!("  {}\n", line.render()));
+    }
+    out
+}
+
+/// A tiny blocking HTTP endpoint serving the observer's Prometheus
+/// exposition (std `TcpListener` only — no external dependencies). Every
+/// GET, whatever the path, returns the current exposition text.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Bind `addr` (e.g. `127.0.0.1:9900`; port 0 picks a free port) and
+    /// serve the observer's exposition until [`Self::shutdown`] or drop.
+    pub fn start(addr: &str, observer: Arc<LiveObserver>) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop2 = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("adapt-metrics".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if stop2.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(mut stream) = conn else { continue };
+                    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+                    let _ = serve_one(&mut stream, &observer);
+                }
+            })?;
+        Ok(MetricsServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the server thread.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // Nudge the blocking accept() awake.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        if self.handle.is_some() {
+            self.stop_and_join();
+        }
+    }
+}
+
+fn serve_one(stream: &mut TcpStream, observer: &LiveObserver) -> std::io::Result<()> {
+    // Read just enough to consume the request line; we answer every
+    // method/path the same way.
+    let mut buf = [0u8; 1024];
+    let _ = stream.read(&mut buf)?;
+    let body = observer.exposition();
+    let response = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_dedups_and_counts() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("adapt_alerts_emitted_total", &[("stream", "0")]);
+        let b = reg.counter("adapt_alerts_emitted_total", &[("stream", "0")]);
+        let c = reg.counter("adapt_alerts_emitted_total", &[("stream", "1")]);
+        a.inc();
+        b.add(2);
+        c.inc();
+        assert_eq!(a.get(), 3, "same name+labels share one cell");
+        assert_eq!(c.get(), 1);
+        let snap = reg.snapshot();
+        assert_eq!(snap.samples.len(), 2);
+        assert_eq!(snap.counter_total("adapt_alerts_emitted_total"), 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn bad_metric_names_are_rejected() {
+        MetricsRegistry::new().counter("bad name!", &[]);
+    }
+
+    #[test]
+    fn exposition_renders_types_and_series() {
+        let reg = MetricsRegistry::new();
+        reg.counter("adapt_alerts_emitted_total", &[]).add(7);
+        reg.gauge("adapt_pool_pending", &[]).set(3.5);
+        let h = reg.histogram("adapt_epoch_latency_ms", &[("worker", "0")]);
+        h.record_ms(10.0);
+        h.record_ms(20.0);
+        let text = reg.exposition();
+        assert!(text.contains("# TYPE adapt_alerts_emitted_total counter"));
+        assert!(text.contains("adapt_alerts_emitted_total 7"));
+        assert!(text.contains("# TYPE adapt_pool_pending gauge"));
+        assert!(text.contains("adapt_pool_pending 3.5"));
+        assert!(text.contains("# TYPE adapt_epoch_latency_ms summary"));
+        assert!(text.contains("adapt_epoch_latency_ms{worker=\"0\",quantile=\"0.99\"}"));
+        assert!(text.contains("adapt_epoch_latency_ms_count{worker=\"0\"} 2"));
+    }
+
+    #[test]
+    fn observer_ticks_on_cadence_and_streams_snapshots() {
+        let dir = std::env::temp_dir().join(format!("adapt_live_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("live.ndjson");
+        let obs = LiveObserver::new(10.0, SloConfig::default())
+            .with_output(&path)
+            .unwrap();
+        let alerts = obs.registry().counter("adapt_alerts_emitted_total", &[]);
+        obs.tick(0.0); // first period boundary
+        assert_eq!(obs.snapshots_taken(), 1);
+        obs.tick(0.5); // within the first period: no new snapshot
+        assert_eq!(obs.snapshots_taken(), 1);
+        alerts.add(3);
+        obs.tick(10.5); // crossed the boundary
+        assert_eq!(obs.snapshots_taken(), 2);
+        obs.finish(12.0);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let snaps = parse_live_stream(&text).unwrap();
+        assert!(snaps.len() >= 2);
+        let last = snaps.last().unwrap();
+        assert!(last.is_final);
+        assert_eq!(
+            last.samples
+                .iter()
+                .find(|s| s.name == "adapt_alerts_emitted_total")
+                .unwrap()
+                .value,
+            3.0
+        );
+        let rendered = render_top(last);
+        assert!(rendered.contains("adapt_alerts_emitted_total"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn metrics_server_serves_exposition() {
+        let obs = Arc::new(LiveObserver::new(5.0, SloConfig::default()));
+        obs.registry()
+            .counter("adapt_alerts_emitted_total", &[])
+            .add(9);
+        let server = MetricsServer::start("127.0.0.1:0", Arc::clone(&obs)).unwrap();
+        let mut conn = TcpStream::connect(server.local_addr()).unwrap();
+        conn.write_all(b"GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let mut response = String::new();
+        conn.read_to_string(&mut response).unwrap();
+        assert!(response.starts_with("HTTP/1.1 200 OK"));
+        assert!(response.contains("adapt_alerts_emitted_total 9"));
+        server.shutdown();
+    }
+}

@@ -16,17 +16,24 @@
 //!   time, from/to level, reason;
 //! * `alert` — one per emitted GRB alert: trigger time, mode, direction,
 //!   containment radius, latency;
-//! * `queue` — one per stage queue: max observed depth, sample count.
+//! * `queue` — one per stage queue: max observed depth, sample count;
+//! * `trace` — one per causal trace span: trace id, span name, parent,
+//!   start offset and duration (ms), queue depth at the hop, detail.
 //!
 //! [`validate`] checks structure and field types line by line and
 //! returns a [`NdjsonSummary`] the `telemetry-report` renderer (and the
 //! CI schema gate) consume.
 
 use crate::histogram::HistogramSnapshot;
-use crate::recorder::{AlertRecord, Counter, DegradationRecord, FlightRecorder, LoopEvent, Stage};
+use crate::recorder::{
+    AlertRecord, Counter, DegradationRecord, FlightRecorder, LoopEvent, Stage, TraceSpanRecord,
+};
 use serde::Value;
 
 /// Current NDJSON schema version (the `meta` line's `schema` field).
+/// Version 5 added causal-trace `trace` lines (one per span: trace id
+/// minted at trigger open, span name/parent, start offset + duration,
+/// queue depth at the hop) rendered by `telemetry-report --trace`.
 /// Version 4 added the ground-segment counters (`streams_served`,
 /// `pool_steals`, `alerts_fanned_out`, `fanout_shed`); pool and
 /// per-stream gauges reuse the `queue` line type with dynamic names.
@@ -37,7 +44,7 @@ use serde::Value;
 /// Version 2 added the drift counters (`drift_rows`,
 /// `drift_mean_psi_milli`, `drift_features_flagged`). Older captures
 /// still validate.
-pub const NDJSON_SCHEMA: u32 = 4;
+pub const NDJSON_SCHEMA: u32 = 5;
 
 fn obj(pairs: Vec<(&str, Value)>) -> Value {
     Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
@@ -176,6 +183,27 @@ pub fn export(recorder: &FlightRecorder, repetitions: usize) -> String {
         out.push('\n');
     }
 
+    for t in recorder.trace_records() {
+        out.push_str(&line(&obj(vec![
+            ("type", Value::Str("trace".into())),
+            ("trace_id", Value::Str(t.trace_id.clone())),
+            ("span", Value::Str(t.span.clone())),
+            (
+                "parent",
+                match &t.parent {
+                    Some(p) => Value::Str(p.clone()),
+                    None => Value::Null,
+                },
+            ),
+            ("t_s", Value::Float(t.t_s)),
+            ("start_ms", Value::Float(t.start_ms)),
+            ("duration_ms", Value::Float(t.duration_ms)),
+            ("queue_depth", Value::UInt(t.queue_depth)),
+            ("detail", Value::Str(t.detail.clone())),
+        ])));
+        out.push('\n');
+    }
+
     for (name, gauge) in recorder.queue_gauges() {
         out.push_str(&line(&obj(vec![
             ("type", Value::Str("queue".into())),
@@ -215,6 +243,8 @@ pub struct NdjsonSummary {
     pub alerts: Vec<AlertRecord>,
     /// Onboard queue gauges: `(name, max depth, samples)`.
     pub queues: Vec<(String, u64, u64)>,
+    /// Causal trace spans, in capture order (schema ≥ 5).
+    pub traces: Vec<TraceSpanRecord>,
 }
 
 fn need<'a>(v: &'a Value, key: &str, lineno: usize) -> Result<&'a Value, String> {
@@ -463,6 +493,52 @@ pub fn validate(text: &str) -> Result<NdjsonSummary, String> {
                 }
                 summary.queues.push((name, max_depth, samples));
             }
+            "trace" => {
+                let trace_id = need_str(&v, "trace_id", lineno)?;
+                if trace_id.is_empty() {
+                    return Err(format!("line {lineno}: trace_id must be non-empty"));
+                }
+                let span = need_str(&v, "span", lineno)?;
+                if span.is_empty() {
+                    return Err(format!("line {lineno}: span must be non-empty"));
+                }
+                let parent = match need(&v, "parent", lineno)? {
+                    Value::Null => None,
+                    Value::Str(p) if !p.is_empty() => Some(p.clone()),
+                    other => {
+                        return Err(format!(
+                            "line {lineno}: parent must be null or a non-empty string, \
+                             got {other:?}"
+                        ))
+                    }
+                };
+                if parent.as_deref() == Some(span.as_str()) {
+                    return Err(format!("line {lineno}: span `{span}` is its own parent"));
+                }
+                let t_s = need_num(&v, "t_s", lineno)?;
+                let start_ms = need_num(&v, "start_ms", lineno)?;
+                let duration_ms = need_num(&v, "duration_ms", lineno)?;
+                if !start_ms.is_finite() || start_ms < 0.0 {
+                    return Err(format!(
+                        "line {lineno}: start_ms {start_ms} must be finite and >= 0"
+                    ));
+                }
+                if !duration_ms.is_finite() || duration_ms < 0.0 {
+                    return Err(format!(
+                        "line {lineno}: duration_ms {duration_ms} must be finite and >= 0"
+                    ));
+                }
+                summary.traces.push(TraceSpanRecord {
+                    trace_id,
+                    span,
+                    parent,
+                    t_s,
+                    start_ms,
+                    duration_ms,
+                    queue_depth: need_uint(&v, "queue_depth", lineno)?,
+                    detail: need_str(&v, "detail", lineno)?,
+                });
+            }
             other => return Err(format!("line {lineno}: unknown line type `{other}`")),
         }
     }
@@ -629,6 +705,51 @@ mod tests {
             "{meta}\n{{\"type\":\"queue\",\"name\":\"ingest\",\"max_depth\":4,\"samples\":0}}"
         );
         assert!(validate(&empty_queue).is_err(), "zero samples");
+    }
+
+    #[test]
+    fn trace_lines_round_trip_and_reject_bad_spans() {
+        let r = FlightRecorder::new();
+        r.trace_span(&TraceSpanRecord {
+            trace_id: "s3.e0".into(),
+            span: "trigger".into(),
+            parent: None,
+            t_s: 12.5,
+            start_ms: 0.0,
+            duration_ms: 0.0,
+            queue_depth: 2,
+            detail: "sigma=8.1".into(),
+        });
+        r.trace_span(&TraceSpanRecord {
+            trace_id: "s3.e0".into(),
+            span: "localize".into(),
+            parent: Some("trigger".into()),
+            t_s: 12.5,
+            start_ms: 3.0,
+            duration_ms: 40.0,
+            queue_depth: 0,
+            detail: "level=full-ml".into(),
+        });
+        let text = export(&r, 1);
+        let summary = validate(&text).expect("trace capture must validate");
+        assert_eq!(summary.traces.len(), 2);
+        assert_eq!(summary.traces[0].parent, None);
+        assert_eq!(summary.traces[1].parent.as_deref(), Some("trigger"));
+        assert_eq!(summary.traces[1].detail, "level=full-ml");
+
+        let meta = format!("{{\"type\":\"meta\",\"schema\":{NDJSON_SCHEMA},\"repetitions\":1}}");
+        let self_parent = format!(
+            "{meta}\n{{\"type\":\"trace\",\"trace_id\":\"s0.e0\",\"span\":\"x\",\
+             \"parent\":\"x\",\"t_s\":1.0,\"start_ms\":0.0,\"duration_ms\":1.0,\
+             \"queue_depth\":0,\"detail\":\"\"}}"
+        );
+        assert!(validate(&self_parent).is_err(), "self-parent span");
+        let negative = format!(
+            "{meta}\n{{\"type\":\"trace\",\"trace_id\":\"s0.e0\",\"span\":\"x\",\
+             \"parent\":null,\"t_s\":1.0,\"start_ms\":-1.0,\"duration_ms\":1.0,\
+             \"queue_depth\":0,\"detail\":\"\"}}"
+        );
+        assert!(validate(&negative).is_err(), "negative start");
     }
 
     #[test]

@@ -228,6 +228,33 @@ pub struct DegradationRecord {
     pub reason: String,
 }
 
+/// One span of a causal alert trace. A trace id is minted when the
+/// trigger opens an epoch (`s{stream}.e{epoch}` — the flight runtime is
+/// stream 0) and carried through queueing, scheduling, localization, and
+/// fan-out, so one alert's full photon→mailbox path can be reconstructed
+/// as a span tree from the NDJSON capture (`telemetry-report --trace`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpanRecord {
+    /// Trace id shared by every span of one epoch (`s{stream}.e{epoch}`).
+    pub trace_id: String,
+    /// Span name (`trigger`, `queue-wait`, `schedule`, `localize`,
+    /// `fanout`).
+    pub span: String,
+    /// Parent span name within the same trace; `None` for the root.
+    pub parent: Option<String>,
+    /// Stream time at which the epoch opened (s).
+    pub t_s: f64,
+    /// Span start, wall milliseconds after the epoch became ready.
+    pub start_ms: f64,
+    /// Span wall duration (ms).
+    pub duration_ms: f64,
+    /// Queue depth observed at this hop (ingest/epoch/pool backlog).
+    pub queue_depth: u64,
+    /// Free-form detail (degradation level, rejection reason, fan-out
+    /// delivered/shed counts, ...).
+    pub detail: String,
+}
+
 /// One emitted GRB alert, as seen by telemetry.
 #[derive(Debug, Clone)]
 pub struct AlertRecord {
@@ -299,6 +326,11 @@ pub trait Recorder: Sync {
     fn queue_depth(&self, queue: &str, depth: u64) {
         let _ = (queue, depth);
     }
+
+    /// Record one span of a causal alert trace.
+    fn trace_span(&self, record: &TraceSpanRecord) {
+        let _ = record;
+    }
 }
 
 /// The disabled recorder: every hook is a no-op.
@@ -368,6 +400,7 @@ pub struct FlightRecorder {
     degradations: Mutex<Vec<DegradationRecord>>,
     alerts: Mutex<Vec<AlertRecord>>,
     queues: Mutex<BTreeMap<String, QueueGauge>>,
+    traces: Mutex<Vec<TraceSpanRecord>>,
 }
 
 /// Aggregated queue-depth gauge: maximum observed depth and how many
@@ -433,6 +466,11 @@ impl FlightRecorder {
         self.alerts.lock().unwrap().clone()
     }
 
+    /// The trace-span log (emission order).
+    pub fn trace_records(&self) -> Vec<TraceSpanRecord> {
+        self.traces.lock().unwrap().clone()
+    }
+
     /// Aggregated queue gauges, sorted by queue name.
     pub fn queue_gauges(&self) -> Vec<(String, QueueGauge)> {
         self.queues
@@ -468,6 +506,10 @@ impl FlightRecorder {
             .lock()
             .unwrap()
             .extend(other.alerts.lock().unwrap().iter().cloned());
+        self.traces
+            .lock()
+            .unwrap()
+            .extend(other.traces.lock().unwrap().iter().cloned());
         let mut mine = self.queues.lock().unwrap();
         for (name, g) in other.queues.lock().unwrap().iter() {
             let entry = mine.entry(name.clone()).or_default();
@@ -533,6 +575,10 @@ impl Recorder for FlightRecorder {
         let entry = queues.entry(queue.to_string()).or_default();
         entry.max_depth = entry.max_depth.max(depth);
         entry.samples += 1;
+    }
+
+    fn trace_span(&self, record: &TraceSpanRecord) {
+        self.traces.lock().unwrap().push(record.clone());
     }
 }
 

@@ -1,0 +1,139 @@
+//! Causal alert traces: reconstruct one alert's photon→mailbox path as
+//! a span tree from recorded [`TraceSpanRecord`]s.
+//!
+//! A trace id (`s{stream}.e{epoch}`) is minted when the trigger opens an
+//! epoch and stamped on every span the epoch touches — queue wait,
+//! scheduling (degradation decision), localization, subscriber fan-out —
+//! each with wall timestamps relative to the epoch becoming ready and
+//! the queue depth observed at that hop. `telemetry-report --trace <id>`
+//! renders the tree via [`render_trace`].
+
+use crate::recorder::TraceSpanRecord;
+
+/// Distinct trace ids present in a span log, in first-seen order.
+pub fn trace_ids(spans: &[TraceSpanRecord]) -> Vec<String> {
+    let mut ids: Vec<String> = Vec::new();
+    for s in spans {
+        if !ids.contains(&s.trace_id) {
+            ids.push(s.trace_id.clone());
+        }
+    }
+    ids
+}
+
+/// End-to-end wall latency of one trace (ms): the latest span end
+/// relative to the epoch becoming ready. Returns `None` for an unknown
+/// trace id.
+pub fn end_to_end_ms(spans: &[TraceSpanRecord], trace_id: &str) -> Option<f64> {
+    let mut latest: Option<f64> = None;
+    for s in spans.iter().filter(|s| s.trace_id == trace_id) {
+        let end = s.start_ms + s.duration_ms;
+        latest = Some(latest.map_or(end, |l: f64| l.max(end)));
+    }
+    latest
+}
+
+/// Render one trace as an indented span tree with per-stage offsets,
+/// durations, and queue depths. Returns `None` when the id is unknown.
+pub fn render_trace(spans: &[TraceSpanRecord], trace_id: &str) -> Option<String> {
+    let mut mine: Vec<&TraceSpanRecord> = spans.iter().filter(|s| s.trace_id == trace_id).collect();
+    if mine.is_empty() {
+        return None;
+    }
+    mine.sort_by(|a, b| {
+        a.start_ms
+            .total_cmp(&b.start_ms)
+            .then(a.duration_ms.total_cmp(&b.duration_ms))
+    });
+    let t_s = mine.iter().map(|s| s.t_s).fold(f64::INFINITY, f64::min);
+    let e2e = end_to_end_ms(spans, trace_id).unwrap_or(0.0);
+    let mut out =
+        format!("trace {trace_id} (epoch opened at t={t_s:.2} sim-s, end-to-end {e2e:.2} ms)\n");
+    let row = |branch: &str, s: &TraceSpanRecord| {
+        let detail = if s.detail.is_empty() {
+            String::new()
+        } else {
+            format!("  {}", s.detail)
+        };
+        format!(
+            "{branch}{:<12} @{:>9.3} ms  +{:>9.3} ms  depth={}{detail}\n",
+            s.span, s.start_ms, s.duration_ms, s.queue_depth
+        )
+    };
+    // Roots first (parentless spans), each followed by its children in
+    // start order; anything orphaned (parent span missing) prints flat.
+    let mut printed = vec![false; mine.len()];
+    for i in 0..mine.len() {
+        if mine[i].parent.is_some() {
+            continue;
+        }
+        out.push_str(&row("", mine[i]));
+        printed[i] = true;
+        let children: Vec<usize> = (0..mine.len())
+            .filter(|&j| !printed[j] && mine[j].parent.as_deref() == Some(mine[i].span.as_str()))
+            .collect();
+        for (k, &j) in children.iter().enumerate() {
+            let branch = if k + 1 == children.len() {
+                "   └─ "
+            } else {
+                "   ├─ "
+            };
+            out.push_str(&row(branch, mine[j]));
+            printed[j] = true;
+        }
+    }
+    for (i, s) in mine.iter().enumerate() {
+        if !printed[i] {
+            out.push_str(&row("   ?─ ", s));
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(
+        trace: &str,
+        name: &str,
+        parent: Option<&str>,
+        start_ms: f64,
+        duration_ms: f64,
+    ) -> TraceSpanRecord {
+        TraceSpanRecord {
+            trace_id: trace.to_string(),
+            span: name.to_string(),
+            parent: parent.map(str::to_string),
+            t_s: 12.5,
+            start_ms,
+            duration_ms,
+            queue_depth: 3,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn tree_renders_root_then_children_in_start_order() {
+        let spans = vec![
+            span("s3.e0", "localize", Some("trigger"), 5.0, 40.0),
+            span("s3.e0", "trigger", None, 0.0, 0.0),
+            span("s3.e0", "queue-wait", Some("trigger"), 0.0, 5.0),
+            span("s3.e0", "fanout", Some("trigger"), 45.0, 1.5),
+            span("s9.e1", "trigger", None, 0.0, 0.0),
+        ];
+        let ids = trace_ids(&spans);
+        assert_eq!(ids, vec!["s3.e0".to_string(), "s9.e1".to_string()]);
+        assert!((end_to_end_ms(&spans, "s3.e0").unwrap() - 46.5).abs() < 1e-9);
+        let tree = render_trace(&spans, "s3.e0").unwrap();
+        let lines: Vec<&str> = tree.lines().collect();
+        assert!(lines[0].contains("trace s3.e0"));
+        assert!(lines[0].contains("end-to-end 46.50 ms"));
+        assert!(lines[1].starts_with("trigger"));
+        assert!(lines[2].contains("queue-wait"));
+        assert!(lines[3].contains("localize"));
+        assert!(lines[4].contains("fanout"));
+        assert!(!tree.contains("s9.e1"), "other traces excluded");
+        assert!(render_trace(&spans, "nope").is_none());
+    }
+}
