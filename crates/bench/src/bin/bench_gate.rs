@@ -1,5 +1,6 @@
 //! CI regression gate over the checked-in benchmark reports:
-//! `BENCH_pipeline.json`, `BENCH_stream.json`, and `BENCH_ground.json`.
+//! `BENCH_pipeline.json`, `BENCH_stream.json`, `BENCH_ground.json`, and
+//! `BENCH_matrix.json`.
 //!
 //! Compares a freshly measured candidate report against the committed
 //! baseline and fails (exit 1) when any gated metric regressed by more
@@ -22,6 +23,13 @@
 //!   must report `events_dropped == 0`: ground ingest is pull-based and
 //!   structurally lossless, so any drop is a correctness bug, not a
 //!   performance number — the override does not apply.
+//! * **matrix** — the trigger robustness matrix. Per-cell detection
+//!   efficiency may *never* drop below the baseline (cells are
+//!   seed-deterministic, so any drop is a real behavior change — the
+//!   override does not apply), the quiet cells must stay free of false
+//!   alerts and the clean-burst cells must stay detected (candidate-only
+//!   contracts), and per-cell false-alert rates gate at the wall
+//!   tolerance.
 //!
 //! ```text
 //! bench_gate <baseline.json> <candidate.json>   # compare two reports
@@ -61,11 +69,14 @@ enum Kind {
     Pipeline,
     Stream,
     Ground,
+    Matrix,
 }
 
 impl Kind {
     fn detect(report: &Value) -> Kind {
-        if report.get("aggregate_realtime_factor").is_some() {
+        if report.get("cells").is_some() {
+            Kind::Matrix
+        } else if report.get("aggregate_realtime_factor").is_some() {
             Kind::Ground
         } else if report.get("realtime_factor").is_some() {
             Kind::Stream
@@ -79,6 +90,7 @@ impl Kind {
             Kind::Pipeline => "pipeline",
             Kind::Stream => "stream",
             Kind::Ground => "ground",
+            Kind::Matrix => "matrix",
         }
     }
 }
@@ -147,6 +159,7 @@ fn gated_wall_metrics(report: &Value, kind: Kind) -> Vec<(String, f64)> {
     let metrics = match kind {
         Kind::Stream => STREAM_WALL_METRICS,
         Kind::Ground => GROUND_WALL_METRICS,
+        Kind::Matrix => return gated_matrix_metrics(report),
         Kind::Pipeline => return Vec::new(),
     };
     let mut out = Vec::new();
@@ -176,11 +189,35 @@ fn gated_wall_metrics(report: &Value, kind: Kind) -> Vec<(String, f64)> {
     out
 }
 
+/// Per-cell matrix metrics, keyed by the stable cell id. False-alert
+/// rates are mapped to the higher-is-better `1/(1+rate)` so the shared
+/// regression rule applies; detection efficiency is gated here *and*
+/// re-checked as a non-overridable contract in [`run_gate`].
+fn gated_matrix_metrics(report: &Value) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let Some(cells) = report.get("cells").and_then(|c| c.as_arr()) else {
+        return out;
+    };
+    for cell in cells {
+        let id = cell.get("id").and_then(|v| v.as_str()).unwrap_or("<cell>");
+        if let Some(eff) = cell.get("detection_efficiency").and_then(num) {
+            out.push((format!("cells[{id}].detection_efficiency"), eff));
+        }
+        if let Some(fa) = cell.get("false_alerts_per_hour").and_then(num) {
+            out.push((
+                format!("cells[{id}].1/(1+false_alerts_per_hour)"),
+                1.0 / (1.0 + fa),
+            ));
+        }
+    }
+    out
+}
+
 /// Every gated metric of a report, dispatched on its kind.
 fn gated_metrics(report: &Value, kind: Kind) -> Vec<(String, f64)> {
     match kind {
         Kind::Pipeline => gated_speedups(report),
-        Kind::Stream | Kind::Ground => gated_wall_metrics(report, kind),
+        Kind::Stream | Kind::Ground | Kind::Matrix => gated_wall_metrics(report, kind),
     }
 }
 
@@ -233,6 +270,48 @@ fn int8_exactness_violation(candidate: &Value) -> Option<String> {
     None
 }
 
+/// The matrix's candidate-only invariants, mirroring the smoke gate: a
+/// quiet sky never fires, a clean on-axis burst is never missed.
+fn matrix_invariant_violation(candidate: &Value) -> Option<String> {
+    let cells = candidate.get("cells").and_then(|c| c.as_arr())?;
+    for cell in cells {
+        let scenario = cell.get("scenario").and_then(|v| v.as_str()).unwrap_or("");
+        let id = cell.get("id").and_then(|v| v.as_str()).unwrap_or("<cell>");
+        let fa = cell.get("false_alerts").and_then(num).unwrap_or(0.0);
+        let missed = cell.get("missed").and_then(num).unwrap_or(0.0);
+        if scenario == "quiet" && fa != 0.0 {
+            return Some(format!("{id}: {fa:.0} false alerts on a quiet sky"));
+        }
+        if scenario == "clean-burst" && missed != 0.0 {
+            return Some(format!("{id}: clean burst missed"));
+        }
+    }
+    None
+}
+
+/// Detection efficiency may never drop below baseline: cells are
+/// seed-deterministic, so any drop is a real behavioral change in the
+/// trigger or scenario layer, not measurement noise.
+fn matrix_detection_violation(baseline: &Value, candidate: &Value) -> Option<String> {
+    let base_cells = baseline.get("cells").and_then(|c| c.as_arr())?;
+    let cand_cells = candidate.get("cells").and_then(|c| c.as_arr())?;
+    for cell in base_cells {
+        let id = cell.get("id").and_then(|v| v.as_str())?;
+        let b = cell.get("detection_efficiency").and_then(num)?;
+        let cand = cand_cells
+            .iter()
+            .find(|c| c.get("id").and_then(|v| v.as_str()) == Some(id));
+        let Some(cand) = cand else {
+            return Some(format!("cell {id} vanished from the candidate matrix"));
+        };
+        let c = cand.get("detection_efficiency").and_then(num)?;
+        if c < b - 1e-9 {
+            return Some(format!("cell {id}: detection efficiency {b:.3} -> {c:.3}"));
+        }
+    }
+    None
+}
+
 /// Non-overridable correctness contracts per report kind.
 fn contract_violation(candidate: &Value, kind: Kind) -> Option<String> {
     match kind {
@@ -246,6 +325,7 @@ fn contract_violation(candidate: &Value, kind: Kind) -> Option<String> {
             )),
             _ => None,
         },
+        Kind::Matrix => matrix_invariant_violation(candidate),
         Kind::Stream => None,
     }
 }
@@ -256,6 +336,12 @@ fn run_gate(baseline: &Value, candidate: &Value, kind: Kind, tolerance: f64, all
         // correctness, not performance: the override does not apply
         eprintln!("GATE FAIL (not overridable): {violation}");
         return false;
+    }
+    if kind == Kind::Matrix {
+        if let Some(violation) = matrix_detection_violation(baseline, candidate) {
+            eprintln!("GATE FAIL (not overridable): detection-efficiency regression — {violation}");
+            return false;
+        }
     }
     let found = regressions(baseline, candidate, kind, tolerance);
     if found.is_empty() {
@@ -309,7 +395,12 @@ const SLOWED_LATENCY_KEYS: &[&str] = &[
     "epoch_latency_p99_ms",
     "alert_e2e_p99_ms",
     "publish_p99_us",
+    "false_alerts_per_hour",
 ];
+
+/// Matrix keys scaled like throughput (a uniformly "worse" candidate
+/// detects less), exercised by the `--self-test` slowdown arm.
+const SLOWED_EFFICIENCY_KEYS: &[&str] = &["detection_efficiency"];
 
 /// Deep-copy a report with every gated metric slowed by `factor` — the
 /// injected-slowdown candidate for `--self-test`. Pipeline speedups are
@@ -327,7 +418,9 @@ fn slowed(v: &Value, factor: f64, in_gated: bool) -> Value {
                         if k == "speedup" && in_gated {
                             return (k.clone(), Value::Float(x / factor));
                         }
-                        if SLOWED_THROUGHPUT_KEYS.contains(&k.as_str()) {
+                        if SLOWED_THROUGHPUT_KEYS.contains(&k.as_str())
+                            || SLOWED_EFFICIENCY_KEYS.contains(&k.as_str())
+                        {
                             return (k.clone(), Value::Float(x / factor));
                         }
                         if SLOWED_LATENCY_KEYS.contains(&k.as_str()) {
@@ -358,7 +451,7 @@ fn main() {
     let allow = std::env::var("ADAPT_BENCH_ALLOW_REGRESSION").as_deref() == Ok("1");
     let tolerance_for = |kind: Kind| match kind {
         Kind::Pipeline => ratio_tolerance,
-        Kind::Stream | Kind::Ground => wall_tolerance,
+        Kind::Stream | Kind::Ground | Kind::Matrix => wall_tolerance,
     };
 
     match args.as_slice() {

@@ -1,0 +1,72 @@
+//! Trigger robustness matrix benchmark: hostile-sky scenarios ×
+//! background scales × trigger thresholds through the flight runtime,
+//! written to `BENCH_matrix.json` (checked into the repo root).
+//!
+//! Every cell is scored against its ground-truth injections (detection
+//! efficiency, false-alert rate, onset→trigger latency, containment),
+//! and cells that missed a burst or fired falsely print per-decision
+//! forensics. Knobs: `ADAPT_BENCH_MATRIX_OUT` overrides the output
+//! path; `ADAPT_MATRIX_DURATION_S` the per-cell stream length;
+//! `ADAPT_MATRIX_SMOKE=1` selects the CI smoke grid (and exits nonzero
+//! on a quiet-cell false alert or a missed clean burst);
+//! `ADAPT_MATRIX_NDJSON_DIR` captures per-cell forensics NDJSON.
+
+use adapt_bench::{existing_schema, smoke_verdict, MatrixConfig, MATRIX_SCHEMA};
+use std::path::PathBuf;
+
+fn main() {
+    let smoke = std::env::var("ADAPT_MATRIX_SMOKE").map(|v| v == "1") == Ok(true);
+    let mut config = if smoke {
+        MatrixConfig::smoke()
+    } else {
+        MatrixConfig::default()
+    };
+    if let Some(d) = std::env::var("ADAPT_MATRIX_DURATION_S")
+        .ok()
+        .and_then(|v| v.parse().ok())
+    {
+        config.duration_s = d;
+    }
+    config.ndjson_dir = std::env::var("ADAPT_MATRIX_NDJSON_DIR")
+        .ok()
+        .map(PathBuf::from);
+
+    let models = adapt_bench::shared_models();
+    let (report, forensics) = adapt_bench::run_matrix(&models, &config);
+
+    let text = serde_json::to_string_pretty(&report).expect("report serializes");
+    let path =
+        std::env::var("ADAPT_BENCH_MATRIX_OUT").unwrap_or_else(|_| "BENCH_matrix.json".into());
+    if let Some(found) = existing_schema(&path) {
+        assert!(
+            found <= MATRIX_SCHEMA,
+            "{path} was written by schema {found} but this binary writes schema \
+             {MATRIX_SCHEMA}; rebuild from the current tree instead of overwriting"
+        );
+    }
+    std::fs::write(&path, text).expect("write benchmark report");
+
+    println!("{}", report.render_tables());
+    if !forensics.is_empty() {
+        println!("{forensics}");
+    }
+    println!(
+        "{} cells ({} scenarios x {:?} background x {:?} sigma); report written to {path}",
+        report.cells.len(),
+        report.scenario_kinds,
+        report.background_scales,
+        report.threshold_sigmas
+    );
+
+    if smoke {
+        let verdict = smoke_verdict(&report);
+        if !verdict.violations.is_empty() {
+            eprintln!("smoke violations:");
+            for v in &verdict.violations {
+                eprintln!("  {v}");
+            }
+            std::process::exit(1);
+        }
+        println!("smoke grid clean: quiet sky silent, clean burst detected");
+    }
+}

@@ -21,6 +21,12 @@ use adapt_core::{fluence_sweep, format_rows, measure_stages, noise_sweep, polar_
 use adapt_fpga::{background_net_shapes, synthesize, FpgaKernel, Precision, SynthesisConfig};
 use std::path::PathBuf;
 
+pub mod matrix;
+pub use matrix::{
+    cell_seed, run_cell, run_matrix, scenario_catalog, smoke_verdict, CellOutcome, CellReport,
+    MatrixConfig, MatrixReport, ScenarioSpec, SmokeVerdict, MATRIX_SCHEMA,
+};
+
 /// Polar-angle grid of the paper's sweeps.
 pub const POLAR_ANGLES: [f64; 9] = [0.0, 10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0];
 

@@ -35,6 +35,10 @@ SUBCOMMANDS:
                --input <path=telemetry.ndjson>
                --trace <alert-id> (render one alert's causal span tree,
                e.g. --trace s3.e0; ids are listed in the default report)
+               --traces (one-line-per-trace summary table: id, stream,
+               span count, end-to-end latency, final level)
+               --forensics (reconstruct why each trigger decision near a
+               ground-truth onset fired or stayed quiet)
     fly        run the streaming flight runtime over a simulated profile
                --models <path=models.json> --profile <checkout|antarctic=checkout>
                --start-h <hours into profile=0> --duration-s <stream seconds=rest of profile>
@@ -46,10 +50,16 @@ SUBCOMMANDS:
                --resume (restore from --checkpoint before streaming)
                --kill-at-s <stream s> (simulated process kill: checkpoint + exit)
                --enforce-deadline (exit nonzero if p99 alert latency misses)
+               --deterministic (pin full-ml so the alert set is seed-pure)
                --metrics-addr <host:port> (live Prometheus-style endpoint)
                --live-out <path> (stream live snapshots as NDJSON, for adapt top)
                --snapshot-every-s <sim s between snapshots=5>
                --fail-on-slo-breach (exit nonzero if any health check breached)
+               --slo-max-deadline-burn / --slo-max-queue-fill /
+               --slo-stall-factor / --slo-max-alerts-per-hour /
+               --slo-alert-window-s / --slo-max-drift-flagged
+               (override SLO watchdog thresholds; defaults come from the
+               ADAPT_SLO_* environment, see `adapt help` notes)
     serve      run the multi-tenant ground service over a synthesized fleet
                --models <path=models.json> --streams <tenant count=8>
                --duration-s <stream seconds per tenant=60>
@@ -65,6 +75,17 @@ SUBCOMMANDS:
                --linger-s <wall s to keep the metrics endpoint up after the
                fleet drains=0>
                --fail-on-slo-breach (exit nonzero if any health check breached)
+               --slo-* (same watchdog threshold overrides as fly)
+    matrix     sweep hostile-sky scenarios x background x threshold through
+               the flight runtime and score every cell against ground truth
+               --models <path=models.json> --duration-s <per-cell stream s=200>
+               --scales <csv=1.0,3.0> --sigmas <csv=7.0,9.0>
+               --scenarios <csv of scenario names=all>
+               --seed <campaign seed=0x0ADA97B1 (cells derive their own)>
+               --out <path=BENCH_matrix.json>
+               --ndjson-dir <dir> (per-cell forensics NDJSON captures)
+               --smoke (CI grid: quiet/clean-burst/occultation-dip; exit
+               nonzero on a quiet false alert or a missed clean burst)
     top        render the latest live snapshot from a --live-out stream
                --input <path=live.ndjson> --refresh-ms <poll interval=500>
                --once (print the latest snapshot and exit)
@@ -400,10 +421,19 @@ fn build_live(
     if every_s <= 0.0 {
         return Err("--snapshot-every-s must be > 0".into());
     }
-    let slo = adapt_telemetry::SloConfig {
-        deadline_ms,
-        ..Default::default()
-    };
+    // Thresholds layer: built-in defaults < ADAPT_SLO_* environment <
+    // explicit --slo-* flags. `deadline_ms` always tracks the runtime's
+    // own deadline flag so the watchdog and the scheduler agree.
+    let mut slo = adapt_telemetry::SloConfig::from_env();
+    slo.deadline_ms = deadline_ms;
+    slo.max_deadline_burn = args.get_parse_or("slo-max-deadline-burn", slo.max_deadline_burn)?;
+    slo.max_queue_fill = args.get_parse_or("slo-max-queue-fill", slo.max_queue_fill)?;
+    slo.stall_factor = args.get_parse_or("slo-stall-factor", slo.stall_factor)?;
+    slo.max_alerts_per_sim_hour =
+        args.get_parse_or("slo-max-alerts-per-hour", slo.max_alerts_per_sim_hour)?;
+    slo.alert_window_s = args.get_parse_or("slo-alert-window-s", slo.alert_window_s)?;
+    slo.max_drift_features_flagged =
+        args.get_parse_or("slo-max-drift-flagged", slo.max_drift_features_flagged)?;
     let mut obs = adapt_telemetry::LiveObserver::new(every_s, slo);
     if let Some(path) = live_out {
         obs = obs
@@ -486,10 +516,17 @@ pub fn fly(args: &Args) -> Result<(), String> {
         "resume",
         "kill-at-s",
         "enforce-deadline",
+        "deterministic",
         "metrics-addr",
         "live-out",
         "snapshot-every-s",
         "fail-on-slo-breach",
+        "slo-max-deadline-burn",
+        "slo-max-queue-fill",
+        "slo-stall-factor",
+        "slo-max-alerts-per-hour",
+        "slo-alert-window-s",
+        "slo-max-drift-flagged",
     ])?;
     args.assert_no_positionals()?;
     let models = load_models(&args.get_or("models", "models.json"))?;
@@ -519,6 +556,7 @@ pub fn fly(args: &Args) -> Result<(), String> {
 
     let mut rc = adapt_onboard::RuntimeConfig::default();
     rc.deadline_ms = args.get_parse_or("deadline-ms", rc.deadline_ms)?;
+    rc.deterministic = args.switch("deterministic");
     rc.seed = seed;
     rc.checkpoint_path = args.get("checkpoint").map(std::path::PathBuf::from);
     rc.checkpoint_every_s = args.get_parse_or("checkpoint-every-s", 0.0)?;
@@ -658,6 +696,12 @@ pub fn serve(args: &Args) -> Result<(), String> {
         "snapshot-every-s",
         "linger-s",
         "fail-on-slo-breach",
+        "slo-max-deadline-burn",
+        "slo-max-queue-fill",
+        "slo-stall-factor",
+        "slo-max-alerts-per-hour",
+        "slo-alert-window-s",
+        "slo-max-drift-flagged",
     ])?;
     args.assert_no_positionals()?;
     let models = load_models(&args.get_or("models", "models.json"))?;
@@ -849,12 +893,34 @@ fn rc_checkpoint_path(args: &Args) -> Result<String, String> {
 
 /// `adapt telemetry-report`
 pub fn telemetry_report(args: &Args) -> Result<(), String> {
-    args.assert_known(&["input", "trace"])?;
+    args.assert_known(&["input", "trace", "traces", "forensics"])?;
     args.assert_no_positionals()?;
     let path = args.get_or("input", "telemetry.ndjson");
     let text = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let summary = adapt_telemetry::validate_ndjson(&text)
         .map_err(|e| format!("{path} failed schema validation: {e}"))?;
+
+    if args.switch("traces") {
+        if summary.traces.is_empty() {
+            return Err(format!(
+                "{path} holds no trace spans (schema {} capture?)",
+                summary.schema
+            ));
+        }
+        print!("{}", adapt_telemetry::render_trace_table(&summary.traces));
+        return Ok(());
+    }
+
+    if args.switch("forensics") {
+        if summary.decisions.is_empty() {
+            return Err(format!(
+                "{path} holds no trigger decision records — capture one with \
+                 truth onsets configured (e.g. `adapt matrix --ndjson-dir ...`)"
+            ));
+        }
+        print!("{}", adapt_telemetry::render_forensics(&summary.decisions));
+        return Ok(());
+    }
 
     if let Some(id) = args.get("trace") {
         let tree = adapt_telemetry::render_trace(&summary.traces, id).ok_or_else(|| {
@@ -990,6 +1056,105 @@ pub fn telemetry_report(args: &Args) -> Result<(), String> {
             shown.join(", "),
             if ids.len() > shown.len() { ", ..." } else { "" }
         );
+    }
+    Ok(())
+}
+
+/// Parse a comma-separated `--scales`/`--sigmas` style flag into floats.
+fn parse_f64_list(flag: &str, text: &str) -> Result<Vec<f64>, String> {
+    let values: Vec<f64> = text
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse()
+                .map_err(|_| format!("flag --{flag}: cannot parse '{s}'"))
+        })
+        .collect::<Result<_, _>>()?;
+    if values.is_empty() {
+        return Err(format!("flag --{flag}: needs at least one value"));
+    }
+    Ok(values)
+}
+
+/// `adapt matrix` — the trigger robustness campaign runner.
+pub fn matrix(args: &Args) -> Result<(), String> {
+    args.assert_known(&[
+        "models",
+        "duration-s",
+        "scales",
+        "sigmas",
+        "scenarios",
+        "seed",
+        "out",
+        "ndjson-dir",
+        "smoke",
+    ])?;
+    args.assert_no_positionals()?;
+    let models = load_models(&args.get_or("models", "models.json"))?;
+    let smoke = args.switch("smoke");
+    let mut config = if smoke {
+        adapt_bench::MatrixConfig::smoke()
+    } else {
+        adapt_bench::MatrixConfig::default()
+    };
+    config.duration_s = args.get_parse_or("duration-s", config.duration_s)?;
+    if config.duration_s <= 0.0 {
+        return Err("--duration-s must be > 0".into());
+    }
+    if let Some(text) = args.get("scales") {
+        config.background_scales = parse_f64_list("scales", text)?;
+    }
+    if let Some(text) = args.get("sigmas") {
+        config.threshold_sigmas = parse_f64_list("sigmas", text)?;
+    }
+    if let Some(text) = args.get("scenarios") {
+        config.scenarios = text
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(str::to_string)
+            .collect();
+    }
+    config.seed = args.get_parse_or("seed", config.seed)?;
+    config.ndjson_dir = args.get("ndjson-dir").map(std::path::PathBuf::from);
+
+    let (report, forensics) = adapt_bench::run_matrix(&models, &config);
+
+    let out = args.get_or("out", "BENCH_matrix.json");
+    if let Some(found) = adapt_bench::existing_schema(&out) {
+        if found > adapt_bench::MATRIX_SCHEMA {
+            return Err(format!(
+                "{out} was written by schema {found} but this binary writes schema {}; \
+                 rebuild from the current tree instead of overwriting",
+                adapt_bench::MATRIX_SCHEMA
+            ));
+        }
+    }
+    let text = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    std::fs::write(&out, text).map_err(|e| format!("cannot write {out}: {e}"))?;
+
+    println!("{}", report.render_tables());
+    if !forensics.is_empty() {
+        println!("{forensics}");
+    }
+    println!(
+        "{} cells ({} scenarios x {:?} background x {:?} sigma); report written to {out}",
+        report.cells.len(),
+        report.scenario_kinds,
+        report.background_scales,
+        report.threshold_sigmas
+    );
+
+    if smoke {
+        let verdict = adapt_bench::smoke_verdict(&report);
+        if !verdict.violations.is_empty() {
+            return Err(format!(
+                "smoke violations:\n  {}",
+                verdict.violations.join("\n  ")
+            ));
+        }
+        println!("smoke grid clean: quiet sky silent, clean burst detected");
     }
     Ok(())
 }

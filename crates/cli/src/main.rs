@@ -23,6 +23,9 @@ const SWITCHES: &[&str] = &[
     "deterministic",
     "fail-on-slo-breach",
     "once",
+    "traces",
+    "forensics",
+    "smoke",
 ];
 
 fn main() {
@@ -40,6 +43,7 @@ fn main() {
         Some("localize") => commands::localize(&parsed),
         Some("fly") => commands::fly(&parsed),
         Some("serve") => commands::serve(&parsed),
+        Some("matrix") => commands::matrix(&parsed),
         Some("top") => commands::top(&parsed),
         Some("telemetry-report") => commands::telemetry_report(&parsed),
         Some("skymap") => commands::skymap(&parsed),

@@ -33,8 +33,9 @@ pub mod trigger;
 pub use checkpoint::{Checkpoint, CHECKPOINT_SCHEMA};
 pub use queue::{BoundedQueue, DropPolicy, QueueStats};
 pub use runtime::{
-    choose_level, epoch_rng_seed, DegradationLevel, EpochLocalizer, EpochOutcome, FlightRunReport,
-    FlightRuntime, GrbAlert, RuntimeConfig, COST_ALPHA, COST_PRIORS_MS,
+    choose_level, epoch_rng_seed, match_alerts_to_truth, DegradationLevel, EpochLocalizer,
+    EpochOutcome, FlightRunReport, FlightRuntime, GrbAlert, RuntimeConfig, TruthMatchReport,
+    COST_ALPHA, COST_PRIORS_MS,
 };
 pub use trigger::{OnlineTrigger, OnlineTriggerConfig, OpenEpoch};
 

@@ -122,6 +122,22 @@ pub struct RuntimeConfig {
     pub kill_at_s: Option<f64>,
     /// Seed for the per-epoch localizer RNG streams.
     pub seed: u64,
+    /// Ground-truth burst onsets (stream s). When non-empty, every
+    /// trigger decision near an onset emits a
+    /// [`TriggerDecisionRecord`](adapt_telemetry::TriggerDecisionRecord)
+    /// through the recorder, and the run ends with alert↔truth matching
+    /// ([`Counter::FalseAlerts`] / [`Counter::MissedBursts`]).
+    pub truth_onsets_s: Vec<f64>,
+    /// Truth neighbourhood (s): an alert within this long after an onset
+    /// counts as detecting it, and decisions this close to an onset are
+    /// recorded for forensics.
+    pub truth_window_s: f64,
+    /// Pin every localization to `full-ml` instead of consulting the
+    /// wall-clock deadline ladder (mirrors the ground service's flag):
+    /// with a lossless-sized ingest queue the whole alert set becomes a
+    /// pure function of the seeds, which is what seed-replayable
+    /// campaigns (the robustness matrix) require.
+    pub deterministic: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -138,6 +154,9 @@ impl Default for RuntimeConfig {
             checkpoint_every_s: 0.0,
             kill_at_s: None,
             seed: 0x0B0A_4D5E,
+            truth_onsets_s: Vec::new(),
+            truth_window_s: 10.0,
+            deterministic: false,
         }
     }
 }
@@ -232,6 +251,73 @@ pub const COST_ALPHA: f64 = 0.4;
 /// bit-identical to a single-stream run with the same seed.
 pub fn epoch_rng_seed(stream_seed: u64, epoch_index: u64) -> u64 {
     stream_seed ^ epoch_index.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Alert ↔ ground-truth matching over one run: which injected onsets an
+/// alert detected (and how fast), which fired with no onset nearby.
+/// Shared by the runtime's end-of-run accounting and the robustness
+/// matrix in `adapt-bench`.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TruthMatchReport {
+    /// Ground-truth onsets considered.
+    pub n_truth: usize,
+    /// Alerts emitted by the run.
+    pub n_alerts: usize,
+    /// Onsets with at least one alert inside their window.
+    pub detected: usize,
+    /// Onsets no alert detected.
+    pub missed: usize,
+    /// Alerts matching no onset window.
+    pub false_alerts: usize,
+    /// Trigger latency of each detected onset (s from onset to the first
+    /// matching alert's trigger time), in onset order.
+    pub latencies_s: Vec<f64>,
+}
+
+impl TruthMatchReport {
+    /// Detected fraction of the truth onsets (1.0 when there were none).
+    pub fn detection_efficiency(&self) -> f64 {
+        if self.n_truth == 0 {
+            1.0
+        } else {
+            self.detected as f64 / self.n_truth as f64
+        }
+    }
+}
+
+/// Match alerts against ground-truth onsets: an alert whose trigger time
+/// falls in `[onset − 0.5 s, onset + window_s]` detects that onset (the
+/// small pre-margin tolerates pre-window leakage); an alert matching no
+/// onset is a false alert.
+pub fn match_alerts_to_truth(
+    alerts: &[GrbAlert],
+    onsets_s: &[f64],
+    window_s: f64,
+) -> TruthMatchReport {
+    let matches = |t: f64, onset: f64| t >= onset - 0.5 && t <= onset + window_s;
+    let mut report = TruthMatchReport {
+        n_truth: onsets_s.len(),
+        n_alerts: alerts.len(),
+        ..TruthMatchReport::default()
+    };
+    for &onset in onsets_s {
+        let first = alerts
+            .iter()
+            .filter(|a| matches(a.t_trigger_s, onset))
+            .map(|a| a.t_trigger_s)
+            .fold(f64::INFINITY, f64::min);
+        if first.is_finite() {
+            report.detected += 1;
+            report.latencies_s.push((first - onset).max(0.0));
+        } else {
+            report.missed += 1;
+        }
+    }
+    report.false_alerts = alerts
+        .iter()
+        .filter(|a| !onsets_s.iter().any(|&o| matches(a.t_trigger_s, o)))
+        .count();
+    report
 }
 
 struct EpochJob {
@@ -411,11 +497,14 @@ struct FlightLive {
     events_dropped: CounterHandle,
     epochs_opened: CounterHandle,
     alerts_emitted: CounterHandle,
+    false_alerts: CounterHandle,
+    missed_bursts: CounterHandle,
     degradations: CounterHandle,
     per_level: [CounterHandle; 4],
     ingest_depth: GaugeHandle,
     epoch_depth: GaugeHandle,
     level_gauge: GaugeHandle,
+    scenario_components: GaugeHandle,
     alert_latency: HistogramHandle,
 }
 
@@ -431,12 +520,15 @@ impl FlightLive {
             events_dropped: reg.counter("adapt_events_dropped_total", &[]),
             epochs_opened: reg.counter("adapt_epochs_opened_total", &[]),
             alerts_emitted: reg.counter("adapt_alerts_emitted_total", &[("stream", "0")]),
+            false_alerts: reg.counter("adapt_false_alerts_total", &[]),
+            missed_bursts: reg.counter("adapt_missed_bursts_total", &[]),
             degradations: reg.counter("adapt_degradation_transitions_total", &[]),
             per_level: DegradationLevel::ALL
                 .map(|l| reg.counter("adapt_epochs_localized_total", &[("level", l.name())])),
             ingest_depth: reg.gauge("adapt_ingest_queue_depth", &[("queue", "ingest")]),
             epoch_depth: reg.gauge("adapt_epoch_queue_depth", &[("queue", "epoch")]),
             level_gauge: reg.gauge("adapt_degradation_level", &[]),
+            scenario_components: reg.gauge("adapt_scenario_components_active", &[]),
             alert_latency: reg.histogram("adapt_alert_latency_ms", &[]),
         }
     }
@@ -523,6 +615,15 @@ impl<'a> FlightRuntime<'a> {
         let models = self.models;
         let live = self.live;
         let flm = live.map(|obs| FlightLive::register(obs, config));
+        // surface the hostile-sky injection set: how many scenario
+        // components shape this stream (0 on a quiet sky)
+        let n_components = source.scenario().components.len();
+        if let Some(m) = &flm {
+            m.scenario_components.set(n_components as f64);
+        }
+        if n_components > 0 {
+            recorder.add(Counter::ScenarioComponentsActive, n_components as u64);
+        }
         // compile both shared plans on this thread, before workers race
         models.quantized_background.plan();
         let compiled_background = CompiledMlp::compile(&models.background);
@@ -643,8 +744,22 @@ impl<'a> FlightRuntime<'a> {
                         m.epoch_depth.set(epoch_q.len() as f64);
                     }
                 };
+                let onsets = &config.truth_onsets_s;
+                let near_truth = |t: f64| {
+                    onsets
+                        .iter()
+                        .any(|&o| t >= o - 1.0 && t <= o + config.truth_window_s)
+                };
                 while let Some(se) = ingest_q.pop() {
-                    if let Some(done) = trigger.observe(&se) {
+                    let want_detail =
+                        recorder.is_enabled() && !onsets.is_empty() && near_truth(se.t_s);
+                    let (done, decision) = trigger.observe_explained(&se, want_detail);
+                    if let Some(rec) = decision {
+                        if recorder.is_enabled() {
+                            recorder.trigger_decision(&rec);
+                        }
+                    }
+                    if let Some(done) = done {
                         dispatch(done, &mut next_index);
                     }
                     if se.t_s >= next_ckpt_s {
@@ -677,7 +792,9 @@ impl<'a> FlightRuntime<'a> {
                     let backlog = epoch_q.len();
                     let waited_ms = job.ready.elapsed().as_secs_f64() * 1e3;
                     let remaining_ms = config.deadline_ms - waited_ms;
-                    let (chosen, mut reason) = {
+                    let (chosen, mut reason) = if config.deterministic {
+                        (DegradationLevel::FullMl, "pinned")
+                    } else {
                         let ws_shared = shared.lock().unwrap();
                         choose_level(
                             &ws_shared.cost_model_ms,
@@ -809,8 +926,19 @@ impl<'a> FlightRuntime<'a> {
 
         let wall_s = t_start.elapsed().as_secs_f64();
         let ingest_stats = ingest_q.stats();
+        let alerts = alerts.into_inner().unwrap();
+        if !config.truth_onsets_s.is_empty() {
+            let truth =
+                match_alerts_to_truth(&alerts, &config.truth_onsets_s, config.truth_window_s);
+            recorder.add(Counter::FalseAlerts, truth.false_alerts as u64);
+            recorder.add(Counter::MissedBursts, truth.missed as u64);
+            if let Some(m) = &flm {
+                m.false_alerts.add(truth.false_alerts as u64);
+                m.missed_bursts.add(truth.missed as u64);
+            }
+        }
         FlightRunReport {
-            alerts: alerts.into_inner().unwrap(),
+            alerts,
             transitions: transitions.into_inner().unwrap(),
             ingest_stats,
             epoch_stats: epoch_q.stats(),
@@ -885,6 +1013,40 @@ mod tests {
         let (l, why) = choose_level(&cost, 0.5, 0);
         assert_eq!(l, DegradationLevel::Classical);
         assert_eq!(why, "deadline-budget");
+    }
+
+    #[test]
+    fn truth_matching_classifies_alerts_and_onsets() {
+        let mk = |t: f64| GrbAlert {
+            t_trigger_s: t,
+            significance_sigma: 8.0,
+            polar_deg: 0.0,
+            azimuth_deg: 0.0,
+            containment_radius_deg: 1.0,
+            mode: DegradationLevel::FullMl,
+            rings: 1,
+            surviving_rings: 1,
+            latency_ms: 10.0,
+            deadline_ms: 500.0,
+            ingest_depth: 0,
+            epoch_depth: 0,
+        };
+        // onset 100 detected (two alerts, first wins), onset 300 missed,
+        // alert at 200 matches nothing
+        let alerts = vec![mk(100.4), mk(104.0), mk(200.0)];
+        let truth = match_alerts_to_truth(&alerts, &[100.0, 300.0], 10.0);
+        assert_eq!(truth.n_truth, 2);
+        assert_eq!(truth.n_alerts, 3);
+        assert_eq!(truth.detected, 1);
+        assert_eq!(truth.missed, 1);
+        assert_eq!(truth.false_alerts, 1);
+        assert_eq!(truth.latencies_s.len(), 1);
+        assert!((truth.latencies_s[0] - 0.4).abs() < 1e-9);
+        assert!((truth.detection_efficiency() - 0.5).abs() < 1e-12);
+        // no truth: efficiency is vacuously 1, everything is false
+        let truth = match_alerts_to_truth(&alerts, &[], 10.0);
+        assert_eq!(truth.false_alerts, 3);
+        assert!((truth.detection_efficiency() - 1.0).abs() < 1e-12);
     }
 
     #[test]

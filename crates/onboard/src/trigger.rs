@@ -17,6 +17,7 @@
 //! checkpoint/restore possible.
 
 use adapt_sim::{Event, StreamedEvent};
+use adapt_telemetry::{TriggerDecisionRecord, WindowDecision};
 use serde::{Deserialize, Serialize};
 
 /// Tuning of the online trigger.
@@ -181,6 +182,47 @@ impl OnlineTrigger {
     /// Feed one measured event (events must arrive in time order).
     /// Returns an epoch when this arrival closed it.
     pub fn observe(&mut self, se: &StreamedEvent) -> Option<OpenEpoch> {
+        self.observe_explained(se, false).0
+    }
+
+    /// Snapshot the decision state into a forensics record.
+    #[allow(clippy::too_many_arguments)]
+    fn decision(
+        &self,
+        t: f64,
+        fired: bool,
+        near_truth: bool,
+        reason: &str,
+        elapsed: f64,
+        frozen: bool,
+        windows: Vec<WindowDecision>,
+    ) -> TriggerDecisionRecord {
+        TriggerDecisionRecord {
+            t_s: t,
+            fired,
+            near_truth,
+            reason: reason.to_string(),
+            background_rate_hz: self.rate_at(t, elapsed),
+            calibration_elapsed_s: elapsed,
+            threshold_sigma: self.config.threshold_sigma,
+            frozen,
+            windows,
+        }
+    }
+
+    /// [`observe`](OnlineTrigger::observe), plus per-decision forensics.
+    ///
+    /// When `near_truth` is set (the caller knows a ground-truth onset is
+    /// nearby) *every* decision emits a [`TriggerDecisionRecord`] — fire
+    /// or no-fire, with the reason the trigger stayed quiet (`epoch-open`,
+    /// `refractory`, `calibrating`, `below-threshold`) and the per-width
+    /// window evidence. A fire always emits a record, so false alerts far
+    /// from any truth onset can be reconstructed too.
+    pub fn observe_explained(
+        &mut self,
+        se: &StreamedEvent,
+        near_truth: bool,
+    ) -> (Option<OpenEpoch>, Option<TriggerDecisionRecord>) {
         let t = se.t_s;
         self.events_seen += 1;
         self.last_t_s = t;
@@ -206,23 +248,33 @@ impl OnlineTrigger {
         self.recent.push(se.clone());
         self.purge(t);
 
+        let frozen = t < self.frozen_until_s;
+        let elapsed = (t - self.cal_start_s).max(0.0);
+
         if let Some(ep) = &mut self.epoch {
             if t <= ep.collect_until_s {
                 ep.events.push(se.event.clone());
             }
-            return completed;
+            let rec = near_truth
+                .then(|| self.decision(t, false, true, "epoch-open", elapsed, frozen, Vec::new()));
+            return (completed, rec);
         }
 
-        if t < self.frozen_until_s {
-            return completed;
+        if frozen {
+            let rec = near_truth
+                .then(|| self.decision(t, false, true, "refractory", elapsed, true, Vec::new()));
+            return (completed, rec);
         }
 
-        let elapsed = t - self.cal_start_s;
         if elapsed < self.config.min_calibration_s {
-            return completed;
+            let rec = near_truth
+                .then(|| self.decision(t, false, true, "calibrating", elapsed, false, Vec::new()));
+            return (completed, rec);
         }
         let rate = self.rate_at(t, elapsed);
 
+        let mut windows: Vec<WindowDecision> = Vec::new();
+        let mut fired = false;
         let widths: Vec<f64> = self.config.window_widths_s.clone();
         for w in widths {
             if w > elapsed {
@@ -236,7 +288,16 @@ impl OnlineTrigger {
             }
             let expected = (rate * w).max(1e-12);
             let significance = (n as f64 - expected) / expected.sqrt();
-            if significance >= self.config.threshold_sigma {
+            let crossed = significance >= self.config.threshold_sigma;
+            if near_truth || crossed {
+                windows.push(WindowDecision {
+                    width_s: w,
+                    counts: n as u64,
+                    expected,
+                    sigma: significance,
+                });
+            }
+            if crossed {
                 let events: Vec<Event> = self.recent[self.recent_head..]
                     .iter()
                     .filter(|e| e.t_s >= t - self.config.pre_window_s)
@@ -250,10 +311,17 @@ impl OnlineTrigger {
                     events,
                 });
                 self.frozen_until_s = t + self.config.post_window_s + self.config.refractory_s;
+                fired = true;
                 break;
             }
         }
-        completed
+        let rec = if fired {
+            Some(self.decision(t, true, near_truth, "fired", elapsed, false, windows))
+        } else {
+            near_truth
+                .then(|| self.decision(t, false, true, "below-threshold", elapsed, false, windows))
+        };
+        (completed, rec)
     }
 
     /// Close and return the open epoch at stream end (the post-window may
@@ -374,6 +442,57 @@ mod tests {
         let b = feed_uniform(&mut restored, 10.3, 14.0, 30.0);
         assert_eq!(a, b);
         assert_eq!(a, 1, "the open epoch closes after the burst");
+    }
+
+    #[test]
+    fn observe_explained_reports_every_trigger_state() {
+        let mut trig = OnlineTrigger::new(OnlineTriggerConfig::default());
+        // calibrating: not enough quiet time yet
+        let (_, rec) = trig.observe_explained(&dummy_event(0.5), true);
+        let rec = rec.expect("near-truth decisions always record");
+        assert!(!rec.fired);
+        assert_eq!(rec.reason, "calibrating");
+        // quiet background: below-threshold with window evidence
+        feed_uniform(&mut trig, 1.0, 30.0, 40.0);
+        let (_, rec) = trig.observe_explained(&dummy_event(30.01), true);
+        let rec = rec.unwrap();
+        assert_eq!(rec.reason, "below-threshold");
+        assert!(
+            !rec.windows.is_empty(),
+            "calibrated decision carries windows"
+        );
+        assert!(rec.windows.iter().all(|w| w.sigma < rec.threshold_sigma));
+        assert!((rec.background_rate_hz - 40.0).abs() < 5.0);
+        // burst: the firing decision records even far from truth
+        let mut fired = None;
+        for i in 0..300 {
+            let t = 30.02 + 0.25 * i as f64 / 300.0;
+            let (_, rec) = trig.observe_explained(&dummy_event(t), false);
+            if let Some(r) = rec {
+                fired = Some(r);
+                break;
+            }
+        }
+        let fired = fired.expect("burst must fire and record");
+        assert!(fired.fired && fired.reason == "fired");
+        assert!(!fired.near_truth);
+        let crossing = fired
+            .windows
+            .iter()
+            .find(|w| w.sigma >= fired.threshold_sigma)
+            .expect("fired record carries the crossing window");
+        assert!(crossing.counts as usize >= 8);
+        // epoch open while collecting
+        let (_, rec) = trig.observe_explained(&dummy_event(30.4), true);
+        assert_eq!(rec.unwrap().reason, "epoch-open");
+        // refractory after the epoch closes
+        let (_, rec) = trig.observe_explained(&dummy_event(35.0), true);
+        let rec = rec.unwrap();
+        assert_eq!(rec.reason, "refractory");
+        assert!(rec.frozen);
+        // quiet observation without truth context records nothing
+        let (_, rec) = trig.observe_explained(&dummy_event(35.1), false);
+        assert!(rec.is_none());
     }
 
     #[test]

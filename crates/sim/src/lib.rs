@@ -41,6 +41,7 @@ pub mod geometry;
 pub mod physics;
 pub mod pileup;
 pub mod response;
+pub mod scenario;
 pub mod source;
 pub mod stream;
 pub mod time;
@@ -54,6 +55,7 @@ pub use geometry::DetectorGeometry;
 pub use physics::Material;
 pub use pileup::{apply_pileup, PileupConfig, PileupStats};
 pub use response::DetectorResponse;
+pub use scenario::{Scenario, ScenarioComponent};
 pub use source::{BackgroundSource, GrbSource, TabulatedSpectrum};
 pub use stream::{BurstInjection, StreamConfig, StreamStats, StreamedEvent, StreamingSource};
 pub use time::LightCurve;

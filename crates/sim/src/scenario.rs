@@ -1,0 +1,443 @@
+//! Hostile-sky scenario layer: composable anomalies stacked on a
+//! [`StreamingSource`](crate::stream::StreamingSource).
+//!
+//! Every scenario exercised before this module was "quiet background +
+//! clean injected GRB". Real balloon skies are hostile: bursts overlap,
+//! magnetar (SGR) flares arrive in trains, solar flares ramp the soft
+//! background over minutes, SAA-like passages step or spike the particle
+//! rate, Earth occultation dips it, and the detector itself drops out or
+//! saturates into dead-time. Each of those is a declarative
+//! [`ScenarioComponent`]; a [`Scenario`] composes any number of them.
+//!
+//! Components act through exactly three deterministic channels:
+//!
+//! 1. **Rate modifiers** — multiplicative factors on the background
+//!    intensity λ(t) (ramps, steps, spikes, dips). The product over
+//!    components is bounded by [`Scenario::rate_multiplier_bound`], which
+//!    the source folds into its thinning ceiling so acceptance
+//!    probabilities never clip and the realized process stays an unbiased
+//!    nonhomogeneous Poisson draw.
+//! 2. **Extra photon populations** — burst-like components (overlapping
+//!    bursts, SGR flare trains) expand into ordinary
+//!    [`BurstInjection`]s via [`Scenario::injections`], flowing through
+//!    the same pre-generation path as scheduled GRBs.
+//! 3. **Loss filters** — detector dropouts thin both background
+//!    acceptance and pre-generated burst photons by a survival
+//!    probability; dead-time suppresses any event arriving within `τ` of
+//!    the previously *emitted* event, applied at the merged-stream level.
+//!
+//! All three channels draw from counter-derived or construction-time RNG
+//! streams, so a scenario-bearing stream replays bit-identically from the
+//! same seed and survives `skip_until` checkpoint restores unchanged.
+
+use crate::config::GrbConfig;
+use crate::stream::BurstInjection;
+use crate::time::LightCurve;
+use serde::{Deserialize, Serialize};
+
+/// One declarative hostile-sky ingredient. See the module docs for the
+/// three channels a component may act through.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ScenarioComponent {
+    /// Two bursts separated by `separation_s` — back-to-back when the
+    /// separation is below the trigger's refractory window, overlapping
+    /// when it is below the burst duration.
+    BackToBackBursts {
+        /// Onset of the first burst (s from stream start).
+        t_onset_s: f64,
+        /// Gap between the two onsets (s).
+        separation_s: f64,
+        /// Fluence of each burst (MeV/cm²).
+        fluence: f64,
+        /// Polar angle of both bursts (deg from zenith).
+        polar_deg: f64,
+    },
+    /// A magnetar-style train of short soft flares at a fixed cadence.
+    SgrFlareTrain {
+        /// Onset of the first flare (s from stream start).
+        t_start_s: f64,
+        /// Cadence between flare onsets (s).
+        period_s: f64,
+        /// Number of flares in the train.
+        flares: u32,
+        /// Fluence of each flare (MeV/cm²).
+        fluence: f64,
+        /// Polar angle of the source (deg from zenith).
+        polar_deg: f64,
+    },
+    /// A solar-flare style background ramp: the rate multiplier rises
+    /// linearly from 1 to `peak_multiplier` over `rise_s`, holds for
+    /// `hold_s`, then falls back linearly over `fall_s`.
+    SolarFlareRamp {
+        /// Ramp start (s from stream start).
+        t_start_s: f64,
+        /// Linear rise time (s).
+        rise_s: f64,
+        /// Plateau duration at the peak (s).
+        hold_s: f64,
+        /// Linear fall time (s).
+        fall_s: f64,
+        /// Peak rate multiplier (≥ 1).
+        peak_multiplier: f64,
+    },
+    /// An SAA-passage style background step: multiplier applies over
+    /// `[t_start_s, t_end_s)`.
+    SaaStep {
+        /// Step start (s from stream start).
+        t_start_s: f64,
+        /// Step end (s from stream start).
+        t_end_s: f64,
+        /// Rate multiplier inside the interval (≥ 1).
+        multiplier: f64,
+    },
+    /// A short Gaussian particle spike centred at `t_s`.
+    SaaSpike {
+        /// Spike centre (s from stream start).
+        t_s: f64,
+        /// Gaussian σ of the spike profile (s).
+        sigma_s: f64,
+        /// Peak rate multiplier at the centre (≥ 1).
+        multiplier: f64,
+    },
+    /// An Earth-occultation dip: the background multiplier drops to
+    /// `floor` (0 ≤ floor ≤ 1) over `[t_start_s, t_end_s)`.
+    OccultationDip {
+        /// Dip start (s from stream start).
+        t_start_s: f64,
+        /// Dip end (s from stream start).
+        t_end_s: f64,
+        /// Rate multiplier inside the dip (0–1).
+        floor: f64,
+    },
+    /// A detector dropout: every photon (background *and* burst) in
+    /// `[t_start_s, t_end_s)` is lost with probability `drop_fraction`.
+    DetectorDropout {
+        /// Outage start (s from stream start).
+        t_start_s: f64,
+        /// Outage end (s from stream start).
+        t_end_s: f64,
+        /// Per-event loss probability inside the outage (0–1).
+        drop_fraction: f64,
+    },
+    /// Non-paralyzable dead-time: any event arriving within `tau_s` of
+    /// the previously emitted event is suppressed.
+    DeadTime {
+        /// Dead-time constant (s).
+        tau_s: f64,
+    },
+}
+
+impl ScenarioComponent {
+    /// Multiplicative rate factor this component applies at stream time
+    /// `t_s`. Components without a rate channel return 1.
+    pub fn rate_factor_at(&self, t_s: f64) -> f64 {
+        match *self {
+            ScenarioComponent::SolarFlareRamp {
+                t_start_s,
+                rise_s,
+                hold_s,
+                fall_s,
+                peak_multiplier,
+            } => {
+                let dt = t_s - t_start_s;
+                let peak = peak_multiplier.max(1.0);
+                if dt < 0.0 {
+                    1.0
+                } else if dt < rise_s {
+                    1.0 + (peak - 1.0) * (dt / rise_s.max(1e-9))
+                } else if dt < rise_s + hold_s {
+                    peak
+                } else if dt < rise_s + hold_s + fall_s {
+                    let fell = (dt - rise_s - hold_s) / fall_s.max(1e-9);
+                    peak - (peak - 1.0) * fell
+                } else {
+                    1.0
+                }
+            }
+            ScenarioComponent::SaaStep {
+                t_start_s,
+                t_end_s,
+                multiplier,
+            } if t_s >= t_start_s && t_s < t_end_s => multiplier.max(0.0),
+            ScenarioComponent::SaaSpike {
+                t_s: centre,
+                sigma_s,
+                multiplier,
+            } => {
+                let z = (t_s - centre) / sigma_s.max(1e-9);
+                1.0 + (multiplier.max(1.0) - 1.0) * (-0.5 * z * z).exp()
+            }
+            ScenarioComponent::OccultationDip {
+                t_start_s,
+                t_end_s,
+                floor,
+            } if t_s >= t_start_s && t_s < t_end_s => floor.clamp(0.0, 1.0),
+            _ => 1.0,
+        }
+    }
+
+    /// A guaranteed upper bound on [`rate_factor_at`](Self::rate_factor_at)
+    /// over all times.
+    pub fn rate_factor_bound(&self) -> f64 {
+        match *self {
+            ScenarioComponent::SolarFlareRamp {
+                peak_multiplier, ..
+            } => peak_multiplier.max(1.0),
+            ScenarioComponent::SaaStep { multiplier, .. } => multiplier.max(1.0),
+            ScenarioComponent::SaaSpike { multiplier, .. } => multiplier.max(1.0),
+            _ => 1.0,
+        }
+    }
+
+    /// Per-event survival probability this component applies at `t_s`
+    /// (dropout channel). Components without a loss window return 1.
+    pub fn survival_at(&self, t_s: f64) -> f64 {
+        match *self {
+            ScenarioComponent::DetectorDropout {
+                t_start_s,
+                t_end_s,
+                drop_fraction,
+            } if t_s >= t_start_s && t_s < t_end_s => 1.0 - drop_fraction.clamp(0.0, 1.0),
+            _ => 1.0,
+        }
+    }
+
+    /// Burst injections this component expands into (photon-population
+    /// channel). An SGR flare is modelled as a soft, short top-hat pulse.
+    pub fn injections(&self) -> Vec<BurstInjection> {
+        match *self {
+            ScenarioComponent::BackToBackBursts {
+                t_onset_s,
+                separation_s,
+                fluence,
+                polar_deg,
+            } => {
+                let mut second = GrbConfig::new(fluence, polar_deg);
+                second.azimuth_deg = 180.0;
+                vec![
+                    BurstInjection {
+                        t_onset_s,
+                        grb: GrbConfig::new(fluence, polar_deg),
+                    },
+                    BurstInjection {
+                        t_onset_s: t_onset_s + separation_s,
+                        grb: second,
+                    },
+                ]
+            }
+            ScenarioComponent::SgrFlareTrain {
+                t_start_s,
+                period_s,
+                flares,
+                fluence,
+                polar_deg,
+            } => (0..flares)
+                .map(|k| {
+                    let mut flare = GrbConfig::new(fluence, polar_deg);
+                    flare.duration_s = 0.5;
+                    flare.spectrum.e_peak = 0.06; // soft magnetar-like spectrum
+                    flare.spectrum.e_max = 1.0;
+                    flare.light_curve = LightCurve::TopHat {
+                        start: 0.0,
+                        width: 0.25,
+                    };
+                    BurstInjection {
+                        t_onset_s: t_start_s + period_s * k as f64,
+                        grb: flare,
+                    }
+                })
+                .collect(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Short machine-readable kind tag (matrix cell labels, forensics).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ScenarioComponent::BackToBackBursts { .. } => "back-to-back-bursts",
+            ScenarioComponent::SgrFlareTrain { .. } => "sgr-flare-train",
+            ScenarioComponent::SolarFlareRamp { .. } => "solar-flare-ramp",
+            ScenarioComponent::SaaStep { .. } => "saa-step",
+            ScenarioComponent::SaaSpike { .. } => "saa-spike",
+            ScenarioComponent::OccultationDip { .. } => "occultation-dip",
+            ScenarioComponent::DetectorDropout { .. } => "detector-dropout",
+            ScenarioComponent::DeadTime { .. } => "dead-time",
+        }
+    }
+}
+
+/// A composition of [`ScenarioComponent`]s applied to one stream.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Scenario {
+    /// The stacked components; order is irrelevant (channels compose
+    /// multiplicatively / by union).
+    pub components: Vec<ScenarioComponent>,
+}
+
+impl Scenario {
+    /// The empty (quiet-sky) scenario.
+    pub fn quiet() -> Self {
+        Scenario::default()
+    }
+
+    /// Add a component (builder style).
+    pub fn with(mut self, component: ScenarioComponent) -> Self {
+        self.components.push(component);
+        self
+    }
+
+    /// True when no component is active — the stream behaves exactly as
+    /// an unmodified [`StreamingSource`](crate::stream::StreamingSource).
+    pub fn is_quiet(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Product of all components' rate factors at `t_s`.
+    pub fn rate_multiplier_at(&self, t_s: f64) -> f64 {
+        self.components
+            .iter()
+            .map(|c| c.rate_factor_at(t_s))
+            .product()
+    }
+
+    /// Guaranteed upper bound on [`rate_multiplier_at`](Self::rate_multiplier_at)
+    /// over all times: the product of per-component analytic maxima. The
+    /// thinning ceiling multiplies by this so acceptance never clips.
+    pub fn rate_multiplier_bound(&self) -> f64 {
+        self.components
+            .iter()
+            .map(|c| c.rate_factor_bound())
+            .product()
+    }
+
+    /// Product of all components' survival probabilities at `t_s`
+    /// (detector dropouts). Always in `[0, 1]`.
+    pub fn survival_at(&self, t_s: f64) -> f64 {
+        self.components.iter().map(|c| c.survival_at(t_s)).product()
+    }
+
+    /// True when any component has a loss window (so the source needs a
+    /// dedicated drop RNG stream for pre-generated burst photons).
+    pub fn has_dropouts(&self) -> bool {
+        self.components
+            .iter()
+            .any(|c| matches!(c, ScenarioComponent::DetectorDropout { .. }))
+    }
+
+    /// The effective dead-time constant: the largest `tau_s` across
+    /// [`DeadTime`](ScenarioComponent::DeadTime) components, if any.
+    pub fn dead_time_s(&self) -> Option<f64> {
+        self.components
+            .iter()
+            .filter_map(|c| match *c {
+                ScenarioComponent::DeadTime { tau_s } => Some(tau_s),
+                _ => None,
+            })
+            .fold(None, |acc, tau| Some(acc.map_or(tau, |a: f64| a.max(tau))))
+    }
+
+    /// All burst injections the components expand into, onset-ordered.
+    pub fn injections(&self) -> Vec<BurstInjection> {
+        let mut all: Vec<BurstInjection> = self
+            .components
+            .iter()
+            .flat_map(|c| c.injections())
+            .collect();
+        all.sort_by(|a, b| a.t_onset_s.total_cmp(&b.t_onset_s));
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiet_scenario_is_identity() {
+        let s = Scenario::quiet();
+        assert!(s.is_quiet());
+        assert_eq!(s.rate_multiplier_at(12.0), 1.0);
+        assert_eq!(s.rate_multiplier_bound(), 1.0);
+        assert_eq!(s.survival_at(12.0), 1.0);
+        assert!(s.dead_time_s().is_none());
+        assert!(s.injections().is_empty());
+    }
+
+    #[test]
+    fn ramp_profile_rises_holds_falls() {
+        let ramp = ScenarioComponent::SolarFlareRamp {
+            t_start_s: 10.0,
+            rise_s: 10.0,
+            hold_s: 5.0,
+            fall_s: 10.0,
+            peak_multiplier: 3.0,
+        };
+        assert_eq!(ramp.rate_factor_at(0.0), 1.0);
+        assert!((ramp.rate_factor_at(15.0) - 2.0).abs() < 1e-12);
+        assert_eq!(ramp.rate_factor_at(22.0), 3.0);
+        assert!((ramp.rate_factor_at(30.0) - 2.0).abs() < 1e-12);
+        assert_eq!(ramp.rate_factor_at(60.0), 1.0);
+        assert_eq!(ramp.rate_factor_bound(), 3.0);
+    }
+
+    #[test]
+    fn composition_multiplies_and_bound_dominates() {
+        let s = Scenario::quiet()
+            .with(ScenarioComponent::SaaStep {
+                t_start_s: 0.0,
+                t_end_s: 100.0,
+                multiplier: 2.0,
+            })
+            .with(ScenarioComponent::SaaSpike {
+                t_s: 50.0,
+                sigma_s: 2.0,
+                multiplier: 4.0,
+            })
+            .with(ScenarioComponent::OccultationDip {
+                t_start_s: 40.0,
+                t_end_s: 60.0,
+                floor: 0.25,
+            });
+        let bound = s.rate_multiplier_bound();
+        for i in 0..=1000 {
+            let t = 0.1 * i as f64;
+            let m = s.rate_multiplier_at(t);
+            assert!(m <= bound + 1e-12, "m({t}) = {m} exceeds bound {bound}");
+            assert!(m >= 0.0);
+        }
+        // spike centre inside the dip: 2 · 4 · 0.25
+        assert!((s.rate_multiplier_at(50.0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flare_train_expands_to_cadenced_injections() {
+        let s = Scenario::quiet().with(ScenarioComponent::SgrFlareTrain {
+            t_start_s: 5.0,
+            period_s: 3.0,
+            flares: 4,
+            fluence: 0.8,
+            polar_deg: 30.0,
+        });
+        let inj = s.injections();
+        assert_eq!(inj.len(), 4);
+        let onsets: Vec<f64> = inj.iter().map(|i| i.t_onset_s).collect();
+        assert_eq!(onsets, vec![5.0, 8.0, 11.0, 14.0]);
+        assert!(inj.iter().all(|i| i.grb.duration_s == 0.5));
+    }
+
+    #[test]
+    fn dropout_and_dead_time_channels() {
+        let s = Scenario::quiet()
+            .with(ScenarioComponent::DetectorDropout {
+                t_start_s: 10.0,
+                t_end_s: 20.0,
+                drop_fraction: 0.75,
+            })
+            .with(ScenarioComponent::DeadTime { tau_s: 0.002 });
+        assert!(s.has_dropouts());
+        assert_eq!(s.survival_at(5.0), 1.0);
+        assert!((s.survival_at(15.0) - 0.25).abs() < 1e-12);
+        assert_eq!(s.dead_time_s(), Some(0.002));
+        assert_eq!(s.rate_multiplier_bound(), 1.0);
+    }
+}

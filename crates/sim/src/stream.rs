@@ -22,6 +22,7 @@ use crate::campaign::BurstSimulation;
 use crate::config::{BackgroundConfig, DetectorConfig, GrbConfig, PerturbationConfig};
 use crate::event::Event;
 use crate::flight::FlightProfile;
+use crate::scenario::Scenario;
 use adapt_math::sampling::{exponential, poisson};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
@@ -63,6 +64,8 @@ pub struct StreamConfig {
     pub background_scale: f64,
     /// Scheduled GRBs.
     pub bursts: Vec<BurstInjection>,
+    /// Hostile-sky anomalies stacked on the stream (quiet by default).
+    pub scenario: Scenario,
 }
 
 impl StreamConfig {
@@ -78,12 +81,19 @@ impl StreamConfig {
             duration_s,
             background_scale: 1.0,
             bursts: Vec::new(),
+            scenario: Scenario::default(),
         }
     }
 
     /// Add a burst injection (builder style).
     pub fn with_burst(mut self, t_onset_s: f64, grb: GrbConfig) -> Self {
         self.bursts.push(BurstInjection { t_onset_s, grb });
+        self
+    }
+
+    /// Attach a hostile-sky scenario (builder style).
+    pub fn with_scenario(mut self, scenario: Scenario) -> Self {
+        self.scenario = scenario;
         self
     }
 }
@@ -108,6 +118,10 @@ pub struct StreamStats {
     pub n_grb_incident: u64,
     /// Measured events yielded.
     pub n_measured: u64,
+    /// Pre-generated burst photons lost to detector-dropout windows.
+    pub n_outage_dropped: u64,
+    /// Merged-stream events suppressed by dead-time.
+    pub n_dead_time_dropped: u64,
 }
 
 /// A time-ordered iterator of measured events over a flight profile.
@@ -137,6 +151,11 @@ pub struct StreamingSource {
     block_pos: usize,
     /// Background generated for all t < block_end_s.
     block_end_s: f64,
+    scenario: Scenario,
+    /// Largest dead-time constant across scenario components, if any.
+    dead_tau_s: Option<f64>,
+    /// Arrival time of the last emitted event (dead-time reference).
+    last_emitted_s: f64,
     stats: StreamStats,
 }
 
@@ -167,22 +186,27 @@ impl StreamingSource {
         // Thinning ceiling: the profile multiplier is piecewise-smooth;
         // probe it on a fine grid and add a safety margin. Acceptance is
         // clamped to 1, so a probe miss softly caps the peak instead of
-        // biasing the rest of the stream.
+        // biasing the rest of the stream. Scenario rate modifiers fold in
+        // through their analytic bound, so ramps/steps/spikes never clip.
         let end_h = config.start_h + config.duration_s / 3600.0;
         let mut mult_max = f64::MIN;
         for i in 0..=2048 {
             let t_h = config.start_h + (end_h - config.start_h) * i as f64 / 2048.0;
             mult_max = mult_max.max(config.profile.background_multiplier_at(t_h));
         }
-        let rate_max_hz = (rate_scaled_hz * mult_max * 1.05).max(1e-9);
+        let scenario = config.scenario.clone();
+        let rate_max_hz =
+            (rate_scaled_hz * mult_max * scenario.rate_multiplier_bound() * 1.05).max(1e-9);
 
         let mut stats = StreamStats::default();
 
         // Pre-generate burst events: per-injection Poisson count and
         // decorrelated stream, exactly like a batched window, with
-        // arrival times shifted to the onset.
+        // arrival times shifted to the onset. Scenario components with a
+        // photon-population channel expand into ordinary injections here.
+        let scenario_injections = scenario.injections();
         let mut burst_events: Vec<StreamedEvent> = Vec::new();
-        for inj in &config.bursts {
+        for inj in config.bursts.iter().chain(&scenario_injections) {
             let bsim = BurstSimulation::new(
                 config.detector.clone(),
                 inj.grb.clone(),
@@ -210,6 +234,24 @@ impl StreamingSource {
         }
         burst_events.sort_by(|a, b| a.t_s.total_cmp(&b.t_s));
 
+        // Detector dropouts thin the pre-generated burst photons with a
+        // dedicated construction-time stream; the draw sequence depends
+        // only on the (deterministic) sorted event list, so replays and
+        // `skip_until` restores see the identical survivor set. The RNG
+        // is only minted when a dropout exists, keeping quiet-scenario
+        // streams draw-for-draw identical to the pre-scenario source.
+        if scenario.has_dropouts() {
+            let mut drop_rng = ChaCha8Rng::seed_from_u64(master.gen());
+            burst_events.retain(|ev| {
+                let survival = scenario.survival_at(ev.t_s);
+                let keep = survival >= 1.0 || drop_rng.gen::<f64>() < survival;
+                if !keep {
+                    stats.n_outage_dropped += 1;
+                }
+                keep
+            });
+        }
+
         // First candidate arrival of the ceiling-rate process.
         let mut arrival_rng = master;
         let first = exponential(&mut arrival_rng, 1.0 / rate_max_hz);
@@ -230,6 +272,9 @@ impl StreamingSource {
             block: Vec::new(),
             block_pos: 0,
             block_end_s: 0.0,
+            dead_tau_s: scenario.dead_time_s(),
+            scenario,
+            last_emitted_s: f64::NEG_INFINITY,
             stats,
         }
     }
@@ -250,6 +295,23 @@ impl StreamingSource {
             .background_multiplier_at(self.start_h + t_s / 3600.0)
     }
 
+    /// The hostile-sky scenario stacked on this stream.
+    pub fn scenario(&self) -> &Scenario {
+        &self.scenario
+    }
+
+    /// The instantaneous background intensity λ(t) the thinning loop
+    /// targets at `t_s`: nominal rate × profile multiplier × scenario
+    /// rate modifiers × scenario dropout survival. By construction this
+    /// never exceeds [`rate_max_hz`](Self::rate_max_hz) (modulo the
+    /// profile grid probe), which the envelope property test pins.
+    pub fn instantaneous_rate_hz(&self, t_s: f64) -> f64 {
+        self.rate_scaled_hz
+            * self.multiplier_at(t_s)
+            * self.scenario.rate_multiplier_at(t_s)
+            * self.scenario.survival_at(t_s)
+    }
+
     /// Generate the next background block: thin candidate arrivals over
     /// `[block_end_s, block_end_s + BLOCK_S)`, then transport the accepted
     /// particles in parallel through the shared batched path.
@@ -259,7 +321,7 @@ impl StreamingSource {
         let mut accepted: Vec<(f64, u64)> = Vec::new();
         while self.next_candidate_s < t1 {
             let t = self.next_candidate_s;
-            let lambda = self.rate_scaled_hz * self.multiplier_at(t);
+            let lambda = self.instantaneous_rate_hz(t);
             let p = (lambda / self.rate_max_hz).min(1.0);
             if self.arrival_rng.gen::<f64>() < p {
                 accepted.push((t, self.bkg_index));
@@ -285,14 +347,54 @@ impl StreamingSource {
 
     /// Skip the stream forward so the next yielded event has
     /// `t_s > after_s` (checkpoint-restore: deterministically regenerate
-    /// and discard everything already consumed).
+    /// and discard everything already consumed). Dead-time bookkeeping
+    /// replays event-for-event, so the suppression pattern after the cut
+    /// matches an uninterrupted stream exactly.
     pub fn skip_until(&mut self, after_s: f64) {
-        while let Some(ev) = self.peek_time() {
-            if ev > after_s {
+        while let Some(t) = self.peek_time() {
+            if t > after_s {
                 break;
             }
-            let _ = self.next();
+            let ev = self.pop_raw().expect("peeked event must pop");
+            self.admit(ev.t_s);
         }
+    }
+
+    /// Pop the merged head event without applying dead-time.
+    fn pop_raw(&mut self) -> Option<StreamedEvent> {
+        self.peek_time()?;
+        let tb = self.burst_events.get(self.next_burst).map(|e| e.t_s);
+        let tg = self.block.get(self.block_pos).map(|e| e.t_s);
+        let take_burst = match (tg, tb) {
+            (Some(g), Some(b)) => b <= g,
+            (None, Some(_)) => true,
+            _ => false,
+        };
+        Some(if take_burst {
+            let ev = self.burst_events[self.next_burst].clone();
+            self.next_burst += 1;
+            ev
+        } else {
+            let ev = self.block[self.block_pos].clone();
+            self.block_pos += 1;
+            ev
+        })
+    }
+
+    /// Dead-time bookkeeping for one popped event; true when the event
+    /// is emitted, false when it is suppressed. Dead-time acts on the
+    /// merged stream: an event within τ of the previously emitted event
+    /// is lost regardless of origin.
+    fn admit(&mut self, t_s: f64) -> bool {
+        if let Some(tau) = self.dead_tau_s {
+            if t_s - self.last_emitted_s < tau {
+                self.stats.n_dead_time_dropped += 1;
+                return false;
+            }
+        }
+        self.last_emitted_s = t_s;
+        self.stats.n_measured += 1;
+        true
     }
 
     fn peek_time(&mut self) -> Option<f64> {
@@ -320,23 +422,11 @@ impl Iterator for StreamingSource {
     type Item = StreamedEvent;
 
     fn next(&mut self) -> Option<StreamedEvent> {
-        self.peek_time()?;
-        let tb = self.burst_events.get(self.next_burst).map(|e| e.t_s);
-        let tg = self.block.get(self.block_pos).map(|e| e.t_s);
-        let take_burst = match (tg, tb) {
-            (Some(g), Some(b)) => b <= g,
-            (None, Some(_)) => true,
-            _ => false,
-        };
-        self.stats.n_measured += 1;
-        if take_burst {
-            let ev = self.burst_events[self.next_burst].clone();
-            self.next_burst += 1;
-            Some(ev)
-        } else {
-            let ev = self.block[self.block_pos].clone();
-            self.block_pos += 1;
-            Some(ev)
+        loop {
+            let ev = self.pop_raw()?;
+            if self.admit(ev.t_s) {
+                return Some(ev);
+            }
         }
     }
 }
@@ -345,6 +435,7 @@ impl Iterator for StreamingSource {
 mod tests {
     use super::*;
     use crate::event::ParticleOrigin;
+    use crate::scenario::ScenarioComponent;
 
     fn quick_config(duration_s: f64) -> StreamConfig {
         let mut c = StreamConfig::new(FlightProfile::antarctic_ldb(), duration_s);
@@ -411,6 +502,126 @@ mod tests {
             n_peak as f64 > 1.5 * n_low.max(1) as f64,
             "low {n_low}, peak {n_peak}"
         );
+    }
+
+    fn hostile(duration_s: f64) -> StreamConfig {
+        quick_config(duration_s).with_scenario(
+            Scenario::quiet()
+                .with(ScenarioComponent::SolarFlareRamp {
+                    t_start_s: 1.0,
+                    rise_s: 2.0,
+                    hold_s: 1.0,
+                    fall_s: 2.0,
+                    peak_multiplier: 3.0,
+                })
+                .with(ScenarioComponent::SgrFlareTrain {
+                    t_start_s: 2.0,
+                    period_s: 1.5,
+                    flares: 2,
+                    fluence: 0.8,
+                    polar_deg: 25.0,
+                })
+                .with(ScenarioComponent::DetectorDropout {
+                    t_start_s: 4.0,
+                    t_end_s: 5.0,
+                    drop_fraction: 0.5,
+                })
+                .with(ScenarioComponent::DeadTime { tau_s: 1e-4 }),
+        )
+    }
+
+    #[test]
+    fn scenario_stream_is_deterministic() {
+        let cfg = hostile(6.0);
+        let a: Vec<StreamedEvent> = StreamingSource::new(cfg.clone(), 42).collect();
+        let b: Vec<StreamedEvent> = StreamingSource::new(cfg, 42).collect();
+        assert!(!a.is_empty());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.t_s, y.t_s);
+            assert_eq!(x.event.hits.len(), y.event.hits.len());
+        }
+        for w in a.windows(2) {
+            assert!(w[0].t_s <= w[1].t_s);
+        }
+    }
+
+    #[test]
+    fn saa_step_raises_the_background_rate() {
+        let mut quiet = quick_config(20.0);
+        quiet.background.particle_fluence = 6.0;
+        let stepped =
+            quiet
+                .clone()
+                .with_scenario(Scenario::quiet().with(ScenarioComponent::SaaStep {
+                    t_start_s: 0.0,
+                    t_end_s: 20.0,
+                    multiplier: 4.0,
+                }));
+        let n_quiet = StreamingSource::new(quiet, 9).count();
+        let n_step = StreamingSource::new(stepped, 9).count();
+        assert!(
+            n_step as f64 > 2.5 * n_quiet.max(1) as f64,
+            "quiet {n_quiet}, stepped {n_step}"
+        );
+    }
+
+    #[test]
+    fn occultation_dip_suppresses_events_inside_the_window() {
+        let mut cfg = quick_config(12.0);
+        cfg.background.particle_fluence = 8.0;
+        let cfg = cfg.with_scenario(Scenario::quiet().with(ScenarioComponent::OccultationDip {
+            t_start_s: 4.0,
+            t_end_s: 8.0,
+            floor: 0.05,
+        }));
+        let events: Vec<StreamedEvent> = StreamingSource::new(cfg, 5).collect();
+        let inside = events
+            .iter()
+            .filter(|e| (4.0..8.0).contains(&e.t_s))
+            .count();
+        let outside = events.len() - inside;
+        assert!(
+            (inside as f64) < 0.25 * outside as f64,
+            "inside {inside}, outside {outside}"
+        );
+    }
+
+    #[test]
+    fn dead_time_enforces_minimum_separation() {
+        let tau = 0.01;
+        let mut cfg = quick_config(10.0);
+        cfg.background.particle_fluence = 10.0;
+        let cfg =
+            cfg.with_scenario(Scenario::quiet().with(ScenarioComponent::DeadTime { tau_s: tau }));
+        let mut src = StreamingSource::new(cfg, 21);
+        let events: Vec<StreamedEvent> = src.by_ref().collect();
+        assert!(!events.is_empty());
+        for w in events.windows(2) {
+            assert!(
+                w[1].t_s - w[0].t_s >= tau,
+                "dead-time violated: {} then {}",
+                w[0].t_s,
+                w[1].t_s
+            );
+        }
+        assert!(src.stats().n_dead_time_dropped > 0);
+    }
+
+    #[test]
+    fn scenario_skip_until_resumes_the_same_tail() {
+        let cfg = hostile(6.0);
+        let full: Vec<StreamedEvent> = StreamingSource::new(cfg.clone(), 11).collect();
+        let cut = 3.7;
+        let mut resumed = StreamingSource::new(cfg, 11);
+        resumed.skip_until(cut);
+        let tail: Vec<StreamedEvent> = resumed.collect();
+        let expected: Vec<&StreamedEvent> = full.iter().filter(|e| e.t_s > cut).collect();
+        assert_eq!(tail.len(), expected.len());
+        for (x, y) in tail.iter().zip(expected) {
+            assert_eq!(x.t_s, y.t_s);
+            assert_eq!(x.event.hits.len(), y.event.hits.len());
+        }
     }
 
     #[test]

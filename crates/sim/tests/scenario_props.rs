@@ -1,0 +1,121 @@
+//! Property-based tests of the hostile-sky scenario layer's two core
+//! contracts: thinning stays inside its envelope (so the realized
+//! process is an unbiased nonhomogeneous Poisson draw even under ramps,
+//! steps, and spikes), and `skip_until` replay stays bit-identical with
+//! scenario components active (checkpoint restores never fork the sky).
+
+use adapt_sim::{
+    FlightProfile, Scenario, ScenarioComponent, StreamConfig, StreamedEvent, StreamingSource,
+};
+use proptest::prelude::*;
+
+fn base_config(duration_s: f64) -> StreamConfig {
+    let mut c = StreamConfig::new(FlightProfile::antarctic_ldb(), duration_s);
+    c.background.particle_fluence = 1.0; // keep debug-mode transport cheap
+    c.start_h = 20.0; // float: profile multiplier ~1 and smooth
+    c
+}
+
+fn rate_scenario(
+    ramp_peak: f64,
+    step_mult: f64,
+    spike_mult: f64,
+    dip_floor: f64,
+    duration_s: f64,
+) -> Scenario {
+    Scenario::quiet()
+        .with(ScenarioComponent::SolarFlareRamp {
+            t_start_s: 0.1 * duration_s,
+            rise_s: 0.2 * duration_s,
+            hold_s: 0.1 * duration_s,
+            fall_s: 0.2 * duration_s,
+            peak_multiplier: ramp_peak,
+        })
+        .with(ScenarioComponent::SaaStep {
+            t_start_s: 0.3 * duration_s,
+            t_end_s: 0.8 * duration_s,
+            multiplier: step_mult,
+        })
+        .with(ScenarioComponent::SaaSpike {
+            t_s: 0.5 * duration_s,
+            sigma_s: 0.05 * duration_s,
+            multiplier: spike_mult,
+        })
+        .with(ScenarioComponent::OccultationDip {
+            t_start_s: 0.6 * duration_s,
+            t_end_s: 0.7 * duration_s,
+            floor: dip_floor,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// The instantaneous intensity λ(t) the thinning loop targets never
+    /// exceeds the ceiling rate the candidate process draws against —
+    /// acceptance probabilities never clip, for any ramp/step/spike
+    /// composition.
+    #[test]
+    fn scenario_thinning_stays_inside_envelope(
+        ramp_peak in 1.0f64..8.0,
+        step_mult in 1.0f64..6.0,
+        spike_mult in 1.0f64..10.0,
+        dip_floor in 0.0f64..1.0,
+        seed in 0u64..1000,
+    ) {
+        let duration_s = 60.0;
+        let cfg = base_config(duration_s)
+            .with_scenario(rate_scenario(ramp_peak, step_mult, spike_mult, dip_floor, duration_s));
+        let src = StreamingSource::new(cfg, seed);
+        let ceiling = src.rate_max_hz();
+        for i in 0..=4096 {
+            let t = duration_s * i as f64 / 4096.0;
+            let lambda = src.instantaneous_rate_hz(t);
+            prop_assert!(
+                lambda <= ceiling * (1.0 + 1e-12),
+                "λ({t:.3}) = {lambda} exceeds ceiling {ceiling}"
+            );
+            prop_assert!(lambda >= 0.0);
+        }
+    }
+
+    /// A checkpoint restore (`skip_until`) of a scenario-bearing stream
+    /// regenerates exactly the tail the uninterrupted stream would have
+    /// produced — same times, same event content — including flare-train
+    /// photons, dropout losses, and dead-time suppression.
+    #[test]
+    fn scenario_skip_until_is_bit_identical(
+        ramp_peak in 1.0f64..4.0,
+        cut_frac in 0.1f64..0.9,
+        seed in 0u64..1000,
+    ) {
+        let duration_s = 6.0;
+        let scenario = rate_scenario(ramp_peak, 2.0, 3.0, 0.3, duration_s)
+            .with(ScenarioComponent::SgrFlareTrain {
+                t_start_s: 1.0,
+                period_s: 2.0,
+                flares: 2,
+                fluence: 0.6,
+                polar_deg: 30.0,
+            })
+            .with(ScenarioComponent::DetectorDropout {
+                t_start_s: 2.0,
+                t_end_s: 4.0,
+                drop_fraction: 0.5,
+            })
+            .with(ScenarioComponent::DeadTime { tau_s: 1e-4 });
+        let cfg = base_config(duration_s).with_scenario(scenario);
+        let full: Vec<StreamedEvent> = StreamingSource::new(cfg.clone(), seed).collect();
+        let cut = cut_frac * duration_s;
+        let mut resumed = StreamingSource::new(cfg, seed);
+        resumed.skip_until(cut);
+        let tail: Vec<StreamedEvent> = resumed.collect();
+        let expected: Vec<&StreamedEvent> = full.iter().filter(|e| e.t_s > cut).collect();
+        prop_assert_eq!(tail.len(), expected.len());
+        for (x, y) in tail.iter().zip(expected) {
+            prop_assert_eq!(x.t_s, y.t_s);
+            prop_assert_eq!(x.event.hits.len(), y.event.hits.len());
+            prop_assert!((x.event.total_energy() - y.event.total_energy()).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! Per-decision trigger forensics: reconstruct *why* the online trigger
+//! fired or stayed quiet from captured [`TriggerDecisionRecord`]s.
+//!
+//! The flight runtime records a decision for every event evaluated near
+//! a ground-truth onset and for every fire. This module groups those
+//! decisions into truth windows and renders a human-readable root-cause
+//! report: a fired decision shows the window width that crossed the
+//! threshold against its calibration baseline (and is flagged as a false
+//! alert when no truth onset is nearby); a truth window with no fire
+//! shows the closest approach to the threshold and the trigger states
+//! (calibrating, refractory, below-threshold) that kept it quiet.
+//! `telemetry-report --forensics` renders this over an NDJSON capture.
+
+use crate::recorder::{TriggerDecisionRecord, WindowDecision};
+
+/// Two decisions more than this far apart belong to different truth
+/// windows when clustering near-truth decisions.
+const CLUSTER_GAP_S: f64 = 5.0;
+
+/// The window evidence that came closest to (or furthest past) the
+/// threshold: the maximum-σ entry.
+fn best_window(d: &TriggerDecisionRecord) -> Option<&WindowDecision> {
+    d.windows.iter().max_by(|a, b| a.sigma.total_cmp(&b.sigma))
+}
+
+/// A contiguous run of near-truth decisions (one ground-truth onset's
+/// neighbourhood as the trigger saw it).
+struct TruthCluster<'a> {
+    decisions: Vec<&'a TriggerDecisionRecord>,
+}
+
+impl<'a> TruthCluster<'a> {
+    fn fired(&self) -> bool {
+        self.decisions.iter().any(|d| d.fired)
+    }
+
+    fn t_first(&self) -> f64 {
+        self.decisions.first().map_or(0.0, |d| d.t_s)
+    }
+
+    fn t_last(&self) -> f64 {
+        self.decisions.last().map_or(0.0, |d| d.t_s)
+    }
+
+    /// The no-fire decision whose best window came closest to threshold.
+    fn closest_approach(&self) -> Option<(&'a TriggerDecisionRecord, &'a WindowDecision)> {
+        self.decisions
+            .iter()
+            .filter(|d| !d.fired)
+            .filter_map(|d| best_window(d).map(|w| (*d, w)))
+            .max_by(|(_, a), (_, b)| a.sigma.total_cmp(&b.sigma))
+    }
+
+    /// Reason → count over the no-fire decisions, in first-seen order.
+    fn reason_counts(&self) -> Vec<(String, usize)> {
+        let mut counts: Vec<(String, usize)> = Vec::new();
+        for d in self.decisions.iter().filter(|d| !d.fired) {
+            match counts.iter_mut().find(|(r, _)| *r == d.reason) {
+                Some((_, n)) => *n += 1,
+                None => counts.push((d.reason.clone(), 1)),
+            }
+        }
+        counts
+    }
+}
+
+fn cluster_near_truth<'a>(decisions: &'a [TriggerDecisionRecord]) -> Vec<TruthCluster<'a>> {
+    let mut clusters: Vec<TruthCluster<'a>> = Vec::new();
+    for d in decisions.iter().filter(|d| d.near_truth) {
+        match clusters.last_mut() {
+            Some(c) if d.t_s - c.t_last() <= CLUSTER_GAP_S => c.decisions.push(d),
+            _ => clusters.push(TruthCluster { decisions: vec![d] }),
+        }
+    }
+    clusters
+}
+
+fn render_fired(d: &TriggerDecisionRecord, out: &mut String) {
+    let verdict = if d.near_truth {
+        "true alert (inside a truth window)"
+    } else {
+        "FALSE ALERT (no truth onset nearby)"
+    };
+    out.push_str(&format!("t={:.3}s  {verdict}\n", d.t_s));
+    out.push_str(&format!(
+        "  baseline {:.2} Hz after {:.1} s calibration; threshold {:.1}σ\n",
+        d.background_rate_hz, d.calibration_elapsed_s, d.threshold_sigma
+    ));
+    // the width that crossed: first window at/over threshold (the trigger
+    // fires on the first crossing), falling back to the max-σ window
+    let crossing = d
+        .windows
+        .iter()
+        .find(|w| w.sigma >= d.threshold_sigma)
+        .or_else(|| best_window(d));
+    if let Some(w) = crossing {
+        out.push_str(&format!(
+            "  fired on w={:.3}s: {} counts vs {:.1} expected → {:.1}σ\n",
+            w.width_s, w.counts, w.expected, w.sigma
+        ));
+    }
+}
+
+fn render_missed(c: &TruthCluster<'_>, out: &mut String) {
+    out.push_str(&format!(
+        "truth window t≈{:.1}–{:.1}s: {} decisions, none fired\n",
+        c.t_first(),
+        c.t_last(),
+        c.decisions.len()
+    ));
+    if let Some((d, w)) = c.closest_approach() {
+        out.push_str(&format!(
+            "  closest approach at t={:.3}s: w={:.3}s {} counts vs {:.1} expected → {:.1}σ \
+             ({:.1}σ short of {:.1}σ)\n",
+            d.t_s,
+            w.width_s,
+            w.counts,
+            w.expected,
+            w.sigma,
+            (d.threshold_sigma - w.sigma).max(0.0),
+            d.threshold_sigma
+        ));
+        out.push_str(&format!("  baseline {:.2} Hz\n", d.background_rate_hz));
+    }
+    let reasons: Vec<String> = c
+        .reason_counts()
+        .into_iter()
+        .map(|(r, n)| format!("{r} ×{n}"))
+        .collect();
+    if !reasons.is_empty() {
+        out.push_str(&format!("  states: {}\n", reasons.join(", ")));
+    }
+}
+
+/// Render the forensics report over a decision log (capture order).
+/// Returns a note instead of a report when the capture holds no
+/// decisions (pre-schema-6 capture, or a run without truth onsets).
+pub fn render_forensics(decisions: &[TriggerDecisionRecord]) -> String {
+    if decisions.is_empty() {
+        return "no trigger decisions captured (schema < 6, or the run supplied no \
+                ground-truth onsets and never fired)\n"
+            .to_string();
+    }
+    let fired: Vec<&TriggerDecisionRecord> = decisions.iter().filter(|d| d.fired).collect();
+    let clusters = cluster_near_truth(decisions);
+    let missed: Vec<&TruthCluster<'_>> = clusters.iter().filter(|c| !c.fired()).collect();
+    let mut out = format!(
+        "trigger forensics: {} decisions captured ({} fired, {} truth windows, {} missed)\n",
+        decisions.len(),
+        fired.len(),
+        clusters.len(),
+        missed.len()
+    );
+    if !fired.is_empty() {
+        out.push_str("\n== fired decisions ==\n");
+        for d in &fired {
+            render_fired(d, &mut out);
+        }
+    }
+    if !missed.is_empty() {
+        out.push_str("\n== truth windows without a fire (missed bursts) ==\n");
+        for c in &missed {
+            render_missed(c, &mut out);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decision(
+        t_s: f64,
+        fired: bool,
+        near_truth: bool,
+        reason: &str,
+        sigma: f64,
+    ) -> TriggerDecisionRecord {
+        TriggerDecisionRecord {
+            t_s,
+            fired,
+            near_truth,
+            reason: reason.into(),
+            background_rate_hz: 150.0,
+            calibration_elapsed_s: 30.0,
+            threshold_sigma: 7.0,
+            frozen: reason == "refractory",
+            windows: vec![
+                WindowDecision {
+                    width_s: 0.064,
+                    counts: 12,
+                    expected: 9.6,
+                    sigma: sigma * 0.4,
+                },
+                WindowDecision {
+                    width_s: 1.024,
+                    counts: 180,
+                    expected: 153.6,
+                    sigma,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn empty_log_renders_a_note() {
+        let text = render_forensics(&[]);
+        assert!(text.contains("no trigger decisions captured"));
+    }
+
+    #[test]
+    fn false_alert_and_missed_window_are_both_explained() {
+        let decisions = vec![
+            // a truth window at ~40 s that never fires
+            decision(40.1, false, true, "calibrating", 0.0),
+            decision(40.5, false, true, "below-threshold", 2.1),
+            decision(41.0, false, true, "below-threshold", 4.3),
+            decision(41.4, false, true, "below-threshold", 3.0),
+            // a background-ramp fire far from any truth onset
+            decision(102.3, true, false, "fired", 8.9),
+        ];
+        let text = render_forensics(&decisions);
+        assert!(text.contains("1 fired"), "{text}");
+        assert!(text.contains("1 missed"), "{text}");
+        assert!(text.contains("FALSE ALERT"), "{text}");
+        assert!(text.contains("fired on w=1.024s"), "{text}");
+        assert!(text.contains("truth window t≈40.1–41.4s"), "{text}");
+        assert!(text.contains("closest approach at t=41.000s"), "{text}");
+        assert!(text.contains("2.7σ short of 7.0σ"), "{text}");
+        assert!(
+            text.contains("calibrating ×1") && text.contains("below-threshold ×3"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn detected_truth_window_is_not_reported_missed() {
+        let decisions = vec![
+            decision(10.0, false, true, "below-threshold", 5.0),
+            decision(10.2, true, true, "fired", 9.2),
+        ];
+        let text = render_forensics(&decisions);
+        assert!(text.contains("0 missed"), "{text}");
+        assert!(
+            text.contains("true alert (inside a truth window)"),
+            "{text}"
+        );
+        assert!(!text.contains("missed bursts"), "{text}");
+    }
+
+    #[test]
+    fn distant_truth_decisions_form_separate_clusters() {
+        let decisions = vec![
+            decision(10.0, false, true, "below-threshold", 2.0),
+            decision(40.0, false, true, "below-threshold", 3.0),
+        ];
+        let text = render_forensics(&decisions);
+        assert!(text.contains("2 truth windows, 2 missed"), "{text}");
+    }
+}

@@ -47,6 +47,7 @@
 //! localization), far off the per-ring hot path.
 
 pub mod drift;
+pub mod forensics;
 pub mod health;
 pub mod histogram;
 pub mod live;
@@ -56,6 +57,7 @@ pub mod run;
 pub mod trace;
 
 pub use drift::{DriftMonitor, DriftReference, DriftReport, DRIFT_BINS, PSI_FLAG};
+pub use forensics::render_forensics;
 pub use health::{HealthLine, SloConfig, SloWatchdog};
 pub use histogram::{HistogramSnapshot, LatencyHistogram};
 pub use live::{
@@ -67,11 +69,11 @@ pub use ndjson::{export, validate as validate_ndjson, NdjsonSummary, NDJSON_SCHE
 pub use recorder::{
     noop, AlertRecord, Counter, DegradationRecord, FlightRecorder, LoopEvent, LoopIterationRecord,
     LoopSummaryRecord, NoopRecorder, QueueGauge, Recorder, Stage, TraceSpanRecord, TrialRecord,
-    SCORE_BINS,
+    TriggerDecisionRecord, WindowDecision, SCORE_BINS,
 };
 pub use run::{
     diff_manifests, fnv1a_hex, list_runs, load_manifest, validate_run, write_atomic, AbortReason,
     EpochRecord, HostInfo, ManifestDraft, RunManifest, RunSummary, RunTracker, Watchdog,
     WatchdogConfig, RUN_SCHEMA,
 };
-pub use trace::{end_to_end_ms, render_trace, trace_ids};
+pub use trace::{end_to_end_ms, render_trace, render_trace_table, trace_ids};

@@ -18,7 +18,10 @@
 //!   containment radius, latency;
 //! * `queue` — one per stage queue: max observed depth, sample count;
 //! * `trace` — one per causal trace span: trace id, span name, parent,
-//!   start offset and duration (ms), queue depth at the hop, detail.
+//!   start offset and duration (ms), queue depth at the hop, detail;
+//! * `trigger_decision` — one per captured fire/no-fire decision of the
+//!   online rate trigger: outcome, calibration baseline, refractory
+//!   state, and the per-width counts/expectation/σ evidence.
 //!
 //! [`validate`] checks structure and field types line by line and
 //! returns a [`NdjsonSummary`] the `telemetry-report` renderer (and the
@@ -27,10 +30,16 @@
 use crate::histogram::HistogramSnapshot;
 use crate::recorder::{
     AlertRecord, Counter, DegradationRecord, FlightRecorder, LoopEvent, Stage, TraceSpanRecord,
+    TriggerDecisionRecord, WindowDecision,
 };
 use serde::Value;
 
 /// Current NDJSON schema version (the `meta` line's `schema` field).
+/// Version 6 added per-decision trigger forensics: `trigger_decision`
+/// lines (fire/no-fire outcome, calibration baseline, refractory state,
+/// per-width σ evidence) rendered by `telemetry-report --forensics`, and
+/// the robustness-matrix counters (`false_alerts`, `missed_bursts`,
+/// `scenario_components_active`).
 /// Version 5 added causal-trace `trace` lines (one per span: trace id
 /// minted at trigger open, span name/parent, start offset + duration,
 /// queue depth at the hop) rendered by `telemetry-report --trace`.
@@ -44,7 +53,7 @@ use serde::Value;
 /// Version 2 added the drift counters (`drift_rows`,
 /// `drift_mean_psi_milli`, `drift_features_flagged`). Older captures
 /// still validate.
-pub const NDJSON_SCHEMA: u32 = 5;
+pub const NDJSON_SCHEMA: u32 = 6;
 
 fn obj(pairs: Vec<(&str, Value)>) -> Value {
     Value::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
@@ -183,6 +192,40 @@ pub fn export(recorder: &FlightRecorder, repetitions: usize) -> String {
         out.push('\n');
     }
 
+    for d in recorder.trigger_decision_records() {
+        out.push_str(&line(&obj(vec![
+            ("type", Value::Str("trigger_decision".into())),
+            ("t_s", Value::Float(d.t_s)),
+            ("fired", Value::Bool(d.fired)),
+            ("near_truth", Value::Bool(d.near_truth)),
+            ("reason", Value::Str(d.reason.clone())),
+            ("background_rate_hz", Value::Float(d.background_rate_hz)),
+            (
+                "calibration_elapsed_s",
+                Value::Float(d.calibration_elapsed_s),
+            ),
+            ("threshold_sigma", Value::Float(d.threshold_sigma)),
+            ("frozen", Value::Bool(d.frozen)),
+            (
+                "windows",
+                Value::Arr(
+                    d.windows
+                        .iter()
+                        .map(|w| {
+                            obj(vec![
+                                ("width_s", Value::Float(w.width_s)),
+                                ("counts", Value::UInt(w.counts)),
+                                ("expected", Value::Float(w.expected)),
+                                ("sigma", Value::Float(w.sigma)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])));
+        out.push('\n');
+    }
+
     for t in recorder.trace_records() {
         out.push_str(&line(&obj(vec![
             ("type", Value::Str("trace".into())),
@@ -245,6 +288,8 @@ pub struct NdjsonSummary {
     pub queues: Vec<(String, u64, u64)>,
     /// Causal trace spans, in capture order (schema ≥ 5).
     pub traces: Vec<TraceSpanRecord>,
+    /// Trigger fire/no-fire decisions, in capture order (schema ≥ 6).
+    pub decisions: Vec<TriggerDecisionRecord>,
 }
 
 fn need<'a>(v: &'a Value, key: &str, lineno: usize) -> Result<&'a Value, String> {
@@ -539,6 +584,68 @@ pub fn validate(text: &str) -> Result<NdjsonSummary, String> {
                     detail: need_str(&v, "detail", lineno)?,
                 });
             }
+            "trigger_decision" => {
+                let t_s = need_num(&v, "t_s", lineno)?;
+                let fired = match need(&v, "fired", lineno)? {
+                    Value::Bool(b) => *b,
+                    _ => return Err(format!("line {lineno}: fired must be a bool")),
+                };
+                let near_truth = match need(&v, "near_truth", lineno)? {
+                    Value::Bool(b) => *b,
+                    _ => return Err(format!("line {lineno}: near_truth must be a bool")),
+                };
+                let reason = need_str(&v, "reason", lineno)?;
+                if reason.is_empty() {
+                    return Err(format!("line {lineno}: decision reason must be non-empty"));
+                }
+                let background_rate_hz = need_num(&v, "background_rate_hz", lineno)?;
+                if !background_rate_hz.is_finite() || background_rate_hz < 0.0 {
+                    return Err(format!(
+                        "line {lineno}: background_rate_hz {background_rate_hz} must be \
+                         finite and >= 0"
+                    ));
+                }
+                let calibration_elapsed_s = need_num(&v, "calibration_elapsed_s", lineno)?;
+                let threshold_sigma = need_num(&v, "threshold_sigma", lineno)?;
+                let frozen = match need(&v, "frozen", lineno)? {
+                    Value::Bool(b) => *b,
+                    _ => return Err(format!("line {lineno}: frozen must be a bool")),
+                };
+                let raw_windows = need(&v, "windows", lineno)?
+                    .as_arr()
+                    .ok_or_else(|| format!("line {lineno}: windows must be an array"))?;
+                let mut windows = Vec::with_capacity(raw_windows.len());
+                for w in raw_windows {
+                    let width_s = need_num(w, "width_s", lineno)?;
+                    if width_s <= 0.0 {
+                        return Err(format!(
+                            "line {lineno}: window width_s {width_s} must be > 0"
+                        ));
+                    }
+                    windows.push(WindowDecision {
+                        width_s,
+                        counts: need_uint(w, "counts", lineno)?,
+                        expected: need_num(w, "expected", lineno)?,
+                        sigma: need_num(w, "sigma", lineno)?,
+                    });
+                }
+                if fired && reason != "fired" {
+                    return Err(format!(
+                        "line {lineno}: fired decision must carry reason `fired`, got `{reason}`"
+                    ));
+                }
+                summary.decisions.push(TriggerDecisionRecord {
+                    t_s,
+                    fired,
+                    near_truth,
+                    reason,
+                    background_rate_hz,
+                    calibration_elapsed_s,
+                    threshold_sigma,
+                    frozen,
+                    windows,
+                });
+            }
             other => return Err(format!("line {lineno}: unknown line type `{other}`")),
         }
     }
@@ -750,6 +857,68 @@ mod tests {
              \"queue_depth\":0,\"detail\":\"\"}}"
         );
         assert!(validate(&negative).is_err(), "negative start");
+    }
+
+    #[test]
+    fn trigger_decision_lines_round_trip_and_reject_bad_values() {
+        let r = FlightRecorder::new();
+        r.trigger_decision(&TriggerDecisionRecord {
+            t_s: 40.1,
+            fired: false,
+            near_truth: true,
+            reason: "below-threshold".into(),
+            background_rate_hz: 161.8,
+            calibration_elapsed_s: 38.0,
+            threshold_sigma: 7.0,
+            frozen: false,
+            windows: vec![
+                WindowDecision {
+                    width_s: 0.064,
+                    counts: 14,
+                    expected: 10.4,
+                    sigma: 1.1,
+                },
+                WindowDecision {
+                    width_s: 1.024,
+                    counts: 201,
+                    expected: 165.7,
+                    sigma: 2.7,
+                },
+            ],
+        });
+        let text = export(&r, 1);
+        let summary = validate(&text).expect("decision capture must validate");
+        assert_eq!(summary.decisions.len(), 1);
+        let d = &summary.decisions[0];
+        assert!(!d.fired);
+        assert!(d.near_truth);
+        assert_eq!(d.reason, "below-threshold");
+        assert_eq!(d.windows.len(), 2);
+        assert!((d.windows[1].sigma - 2.7).abs() < 1e-9);
+
+        let meta = format!("{{\"type\":\"meta\",\"schema\":{NDJSON_SCHEMA},\"repetitions\":1}}");
+        let bad_reason = format!(
+            "{meta}\n{{\"type\":\"trigger_decision\",\"t_s\":1.0,\"fired\":true,\
+             \"near_truth\":false,\"reason\":\"below-threshold\",\
+             \"background_rate_hz\":100.0,\"calibration_elapsed_s\":10.0,\
+             \"threshold_sigma\":7.0,\"frozen\":false,\"windows\":[]}}"
+        );
+        assert!(validate(&bad_reason).is_err(), "fired with wrong reason");
+        let bad_rate = format!(
+            "{meta}\n{{\"type\":\"trigger_decision\",\"t_s\":1.0,\"fired\":false,\
+             \"near_truth\":false,\"reason\":\"calibrating\",\
+             \"background_rate_hz\":-5.0,\"calibration_elapsed_s\":10.0,\
+             \"threshold_sigma\":7.0,\"frozen\":false,\"windows\":[]}}"
+        );
+        assert!(validate(&bad_rate).is_err(), "negative rate");
+        let bad_width = format!(
+            "{meta}\n{{\"type\":\"trigger_decision\",\"t_s\":1.0,\"fired\":false,\
+             \"near_truth\":false,\"reason\":\"below-threshold\",\
+             \"background_rate_hz\":5.0,\"calibration_elapsed_s\":10.0,\
+             \"threshold_sigma\":7.0,\"frozen\":false,\
+             \"windows\":[{{\"width_s\":0.0,\"counts\":1,\"expected\":1.0,\"sigma\":0.0}}]}}"
+        );
+        assert!(validate(&bad_width).is_err(), "zero window width");
     }
 
     #[test]

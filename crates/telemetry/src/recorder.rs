@@ -128,11 +128,19 @@ pub enum Counter {
     /// Ground segment: alert deliveries shed at full subscriber
     /// mailboxes (slow consumers).
     FanoutShed,
+    /// Robustness matrix: alerts not matching any ground-truth injection
+    /// (onset matching happens in the runtime when truth is supplied).
+    FalseAlerts,
+    /// Robustness matrix: ground-truth injections that never produced a
+    /// matching alert.
+    MissedBursts,
+    /// Hostile-sky scenario components active on the evaluated stream.
+    ScenarioComponentsActive,
 }
 
 impl Counter {
     /// Every counter, in export order.
-    pub const ALL: [Counter; 18] = [
+    pub const ALL: [Counter; 21] = [
         Counter::TrialsRun,
         Counter::RingsIn,
         Counter::RingsRejected,
@@ -151,6 +159,9 @@ impl Counter {
         Counter::PoolSteals,
         Counter::AlertsFannedOut,
         Counter::FanoutShed,
+        Counter::FalseAlerts,
+        Counter::MissedBursts,
+        Counter::ScenarioComponentsActive,
     ];
 
     /// Stable machine name (NDJSON field value).
@@ -174,6 +185,9 @@ impl Counter {
             Counter::PoolSteals => "pool_steals",
             Counter::AlertsFannedOut => "alerts_fanned_out",
             Counter::FanoutShed => "fanout_shed",
+            Counter::FalseAlerts => "false_alerts",
+            Counter::MissedBursts => "missed_bursts",
+            Counter::ScenarioComponentsActive => "scenario_components_active",
         }
     }
 }
@@ -255,6 +269,51 @@ pub struct TraceSpanRecord {
     pub detail: String,
 }
 
+/// One trigger window's evidence inside a [`TriggerDecisionRecord`]: the
+/// counts/expectation/σ the trigger computed for a single sliding-window
+/// width at the decision instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowDecision {
+    /// Sliding-window width (s).
+    pub width_s: f64,
+    /// Events observed inside the window.
+    pub counts: u64,
+    /// Expected background counts from the calibration baseline.
+    pub expected: f64,
+    /// Gaussian excess significance `(counts − expected)/√expected`.
+    pub sigma: f64,
+}
+
+/// One fire/no-fire decision of the online rate trigger, captured with
+/// everything the trigger looked at: the calibration baseline, the σ
+/// excess per window width, and the refractory/calibration state. The
+/// runtime emits these near ground-truth onsets (and for every fire), so
+/// `telemetry-report --forensics` can reconstruct *why* a burst was
+/// missed or a background ramp fired.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TriggerDecisionRecord {
+    /// Stream time of the evaluated event (s).
+    pub t_s: f64,
+    /// Whether the trigger opened an epoch at this decision.
+    pub fired: bool,
+    /// Whether the decision lies inside a ground-truth onset window.
+    pub near_truth: bool,
+    /// Machine-readable outcome: `fired`, `below-threshold`,
+    /// `refractory`, `calibrating`, or `epoch-open`.
+    pub reason: String,
+    /// Background rate baseline the expectations were derived from (Hz).
+    pub background_rate_hz: f64,
+    /// Calibration time accumulated when the decision was made (s).
+    pub calibration_elapsed_s: f64,
+    /// Significance threshold the σ excesses were compared against.
+    pub threshold_sigma: f64,
+    /// Whether the trigger was inside its post-epoch refractory hold.
+    pub frozen: bool,
+    /// Per-width evidence (empty when the trigger bailed before
+    /// evaluating windows, e.g. while calibrating or refractory).
+    pub windows: Vec<WindowDecision>,
+}
+
 /// One emitted GRB alert, as seen by telemetry.
 #[derive(Debug, Clone)]
 pub struct AlertRecord {
@@ -331,6 +390,11 @@ pub trait Recorder: Sync {
     fn trace_span(&self, record: &TraceSpanRecord) {
         let _ = record;
     }
+
+    /// Record one fire/no-fire decision of the online rate trigger.
+    fn trigger_decision(&self, record: &TriggerDecisionRecord) {
+        let _ = record;
+    }
 }
 
 /// The disabled recorder: every hook is a no-op.
@@ -401,6 +465,7 @@ pub struct FlightRecorder {
     alerts: Mutex<Vec<AlertRecord>>,
     queues: Mutex<BTreeMap<String, QueueGauge>>,
     traces: Mutex<Vec<TraceSpanRecord>>,
+    trigger_decisions: Mutex<Vec<TriggerDecisionRecord>>,
 }
 
 /// Aggregated queue-depth gauge: maximum observed depth and how many
@@ -471,6 +536,11 @@ impl FlightRecorder {
         self.traces.lock().unwrap().clone()
     }
 
+    /// The trigger-decision log (emission order).
+    pub fn trigger_decision_records(&self) -> Vec<TriggerDecisionRecord> {
+        self.trigger_decisions.lock().unwrap().clone()
+    }
+
     /// Aggregated queue gauges, sorted by queue name.
     pub fn queue_gauges(&self) -> Vec<(String, QueueGauge)> {
         self.queues
@@ -510,6 +580,10 @@ impl FlightRecorder {
             .lock()
             .unwrap()
             .extend(other.traces.lock().unwrap().iter().cloned());
+        self.trigger_decisions
+            .lock()
+            .unwrap()
+            .extend(other.trigger_decisions.lock().unwrap().iter().cloned());
         let mut mine = self.queues.lock().unwrap();
         for (name, g) in other.queues.lock().unwrap().iter() {
             let entry = mine.entry(name.clone()).or_default();
@@ -579,6 +653,10 @@ impl Recorder for FlightRecorder {
 
     fn trace_span(&self, record: &TraceSpanRecord) {
         self.traces.lock().unwrap().push(record.clone());
+    }
+
+    fn trigger_decision(&self, record: &TriggerDecisionRecord) {
+        self.trigger_decisions.lock().unwrap().push(record.clone());
     }
 }
 
@@ -703,6 +781,22 @@ mod tests {
             ingest_depth: 2,
             epoch_depth: 0,
         });
+        b.trigger_decision(&TriggerDecisionRecord {
+            t_s: 12.4,
+            fired: true,
+            near_truth: true,
+            reason: "fired".into(),
+            background_rate_hz: 150.0,
+            calibration_elapsed_s: 12.0,
+            threshold_sigma: 7.0,
+            frozen: false,
+            windows: vec![WindowDecision {
+                width_s: 0.256,
+                counts: 90,
+                expected: 38.4,
+                sigma: 8.3,
+            }],
+        });
         a.merge(&b);
         let gauges = a.queue_gauges();
         assert_eq!(gauges.len(), 2);
@@ -711,6 +805,10 @@ mod tests {
         assert_eq!(ingest.1.samples, 3);
         assert_eq!(a.degradation_records().len(), 1);
         assert_eq!(a.alert_records()[0].mode, "classical");
+        let decisions = a.trigger_decision_records();
+        assert_eq!(decisions.len(), 1);
+        assert!(decisions[0].fired);
+        assert_eq!(decisions[0].windows.len(), 1);
     }
 
     #[test]

@@ -90,6 +90,50 @@ pub fn render_trace(spans: &[TraceSpanRecord], trace_id: &str) -> Option<String>
     Some(out)
 }
 
+/// One-line-per-trace summary table: trace id, stream index (parsed from
+/// the `s{stream}.e{epoch}` id), epoch open time, span count, end-to-end
+/// wall latency, and the final localization level (from the last
+/// `localize` span's `level=` detail; `-` when the epoch never reached a
+/// localizer). `telemetry-report --traces` renders this when no specific
+/// trace id is requested.
+pub fn render_trace_table(spans: &[TraceSpanRecord]) -> String {
+    let ids = trace_ids(spans);
+    let mut out = format!(
+        "{:<12} {:>6} {:>10} {:>6} {:>12}  {}\n",
+        "trace", "stream", "t_s", "spans", "e2e_ms", "level"
+    );
+    for id in &ids {
+        let mine: Vec<&TraceSpanRecord> = spans.iter().filter(|s| &s.trace_id == id).collect();
+        let t_s = mine.iter().map(|s| s.t_s).fold(f64::INFINITY, f64::min);
+        let e2e = end_to_end_ms(spans, id).unwrap_or(0.0);
+        let stream = id
+            .strip_prefix('s')
+            .and_then(|rest| rest.split('.').next())
+            .filter(|s| !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit()))
+            .unwrap_or("?");
+        let level = mine
+            .iter()
+            .rev()
+            .filter(|s| s.span == "localize")
+            .find_map(|s| {
+                s.detail
+                    .split_whitespace()
+                    .find_map(|kv| kv.strip_prefix("level="))
+            })
+            .unwrap_or("-");
+        out.push_str(&format!(
+            "{:<12} {:>6} {:>10.2} {:>6} {:>12.3}  {}\n",
+            id,
+            stream,
+            t_s,
+            mine.len(),
+            e2e,
+            level
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,5 +179,31 @@ mod tests {
         assert!(lines[4].contains("fanout"));
         assert!(!tree.contains("s9.e1"), "other traces excluded");
         assert!(render_trace(&spans, "nope").is_none());
+    }
+
+    #[test]
+    fn table_summarizes_one_line_per_trace() {
+        let mut localize = span("s3.e0", "localize", Some("trigger"), 5.0, 40.0);
+        localize.detail = "level=coarse-skymap rings=120".into();
+        let spans = vec![
+            span("s3.e0", "trigger", None, 0.0, 0.0),
+            localize,
+            span("s3.e0", "fanout", Some("trigger"), 45.0, 1.5),
+            span("s9.e1", "trigger", None, 0.0, 0.0),
+        ];
+        let table = render_trace_table(&spans);
+        let lines: Vec<&str> = table.lines().collect();
+        assert_eq!(lines.len(), 3, "header + one row per trace:\n{table}");
+        assert!(lines[0].contains("trace") && lines[0].contains("level"));
+        assert!(lines[1].starts_with("s3.e0"));
+        assert!(lines[1].contains("coarse-skymap"));
+        assert!(lines[1].contains("46.500"));
+        let cols: Vec<&str> = lines[1].split_whitespace().collect();
+        assert_eq!(cols[1], "3", "stream parsed from the trace id");
+        assert!(lines[2].starts_with("s9.e1"));
+        assert!(
+            lines[2].trim_end().ends_with('-'),
+            "no localize span:\n{table}"
+        );
     }
 }
